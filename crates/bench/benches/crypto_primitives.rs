@@ -1,0 +1,37 @@
+//! Throughput of the from-scratch crypto substrate (underpins every
+//! Table II / Fig. 10 number).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use palaemon_crypto::aead::AeadKey;
+use palaemon_crypto::hmac::hmac_sha256;
+use palaemon_crypto::sha256::Sha256;
+use palaemon_crypto::sig::SigningKey;
+
+fn bench_crypto(c: &mut Criterion) {
+    let data_64k = vec![0xABu8; 64 * 1024];
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.throughput(Throughput::Bytes(data_64k.len() as u64));
+    group.bench_function("sha256_64k", |b| {
+        b.iter(|| Sha256::digest(&data_64k))
+    });
+    group.bench_function("hmac_64k", |b| {
+        b.iter(|| hmac_sha256(b"key", &data_64k))
+    });
+    let key = AeadKey::from_bytes([1; 32]);
+    group.bench_function("aead_seal_64k", |b| {
+        b.iter(|| key.seal(b"n", &data_64k, b""))
+    });
+    group.finish();
+
+    let mut sig_group = c.benchmark_group("signatures");
+    let sk = SigningKey::from_seed(b"bench");
+    let sig = sk.sign(b"message");
+    sig_group.bench_function("schnorr_sign", |b| b.iter(|| sk.sign(b"message")));
+    sig_group.bench_function("schnorr_verify", |b| {
+        b.iter(|| sk.verifying_key().verify(b"message", &sig).unwrap())
+    });
+    sig_group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

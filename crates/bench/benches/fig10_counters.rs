@@ -1,0 +1,33 @@
+//! Fig. 10: monotonic counter variants — file-based counters vs the
+//! (modelled) platform counter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use palaemon_core::counterfile::{MemFileCounter, NativeFileCounter, ShieldedCounter};
+use palaemon_crypto::aead::AeadKey;
+use shielded_fs::fs::ShieldedFs;
+use shielded_fs::store::MemStore;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_counters");
+    group.sample_size(20);
+
+    let path = std::env::temp_dir().join(format!("palaemon-bench-{}.ctr", std::process::id()));
+    let native = NativeFileCounter::create(&path).unwrap();
+    group.bench_function("file_native", |b| b.iter(|| native.increment().unwrap()));
+
+    let mut mem = MemFileCounter::new();
+    group.bench_function("file_sgx_mem", |b| b.iter(|| mem.increment()));
+
+    let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([6; 32]));
+    fs.set_metadata_writeback(true);
+    let mut shielded = ShieldedCounter::create(fs).unwrap();
+    group.bench_function("file_encrypted_fs", |b| {
+        b.iter(|| shielded.increment().unwrap())
+    });
+
+    group.finish();
+    native.cleanup();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Fig. 11: tag service read/update latency and secret-injection overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use palaemon_core::policy::Policy;
+use palaemon_core::tms::Palaemon;
+use palaemon_crypto::aead::AeadKey;
+use palaemon_crypto::sig::SigningKey;
+use palaemon_crypto::Digest;
+use palaemon_db::Db;
+use shielded_fs::fs::{ShieldedFs, TagEvent};
+use shielded_fs::inject::{inject_secrets, SecretMap};
+use shielded_fs::store::MemStore;
+use tee_sim::platform::{Microcode, Platform};
+use tee_sim::quote::{create_report, quote_report};
+
+fn tag_world() -> (Palaemon, palaemon_core::tms::SessionId) {
+    let platform = Platform::new("bench", Microcode::PostForeshadow);
+    let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
+    let mut palaemon = Palaemon::new(db, SigningKey::from_seed(b"b"), Digest::ZERO, 1);
+    palaemon.register_platform(platform.id(), platform.qe_verifying_key());
+    let mre = Digest::from_bytes([0x42; 32]);
+    let policy = Policy::parse(&format!(
+        "name: b\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    volumes: [\"v\"]\nvolumes:\n  - name: v\n",
+        mre.to_hex()
+    ))
+    .unwrap();
+    palaemon
+        .create_policy(&SigningKey::from_seed(b"o").verifying_key(), policy, None, &[])
+        .unwrap();
+    let binding = [0u8; 64];
+    let report = create_report(&platform, mre, binding);
+    let quote = quote_report(&platform, &report).unwrap();
+    let session = palaemon
+        .attest_service(&quote, &binding, "b", "app")
+        .unwrap()
+        .session;
+    (palaemon, session)
+}
+
+fn bench_tags(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_tags");
+    group.sample_size(30);
+    let (mut palaemon, session) = tag_world();
+    let mut i = 0u64;
+    group.bench_function("tag_update", |b| {
+        b.iter(|| {
+            i += 1;
+            let mut t = [0u8; 32];
+            t[..8].copy_from_slice(&i.to_be_bytes());
+            palaemon
+                .push_tag(session, "v", Digest::from_bytes(t), TagEvent::Sync)
+                .unwrap()
+        })
+    });
+    group.bench_function("tag_read", |b| {
+        b.iter(|| palaemon.read_tag(session, "v").unwrap())
+    });
+    group.finish();
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_injection");
+    let mut template = vec![b'#'; 4096];
+    template[..11].copy_from_slice(b"k={{s0}}###");
+    let mut secrets = SecretMap::new();
+    secrets.insert("s0".into(), vec![b'x'; 16]);
+
+    group.bench_function("plain_copy", |b| {
+        b.iter(|| std::hint::black_box(template.clone()))
+    });
+    let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32]));
+    fs.write("/cfg", &template).unwrap();
+    group.bench_function("encrypted_read", |b| {
+        b.iter(|| fs.read_uncached("/cfg").unwrap())
+    });
+    group.bench_function("inject_1_secret", |b| {
+        b.iter(|| inject_secrets(&template, &secrets))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tags, bench_injection);
+criterion_main!(benches);

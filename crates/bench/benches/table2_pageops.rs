@@ -1,0 +1,76 @@
+//! Table II: enclave page-operation throughput (bookkeeping / eviction /
+//! measurement / addition), plus the Fig. 7 startup construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tee_sim::enclave::{evict_pages, EnclaveBuilder, MeasureMode};
+use tee_sim::epc::EpcAllocator;
+use tee_sim::PAGE_SIZE;
+
+const MB: usize = 1024 * 1024;
+
+fn bench_page_ops(c: &mut Criterion) {
+    let bytes = 8 * MB;
+    let src: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("table2_pageops");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.sample_size(10);
+
+    group.bench_function("bookkeeping_alloc_zero", |b| {
+        b.iter(|| std::hint::black_box(vec![0u8; bytes]))
+    });
+    group.bench_function("addition_copy", |b| {
+        let mut dst = vec![0u8; bytes];
+        b.iter(|| {
+            dst.copy_from_slice(&src);
+            std::hint::black_box(&dst);
+        })
+    });
+    group.bench_function("measurement_sha256", |b| {
+        b.iter(|| {
+            let mut h = palaemon_crypto::sha256::Sha256::new();
+            for page in src.chunks(PAGE_SIZE) {
+                h.update(page);
+            }
+            std::hint::black_box(h.finalize());
+        })
+    });
+    group.bench_function("eviction_encrypt", |b| {
+        let mut buf = src.clone();
+        b.iter(|| {
+            evict_pages(&mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+    group.finish();
+}
+
+fn bench_startup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_startup");
+    group.sample_size(10);
+    for mb in [1usize, 8, 32] {
+        let binary = vec![0xC3u8; 80 * 1024];
+        let heap = mb * MB;
+        for (mode, label) in [
+            (MeasureMode::CodeOnly, "palaemon"),
+            (MeasureMode::AllPages, "naive"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{mb}MB")),
+                &heap,
+                |b, &heap| {
+                    b.iter(|| {
+                        let epc = EpcAllocator::new(256 * MB);
+                        let builder = EnclaveBuilder::new(epc).measure_mode(mode);
+                        let (enclave, bd) = builder.build(&binary, heap).unwrap();
+                        enclave.destroy();
+                        std::hint::black_box(bd)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_page_ops, bench_startup);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! paper-report               # run everything (full budgets)
+//! paper-report --quick       # short real-time budgets
+//! paper-report fig10 fig11   # selected experiments
+//! ```
+
+use palaemon_bench::{all, run_by_id, Report, ALL_IDS};
+
+fn print_report(r: &Report) {
+    println!("==== {} — {}", r.id, r.title);
+    println!("{}", r.body);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    println!("PALAEMON paper report (quick = {quick})");
+    println!("Experiments: {}", ALL_IDS.join(", "));
+    println!();
+
+    if ids.is_empty() {
+        for r in all(quick) {
+            print_report(&r);
+        }
+    } else {
+        for id in ids {
+            match run_by_id(id, quick) {
+                Some(r) => print_report(&r),
+                None => eprintln!("unknown experiment '{id}' (known: {})", ALL_IDS.join(", ")),
+            }
+        }
+    }
+}

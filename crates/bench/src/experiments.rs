@@ -1,0 +1,825 @@
+//! One experiment per table/figure of the paper.
+
+
+use std::time::Duration;
+
+use palaemon_core::attest::{
+    attestation_breakdown, secret_retrieval_latency, SecretSource, StartupVariant,
+};
+use palaemon_core::counterfile::{MemFileCounter, NativeFileCounter, ShieldedCounter};
+use palaemon_core::policy::Policy;
+use palaemon_core::tms::Palaemon;
+use palaemon_crypto::aead::AeadKey;
+use palaemon_crypto::sig::SigningKey;
+use palaemon_crypto::Digest;
+use palaemon_db::Db;
+use shielded_fs::fs::{ShieldedFs, TagEvent};
+use shielded_fs::inject::{inject_secrets, SecretMap};
+use shielded_fs::store::{DirStore, MemStore};
+use simnet::net::{AttestationSite, Deployment};
+use simnet::queue::{closed_loop, open_loop, ServiceDist};
+use simnet::{to_ms, MS, SEC};
+use tee_sim::costs::{AttestCosts, CostModel, SgxMode};
+use tee_sim::counter::modelled_throughput_per_sec;
+use tee_sim::enclave::{MeasureMode, PageOpThroughputs};
+use tee_sim::platform::{Microcode, Platform};
+use tee_sim::quote::{create_report, quote_report};
+
+use crate::measure::{fmt_rate, mean_latency_ns, ops_per_sec};
+
+/// A rendered experiment result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `"fig10"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Formatted body (paper-style rows).
+    pub body: String,
+}
+
+fn throughput_latency_rows(
+    label: &str,
+    service_ns: u64,
+    servers: usize,
+    fracs: &[f64],
+    seed: u64,
+) -> String {
+    let capacity = servers as f64 * 1e9 / service_ns as f64;
+    let mut out = format!(
+        "  {label}: service {:.2} ms x{servers} (capacity ~{})\n",
+        service_ns as f64 / 1e6,
+        fmt_rate(capacity)
+    );
+    for &f in fracs {
+        let rate = capacity * f;
+        if rate < 0.5 {
+            continue;
+        }
+        let p = open_loop(
+            rate,
+            10 * SEC,
+            servers,
+            ServiceDist::Shifted {
+                floor: service_ns * 7 / 10,
+                mean_extra: service_ns * 3 / 10,
+            },
+            true,
+            seed,
+        );
+        out.push_str(&format!(
+            "    offered {:>9}  achieved {:>9}  p50 {:>9.2} ms  p95 {:>9.2} ms\n",
+            fmt_rate(p.offered_rps),
+            fmt_rate(p.achieved_rps),
+            to_ms(p.latency.p50),
+            to_ms(p.latency.p95),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+/// Table I: how popular services obtain secrets.
+pub fn table1() -> Report {
+    Report {
+        id: "table1",
+        title: "Table I: how popular services obtain secrets",
+        body: palaemon_services::catalog::render_table(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table II + Fig. 7 (real CPU)
+// ---------------------------------------------------------------------
+
+/// Measures the Table II page-operation throughputs (real work).
+pub fn table2_data() -> PageOpThroughputs {
+    PageOpThroughputs::calibrate(48 * 1024 * 1024)
+}
+
+/// Table II: page-operation throughput (MB/s).
+pub fn table2() -> Report {
+    let t = table2_data();
+    let body = format!(
+        "  Bookkeeping   Eviction   Measurement   Addition    [paper: 1292 / 1219 / 148 / 2853]\n  {:>8.0} MB/s {:>7.0} MB/s {:>8.0} MB/s {:>8.0} MB/s\n",
+        t.bookkeeping_mbps, t.eviction_mbps, t.measurement_mbps, t.addition_mbps
+    );
+    Report {
+        id: "table2",
+        title: "Table II: enclave page-operation throughput",
+        body,
+    }
+}
+
+/// Fig. 7: startup time vs enclave size, PALÆMON (code-only) vs naive.
+pub fn fig7() -> Report {
+    let t = table2_data();
+    let binary = 80 * 1024; // the paper's 80 kB binary
+    let epc = tee_sim::DEFAULT_USABLE_EPC;
+    let mut body = String::from(
+        "  size    mode        bookkeeping  addition  measurement  eviction   total\n",
+    );
+    for mb in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let heap = mb * 1024 * 1024 - binary.min(mb * 1024 * 1024);
+        for (mode, label) in [
+            (MeasureMode::CodeOnly, "palaemon"),
+            (MeasureMode::AllPages, "naive   "),
+        ] {
+            let bd = t.model_startup(binary, heap, mode, epc);
+            body.push_str(&format!(
+                "  {mb:>3} MB  {label}  {:>9.1} ms {:>8.1} ms {:>10.1} ms {:>8.1} ms {:>7.1} ms\n",
+                bd.bookkeeping.as_secs_f64() * 1e3,
+                bd.addition.as_secs_f64() * 1e3,
+                bd.measurement.as_secs_f64() * 1e3,
+                bd.eviction.as_secs_f64() * 1e3,
+                bd.total().as_secs_f64() * 1e3,
+            ));
+        }
+    }
+    Report {
+        id: "fig7",
+        title: "Fig. 7: enclave startup decomposition (80 kB binary)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 / Fig. 9 / Fig. 12 (virtual time)
+// ---------------------------------------------------------------------
+
+/// Fig. 8: attestation + configuration latency decomposition.
+pub fn fig8() -> Report {
+    let costs = AttestCosts::calibrated();
+    let mut body = String::from(
+        "  site        init      send quote  wait confirm  recv config   total   [paper totals: 295 / 280 / ~15 ms]\n",
+    );
+    for site in [
+        AttestationSite::IasFromEu,
+        AttestationSite::IasFromUs,
+        AttestationSite::PalaemonLocal,
+    ] {
+        let b = attestation_breakdown(site, &costs);
+        body.push_str(&format!(
+            "  {:<10} {:>7.2} ms {:>9.2} ms {:>11.2} ms {:>10.2} ms {:>8.2} ms\n",
+            site.label(),
+            to_ms(b.initialization),
+            to_ms(b.send_quote),
+            to_ms(b.wait_confirmation),
+            to_ms(b.receive_config),
+            to_ms(b.total()),
+        ));
+    }
+    Report {
+        id: "fig8",
+        title: "Fig. 8: attestation and configuration latencies",
+        body,
+    }
+}
+
+/// Fig. 9: startup latency vs throughput for the four attestation variants.
+pub fn fig9() -> Report {
+    let costs = AttestCosts::calibrated();
+    let mut body = String::from(
+        "  [paper: Native ~3700/s, SGX w/o ~100/s, Palaemon ~90/s, IAS ~40/s @1.4 s]\n",
+    );
+    for variant in StartupVariant::ALL {
+        let c = variant.center(&costs);
+        body.push_str(&format!("  {}:\n", variant.label()));
+        for clients in [1usize, 4, 16, 60, 256, 1024] {
+            let p = closed_loop(
+                clients,
+                10 * SEC,
+                c.servers,
+                ServiceDist::Fixed(c.service_ns),
+                c.offstage_ns,
+                42 + clients as u64,
+            );
+            body.push_str(&format!(
+                "    {clients:>5} clients: {:>9} starts/s, mean latency {:>9.1} ms\n",
+                fmt_rate(p.achieved_rps),
+                p.latency.mean / 1e6 + to_ms(c.offstage_ns),
+            ));
+        }
+    }
+    Report {
+        id: "fig9",
+        title: "Fig. 9: startup latency and throughput by attestation variant",
+        body,
+    }
+}
+
+/// Fig. 12: latency to retrieve 1–100 secrets by deployment.
+pub fn fig12() -> Report {
+    let costs = AttestCosts::calibrated();
+    let mut body = String::from("  source            n=1        n=5        n=50       n=100\n");
+    for source in SecretSource::ALL {
+        let row: Vec<String> = [1usize, 5, 50, 100]
+            .iter()
+            .map(|&n| format!("{:>8.1} ms", to_ms(secret_retrieval_latency(source, n, &costs))))
+            .collect();
+        body.push_str(&format!("  {:<15} {}\n", source.label(), row.join(" ")));
+    }
+    Report {
+        id: "fig12",
+        title: "Fig. 12: secret retrieval latency (local / same DC / remote)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10 (real CPU + modelled platform counter)
+// ---------------------------------------------------------------------
+
+/// Fig. 10: monotonic counter throughput across the five variants.
+pub fn fig10(budget: Duration) -> Report {
+    let mut body = String::from(
+        "  [paper: platform 13/s; file 682k; +SGX 1.38M; +enc FS 1.47M; +Palaemon 1.46M incr/s]\n",
+    );
+
+    // (a) Platform counter: modelled (50 ms interval + 25 ms settle).
+    body.push_str(&format!(
+        "  platform counter     : {:>12}   (modelled: hardware rate limit)\n",
+        fmt_rate(modelled_throughput_per_sec())
+    ));
+
+    // (b) Native file counter on a real file.
+    let path = std::env::temp_dir().join(format!("palaemon-fig10-{}.ctr", std::process::id()));
+    let native = NativeFileCounter::create(&path).expect("temp file");
+    let native_rate = ops_per_sec(budget, || {
+        native.increment().expect("increment");
+    });
+    native.cleanup();
+    body.push_str(&format!("  file (native)        : {:>12}\n", fmt_rate(native_rate)));
+
+    // (c) In-enclave memory-mapped file (SGX, unencrypted).
+    let mut mem = MemFileCounter::new();
+    let mem_rate = ops_per_sec(budget, || {
+        mem.increment();
+    });
+    body.push_str(&format!("  file (SGX)           : {:>12}\n", fmt_rate(mem_rate)));
+
+    // (d) + encrypted file system (metadata write-back caching, as SCONE).
+    let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([6; 32]));
+    fs.set_metadata_writeback(true);
+    let mut shielded = ShieldedCounter::create(fs).expect("mem store");
+    let enc_rate = ops_per_sec(budget, || {
+        shielded.increment().expect("increment");
+    });
+    body.push_str(&format!("  file (+encrypted FS) : {:>12}\n", fmt_rate(enc_rate)));
+
+    // (e) + PALÆMON strict mode: every increment pushes the tag.
+    let (mut palaemon, session) = tag_session();
+    let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([7; 32]));
+    fs.set_metadata_writeback(true);
+    let mut strict_inner = ShieldedCounter::create(fs).expect("mem store");
+    let strict_rate = ops_per_sec(budget, || {
+        strict_inner.increment().expect("increment");
+        palaemon
+            .push_tag(session, "data", strict_inner.tag(), TagEvent::FileClose)
+            .expect("push tag");
+    });
+    body.push_str(&format!("  file (+Palaemon)     : {:>12}\n", fmt_rate(strict_rate)));
+
+    let orders = (native_rate.min(enc_rate).min(strict_rate)
+        / modelled_throughput_per_sec())
+    .log10();
+    body.push_str(&format!(
+        "  => file-based counters beat the platform counter by ~10^{orders:.1}\n"
+    ));
+    Report {
+        id: "fig10",
+        title: "Fig. 10: monotonic counter throughput",
+        body,
+    }
+}
+
+/// Builds a PALÆMON (MemStore-backed) with one attested session granting
+/// volume `data`.
+fn tag_session() -> (Palaemon, palaemon_core::tms::SessionId) {
+    let platform = Platform::new("bench-host", Microcode::PostForeshadow);
+    let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
+    let mut palaemon = Palaemon::new(db, SigningKey::from_seed(b"bench"), Digest::ZERO, 3);
+    palaemon.register_platform(platform.id(), platform.qe_verifying_key());
+    let mre = Digest::from_bytes([0x42; 32]);
+    let policy = Policy::parse(&format!(
+        "name: bench\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    volumes: [\"data\"]\nvolumes:\n  - name: data\n",
+        mre.to_hex()
+    ))
+    .expect("policy");
+    let owner = SigningKey::from_seed(b"owner").verifying_key();
+    palaemon.create_policy(&owner, policy, None, &[]).expect("create");
+    let binding = [0u8; 64];
+    let report = create_report(&platform, mre, binding);
+    let quote = quote_report(&platform, &report).expect("quote");
+    let config = palaemon
+        .attest_service(&quote, &binding, "bench", "app")
+        .expect("attest");
+    (palaemon, config.session)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 11 (real CPU / real disk)
+// ---------------------------------------------------------------------
+
+/// Fig. 11: tag read/update latency (left) and secret injection (right).
+pub fn fig11(iters: u64) -> Report {
+    // Left: a PALÆMON whose database lives on a real directory, so tag
+    // updates pay genuine storage commits while reads are in-memory.
+    let dir = std::env::temp_dir().join(format!("palaemon-fig11-{}", std::process::id()));
+    let store = DirStore::open(&dir).expect("temp dir store");
+    let platform = Platform::new("bench-host", Microcode::PostForeshadow);
+    let db = Db::create(Box::new(store), AeadKey::from_bytes([8; 32]));
+    let mut palaemon = Palaemon::new(db, SigningKey::from_seed(b"fig11"), Digest::ZERO, 4);
+    palaemon.register_platform(platform.id(), platform.qe_verifying_key());
+    let mre = Digest::from_bytes([0x43; 32]);
+    let policy = Policy::parse(&format!(
+        "name: fig11\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    volumes: [\"data\"]\nvolumes:\n  - name: data\n",
+        mre.to_hex()
+    ))
+    .expect("policy");
+    let owner = SigningKey::from_seed(b"owner").verifying_key();
+    palaemon.create_policy(&owner, policy, None, &[]).expect("create");
+    let binding = [0u8; 64];
+    let report = create_report(&platform, mre, binding);
+    let quote = quote_report(&platform, &report).expect("quote");
+    let session = palaemon
+        .attest_service(&quote, &binding, "fig11", "app")
+        .expect("attest")
+        .session;
+
+    let mut i = 0u64;
+    let update_ns = mean_latency_ns(iters, || {
+        i += 1;
+        let mut tag = [0u8; 32];
+        tag[..8].copy_from_slice(&i.to_be_bytes());
+        palaemon
+            .push_tag(session, "data", Digest::from_bytes(tag), TagEvent::Sync)
+            .expect("push");
+    });
+    let read_ns = mean_latency_ns(iters * 10, || {
+        std::hint::black_box(palaemon.read_tag(session, "data").expect("read"));
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    // The paper measures the runtime talking to PALÆMON over the rack
+    // network; both operations pay one request round trip on top of the
+    // (real, measured) service-side work.
+    let rtt_ns = Deployment::SameRack.link().request(256, 256, 0) as f64;
+    let read_total = read_ns + rtt_ns;
+    let update_total = update_ns + rtt_ns;
+
+    // Right: secret-injection read overhead on a 4 kB file.
+    let mut template = vec![b'#'; 4096];
+    template[0..28].copy_from_slice(b"key1={{s0}}\nkey2=plain-value");
+    let mut secrets = SecretMap::new();
+    for n in 0..10 {
+        secrets.insert(format!("s{n}"), vec![b'x'; 16]);
+    }
+    let mut ten = template.clone();
+    let marker = b"{{s0}} {{s1}} {{s2}} {{s3}} {{s4}} {{s5}} {{s6}} {{s7}} {{s8}} {{s9}}";
+    ten[100..100 + marker.len()].copy_from_slice(marker);
+
+    // Plain file baseline: real file read.
+    let plain_path = std::env::temp_dir().join(format!("palaemon-fig11-{}.plain", std::process::id()));
+    std::fs::write(&plain_path, &template).expect("write");
+    let plain_ns = mean_latency_ns(iters, || {
+        std::hint::black_box(std::fs::read(&plain_path).expect("read"));
+    });
+    let _ = std::fs::remove_file(&plain_path);
+
+    // Encrypted file: decrypt per read.
+    let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32]));
+    fs.write("/cfg", &template).expect("write");
+    let enc_ns = mean_latency_ns(iters, || {
+        std::hint::black_box(fs.read_uncached("/cfg").expect("read"));
+    });
+
+    // PALÆMON: injected at startup, then served from enclave memory.
+    let (one_cached, _) = inject_secrets(&template, &secrets);
+    let inj1_ns = mean_latency_ns(iters, || {
+        std::hint::black_box(one_cached.clone());
+    });
+    let (ten_cached, n_ten) = inject_secrets(&ten, &secrets);
+    assert_eq!(n_ten, 11, "template must contain 11 variables");
+    let inj10_ns = mean_latency_ns(iters, || {
+        std::hint::black_box(ten_cached.clone());
+    });
+
+    let body = format!(
+        "  left  (tag service)      : read {:>8.3} ms   update {:>8.3} ms   (update/read = {:.1}x; paper ~6x)\n  right (4 kB secret read) : plain {:>7.4} ms  encrypted {:.2}x  palaemon 1 secret {:.2}x  10 secrets {:.2}x\n        [paper: encrypted 2.02x, palaemon 0.36x both]\n",
+        read_total / 1e6,
+        update_total / 1e6,
+        update_total / read_total,
+        plain_ns / 1e6,
+        enc_ns / plain_ns,
+        inj1_ns / plain_ns,
+        inj10_ns / plain_ns,
+    );
+    Report {
+        id: "fig11",
+        title: "Fig. 11: tag latency (left) and secret injection overhead (right)",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 13 (virtual time)
+// ---------------------------------------------------------------------
+
+/// Approval-service request cost (ns) for one variant.
+fn approval_service_ns(palaemon: bool, tls: bool, model: &CostModel) -> u64 {
+    // Verify the member signature, evaluate, append to the audit log; with
+    // TLS, a fresh handshake per request (approvals are rare, connections
+    // are not pooled).
+    let profile = tee_sim::costs::OpProfile {
+        cpu_ns: 900_000 + if tls { 2_500_000 } else { 0 },
+        syscalls: if tls { 14 } else { 8 },
+        bytes_in: 2_048,
+        bytes_out: 512,
+        pages_touched: 8,
+        hot_set_bytes: 32 << 20,
+    };
+    let mode = if palaemon { SgxMode::Hw } else { SgxMode::Native };
+    model.service_time_ns(mode, &profile)
+}
+
+/// Fig. 13: approval service throughput/latency and geo deployments.
+pub fn fig13() -> Report {
+    let model = CostModel::default_patched();
+    let mut body = String::from("  rack deployment (open loop):   [paper: ~210 req/s for Palaemon w/ TLS]\n");
+    for (palaemon, tls, label) in [
+        (false, false, "Native w/o TLS"),
+        (false, true, "Native w/ TLS"),
+        (true, false, "Pal. w/o TLS"),
+        (true, true, "Pal. w/ TLS"),
+    ] {
+        let svc = approval_service_ns(palaemon, tls, &model);
+        body.push_str(&throughput_latency_rows(
+            label,
+            svc,
+            1,
+            &[0.3, 0.6, 0.9, 1.05],
+            77,
+        ));
+    }
+    body.push_str("  geographical deployments (response latency, Pal. w/ TLS):   [paper: up to ~1.36 s]\n");
+    let svc = approval_service_ns(true, true, &model);
+    for d in Deployment::ALL {
+        let link = d.link();
+        let total = link.connect_tls_request(true, 2_500, 2_048, 512, svc);
+        body.push_str(&format!(
+            "    {:<14} {:>9.1} ms\n",
+            d.label(),
+            to_ms(total)
+        ));
+    }
+    Report {
+        id: "fig13",
+        title: "Fig. 13: approval service throughput/latency and geo latency",
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figs. 14-17 (virtual time, service profiles)
+// ---------------------------------------------------------------------
+
+/// Fig. 14: Barbican variants under two microcode levels.
+pub fn fig14() -> Report {
+    use palaemon_services::kms::{barbican_service_time_ns, BarbicanVariant};
+    let mut body = String::from("  [paper: ~30 req/s scale; ~30% drop with post-Foreshadow microcode]\n");
+    for (mc, mc_label) in [
+        (Microcode::PreSpectre, "pre-Spectre (0x58)"),
+        (Microcode::PostForeshadow, "post-Foreshadow (0x8e)"),
+    ] {
+        let model = CostModel::for_microcode(mc);
+        body.push_str(&format!("  microcode {mc_label}:\n"));
+        for variant in BarbicanVariant::ALL {
+            let svc = barbican_service_time_ns(variant, &model);
+            body.push_str(&throughput_latency_rows(
+                variant.label(),
+                svc,
+                1,
+                &[0.5, 0.9, 1.05],
+                88,
+            ));
+        }
+    }
+    Report {
+        id: "fig14",
+        title: "Fig. 14: Barbican throughput/latency, two microcode levels",
+        body,
+    }
+}
+
+/// Fig. 15: Vault (1.9 GB heap) native vs EMU vs HW.
+pub fn fig15() -> Report {
+    use palaemon_services::kms::vault_service_time_ns;
+    let model = CostModel::default_patched();
+    let mut body = String::from("  [paper: HW ~61%, EMU ~82% of native]\n");
+    let native = vault_service_time_ns(SgxMode::Native, &model);
+    for (mode, label) in [
+        (SgxMode::Native, "Native w/ TLS"),
+        (SgxMode::Emu, "Palaemon EMU"),
+        (SgxMode::Hw, "Palaemon HW"),
+    ] {
+        let svc = vault_service_time_ns(mode, &model);
+        body.push_str(&throughput_latency_rows(label, svc, 8, &[0.4, 0.8, 1.02], 99));
+        body.push_str(&format!(
+            "    -> {:.1}% of native capacity\n",
+            native as f64 / svc as f64 * 100.0
+        ));
+    }
+    Report {
+        id: "fig15",
+        title: "Fig. 15: Vault throughput/latency",
+        body,
+    }
+}
+
+/// Fig. 16: memcached native(stunnel) vs EMU vs HW.
+pub fn fig16() -> Report {
+    use palaemon_services::memstore::service_time_ns;
+    let model = CostModel::default_patched();
+    let native = service_time_ns(SgxMode::Native, &model);
+    let mut body = String::from("  [paper: HW 59.5%, EMU 65.3% of native]\n");
+    for (mode, label) in [
+        (SgxMode::Native, "Native (stunnel)"),
+        (SgxMode::Emu, "Palaemon EMU"),
+        (SgxMode::Hw, "Palaemon HW"),
+    ] {
+        let svc = service_time_ns(mode, &model);
+        body.push_str(&throughput_latency_rows(label, svc, 8, &[0.4, 0.8, 1.02], 111));
+        body.push_str(&format!(
+            "    -> {:.1}% of native capacity\n",
+            native as f64 / svc as f64 * 100.0
+        ));
+    }
+    Report {
+        id: "fig16",
+        title: "Fig. 16: memcached throughput/latency",
+        body,
+    }
+}
+
+/// Fig. 17a: NGINX 67 kB GETs across five variants.
+pub fn fig17a() -> Report {
+    use palaemon_services::webserve::{service_time_ns, NginxVariant};
+    let model = CostModel::default_patched();
+    let mut body = String::from("  [paper: encryption overhead dominates; EMU ~ HW]\n");
+    for variant in NginxVariant::ALL {
+        let svc = service_time_ns(variant, &model);
+        body.push_str(&throughput_latency_rows(
+            variant.label(),
+            svc,
+            8,
+            &[0.4, 0.8, 1.02],
+            123,
+        ));
+    }
+    Report {
+        id: "fig17a",
+        title: "Fig. 17a: NGINX GET throughput/latency (67 kB pages)",
+        body,
+    }
+}
+
+/// Fig. 17b/c: ZooKeeper 3-node read and write throughput.
+pub fn fig17bc() -> Report {
+    use palaemon_services::coord::{read_service_time_ns, write_service_time_ns};
+    let model = CostModel::default_patched();
+    let mut body = String::from(
+        "  [paper: shielded reads consistently beat native+stunnel; native wins writes]\n  reads (any replica, 3 nodes x 4 workers):\n",
+    );
+    for (mode, label) in [
+        (SgxMode::Native, "Native (stunnel)"),
+        (SgxMode::Hw, "Shielded HW"),
+        (SgxMode::Emu, "Shielded EMU"),
+    ] {
+        let svc = read_service_time_ns(mode, &model);
+        body.push_str(&throughput_latency_rows(label, svc, 12, &[0.5, 0.95], 131));
+    }
+    body.push_str("  writes (leader-serialised consensus + 1 LAN RTT):\n");
+    let lan_rtt = Deployment::SameRack.link().rtt;
+    for (mode, label) in [
+        (SgxMode::Native, "Native (stunnel)"),
+        (SgxMode::Hw, "Shielded HW"),
+        (SgxMode::Emu, "Shielded EMU"),
+    ] {
+        let svc = write_service_time_ns(mode, &model) + lan_rtt;
+        body.push_str(&throughput_latency_rows(label, svc, 4, &[0.5, 0.95], 137));
+    }
+    Report {
+        id: "fig17bc",
+        title: "Fig. 17b/c: ZooKeeper read and write throughput",
+        body,
+    }
+}
+
+/// Fig. 17d: MariaDB TPC-C throughput vs buffer pool size.
+pub fn fig17d() -> Report {
+    use palaemon_services::sqlstore::{tx_service_time_ns, TpccScale, TpccWorkload};
+    let model = CostModel::default_patched();
+    let scale = TpccScale::default();
+    let mut body = String::from(
+        "  pool     misses/tx   Native tx/s   EMU tx/s   HW tx/s   [paper: bigger pool helps native, hurts HW]\n",
+    );
+    for mb in [8usize, 64, 128, 256, 512] {
+        let pool = mb << 20;
+        let mut wl = TpccWorkload::new(scale, pool, 7);
+        wl.run(500);
+        let misses = wl.run(3_000);
+        let tps = |mode| {
+            let svc = tx_service_time_ns(mode, &model, misses, pool);
+            8.0 * 1e9 / svc as f64
+        };
+        body.push_str(&format!(
+            "  {mb:>4} MB  {misses:>8.2}   {:>10.0}   {:>8.0}   {:>7.0}\n",
+            tps(SgxMode::Native),
+            tps(SgxMode::Emu),
+            tps(SgxMode::Hw),
+        ));
+    }
+    Report {
+        id: "fig17d",
+        title: "Fig. 17d: MariaDB TPC-C throughput vs buffer pool size",
+        body,
+    }
+}
+
+/// §VI: the production ML use case.
+pub fn usecase() -> Report {
+    use palaemon_services::mlinfer::inference_time_ns;
+    let model = CostModel::default_patched();
+    let native = inference_time_ns(SgxMode::Native, &model);
+    let pal = inference_time_ns(SgxMode::Hw, &model);
+    let body = format!(
+        "  per image: native {:.0} ms, palaemon {:.0} ms ({:.1}x slowdown)   [paper: 323 ms vs 1202 ms = 3.7x]\n  result within the production 1.5 s budget: {}\n",
+        native as f64 / 1e6,
+        pal as f64 / 1e6,
+        pal as f64 / native as f64,
+        if pal < 1_500 * MS { "yes" } else { "NO" },
+    );
+    Report {
+        id: "usecase",
+        title: "SVI: production ML inference use case",
+        body,
+    }
+}
+
+/// Runs every experiment. `quick` shrinks the real-time budgets so the
+/// whole report finishes in seconds.
+pub fn all(quick: bool) -> Vec<Report> {
+    let budget = if quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(1000)
+    };
+    let iters = if quick { 200 } else { 2_000 };
+    vec![
+        table1(),
+        table2(),
+        fig7(),
+        fig8(),
+        fig9(),
+        fig10(budget),
+        fig11(iters),
+        fig12(),
+        fig13(),
+        fig14(),
+        fig15(),
+        fig16(),
+        fig17a(),
+        fig17bc(),
+        fig17d(),
+        usecase(),
+    ]
+}
+
+/// Looks up an experiment by id and runs it.
+pub fn run_by_id(id: &str, quick: bool) -> Option<Report> {
+    let budget = if quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(1000)
+    };
+    let iters = if quick { 200 } else { 2_000 };
+    let report = match id {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "fig10" => fig10(budget),
+        "fig11" => fig11(iters),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "fig16" => fig16(),
+        "fig17a" => fig17a(),
+        "fig17bc" => fig17bc(),
+        "fig17d" => fig17d(),
+        "usecase" => usecase(),
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: [&str; 16] = [
+    "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17a", "fig17bc", "fig17d", "usecase",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_ordering_holds() {
+        let t = table2_data();
+        assert!(t.addition_mbps > t.measurement_mbps);
+        assert!(t.bookkeeping_mbps > t.measurement_mbps);
+        assert!(t.eviction_mbps > t.measurement_mbps);
+    }
+
+    #[test]
+    fn fig7_naive_mode_dominated_by_measurement_at_128mb() {
+        let t = table2_data();
+        let bd = t.model_startup(
+            80 * 1024,
+            128 << 20,
+            MeasureMode::AllPages,
+            tee_sim::DEFAULT_USABLE_EPC,
+        );
+        assert!(bd.measurement > bd.addition);
+        assert!(bd.measurement > bd.bookkeeping);
+        let pal = t.model_startup(
+            80 * 1024,
+            128 << 20,
+            MeasureMode::CodeOnly,
+            tee_sim::DEFAULT_USABLE_EPC,
+        );
+        assert!(bd.total() > pal.total() * 2);
+    }
+
+    #[test]
+    fn fig10_orders_of_magnitude() {
+        let r = fig10(Duration::from_millis(30));
+        // The headline claim: file counters beat the platform counter by
+        // orders of magnitude (paper: 5; release builds here reach 4+;
+        // unoptimised debug builds of the crypto substrate still give >2.5).
+        assert!(r.body.contains("10^"), "{}", r.body);
+        let exp: f64 = r
+            .body
+            .split("10^")
+            .nth(1)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(exp >= 2.5, "orders = {exp}");
+    }
+
+    #[test]
+    fn fig11_update_slower_than_read() {
+        let r = fig11(100);
+        assert!(r.body.contains("update/read"));
+        let factor: f64 = r
+            .body
+            .split("update/read = ")
+            .nth(1)
+            .unwrap()
+            .split('x')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(factor > 1.5, "update/read = {factor}");
+    }
+
+    #[test]
+    fn fig9_native_vastly_outscales_sgx() {
+        let r = fig9();
+        assert!(r.body.contains("Native"));
+        assert!(r.body.contains("SGX w/o"));
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        for id in ALL_IDS {
+            assert!(run_by_id(id, true).is_some(), "{id}");
+        }
+        assert!(run_by_id("nope", true).is_none());
+    }
+
+    #[test]
+    fn virtual_time_reports_render() {
+        for r in [fig8(), fig12(), fig13(), fig14(), fig15(), fig16(), fig17a(), fig17bc(), fig17d(), usecase()] {
+            assert!(!r.body.is_empty(), "{}", r.id);
+        }
+    }
+}

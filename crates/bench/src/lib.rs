@@ -1,0 +1,15 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Each `table_*` / `fig_*` function runs the corresponding experiment and
+//! returns both structured data and a formatted text block that mirrors the
+//! paper's presentation. The `paper-report` binary prints them; the
+//! Criterion benches under `benches/` cover the CPU-bound micro-benchmarks.
+//!
+//! Time domains (see `DESIGN.md`): CPU-bound experiments measure real
+//! wall-clock work; network/queueing experiments run in deterministic
+//! virtual time.
+
+pub mod experiments;
+pub mod measure;
+
+pub use experiments::*;

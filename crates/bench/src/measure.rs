@@ -1,0 +1,71 @@
+//! Small real-time measurement helpers for the CPU-bound experiments.
+
+use std::time::{Duration, Instant};
+
+/// Runs `op` repeatedly for at least `budget` and returns achieved
+/// operations per second.
+pub fn ops_per_sec(budget: Duration, mut op: impl FnMut()) -> f64 {
+    // Warm up briefly so first-touch effects don't dominate.
+    for _ in 0..32 {
+        op();
+    }
+    let start = Instant::now();
+    let mut count = 0u64;
+    while start.elapsed() < budget {
+        for _ in 0..64 {
+            op();
+        }
+        count += 64;
+    }
+    count as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures mean latency per call in nanoseconds over `iters` calls.
+pub fn mean_latency_ns(iters: u64, mut op: impl FnMut()) -> f64 {
+    for _ in 0..8 {
+        op();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Formats ops/sec in the paper's style (k/M suffixes).
+pub fn fmt_rate(ops: f64) -> String {
+    if ops >= 1e6 {
+        format!("{:.2} M/s", ops / 1e6)
+    } else if ops >= 1e3 {
+        format!("{:.0} k/s", ops / 1e3)
+    } else {
+        format!("{ops:.1} /s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_per_sec_counts_something() {
+        let mut x = 0u64;
+        let rate = ops_per_sec(Duration::from_millis(20), || x = x.wrapping_add(1));
+        assert!(rate > 1000.0);
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn mean_latency_positive() {
+        let mut v = Vec::new();
+        let ns = mean_latency_ns(100, || v.push(1u8));
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(12.3), "12.3 /s");
+        assert_eq!(fmt_rate(45_600.0), "46 k/s");
+        assert_eq!(fmt_rate(1_500_000.0), "1.50 M/s");
+    }
+}

@@ -1,0 +1,501 @@
+//! Policy boards: quorum approval with veto rights (paper §III-C).
+//!
+//! Any create/read/update/delete access to a policy must be approved by at
+//! least `threshold` (typically `f+1`) members of the policy board, so that
+//! no single Byzantine insider — developer, security expert, administrator —
+//! can change what code gets which secrets. Members with *veto* rights can
+//! unilaterally reject (e.g. a data provider that must sign off on anything
+//! touching its data).
+//!
+//! An approval is a signature over the canonical request encoding, which
+//! includes the policy digest and a nonce, so approvals cannot be replayed
+//! for a different change.
+
+use palaemon_crypto::sig::{Signature, SigningKey};
+use palaemon_crypto::wire::Encoder;
+use palaemon_crypto::Digest;
+
+use crate::error::{PalaemonError, Result};
+use crate::policy::BoardSpec;
+
+/// The CRUD action being approved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyAction {
+    /// Creating a new policy (approved by the *new* policy's board).
+    Create,
+    /// Reading a policy.
+    Read,
+    /// Updating a policy (approved by the *current* board).
+    Update,
+    /// Deleting a policy.
+    Delete,
+}
+
+impl PolicyAction {
+    fn code(self) -> u8 {
+        match self {
+            PolicyAction::Create => 1,
+            PolicyAction::Read => 2,
+            PolicyAction::Update => 3,
+            PolicyAction::Delete => 4,
+        }
+    }
+}
+
+/// What board members are asked to approve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApprovalRequest {
+    /// Target policy name.
+    pub policy_name: String,
+    /// The CRUD action.
+    pub action: PolicyAction,
+    /// Digest of the policy content *after* the action (zero for delete).
+    pub policy_digest: Digest,
+    /// Freshness nonce chosen by PALÆMON; approvals bind to it.
+    pub nonce: u64,
+}
+
+impl ApprovalRequest {
+    /// Canonical bytes a member signs for a given decision.
+    pub fn signing_bytes(&self, approve: bool) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_str("palaemon.approval.v1")
+            .put_str(&self.policy_name)
+            .put_u8(self.action.code())
+            .put_bytes(self.policy_digest.as_bytes())
+            .put_u64(self.nonce)
+            .put_u8(u8::from(approve));
+        e.finish()
+    }
+}
+
+/// A member's signed decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vote {
+    /// Member id, matching [`crate::policy::BoardMember::id`].
+    pub member_id: String,
+    /// Approve (`true`) or reject (`false`).
+    pub approve: bool,
+    /// Signature over [`ApprovalRequest::signing_bytes`].
+    pub signature: Signature,
+}
+
+/// A stakeholder: holds a signing key and produces votes. In production the
+/// key lives in the member's approval service (often itself in a TEE).
+#[derive(Debug, Clone)]
+pub struct Stakeholder {
+    id: String,
+    key: SigningKey,
+}
+
+impl Stakeholder {
+    /// Creates a stakeholder with a deterministic key from a seed.
+    pub fn from_seed(id: &str, seed: &[u8]) -> Self {
+        Stakeholder {
+            id: id.to_string(),
+            key: SigningKey::from_seed(seed),
+        }
+    }
+
+    /// Creates a stakeholder with a random key.
+    pub fn generate<R: rand::RngCore>(id: &str, rng: &mut R) -> Self {
+        Stakeholder {
+            id: id.to_string(),
+            key: SigningKey::generate(rng),
+        }
+    }
+
+    /// Member id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The member's public key (goes into the policy's board spec).
+    pub fn verifying_key(&self) -> palaemon_crypto::sig::VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Signs a decision on a request.
+    pub fn vote(&self, request: &ApprovalRequest, approve: bool) -> Vote {
+        Vote {
+            member_id: self.id.clone(),
+            approve,
+            signature: self.key.sign(&request.signing_bytes(approve)),
+        }
+    }
+}
+
+/// An approval service: the endpoint behind a board member's
+/// `approval_url` that decides requests on the member's behalf
+/// (paper §III-C). Implementations range from rubber-stamping humans after
+/// two-factor authentication to automated source-analysis services that
+/// only approve MRENCLAVEs they have vetted.
+pub trait ApprovalService {
+    /// Decides a request and returns the member's signed vote.
+    fn decide(&mut self, request: &ApprovalRequest) -> Vote;
+}
+
+/// Approves everything (a fully trusting member).
+#[derive(Debug, Clone)]
+pub struct AutoApprover {
+    stakeholder: Stakeholder,
+}
+
+impl AutoApprover {
+    /// Wraps a stakeholder key.
+    pub fn new(stakeholder: Stakeholder) -> Self {
+        AutoApprover { stakeholder }
+    }
+}
+
+impl ApprovalService for AutoApprover {
+    fn decide(&mut self, request: &ApprovalRequest) -> Vote {
+        self.stakeholder.vote(request, true)
+    }
+}
+
+/// Approves only requests whose policy digest is on an allowlist — the
+/// "organisation that validates software" of §III-C: it has inspected
+/// specific policy contents (e.g. audited MRENCLAVEs) out of band and signs
+/// off on exactly those.
+pub struct VettingApprover {
+    stakeholder: Stakeholder,
+    vetted: Vec<Digest>,
+    decisions: u64,
+}
+
+impl std::fmt::Debug for VettingApprover {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VettingApprover({} vetted)", self.vetted.len())
+    }
+}
+
+impl VettingApprover {
+    /// Creates a vetting service that approves the given policy digests.
+    pub fn new(stakeholder: Stakeholder, vetted: Vec<Digest>) -> Self {
+        VettingApprover {
+            stakeholder,
+            vetted,
+            decisions: 0,
+        }
+    }
+
+    /// Adds a digest after (out-of-band) vetting.
+    pub fn vet(&mut self, digest: Digest) {
+        if !self.vetted.contains(&digest) {
+            self.vetted.push(digest);
+        }
+    }
+
+    /// Number of requests decided.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+}
+
+impl ApprovalService for VettingApprover {
+    fn decide(&mut self, request: &ApprovalRequest) -> Vote {
+        self.decisions += 1;
+        // Reads and deletes don't change content; only content-bearing
+        // actions are held to the allowlist.
+        let approve = match request.action {
+            PolicyAction::Create | PolicyAction::Update => {
+                self.vetted.contains(&request.policy_digest)
+            }
+            PolicyAction::Read | PolicyAction::Delete => true,
+        };
+        self.stakeholder.vote(request, approve)
+    }
+}
+
+/// Collects votes from a set of approval services (PALÆMON contacting each
+/// member's endpoint over TLS, paper §III-C).
+pub fn collect_votes(
+    services: &mut [Box<dyn ApprovalService>],
+    request: &ApprovalRequest,
+) -> Vec<Vote> {
+    services.iter_mut().map(|s| s.decide(request)).collect()
+}
+
+/// Outcome details of a board evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoardOutcome {
+    /// Verified approving members.
+    pub approvals: Vec<String>,
+    /// Verified rejecting members.
+    pub rejections: Vec<String>,
+}
+
+/// Evaluates votes against a board: verifies signatures, enforces vetoes
+/// and the approval threshold.
+///
+/// # Errors
+/// Returns [`PalaemonError::BoardRejected`] when:
+/// * a vote comes from an unknown member or has a bad signature;
+/// * a member voted twice;
+/// * a veto member rejected; or
+/// * fewer than `threshold` members approved.
+pub fn evaluate(board: &BoardSpec, request: &ApprovalRequest, votes: &[Vote]) -> Result<BoardOutcome> {
+    let mut approvals = Vec::new();
+    let mut rejections = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+
+    for vote in votes {
+        let member = board
+            .members
+            .iter()
+            .find(|m| m.id == vote.member_id)
+            .ok_or_else(|| {
+                PalaemonError::BoardRejected(format!("vote from unknown member '{}'", vote.member_id))
+            })?;
+        if !seen.insert(&vote.member_id) {
+            return Err(PalaemonError::BoardRejected(format!(
+                "duplicate vote from '{}'",
+                vote.member_id
+            )));
+        }
+        member
+            .key
+            .verify(&request.signing_bytes(vote.approve), &vote.signature)
+            .map_err(|_| {
+                PalaemonError::BoardRejected(format!(
+                    "invalid signature on vote from '{}'",
+                    vote.member_id
+                ))
+            })?;
+        if vote.approve {
+            approvals.push(vote.member_id.clone());
+        } else {
+            if member.veto {
+                return Err(PalaemonError::BoardRejected(format!(
+                    "vetoed by '{}'",
+                    vote.member_id
+                )));
+            }
+            rejections.push(vote.member_id.clone());
+        }
+    }
+
+    if approvals.len() < board.threshold {
+        return Err(PalaemonError::BoardRejected(format!(
+            "{} approvals of {} required",
+            approvals.len(),
+            board.threshold
+        )));
+    }
+    Ok(BoardOutcome {
+        approvals,
+        rejections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BoardMember, BoardSpec};
+
+    fn stakeholders(n: usize) -> Vec<Stakeholder> {
+        (0..n)
+            .map(|i| Stakeholder::from_seed(&format!("m{i}"), format!("seed-{i}").as_bytes()))
+            .collect()
+    }
+
+    fn board_of(members: &[Stakeholder], threshold: usize, veto_ids: &[&str]) -> BoardSpec {
+        BoardSpec {
+            threshold,
+            members: members
+                .iter()
+                .map(|s| BoardMember {
+                    id: s.id().to_string(),
+                    key: s.verifying_key(),
+                    approval_url: format!("https://{}.example/approve", s.id()),
+                    veto: veto_ids.contains(&s.id()),
+                })
+                .collect(),
+        }
+    }
+
+    fn request() -> ApprovalRequest {
+        ApprovalRequest {
+            policy_name: "p".into(),
+            action: PolicyAction::Update,
+            policy_digest: Digest::from_bytes([7; 32]),
+            nonce: 42,
+        }
+    }
+
+    #[test]
+    fn quorum_approves() {
+        let members = stakeholders(3);
+        let board = board_of(&members, 2, &[]);
+        let req = request();
+        let votes: Vec<Vote> = members.iter().take(2).map(|m| m.vote(&req, true)).collect();
+        let outcome = evaluate(&board, &req, &votes).unwrap();
+        assert_eq!(outcome.approvals.len(), 2);
+    }
+
+    #[test]
+    fn below_threshold_rejected() {
+        let members = stakeholders(3);
+        let board = board_of(&members, 2, &[]);
+        let req = request();
+        let votes = vec![members[0].vote(&req, true)];
+        assert!(matches!(
+            evaluate(&board, &req, &votes),
+            Err(PalaemonError::BoardRejected(_))
+        ));
+    }
+
+    #[test]
+    fn veto_blocks_even_with_quorum() {
+        let members = stakeholders(3);
+        let board = board_of(&members, 2, &["m2"]);
+        let req = request();
+        let votes = vec![
+            members[0].vote(&req, true),
+            members[1].vote(&req, true),
+            members[2].vote(&req, false), // veto member rejects
+        ];
+        let err = evaluate(&board, &req, &votes).unwrap_err();
+        assert!(err.to_string().contains("veto"));
+    }
+
+    #[test]
+    fn non_veto_rejection_does_not_block() {
+        let members = stakeholders(3);
+        let board = board_of(&members, 2, &[]);
+        let req = request();
+        let votes = vec![
+            members[0].vote(&req, true),
+            members[1].vote(&req, true),
+            members[2].vote(&req, false),
+        ];
+        let outcome = evaluate(&board, &req, &votes).unwrap();
+        assert_eq!(outcome.rejections, vec!["m2"]);
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let members = stakeholders(2);
+        let board = board_of(&members, 1, &[]);
+        let req = request();
+        // m1 signs, but the vote claims to be from m0.
+        let mut vote = members[1].vote(&req, true);
+        vote.member_id = "m0".into();
+        assert!(evaluate(&board, &req, &[vote]).is_err());
+    }
+
+    #[test]
+    fn approval_bound_to_request() {
+        let members = stakeholders(1);
+        let board = board_of(&members, 1, &[]);
+        let req1 = request();
+        let vote = members[0].vote(&req1, true);
+        // Same vote replayed for a different policy digest must fail.
+        let req2 = ApprovalRequest {
+            policy_digest: Digest::from_bytes([8; 32]),
+            ..req1.clone()
+        };
+        assert!(evaluate(&board, &req1, &[vote.clone()]).is_ok());
+        assert!(evaluate(&board, &req2, &[vote]).is_err());
+    }
+
+    #[test]
+    fn approval_bound_to_nonce() {
+        let members = stakeholders(1);
+        let board = board_of(&members, 1, &[]);
+        let req1 = request();
+        let vote = members[0].vote(&req1, true);
+        let req2 = ApprovalRequest {
+            nonce: 43,
+            ..req1.clone()
+        };
+        assert!(evaluate(&board, &req2, &[vote]).is_err());
+    }
+
+    #[test]
+    fn rejection_signature_cannot_count_as_approval() {
+        let members = stakeholders(1);
+        let board = board_of(&members, 1, &[]);
+        let req = request();
+        // Member signs a REJECT; attacker flips the bit.
+        let mut vote = members[0].vote(&req, false);
+        vote.approve = true;
+        assert!(evaluate(&board, &req, &[vote]).is_err());
+    }
+
+    #[test]
+    fn duplicate_votes_rejected() {
+        let members = stakeholders(2);
+        let board = board_of(&members, 2, &[]);
+        let req = request();
+        let v = members[0].vote(&req, true);
+        assert!(evaluate(&board, &req, &[v.clone(), v]).is_err());
+    }
+
+    #[test]
+    fn unknown_member_rejected() {
+        let members = stakeholders(1);
+        let board = board_of(&members, 1, &[]);
+        let outsider = Stakeholder::from_seed("outsider", b"x");
+        let req = request();
+        let votes = vec![outsider.vote(&req, true)];
+        assert!(evaluate(&board, &req, &votes).is_err());
+    }
+
+    #[test]
+    fn auto_approver_approves() {
+        let s = Stakeholder::from_seed("m0", b"seed-0");
+        let board = board_of(std::slice::from_ref(&s), 1, &[]);
+        let req = request();
+        let mut services: Vec<Box<dyn ApprovalService>> =
+            vec![Box::new(AutoApprover::new(s))];
+        let votes = collect_votes(&mut services, &req);
+        assert!(evaluate(&board, &req, &votes).is_ok());
+    }
+
+    #[test]
+    fn vetting_approver_blocks_unvetted_content() {
+        let s = Stakeholder::from_seed("m0", b"seed-0");
+        let board = board_of(std::slice::from_ref(&s), 1, &["m0"]);
+        let vetted_digest = Digest::from_bytes([7; 32]); // matches request()
+        let mut vetting = VettingApprover::new(s.clone(), vec![]);
+        // Unvetted update from a veto member: rejected with a veto.
+        let req = request();
+        let votes = vec![vetting.decide(&req)];
+        assert!(evaluate(&board, &req, &votes).is_err());
+        // After vetting, the same content passes.
+        vetting.vet(vetted_digest);
+        let votes = vec![vetting.decide(&req)];
+        assert!(evaluate(&board, &req, &votes).is_ok());
+        assert_eq!(vetting.decisions(), 2);
+    }
+
+    #[test]
+    fn vetting_approver_allows_reads() {
+        let s = Stakeholder::from_seed("m0", b"seed-0");
+        let board = board_of(std::slice::from_ref(&s), 1, &[]);
+        let mut vetting = VettingApprover::new(s, vec![]);
+        let req = ApprovalRequest {
+            action: PolicyAction::Read,
+            ..request()
+        };
+        let votes = vec![vetting.decide(&req)];
+        assert!(evaluate(&board, &req, &votes).is_ok());
+    }
+
+    #[test]
+    fn byzantine_f_of_n_model() {
+        // n = 4 stakeholders, f = 1 Byzantine: threshold f+1 = 2 means at
+        // least one honest member approved every accepted change.
+        let members = stakeholders(4);
+        let board = board_of(&members, 2, &[]);
+        let req = request();
+        // The single Byzantine member alone cannot push a change through.
+        let votes = vec![members[3].vote(&req, true)];
+        assert!(evaluate(&board, &req, &votes).is_err());
+        // With one honest member it can.
+        let votes = vec![members[3].vote(&req, true), members[0].vote(&req, true)];
+        assert!(evaluate(&board, &req, &votes).is_ok());
+    }
+}

@@ -1,0 +1,409 @@
+//! The PALÆMON certification authority (paper §III-B).
+//!
+//! The CA runs inside a TEE. Its binary embeds the set of trusted PALÆMON
+//! MRENCLAVEs — changing the set changes the CA's own measurement, so an
+//! adversary cannot extend it without detection. The CA attests a PALÆMON
+//! instance explicitly (quote verification + channel binding of the instance
+//! key) and only then signs a short-lived TLS certificate for it. Clients
+//! that trust the CA root certificate can attest instances with a plain
+//! TLS-style check; sceptical clients can always fall back to explicit quote
+//! verification.
+//!
+//! Deploying a new PALÆMON version therefore means deploying a new CA first,
+//! and CA updates are themselves controlled by a policy board
+//! ([`GovernedCa`]).
+
+use palaemon_crypto::cert::{Certificate, CertificateBody};
+use palaemon_crypto::sha256::Sha256;
+use palaemon_crypto::sig::{SigningKey, VerifyingKey};
+use palaemon_crypto::Digest;
+use tee_sim::quote::Quote;
+
+use crate::board::{self, ApprovalRequest, PolicyAction, Vote};
+use crate::error::{PalaemonError, Result};
+use crate::policy::BoardSpec;
+
+/// Default certificate lifetime: short, to force timely upgrades (virtual ms).
+pub const DEFAULT_CERT_VALIDITY_MS: u64 = 24 * 3600 * 1000;
+
+/// Computes the report-data binding for an instance public key.
+pub fn instance_key_binding(key: &VerifyingKey) -> [u8; 64] {
+    let d = Sha256::digest_parts(&[b"palaemon.ca.binding", &key.to_u64().to_be_bytes()]);
+    let mut out = [0u8; 64];
+    out[..32].copy_from_slice(d.as_bytes());
+    out
+}
+
+/// The PALÆMON CA.
+pub struct PalaemonCa {
+    key: SigningKey,
+    /// The CA's own enclave measurement — depends on the trusted MRE set.
+    mrenclave: Digest,
+    trusted_mres: Vec<Digest>,
+    root: Certificate,
+    cert_validity_ms: u64,
+}
+
+impl std::fmt::Debug for PalaemonCa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PalaemonCa")
+            .field("trusted_mres", &self.trusted_mres.len())
+            .field("mrenclave", &self.mrenclave)
+            .finish()
+    }
+}
+
+impl PalaemonCa {
+    /// Builds a CA trusting the given PALÆMON measurements.
+    ///
+    /// The CA's own MRENCLAVE is derived from the trusted set, modelling the
+    /// set being baked into the binary.
+    pub fn new(seed: &[u8], trusted_mres: Vec<Digest>, now: u64, root_validity_ms: u64) -> Self {
+        let key = SigningKey::from_seed(seed);
+        let mut h = Sha256::new();
+        h.update(b"palaemon.ca.binary.v1");
+        for mre in &trusted_mres {
+            h.update(mre.as_bytes());
+        }
+        let mrenclave = h.finalize();
+        let root = Certificate::self_signed("palaemon-ca-root", &key, now, now + root_validity_ms);
+        PalaemonCa {
+            key,
+            mrenclave,
+            trusted_mres,
+            root,
+            cert_validity_ms: DEFAULT_CERT_VALIDITY_MS,
+        }
+    }
+
+    /// Overrides the issued-certificate lifetime.
+    pub fn set_cert_validity(&mut self, ms: u64) {
+        self.cert_validity_ms = ms;
+    }
+
+    /// The root certificate clients pin.
+    pub fn root_certificate(&self) -> &Certificate {
+        &self.root
+    }
+
+    /// The CA's own measurement (changes whenever the trusted set changes).
+    pub fn mrenclave(&self) -> Digest {
+        self.mrenclave
+    }
+
+    /// The trusted PALÆMON measurements.
+    pub fn trusted_mres(&self) -> &[Digest] {
+        &self.trusted_mres
+    }
+
+    /// Attests a PALÆMON instance and issues its TLS certificate.
+    ///
+    /// Verifies: the quote signature (against the platform's QE key), that
+    /// the quoted MRENCLAVE is in the trusted set, and that the quote's
+    /// report data binds `instance_key`.
+    ///
+    /// # Errors
+    /// [`PalaemonError::AttestationFailed`] on any check failure.
+    pub fn issue_for_instance(
+        &self,
+        quote: &Quote,
+        qe_key: &VerifyingKey,
+        instance_key: VerifyingKey,
+        now: u64,
+    ) -> Result<Certificate> {
+        quote
+            .verify(qe_key)
+            .map_err(|e| PalaemonError::AttestationFailed(e.to_string()))?;
+        if !self.trusted_mres.contains(&quote.mrenclave) {
+            return Err(PalaemonError::AttestationFailed(format!(
+                "MRENCLAVE {} is not a trusted PALAEMON build",
+                quote.mrenclave
+            )));
+        }
+        if quote.report_data != instance_key_binding(&instance_key) {
+            return Err(PalaemonError::AttestationFailed(
+                "quote does not bind the instance key".into(),
+            ));
+        }
+        let body = CertificateBody {
+            subject: format!("palaemon-instance-{}", instance_key.to_u64()),
+            subject_key: instance_key,
+            issuer: self.root.body.subject.clone(),
+            not_before: now,
+            not_after: now + self.cert_validity_ms,
+            mrenclave: Some(quote.mrenclave),
+            is_ca: false,
+        };
+        Ok(Certificate::issue(body, &self.key))
+    }
+}
+
+/// Verifies an instance certificate against a pinned CA root — the cheap
+/// TLS-style attestation clients perform on every connection.
+///
+/// # Errors
+/// [`PalaemonError::AttestationFailed`] when the chain does not verify, the
+/// certificate is expired, or (when `required_mres` is non-empty) the bound
+/// MRENCLAVE is not acceptable to this client.
+pub fn verify_instance_cert(
+    cert: &Certificate,
+    root: &Certificate,
+    now: u64,
+    required_mres: &[Digest],
+) -> Result<()> {
+    Certificate::verify_chain(std::slice::from_ref(cert), root, now)
+        .map_err(|e| PalaemonError::AttestationFailed(e.to_string()))?;
+    if !required_mres.is_empty() {
+        match cert.body.mrenclave {
+            Some(mre) if required_mres.contains(&mre) => {}
+            Some(mre) => {
+                return Err(PalaemonError::AttestationFailed(format!(
+                    "instance MRENCLAVE {mre} not accepted by this client"
+                )))
+            }
+            None => {
+                return Err(PalaemonError::AttestationFailed(
+                    "certificate has no MRENCLAVE binding".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A CA whose updates (new trusted-MRE sets, i.e. new PALÆMON versions) are
+/// controlled by a policy board (paper §III-B: "updates of the CA itself are
+/// controlled by a PALÆMON policy board").
+pub struct GovernedCa {
+    ca: PalaemonCa,
+    board: BoardSpec,
+    next_nonce: u64,
+    pending: std::collections::HashMap<u64, Digest>,
+}
+
+impl std::fmt::Debug for GovernedCa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GovernedCa").field("ca", &self.ca).finish()
+    }
+}
+
+fn mre_set_digest(mres: &[Digest]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"palaemon.ca.rotation");
+    for m in mres {
+        h.update(m.as_bytes());
+    }
+    h.finalize()
+}
+
+impl GovernedCa {
+    /// Wraps a CA under board governance.
+    pub fn new(ca: PalaemonCa, board: BoardSpec) -> Self {
+        GovernedCa {
+            ca,
+            board,
+            next_nonce: 1,
+            pending: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The current CA.
+    pub fn ca(&self) -> &PalaemonCa {
+        &self.ca
+    }
+
+    /// Starts a rotation round for a new trusted-MRE set.
+    pub fn propose_rotation(&mut self, new_mres: &[Digest]) -> ApprovalRequest {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let digest = mre_set_digest(new_mres);
+        self.pending.insert(nonce, digest);
+        ApprovalRequest {
+            policy_name: "__palaemon_ca__".into(),
+            action: PolicyAction::Update,
+            policy_digest: digest,
+            nonce,
+        }
+    }
+
+    /// Applies a board-approved rotation: deploys a new CA (new key, new
+    /// measurement) trusting `new_mres`.
+    ///
+    /// # Errors
+    /// [`PalaemonError::BoardRejected`] when approval fails.
+    pub fn apply_rotation(
+        &mut self,
+        request: &ApprovalRequest,
+        votes: &[Vote],
+        new_mres: Vec<Digest>,
+        new_seed: &[u8],
+        now: u64,
+        root_validity_ms: u64,
+    ) -> Result<()> {
+        let expected = self
+            .pending
+            .remove(&request.nonce)
+            .ok_or_else(|| PalaemonError::BoardRejected("unknown or reused nonce".into()))?;
+        if expected != mre_set_digest(&new_mres) || request.policy_digest != expected {
+            return Err(PalaemonError::BoardRejected(
+                "rotation content does not match the approved digest".into(),
+            ));
+        }
+        board::evaluate(&self.board, request, votes)?;
+        self.ca = PalaemonCa::new(new_seed, new_mres, now, root_validity_ms);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Stakeholder;
+    use crate::policy::BoardMember;
+    use tee_sim::platform::{Microcode, Platform};
+    use tee_sim::quote::{create_report, quote_report};
+
+    fn mre(b: u8) -> Digest {
+        Digest::from_bytes([b; 32])
+    }
+
+    fn instance_quote(platform: &Platform, m: Digest, key: VerifyingKey) -> Quote {
+        let report = create_report(platform, m, instance_key_binding(&key));
+        quote_report(platform, &report).unwrap()
+    }
+
+    #[test]
+    fn issues_cert_for_trusted_instance() {
+        let ca = PalaemonCa::new(b"ca", vec![mre(1), mre(2)], 0, 1_000_000_000);
+        let platform = Platform::new("h", Microcode::PostForeshadow);
+        let instance = SigningKey::from_seed(b"instance");
+        let quote = instance_quote(&platform, mre(1), instance.verifying_key());
+        let cert = ca
+            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 10)
+            .unwrap();
+        verify_instance_cert(&cert, ca.root_certificate(), 100, &[]).unwrap();
+        verify_instance_cert(&cert, ca.root_certificate(), 100, &[mre(1)]).unwrap();
+    }
+
+    #[test]
+    fn untrusted_mre_refused() {
+        let ca = PalaemonCa::new(b"ca", vec![mre(1)], 0, 1_000_000_000);
+        let platform = Platform::new("h", Microcode::PostForeshadow);
+        let instance = SigningKey::from_seed(b"instance");
+        let quote = instance_quote(&platform, mre(9), instance.verifying_key());
+        assert!(ca
+            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 10)
+            .is_err());
+    }
+
+    #[test]
+    fn key_binding_enforced() {
+        let ca = PalaemonCa::new(b"ca", vec![mre(1)], 0, 1_000_000_000);
+        let platform = Platform::new("h", Microcode::PostForeshadow);
+        let instance = SigningKey::from_seed(b"instance");
+        let other = SigningKey::from_seed(b"other");
+        // Quote binds `other`, but the CA is asked to certify `instance`.
+        let quote = instance_quote(&platform, mre(1), other.verifying_key());
+        assert!(ca
+            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 10)
+            .is_err());
+    }
+
+    #[test]
+    fn certificates_expire() {
+        let mut ca = PalaemonCa::new(b"ca", vec![mre(1)], 0, 1_000_000_000);
+        ca.set_cert_validity(1_000);
+        let platform = Platform::new("h", Microcode::PostForeshadow);
+        let instance = SigningKey::from_seed(b"instance");
+        let quote = instance_quote(&platform, mre(1), instance.verifying_key());
+        let cert = ca
+            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 0)
+            .unwrap();
+        assert!(verify_instance_cert(&cert, ca.root_certificate(), 500, &[]).is_ok());
+        assert!(verify_instance_cert(&cert, ca.root_certificate(), 1_500, &[]).is_err());
+    }
+
+    #[test]
+    fn sceptical_client_rejects_unknown_mre() {
+        let ca = PalaemonCa::new(b"ca", vec![mre(1)], 0, 1_000_000_000);
+        let platform = Platform::new("h", Microcode::PostForeshadow);
+        let instance = SigningKey::from_seed(b"instance");
+        let quote = instance_quote(&platform, mre(1), instance.verifying_key());
+        let cert = ca
+            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 0)
+            .unwrap();
+        // Client only trusts mre(7) — e.g. an older deployment.
+        assert!(verify_instance_cert(&cert, ca.root_certificate(), 10, &[mre(7)]).is_err());
+    }
+
+    #[test]
+    fn ca_measurement_depends_on_trusted_set() {
+        let ca1 = PalaemonCa::new(b"ca", vec![mre(1)], 0, 1000);
+        let ca2 = PalaemonCa::new(b"ca", vec![mre(1), mre(2)], 0, 1000);
+        assert_ne!(ca1.mrenclave(), ca2.mrenclave());
+    }
+
+    #[test]
+    fn governed_rotation_requires_quorum() {
+        let alice = Stakeholder::from_seed("alice", b"a");
+        let bob = Stakeholder::from_seed("bob", b"b");
+        let board = BoardSpec {
+            threshold: 2,
+            members: vec![
+                BoardMember {
+                    id: "alice".into(),
+                    key: alice.verifying_key(),
+                    approval_url: String::new(),
+                    veto: false,
+                },
+                BoardMember {
+                    id: "bob".into(),
+                    key: bob.verifying_key(),
+                    approval_url: String::new(),
+                    veto: false,
+                },
+            ],
+        };
+        let ca = PalaemonCa::new(b"ca-v1", vec![mre(1)], 0, 1_000_000_000);
+        let mut gov = GovernedCa::new(ca, board);
+        let new_set = vec![mre(1), mre(2)];
+
+        // One vote: rejected.
+        let req = gov.propose_rotation(&new_set);
+        let votes = vec![alice.vote(&req, true)];
+        assert!(gov
+            .apply_rotation(&req, &votes, new_set.clone(), b"ca-v2", 10, 1_000_000)
+            .is_err());
+
+        // Quorum: accepted; new CA trusts the new set.
+        let req = gov.propose_rotation(&new_set);
+        let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+        gov.apply_rotation(&req, &votes, new_set.clone(), b"ca-v2", 10, 1_000_000)
+            .unwrap();
+        assert_eq!(gov.ca().trusted_mres(), new_set.as_slice());
+    }
+
+    #[test]
+    fn rotation_content_pinned_to_approval() {
+        let alice = Stakeholder::from_seed("alice", b"a");
+        let board = BoardSpec {
+            threshold: 1,
+            members: vec![BoardMember {
+                id: "alice".into(),
+                key: alice.verifying_key(),
+                approval_url: String::new(),
+                veto: false,
+            }],
+        };
+        let ca = PalaemonCa::new(b"ca-v1", vec![mre(1)], 0, 1_000_000_000);
+        let mut gov = GovernedCa::new(ca, board);
+        let approved_set = vec![mre(2)];
+        let req = gov.propose_rotation(&approved_set);
+        let votes = vec![alice.vote(&req, true)];
+        // Attacker swaps in a different MRE set at apply time.
+        let evil_set = vec![mre(66)];
+        assert!(gov
+            .apply_rotation(&req, &votes, evil_set, b"ca-v2", 10, 1_000_000)
+            .is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Error type for the PALÆMON core.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors raised by the PALÆMON trust management service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PalaemonError {
+    /// A policy with this name already exists.
+    PolicyExists(String),
+    /// No policy with this name.
+    PolicyNotFound(String),
+    /// Policy text failed to parse.
+    PolicyParse(String),
+    /// The policy board did not approve the operation.
+    BoardRejected(String),
+    /// The client certificate does not match the policy owner.
+    NotAuthorized(String),
+    /// Attestation failed (bad quote, unknown MRENCLAVE, wrong platform…).
+    AttestationFailed(String),
+    /// A rollback or forked state was detected.
+    RollbackDetected(String),
+    /// Strict mode refused a restart after an unclean shutdown.
+    StrictModeViolation(String),
+    /// A second instance with the same identity is running.
+    SecondInstance,
+    /// The referenced session is unknown or expired.
+    NoSuchSession,
+    /// Underlying database failure.
+    Db(String),
+    /// Underlying TEE failure.
+    Tee(String),
+    /// Underlying cryptographic failure.
+    Crypto(String),
+    /// File-system shield failure.
+    Fs(String),
+}
+
+impl fmt::Display for PalaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use PalaemonError::*;
+        match self {
+            PolicyExists(n) => write!(f, "policy '{n}' already exists"),
+            PolicyNotFound(n) => write!(f, "policy '{n}' not found"),
+            PolicyParse(why) => write!(f, "policy parse error: {why}"),
+            BoardRejected(why) => write!(f, "policy board rejected the operation: {why}"),
+            NotAuthorized(why) => write!(f, "not authorized: {why}"),
+            AttestationFailed(why) => write!(f, "attestation failed: {why}"),
+            RollbackDetected(why) => write!(f, "rollback detected: {why}"),
+            StrictModeViolation(why) => write!(f, "strict mode violation: {why}"),
+            SecondInstance => write!(f, "another instance is already running"),
+            NoSuchSession => write!(f, "no such session"),
+            Db(why) => write!(f, "database error: {why}"),
+            Tee(why) => write!(f, "TEE error: {why}"),
+            Crypto(why) => write!(f, "crypto error: {why}"),
+            Fs(why) => write!(f, "file system error: {why}"),
+        }
+    }
+}
+
+impl StdError for PalaemonError {}
+
+impl From<palaemon_db::DbError> for PalaemonError {
+    fn from(e: palaemon_db::DbError) -> Self {
+        PalaemonError::Db(e.to_string())
+    }
+}
+
+impl From<tee_sim::TeeError> for PalaemonError {
+    fn from(e: tee_sim::TeeError) -> Self {
+        PalaemonError::Tee(e.to_string())
+    }
+}
+
+impl From<palaemon_crypto::CryptoError> for PalaemonError {
+    fn from(e: palaemon_crypto::CryptoError) -> Self {
+        PalaemonError::Crypto(e.to_string())
+    }
+}
+
+impl From<shielded_fs::FsError> for PalaemonError {
+    fn from(e: shielded_fs::FsError) -> Self {
+        match e {
+            shielded_fs::FsError::RollbackDetected { expected, actual } => {
+                PalaemonError::RollbackDetected(format!(
+                    "fs tag mismatch: expected {expected}, found {actual}"
+                ))
+            }
+            other => PalaemonError::Fs(other.to_string()),
+        }
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PalaemonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_for_all_variants() {
+        let variants: Vec<PalaemonError> = vec![
+            PalaemonError::PolicyExists("p".into()),
+            PalaemonError::PolicyNotFound("p".into()),
+            PalaemonError::PolicyParse("x".into()),
+            PalaemonError::BoardRejected("x".into()),
+            PalaemonError::NotAuthorized("x".into()),
+            PalaemonError::AttestationFailed("x".into()),
+            PalaemonError::RollbackDetected("x".into()),
+            PalaemonError::StrictModeViolation("x".into()),
+            PalaemonError::SecondInstance,
+            PalaemonError::NoSuchSession,
+            PalaemonError::Db("x".into()),
+            PalaemonError::Tee("x".into()),
+            PalaemonError::Crypto("x".into()),
+            PalaemonError::Fs("x".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn fs_rollback_maps_to_rollback() {
+        let e = shielded_fs::FsError::RollbackDetected {
+            expected: palaemon_crypto::Digest::ZERO,
+            actual: palaemon_crypto::Digest::from_bytes([1; 32]),
+        };
+        assert!(matches!(
+            PalaemonError::from(e),
+            PalaemonError::RollbackDetected(_)
+        ));
+    }
+}

@@ -1,0 +1,329 @@
+//! Instance lifecycle: sealed identity, the Fig. 6 version/counter rollback
+//! protocol, and single-instance enforcement (paper §IV-B, §IV-C, §IV-D).
+//!
+//! The protocol uses one hardware monotonic counter `c` and a version number
+//! `v` stored in PALÆMON's encrypted database:
+//!
+//! * **startup** — require `v == c` (otherwise the database was rolled back
+//!   or another instance intervened), then increment `c` and require the
+//!   result to be exactly `v + 1` (a larger value means a second instance
+//!   raced us). The database now *trails* the counter, so any restart
+//!   without a clean shutdown is refused — a crash is treated as an attack.
+//! * **shutdown** — drain requests, set `v = c` in the database, commit.
+//!
+//! The counter is touched **twice per process lifetime** instead of once per
+//! tag update, which is why PALÆMON's counters are five orders of magnitude
+//! faster than platform counters (Fig. 10).
+
+use palaemon_crypto::aead::AeadKey;
+use palaemon_crypto::sig::SigningKey;
+use palaemon_crypto::wire::{Decoder, Encoder};
+use palaemon_crypto::Digest;
+use palaemon_db::Db;
+use rand::RngCore;
+use shielded_fs::store::BlockStore;
+use tee_sim::platform::Platform;
+
+use crate::error::{PalaemonError, Result};
+use crate::tms::Palaemon;
+
+/// Database key holding the instance version `v`.
+pub const VERSION_KEY: &[u8] = b"__instance/version";
+/// Store blob holding the sealed instance identity.
+pub const SEALED_IDENTITY_BLOB: &str = "sealed-identity";
+
+/// Outcome of a successful startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartupInfo {
+    /// Counter value after our increment.
+    pub counter: u64,
+    /// Modelled milliseconds spent waiting on the platform counter.
+    pub counter_wait_ms: u64,
+    /// True when this was the very first start (fresh identity).
+    pub first_start: bool,
+}
+
+fn read_version(db: &Db) -> u64 {
+    db.get(VERSION_KEY)
+        .and_then(|raw| raw.try_into().ok().map(u64::from_be_bytes))
+        .unwrap_or(0)
+}
+
+fn seal_identity(
+    platform: &Platform,
+    mre: &Digest,
+    identity_secret: u64,
+    db_key: &AeadKey,
+) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_str("palaemon.identity.v1")
+        .put_u64(identity_secret)
+        .put_bytes(db_key.expose_bytes());
+    platform.seal(mre, &e.finish())
+}
+
+fn unseal_identity(
+    platform: &Platform,
+    mre: &Digest,
+    sealed: &[u8],
+) -> Result<(SigningKey, AeadKey)> {
+    let plain = platform
+        .unseal(mre, sealed)
+        .map_err(|e| PalaemonError::Tee(e.to_string()))?;
+    let mut d = Decoder::new(&plain);
+    let mut parse = || -> palaemon_crypto::Result<(u64, [u8; 32])> {
+        let magic = d.get_str()?;
+        if magic != "palaemon.identity.v1" {
+            return Err(palaemon_crypto::CryptoError::Decode("bad identity".into()));
+        }
+        let secret = d.get_u64()?;
+        let key_raw = d.get_bytes()?;
+        let key: [u8; 32] = key_raw
+            .try_into()
+            .map_err(|_| palaemon_crypto::CryptoError::Decode("key len".into()))?;
+        d.finish()?;
+        Ok((secret, key))
+    };
+    let (secret, key) = parse().map_err(|e| PalaemonError::Crypto(e.to_string()))?;
+    Ok((SigningKey::from_secret(secret), AeadKey::from_bytes(key)))
+}
+
+/// Starts a PALÆMON instance on `platform` over `store`.
+///
+/// On the first start, generates the instance identity and database key and
+/// seals them to `(platform, palaemon_mre)`. On restart, unseals them and
+/// runs the Fig. 6 startup check.
+///
+/// # Errors
+/// * [`PalaemonError::RollbackDetected`] — the database version does not
+///   match the monotonic counter (rolled-back state, or a crash treated as
+///   an attack).
+/// * [`PalaemonError::SecondInstance`] — another instance incremented the
+///   counter first.
+/// * Unseal/database failures.
+pub fn start_instance<R: RngCore>(
+    platform: &Platform,
+    store: Box<dyn BlockStore>,
+    palaemon_mre: Digest,
+    counter_id: u32,
+    now_ms: u64,
+    rng: &mut R,
+) -> Result<(Palaemon, StartupInfo)> {
+    let (identity, db_key, first_start) = match store.get(SEALED_IDENTITY_BLOB) {
+        Some(sealed) => {
+            let (id, key) = unseal_identity(platform, &palaemon_mre, &sealed)?;
+            (id, key, false)
+        }
+        None => {
+            let db_key = AeadKey::generate(rng);
+            let secret = rng.next_u64();
+            let sealed = seal_identity(platform, &palaemon_mre, secret, &db_key);
+            store.put(SEALED_IDENTITY_BLOB, sealed);
+            (SigningKey::from_secret(secret), db_key, true)
+        }
+    };
+
+    let db = if first_start {
+        Db::create(store, db_key)
+    } else {
+        Db::open(store, db_key)?
+    };
+
+    // Fig. 6 startup check.
+    platform.counters().create(counter_id);
+    let v = read_version(&db);
+    let c = platform.counters().read(counter_id)?;
+    if v != c {
+        return Err(PalaemonError::RollbackDetected(format!(
+            "database version {v} does not match monotonic counter {c}"
+        )));
+    }
+    let inc = platform.counters().increment(counter_id, now_ms)?;
+    if inc.value != v + 1 {
+        return Err(PalaemonError::SecondInstance);
+    }
+
+    let seed = rng.next_u64();
+    let palaemon = Palaemon::new(db, identity, palaemon_mre, seed);
+    Ok((
+        palaemon,
+        StartupInfo {
+            counter: inc.value,
+            counter_wait_ms: inc.wait_ms,
+            first_start,
+        },
+    ))
+}
+
+/// Cleanly shuts an instance down: persists `v = c` so a restart passes the
+/// startup check (paper Fig. 6 right half). The caller must have drained
+/// outstanding requests first.
+///
+/// # Errors
+/// Counter or database failures.
+pub fn shutdown_instance(
+    palaemon: &mut Palaemon,
+    platform: &Platform,
+    counter_id: u32,
+) -> Result<()> {
+    let c = platform.counters().read(counter_id)?;
+    let db = palaemon.db_mut();
+    db.put(VERSION_KEY.to_vec(), c.to_be_bytes().to_vec());
+    db.commit()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shielded_fs::store::MemStore;
+    use tee_sim::platform::Microcode;
+
+    const MRE: [u8; 32] = [0xAB; 32];
+    const CTR: u32 = 1;
+
+    fn world() -> (Platform, MemStore, StdRng) {
+        (
+            Platform::new("tms-host", Microcode::PostForeshadow),
+            MemStore::new(),
+            StdRng::seed_from_u64(1),
+        )
+    }
+
+    fn start(
+        platform: &Platform,
+        store: &MemStore,
+        rng: &mut StdRng,
+        now: u64,
+    ) -> Result<(Palaemon, StartupInfo)> {
+        start_instance(
+            platform,
+            Box::new(store.clone()),
+            Digest::from_bytes(MRE),
+            CTR,
+            now,
+            rng,
+        )
+    }
+
+    #[test]
+    fn first_start_and_clean_restart() {
+        let (platform, store, mut rng) = world();
+        let (mut p1, info) = start(&platform, &store, &mut rng, 0).unwrap();
+        assert!(info.first_start);
+        assert_eq!(info.counter, 1);
+        let key1 = p1.public_key();
+        shutdown_instance(&mut p1, &platform, CTR).unwrap();
+        drop(p1);
+        // Restart: same identity from sealed storage, counter advances.
+        let (p2, info2) = start(&platform, &store, &mut rng, 1000).unwrap();
+        assert!(!info2.first_start);
+        assert_eq!(info2.counter, 2);
+        assert_eq!(p2.public_key(), key1, "identity must survive restarts");
+    }
+
+    #[test]
+    fn crash_without_shutdown_blocks_restart() {
+        let (platform, store, mut rng) = world();
+        let (p1, _) = start(&platform, &store, &mut rng, 0).unwrap();
+        drop(p1); // crash: no shutdown, v still 0, c = 1
+        let err = start(&platform, &store, &mut rng, 1000).unwrap_err();
+        assert!(matches!(err, PalaemonError::RollbackDetected(_)));
+    }
+
+    #[test]
+    fn database_rollback_detected() {
+        let (platform, store, mut rng) = world();
+        let (mut p1, _) = start(&platform, &store, &mut rng, 0).unwrap();
+        shutdown_instance(&mut p1, &platform, CTR).unwrap();
+        drop(p1);
+        let snapshot = store.snapshot(); // attacker snapshots v=1 state
+        let (mut p2, _) = start(&platform, &store, &mut rng, 1000).unwrap();
+        shutdown_instance(&mut p2, &platform, CTR).unwrap();
+        drop(p2); // now v=2, c=2
+        store.restore(snapshot); // roll back to v=1; counter stays at 2
+        let err = start(&platform, &store, &mut rng, 2000).unwrap_err();
+        assert!(matches!(err, PalaemonError::RollbackDetected(_)));
+    }
+
+    #[test]
+    fn second_instance_race_detected() {
+        // Two instances pass the v == c check before either increments:
+        // reproduce by incrementing the counter behind instance B's back
+        // between its check and claim — equivalent to A claiming first.
+        let (platform, store, mut rng) = world();
+        let (mut p1, _) = start(&platform, &store, &mut rng, 0).unwrap();
+        shutdown_instance(&mut p1, &platform, CTR).unwrap();
+        drop(p1);
+        // v = 1, c = 1. Simulate A having just incremented (c -> 2) while B
+        // is between check and increment: B's increment yields 3 != v+1 = 2.
+        platform.counters().increment(CTR, 1000).unwrap();
+        let err = start(&platform, &store, &mut rng, 1000).unwrap_err();
+        // B sees v=1, c=2 at check time -> rollback detection fires first.
+        assert!(matches!(err, PalaemonError::RollbackDetected(_)));
+    }
+
+    #[test]
+    fn sealed_identity_bound_to_platform() {
+        let (platform, store, mut rng) = world();
+        let (mut p1, _) = start(&platform, &store, &mut rng, 0).unwrap();
+        shutdown_instance(&mut p1, &platform, CTR).unwrap();
+        drop(p1);
+        // An attacker copies the store to a different machine.
+        let other = Platform::new("attacker-host", Microcode::PostForeshadow);
+        let err = start(&other, &store, &mut rng, 1000).unwrap_err();
+        assert!(matches!(err, PalaemonError::Tee(_)));
+    }
+
+    #[test]
+    fn sealed_identity_bound_to_mre() {
+        let (platform, store, mut rng) = world();
+        let (mut p1, _) = start(&platform, &store, &mut rng, 0).unwrap();
+        shutdown_instance(&mut p1, &platform, CTR).unwrap();
+        drop(p1);
+        // A different (e.g. tampered) PALÆMON binary cannot unseal.
+        let err = start_instance(
+            &platform,
+            Box::new(store.clone()),
+            Digest::from_bytes([0xCD; 32]),
+            CTR,
+            1000,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PalaemonError::Tee(_)));
+    }
+
+    #[test]
+    fn state_survives_clean_restart() {
+        let (platform, store, mut rng) = world();
+        let (mut p1, _) = start(&platform, &store, &mut rng, 0).unwrap();
+        p1.db_mut().put(b"k".as_slice(), b"v".as_slice());
+        p1.db_mut().commit().unwrap();
+        shutdown_instance(&mut p1, &platform, CTR).unwrap();
+        drop(p1);
+        let (mut p2, _) = start(&platform, &store, &mut rng, 1000).unwrap();
+        assert_eq!(p2.db_mut().get(b"k"), Some(b"v".as_slice()));
+    }
+
+    #[test]
+    fn counter_wait_is_modelled() {
+        let (platform, store, mut rng) = world();
+        let (_, info) = start(&platform, &store, &mut rng, 0).unwrap();
+        assert!(info.counter_wait_ms > 0, "platform counters are slow");
+    }
+
+    #[test]
+    fn many_clean_restarts() {
+        let (platform, store, mut rng) = world();
+        let mut now = 0;
+        for i in 1..=10u64 {
+            let (mut p, info) = start(&platform, &store, &mut rng, now).unwrap();
+            assert_eq!(info.counter, i);
+            now += info.counter_wait_ms + 100;
+            shutdown_instance(&mut p, &platform, CTR).unwrap();
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! PALÆMON — trust management as a service (DSN 2020), the core library.
+//!
+//! PALÆMON is a trust management service that runs *inside* a TEE and serves
+//! other TEE applications. It addresses five problems (paper §I):
+//!
+//! 1. **Secret management** ([`policy`], [`tms`]) — security policies define
+//!    which application (identified by MRENCLAVE + file-system tag) may
+//!    access which secrets on which platforms; secrets are delivered as
+//!    command-line arguments, environment variables and transparently
+//!    injected file content after attestation.
+//! 2. **Managed operation** ([`ca`], [`attest`]) — a PALÆMON instance can be
+//!    operated by an untrusted provider; clients attest it explicitly (quote
+//!    verification) or via TLS certificates issued by the TEE-resident
+//!    PALÆMON CA whose trusted-MRENCLAVE set is baked into its binary.
+//! 3. **Robust root of trust** ([`board`]) — every policy CRUD operation
+//!    needs approval from `f+1` members of the policy board; veto members
+//!    can block unilaterally.
+//! 4. **Rollback protection** ([`tms`] tag service, [`instance`],
+//!    [`counterfile`]) — applications push their file-system tags to
+//!    PALÆMON; PALÆMON's own database is guarded by the version-number /
+//!    monotonic-counter protocol of Fig. 6, incrementing the platform
+//!    counter only at startup/shutdown.
+//! 5. **Secure update** ([`update`]) — new MRENCLAVE × tag combinations are
+//!    enabled by board-approved policy updates; image policies export
+//!    combinations that application policies import and intersect.
+//!
+//! The substrates live in sibling crates: `tee-sim` (SGX model), `simnet`
+//! (virtual-time network), `shielded-fs` (encrypted FS + tags),
+//! `palaemon-db` (encrypted store). See `DESIGN.md` at the repository root.
+
+pub mod attest;
+pub mod board;
+pub mod ca;
+pub mod counterfile;
+pub mod error;
+pub mod instance;
+pub mod policy;
+pub mod runtime;
+pub mod testkit;
+pub mod tms;
+pub mod update;
+
+pub use error::{PalaemonError, Result};

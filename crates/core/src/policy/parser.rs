@@ -1,0 +1,480 @@
+//! A purpose-built YAML-subset parser for PALÆMON security policies.
+//!
+//! The paper's policy language (List 1) is YAML-shaped. A trust service
+//! should minimise its parser attack surface, so instead of a full YAML
+//! implementation this module parses exactly the subset policies need:
+//!
+//! * indentation-nested maps (`key: value` / `key:` + indented block)
+//! * block lists (`- item`, `- key: value` starting an inline map)
+//! * inline lists (`["a", "b"]`)
+//! * single- and double-quoted scalars, comments (`#`), blank lines
+//!
+//! Anchors, aliases, multi-line strings, type tags and flow maps are
+//! intentionally rejected.
+
+use crate::error::{PalaemonError, Result};
+
+/// A parsed YAML-subset value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Ordered key→value map.
+    Map(Vec<(String, Value)>),
+    /// Sequence.
+    List(Vec<Value>),
+    /// Scalar (quotes stripped).
+    Str(String),
+    /// Empty value.
+    Null,
+}
+
+impl Value {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The scalar string, if this is a scalar.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list items, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `get(key)` then `as_str`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
+    /// Convenience: list of strings under `key` (inline or block list).
+    pub fn get_str_list(&self, key: &str) -> Vec<String> {
+        self.get(key)
+            .and_then(Value::as_list)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+struct Line {
+    indent: usize,
+    text: String,
+    number: usize,
+}
+
+fn err(line: usize, why: impl std::fmt::Display) -> PalaemonError {
+    PalaemonError::PolicyParse(format!("line {line}: {why}"))
+}
+
+fn scan_lines(input: &str) -> Result<Vec<Line>> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let number = i + 1;
+        // Strip comments that are not inside quotes.
+        let mut in_s = false;
+        let mut in_d = false;
+        let mut cut = raw.len();
+        for (j, c) in raw.char_indices() {
+            match c {
+                '\'' if !in_d => in_s = !in_s,
+                '"' if !in_s => in_d = !in_d,
+                '#' if !in_s && !in_d => {
+                    cut = j;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let line = &raw[..cut];
+        if line.trim().is_empty() {
+            continue;
+        }
+        if line.contains('\t') {
+            return Err(err(number, "tabs are not allowed; use spaces"));
+        }
+        let indent = line.len() - line.trim_start().len();
+        out.push(Line {
+            indent,
+            text: line.trim().to_string(),
+            number,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a policy document into a [`Value`].
+///
+/// # Errors
+/// Returns [`PalaemonError::PolicyParse`] with a line number on any
+/// construct outside the supported subset.
+pub fn parse(input: &str) -> Result<Value> {
+    let lines = scan_lines(input)?;
+    if lines.is_empty() {
+        return Ok(Value::Map(Vec::new()));
+    }
+    let mut pos = 0;
+    let v = parse_block(&lines, &mut pos, lines[0].indent)?;
+    if pos != lines.len() {
+        return Err(err(lines[pos].number, "unexpected indentation"));
+    }
+    Ok(v)
+}
+
+fn parse_block(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+    if lines[*pos].text.starts_with('-') {
+        parse_list(lines, pos, indent)
+    } else {
+        parse_map(lines, pos, indent)
+    }
+}
+
+fn parse_map(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(err(line.number, "unexpected deeper indentation"));
+        }
+        if line.text.starts_with('-') {
+            return Err(err(line.number, "list item inside a map"));
+        }
+        let (key, rest) = split_key(&line.text, line.number)?;
+        if entries.iter().any(|(k, _)| *k == key) {
+            return Err(err(line.number, format!("duplicate key '{key}'")));
+        }
+        *pos += 1;
+        let value = if rest.is_empty() {
+            // Block value (map or list) at deeper indent, or null.
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let child_indent = lines[*pos].indent;
+                parse_block(lines, pos, child_indent)?
+            } else {
+                Value::Null
+            }
+        } else {
+            parse_scalar(&rest, line.number)?
+        };
+        entries.push((key, value));
+    }
+    Ok(Value::Map(entries))
+}
+
+fn parse_list(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
+    let mut items = Vec::new();
+    while *pos < lines.len() {
+        let line = &lines[*pos];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(err(line.number, "unexpected deeper indentation"));
+        }
+        if !line.text.starts_with('-') {
+            break;
+        }
+        let rest = line.text[1..].trim_start().to_string();
+        let item_number = line.number;
+        *pos += 1;
+        if rest.is_empty() {
+            // `-` alone: nested block.
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let child_indent = lines[*pos].indent;
+                items.push(parse_block(lines, pos, child_indent)?);
+            } else {
+                items.push(Value::Null);
+            }
+        } else if let Some((key, inline_rest)) = try_split_key(&rest) {
+            // `- key: …` starts an inline map; continuation entries are the
+            // following lines at deeper indentation.
+            let mut entries = Vec::new();
+            let first_val = if inline_rest.is_empty() {
+                if *pos < lines.len() && lines[*pos].indent > indent + 2 {
+                    // A block belonging to the first key, e.g. `- name:` +
+                    // deeper block — rare; treat like map parsing would.
+                    let child_indent = lines[*pos].indent;
+                    parse_block(lines, pos, child_indent)?
+                } else {
+                    Value::Null
+                }
+            } else {
+                parse_scalar(&inline_rest, item_number)?
+            };
+            entries.push((key, first_val));
+            // Continuation lines of this map item.
+            if *pos < lines.len() && lines[*pos].indent > indent && !lines[*pos].text.starts_with('-')
+            {
+                let cont_indent = lines[*pos].indent;
+                if let Value::Map(more) = parse_map(lines, pos, cont_indent)? {
+                    for (k, v) in more {
+                        if entries.iter().any(|(ek, _)| *ek == k) {
+                            return Err(err(item_number, format!("duplicate key '{k}'")));
+                        }
+                        entries.push((k, v));
+                    }
+                }
+            }
+            items.push(Value::Map(entries));
+        } else {
+            items.push(parse_scalar(&rest, item_number)?);
+        }
+    }
+    Ok(Value::List(items))
+}
+
+fn split_key(text: &str, number: usize) -> Result<(String, String)> {
+    try_split_key(text).ok_or_else(|| err(number, format!("expected 'key: value', got '{text}'")))
+}
+
+/// Splits `key: rest` (colon outside quotes/brackets); `None` if no colon.
+fn try_split_key(text: &str) -> Option<(String, String)> {
+    let mut in_s = false;
+    let mut in_d = false;
+    let mut depth = 0i32;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\'' if !in_d => in_s = !in_s,
+            '"' if !in_s => in_d = !in_d,
+            '[' if !in_s && !in_d => depth += 1,
+            ']' if !in_s && !in_d => depth -= 1,
+            ':' if !in_s && !in_d && depth == 0 => {
+                let rest = text[i + 1..].trim();
+                // A key must be a plain identifier-ish token.
+                let key = text[..i].trim();
+                if key.is_empty() || key.contains(' ') || key.starts_with('"') {
+                    return None;
+                }
+                return Some((key.to_string(), rest.to_string()));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_scalar(text: &str, number: usize) -> Result<Value> {
+    let text = text.trim();
+    if text.starts_with('[') {
+        if !text.ends_with(']') {
+            return Err(err(number, "unterminated inline list"));
+        }
+        let inner = &text[1..text.len() - 1];
+        let mut items = Vec::new();
+        for part in split_commas(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(Value::Str(unquote(part, number)?));
+        }
+        return Ok(Value::List(items));
+    }
+    Ok(Value::Str(unquote(text, number)?))
+}
+
+fn split_commas(inner: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_s = false;
+    let mut in_d = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '\'' if !in_d => in_s = !in_s,
+            '"' if !in_s => in_d = !in_d,
+            ',' if !in_s && !in_d => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    parts
+}
+
+fn unquote(text: &str, number: usize) -> Result<String> {
+    let bytes = text.as_bytes();
+    if bytes.len() >= 2 {
+        let (first, last) = (bytes[0], bytes[bytes.len() - 1]);
+        if first == b'"' || first == b'\'' {
+            if first != last {
+                return Err(err(number, "unterminated quoted string"));
+            }
+            return Ok(text[1..text.len() - 1].to_string());
+        }
+    }
+    if bytes.first() == Some(&b'"') || bytes.first() == Some(&b'\'') {
+        return Err(err(number, "unterminated quoted string"));
+    }
+    Ok(text.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_map() {
+        let v = parse("name: demo\nversion: 2\n").unwrap();
+        assert_eq!(v.get_str("name"), Some("demo"));
+        assert_eq!(v.get_str("version"), Some("2"));
+    }
+
+    #[test]
+    fn quoted_scalars_and_comments() {
+        let v = parse("a: \"hello # not a comment\" # comment\nb: 'single'\n").unwrap();
+        assert_eq!(v.get_str("a"), Some("hello # not a comment"));
+        assert_eq!(v.get_str("b"), Some("single"));
+    }
+
+    #[test]
+    fn inline_list() {
+        let v = parse("mres: [\"aa\", 'bb', cc]\nempty: []\n").unwrap();
+        assert_eq!(
+            v.get_str_list("mres"),
+            vec!["aa".to_string(), "bb".into(), "cc".into()]
+        );
+        assert_eq!(v.get_str_list("empty"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn nested_map() {
+        let v = parse("outer:\n  inner: x\n  other: y\n").unwrap();
+        let outer = v.get("outer").unwrap();
+        assert_eq!(outer.get_str("inner"), Some("x"));
+        assert_eq!(outer.get_str("other"), Some("y"));
+    }
+
+    #[test]
+    fn list_of_maps_paper_shape() {
+        // The structure of the paper's List 1.
+        let text = r#"
+name: python_policy
+services:
+  - name: python_app
+    image_name: python_image
+    command: python /app.py -o /encrypted-output
+    mrenclaves: ["$PYTHON_MRENCLAVE"]
+    platforms: ["$PLATFORM_ID"]
+    pwd: /
+images:
+  - name: python_image
+    volumes:
+      - name: encrypted_output_volume
+        path: /encrypted-output
+volumes:
+  - name: encrypted_output_volume
+    export: output_policy
+"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get_str("name"), Some("python_policy"));
+        let services = v.get("services").unwrap().as_list().unwrap();
+        assert_eq!(services.len(), 1);
+        let svc = &services[0];
+        assert_eq!(svc.get_str("name"), Some("python_app"));
+        assert_eq!(
+            svc.get_str("command"),
+            Some("python /app.py -o /encrypted-output")
+        );
+        assert_eq!(svc.get_str_list("mrenclaves"), vec!["$PYTHON_MRENCLAVE"]);
+        let images = v.get("images").unwrap().as_list().unwrap();
+        let vols = images[0].get("volumes").unwrap().as_list().unwrap();
+        assert_eq!(vols[0].get_str("path"), Some("/encrypted-output"));
+        let volumes = v.get("volumes").unwrap().as_list().unwrap();
+        assert_eq!(volumes[0].get_str("export"), Some("output_policy"));
+    }
+
+    #[test]
+    fn scalar_list() {
+        let v = parse("items:\n  - one\n  - two\n").unwrap();
+        let items = v.get("items").unwrap().as_list().unwrap();
+        assert_eq!(items[0].as_str(), Some("one"));
+        assert_eq!(items[1].as_str(), Some("two"));
+    }
+
+    #[test]
+    fn null_values() {
+        let v = parse("a:\nb: x\n").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(parse("a: 1\na: 2\n").is_err());
+    }
+
+    #[test]
+    fn tabs_rejected() {
+        assert!(parse("a:\n\tb: 1\n").is_err());
+    }
+
+    #[test]
+    fn bad_indent_rejected() {
+        let e = parse("a: 1\n   b: 2\n").unwrap_err();
+        assert!(matches!(e, PalaemonError::PolicyParse(_)));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse("a: \"oops\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_inline_list_rejected() {
+        assert!(parse("a: [1, 2\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_map() {
+        assert_eq!(parse("").unwrap(), Value::Map(Vec::new()));
+        assert_eq!(parse("# just a comment\n").unwrap(), Value::Map(Vec::new()));
+    }
+
+    #[test]
+    fn colon_in_quoted_value() {
+        let v = parse("url: \"https://example.org:8443/x\"\n").unwrap();
+        assert_eq!(v.get_str("url"), Some("https://example.org:8443/x"));
+    }
+
+    #[test]
+    fn command_with_colon_free_args() {
+        let v = parse("command: python /app.py -o /out\n").unwrap();
+        assert_eq!(v.get_str("command"), Some("python /app.py -o /out"));
+    }
+
+    #[test]
+    fn env_block_in_list_item() {
+        let text = "services:\n  - name: s\n    env:\n      A: 1\n      B: 2\n";
+        let v = parse(text).unwrap();
+        let svc = &v.get("services").unwrap().as_list().unwrap()[0];
+        let env = svc.get("env").unwrap();
+        assert_eq!(env.get_str("A"), Some("1"));
+        assert_eq!(env.get_str("B"), Some("2"));
+    }
+}

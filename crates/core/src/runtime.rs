@@ -1,0 +1,420 @@
+//! The application-side runtime (the SCONE-runtime role, paper §IV-A).
+//!
+//! On startup the runtime: loads the application into an enclave, generates
+//! a fresh key pair, obtains a report binding that key from the local
+//! quoting enclave, sends the quote to PALÆMON together with its policy
+//! name, and — if attestation succeeds — receives the configuration:
+//! arguments, environment, file-system keys and tags, and the secrets to
+//! inject into files. It then mounts the encrypted volumes (verifying tags
+//! against PALÆMON's expected values: rollback detection) and serves file
+//! reads with transparent secret injection. Every write, sync and clean exit
+//! pushes the new tag back to PALÆMON.
+
+use std::collections::HashMap;
+
+use palaemon_crypto::sha256::Sha256;
+use palaemon_crypto::sig::SigningKey;
+use palaemon_crypto::Digest;
+use shielded_fs::fs::{ShieldedFs, TagEvent};
+use shielded_fs::inject::inject_secrets;
+use shielded_fs::store::BlockStore;
+use tee_sim::enclave::{Enclave, EnclaveBuilder, MeasureMode, StartupBreakdown};
+use tee_sim::platform::Platform;
+use tee_sim::quote::{create_report, quote_report, ReportData};
+
+use crate::error::{PalaemonError, Result};
+use crate::tms::{AppConfig, Palaemon};
+
+/// Computes the report-data binding for an application TLS key.
+pub fn tls_key_binding(key: &palaemon_crypto::sig::VerifyingKey) -> ReportData {
+    let d = Sha256::digest_parts(&[b"palaemon.runtime.tls", &key.to_u64().to_be_bytes()]);
+    let mut out = [0u8; 64];
+    out[..32].copy_from_slice(d.as_bytes());
+    out
+}
+
+/// A running attested application.
+pub struct RunningApp {
+    /// The configuration received from PALÆMON.
+    pub config: AppConfig,
+    /// Startup timing of the enclave build.
+    pub startup: StartupBreakdown,
+    enclave: Enclave,
+    tls_key: SigningKey,
+    volumes: HashMap<String, ShieldedFs>,
+    exited: bool,
+}
+
+impl std::fmt::Debug for RunningApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningApp")
+            .field("session", &self.config.session)
+            .field("volumes", &self.volumes.len())
+            .finish()
+    }
+}
+
+impl RunningApp {
+    /// Starts an application: builds the enclave from `binary`, attests it
+    /// against `palaemon` under `policy_name`/`service_name`, and mounts
+    /// volumes from `volume_stores` (the untrusted storage for each volume
+    /// named in the policy).
+    ///
+    /// # Errors
+    /// Attestation failures, missing volume stores, and
+    /// [`PalaemonError::RollbackDetected`] when a volume's tag does not
+    /// match PALÆMON's expected tag.
+    pub fn start(
+        platform: &Platform,
+        palaemon: &mut Palaemon,
+        binary: &[u8],
+        heap_bytes: usize,
+        policy_name: &str,
+        service_name: &str,
+        volume_stores: &mut HashMap<String, Box<dyn BlockStore>>,
+        rng: &mut impl rand::RngCore,
+    ) -> Result<RunningApp> {
+        // 1. Load the application into an enclave (PALÆMON measures only
+        //    code, so the heap does not change MRENCLAVE).
+        let builder = EnclaveBuilder::new(platform.epc().clone()).measure_mode(MeasureMode::CodeOnly);
+        let (enclave, startup) = builder.build(binary, heap_bytes)?;
+
+        // 2. Fresh TLS key pair + quote binding it.
+        let tls_key = SigningKey::generate(rng);
+        let binding = tls_key_binding(&tls_key.verifying_key());
+        let report = create_report(platform, enclave.mrenclave(), binding);
+        let quote = quote_report(platform, &report)?;
+
+        // 3. Attest and receive configuration.
+        let config = palaemon.attest_service(&quote, &binding, policy_name, service_name)?;
+
+        // 4. Mount volumes, verifying expected tags (rollback check).
+        let mut volumes = HashMap::new();
+        for grant in &config.volumes {
+            let store = volume_stores.remove(&grant.volume).ok_or_else(|| {
+                PalaemonError::Fs(format!("no store supplied for volume '{}'", grant.volume))
+            })?;
+            let fs = match grant.expected_tag {
+                Some(expected) => ShieldedFs::load(store, grant.key.clone(), Some(expected))?,
+                // No tag recorded for this policy yet: mount existing data
+                // (e.g. an imported volume populated under another policy)
+                // without a freshness guarantee, or create a fresh volume.
+                None if store.get("manifest").is_some() => {
+                    ShieldedFs::load(store, grant.key.clone(), None)?
+                }
+                None => ShieldedFs::create(store, grant.key.clone()),
+            };
+            volumes.insert(grant.volume.clone(), fs);
+        }
+
+        Ok(RunningApp {
+            config,
+            startup,
+            enclave,
+            tls_key,
+            volumes,
+            exited: false,
+        })
+    }
+
+    /// The application's enclave measurement.
+    pub fn mrenclave(&self) -> Digest {
+        self.enclave.mrenclave()
+    }
+
+    /// The TLS key the session is bound to.
+    pub fn tls_public_key(&self) -> palaemon_crypto::sig::VerifyingKey {
+        self.tls_key.verifying_key()
+    }
+
+    /// Reads a file from a mounted volume. If the path is listed in the
+    /// policy's injection files, PALÆMON variables are substituted with
+    /// secrets transparently.
+    ///
+    /// # Errors
+    /// Unknown volume/file or integrity violations.
+    pub fn read_file(&mut self, volume: &str, path: &str) -> Result<Vec<u8>> {
+        let fs = self
+            .volumes
+            .get_mut(volume)
+            .ok_or_else(|| PalaemonError::Fs(format!("volume '{volume}' not mounted")))?;
+        let raw = fs.read(path)?;
+        if self.config.injection_files.iter().any(|f| f == path) {
+            let (out, _) = inject_secrets(&raw, &self.config.secrets);
+            Ok(out)
+        } else {
+            Ok(raw)
+        }
+    }
+
+    /// Writes a file and pushes the volume's new tag to PALÆMON
+    /// ([`TagEvent::FileClose`], the paper's "on file close" trigger).
+    ///
+    /// # Errors
+    /// Unknown volume, fs errors, or tag-push failures.
+    pub fn write_file(
+        &mut self,
+        palaemon: &mut Palaemon,
+        volume: &str,
+        path: &str,
+        content: &[u8],
+    ) -> Result<()> {
+        let fs = self
+            .volumes
+            .get_mut(volume)
+            .ok_or_else(|| PalaemonError::Fs(format!("volume '{volume}' not mounted")))?;
+        fs.write(path, content)?;
+        let tag = fs.tag();
+        palaemon.push_tag(self.config.session, volume, tag, TagEvent::FileClose)
+    }
+
+    /// Synchronises all volumes and pushes tags ([`TagEvent::Sync`]).
+    ///
+    /// # Errors
+    /// Fs or tag-push failures.
+    pub fn sync(&mut self, palaemon: &mut Palaemon) -> Result<()> {
+        let names: Vec<String> = self.volumes.keys().cloned().collect();
+        for name in names {
+            let fs = self.volumes.get_mut(&name).unwrap();
+            fs.sync()?;
+            let tag = fs.tag();
+            palaemon.push_tag(self.config.session, &name, tag, TagEvent::Sync)?;
+        }
+        Ok(())
+    }
+
+    /// Clean exit: final tag pushes ([`TagEvent::Exit`]) + session close.
+    /// Strict-mode services must exit this way to be restartable.
+    ///
+    /// # Errors
+    /// Fs or tag-push failures.
+    pub fn exit(mut self, palaemon: &mut Palaemon) -> Result<()> {
+        let names: Vec<String> = self.volumes.keys().cloned().collect();
+        for name in names {
+            let fs = self.volumes.get_mut(&name).unwrap();
+            fs.exit()?;
+            let tag = fs.tag();
+            palaemon.push_tag(self.config.session, &name, tag, TagEvent::Exit)?;
+        }
+        self.exited = true;
+        palaemon.close_session(self.config.session);
+        let RunningApp { enclave, .. } = self;
+        enclave.destroy();
+        Ok(())
+    }
+
+    /// Simulates a crash: the process disappears without pushing exit tags.
+    /// (Drops the enclave without notifying PALÆMON.)
+    pub fn crash(self) {
+        // Intentionally: no tag push, no session close.
+    }
+
+    /// Current tag of a mounted volume.
+    ///
+    /// # Errors
+    /// Unknown volume.
+    pub fn volume_tag(&self, volume: &str) -> Result<Digest> {
+        self.volumes
+            .get(volume)
+            .map(|fs| fs.tag())
+            .ok_or_else(|| PalaemonError::Fs(format!("volume '{volume}' not mounted")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use palaemon_crypto::aead::AeadKey;
+    use palaemon_db::Db;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shielded_fs::store::MemStore;
+    use tee_sim::platform::Microcode;
+
+    struct Harness {
+        platform: Platform,
+        palaemon: Palaemon,
+        binary: Vec<u8>,
+        data_store: MemStore,
+        rng: StdRng,
+    }
+
+    fn setup(policy_extra: &str) -> Harness {
+        let platform = Platform::new("host-1", Microcode::PostForeshadow);
+        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32]));
+        let mut palaemon = Palaemon::new(
+            db,
+            SigningKey::from_seed(b"tms"),
+            Digest::from_bytes([0xAA; 32]),
+            11,
+        );
+        palaemon.register_platform(platform.id(), platform.qe_verifying_key());
+        let binary = b"application binary code".to_vec();
+        // Compute the binary's MRENCLAVE the same way the builder will.
+        let builder = EnclaveBuilder::new(platform.epc().clone());
+        let (probe, _) = builder.build(&binary, 0).unwrap();
+        let mre = probe.mrenclave();
+        probe.destroy();
+        let text = format!(
+            r#"
+name: app_policy
+{policy_extra}
+services:
+  - name: app
+    command: app
+    mrenclaves: ["{}"]
+    volumes: ["data"]
+    injection_files: ["/config.ini"]
+secrets:
+  - name: db_pass
+    kind: ascii
+    length: 12
+volumes:
+  - name: data
+"#,
+            mre.to_hex()
+        );
+        let policy = Policy::parse(&text).unwrap();
+        let owner = SigningKey::from_seed(b"owner").verifying_key();
+        palaemon.create_policy(&owner, policy, None, &[]).unwrap();
+        Harness {
+            platform,
+            palaemon,
+            binary,
+            data_store: MemStore::new(),
+            rng: StdRng::seed_from_u64(5),
+        }
+    }
+
+    fn start(h: &mut Harness) -> Result<RunningApp> {
+        let mut stores: HashMap<String, Box<dyn BlockStore>> = HashMap::new();
+        stores.insert("data".into(), Box::new(h.data_store.clone()));
+        RunningApp::start(
+            &h.platform,
+            &mut h.palaemon,
+            &h.binary,
+            64 * 1024,
+            "app_policy",
+            "app",
+            &mut stores,
+            &mut h.rng,
+        )
+    }
+
+    #[test]
+    fn full_lifecycle_write_exit_restart() {
+        let mut h = setup("");
+        let mut app = start(&mut h).unwrap();
+        app.write_file(&mut h.palaemon, "data", "/state.bin", b"v1")
+            .unwrap();
+        app.exit(&mut h.palaemon).unwrap();
+        // Restart: tag matches, file readable.
+        let mut app2 = start(&mut h).unwrap();
+        assert_eq!(app2.read_file("data", "/state.bin").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn secret_injection_on_read() {
+        let mut h = setup("");
+        let mut app = start(&mut h).unwrap();
+        app.write_file(
+            &mut h.palaemon,
+            "data",
+            "/config.ini",
+            b"password={{db_pass}}\n",
+        )
+        .unwrap();
+        let injected = app.read_file("data", "/config.ini").unwrap();
+        let content = String::from_utf8(injected).unwrap();
+        assert!(!content.contains("{{db_pass}}"), "variable must be replaced");
+        assert!(content.starts_with("password="));
+        assert_eq!(content.trim_end().len(), "password=".len() + 12);
+        // Non-injection files are served raw.
+        app.write_file(&mut h.palaemon, "data", "/raw.txt", b"{{db_pass}}")
+            .unwrap();
+        assert_eq!(app.read_file("data", "/raw.txt").unwrap(), b"{{db_pass}}");
+    }
+
+    #[test]
+    fn rollback_attack_detected_on_restart() {
+        let mut h = setup("");
+        let mut app = start(&mut h).unwrap();
+        app.write_file(&mut h.palaemon, "data", "/counter", b"1")
+            .unwrap();
+        app.exit(&mut h.palaemon).unwrap();
+        let old_state = h.data_store.snapshot();
+        let mut app2 = start(&mut h).unwrap();
+        app2.write_file(&mut h.palaemon, "data", "/counter", b"2")
+            .unwrap();
+        app2.exit(&mut h.palaemon).unwrap();
+        // The attacker restores yesterday's volume.
+        h.data_store.restore(old_state);
+        let err = start(&mut h).unwrap_err();
+        assert!(matches!(err, PalaemonError::RollbackDetected(_)));
+    }
+
+    #[test]
+    fn strict_mode_crash_blocks_restart() {
+        let mut h = setup("strict: true");
+        let mut app = start(&mut h).unwrap();
+        app.write_file(&mut h.palaemon, "data", "/wip", b"partial")
+            .unwrap();
+        app.crash();
+        let err = start(&mut h).unwrap_err();
+        assert!(matches!(err, PalaemonError::StrictModeViolation(_)));
+        // The board-approved reset re-enables the service.
+        h.palaemon.reset_tag("app_policy", "data").unwrap();
+        // Volume state still fails the *tag* check unless wiped — PALÆMON
+        // forgot the tag, so a fresh mount succeeds with the old content
+        // treated as pre-existing state.
+        let app2 = start(&mut h);
+        assert!(app2.is_ok());
+    }
+
+    #[test]
+    fn non_strict_crash_allows_restart_with_matching_tag() {
+        let mut h = setup("");
+        let mut app = start(&mut h).unwrap();
+        app.write_file(&mut h.palaemon, "data", "/f", b"x").unwrap();
+        app.crash();
+        // Not strict: restart allowed as long as the volume tag matches the
+        // last pushed tag (the write pushed it).
+        let mut app2 = start(&mut h).unwrap();
+        assert_eq!(app2.read_file("data", "/f").unwrap(), b"x");
+    }
+
+    #[test]
+    fn tampered_binary_fails_attestation() {
+        let mut h = setup("");
+        h.binary = b"evil binary".to_vec();
+        let err = start(&mut h).unwrap_err();
+        assert!(matches!(err, PalaemonError::AttestationFailed(_)));
+    }
+
+    #[test]
+    fn missing_volume_store_fails() {
+        let mut h = setup("");
+        let mut stores: HashMap<String, Box<dyn BlockStore>> = HashMap::new();
+        let err = RunningApp::start(
+            &h.platform,
+            &mut h.palaemon,
+            &h.binary,
+            0,
+            "app_policy",
+            "app",
+            &mut stores,
+            &mut h.rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PalaemonError::Fs(_)));
+    }
+
+    #[test]
+    fn args_env_delivered() {
+        let mut h = setup("");
+        let app = start(&mut h).unwrap();
+        assert_eq!(app.config.args, vec!["app".to_string()]);
+        assert!(app.config.secrets.contains_key("db_pass"));
+    }
+}

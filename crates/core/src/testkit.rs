@@ -1,0 +1,201 @@
+//! A ready-made world for examples, documentation and integration tests:
+//! one platform, one PALÆMON instance (started through the full Fig. 6
+//! protocol), and helpers for policy templating and application startup.
+
+use std::collections::HashMap;
+
+use palaemon_crypto::sig::SigningKey;
+use palaemon_crypto::Digest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shielded_fs::store::{BlockStore, MemStore};
+use tee_sim::enclave::EnclaveBuilder;
+use tee_sim::platform::{Microcode, Platform};
+
+use crate::error::Result;
+use crate::instance;
+use crate::policy::Policy;
+use crate::runtime::RunningApp;
+use crate::tms::{AppConfig, Palaemon};
+
+/// The canonical demo application binary.
+pub const DEMO_BINARY: &[u8] = b"demo application binary v1";
+
+/// A self-contained PALÆMON world.
+pub struct World {
+    /// The machine everything runs on.
+    pub platform: Platform,
+    /// The untrusted store behind PALÆMON's database.
+    pub tms_store: MemStore,
+    /// The running PALÆMON instance.
+    pub palaemon: Palaemon,
+    /// The policy owner's client key.
+    pub owner: SigningKey,
+    /// Deterministic RNG for the session.
+    pub rng: StdRng,
+    app_mre: Digest,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World").finish()
+    }
+}
+
+impl World {
+    /// Builds a world: platform, PALÆMON instance (full startup protocol),
+    /// registered quoting enclave, and a demo-binary measurement.
+    ///
+    /// # Panics
+    /// Panics if the instance fails to start (impossible on a fresh store).
+    pub fn new(seed: u64) -> World {
+        let platform = Platform::new("world-host", Microcode::PostForeshadow);
+        let tms_store = MemStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut palaemon, _info) = instance::start_instance(
+            &platform,
+            Box::new(tms_store.clone()),
+            Digest::from_bytes([0xAA; 32]),
+            1,
+            0,
+            &mut rng,
+        )
+        .expect("fresh instance always starts");
+        palaemon.register_platform(platform.id(), platform.qe_verifying_key());
+        // Measure the demo binary.
+        let builder = EnclaveBuilder::new(platform.epc().clone());
+        let (probe, _) = builder.build(DEMO_BINARY, 0).expect("probe build");
+        let app_mre = probe.mrenclave();
+        probe.destroy();
+        World {
+            platform,
+            tms_store,
+            palaemon,
+            owner: SigningKey::from_seed(b"world-owner"),
+            rng,
+            app_mre,
+        }
+    }
+
+    /// Hex MRENCLAVE of [`DEMO_BINARY`], for policy templates.
+    pub fn app_mre(&self) -> String {
+        self.app_mre.to_hex()
+    }
+
+    /// Parses a policy after substituting `$PLACEHOLDER` pairs.
+    ///
+    /// # Errors
+    /// Parse errors.
+    pub fn policy_from_template(&self, template: &str, subs: &[(&str, String)]) -> Result<Policy> {
+        let mut text = template.to_string();
+        for (from, to) in subs {
+            text = text.replace(from, to);
+        }
+        Policy::parse(&text)
+    }
+
+    /// Creates a board-less policy owned by the world's owner key.
+    ///
+    /// # Errors
+    /// Creation errors (duplicate name etc.).
+    pub fn create_policy(&mut self, policy: Policy) -> Result<()> {
+        self.palaemon
+            .create_policy(&self.owner.verifying_key(), policy, None, &[])
+    }
+
+    /// Attests the demo binary under `policy`/`service` without mounting
+    /// volumes; returns the delivered configuration.
+    ///
+    /// # Errors
+    /// Attestation errors.
+    pub fn attest_app(&mut self, policy: &str, service: &str) -> Result<AppConfig> {
+        let tls_key = SigningKey::generate(&mut self.rng);
+        let binding = crate::runtime::tls_key_binding(&tls_key.verifying_key());
+        let report = tee_sim::quote::create_report(&self.platform, self.app_mre, binding);
+        let quote = tee_sim::quote::quote_report(&self.platform, &report)
+            .map_err(crate::error::PalaemonError::from)?;
+        self.palaemon
+            .attest_service(&quote, &binding, policy, service)
+    }
+
+    /// Starts the demo binary as a full [`RunningApp`] with one
+    /// memory-backed store per named volume.
+    ///
+    /// # Errors
+    /// Startup/attestation errors.
+    pub fn start_app(
+        &mut self,
+        policy: &str,
+        service: &str,
+        volume_stores: &[(&str, MemStore)],
+    ) -> Result<RunningApp> {
+        let mut stores: HashMap<String, Box<dyn BlockStore>> = HashMap::new();
+        for (name, store) in volume_stores {
+            stores.insert((*name).to_string(), Box::new(store.clone()));
+        }
+        RunningApp::start(
+            &self.platform,
+            &mut self.palaemon,
+            DEMO_BINARY,
+            64 * 1024,
+            policy,
+            service,
+            &mut stores,
+            &mut self.rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_boots_and_serves_policies() {
+        let mut world = World::new(1);
+        let policy = world
+            .policy_from_template(
+                r#"
+name: t
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+secrets:
+  - name: s
+    kind: ascii
+    length: 8
+"#,
+                &[("$MRE", world.app_mre())],
+            )
+            .unwrap();
+        world.create_policy(policy).unwrap();
+        let config = world.attest_app("t", "app").unwrap();
+        assert_eq!(config.secrets.get("s").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn start_app_with_volume() {
+        let mut world = World::new(2);
+        let policy = world
+            .policy_from_template(
+                r#"
+name: v
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+    volumes: ["data"]
+volumes:
+  - name: data
+"#,
+                &[("$MRE", world.app_mre())],
+            )
+            .unwrap();
+        world.create_policy(policy).unwrap();
+        let store = MemStore::new();
+        let mut app = world.start_app("v", "app", &[("data", store.clone())]).unwrap();
+        app.write_file(&mut world.palaemon, "data", "/f", b"1").unwrap();
+        app.exit(&mut world.palaemon).unwrap();
+        let mut app2 = world.start_app("v", "app", &[("data", store)]).unwrap();
+        assert_eq!(app2.read_file("data", "/f").unwrap(), b"1");
+    }
+}

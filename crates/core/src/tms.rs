@@ -1,0 +1,1198 @@
+//! The PALÆMON trust management service itself.
+//!
+//! One [`Palaemon`] value is one service instance running inside a TEE. It
+//! owns the encrypted database (policies, secrets, volume keys, expected
+//! tags), verifies application quotes, enforces policy boards on every CRUD
+//! access, and runs the tag service used for rollback protection.
+//!
+//! ## Access control (paper §IV-E)
+//! Policy CRUD is guarded in two stages: the *client certificate* presented
+//! at creation owns the policy and must sign every later access, and the
+//! *policy board* (if declared) must approve each action with a quorum of
+//! fresh signed votes. Secret *delivery*, in contrast, is guarded by
+//! attestation: only an application whose MRENCLAVE, platform and
+//! file-system state match the policy receives the configuration.
+//!
+//! ## Tag service (paper §III-D)
+//! Applications push their file-system tag on every file close / sync /
+//! exit over their attested session. Tag updates are committed to the
+//! encrypted database (the expensive path measured in Fig. 11-left); reads
+//! are served from memory.
+
+use std::collections::{BTreeMap, HashMap};
+
+use palaemon_crypto::aead::AeadKey;
+use palaemon_crypto::randutil;
+use palaemon_crypto::sig::{SigningKey, VerifyingKey};
+use palaemon_crypto::Digest;
+use palaemon_db::Db;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use shielded_fs::fs::TagEvent;
+use shielded_fs::inject::SecretMap;
+use tee_sim::quote::Quote;
+
+use crate::board::{self, ApprovalRequest, PolicyAction, Vote};
+use crate::error::{PalaemonError, Result};
+use crate::policy::{Policy, SecretKind, ServiceSpec};
+
+/// An attested application session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// A volume handed to an attested application: its encryption key and the
+/// tag PALÆMON expects the file system to have.
+#[derive(Debug, Clone)]
+pub struct VolumeGrant {
+    /// Volume name.
+    pub volume: String,
+    /// File-system encryption key.
+    pub key: AeadKey,
+    /// Expected tag; `None` for a fresh (never written) volume.
+    pub expected_tag: Option<Digest>,
+}
+
+/// Everything an attested application receives (paper §IV-A).
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Session for subsequent tag pushes.
+    pub session: SessionId,
+    /// Command-line arguments (secrets substituted).
+    pub args: Vec<String>,
+    /// Environment variables (secrets substituted).
+    pub env: BTreeMap<String, String>,
+    /// Volume keys and expected tags.
+    pub volumes: Vec<VolumeGrant>,
+    /// Secrets for file injection.
+    pub secrets: SecretMap,
+    /// Files the runtime must inject secrets into.
+    pub injection_files: Vec<String>,
+    /// Whether strict mode applies to this service.
+    pub strict: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Session {
+    policy: String,
+    #[allow(dead_code)]
+    service: String,
+    volumes: Vec<String>,
+}
+
+/// Record of a stored tag: the digest plus which event pushed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagRecord {
+    /// The expected tag.
+    pub tag: Digest,
+    /// The event that produced it.
+    pub event: TagEvent,
+}
+
+fn event_code(e: TagEvent) -> u8 {
+    match e {
+        TagEvent::FileClose => 1,
+        TagEvent::Sync => 2,
+        TagEvent::Exit => 3,
+    }
+}
+
+fn event_from_code(c: u8) -> Option<TagEvent> {
+    match c {
+        1 => Some(TagEvent::FileClose),
+        2 => Some(TagEvent::Sync),
+        3 => Some(TagEvent::Exit),
+        _ => None,
+    }
+}
+
+/// One PALÆMON service instance.
+pub struct Palaemon {
+    db: Db,
+    rng: StdRng,
+    identity: SigningKey,
+    mrenclave: Digest,
+    qe_keys: HashMap<String, VerifyingKey>,
+    sessions: HashMap<u64, Session>,
+    next_session: u64,
+    pending_approvals: HashMap<u64, (String, PolicyAction, Digest)>,
+    next_nonce: u64,
+}
+
+impl std::fmt::Debug for Palaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Palaemon")
+            .field("mrenclave", &self.mrenclave)
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+impl Palaemon {
+    /// Creates a service instance over an open database.
+    ///
+    /// `identity` is the instance key pair (restored from sealed storage by
+    /// [`crate::instance`]), `mrenclave` the measurement of the PALÆMON
+    /// enclave itself, and `seed` drives deterministic secret generation.
+    pub fn new(db: Db, identity: SigningKey, mrenclave: Digest, seed: u64) -> Self {
+        Palaemon {
+            db,
+            rng: StdRng::seed_from_u64(seed),
+            identity,
+            mrenclave,
+            qe_keys: HashMap::new(),
+            sessions: HashMap::new(),
+            next_session: 1,
+            pending_approvals: HashMap::new(),
+            next_nonce: 1,
+        }
+    }
+
+    /// The instance's public key (what the CA certifies).
+    pub fn public_key(&self) -> VerifyingKey {
+        self.identity.verifying_key()
+    }
+
+    /// The PALÆMON enclave's own measurement.
+    pub fn mrenclave(&self) -> Digest {
+        self.mrenclave
+    }
+
+    /// Signs bytes as this instance (used in CA and attestation flows).
+    pub fn sign(&self, bytes: &[u8]) -> palaemon_crypto::sig::Signature {
+        self.identity.sign(bytes)
+    }
+
+    /// Registers a platform's quoting-enclave key so quotes from it can be
+    /// verified (models QE provisioning).
+    pub fn register_platform(&mut self, platform_id: &str, qe_key: VerifyingKey) {
+        self.qe_keys.insert(platform_id.to_string(), qe_key);
+    }
+
+    /// Direct access to the underlying database (instance guard, tests).
+    pub fn db_mut(&mut self) -> &mut Db {
+        &mut self.db
+    }
+
+    // ------------------------------------------------------------------
+    // Policy CRUD
+    // ------------------------------------------------------------------
+
+    /// Starts an approval round: returns the request board members must
+    /// sign. The nonce is single-use.
+    pub fn begin_approval(
+        &mut self,
+        policy_name: &str,
+        action: PolicyAction,
+        policy_digest: Digest,
+    ) -> ApprovalRequest {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.pending_approvals
+            .insert(nonce, (policy_name.to_string(), action, policy_digest));
+        ApprovalRequest {
+            policy_name: policy_name.to_string(),
+            action,
+            policy_digest,
+            nonce,
+        }
+    }
+
+    fn consume_approval(
+        &mut self,
+        request: &ApprovalRequest,
+        board: &crate::policy::BoardSpec,
+        votes: &[Vote],
+    ) -> Result<()> {
+        let pending = self
+            .pending_approvals
+            .remove(&request.nonce)
+            .ok_or_else(|| PalaemonError::BoardRejected("unknown or reused nonce".into()))?;
+        if pending != (request.policy_name.clone(), request.action, request.policy_digest) {
+            return Err(PalaemonError::BoardRejected(
+                "approval request does not match pending operation".into(),
+            ));
+        }
+        board::evaluate(board, request, votes)?;
+        Ok(())
+    }
+
+    /// Creates a policy. `owner` is the client certificate key that will
+    /// control all future accesses. If the policy declares a board, `votes`
+    /// must satisfy it for the `request` issued by [`Self::begin_approval`].
+    ///
+    /// Declared secrets and volume keys are generated here and persisted.
+    ///
+    /// # Errors
+    /// [`PalaemonError::PolicyExists`], [`PalaemonError::BoardRejected`],
+    /// or database errors.
+    pub fn create_policy(
+        &mut self,
+        owner: &VerifyingKey,
+        policy: Policy,
+        request: Option<&ApprovalRequest>,
+        votes: &[Vote],
+    ) -> Result<()> {
+        policy.validate()?;
+        let key = format!("policy/{}", policy.name);
+        if self.db.get(key.as_bytes()).is_some() {
+            return Err(PalaemonError::PolicyExists(policy.name.clone()));
+        }
+        if let Some(board) = &policy.board {
+            let request = request.ok_or_else(|| {
+                PalaemonError::BoardRejected("policy has a board; approval required".into())
+            })?;
+            if request.action != PolicyAction::Create || request.policy_digest != policy.digest() {
+                return Err(PalaemonError::BoardRejected(
+                    "approval request does not cover this creation".into(),
+                ));
+            }
+            self.consume_approval(request, board, votes)?;
+        }
+
+        // Generate secrets.
+        for spec in &policy.secrets {
+            let value = match &spec.kind {
+                SecretKind::Ascii { length } => {
+                    randutil::random_token(&mut self.rng, *length).into_bytes()
+                }
+                SecretKind::Binary { length } => {
+                    let mut v = vec![0u8; *length];
+                    self.rng.fill_bytes(&mut v);
+                    v
+                }
+                SecretKind::Explicit { value } => value.clone(),
+            };
+            self.db.put(
+                format!("secretv/{}/{}", policy.name, spec.name).into_bytes(),
+                value.clone(),
+            );
+            // Exports: make the secret available to target policies.
+            for target in &spec.export_to {
+                self.db.put(
+                    format!("export-secret/{}/{}", target, spec.name).into_bytes(),
+                    value.clone(),
+                );
+            }
+        }
+        // Generate volume keys.
+        for vol in &policy.volumes {
+            let vol_key = AeadKey::generate(&mut self.rng);
+            self.db.put(
+                format!("volkey/{}/{}", policy.name, vol.name).into_bytes(),
+                vol_key.expose_bytes().to_vec(),
+            );
+            if let Some(target) = &vol.export_to {
+                self.db.put(
+                    format!("export-volume/{}/{}/{}", target, policy.name, vol.name).into_bytes(),
+                    vol_key.expose_bytes().to_vec(),
+                );
+            }
+        }
+
+        self.db.put(key.into_bytes(), policy.encode());
+        self.db.put(
+            format!("owner/{}", policy.name).into_bytes(),
+            owner.to_u64().to_be_bytes().to_vec(),
+        );
+        self.db.commit()?;
+        Ok(())
+    }
+
+    fn authorize(&self, name: &str, client: &VerifyingKey) -> Result<()> {
+        let owner_raw = self
+            .db
+            .get(format!("owner/{name}").as_bytes())
+            .ok_or_else(|| PalaemonError::PolicyNotFound(name.to_string()))?;
+        let owner = u64::from_be_bytes(owner_raw.try_into().unwrap_or_default());
+        if owner != client.to_u64() {
+            return Err(PalaemonError::NotAuthorized(format!(
+                "client key does not own policy '{name}'"
+            )));
+        }
+        Ok(())
+    }
+
+    fn load_policy(&self, name: &str) -> Result<Policy> {
+        let raw = self
+            .db
+            .get(format!("policy/{name}").as_bytes())
+            .ok_or_else(|| PalaemonError::PolicyNotFound(name.to_string()))?;
+        Policy::decode(raw)
+    }
+
+    /// Reads a policy. Requires the owner's key and, when a board exists,
+    /// an approved `Read` request.
+    ///
+    /// # Errors
+    /// [`PalaemonError::PolicyNotFound`], [`PalaemonError::NotAuthorized`],
+    /// [`PalaemonError::BoardRejected`].
+    pub fn read_policy(
+        &mut self,
+        name: &str,
+        client: &VerifyingKey,
+        request: Option<&ApprovalRequest>,
+        votes: &[Vote],
+    ) -> Result<Policy> {
+        self.authorize(name, client)?;
+        let policy = self.load_policy(name)?;
+        if let Some(board) = &policy.board {
+            let request = request.ok_or_else(|| {
+                PalaemonError::BoardRejected("policy has a board; approval required".into())
+            })?;
+            self.consume_approval(request, board, votes)?;
+        }
+        Ok(policy)
+    }
+
+    /// Updates a policy (same name). The *existing* board must approve the
+    /// digest of the *new* content — this is the secure-update path.
+    ///
+    /// New secrets/volumes are generated; removed ones are deleted.
+    ///
+    /// # Errors
+    /// [`PalaemonError::PolicyNotFound`], [`PalaemonError::NotAuthorized`],
+    /// [`PalaemonError::BoardRejected`], parse/db errors.
+    pub fn update_policy(
+        &mut self,
+        client: &VerifyingKey,
+        new_policy: Policy,
+        request: Option<&ApprovalRequest>,
+        votes: &[Vote],
+    ) -> Result<()> {
+        new_policy.validate()?;
+        let name = new_policy.name.clone();
+        self.authorize(&name, client)?;
+        let current = self.load_policy(&name)?;
+        if let Some(board) = &current.board {
+            let request = request.ok_or_else(|| {
+                PalaemonError::BoardRejected("policy has a board; approval required".into())
+            })?;
+            if request.action != PolicyAction::Update
+                || request.policy_digest != new_policy.digest()
+            {
+                return Err(PalaemonError::BoardRejected(
+                    "approval request does not cover this update".into(),
+                ));
+            }
+            self.consume_approval(request, board, votes)?;
+        }
+
+        // Generate material for newly declared secrets; keep existing ones
+        // so updates do not rotate application secrets implicitly.
+        for spec in &new_policy.secrets {
+            let key = format!("secretv/{}/{}", name, spec.name);
+            if self.db.get(key.as_bytes()).is_none() {
+                let value = match &spec.kind {
+                    SecretKind::Ascii { length } => {
+                        randutil::random_token(&mut self.rng, *length).into_bytes()
+                    }
+                    SecretKind::Binary { length } => {
+                        let mut v = vec![0u8; *length];
+                        self.rng.fill_bytes(&mut v);
+                        v
+                    }
+                    SecretKind::Explicit { value } => value.clone(),
+                };
+                self.db.put(key.into_bytes(), value.clone());
+                for target in &spec.export_to {
+                    self.db.put(
+                        format!("export-secret/{}/{}", target, spec.name).into_bytes(),
+                        value.clone(),
+                    );
+                }
+            }
+        }
+        // Drop secrets no longer declared.
+        for old in &current.secrets {
+            if !new_policy.secrets.iter().any(|s| s.name == old.name) {
+                self.db
+                    .delete(format!("secretv/{}/{}", name, old.name).as_bytes());
+            }
+        }
+        // New volumes get keys.
+        for vol in &new_policy.volumes {
+            let key = format!("volkey/{}/{}", name, vol.name);
+            if self.db.get(key.as_bytes()).is_none() {
+                let vol_key = AeadKey::generate(&mut self.rng);
+                self.db
+                    .put(key.into_bytes(), vol_key.expose_bytes().to_vec());
+            }
+        }
+
+        self.db
+            .put(format!("policy/{name}").into_bytes(), new_policy.encode());
+        self.db.commit()?;
+        Ok(())
+    }
+
+    /// Deletes a policy and all of its material.
+    ///
+    /// # Errors
+    /// [`PalaemonError::PolicyNotFound`], [`PalaemonError::NotAuthorized`],
+    /// [`PalaemonError::BoardRejected`].
+    pub fn delete_policy(
+        &mut self,
+        name: &str,
+        client: &VerifyingKey,
+        request: Option<&ApprovalRequest>,
+        votes: &[Vote],
+    ) -> Result<()> {
+        self.authorize(name, client)?;
+        let policy = self.load_policy(name)?;
+        if let Some(board) = &policy.board {
+            let request = request.ok_or_else(|| {
+                PalaemonError::BoardRejected("policy has a board; approval required".into())
+            })?;
+            if request.action != PolicyAction::Delete {
+                return Err(PalaemonError::BoardRejected("wrong action".into()));
+            }
+            self.consume_approval(request, board, votes)?;
+        }
+        let prefixes = [
+            format!("policy/{name}"),
+            format!("owner/{name}"),
+            format!("secretv/{name}/"),
+            format!("volkey/{name}/"),
+            format!("tag/{name}/"),
+        ];
+        let mut to_delete = Vec::new();
+        for p in &prefixes {
+            for (k, _) in self.db.scan_prefix(p.as_bytes()) {
+                to_delete.push(k.to_vec());
+            }
+        }
+        for k in to_delete {
+            self.db.delete(&k);
+        }
+        self.db.commit()?;
+        Ok(())
+    }
+
+    /// Number of stored policies.
+    pub fn policy_count(&self) -> usize {
+        self.db.scan_prefix(b"policy/").count()
+    }
+
+    // ------------------------------------------------------------------
+    // Attestation & configuration (paper §IV-A)
+    // ------------------------------------------------------------------
+
+    /// The set of MRENCLAVEs a service accepts: its own list plus the
+    /// exported combos of imported image policies (intersection with the
+    /// app's restriction happens in [`crate::update::allowed_combos`]).
+    fn effective_mrenclaves(&self, service: &ServiceSpec) -> Result<Vec<Digest>> {
+        let mut mres = service.mrenclaves.clone();
+        for image_policy_name in &service.import_combos {
+            let image_policy = self.load_policy(image_policy_name)?;
+            for combo in &image_policy.exported_combos {
+                if !mres.contains(&combo.mrenclave) {
+                    mres.push(combo.mrenclave);
+                }
+            }
+        }
+        Ok(mres)
+    }
+
+    /// Attests an application and, on success, returns its configuration.
+    ///
+    /// `tls_key_binding` is the value the application placed in the quote's
+    /// report data (hash of its fresh TLS public key); passing it separately
+    /// models PALÆMON checking that the TLS channel endpoint and the
+    /// attested enclave are the same entity.
+    ///
+    /// # Errors
+    /// [`PalaemonError::AttestationFailed`] for any verification failure,
+    /// [`PalaemonError::StrictModeViolation`] when strict mode blocks a
+    /// restart after an unclean shutdown.
+    pub fn attest_service(
+        &mut self,
+        quote: &Quote,
+        tls_key_binding: &[u8; 64],
+        policy_name: &str,
+        service_name: &str,
+    ) -> Result<AppConfig> {
+        // 1. Quote must verify against the registered QE key.
+        let qe_key = self.qe_keys.get(&quote.platform_id).ok_or_else(|| {
+            PalaemonError::AttestationFailed(format!(
+                "unknown platform '{}'",
+                quote.platform_id
+            ))
+        })?;
+        quote
+            .verify(qe_key)
+            .map_err(|e| PalaemonError::AttestationFailed(e.to_string()))?;
+        // 2. TLS channel binding.
+        if &quote.report_data != tls_key_binding {
+            return Err(PalaemonError::AttestationFailed(
+                "report data does not bind the TLS key".into(),
+            ));
+        }
+        // 3. Policy and service lookup.
+        let policy = self
+            .load_policy(policy_name)
+            .map_err(|_| PalaemonError::AttestationFailed(format!(
+                "no policy '{policy_name}'"
+            )))?;
+        let service = policy
+            .service(service_name)
+            .ok_or_else(|| {
+                PalaemonError::AttestationFailed(format!("no service '{service_name}'"))
+            })?
+            .clone();
+        // 4. MRENCLAVE allowed?
+        let allowed = self.effective_mrenclaves(&service)?;
+        if !allowed.contains(&quote.mrenclave) {
+            return Err(PalaemonError::AttestationFailed(format!(
+                "MRENCLAVE {} not permitted for service '{service_name}'",
+                quote.mrenclave
+            )));
+        }
+        // 5. Platform allowed?
+        if !service.platforms.is_empty()
+            && !service.platforms.iter().any(|p| p == &quote.platform_id)
+        {
+            return Err(PalaemonError::AttestationFailed(format!(
+                "platform '{}' not permitted",
+                quote.platform_id
+            )));
+        }
+        // 6. Strict mode: last run must have exited cleanly.
+        if policy.strict {
+            for vol in &service.volumes {
+                if let Some(rec) = self.tag_record(policy_name, vol) {
+                    if rec.event != TagEvent::Exit {
+                        return Err(PalaemonError::StrictModeViolation(format!(
+                            "volume '{vol}' tag was pushed by {:?}, not a clean exit; \
+                             policy update required",
+                            rec.event
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Collect secrets: own + imported.
+        let mut secrets: SecretMap = SecretMap::new();
+        for spec in &policy.secrets {
+            if let Some(v) = self
+                .db
+                .get(format!("secretv/{}/{}", policy_name, spec.name).as_bytes())
+            {
+                secrets.insert(spec.name.clone(), v.to_vec());
+            }
+        }
+        for (k, v) in self
+            .db
+            .scan_prefix(format!("export-secret/{policy_name}/").as_bytes())
+        {
+            let name = String::from_utf8_lossy(k)
+                .rsplit('/')
+                .next()
+                .unwrap_or_default()
+                .to_string();
+            secrets.entry(name).or_insert_with(|| v.to_vec());
+        }
+
+        // Volumes: own keys or imported ones.
+        let mut volumes = Vec::new();
+        for vol in &service.volumes {
+            let key_bytes = self
+                .db
+                .get(format!("volkey/{policy_name}/{vol}").as_bytes())
+                .map(|v| v.to_vec())
+                .or_else(|| {
+                    policy.imports.iter().find(|i| &i.volume == vol).and_then(|imp| {
+                        self.db
+                            .get(
+                                format!("export-volume/{policy_name}/{}/{vol}", imp.policy)
+                                    .as_bytes(),
+                            )
+                            .map(|v| v.to_vec())
+                    })
+                })
+                .ok_or_else(|| {
+                    PalaemonError::AttestationFailed(format!("no key for volume '{vol}'"))
+                })?;
+            let arr: [u8; 32] = key_bytes
+                .try_into()
+                .map_err(|_| PalaemonError::Db("volume key corrupt".into()))?;
+            volumes.push(VolumeGrant {
+                volume: vol.clone(),
+                key: AeadKey::from_bytes(arr),
+                expected_tag: self.tag_record(policy_name, vol).map(|r| r.tag),
+            });
+        }
+
+        // Args and env with secret substitution.
+        let args: Vec<String> = service
+            .command
+            .split_whitespace()
+            .map(|a| substitute(a, &secrets))
+            .collect();
+        let env: BTreeMap<String, String> = service
+            .env
+            .iter()
+            .map(|(k, v)| (k.clone(), substitute(v, &secrets)))
+            .collect();
+
+        let session = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            session.0,
+            Session {
+                policy: policy_name.to_string(),
+                service: service_name.to_string(),
+                volumes: service.volumes.clone(),
+            },
+        );
+
+        Ok(AppConfig {
+            session,
+            args,
+            env,
+            volumes,
+            secrets,
+            injection_files: service.injection_files.clone(),
+            strict: policy.strict,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Tag service (rollback protection for applications)
+    // ------------------------------------------------------------------
+
+    /// Stores the expected tag for a volume, pushed by an attested session.
+    /// This is the durable (committed) path.
+    ///
+    /// # Errors
+    /// [`PalaemonError::NoSuchSession`] for unknown sessions or volumes not
+    /// granted to the session; database errors.
+    pub fn push_tag(
+        &mut self,
+        session: SessionId,
+        volume: &str,
+        tag: Digest,
+        event: TagEvent,
+    ) -> Result<()> {
+        let sess = self
+            .sessions
+            .get(&session.0)
+            .ok_or(PalaemonError::NoSuchSession)?;
+        if !sess.volumes.iter().any(|v| v == volume) {
+            return Err(PalaemonError::NoSuchSession);
+        }
+        let mut value = tag.as_bytes().to_vec();
+        value.push(event_code(event));
+        self.db.put(
+            format!("tag/{}/{}", sess.policy, volume).into_bytes(),
+            value,
+        );
+        self.db.commit()?;
+        Ok(())
+    }
+
+    /// Reads the expected tag for a session's volume (fast path, no disk).
+    ///
+    /// # Errors
+    /// [`PalaemonError::NoSuchSession`].
+    pub fn read_tag(&self, session: SessionId, volume: &str) -> Result<Option<TagRecord>> {
+        let sess = self
+            .sessions
+            .get(&session.0)
+            .ok_or(PalaemonError::NoSuchSession)?;
+        Ok(self.tag_record(&sess.policy, volume))
+    }
+
+    fn tag_record(&self, policy: &str, volume: &str) -> Option<TagRecord> {
+        let raw = self.db.get(format!("tag/{policy}/{volume}").as_bytes())?;
+        if raw.len() != 33 {
+            return None;
+        }
+        let mut arr = [0u8; 32];
+        arr.copy_from_slice(&raw[..32]);
+        Some(TagRecord {
+            tag: Digest::from_bytes(arr),
+            event: event_from_code(raw[32])?,
+        })
+    }
+
+    /// Administratively resets a volume tag (the paper's "explicit policy
+    /// update" needed to restart a strict-mode app after a crash). The
+    /// caller must have taken the board-approved update path first.
+    ///
+    /// # Errors
+    /// Database errors.
+    pub fn reset_tag(&mut self, policy: &str, volume: &str) -> Result<()> {
+        self.db.delete(format!("tag/{policy}/{volume}").as_bytes());
+        self.db.commit()?;
+        Ok(())
+    }
+
+    /// Ends a session (the application exited).
+    pub fn close_session(&mut self, session: SessionId) {
+        self.sessions.remove(&session.0);
+    }
+
+    /// Active session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+/// Replaces `{{secret}}` references inside a string value.
+fn substitute(value: &str, secrets: &SecretMap) -> String {
+    let (out, _) = shielded_fs::inject::inject_secrets(value.as_bytes(), secrets);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Stakeholder;
+    use crate::policy::Policy;
+    use palaemon_crypto::aead::AeadKey as Key;
+    use palaemon_db::Db;
+    use shielded_fs::store::MemStore;
+    use tee_sim::platform::{Microcode, Platform};
+    use tee_sim::quote::{create_report, quote_report};
+
+    fn new_tms() -> Palaemon {
+        let db = Db::create(Box::new(MemStore::new()), Key::from_bytes([1; 32]));
+        Palaemon::new(
+            db,
+            SigningKey::from_seed(b"tms"),
+            Digest::from_bytes([0xAA; 32]),
+            7,
+        )
+    }
+
+    fn client() -> (SigningKey, VerifyingKey) {
+        let sk = SigningKey::from_seed(b"client");
+        let vk = sk.verifying_key();
+        (sk, vk)
+    }
+
+    fn simple_policy(name: &str, mre: Digest) -> Policy {
+        Policy::parse(&format!(
+            r#"
+name: {name}
+services:
+  - name: app
+    command: app --token {{{{token}}}}
+    mrenclaves: ["{}"]
+    volumes: ["data"]
+    env:
+      API_TOKEN: "{{{{token}}}}"
+secrets:
+  - name: token
+    kind: ascii
+    length: 16
+volumes:
+  - name: data
+"#,
+            mre.to_hex()
+        ))
+        .unwrap()
+    }
+
+    fn quote_for(platform: &Platform, mre: Digest, binding: [u8; 64]) -> Quote {
+        let report = create_report(platform, mre, binding);
+        quote_report(platform, &report).unwrap()
+    }
+
+    fn setup() -> (Palaemon, Platform, VerifyingKey, Digest) {
+        let mut tms = new_tms();
+        let platform = Platform::new("plat-1", Microcode::PostForeshadow);
+        tms.register_platform(platform.id(), platform.qe_verifying_key());
+        let (_, owner) = client();
+        let mre = Digest::from_bytes([0x22; 32]);
+        tms.create_policy(&owner, simple_policy("p1", mre), None, &[])
+            .unwrap();
+        (tms, platform, owner, mre)
+    }
+
+    #[test]
+    fn create_and_attest_delivers_config() {
+        let (mut tms, platform, _, mre) = setup();
+        let binding = [9u8; 64];
+        let quote = quote_for(&platform, mre, binding);
+        let config = tms.attest_service(&quote, &binding, "p1", "app").unwrap();
+        let token = config.secrets.get("token").unwrap();
+        assert_eq!(token.len(), 16);
+        // Secret substituted into args and env.
+        let token_str = String::from_utf8(token.clone()).unwrap();
+        assert_eq!(config.args, vec!["app".to_string(), "--token".into(), token_str.clone()]);
+        assert_eq!(config.env.get("API_TOKEN").unwrap(), &token_str);
+        // Volume key granted, no expected tag yet.
+        assert_eq!(config.volumes.len(), 1);
+        assert!(config.volumes[0].expected_tag.is_none());
+    }
+
+    #[test]
+    fn duplicate_policy_name_rejected() {
+        let (mut tms, _, owner, mre) = setup();
+        let err = tms
+            .create_policy(&owner, simple_policy("p1", mre), None, &[])
+            .unwrap_err();
+        assert!(matches!(err, PalaemonError::PolicyExists(_)));
+    }
+
+    #[test]
+    fn wrong_mre_rejected() {
+        let (mut tms, platform, _, _) = setup();
+        let binding = [9u8; 64];
+        let quote = quote_for(&platform, Digest::from_bytes([0x33; 32]), binding);
+        let err = tms.attest_service(&quote, &binding, "p1", "app").unwrap_err();
+        assert!(matches!(err, PalaemonError::AttestationFailed(_)));
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let (mut tms, _, _, mre) = setup();
+        let rogue = Platform::new("rogue", Microcode::PostForeshadow);
+        let binding = [9u8; 64];
+        let quote = quote_for(&rogue, mre, binding);
+        assert!(tms.attest_service(&quote, &binding, "p1", "app").is_err());
+    }
+
+    #[test]
+    fn tls_binding_mismatch_rejected() {
+        let (mut tms, platform, _, mre) = setup();
+        let quote = quote_for(&platform, mre, [1u8; 64]);
+        let err = tms
+            .attest_service(&quote, &[2u8; 64], "p1", "app")
+            .unwrap_err();
+        assert!(err.to_string().contains("TLS"));
+    }
+
+    #[test]
+    fn platform_restriction_enforced() {
+        let mut tms = new_tms();
+        let allowed = Platform::new("allowed-host", Microcode::PostForeshadow);
+        let other = Platform::new("other-host", Microcode::PostForeshadow);
+        tms.register_platform(allowed.id(), allowed.qe_verifying_key());
+        tms.register_platform(other.id(), other.qe_verifying_key());
+        let (_, owner) = client();
+        let mre = Digest::from_bytes([0x44; 32]);
+        let policy = Policy::parse(&format!(
+            r#"
+name: pinned
+services:
+  - name: app
+    mrenclaves: ["{}"]
+    platforms: ["allowed-host"]
+"#,
+            mre.to_hex()
+        ))
+        .unwrap();
+        tms.create_policy(&owner, policy, None, &[]).unwrap();
+        let binding = [0u8; 64];
+        let ok = quote_for(&allowed, mre, binding);
+        assert!(tms.attest_service(&ok, &binding, "pinned", "app").is_ok());
+        let bad = quote_for(&other, mre, binding);
+        assert!(tms.attest_service(&bad, &binding, "pinned", "app").is_err());
+    }
+
+    #[test]
+    fn tag_push_and_read() {
+        let (mut tms, platform, _, mre) = setup();
+        let binding = [9u8; 64];
+        let quote = quote_for(&platform, mre, binding);
+        let config = tms.attest_service(&quote, &binding, "p1", "app").unwrap();
+        let tag = Digest::from_bytes([0x77; 32]);
+        tms.push_tag(config.session, "data", tag, TagEvent::Sync)
+            .unwrap();
+        let rec = tms.read_tag(config.session, "data").unwrap().unwrap();
+        assert_eq!(rec.tag, tag);
+        assert_eq!(rec.event, TagEvent::Sync);
+        // Next attestation sees the expected tag.
+        let quote2 = quote_for(&platform, mre, binding);
+        let config2 = tms.attest_service(&quote2, &binding, "p1", "app").unwrap();
+        assert_eq!(config2.volumes[0].expected_tag, Some(tag));
+    }
+
+    #[test]
+    fn tag_push_requires_granted_volume() {
+        let (mut tms, platform, _, mre) = setup();
+        let binding = [9u8; 64];
+        let quote = quote_for(&platform, mre, binding);
+        let config = tms.attest_service(&quote, &binding, "p1", "app").unwrap();
+        let err = tms
+            .push_tag(config.session, "other-volume", Digest::ZERO, TagEvent::Sync)
+            .unwrap_err();
+        assert_eq!(err, PalaemonError::NoSuchSession);
+    }
+
+    #[test]
+    fn unknown_session_rejected() {
+        let mut tms = new_tms();
+        assert_eq!(
+            tms.push_tag(SessionId(99), "v", Digest::ZERO, TagEvent::Sync)
+                .unwrap_err(),
+            PalaemonError::NoSuchSession
+        );
+    }
+
+    #[test]
+    fn strict_mode_blocks_unclean_restart() {
+        let mut tms = new_tms();
+        let platform = Platform::new("plat-1", Microcode::PostForeshadow);
+        tms.register_platform(platform.id(), platform.qe_verifying_key());
+        let (_, owner) = client();
+        let mre = Digest::from_bytes([0x55; 32]);
+        let policy = Policy::parse(&format!(
+            r#"
+name: strictp
+strict: true
+services:
+  - name: app
+    mrenclaves: ["{}"]
+    volumes: ["state"]
+volumes:
+  - name: state
+"#,
+            mre.to_hex()
+        ))
+        .unwrap();
+        tms.create_policy(&owner, policy, None, &[]).unwrap();
+        let binding = [0u8; 64];
+        let quote = quote_for(&platform, mre, binding);
+        let config = tms
+            .attest_service(&quote, &binding, "strictp", "app")
+            .unwrap();
+        // App makes progress but crashes: last push is Sync, not Exit.
+        tms.push_tag(config.session, "state", Digest::from_bytes([1; 32]), TagEvent::Sync)
+            .unwrap();
+        let quote2 = quote_for(&platform, mre, binding);
+        let err = tms
+            .attest_service(&quote2, &binding, "strictp", "app")
+            .unwrap_err();
+        assert!(matches!(err, PalaemonError::StrictModeViolation(_)));
+        // Clean exit unblocks.
+        tms.push_tag(config.session, "state", Digest::from_bytes([2; 32]), TagEvent::Exit)
+            .unwrap();
+        let quote3 = quote_for(&platform, mre, binding);
+        assert!(tms
+            .attest_service(&quote3, &binding, "strictp", "app")
+            .is_ok());
+        // Admin reset also unblocks after a crash.
+        tms.push_tag(config.session, "state", Digest::from_bytes([3; 32]), TagEvent::Sync)
+            .unwrap();
+        let quote4 = quote_for(&platform, mre, binding);
+        assert!(tms
+            .attest_service(&quote4, &binding, "strictp", "app")
+            .is_err());
+        tms.reset_tag("strictp", "state").unwrap();
+        let quote5 = quote_for(&platform, mre, binding);
+        assert!(tms
+            .attest_service(&quote5, &binding, "strictp", "app")
+            .is_ok());
+    }
+
+    #[test]
+    fn board_policy_requires_approval() {
+        let mut tms = new_tms();
+        let (_, owner) = client();
+        let alice = Stakeholder::from_seed("alice", b"a");
+        let bob = Stakeholder::from_seed("bob", b"b");
+        let mre = Digest::from_bytes([0x66; 32]);
+        let text = format!(
+            r#"
+name: boardp
+services:
+  - name: app
+    mrenclaves: ["{}"]
+board:
+  threshold: 2
+  members:
+    - id: alice
+      key: {}
+    - id: bob
+      key: {}
+"#,
+            mre.to_hex(),
+            alice.verifying_key().to_u64(),
+            bob.verifying_key().to_u64()
+        );
+        let policy = Policy::parse(&text).unwrap();
+
+        // No approval: rejected.
+        assert!(tms
+            .create_policy(&owner, policy.clone(), None, &[])
+            .is_err());
+
+        // With quorum: accepted.
+        let req = tms.begin_approval("boardp", PolicyAction::Create, policy.digest());
+        let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+        tms.create_policy(&owner, policy.clone(), Some(&req), &votes)
+            .unwrap();
+        assert_eq!(tms.policy_count(), 1);
+
+        // Update with only one vote: rejected.
+        let mut updated = policy.clone();
+        updated.strict = true;
+        let req = tms.begin_approval("boardp", PolicyAction::Update, updated.digest());
+        let votes = vec![alice.vote(&req, true)];
+        assert!(tms
+            .update_policy(&owner, updated.clone(), Some(&req), &votes)
+            .is_err());
+
+        // Update with quorum: accepted.
+        let req = tms.begin_approval("boardp", PolicyAction::Update, updated.digest());
+        let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+        tms.update_policy(&owner, updated, Some(&req), &votes)
+            .unwrap();
+    }
+
+    #[test]
+    fn nonce_cannot_be_reused() {
+        let mut tms = new_tms();
+        let (_, owner) = client();
+        let alice = Stakeholder::from_seed("alice", b"a");
+        let mre = Digest::from_bytes([0x66; 32]);
+        let text = format!(
+            r#"
+name: nonce_p
+services:
+  - name: app
+    mrenclaves: ["{}"]
+board:
+  threshold: 1
+  members:
+    - id: alice
+      key: {}
+"#,
+            mre.to_hex(),
+            alice.verifying_key().to_u64()
+        );
+        let policy = Policy::parse(&text).unwrap();
+        let req = tms.begin_approval("nonce_p", PolicyAction::Create, policy.digest());
+        let votes = vec![alice.vote(&req, true)];
+        tms.create_policy(&owner, policy.clone(), Some(&req), &votes)
+            .unwrap();
+        // Delete and try to recreate with the same (consumed) approval.
+        let req_del = tms.begin_approval("nonce_p", PolicyAction::Delete, Digest::ZERO);
+        let del_votes = vec![alice.vote(&req_del, true)];
+        tms.delete_policy("nonce_p", &owner, Some(&req_del), &del_votes)
+            .unwrap();
+        let err = tms
+            .create_policy(&owner, policy, Some(&req), &votes)
+            .unwrap_err();
+        assert!(err.to_string().contains("nonce"));
+    }
+
+    #[test]
+    fn owner_key_enforced() {
+        let (mut tms, _, _, mre) = setup();
+        let stranger = SigningKey::from_seed(b"stranger").verifying_key();
+        assert!(matches!(
+            tms.read_policy("p1", &stranger, None, &[]),
+            Err(PalaemonError::NotAuthorized(_))
+        ));
+        let _ = mre;
+    }
+
+    #[test]
+    fn secret_export_between_policies() {
+        let mut tms = new_tms();
+        let platform = Platform::new("plat-1", Microcode::PostForeshadow);
+        tms.register_platform(platform.id(), platform.qe_verifying_key());
+        let (_, owner) = client();
+        let mre_a = Digest::from_bytes([0x10; 32]);
+        let mre_b = Digest::from_bytes([0x20; 32]);
+        // Policy A exports a secret to policy B.
+        let a = Policy::parse(&format!(
+            r#"
+name: producer
+services:
+  - name: app
+    mrenclaves: ["{}"]
+secrets:
+  - name: shared_key
+    kind: binary
+    length: 32
+    export: consumer
+"#,
+            mre_a.to_hex()
+        ))
+        .unwrap();
+        let b = Policy::parse(&format!(
+            r#"
+name: consumer
+services:
+  - name: app
+    mrenclaves: ["{}"]
+"#,
+            mre_b.to_hex()
+        ))
+        .unwrap();
+        tms.create_policy(&owner, a, None, &[]).unwrap();
+        tms.create_policy(&owner, b, None, &[]).unwrap();
+        let binding = [0u8; 64];
+        let quote = quote_for(&platform, mre_b, binding);
+        let config = tms
+            .attest_service(&quote, &binding, "consumer", "app")
+            .unwrap();
+        assert_eq!(config.secrets.get("shared_key").unwrap().len(), 32);
+    }
+
+    #[test]
+    fn delete_policy_removes_material() {
+        let (mut tms, _, owner, _) = setup();
+        tms.delete_policy("p1", &owner, None, &[]).unwrap();
+        assert_eq!(tms.policy_count(), 0);
+        assert!(matches!(
+            tms.read_policy("p1", &owner, None, &[]),
+            Err(PalaemonError::PolicyNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn imported_combo_mre_accepted() {
+        let mut tms = new_tms();
+        let platform = Platform::new("plat-1", Microcode::PostForeshadow);
+        tms.register_platform(platform.id(), platform.qe_verifying_key());
+        let (_, owner) = client();
+        let python_mre = Digest::from_bytes([0x99; 32]);
+        let image_policy = Policy::parse(&format!(
+            r#"
+name: python_image_policy
+exports:
+  combos:
+    - mrenclave: "{}"
+      tag: "{}"
+"#,
+            python_mre.to_hex(),
+            Digest::from_bytes([0x01; 32]).to_hex()
+        ))
+        .unwrap();
+        let app_policy = Policy::parse(
+            r#"
+name: app_policy
+services:
+  - name: app
+    import_combos: ["python_image_policy"]
+"#,
+        )
+        .unwrap();
+        tms.create_policy(&owner, image_policy, None, &[]).unwrap();
+        tms.create_policy(&owner, app_policy, None, &[]).unwrap();
+        let binding = [0u8; 64];
+        let quote = quote_for(&platform, python_mre, binding);
+        assert!(tms
+            .attest_service(&quote, &binding, "app_policy", "app")
+            .is_ok());
+    }
+
+    #[test]
+    fn session_lifecycle() {
+        let (mut tms, platform, _, mre) = setup();
+        let binding = [9u8; 64];
+        let quote = quote_for(&platform, mre, binding);
+        let config = tms.attest_service(&quote, &binding, "p1", "app").unwrap();
+        assert_eq!(tms.session_count(), 1);
+        tms.close_session(config.session);
+        assert_eq!(tms.session_count(), 0);
+        assert!(tms.read_tag(config.session, "data").is_err());
+    }
+}

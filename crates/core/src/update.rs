@@ -1,0 +1,222 @@
+//! Secure software updates (paper §III-E).
+//!
+//! A new application version means a new MRENCLAVE and a new file-system
+//! tag. Enabling it is a policy *update* (board-approved, see
+//! [`crate::tms::Palaemon::update_policy`]); this module provides the policy
+//! algebra around it:
+//!
+//! * building the successor policy (add the new MRENCLAVE, retire old ones);
+//! * **combination intersection**: an image policy (e.g. a curated Python
+//!   interpreter) exports its valid MRENCLAVE × tag combinations; an
+//!   application policy imports them and may restrict further. The
+//!   application runs only with combinations permitted by *both* — so when
+//!   the image provider pulls a combination that turned out vulnerable, it
+//!   is automatically disallowed for every application that imports it.
+
+use palaemon_crypto::Digest;
+
+use crate::error::{PalaemonError, Result};
+use crate::policy::{Combo, Policy};
+
+/// Returns a successor policy with `new_mre` added to the service's
+/// permitted measurements (kept alongside the old ones so both versions can
+/// run during a rolling update).
+///
+/// # Errors
+/// [`PalaemonError::PolicyNotFound`] if the service does not exist.
+pub fn add_service_mre(policy: &Policy, service: &str, new_mre: Digest) -> Result<Policy> {
+    let mut next = policy.clone();
+    let svc = next
+        .services
+        .iter_mut()
+        .find(|s| s.name == service)
+        .ok_or_else(|| PalaemonError::PolicyNotFound(format!("service '{service}'")))?;
+    if !svc.mrenclaves.contains(&new_mre) {
+        svc.mrenclaves.push(new_mre);
+    }
+    Ok(next)
+}
+
+/// Returns a successor policy with `old_mre` removed (disabling the old
+/// version after a completed update, or killing a vulnerable build).
+///
+/// # Errors
+/// [`PalaemonError::PolicyNotFound`] if the service does not exist.
+pub fn retire_service_mre(policy: &Policy, service: &str, old_mre: Digest) -> Result<Policy> {
+    let mut next = policy.clone();
+    let svc = next
+        .services
+        .iter_mut()
+        .find(|s| s.name == service)
+        .ok_or_else(|| PalaemonError::PolicyNotFound(format!("service '{service}'")))?;
+    svc.mrenclaves.retain(|m| *m != old_mre);
+    Ok(next)
+}
+
+/// Returns a successor image policy exporting `combo` (a newly published
+/// image version).
+pub fn export_combo(policy: &Policy, combo: Combo) -> Policy {
+    let mut next = policy.clone();
+    if !next.exported_combos.contains(&combo) {
+        next.exported_combos.push(combo);
+    }
+    next
+}
+
+/// Returns a successor image policy with `combo` withdrawn (e.g. a
+/// vulnerability was discovered in that build).
+pub fn withdraw_combo(policy: &Policy, combo: Combo) -> Policy {
+    let mut next = policy.clone();
+    next.exported_combos.retain(|c| *c != combo);
+    next
+}
+
+/// Intersects the image's exported combinations with the application's own
+/// restriction. An empty restriction means "accept everything the image
+/// exports".
+pub fn intersect_combos(image_exports: &[Combo], app_restriction: &[Combo]) -> Vec<Combo> {
+    image_exports
+        .iter()
+        .filter(|c| app_restriction.is_empty() || app_restriction.contains(c))
+        .copied()
+        .collect()
+}
+
+/// The combinations a service may actually run with: the intersection of
+/// every imported image policy's exports with the app's restriction.
+///
+/// # Errors
+/// [`PalaemonError::PolicyNotFound`] if the service does not exist.
+pub fn allowed_combos(
+    app_policy: &Policy,
+    service: &str,
+    image_policies: &[&Policy],
+    app_restriction: &[Combo],
+) -> Result<Vec<Combo>> {
+    let svc = app_policy
+        .service(service)
+        .ok_or_else(|| PalaemonError::PolicyNotFound(format!("service '{service}'")))?;
+    let mut out = Vec::new();
+    for image_name in &svc.import_combos {
+        let image = image_policies
+            .iter()
+            .find(|p| &p.name == image_name)
+            .ok_or_else(|| PalaemonError::PolicyNotFound(image_name.clone()))?;
+        for combo in intersect_combos(&image.exported_combos, app_restriction) {
+            if !out.contains(&combo) {
+                out.push(combo);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mre(b: u8) -> Digest {
+        Digest::from_bytes([b; 32])
+    }
+
+    fn combo(m: u8, t: u8) -> Combo {
+        Combo {
+            mrenclave: mre(m),
+            tag: Digest::from_bytes([t; 32]),
+        }
+    }
+
+    fn app_policy() -> Policy {
+        Policy::parse(&format!(
+            r#"
+name: app
+services:
+  - name: svc
+    mrenclaves: ["{}"]
+    import_combos: ["image"]
+"#,
+            mre(1).to_hex()
+        ))
+        .unwrap()
+    }
+
+    fn image_policy(combos: &[Combo]) -> Policy {
+        let mut p = Policy::parse(
+            r#"
+name: image
+services: []
+"#,
+        )
+        .unwrap();
+        p.exported_combos = combos.to_vec();
+        p
+    }
+
+    #[test]
+    fn add_and_retire_mre() {
+        let p = app_policy();
+        let p2 = add_service_mre(&p, "svc", mre(2)).unwrap();
+        assert_eq!(p2.services[0].mrenclaves, vec![mre(1), mre(2)]);
+        // Idempotent.
+        let p3 = add_service_mre(&p2, "svc", mre(2)).unwrap();
+        assert_eq!(p3.services[0].mrenclaves.len(), 2);
+        let p4 = retire_service_mre(&p3, "svc", mre(1)).unwrap();
+        assert_eq!(p4.services[0].mrenclaves, vec![mre(2)]);
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let p = app_policy();
+        assert!(add_service_mre(&p, "ghost", mre(2)).is_err());
+        assert!(retire_service_mre(&p, "ghost", mre(2)).is_err());
+    }
+
+    #[test]
+    fn intersection_semantics() {
+        let exports = vec![combo(1, 1), combo(2, 2), combo(3, 3)];
+        // Empty restriction accepts all.
+        assert_eq!(intersect_combos(&exports, &[]).len(), 3);
+        // Restriction filters.
+        let restricted = intersect_combos(&exports, &[combo(2, 2)]);
+        assert_eq!(restricted, vec![combo(2, 2)]);
+        // Restriction naming an unexported combo yields nothing.
+        assert!(intersect_combos(&exports, &[combo(9, 9)]).is_empty());
+    }
+
+    #[test]
+    fn withdrawal_propagates_through_intersection() {
+        // The paper's key property: when the image provider withdraws a
+        // vulnerable combination, applications importing it lose it too,
+        // even if their own restriction still lists it.
+        let image = image_policy(&[combo(1, 1), combo(2, 2)]);
+        let app = app_policy();
+        let restriction = vec![combo(1, 1), combo(2, 2)];
+        let before = allowed_combos(&app, "svc", &[&image], &restriction).unwrap();
+        assert_eq!(before.len(), 2);
+        let image2 = withdraw_combo(&image, combo(1, 1));
+        let after = allowed_combos(&app, "svc", &[&image2], &restriction).unwrap();
+        assert_eq!(after, vec![combo(2, 2)]);
+    }
+
+    #[test]
+    fn export_combo_idempotent() {
+        let image = image_policy(&[]);
+        let i2 = export_combo(&image, combo(1, 1));
+        let i3 = export_combo(&i2, combo(1, 1));
+        assert_eq!(i3.exported_combos.len(), 1);
+    }
+
+    #[test]
+    fn allowed_combos_requires_image_policy() {
+        let app = app_policy();
+        assert!(allowed_combos(&app, "svc", &[], &[]).is_err());
+    }
+
+    #[test]
+    fn update_changes_policy_digest() {
+        // Any MRE change must change the digest the board signs.
+        let p = app_policy();
+        let p2 = add_service_mre(&p, "svc", mre(7)).unwrap();
+        assert_ne!(p.digest(), p2.digest());
+    }
+}

@@ -1,0 +1,207 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 construction), implemented from scratch.
+//!
+//! This is the authenticated encryption used for: shielded file-system
+//! blocks, PALÆMON's encrypted database, sealed storage, and TLS-like record
+//! protection in the simulator.
+
+use crate::chacha20;
+use crate::ct::ct_eq;
+use crate::poly1305;
+use crate::sha256::Sha256;
+use crate::{CryptoError, Result};
+
+/// AEAD key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// AEAD tag size in bytes.
+pub const TAG_LEN: usize = 16;
+/// AEAD nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// A 256-bit AEAD key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AeadKey([u8; KEY_LEN]);
+
+impl std::fmt::Debug for AeadKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "AeadKey(..)")
+    }
+}
+
+impl AeadKey {
+    /// Builds a key from raw bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        AeadKey(bytes)
+    }
+
+    /// Generates a random key from the given RNG.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> Self {
+        let mut k = [0u8; KEY_LEN];
+        rng.fill_bytes(&mut k);
+        AeadKey(k)
+    }
+
+    /// Exposes the raw key bytes (for sealing / wire transfer inside the
+    /// simulation only).
+    pub fn expose_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+
+    /// Encrypts `plaintext` bound to `aad`, deriving the nonce from
+    /// `nonce_seed` (hashed down to [`NONCE_LEN`] bytes).
+    ///
+    /// Output layout: `ciphertext ‖ 16-byte tag`.
+    pub fn seal(&self, nonce_seed: &[u8], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let nonce = derive_nonce(nonce_seed);
+        self.seal_with_nonce(&nonce, plaintext, aad)
+    }
+
+    /// Encrypts with an explicit 12-byte nonce.
+    pub fn seal_with_nonce(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        plaintext: &[u8],
+        aad: &[u8],
+    ) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        chacha20::xor_in_place(&self.0, 1, nonce, &mut out);
+        let tag = self.compute_tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts and authenticates `sealed` (ciphertext ‖ tag) bound to `aad`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::TagMismatch`] if authentication fails and
+    /// [`CryptoError::Decode`] if the input is shorter than a tag.
+    pub fn open(&self, nonce_seed: &[u8], sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>> {
+        let nonce = derive_nonce(nonce_seed);
+        self.open_with_nonce(&nonce, sealed, aad)
+    }
+
+    /// Decrypts with an explicit 12-byte nonce.
+    ///
+    /// # Errors
+    /// Same as [`AeadKey::open`].
+    pub fn open_with_nonce(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        sealed: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::Decode("sealed data shorter than tag".into()));
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.compute_tag(nonce, aad, ct);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::TagMismatch);
+        }
+        let mut pt = ct.to_vec();
+        chacha20::xor_in_place(&self.0, 1, nonce, &mut pt);
+        Ok(pt)
+    }
+
+    /// RFC 8439 tag: Poly1305 keyed from ChaCha20 block 0 over
+    /// `aad ‖ pad ‖ ct ‖ pad ‖ len(aad) ‖ len(ct)`.
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let block0 = chacha20::block(&self.0, 0, nonce);
+        let mut poly_key = [0u8; poly1305::KEY_LEN];
+        poly_key.copy_from_slice(&block0[..32]);
+
+        let mut mac_data = Vec::with_capacity(aad.len() + ct.len() + 32);
+        mac_data.extend_from_slice(aad);
+        mac_data.resize(mac_data.len().div_ceil(16) * 16, 0);
+        mac_data.extend_from_slice(ct);
+        mac_data.resize(mac_data.len().div_ceil(16) * 16, 0);
+        mac_data.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+        mac_data.extend_from_slice(&(ct.len() as u64).to_le_bytes());
+        poly1305::poly1305(&poly_key, &mac_data)
+    }
+}
+
+/// Derives a 12-byte nonce from an arbitrary-length seed by hashing.
+pub fn derive_nonce(seed: &[u8]) -> [u8; NONCE_LEN] {
+    let d = Sha256::digest_parts(&[b"palaemon.nonce.v1", seed]);
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(&d.as_bytes()[..NONCE_LEN]);
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let key = AeadKey::from_bytes([9u8; 32]);
+        let sealed = key.seal(b"n0", b"attack at dawn", b"hdr");
+        let opened = key.open(b"n0", &sealed, b"hdr").unwrap();
+        assert_eq!(opened, b"attack at dawn");
+    }
+
+    #[test]
+    fn tamper_ciphertext_detected() {
+        let key = AeadKey::from_bytes([9u8; 32]);
+        let mut sealed = key.seal(b"n0", b"attack at dawn", b"hdr");
+        sealed[0] ^= 1;
+        assert_eq!(key.open(b"n0", &sealed, b"hdr"), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn tamper_tag_detected() {
+        let key = AeadKey::from_bytes([9u8; 32]);
+        let mut sealed = key.seal(b"n0", b"msg", b"");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert_eq!(key.open(b"n0", &sealed, b""), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_aad_detected() {
+        let key = AeadKey::from_bytes([9u8; 32]);
+        let sealed = key.seal(b"n0", b"msg", b"aad1");
+        assert_eq!(key.open(b"n0", &sealed, b"aad2"), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_nonce_detected() {
+        let key = AeadKey::from_bytes([9u8; 32]);
+        let sealed = key.seal(b"n0", b"msg", b"");
+        assert_eq!(key.open(b"n1", &sealed, b""), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let k1 = AeadKey::from_bytes([1u8; 32]);
+        let k2 = AeadKey::from_bytes([2u8; 32]);
+        let sealed = k1.seal(b"n", b"msg", b"");
+        assert_eq!(k2.open(b"n", &sealed, b""), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let key = AeadKey::from_bytes([0u8; 32]);
+        assert!(matches!(
+            key.open(b"n", &[0u8; 10], b""),
+            Err(CryptoError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let key = AeadKey::from_bytes([4u8; 32]);
+        let sealed = key.seal(b"n", b"", b"aad");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(key.open(b"n", &sealed, b"aad").unwrap(), b"");
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let key = AeadKey::from_bytes([0xEE; 32]);
+        let s = format!("{key:?}");
+        assert!(!s.contains("238")); // 0xEE
+        assert!(s.contains("AeadKey"));
+    }
+}

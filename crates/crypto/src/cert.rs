@@ -1,0 +1,338 @@
+//! Minimal X.509-like certificates with chain verification.
+//!
+//! The PALÆMON CA (§III-B) issues short-lived certificates binding a
+//! service's TLS public key to an attested MRENCLAVE. Clients that trust the
+//! CA's root certificate can attest a PALÆMON instance with an ordinary
+//! TLS-style certificate check. Validity times are in simulation
+//! milliseconds (`simnet` virtual time).
+
+use crate::sig::{Signature, SigningKey, VerifyingKey};
+use crate::wire::{Decoder, Encoder};
+use crate::{CryptoError, Digest, Result};
+
+/// Certificate payload: everything that gets signed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateBody {
+    /// Human-readable subject name (e.g. `"palaemon-instance-3"`).
+    pub subject: String,
+    /// The subject's public key.
+    pub subject_key: VerifyingKey,
+    /// Issuer subject name.
+    pub issuer: String,
+    /// Not valid before (virtual ms).
+    pub not_before: u64,
+    /// Not valid after (virtual ms).
+    pub not_after: u64,
+    /// Optional MRENCLAVE binding: certificate attests that the key belongs
+    /// to an enclave with this measurement.
+    pub mrenclave: Option<Digest>,
+    /// Whether the subject may itself issue certificates (CA bit).
+    pub is_ca: bool,
+}
+
+impl CertificateBody {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_str("palaemon.cert.v1")
+            .put_str(&self.subject)
+            .put_u64(self.subject_key.to_u64())
+            .put_str(&self.issuer)
+            .put_u64(self.not_before)
+            .put_u64(self.not_after)
+            .put_u8(u8::from(self.is_ca));
+        match &self.mrenclave {
+            Some(mre) => {
+                e.put_u8(1).put_bytes(mre.as_bytes());
+            }
+            None => {
+                e.put_u8(0);
+            }
+        }
+        e.finish()
+    }
+}
+
+/// A signed certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The signed payload.
+    pub body: CertificateBody,
+    /// Issuer's signature over the canonical body encoding.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// Issues a certificate: signs `body` with the issuer key.
+    pub fn issue(body: CertificateBody, issuer_key: &SigningKey) -> Certificate {
+        let signature = issuer_key.sign(&body.encode());
+        Certificate { body, signature }
+    }
+
+    /// Issues a self-signed root certificate.
+    pub fn self_signed(
+        subject: &str,
+        key: &SigningKey,
+        not_before: u64,
+        not_after: u64,
+    ) -> Certificate {
+        let body = CertificateBody {
+            subject: subject.to_string(),
+            subject_key: key.verifying_key(),
+            issuer: subject.to_string(),
+            not_before,
+            not_after,
+            mrenclave: None,
+            is_ca: true,
+        };
+        Certificate::issue(body, key)
+    }
+
+    /// Verifies this certificate against the given issuer key and time.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::BadCertificate`] when expired / not yet valid,
+    /// or [`CryptoError::BadSignature`] on signature failure.
+    pub fn verify(&self, issuer_key: &VerifyingKey, now: u64) -> Result<()> {
+        if now < self.body.not_before {
+            return Err(CryptoError::BadCertificate(format!(
+                "not yet valid (now={now}, nbf={})",
+                self.body.not_before
+            )));
+        }
+        if now > self.body.not_after {
+            return Err(CryptoError::BadCertificate(format!(
+                "expired (now={now}, exp={})",
+                self.body.not_after
+            )));
+        }
+        issuer_key.verify(&self.body.encode(), &self.signature)
+    }
+
+    /// Verifies a chain `leaf ← intermediates… ← root`, where `root` must be
+    /// a trusted self-signed certificate the caller already holds.
+    ///
+    /// Checks, for every link: signature by the parent, parent `is_ca`,
+    /// validity window at `now`, and issuer/subject name chaining.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::BadCertificate`] or
+    /// [`CryptoError::BadSignature`] describing the first broken link.
+    pub fn verify_chain(chain: &[Certificate], root: &Certificate, now: u64) -> Result<()> {
+        if chain.is_empty() {
+            return Err(CryptoError::BadCertificate("empty chain".into()));
+        }
+        // Root must be self-signed and currently valid.
+        root.verify(&root.body.subject_key, now)?;
+        if !root.body.is_ca {
+            return Err(CryptoError::BadCertificate("root is not a CA".into()));
+        }
+        // Walk from the leaf up; the parent of the last element is the root.
+        for (i, cert) in chain.iter().enumerate() {
+            let parent = if i + 1 < chain.len() {
+                &chain[i + 1]
+            } else {
+                root
+            };
+            if !parent.body.is_ca {
+                return Err(CryptoError::BadCertificate(format!(
+                    "issuer '{}' is not a CA",
+                    parent.body.subject
+                )));
+            }
+            if cert.body.issuer != parent.body.subject {
+                return Err(CryptoError::BadCertificate(format!(
+                    "issuer mismatch: '{}' vs '{}'",
+                    cert.body.issuer, parent.body.subject
+                )));
+            }
+            cert.verify(&parent.body.subject_key, now)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the certificate.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_bytes(&self.body.encode());
+        e.put_bytes(&self.signature.to_bytes());
+        e.finish()
+    }
+
+    /// Parses a certificate from [`Certificate::to_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Certificate> {
+        let mut d = Decoder::new(bytes);
+        let body_bytes = d.get_bytes()?;
+        let sig_bytes = d.get_bytes()?;
+        d.finish()?;
+        let body = decode_body(&body_bytes)?;
+        let signature = Signature::from_bytes(&sig_bytes)?;
+        Ok(Certificate { body, signature })
+    }
+}
+
+fn decode_body(bytes: &[u8]) -> Result<CertificateBody> {
+    let mut d = Decoder::new(bytes);
+    let magic = d.get_str()?;
+    if magic != "palaemon.cert.v1" {
+        return Err(CryptoError::Decode(format!("bad cert magic '{magic}'")));
+    }
+    let subject = d.get_str()?;
+    let subject_key = VerifyingKey::from_u64(d.get_u64()?)?;
+    let issuer = d.get_str()?;
+    let not_before = d.get_u64()?;
+    let not_after = d.get_u64()?;
+    let is_ca = d.get_u8()? == 1;
+    let mrenclave = if d.get_u8()? == 1 {
+        let raw = d.get_bytes()?;
+        let arr: [u8; 32] = raw
+            .try_into()
+            .map_err(|_| CryptoError::Decode("mrenclave must be 32 bytes".into()))?;
+        Some(Digest::from_bytes(arr))
+    } else {
+        None
+    };
+    d.finish()?;
+    Ok(CertificateBody {
+        subject,
+        subject_key,
+        issuer,
+        not_before,
+        not_after,
+        mrenclave,
+        is_ca,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> SigningKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SigningKey::generate(&mut rng)
+    }
+
+    fn leaf_body(subject: &str, key: &SigningKey, issuer: &str) -> CertificateBody {
+        CertificateBody {
+            subject: subject.into(),
+            subject_key: key.verifying_key(),
+            issuer: issuer.into(),
+            not_before: 0,
+            not_after: 1_000_000,
+            mrenclave: Some(Digest::from_bytes([0x11; 32])),
+            is_ca: false,
+        }
+    }
+
+    #[test]
+    fn self_signed_root_verifies() {
+        let ca = key(1);
+        let root = Certificate::self_signed("root", &ca, 0, 100);
+        root.verify(&ca.verifying_key(), 50).unwrap();
+    }
+
+    #[test]
+    fn expired_certificate_rejected() {
+        let ca = key(2);
+        let root = Certificate::self_signed("root", &ca, 10, 100);
+        assert!(root.verify(&ca.verifying_key(), 101).is_err());
+        assert!(root.verify(&ca.verifying_key(), 5).is_err());
+        assert!(root.verify(&ca.verifying_key(), 10).is_ok());
+        assert!(root.verify(&ca.verifying_key(), 100).is_ok());
+    }
+
+    #[test]
+    fn chain_of_two_verifies() {
+        let ca = key(3);
+        let leaf_key = key(4);
+        let root = Certificate::self_signed("root", &ca, 0, 1_000_000);
+        let leaf = Certificate::issue(leaf_body("svc", &leaf_key, "root"), &ca);
+        Certificate::verify_chain(&[leaf], &root, 500).unwrap();
+    }
+
+    #[test]
+    fn chain_with_intermediate() {
+        let ca = key(5);
+        let mid_key = key(6);
+        let leaf_key = key(7);
+        let root = Certificate::self_signed("root", &ca, 0, 1_000_000);
+        let mid = Certificate::issue(
+            CertificateBody {
+                subject: "mid".into(),
+                subject_key: mid_key.verifying_key(),
+                issuer: "root".into(),
+                not_before: 0,
+                not_after: 1_000_000,
+                mrenclave: None,
+                is_ca: true,
+            },
+            &ca,
+        );
+        let leaf = Certificate::issue(leaf_body("svc", &leaf_key, "mid"), &mid_key);
+        Certificate::verify_chain(&[leaf, mid], &root, 500).unwrap();
+    }
+
+    #[test]
+    fn wrong_issuer_key_rejected() {
+        let ca = key(8);
+        let rogue = key(9);
+        let leaf_key = key(10);
+        let root = Certificate::self_signed("root", &ca, 0, 1_000_000);
+        // Rogue CA signs a cert claiming to be from "root".
+        let forged = Certificate::issue(leaf_body("svc", &leaf_key, "root"), &rogue);
+        assert!(Certificate::verify_chain(&[forged], &root, 500).is_err());
+    }
+
+    #[test]
+    fn non_ca_cannot_issue() {
+        let ca = key(11);
+        let mid_key = key(12);
+        let leaf_key = key(13);
+        let root = Certificate::self_signed("root", &ca, 0, 1_000_000);
+        // "mid" is NOT a CA.
+        let mid = Certificate::issue(leaf_body("mid", &mid_key, "root"), &ca);
+        let leaf = Certificate::issue(leaf_body("svc", &leaf_key, "mid"), &mid_key);
+        let err = Certificate::verify_chain(&[leaf, mid], &root, 500);
+        assert!(matches!(err, Err(CryptoError::BadCertificate(_))));
+    }
+
+    #[test]
+    fn issuer_name_mismatch_rejected() {
+        let ca = key(14);
+        let leaf_key = key(15);
+        let root = Certificate::self_signed("root", &ca, 0, 1_000_000);
+        let leaf = Certificate::issue(leaf_body("svc", &leaf_key, "other-root"), &ca);
+        assert!(Certificate::verify_chain(&[leaf], &root, 500).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let ca = key(16);
+        let leaf_key = key(17);
+        let leaf = Certificate::issue(leaf_body("svc", &leaf_key, "root"), &ca);
+        let parsed = Certificate::from_bytes(&leaf.to_bytes()).unwrap();
+        assert_eq!(parsed, leaf);
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let ca = key(18);
+        let leaf_key = key(19);
+        let root = Certificate::self_signed("root", &ca, 0, 1_000_000);
+        let mut leaf = Certificate::issue(leaf_body("svc", &leaf_key, "root"), &ca);
+        leaf.body.not_after = u64::MAX; // extend validity without re-signing
+        assert!(Certificate::verify_chain(&[leaf], &root, 500).is_err());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let ca = key(20);
+        let root = Certificate::self_signed("root", &ca, 0, 1_000_000);
+        assert!(Certificate::verify_chain(&[], &root, 1).is_err());
+    }
+}

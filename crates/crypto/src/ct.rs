@@ -1,0 +1,49 @@
+//! Constant-time byte comparison.
+//!
+//! Side channels are out of scope for the paper (§II-A), but MAC/tag
+//! comparison is still done without early exit, as any credible
+//! implementation would.
+
+/// Compares two byte slices without early exit.
+///
+/// Returns `false` immediately only on length mismatch (lengths are public).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"a", b""));
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let a = [0u8; 32];
+        for byte in 0..32 {
+            for bit in 0..8 {
+                let mut b = a;
+                b[byte] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Diffie–Hellman key agreement over the simulation-grade group, with
+//! HKDF-based session-key derivation.
+//!
+//! Used by the simulated TLS layer in `simnet` and by PALÆMON's attested TLS
+//! channels. Provides *ephemeral* exchanges so the simulation has perfect
+//! forward secrecy structurally (§V-A of the paper: only PFS ciphers are
+//! supported).
+
+use crate::group::{scalar_from_u64, Element};
+use crate::hkdf;
+use crate::Result;
+
+/// An ephemeral DH secret.
+#[derive(Clone)]
+pub struct EphemeralSecret {
+    secret: u64,
+    public: Element,
+}
+
+impl std::fmt::Debug for EphemeralSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EphemeralSecret(pub={})", self.public.value())
+    }
+}
+
+impl EphemeralSecret {
+    /// Generates a fresh ephemeral secret.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> Self {
+        let secret = scalar_from_u64(rng.next_u64());
+        EphemeralSecret {
+            secret,
+            public: Element::from_scalar(secret),
+        }
+    }
+
+    /// The public share to send to the peer.
+    pub fn public(&self) -> Element {
+        self.public
+    }
+
+    /// Completes the exchange with the peer's public share and derives a
+    /// 32-byte session key bound to `context`.
+    ///
+    /// # Errors
+    /// Propagates validation errors for invalid peer shares.
+    pub fn agree(&self, peer_public_raw: u64, context: &[u8]) -> Result<[u8; 32]> {
+        let peer = Element::from_u64(peer_public_raw)?;
+        let shared = peer.pow(self.secret);
+        Ok(hkdf::derive_key32(
+            b"palaemon.dh.v1",
+            &shared.value().to_be_bytes(),
+            context,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn both_sides_agree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = EphemeralSecret::generate(&mut rng);
+        let b = EphemeralSecret::generate(&mut rng);
+        let ka = a.agree(b.public().value(), b"ctx").unwrap();
+        let kb = b.agree(a.public().value(), b"ctx").unwrap();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn context_separates_keys() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = EphemeralSecret::generate(&mut rng);
+        let b = EphemeralSecret::generate(&mut rng);
+        let k1 = a.agree(b.public().value(), b"tls").unwrap();
+        let k2 = a.agree(b.public().value(), b"attest").unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn different_peers_different_keys() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = EphemeralSecret::generate(&mut rng);
+        let b = EphemeralSecret::generate(&mut rng);
+        let c = EphemeralSecret::generate(&mut rng);
+        let kab = a.agree(b.public().value(), b"x").unwrap();
+        let kac = a.agree(c.public().value(), b"x").unwrap();
+        assert_ne!(kab, kac);
+    }
+
+    #[test]
+    fn invalid_peer_share_rejected() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let a = EphemeralSecret::generate(&mut rng);
+        assert!(a.agree(0, b"x").is_err());
+    }
+}

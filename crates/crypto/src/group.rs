@@ -1,0 +1,230 @@
+//! Simulation-grade multiplicative group for Schnorr signatures and DH.
+//!
+//! The group is the order-`q` subgroup of quadratic residues of `Z_p^*` for
+//! the safe prime `p = 2q + 1`:
+//!
+//! * `p = 2305843009213691579` (61 bits)
+//! * `q = 1152921504606845789` (prime)
+//! * generator `g = 4`
+//!
+//! **This group is far too small to be secure.** It exists so the
+//! reproduction can implement faithful *protocol structure* (Schnorr
+//! signatures, DH key agreement, certificate chains) without external crypto
+//! dependencies and with fast, deterministic tests. The unit tests verify the
+//! group parameters (primality of `p` and `q`, order of `g`) with a
+//! deterministic Miller–Rabin check.
+
+use crate::{CryptoError, Result};
+
+/// The safe prime modulus.
+pub const P: u64 = 2_305_843_009_213_691_579;
+/// The prime subgroup order, `q = (p - 1) / 2`.
+pub const Q: u64 = 1_152_921_504_606_845_789;
+/// Generator of the order-`q` subgroup (a quadratic residue).
+pub const G: u64 = 4;
+
+/// Multiplies two field elements modulo `p`.
+#[inline]
+pub fn mul_mod_p(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(P)) as u64
+}
+
+/// Adds two scalars modulo `q`.
+#[inline]
+pub fn add_mod_q(a: u64, b: u64) -> u64 {
+    ((u128::from(a) + u128::from(b)) % u128::from(Q)) as u64
+}
+
+/// Multiplies two scalars modulo `q`.
+#[inline]
+pub fn mul_mod_q(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(Q)) as u64
+}
+
+/// Reduces an arbitrary u64 into a nonzero scalar in `[1, q)`.
+pub fn scalar_from_u64(x: u64) -> u64 {
+    (x % (Q - 1)) + 1
+}
+
+/// Computes `base^exp mod p` by square-and-multiply.
+pub fn pow_mod_p(base: u64, exp: u64) -> u64 {
+    let mut result: u64 = 1;
+    let mut b = base % P;
+    let mut e = exp;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mul_mod_p(result, b);
+        }
+        b = mul_mod_p(b, b);
+        e >>= 1;
+    }
+    result
+}
+
+/// A public group element (e.g. a public key), guaranteed to be in the
+/// order-`q` subgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Element(u64);
+
+impl Element {
+    /// The generator.
+    pub fn generator() -> Element {
+        Element(G)
+    }
+
+    /// `g^scalar`.
+    pub fn from_scalar(scalar: u64) -> Element {
+        Element(pow_mod_p(G, scalar % Q))
+    }
+
+    /// Validates that `value` is a member of the order-`q` subgroup.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::OutOfRange`] when the value is 0, ≥ p, or not
+    /// in the subgroup (i.e. `value^q != 1 mod p`).
+    pub fn from_u64(value: u64) -> Result<Element> {
+        if value == 0 || value >= P {
+            return Err(CryptoError::OutOfRange);
+        }
+        if pow_mod_p(value, Q) != 1 {
+            return Err(CryptoError::OutOfRange);
+        }
+        Ok(Element(value))
+    }
+
+    /// Raw value in `[1, p)`.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// `self^scalar`.
+    pub fn pow(&self, scalar: u64) -> Element {
+        Element(pow_mod_p(self.0, scalar % Q))
+    }
+
+    /// Group operation: `self * other mod p`.
+    pub fn mul(&self, other: &Element) -> Element {
+        Element(mul_mod_p(self.0, other.0))
+    }
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs
+/// using the standard witness set.
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for small in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == small {
+            return true;
+        }
+        if n % small == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = {
+            // pow mod n (n may differ from P, so reimplement locally)
+            let mut result: u128 = 1;
+            let mut b = u128::from(a) % u128::from(n);
+            let mut e = d;
+            while e > 0 {
+                if e & 1 == 1 {
+                    result = result * b % u128::from(n);
+                }
+                b = b * b % u128::from(n);
+                e >>= 1;
+            }
+            result as u64
+        };
+        if x == 1 || x == n - 1 {
+            continue 'witness;
+        }
+        for _ in 0..r - 1 {
+            x = ((u128::from(x) * u128::from(x)) % u128::from(n)) as u64;
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_and_q_are_prime() {
+        assert!(is_prime_u64(P));
+        assert!(is_prime_u64(Q));
+        assert_eq!(P, 2 * Q + 1, "p must be a safe prime");
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        assert_eq!(pow_mod_p(G, Q), 1);
+        assert_ne!(pow_mod_p(G, 1), 1);
+        assert_ne!(pow_mod_p(G, 2), 1);
+    }
+
+    #[test]
+    fn pow_matches_naive() {
+        for (b, e) in [(2u64, 10u64), (3, 0), (7, 1), (12345, 17)] {
+            let mut naive = 1u64;
+            for _ in 0..e {
+                naive = mul_mod_p(naive, b);
+            }
+            assert_eq!(pow_mod_p(b, e), naive, "b={b} e={e}");
+        }
+    }
+
+    #[test]
+    fn exponent_laws_hold() {
+        // g^(a+b) = g^a * g^b (mod q in the exponent).
+        let a = 123_456_789u64;
+        let b = 987_654_321u64;
+        let lhs = Element::from_scalar(add_mod_q(a, b));
+        let rhs = Element::from_scalar(a).mul(&Element::from_scalar(b));
+        assert_eq!(lhs, rhs);
+        // (g^a)^b = g^(ab).
+        let lhs = Element::from_scalar(a).pow(b);
+        let rhs = Element::from_scalar(mul_mod_q(a, b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subgroup_membership_enforced() {
+        assert!(Element::from_u64(0).is_err());
+        assert!(Element::from_u64(P).is_err());
+        assert!(Element::from_u64(P - 1).is_err()); // order 2, not in subgroup
+        let ok = Element::from_scalar(42);
+        assert!(Element::from_u64(ok.value()).is_ok());
+    }
+
+    #[test]
+    fn scalar_from_u64_in_range() {
+        for x in [0u64, 1, Q - 2, Q - 1, Q, u64::MAX] {
+            let s = scalar_from_u64(x);
+            assert!(s >= 1 && s < Q);
+        }
+    }
+
+    #[test]
+    fn primality_test_sanity() {
+        assert!(is_prime_u64(2));
+        assert!(is_prime_u64(3));
+        assert!(!is_prime_u64(1));
+        assert!(!is_prime_u64(0));
+        assert!(!is_prime_u64(561)); // Carmichael number
+        assert!(is_prime_u64(1_000_000_007));
+        assert!(!is_prime_u64(1_000_000_007u64 * 3));
+    }
+}

@@ -1,0 +1,106 @@
+//! HKDF-SHA256 (RFC 5869) key derivation, implemented from scratch.
+
+use crate::hmac::hmac_sha256;
+use crate::Digest;
+
+/// `HKDF-Extract(salt, ikm)` — condenses input keying material into a PRK.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> Digest {
+    hmac_sha256(salt, ikm)
+}
+
+/// `HKDF-Expand(prk, info, len)` — expands a PRK into `len` output bytes.
+///
+/// # Panics
+/// Panics if `len > 255 * 32` (the RFC 5869 limit).
+pub fn expand(prk: &Digest, info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "hkdf expand length limit exceeded");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut block_input = Vec::with_capacity(t.len() + info.len() + 1);
+        block_input.extend_from_slice(&t);
+        block_input.extend_from_slice(info);
+        block_input.push(counter);
+        let block = hmac_sha256(prk.as_bytes(), &block_input);
+        t = block.as_bytes().to_vec();
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&t[..take]);
+        counter = counter.wrapping_add(1);
+    }
+    out
+}
+
+/// One-shot `HKDF(salt, ikm, info, len)` — extract then expand.
+///
+/// # Example
+/// ```
+/// use palaemon_crypto::hkdf::derive;
+/// let key = derive(b"salt", b"input key material", b"app context", 32);
+/// assert_eq!(key.len(), 32);
+/// ```
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+/// Derives a fixed 32-byte key, convenient for AEAD keys.
+pub fn derive_key32(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let v = derive(salt, ikm, info, 32);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = derive(b"s", b"ikm", b"info", 64);
+        let b = derive(b"s", b"ikm", b"info", 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn info_separates_outputs() {
+        assert_ne!(derive(b"s", b"ikm", b"a", 32), derive(b"s", b"ikm", b"b", 32));
+    }
+
+    #[test]
+    fn salt_separates_outputs() {
+        assert_ne!(derive(b"s1", b"ikm", b"i", 32), derive(b"s2", b"ikm", b"i", 32));
+    }
+
+    #[test]
+    fn prefix_property() {
+        // Expanding to a longer length preserves the shorter prefix.
+        let short = derive(b"s", b"ikm", b"i", 16);
+        let long = derive(b"s", b"ikm", b"i", 80);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn expand_composes_with_extract() {
+        let prk = extract(b"salt", b"ikm");
+        assert_eq!(expand(&prk, b"i", 42), derive(b"salt", b"ikm", b"i", 42));
+    }
+
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let okm = derive(&salt, &ikm, &info, 42);
+        let expected = "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865";
+        let hex: String = okm.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(hex, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "length limit")]
+    fn expand_length_limit() {
+        let prk = extract(b"s", b"ikm");
+        let _ = expand(&prk, b"i", 255 * 32 + 1);
+    }
+}

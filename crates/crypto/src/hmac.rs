@@ -1,0 +1,130 @@
+//! HMAC-SHA256 (RFC 2104), implemented from scratch.
+
+use crate::sha256::Sha256;
+use crate::Digest;
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block size are hashed first, per RFC 2104.
+///
+/// # Example
+/// ```
+/// use palaemon_crypto::hmac::hmac_sha256;
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.as_bytes().len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let hashed = Sha256::digest(key);
+            key_block[..32].copy_from_slice(hashed.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Feeds message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    pub fn finalize(self) -> Digest {
+        let inner_hash = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(inner_hash.as_bytes());
+        outer.finalize()
+    }
+}
+
+/// Verifies an HMAC tag in constant time.
+pub fn verify_hmac_sha256(key: &[u8], message: &[u8], tag: &Digest) -> bool {
+    let expected = hmac_sha256(key, message);
+    crate::ct::ct_eq(expected.as_bytes(), tag.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4231_case1() {
+        // Key = 0x0b * 20, Data = "Hi There"
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        // Key = "Jefe", Data = "what do ya want for nothing?"
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        let key = vec![0x55u8; 200];
+        let direct = hmac_sha256(&key, b"data");
+        let hashed_key = Sha256::digest(&key);
+        let indirect = hmac_sha256(hashed_key.as_bytes(), b"data");
+        assert_eq!(direct, indirect);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"secret");
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), hmac_sha256(b"secret", b"hello world"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify_hmac_sha256(b"k", b"m", &tag));
+        assert!(!verify_hmac_sha256(b"k", b"m2", &tag));
+        assert!(!verify_hmac_sha256(b"k2", b"m", &tag));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"a", b"m"), hmac_sha256(b"b", b"m"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Cryptographic substrate for the PALÆMON reproduction.
+//!
+//! Everything in this crate is implemented from scratch so that the
+//! reproduction has no external cryptographic dependencies:
+//!
+//! * **Real algorithms** — [`sha256`], [`hmac`], [`hkdf`], [`chacha20`],
+//!   [`poly1305`] and the [`aead`] construction implement the genuine
+//!   algorithms and are validated against published test vectors.
+//!   [`merkle`] provides the binary Merkle tree used for file-system tags.
+//! * **Simulation-grade public-key algorithms** — [`group`], [`sig`]
+//!   (Schnorr signatures) and [`dh`] (Diffie–Hellman) operate over a 61-bit
+//!   safe-prime group. The *protocol structure* (key separation, what gets
+//!   signed, channel binding) is faithful to a production deployment, but the
+//!   group is far too small to be secure. See `DESIGN.md` for the rationale;
+//!   swap in a production curve before using any of this outside the
+//!   simulation.
+//! * [`cert`] — a minimal X.509-like certificate with chain verification,
+//!   used by the PALÆMON CA.
+//!
+//! # Example
+//!
+//! ```
+//! use palaemon_crypto::{aead::AeadKey, sha256::Sha256};
+//!
+//! let key = AeadKey::from_bytes([7u8; 32]);
+//! let sealed = key.seal(b"nonce-seed-0", b"secret", b"aad");
+//! let opened = key.open(b"nonce-seed-0", &sealed, b"aad").unwrap();
+//! assert_eq!(opened, b"secret");
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(digest.as_bytes().len(), 32);
+//! ```
+
+pub mod aead;
+pub mod cert;
+pub mod chacha20;
+pub mod ct;
+pub mod dh;
+pub mod group;
+pub mod hkdf;
+pub mod hmac;
+pub mod merkle;
+pub mod poly1305;
+pub mod randutil;
+pub mod sha256;
+pub mod sig;
+pub mod wire;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by cryptographic operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An AEAD authentication tag did not verify; the ciphertext or
+    /// associated data was tampered with.
+    TagMismatch,
+    /// A signature failed to verify.
+    BadSignature,
+    /// A certificate failed validation (expired, wrong issuer, bad chain).
+    BadCertificate(String),
+    /// Serialized input could not be decoded.
+    Decode(String),
+    /// A scalar or group element was out of range.
+    OutOfRange,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::BadCertificate(why) => write!(f, "invalid certificate: {why}"),
+            CryptoError::Decode(why) => write!(f, "decode error: {why}"),
+            CryptoError::OutOfRange => write!(f, "value out of range"),
+        }
+    }
+}
+
+impl StdError for CryptoError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CryptoError>;
+
+/// A 32-byte digest value (output of SHA-256, Merkle roots, key material).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as a sentinel for "empty".
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Returns the raw bytes of the digest.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Builds a digest from raw bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Renders the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parses a digest from a 64-character hex string.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] if the input is not 64 hex chars.
+    pub fn from_hex(s: &str) -> Result<Self> {
+        if s.len() != 64 {
+            return Err(CryptoError::Decode(format!(
+                "digest hex must be 64 chars, got {}",
+                s.len()
+            )));
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = hex_val(chunk[0])?;
+            let lo = hex_val(chunk[1])?;
+            out[i] = (hi << 4) | lo;
+        }
+        Ok(Digest(out))
+    }
+}
+
+fn hex_val(c: u8) -> Result<u8> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(CryptoError::Decode(format!("bad hex char {c}"))),
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}..)", &self.to_hex()[..16])
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::ZERO
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_hex_roundtrip() {
+        let d = Digest::from_bytes([0xab; 32]);
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(Digest::from_hex(&hex).unwrap(), d);
+    }
+
+    #[test]
+    fn digest_hex_rejects_bad_len() {
+        assert!(Digest::from_hex("abcd").is_err());
+    }
+
+    #[test]
+    fn digest_hex_rejects_bad_chars() {
+        let s = "zz".repeat(32);
+        assert!(Digest::from_hex(&s).is_err());
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            CryptoError::TagMismatch,
+            CryptoError::BadSignature,
+            CryptoError::BadCertificate("x".into()),
+            CryptoError::Decode("y".into()),
+            CryptoError::OutOfRange,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Binary Merkle tree over SHA-256, used for file-system integrity tags.
+//!
+//! PALÆMON identifies a protected file system by the Merkle root over all of
+//! its file contents — the *tag* (§III-D). Any change to any file changes the
+//! tag, which is how both modification and rollback are detected.
+
+use crate::sha256::Sha256;
+use crate::Digest;
+
+/// Domain-separation prefixes so leaves can never be confused with interior
+/// nodes (defence against second-preimage tree attacks).
+const LEAF_PREFIX: &[u8] = b"\x00palaemon.merkle.leaf";
+const NODE_PREFIX: &[u8] = b"\x01palaemon.merkle.node";
+
+/// Hashes a leaf value.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    Sha256::digest_parts(&[LEAF_PREFIX, data])
+}
+
+/// Hashes an interior node from its two children.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    Sha256::digest_parts(&[NODE_PREFIX, left.as_bytes(), right.as_bytes()])
+}
+
+/// Computes the Merkle root over pre-hashed leaves.
+///
+/// An odd node at any level is promoted unchanged (Bitcoin-style duplication
+/// is avoided because it permits malleability). The root of zero leaves is
+/// [`Digest::ZERO`].
+pub fn root_from_hashes(leaves: &[Digest]) -> Digest {
+    if leaves.is_empty() {
+        return Digest::ZERO;
+    }
+    let mut level: Vec<Digest> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(node_hash(&pair[0], &pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Computes the Merkle root over raw leaf values.
+pub fn root_from_values<T: AsRef<[u8]>>(values: &[T]) -> Digest {
+    let leaves: Vec<Digest> = values.iter().map(|v| leaf_hash(v.as_ref())).collect();
+    root_from_hashes(&leaves)
+}
+
+/// A Merkle inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hashes from leaf level to the root. `None` means the node was
+    /// promoted without a sibling at that level.
+    pub siblings: Vec<Option<Digest>>,
+}
+
+/// An incrementally updatable Merkle tree over leaf hashes.
+///
+/// The shielded file system keeps one of these over its file table and
+/// recomputes the root tag after each write.
+///
+/// # Example
+/// ```
+/// use palaemon_crypto::merkle::MerkleTree;
+/// let mut t = MerkleTree::new();
+/// let i = t.push(b"block0");
+/// t.update(i, b"block0-v2");
+/// let proof = t.prove(i);
+/// assert!(MerkleTree::verify(&t.root(), b"block0-v2", &proof));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MerkleTree {
+    leaves: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Creates an empty tree (root = [`Digest::ZERO`]).
+    pub fn new() -> Self {
+        MerkleTree { leaves: Vec::new() }
+    }
+
+    /// Builds a tree from raw leaf values.
+    pub fn from_values<T: AsRef<[u8]>>(values: &[T]) -> Self {
+        MerkleTree {
+            leaves: values.iter().map(|v| leaf_hash(v.as_ref())).collect(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Appends a leaf value, returning its index.
+    pub fn push(&mut self, value: &[u8]) -> usize {
+        self.leaves.push(leaf_hash(value));
+        self.leaves.len() - 1
+    }
+
+    /// Appends a pre-hashed leaf, returning its index.
+    pub fn push_hash(&mut self, hash: Digest) -> usize {
+        self.leaves.push(hash);
+        self.leaves.len() - 1
+    }
+
+    /// Replaces the leaf at `index` with a new value.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn update(&mut self, index: usize, value: &[u8]) {
+        self.leaves[index] = leaf_hash(value);
+    }
+
+    /// Replaces the leaf hash at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn update_hash(&mut self, index: usize, hash: Digest) {
+        self.leaves[index] = hash;
+    }
+
+    /// Current root tag.
+    pub fn root(&self) -> Digest {
+        root_from_hashes(&self.leaves)
+    }
+
+    /// Produces an inclusion proof for the leaf at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaves.len(), "leaf index out of bounds");
+        let mut siblings = Vec::new();
+        let mut level: Vec<Digest> = self.leaves.clone();
+        let mut idx = index;
+        while level.len() > 1 {
+            let sib = if idx % 2 == 0 {
+                level.get(idx + 1).copied()
+            } else {
+                Some(level[idx - 1])
+            };
+            siblings.push(sib);
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(node_hash(&pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+            idx /= 2;
+        }
+        MerkleProof { index, siblings }
+    }
+
+    /// Verifies an inclusion proof against a root.
+    pub fn verify(root: &Digest, value: &[u8], proof: &MerkleProof) -> bool {
+        let mut acc = leaf_hash(value);
+        let mut idx = proof.index;
+        for sib in &proof.siblings {
+            acc = match sib {
+                Some(s) if idx % 2 == 0 => node_hash(&acc, s),
+                Some(s) => node_hash(s, &acc),
+                None => acc,
+            };
+            idx /= 2;
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_root_is_zero() {
+        assert_eq!(MerkleTree::new().root(), Digest::ZERO);
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let mut t = MerkleTree::new();
+        t.push(b"only");
+        assert_eq!(t.root(), leaf_hash(b"only"));
+    }
+
+    #[test]
+    fn root_changes_on_update() {
+        let mut t = MerkleTree::from_values(&[b"a", b"b", b"c"]);
+        let before = t.root();
+        t.update(1, b"B");
+        assert_ne!(t.root(), before);
+        t.update(1, b"b");
+        assert_eq!(t.root(), before);
+    }
+
+    #[test]
+    fn root_depends_on_order() {
+        let r1 = root_from_values(&[b"a", b"b"]);
+        let r2 = root_from_values(&[b"b", b"a"]);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn leaf_and_node_domains_separated() {
+        // A leaf whose value equals the concatenation of two node hashes must
+        // not produce the same hash as the interior node.
+        let l = leaf_hash(b"x");
+        let r = leaf_hash(b"y");
+        let mut concat = Vec::new();
+        concat.extend_from_slice(l.as_bytes());
+        concat.extend_from_slice(r.as_bytes());
+        assert_ne!(leaf_hash(&concat), node_hash(&l, &r));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let values: Vec<Vec<u8>> = (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect();
+            let t = MerkleTree::from_values(&values);
+            let root = t.root();
+            for (i, v) in values.iter().enumerate() {
+                let proof = t.prove(i);
+                assert!(MerkleTree::verify(&root, v, &proof), "n={n} i={i}");
+                // Wrong value must not verify.
+                assert!(!MerkleTree::verify(&root, b"tampered", &proof));
+            }
+        }
+    }
+
+    #[test]
+    fn proof_for_wrong_index_fails() {
+        let t = MerkleTree::from_values(&[b"a", b"b", b"c", b"d"]);
+        let root = t.root();
+        let mut proof = t.prove(0);
+        proof.index = 1;
+        assert!(!MerkleTree::verify(&root, b"a", &proof));
+    }
+
+    #[test]
+    fn push_hash_equivalent_to_push() {
+        let mut t1 = MerkleTree::new();
+        t1.push(b"v");
+        let mut t2 = MerkleTree::new();
+        t2.push_hash(leaf_hash(b"v"));
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn prove_out_of_bounds_panics() {
+        MerkleTree::new().prove(0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Small RNG helpers shared across the workspace.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Creates a deterministic RNG from a u64 seed (all simulation components
+/// take seeded RNGs so experiments are reproducible).
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Fills and returns an N-byte array of random bytes.
+pub fn random_bytes<const N: usize, R: RngCore>(rng: &mut R) -> [u8; N] {
+    let mut out = [0u8; N];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+/// Generates a random lowercase hex token of `len` characters.
+pub fn random_token<R: RngCore>(rng: &mut R, len: usize) -> String {
+    const HEX: &[u8] = b"0123456789abcdef";
+    (0..len)
+        .map(|_| HEX[(rng.next_u32() % 16) as usize] as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(7);
+        let mut b = seeded_rng(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn random_bytes_fills() {
+        let mut rng = seeded_rng(1);
+        let a: [u8; 32] = random_bytes(&mut rng);
+        let b: [u8; 32] = random_bytes(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn token_has_requested_length() {
+        let mut rng = seeded_rng(2);
+        let t = random_token(&mut rng, 24);
+        assert_eq!(t.len(), 24);
+        assert!(t.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,251 @@
+//! Schnorr signatures over the simulation-grade group in [`crate::group`].
+//!
+//! The scheme is textbook Schnorr with a Fiat–Shamir challenge derived from
+//! SHA-256 and deterministic nonces (RFC 6979-style derivation from the
+//! secret key and message), so signing never needs an RNG and is immune to
+//! nonce-reuse bugs in the simulation.
+//!
+//! Signing: `R = g^k`, `e = H(domain ‖ R ‖ pub ‖ msg) mod q`,
+//! `s = k + e·x mod q`. Verification: `g^s == R · pub^e`.
+
+use crate::group::{add_mod_q, mul_mod_q, scalar_from_u64, Element, Q};
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+use crate::{CryptoError, Result};
+
+/// Domain separation label for signature challenges.
+const SIG_DOMAIN: &[u8] = b"palaemon.schnorr.v1";
+
+/// A signing (secret) key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SigningKey {
+    secret: u64,
+    public: VerifyingKey,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningKey(pub={})", self.public.element().value())
+    }
+}
+
+/// A verification (public) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VerifyingKey(Element);
+
+/// A Schnorr signature `(R, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Commitment `R = g^k`.
+    pub r: u64,
+    /// Response `s = k + e·x mod q`.
+    pub s: u64,
+}
+
+impl Signature {
+    /// Serializes to 16 bytes (big-endian `r ‖ s`).
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.r.to_be_bytes());
+        out[8..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses from the 16-byte form.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] on wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != 16 {
+            return Err(CryptoError::Decode("signature must be 16 bytes".into()));
+        }
+        Ok(Signature {
+            r: u64::from_be_bytes(bytes[..8].try_into().unwrap()),
+            s: u64::from_be_bytes(bytes[8..].try_into().unwrap()),
+        })
+    }
+}
+
+impl SigningKey {
+    /// Generates a key pair from an RNG.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> Self {
+        Self::from_secret(scalar_from_u64(rng.next_u64()))
+    }
+
+    /// Derives a key pair deterministically from seed bytes (used for
+    /// platform sealing identities in the simulator).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let d = Sha256::digest_parts(&[b"palaemon.sig.seed", seed]);
+        let x = u64::from_be_bytes(d.as_bytes()[..8].try_into().unwrap());
+        Self::from_secret(scalar_from_u64(x))
+    }
+
+    /// Builds a key pair from an explicit secret scalar.
+    pub fn from_secret(secret: u64) -> Self {
+        let secret = scalar_from_u64(secret.wrapping_sub(1)); // keep in [1, q)
+        let public = VerifyingKey(Element::from_scalar(secret));
+        SigningKey { secret, public }
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs `msg` deterministically.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        // Deterministic nonce: HMAC(secret, msg), reduced into [1, q).
+        let nonce_tag = hmac_sha256(&self.secret.to_be_bytes(), msg);
+        let k = scalar_from_u64(u64::from_be_bytes(
+            nonce_tag.as_bytes()[..8].try_into().unwrap(),
+        ));
+        let r_elem = Element::from_scalar(k);
+        let e = challenge(r_elem.value(), self.public.element().value(), msg);
+        let s = add_mod_q(k, mul_mod_q(e, self.secret));
+        Signature {
+            r: r_elem.value(),
+            s,
+        }
+    }
+}
+
+impl VerifyingKey {
+    /// Wraps a validated group element.
+    pub fn from_element(e: Element) -> Self {
+        VerifyingKey(e)
+    }
+
+    /// Parses a public key from its raw u64 value, validating subgroup
+    /// membership.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::OutOfRange`] for non-members.
+    pub fn from_u64(v: u64) -> Result<Self> {
+        Ok(VerifyingKey(Element::from_u64(v)?))
+    }
+
+    /// The underlying group element.
+    pub fn element(&self) -> Element {
+        self.0
+    }
+
+    /// Raw u64 encoding.
+    pub fn to_u64(&self) -> u64 {
+        self.0.value()
+    }
+
+    /// Verifies a signature over `msg`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::BadSignature`] when verification fails.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<()> {
+        if sig.s >= Q {
+            return Err(CryptoError::BadSignature);
+        }
+        let r_elem = Element::from_u64(sig.r).map_err(|_| CryptoError::BadSignature)?;
+        let e = challenge(sig.r, self.0.value(), msg);
+        let lhs = Element::generator().pow(sig.s);
+        let rhs = r_elem.mul(&self.0.pow(e));
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+}
+
+fn challenge(r: u64, public: u64, msg: &[u8]) -> u64 {
+    let d = Sha256::digest_parts(&[
+        SIG_DOMAIN,
+        &r.to_be_bytes(),
+        &public.to_be_bytes(),
+        msg,
+    ]);
+    scalar_from_u64(u64::from_be_bytes(d.as_bytes()[..8].try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> SigningKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SigningKey::generate(&mut rng)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = keypair(1);
+        let sig = sk.sign(b"hello");
+        sk.verifying_key().verify(b"hello", &sig).unwrap();
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let sk = keypair(2);
+        let sig = sk.sign(b"hello");
+        assert_eq!(
+            sk.verifying_key().verify(b"hellp", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = keypair(3);
+        let sk2 = keypair(4);
+        let sig = sk1.sign(b"msg");
+        assert!(sk2.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = keypair(5);
+        let mut sig = sk.sign(b"msg");
+        sig.s = add_mod_q(sig.s, 1);
+        assert!(sk.verifying_key().verify(b"msg", &sig).is_err());
+        let mut sig2 = sk.sign(b"msg");
+        sig2.r = sig2.r.wrapping_add(1);
+        assert!(sk.verifying_key().verify(b"msg", &sig2).is_err());
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let sk = keypair(6);
+        assert_eq!(sk.sign(b"m"), sk.sign(b"m"));
+        assert_ne!(sk.sign(b"m1"), sk.sign(b"m2"));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let sk = keypair(7);
+        let sig = sk.sign(b"serialize me");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(parsed, sig);
+        sk.verifying_key().verify(b"serialize me", &parsed).unwrap();
+    }
+
+    #[test]
+    fn bad_signature_bytes_rejected() {
+        assert!(Signature::from_bytes(&[0u8; 15]).is_err());
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let a = SigningKey::from_seed(b"platform-1");
+        let b = SigningKey::from_seed(b"platform-1");
+        let c = SigningKey::from_seed(b"platform-2");
+        assert_eq!(a.verifying_key(), b.verifying_key());
+        assert_ne!(a.verifying_key(), c.verifying_key());
+    }
+
+    #[test]
+    fn s_out_of_range_rejected() {
+        let sk = keypair(8);
+        let mut sig = sk.sign(b"m");
+        sig.s = Q; // not a valid scalar
+        assert!(sk.verifying_key().verify(b"m", &sig).is_err());
+    }
+}

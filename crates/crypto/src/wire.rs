@@ -1,0 +1,239 @@
+//! Minimal canonical binary encoding used for signatures over structured
+//! data (certificates, reports, policy digests) and database records.
+//!
+//! The format is deliberately trivial: fixed-width big-endian integers and
+//! length-prefixed byte strings, written in a fixed field order. Canonical
+//! encoding matters because signatures are computed over these bytes.
+
+use crate::{CryptoError, Result};
+
+/// Append-only canonical encoder.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Appends a length-prefixed list using a per-item closure.
+    pub fn put_list<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) -> &mut Self {
+        self.put_u32(items.len() as u32);
+        for item in items {
+            f(self, item);
+        }
+        self
+    }
+
+    /// Finishes encoding and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes encoded so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Sequential decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(CryptoError::Decode(format!(
+                "truncated input: need {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] when the input is truncated.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] when the input is truncated.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] when the input is truncated.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] when the input is truncated.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| CryptoError::Decode("invalid utf-8".into()))
+    }
+
+    /// Reads a length-prefixed list using a per-item closure.
+    ///
+    /// # Errors
+    /// Propagates errors from the item closure or truncation.
+    pub fn get_list<T>(&mut self, mut f: impl FnMut(&mut Self) -> Result<T>) -> Result<Vec<T>> {
+        let len = self.get_u32()? as usize;
+        // Guard against absurd lengths from corrupt input.
+        if len > self.buf.len() {
+            return Err(CryptoError::Decode("list length exceeds input".into()));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Requires that all input was consumed.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Decode`] if trailing bytes remain.
+    pub fn finish(&self) -> Result<()> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(CryptoError::Decode(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut e = Encoder::new();
+        e.put_u8(7)
+            .put_u32(0xDEAD_BEEF)
+            .put_u64(0x1122_3344_5566_7788)
+            .put_bytes(b"bytes")
+            .put_str("string")
+            .put_list(&[1u64, 2, 3], |enc, v| {
+                enc.put_u64(*v);
+            });
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u64().unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(d.get_bytes().unwrap(), b"bytes");
+        assert_eq!(d.get_str().unwrap(), "string");
+        assert_eq!(d.get_list(|dec| dec.get_u64()).unwrap(), vec![1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let mut e = Encoder::new();
+        e.put_u64(1);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf[..4]);
+        assert!(d.get_u64().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.put_u8(1).put_u8(2);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_u8().unwrap(), 1);
+        assert!(d.finish().is_err());
+    }
+
+    #[test]
+    fn corrupt_list_length_rejected() {
+        let mut e = Encoder::new();
+        e.put_u32(u32::MAX);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(d.get_list(|dec| dec.get_u8()).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xFF, 0xFE]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(d.get_str().is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Embedded, encrypted, crash-consistent key-value store.
+//!
+//! The paper's PALÆMON keeps its state (policies, expected tags, secrets) in
+//! an encrypted SQLite database inside the enclave (§IV). This crate is the
+//! equivalent substrate: a key-value store whose durability path is a
+//! write-ahead log of AEAD-sealed batches on an untrusted
+//! [`shielded_fs::store::BlockStore`], with snapshot checkpoints.
+//!
+//! Durability model (matches the Fig. 11 read ≪ update asymmetry):
+//!
+//! * reads are served from the in-memory table — no storage round trip;
+//! * [`Db::commit`] seals the pending batch, appends it to the WAL and
+//!   `sync`s the store — this is the expensive "commit to disk" step.
+//!
+//! Integrity: every WAL batch and snapshot is AEAD-bound to its sequence
+//! number, so record tampering and reordering are detected at open. A
+//! *consistent whole-database rollback* is intentionally NOT detectable at
+//! this layer — that is the job of the version/monotonic-counter guard in
+//! `palaemon-core::instance` (paper Fig. 6), and tests there rely on this
+//! layer behaving exactly that way.
+
+pub mod store;
+
+pub use store::{Db, DbError, DbStats};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,628 @@
+//! The key-value store engine: in-memory table + sealed WAL + checkpoints.
+
+use std::collections::BTreeMap;
+use std::error::Error as StdError;
+use std::fmt;
+
+use palaemon_crypto::aead::AeadKey;
+use palaemon_crypto::wire::{Decoder, Encoder};
+use shielded_fs::store::BlockStore;
+
+/// Errors raised by the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DbError {
+    /// Stored state failed authentication or decoding.
+    Corrupt(String),
+    /// The backing store failed.
+    Storage(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Corrupt(why) => write!(f, "database corrupt: {why}"),
+            DbError::Storage(why) => write!(f, "storage error: {why}"),
+        }
+    }
+}
+
+impl StdError for DbError {}
+
+const META_BLOB: &str = "db-meta";
+
+fn wal_blob(seq: u64) -> String {
+    format!("db-wal-{seq:016x}")
+}
+
+fn snapshot_blob(generation: u64) -> String {
+    format!("db-snap-{generation:016x}")
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Meta {
+    generation: u64,
+    first_seq: u64,
+    next_seq: u64,
+}
+
+impl Meta {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_str("palaemon-db.meta.v1")
+            .put_u64(self.generation)
+            .put_u64(self.first_seq)
+            .put_u64(self.next_seq);
+        e.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Meta, DbError> {
+        let mut d = Decoder::new(bytes);
+        let mut parse = || -> palaemon_crypto::Result<Meta> {
+            let magic = d.get_str()?;
+            if magic != "palaemon-db.meta.v1" {
+                return Err(palaemon_crypto::CryptoError::Decode("bad meta magic".into()));
+            }
+            let generation = d.get_u64()?;
+            let first_seq = d.get_u64()?;
+            let next_seq = d.get_u64()?;
+            d.finish()?;
+            Ok(Meta {
+                generation,
+                first_seq,
+                next_seq,
+            })
+        };
+        parse().map_err(|e| DbError::Corrupt(format!("meta: {e}")))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+}
+
+/// Runtime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Committed WAL batches since open.
+    pub commits: u64,
+    /// Checkpoints taken since open.
+    pub checkpoints: u64,
+    /// Keys currently stored.
+    pub keys: usize,
+    /// WAL batches pending checkpoint.
+    pub wal_batches: u64,
+}
+
+/// The embedded encrypted key-value store.
+pub struct Db {
+    store: Box<dyn BlockStore>,
+    key: AeadKey,
+    table: BTreeMap<Vec<u8>, Vec<u8>>,
+    pending: Vec<Op>,
+    meta: Meta,
+    commits: u64,
+    checkpoints: u64,
+}
+
+impl fmt::Debug for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Db")
+            .field("keys", &self.table.len())
+            .field("pending", &self.pending.len())
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+impl Db {
+    /// Creates a fresh database on `store`, erasing any previous state.
+    pub fn create(store: Box<dyn BlockStore>, key: AeadKey) -> Self {
+        let meta = Meta {
+            generation: 0,
+            first_seq: 0,
+            next_seq: 0,
+        };
+        let mut db = Db {
+            store,
+            key,
+            table: BTreeMap::new(),
+            pending: Vec::new(),
+            meta,
+            commits: 0,
+            checkpoints: 0,
+        };
+        db.write_snapshot(0);
+        db.write_meta();
+        db
+    }
+
+    /// Opens an existing database, verifying and replaying the WAL.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Corrupt`] when the snapshot, meta or any committed
+    /// WAL batch fails authentication or decoding.
+    pub fn open(store: Box<dyn BlockStore>, key: AeadKey) -> Result<Self, DbError> {
+        let meta_raw = store
+            .get(META_BLOB)
+            .ok_or_else(|| DbError::Corrupt("meta missing".into()))?;
+        let meta = Meta::decode(&meta_raw)?;
+
+        // Load the snapshot for this generation.
+        let snap_raw = store
+            .get(&snapshot_blob(meta.generation))
+            .ok_or_else(|| DbError::Corrupt("snapshot missing".into()))?;
+        let snap_plain = key
+            .open(
+                format!("snap.{}", meta.generation).as_bytes(),
+                &snap_raw,
+                format!("db-snap.{}", meta.generation).as_bytes(),
+            )
+            .map_err(|e| DbError::Corrupt(format!("snapshot: {e}")))?;
+        let mut table = decode_table(&snap_plain)?;
+
+        // Replay committed WAL batches in order.
+        for seq in meta.first_seq..meta.next_seq {
+            let raw = store
+                .get(&wal_blob(seq))
+                .ok_or_else(|| DbError::Corrupt(format!("wal batch {seq} missing")))?;
+            let plain = key
+                .open(
+                    format!("wal.{seq}").as_bytes(),
+                    &raw,
+                    format!("db-wal.{seq}").as_bytes(),
+                )
+                .map_err(|e| DbError::Corrupt(format!("wal batch {seq}: {e}")))?;
+            for op in decode_ops(&plain)? {
+                apply(&mut table, op);
+            }
+        }
+
+        Ok(Db {
+            store,
+            key,
+            table,
+            pending: Vec::new(),
+            meta,
+            commits: 0,
+            checkpoints: 0,
+        })
+    }
+
+    /// Reads a value.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.table.get(key).map(|v| v.as_slice())
+    }
+
+    /// Buffers a put; visible immediately, durable after [`Db::commit`].
+    pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) {
+        let (key, value) = (key.into(), value.into());
+        self.table.insert(key.clone(), value.clone());
+        self.pending.push(Op::Put(key, value));
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.table.remove(key);
+        self.pending.push(Op::Delete(key.to_vec()));
+    }
+
+    /// Number of keys currently visible.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs whose key starts with `prefix`.
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a [u8], &'a [u8])> + 'a {
+        self.table
+            .range(prefix.to_vec()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Durably commits all pending operations as one sealed WAL batch.
+    ///
+    /// # Errors
+    /// Propagates storage sync failures.
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let seq = self.meta.next_seq;
+        let plain = encode_ops(&self.pending);
+        let sealed = self.key.seal(
+            format!("wal.{seq}").as_bytes(),
+            &plain,
+            format!("db-wal.{seq}").as_bytes(),
+        );
+        self.store.put(&wal_blob(seq), sealed);
+        self.meta.next_seq += 1;
+        self.write_meta();
+        self.store
+            .sync()
+            .map_err(|e| DbError::Storage(e.to_string()))?;
+        self.pending.clear();
+        self.commits += 1;
+        Ok(())
+    }
+
+    /// Writes a full snapshot and truncates the WAL.
+    ///
+    /// # Errors
+    /// Propagates storage sync failures; commits pending operations first.
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        self.commit()?;
+        let generation = self.meta.generation + 1;
+        self.write_snapshot(generation);
+        let old_first = self.meta.first_seq;
+        let old_gen = self.meta.generation;
+        self.meta = Meta {
+            generation,
+            first_seq: self.meta.next_seq,
+            next_seq: self.meta.next_seq,
+        };
+        self.write_meta();
+        self.store
+            .sync()
+            .map_err(|e| DbError::Storage(e.to_string()))?;
+        // Garbage-collect superseded blobs.
+        for seq in old_first..self.meta.first_seq {
+            self.store.delete(&wal_blob(seq));
+        }
+        self.store.delete(&snapshot_blob(old_gen));
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            commits: self.commits,
+            checkpoints: self.checkpoints,
+            keys: self.table.len(),
+            wal_batches: self.meta.next_seq - self.meta.first_seq,
+        }
+    }
+
+    /// Count of pending (uncommitted) operations.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn write_snapshot(&mut self, generation: u64) {
+        let plain = encode_table(&self.table);
+        let sealed = self.key.seal(
+            format!("snap.{generation}").as_bytes(),
+            &plain,
+            format!("db-snap.{generation}").as_bytes(),
+        );
+        self.store.put(&snapshot_blob(generation), sealed);
+    }
+
+    fn write_meta(&mut self) {
+        self.store.put(META_BLOB, self.meta.encode());
+    }
+}
+
+fn apply(table: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: Op) {
+    match op {
+        Op::Put(k, v) => {
+            table.insert(k, v);
+        }
+        Op::Delete(k) => {
+            table.remove(&k);
+        }
+    }
+}
+
+fn encode_ops(ops: &[Op]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(ops.len() as u32);
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                e.put_u8(1).put_bytes(k).put_bytes(v);
+            }
+            Op::Delete(k) => {
+                e.put_u8(2).put_bytes(k);
+            }
+        }
+    }
+    e.finish()
+}
+
+fn decode_ops(bytes: &[u8]) -> Result<Vec<Op>, DbError> {
+    let mut d = Decoder::new(bytes);
+    let mut parse = || -> palaemon_crypto::Result<Vec<Op>> {
+        let n = d.get_u32()? as usize;
+        let mut ops = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            match d.get_u8()? {
+                1 => ops.push(Op::Put(d.get_bytes()?, d.get_bytes()?)),
+                2 => ops.push(Op::Delete(d.get_bytes()?)),
+                t => {
+                    return Err(palaemon_crypto::CryptoError::Decode(format!(
+                        "bad op tag {t}"
+                    )))
+                }
+            }
+        }
+        d.finish()?;
+        Ok(ops)
+    };
+    parse().map_err(|e| DbError::Corrupt(format!("wal decode: {e}")))
+}
+
+fn encode_table(table: &BTreeMap<Vec<u8>, Vec<u8>>) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(table.len() as u32);
+    for (k, v) in table {
+        e.put_bytes(k).put_bytes(v);
+    }
+    e.finish()
+}
+
+fn decode_table(bytes: &[u8]) -> Result<BTreeMap<Vec<u8>, Vec<u8>>, DbError> {
+    let mut d = Decoder::new(bytes);
+    let mut parse = || -> palaemon_crypto::Result<BTreeMap<Vec<u8>, Vec<u8>>> {
+        let n = d.get_u32()? as usize;
+        let mut table = BTreeMap::new();
+        for _ in 0..n {
+            let k = d.get_bytes()?;
+            let v = d.get_bytes()?;
+            table.insert(k, v);
+        }
+        d.finish()?;
+        Ok(table)
+    };
+    parse().map_err(|e| DbError::Corrupt(format!("snapshot decode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shielded_fs::store::MemStore;
+
+    fn key() -> AeadKey {
+        AeadKey::from_bytes([3u8; 32])
+    }
+
+    fn fresh() -> (MemStore, Db) {
+        let store = MemStore::new();
+        let db = Db::create(Box::new(store.clone()), key());
+        (store, db)
+    }
+
+    #[test]
+    fn put_get_commit_reopen() {
+        let (store, mut db) = fresh();
+        db.put(b"k1".as_slice(), b"v1".as_slice());
+        db.put(b"k2".as_slice(), b"v2".as_slice());
+        assert_eq!(db.get(b"k1"), Some(b"v1".as_slice()));
+        db.commit().unwrap();
+        drop(db);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.get(b"k1"), Some(b"v1".as_slice()));
+        assert_eq!(db2.get(b"k2"), Some(b"v2".as_slice()));
+        assert_eq!(db2.len(), 2);
+    }
+
+    #[test]
+    fn uncommitted_writes_lost_on_crash() {
+        let (store, mut db) = fresh();
+        db.put(b"durable".as_slice(), b"1".as_slice());
+        db.commit().unwrap();
+        db.put(b"volatile".as_slice(), b"2".as_slice());
+        // Crash: no commit.
+        drop(db);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.get(b"durable"), Some(b"1".as_slice()));
+        assert_eq!(db2.get(b"volatile"), None);
+    }
+
+    #[test]
+    fn delete_is_durable() {
+        let (store, mut db) = fresh();
+        db.put(b"k".as_slice(), b"v".as_slice());
+        db.commit().unwrap();
+        db.delete(b"k");
+        db.commit().unwrap();
+        drop(db);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.get(b"k"), None);
+    }
+
+    #[test]
+    fn torn_wal_write_is_invisible() {
+        // A WAL blob written without the meta update (crash inside commit)
+        // must be ignored at open.
+        let (store, mut db) = fresh();
+        db.put(b"a".as_slice(), b"1".as_slice());
+        db.commit().unwrap();
+        // Simulate a torn commit: a wal blob exists past next_seq.
+        store.put(&wal_blob(99), b"garbage".to_vec());
+        drop(db);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.get(b"a"), Some(b"1".as_slice()));
+    }
+
+    #[test]
+    fn corrupt_wal_detected() {
+        let (store, mut db) = fresh();
+        db.put(b"a".as_slice(), b"1".as_slice());
+        db.commit().unwrap();
+        store.corrupt(&wal_blob(0), 5);
+        drop(db);
+        assert!(matches!(
+            Db::open(Box::new(store), key()),
+            Err(DbError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_snapshot_detected() {
+        let (store, mut db) = fresh();
+        db.put(b"a".as_slice(), b"1".as_slice());
+        db.checkpoint().unwrap();
+        store.corrupt(&snapshot_blob(1), 3);
+        drop(db);
+        assert!(Db::open(Box::new(store), key()).is_err());
+    }
+
+    #[test]
+    fn missing_committed_wal_detected() {
+        let (store, mut db) = fresh();
+        db.put(b"a".as_slice(), b"1".as_slice());
+        db.commit().unwrap();
+        store.delete(&wal_blob(0));
+        drop(db);
+        assert!(Db::open(Box::new(store), key()).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (store, mut db) = fresh();
+        db.put(b"a".as_slice(), b"1".as_slice());
+        db.commit().unwrap();
+        drop(db);
+        let wrong = AeadKey::from_bytes([9u8; 32]);
+        assert!(Db::open(Box::new(store), wrong).is_err());
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves() {
+        let (store, mut db) = fresh();
+        for i in 0..50u32 {
+            db.put(format!("key-{i}").into_bytes(), format!("val-{i}").into_bytes());
+            db.commit().unwrap();
+        }
+        assert_eq!(db.stats().wal_batches, 50);
+        db.checkpoint().unwrap();
+        assert_eq!(db.stats().wal_batches, 0);
+        // Old WAL blobs are gone.
+        assert!(store.get(&wal_blob(0)).is_none());
+        drop(db);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.len(), 50);
+        assert_eq!(db2.get(b"key-17"), Some(b"val-17".as_slice()));
+    }
+
+    #[test]
+    fn writes_after_checkpoint_survive() {
+        let (store, mut db) = fresh();
+        db.put(b"before".as_slice(), b"1".as_slice());
+        db.checkpoint().unwrap();
+        db.put(b"after".as_slice(), b"2".as_slice());
+        db.commit().unwrap();
+        drop(db);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.get(b"before"), Some(b"1".as_slice()));
+        assert_eq!(db2.get(b"after"), Some(b"2".as_slice()));
+    }
+
+    #[test]
+    fn whole_db_rollback_is_undetectable_here() {
+        // Documents the layering: a consistent rollback of the entire store
+        // opens cleanly; catching it is the instance guard's job (Fig. 6).
+        let (store, mut db) = fresh();
+        db.put(b"v".as_slice(), b"old".as_slice());
+        db.commit().unwrap();
+        let snapshot = store.snapshot();
+        db.put(b"v".as_slice(), b"new".as_slice());
+        db.commit().unwrap();
+        drop(db);
+        store.restore(snapshot);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.get(b"v"), Some(b"old".as_slice()));
+    }
+
+    #[test]
+    fn scan_prefix_finds_range() {
+        let (_, mut db) = fresh();
+        db.put(b"tag/app1".as_slice(), b"1".as_slice());
+        db.put(b"tag/app2".as_slice(), b"2".as_slice());
+        db.put(b"policy/p1".as_slice(), b"3".as_slice());
+        let tags: Vec<_> = db.scan_prefix(b"tag/").collect();
+        assert_eq!(tags.len(), 2);
+        assert_eq!(tags[0].0, b"tag/app1");
+        assert_eq!(tags[1].0, b"tag/app2");
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let (_, mut db) = fresh();
+        db.commit().unwrap();
+        assert_eq!(db.stats().commits, 0);
+    }
+
+    #[test]
+    fn overwrite_within_batch() {
+        let (store, mut db) = fresh();
+        db.put(b"k".as_slice(), b"v1".as_slice());
+        db.put(b"k".as_slice(), b"v2".as_slice());
+        db.commit().unwrap();
+        drop(db);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.get(b"k"), Some(b"v2".as_slice()));
+        assert_eq!(db2.len(), 1);
+    }
+
+    #[test]
+    fn crash_mid_commit_recovers_to_last_commit() {
+        use shielded_fs::store::FaultyStore;
+        // Fill the database, then let the device die partway through a
+        // commit: the WAL blob may land but the meta update is lost (or
+        // vice versa) — either way, open() must recover exactly the last
+        // fully committed state.
+        // Db::create issues 2 puts (snapshot + meta); a commit issues 2
+        // more (wal batch + meta) and then syncs. Sweep the failure point
+        // across the commit.
+        for fuse in 1..=4 {
+            let store = MemStore::new();
+            let faulty = FaultyStore::new(store.clone(), fuse + 2); // allow create
+            let mut db = Db::create(Box::new(faulty), key());
+            db.put(b"k".as_slice(), b"v1".as_slice());
+            // This commit may tear at any point; errors are acceptable.
+            let _ = db.commit();
+            drop(db);
+            // Recovery must either see v1 (commit completed) or nothing
+            // (commit torn) — never corruption.
+            match Db::open(Box::new(store), key()) {
+                Ok(db2) => {
+                    let v = db2.get(b"k");
+                    assert!(v.is_none() || v == Some(b"v1".as_slice()), "fuse={fuse}");
+                }
+                Err(DbError::Corrupt(_)) => {
+                    // Acceptable only if a WAL blob committed without meta
+                    // can never happen; our order (wal then meta) means a
+                    // missing wal WITH updated meta is impossible, so
+                    // corruption here would be a bug.
+                    panic!("torn commit must not corrupt the database (fuse={fuse})");
+                }
+                Err(other) => panic!("unexpected: {other} (fuse={fuse})"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let (_, mut db) = fresh();
+        db.put(b"a".as_slice(), b"1".as_slice());
+        assert_eq!(db.pending_ops(), 1);
+        db.commit().unwrap();
+        assert_eq!(db.pending_ops(), 0);
+        let s = db.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.keys, 1);
+    }
+}

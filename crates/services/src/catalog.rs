@@ -1,0 +1,105 @@
+//! Table I: how popular services obtain secrets.
+//!
+//! The paper surveys ten services for whether they accept secrets via
+//! command-line arguments, environment variables and files — the three
+//! channels PALÆMON must serve transparently. This module carries that
+//! catalog as data and cross-checks it against the channels our emulated
+//! services actually consume.
+
+/// One surveyed program (a Table I row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Program name.
+    pub program: &'static str,
+    /// Version surveyed in the paper.
+    pub version: &'static str,
+    /// Implementation language.
+    pub language: &'static str,
+    /// Accepts secrets as command-line arguments.
+    pub args: bool,
+    /// Accepts secrets from environment variables.
+    pub env: bool,
+    /// Accepts secrets from files.
+    pub files: bool,
+    /// Whether §V of the paper evaluates this service.
+    pub evaluated: bool,
+}
+
+/// The Table I rows, verbatim from the paper.
+pub const TABLE_I: [CatalogEntry; 10] = [
+    CatalogEntry { program: "Consul", version: "1.2.3", language: "Go", args: false, env: true, files: true, evaluated: false },
+    CatalogEntry { program: "MariaDB", version: "10.1.26", language: "C/C++", args: true, env: true, files: true, evaluated: true },
+    CatalogEntry { program: "Memcached", version: "1.5.6", language: "C", args: false, env: false, files: false, evaluated: true },
+    CatalogEntry { program: "MongoDB", version: "4.0", language: "C++", args: true, env: true, files: true, evaluated: false },
+    CatalogEntry { program: "Nginx", version: "2.4", language: "C", args: true, env: true, files: true, evaluated: true },
+    CatalogEntry { program: "PostgreSQL", version: "10.5", language: "C", args: true, env: true, files: true, evaluated: false },
+    CatalogEntry { program: "Redis", version: "4.0.11", language: "C", args: false, env: false, files: true, evaluated: false },
+    CatalogEntry { program: "Vault", version: "0.8.1", language: "Go", args: true, env: false, files: true, evaluated: true },
+    CatalogEntry { program: "WordPress", version: "4.9.x", language: "PHP", args: false, env: false, files: true, evaluated: false },
+    CatalogEntry { program: "ZooKeeper", version: "3.4.11", language: "Java", args: false, env: false, files: true, evaluated: true },
+];
+
+/// Looks up a catalog row by program name (case-insensitive).
+pub fn lookup(program: &str) -> Option<&'static CatalogEntry> {
+    TABLE_I
+        .iter()
+        .find(|e| e.program.eq_ignore_ascii_case(program))
+}
+
+/// Renders the catalog in the paper's tabular form.
+pub fn render_table() -> String {
+    let mut out = String::from("Program      Version   Lang.   Args  Env  Files\n");
+    let tick = |b: bool| if b { "yes" } else { "no " };
+    for e in &TABLE_I {
+        out.push_str(&format!(
+            "{:<12} {:<9} {:<7} {:<5} {:<4} {}{}\n",
+            e.program,
+            e.version,
+            e.language,
+            tick(e.args),
+            tick(e.env),
+            tick(e.files),
+            if e.evaluated { "  (*)" } else { "" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_rows_like_the_paper() {
+        assert_eq!(TABLE_I.len(), 10);
+    }
+
+    #[test]
+    fn five_services_evaluated() {
+        // MariaDB, Memcached, Nginx, Vault, ZooKeeper carry the * in Table I.
+        let evaluated: Vec<_> = TABLE_I.iter().filter(|e| e.evaluated).collect();
+        assert_eq!(evaluated.len(), 5);
+    }
+
+    #[test]
+    fn memcached_takes_no_secrets_anywhere() {
+        // The Table I quirk motivating transparent TLS injection: memcached
+        // has no secret channel at all.
+        let m = lookup("memcached").unwrap();
+        assert!(!m.args && !m.env && !m.files);
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        assert!(lookup("VAULT").is_some());
+        assert!(lookup("nonexistent").is_none());
+    }
+
+    #[test]
+    fn render_contains_all_programs() {
+        let table = render_table();
+        for e in &TABLE_I {
+            assert!(table.contains(e.program));
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! ZooKeeper-like coordination service with a ZAB-style atomic broadcast
+//! (Fig. 17b/c).
+//!
+//! The paper deploys a 3-node ZooKeeper cluster and measures read and write
+//! throughput for native-with-stunnel vs shielded variants. This module
+//! implements the substrate for real: a replicated znode store where writes
+//! go through a leader-based quorum commit (propose → ack → commit, the ZAB
+//! skeleton) and reads are served locally by any replica. Failure cases —
+//! minority partitions, leader failover, replica catch-up — are implemented
+//! and tested, because the shape of Fig. 17c (consensus on the write path)
+//! is precisely why native wins writes while shielded wins reads.
+
+use std::collections::BTreeMap;
+
+use tee_sim::costs::{CostModel, OpProfile, SgxMode};
+
+/// Errors from the coordination service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// Not enough reachable replicas to commit.
+    NoQuorum,
+    /// Unknown znode path.
+    NoNode(String),
+    /// Znode already exists.
+    NodeExists(String),
+    /// Version check failed (compare-and-set).
+    BadVersion {
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually stored.
+        actual: u64,
+    },
+    /// The addressed replica is down.
+    ReplicaDown(usize),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::NoQuorum => write!(f, "no quorum"),
+            CoordError::NoNode(p) => write!(f, "no node '{p}'"),
+            CoordError::NodeExists(p) => write!(f, "node '{p}' exists"),
+            CoordError::BadVersion { expected, actual } => {
+                write!(f, "bad version: expected {expected}, found {actual}")
+            }
+            CoordError::ReplicaDown(id) => write!(f, "replica {id} is down"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// A state-changing operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Create a znode.
+    Create(String, Vec<u8>),
+    /// Replace a znode's data.
+    SetData(String, Vec<u8>),
+    /// Delete a znode.
+    Delete(String),
+}
+
+/// A committed transaction: ZAB's (epoch, counter) transaction id + op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// Transaction id: `epoch << 32 | counter`, totally ordered.
+    pub zxid: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Replica {
+    log: Vec<Txn>,
+    state: BTreeMap<String, (Vec<u8>, u64)>,
+    up: bool,
+}
+
+impl Replica {
+    fn last_zxid(&self) -> u64 {
+        self.log.last().map(|t| t.zxid).unwrap_or(0)
+    }
+
+    fn apply(&mut self, txn: &Txn) {
+        match &txn.op {
+            Op::Create(path, data) => {
+                self.state.insert(path.clone(), (data.clone(), 0));
+            }
+            Op::SetData(path, data) => {
+                if let Some(entry) = self.state.get_mut(path) {
+                    entry.0 = data.clone();
+                    entry.1 += 1;
+                }
+            }
+            Op::Delete(path) => {
+                self.state.remove(path);
+            }
+        }
+        self.log.push(txn.clone());
+    }
+}
+
+/// A replicated coordination cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    replicas: Vec<Replica>,
+    leader: usize,
+    epoch: u64,
+    counter: u64,
+    committed: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` replicas (use 3 to match the paper).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cluster needs at least one replica");
+        Cluster {
+            replicas: vec![
+                Replica {
+                    up: true,
+                    ..Replica::default()
+                };
+                n
+            ],
+            leader: 0,
+            epoch: 1,
+            counter: 0,
+            committed: 0,
+        }
+    }
+
+    /// Current leader id.
+    pub fn leader(&self) -> usize {
+        self.leader
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True when the cluster has no replicas (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Marks a replica as failed.
+    pub fn take_down(&mut self, id: usize) {
+        self.replicas[id].up = false;
+        if id == self.leader {
+            self.elect();
+        }
+    }
+
+    /// Restarts a failed replica: it syncs the committed log from the
+    /// leader (ZAB's synchronisation phase) before serving.
+    pub fn bring_up(&mut self, id: usize) {
+        // Catch up from the leader's log.
+        let leader_log = self.replicas[self.leader].log.clone();
+        let replica = &mut self.replicas[id];
+        let have = replica.last_zxid();
+        for txn in leader_log.iter().filter(|t| t.zxid > have) {
+            replica.apply(txn);
+        }
+        replica.up = true;
+    }
+
+    fn elect(&mut self) {
+        // New leader: the up replica with the highest lastZxid — ZAB's
+        // leader-election invariant preserves all committed transactions.
+        if let Some((id, _)) = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.up)
+            .max_by_key(|(_, r)| r.last_zxid())
+        {
+            self.leader = id;
+            self.epoch += 1;
+            self.counter = 0;
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.replicas.len() / 2 + 1
+    }
+
+    /// Proposes and commits an operation through the broadcast protocol.
+    ///
+    /// # Errors
+    /// [`CoordError::NoQuorum`] when a majority is unreachable.
+    fn broadcast(&mut self, op: Op) -> Result<u64, CoordError> {
+        if !self.replicas[self.leader].up {
+            self.elect();
+        }
+        let up_count = self.replicas.iter().filter(|r| r.up).count();
+        if up_count < self.quorum() {
+            return Err(CoordError::NoQuorum);
+        }
+        self.counter += 1;
+        let zxid = (self.epoch << 32) | self.counter;
+        let txn = Txn { zxid, op };
+        // Phase 1: leader proposes; up followers ack by logging. Phase 2:
+        // with a quorum of acks the txn commits and applies everywhere
+        // reachable. Down replicas miss it and must catch up later.
+        for replica in self.replicas.iter_mut().filter(|r| r.up) {
+            replica.apply(&txn);
+        }
+        self.committed = zxid;
+        Ok(zxid)
+    }
+
+    /// Creates a znode (quorum write).
+    ///
+    /// # Errors
+    /// [`CoordError::NodeExists`] / [`CoordError::NoQuorum`].
+    pub fn create(&mut self, path: &str, data: &[u8]) -> Result<u64, CoordError> {
+        if self.replicas[self.leader].state.contains_key(path) {
+            return Err(CoordError::NodeExists(path.to_string()));
+        }
+        self.broadcast(Op::Create(path.to_string(), data.to_vec()))
+    }
+
+    /// Replaces a znode's data, optionally checking the version (CAS).
+    ///
+    /// # Errors
+    /// [`CoordError::NoNode`], [`CoordError::BadVersion`],
+    /// [`CoordError::NoQuorum`].
+    pub fn set_data(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        expected_version: Option<u64>,
+    ) -> Result<u64, CoordError> {
+        let current = self.replicas[self.leader]
+            .state
+            .get(path)
+            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        if let Some(expected) = expected_version {
+            if current.1 != expected {
+                return Err(CoordError::BadVersion {
+                    expected,
+                    actual: current.1,
+                });
+            }
+        }
+        self.broadcast(Op::SetData(path.to_string(), data.to_vec()))
+    }
+
+    /// Deletes a znode (quorum write).
+    ///
+    /// # Errors
+    /// [`CoordError::NoNode`] / [`CoordError::NoQuorum`].
+    pub fn delete(&mut self, path: &str) -> Result<u64, CoordError> {
+        if !self.replicas[self.leader].state.contains_key(path) {
+            return Err(CoordError::NoNode(path.to_string()));
+        }
+        self.broadcast(Op::Delete(path.to_string()))
+    }
+
+    /// Local read from one replica: `(data, version)`. Reads on a lagging
+    /// replica can be stale — exactly ZooKeeper's consistency model.
+    ///
+    /// # Errors
+    /// [`CoordError::ReplicaDown`] / [`CoordError::NoNode`].
+    pub fn read(&self, replica: usize, path: &str) -> Result<(Vec<u8>, u64), CoordError> {
+        let r = &self.replicas[replica];
+        if !r.up {
+            return Err(CoordError::ReplicaDown(replica));
+        }
+        r.state
+            .get(path)
+            .cloned()
+            .ok_or_else(|| CoordError::NoNode(path.to_string()))
+    }
+
+    /// True when all **up** replicas have identical state (used by tests
+    /// and the property suite).
+    pub fn replicas_consistent(&self) -> bool {
+        let mut states = self
+            .replicas
+            .iter()
+            .filter(|r| r.up)
+            .map(|r| &r.state);
+        match states.next() {
+            Some(first) => states.all(|s| s == first),
+            None => true,
+        }
+    }
+
+    /// Last committed zxid.
+    pub fn last_committed(&self) -> u64 {
+        self.committed
+    }
+}
+
+/// Per-request profile for a local read (Fig. 17b).
+///
+/// Native ZooKeeper terminates TLS in stunnel (extra loopback hops and a
+/// user-space crypto pass); the shielded JVM answers from enclave memory
+/// with in-process TLS.
+pub fn read_profile(mode: SgxMode) -> OpProfile {
+    match mode {
+        SgxMode::Native => OpProfile {
+            cpu_ns: 26_000 + 36_000, // JVM read path + stunnel proxying
+            syscalls: 10,
+            bytes_in: 256,
+            bytes_out: 1_024,
+            pages_touched: 6,
+            hot_set_bytes: 70 << 20,
+        },
+        _ => OpProfile {
+            cpu_ns: 30_000, // in-process TLS, no proxy hop
+            syscalls: 4,
+            bytes_in: 256,
+            bytes_out: 1_024,
+            pages_touched: 6,
+            hot_set_bytes: 70 << 20,
+        },
+    }
+}
+
+/// Per-request profile for a quorum write (`setData`, Fig. 17c): consensus
+/// adds log appends, fsync-ish work and follower round trips — more code
+/// and syscalls inside the enclave, which is why native wins here.
+pub fn write_profile(mode: SgxMode) -> OpProfile {
+    match mode {
+        SgxMode::Native => OpProfile {
+            cpu_ns: 60_000 + 36_000,
+            syscalls: 22,
+            bytes_in: 1_536,
+            bytes_out: 2_048,
+            pages_touched: 12,
+            hot_set_bytes: 70 << 20,
+        },
+        _ => OpProfile {
+            cpu_ns: 66_000,
+            syscalls: 22,
+            bytes_in: 1_536,
+            bytes_out: 2_048,
+            pages_touched: 12,
+            hot_set_bytes: 70 << 20,
+        },
+    }
+}
+
+/// Service time for one read in a Fig. 17b variant.
+pub fn read_service_time_ns(mode: SgxMode, model: &CostModel) -> u64 {
+    model.service_time_ns(mode, &read_profile(mode))
+}
+
+/// Service time for one write in a Fig. 17c variant.
+pub fn write_service_time_ns(mode: SgxMode, model: &CostModel) -> u64 {
+    model.service_time_ns(mode, &write_profile(mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_replicate_to_all() {
+        let mut c = Cluster::new(3);
+        c.create("/cfg", b"v1").unwrap();
+        for r in 0..3 {
+            assert_eq!(c.read(r, "/cfg").unwrap().0, b"v1");
+        }
+        assert!(c.replicas_consistent());
+    }
+
+    #[test]
+    fn create_duplicate_rejected() {
+        let mut c = Cluster::new(3);
+        c.create("/a", b"1").unwrap();
+        assert!(matches!(c.create("/a", b"2"), Err(CoordError::NodeExists(_))));
+    }
+
+    #[test]
+    fn set_data_bumps_version_and_cas_works() {
+        let mut c = Cluster::new(3);
+        c.create("/n", b"v0").unwrap();
+        c.set_data("/n", b"v1", Some(0)).unwrap();
+        let (data, version) = c.read(0, "/n").unwrap();
+        assert_eq!(data, b"v1");
+        assert_eq!(version, 1);
+        // Stale CAS fails.
+        assert!(matches!(
+            c.set_data("/n", b"v2", Some(0)),
+            Err(CoordError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn zxids_are_monotonic() {
+        let mut c = Cluster::new(3);
+        let mut prev = 0;
+        for i in 0..10 {
+            let zxid = c.create(&format!("/n{i}"), b"x").unwrap();
+            assert!(zxid > prev);
+            prev = zxid;
+        }
+    }
+
+    #[test]
+    fn minority_failure_tolerated() {
+        let mut c = Cluster::new(3);
+        c.create("/a", b"1").unwrap();
+        c.take_down(2);
+        c.set_data("/a", b"2", None).unwrap();
+        assert_eq!(c.read(0, "/a").unwrap().0, b"2");
+        assert!(matches!(c.read(2, "/a"), Err(CoordError::ReplicaDown(2))));
+    }
+
+    #[test]
+    fn majority_failure_blocks_writes() {
+        let mut c = Cluster::new(3);
+        c.create("/a", b"1").unwrap();
+        c.take_down(1);
+        c.take_down(2);
+        assert_eq!(c.set_data("/a", b"2", None), Err(CoordError::NoQuorum));
+        // Reads on the surviving replica still work (ZooKeeper semantics
+        // differ here, but local state remains readable in our model).
+        assert_eq!(c.read(0, "/a").unwrap().0, b"1");
+    }
+
+    #[test]
+    fn replica_catches_up_after_rejoin() {
+        let mut c = Cluster::new(3);
+        c.create("/a", b"1").unwrap();
+        c.take_down(2);
+        c.set_data("/a", b"2", None).unwrap();
+        c.set_data("/a", b"3", None).unwrap();
+        c.bring_up(2);
+        assert_eq!(c.read(2, "/a").unwrap().0, b"3");
+        assert!(c.replicas_consistent());
+    }
+
+    #[test]
+    fn leader_failover_preserves_committed_data() {
+        let mut c = Cluster::new(3);
+        c.create("/a", b"1").unwrap();
+        let old_epoch = c.epoch();
+        c.take_down(c.leader());
+        assert!(c.epoch() > old_epoch, "election must bump the epoch");
+        // Committed data survives; new writes keep working.
+        c.set_data("/a", b"2", None).unwrap();
+        let leader = c.leader();
+        assert_eq!(c.read(leader, "/a").unwrap().0, b"2");
+    }
+
+    #[test]
+    fn delete_replicates() {
+        let mut c = Cluster::new(3);
+        c.create("/a", b"1").unwrap();
+        c.delete("/a").unwrap();
+        for r in 0..3 {
+            assert!(matches!(c.read(r, "/a"), Err(CoordError::NoNode(_))));
+        }
+        assert!(matches!(c.delete("/a"), Err(CoordError::NoNode(_))));
+    }
+
+    #[test]
+    fn fig17_shapes() {
+        let model = CostModel::default_patched();
+        // Reads: shielded beats native+stunnel (Fig. 17b).
+        let read_native = read_service_time_ns(SgxMode::Native, &model);
+        let read_hw = read_service_time_ns(SgxMode::Hw, &model);
+        let read_emu = read_service_time_ns(SgxMode::Emu, &model);
+        assert!(read_hw < read_native, "hw {read_hw} vs native {read_native}");
+        assert!(read_emu < read_native);
+        // Writes: native wins (Fig. 17c) — consensus path in the enclave.
+        let write_native = write_service_time_ns(SgxMode::Native, &model);
+        let write_hw = write_service_time_ns(SgxMode::Hw, &model);
+        assert!(write_native < write_hw, "native {write_native} vs hw {write_hw}");
+    }
+}

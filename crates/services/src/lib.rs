@@ -1,0 +1,29 @@
+//! Emulated real-world services for the macro-benchmarks (paper §V-C, §VI).
+//!
+//! The paper evaluates PALÆMON with Barbican, Vault, memcached, NGINX,
+//! ZooKeeper, MariaDB and a production ML inference engine. Those exact
+//! binaries cannot run here, so each module implements a workload with the
+//! same *architecture* — the same state, protocol steps and I/O pattern —
+//! plus a calibrated [`tee_sim::costs::OpProfile`] describing how one
+//! request stresses the TEE (CPU, syscalls, boundary crossings, hot set).
+//! The benchmark harness runs these profiles through `simnet`'s queueing
+//! simulators to regenerate Figs. 14–17; the functional cores are unit- and
+//! integration-tested like any other library code.
+//!
+//! * [`catalog`] — Table I: how popular services obtain secrets.
+//! * [`memstore`] — memcached-like in-memory KV cache (Fig. 16).
+//! * [`webserve`] — NGINX-like static file server over shielded-fs (Fig. 17a).
+//! * [`kms`] — Barbican/Vault-like key management service (Figs. 14, 15).
+//! * [`coord`] — ZooKeeper-like coordination service with a ZAB-style
+//!   atomic broadcast (Fig. 17b/c).
+//! * [`sqlstore`] — MariaDB-like page store with buffer pool + TPC-C-style
+//!   transactions (Fig. 17d).
+//! * [`mlinfer`] — the §VI ML inference pipeline.
+
+pub mod catalog;
+pub mod coord;
+pub mod kms;
+pub mod memstore;
+pub mod mlinfer;
+pub mod sqlstore;
+pub mod webserve;

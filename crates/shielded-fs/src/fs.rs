@@ -1,0 +1,638 @@
+//! The shielded file system: transparent encryption + Merkle tag.
+//!
+//! Layout on the untrusted store:
+//!
+//! * one blob per file, named `hex(SHA-256(path))`, containing the AEAD of
+//!   the plaintext bound to `(path, version)` as associated data;
+//! * a `manifest` blob: `[u64 manifest_version ‖ AEAD(manifest entries)]`.
+//!
+//! The **tag** is the Merkle root over `(path, version, content_hash)` of
+//! every file, so any write changes the tag. Swapping blobs between paths or
+//! serving a stale single file breaks AEAD authentication (the associated
+//! data pins path and version); rolling back the *whole* consistent state is
+//! only detectable by comparing the tag against the expected tag stored in
+//! PALÆMON — exactly the paper's split of responsibilities.
+//!
+//! An optional tag listener is invoked after each mutation and on
+//! [`ShieldedFs::sync`]/[`ShieldedFs::exit`]; PALÆMON's runtime wires it to
+//! the tag-update endpoint (§III-D: push on file close, fs sync, and exit).
+
+use std::collections::BTreeMap;
+
+use palaemon_crypto::aead::AeadKey;
+use palaemon_crypto::merkle;
+use palaemon_crypto::sha256::Sha256;
+use palaemon_crypto::wire::{Decoder, Encoder};
+use palaemon_crypto::Digest;
+
+use crate::store::BlockStore;
+use crate::{FsError, Result};
+
+const MANIFEST_BLOB: &str = "manifest";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FileEntry {
+    version: u64,
+    content_hash: Digest,
+    size: u64,
+}
+
+/// Called with the new tag after each mutation / sync / exit.
+pub type TagListener = Box<dyn FnMut(Digest, TagEvent) + Send>;
+
+/// Why a tag push happened (the three trigger points of §III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagEvent {
+    /// A file was written/closed.
+    FileClose,
+    /// The application called sync.
+    Sync,
+    /// The application exited cleanly.
+    Exit,
+}
+
+/// A mounted shielded file system.
+pub struct ShieldedFs {
+    store: Box<dyn BlockStore>,
+    key: AeadKey,
+    manifest: BTreeMap<String, FileEntry>,
+    manifest_version: u64,
+    /// Plaintext cache (the paper: files are served from TEE memory).
+    cache: BTreeMap<String, Vec<u8>>,
+    tag_listener: Option<TagListener>,
+    exited: bool,
+    /// Metadata write-back mode: the manifest is kept in TEE memory and
+    /// persisted on sync/exit instead of on every write (the caching the
+    /// paper credits for the Fig. 10 "+encrypted FS" throughput). A crash
+    /// loses unsynced metadata — consistent with crash-as-attack semantics.
+    metadata_writeback: bool,
+    manifest_dirty: bool,
+}
+
+impl std::fmt::Debug for ShieldedFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShieldedFs")
+            .field("files", &self.manifest.len())
+            .field("manifest_version", &self.manifest_version)
+            .finish()
+    }
+}
+
+fn blob_name(path: &str) -> String {
+    Sha256::digest_parts(&[b"sfs.blob", path.as_bytes()]).to_hex()
+}
+
+fn file_aad(path: &str, version: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_str(path).put_u64(version);
+    e.finish()
+}
+
+fn nonce_seed(path: &str, version: u64) -> Vec<u8> {
+    let mut s = Vec::with_capacity(path.len() + 8);
+    s.extend_from_slice(path.as_bytes());
+    s.extend_from_slice(&version.to_be_bytes());
+    s
+}
+
+impl ShieldedFs {
+    /// Creates a fresh, empty file system on `store` encrypted with `key`.
+    pub fn create(store: Box<dyn BlockStore>, key: AeadKey) -> Self {
+        let mut fs = ShieldedFs {
+            store,
+            key,
+            manifest: BTreeMap::new(),
+            manifest_version: 0,
+            cache: BTreeMap::new(),
+            tag_listener: None,
+            exited: false,
+            metadata_writeback: false,
+            manifest_dirty: false,
+        };
+        fs.persist_manifest();
+        fs
+    }
+
+    /// Enables metadata write-back: the manifest is persisted on
+    /// [`ShieldedFs::sync`] / [`ShieldedFs::exit`] instead of every write.
+    pub fn set_metadata_writeback(&mut self, on: bool) {
+        self.metadata_writeback = on;
+    }
+
+    /// Mounts an existing file system, verifying the manifest and, when
+    /// `expected_tag` is given, freshness against it.
+    ///
+    /// # Errors
+    /// * [`FsError::IntegrityViolation`] — the manifest is missing or fails
+    ///   authenticated decryption.
+    /// * [`FsError::RollbackDetected`] — the computed tag differs from
+    ///   `expected_tag`.
+    pub fn load(
+        store: Box<dyn BlockStore>,
+        key: AeadKey,
+        expected_tag: Option<Digest>,
+    ) -> Result<Self> {
+        let raw = store
+            .get(MANIFEST_BLOB)
+            .ok_or_else(|| FsError::IntegrityViolation("manifest missing".into()))?;
+        if raw.len() < 8 {
+            return Err(FsError::IntegrityViolation("manifest truncated".into()));
+        }
+        let manifest_version = u64::from_be_bytes(raw[..8].try_into().unwrap());
+        let plaintext = key
+            .open(
+                &nonce_seed(MANIFEST_BLOB, manifest_version),
+                &raw[8..],
+                &file_aad(MANIFEST_BLOB, manifest_version),
+            )
+            .map_err(|e| FsError::IntegrityViolation(format!("manifest: {e}")))?;
+        let manifest = decode_manifest(&plaintext)?;
+        let fs = ShieldedFs {
+            store,
+            key,
+            manifest,
+            manifest_version,
+            cache: BTreeMap::new(),
+            tag_listener: None,
+            exited: false,
+            metadata_writeback: false,
+            manifest_dirty: false,
+        };
+        let actual = fs.tag();
+        if let Some(expected) = expected_tag {
+            if expected != actual {
+                return Err(FsError::RollbackDetected { expected, actual });
+            }
+        }
+        Ok(fs)
+    }
+
+    /// Installs the tag listener (PALÆMON runtime hook).
+    pub fn set_tag_listener(&mut self, listener: TagListener) {
+        self.tag_listener = Some(listener);
+    }
+
+    /// The current file-system tag (Merkle root over all files).
+    pub fn tag(&self) -> Digest {
+        if self.manifest.is_empty() {
+            return Digest::ZERO;
+        }
+        let leaves: Vec<Digest> = self
+            .manifest
+            .iter()
+            .map(|(path, e)| {
+                let mut enc = Encoder::new();
+                enc.put_str(path)
+                    .put_u64(e.version)
+                    .put_bytes(e.content_hash.as_bytes());
+                merkle::leaf_hash(enc.as_bytes())
+            })
+            .collect();
+        merkle::root_from_hashes(&leaves)
+    }
+
+    /// Lists all file paths.
+    pub fn list(&self) -> Vec<String> {
+        self.manifest.keys().cloned().collect()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.manifest.len()
+    }
+
+    /// True when no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.is_empty()
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.manifest.contains_key(path)
+    }
+
+    /// Reads and decrypts a file (served from the TEE-memory cache when
+    /// possible).
+    ///
+    /// # Errors
+    /// * [`FsError::NotFound`] — no such file.
+    /// * [`FsError::IntegrityViolation`] — the blob fails authentication or
+    ///   does not match the manifest.
+    pub fn read(&self, path: &str) -> Result<Vec<u8>> {
+        if let Some(cached) = self.cache.get(path) {
+            return Ok(cached.clone());
+        }
+        self.read_uncached(path)
+    }
+
+    /// Reads straight from the untrusted store, bypassing the cache.
+    ///
+    /// # Errors
+    /// Same as [`ShieldedFs::read`].
+    pub fn read_uncached(&self, path: &str) -> Result<Vec<u8>> {
+        let entry = self
+            .manifest
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let blob = self
+            .store
+            .get(&blob_name(path))
+            .ok_or_else(|| FsError::IntegrityViolation(format!("blob for {path} missing")))?;
+        let plaintext = self
+            .key
+            .open(
+                &nonce_seed(path, entry.version),
+                &blob,
+                &file_aad(path, entry.version),
+            )
+            .map_err(|e| FsError::IntegrityViolation(format!("{path}: {e}")))?;
+        let hash = Sha256::digest(&plaintext);
+        if hash != entry.content_hash {
+            return Err(FsError::IntegrityViolation(format!(
+                "{path}: content hash mismatch"
+            )));
+        }
+        Ok(plaintext)
+    }
+
+    /// Reads a cached file and caches it for subsequent reads.
+    ///
+    /// # Errors
+    /// Same as [`ShieldedFs::read`].
+    pub fn read_cached(&mut self, path: &str) -> Result<&[u8]> {
+        if !self.cache.contains_key(path) {
+            let data = self.read_uncached(path)?;
+            self.cache.insert(path.to_string(), data);
+        }
+        Ok(self.cache.get(path).unwrap())
+    }
+
+    /// Writes (creating or replacing) a file, bumps its version, persists
+    /// the manifest, and notifies the tag listener ([`TagEvent::FileClose`]).
+    ///
+    /// # Errors
+    /// Currently infallible in practice; returns `Result` for future stores.
+    pub fn write(&mut self, path: &str, content: &[u8]) -> Result<()> {
+        let version = self.manifest.get(path).map(|e| e.version + 1).unwrap_or(1);
+        let sealed = self.key.seal(
+            &nonce_seed(path, version),
+            content,
+            &file_aad(path, version),
+        );
+        self.store.put(&blob_name(path), sealed);
+        self.manifest.insert(
+            path.to_string(),
+            FileEntry {
+                version,
+                content_hash: Sha256::digest(content),
+                size: content.len() as u64,
+            },
+        );
+        self.cache.insert(path.to_string(), content.to_vec());
+        if self.metadata_writeback {
+            self.manifest_dirty = true;
+        } else {
+            self.persist_manifest();
+        }
+        self.notify(TagEvent::FileClose);
+        Ok(())
+    }
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    /// Returns [`FsError::NotFound`] when absent.
+    pub fn remove(&mut self, path: &str) -> Result<()> {
+        if self.manifest.remove(path).is_none() {
+            return Err(FsError::NotFound(path.to_string()));
+        }
+        self.store.delete(&blob_name(path));
+        self.cache.remove(path);
+        if self.metadata_writeback {
+            self.manifest_dirty = true;
+        } else {
+            self.persist_manifest();
+        }
+        self.notify(TagEvent::FileClose);
+        Ok(())
+    }
+
+    /// File size in bytes.
+    ///
+    /// # Errors
+    /// Returns [`FsError::NotFound`] when absent.
+    pub fn size(&self, path: &str) -> Result<u64> {
+        self.manifest
+            .get(path)
+            .map(|e| e.size)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    /// Synchronises the store and pushes the tag ([`TagEvent::Sync`]).
+    ///
+    /// # Errors
+    /// Propagates storage failures.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.manifest_dirty {
+            self.persist_manifest();
+            self.manifest_dirty = false;
+        }
+        self.store.sync()?;
+        self.notify(TagEvent::Sync);
+        Ok(())
+    }
+
+    /// Clean application exit: final sync + tag push ([`TagEvent::Exit`]).
+    ///
+    /// # Errors
+    /// Propagates storage failures.
+    pub fn exit(&mut self) -> Result<()> {
+        if self.manifest_dirty {
+            self.persist_manifest();
+            self.manifest_dirty = false;
+        }
+        self.store.sync()?;
+        self.exited = true;
+        self.notify(TagEvent::Exit);
+        Ok(())
+    }
+
+    fn notify(&mut self, event: TagEvent) {
+        let tag = self.tag();
+        if let Some(listener) = self.tag_listener.as_mut() {
+            listener(tag, event);
+        }
+    }
+
+    fn persist_manifest(&mut self) {
+        self.manifest_version += 1;
+        let mut e = Encoder::new();
+        e.put_u32(self.manifest.len() as u32);
+        for (path, entry) in &self.manifest {
+            e.put_str(path)
+                .put_u64(entry.version)
+                .put_bytes(entry.content_hash.as_bytes())
+                .put_u64(entry.size);
+        }
+        let plaintext = e.finish();
+        let sealed = self.key.seal(
+            &nonce_seed(MANIFEST_BLOB, self.manifest_version),
+            &plaintext,
+            &file_aad(MANIFEST_BLOB, self.manifest_version),
+        );
+        let mut blob = self.manifest_version.to_be_bytes().to_vec();
+        blob.extend_from_slice(&sealed);
+        self.store.put(MANIFEST_BLOB, blob);
+    }
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<BTreeMap<String, FileEntry>> {
+    let mut d = Decoder::new(bytes);
+    let mut parse = || -> palaemon_crypto::Result<BTreeMap<String, FileEntry>> {
+        let count = d.get_u32()? as usize;
+        let mut map = BTreeMap::new();
+        for _ in 0..count {
+            let path = d.get_str()?;
+            let version = d.get_u64()?;
+            let hash_raw = d.get_bytes()?;
+            let hash: [u8; 32] = hash_raw
+                .try_into()
+                .map_err(|_| palaemon_crypto::CryptoError::Decode("hash len".into()))?;
+            let size = d.get_u64()?;
+            map.insert(
+                path,
+                FileEntry {
+                    version,
+                    content_hash: Digest::from_bytes(hash),
+                    size,
+                },
+            );
+        }
+        d.finish()?;
+        Ok(map)
+    };
+    parse().map_err(|e| FsError::IntegrityViolation(format!("manifest decode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn key() -> AeadKey {
+        AeadKey::from_bytes([7u8; 32])
+    }
+
+    fn fresh() -> (MemStore, ShieldedFs) {
+        let store = MemStore::new();
+        let fs = ShieldedFs::create(Box::new(store.clone()), key());
+        (store, fs)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (_, mut fs) = fresh();
+        fs.write("/a.txt", b"hello").unwrap();
+        assert_eq!(fs.read("/a.txt").unwrap(), b"hello");
+        assert_eq!(fs.read_uncached("/a.txt").unwrap(), b"hello");
+        assert_eq!(fs.size("/a.txt").unwrap(), 5);
+    }
+
+    #[test]
+    fn missing_file_not_found() {
+        let (_, fs) = fresh();
+        assert!(matches!(fs.read("/nope"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn tag_changes_on_every_write() {
+        let (_, mut fs) = fresh();
+        let t0 = fs.tag();
+        fs.write("/a", b"1").unwrap();
+        let t1 = fs.tag();
+        fs.write("/a", b"2").unwrap();
+        let t2 = fs.tag();
+        fs.write("/a", b"1").unwrap(); // same content, new version
+        let t3 = fs.tag();
+        assert_ne!(t0, t1);
+        assert_ne!(t1, t2);
+        assert_ne!(t2, t3, "version bump must change tag even for same bytes");
+    }
+
+    #[test]
+    fn reload_with_correct_tag() {
+        let (store, mut fs) = fresh();
+        fs.write("/a", b"data").unwrap();
+        let tag = fs.tag();
+        let fs2 = ShieldedFs::load(Box::new(store), key(), Some(tag)).unwrap();
+        assert_eq!(fs2.read("/a").unwrap(), b"data");
+        assert_eq!(fs2.tag(), tag);
+    }
+
+    #[test]
+    fn rollback_of_whole_store_detected_by_tag() {
+        let (store, mut fs) = fresh();
+        fs.write("/model-count", b"1").unwrap();
+        let snapshot = store.snapshot(); // attacker snapshots old state
+        fs.write("/model-count", b"2").unwrap();
+        let fresh_tag = fs.tag();
+        drop(fs);
+        store.restore(snapshot); // attacker rolls the file system back
+        let err = ShieldedFs::load(Box::new(store), key(), Some(fresh_tag)).unwrap_err();
+        assert!(matches!(err, FsError::RollbackDetected { .. }));
+    }
+
+    #[test]
+    fn rollback_without_expected_tag_goes_undetected() {
+        // This documents WHY the tag must be stored in PALÆMON: without the
+        // expected tag, a consistent old state loads fine.
+        let (store, mut fs) = fresh();
+        fs.write("/f", b"old").unwrap();
+        let snapshot = store.snapshot();
+        fs.write("/f", b"new").unwrap();
+        drop(fs);
+        store.restore(snapshot);
+        let fs2 = ShieldedFs::load(Box::new(store), key(), None).unwrap();
+        assert_eq!(fs2.read("/f").unwrap(), b"old");
+    }
+
+    #[test]
+    fn single_file_rollback_breaks_authentication() {
+        let (store, mut fs) = fresh();
+        fs.write("/f", b"old").unwrap();
+        let old_blob = store.get(&blob_name("/f")).unwrap();
+        fs.write("/f", b"new").unwrap();
+        // Attacker serves the stale blob for just this file.
+        store.put(&blob_name("/f"), old_blob);
+        assert!(matches!(
+            fs.read_uncached("/f"),
+            Err(FsError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn blob_swap_between_paths_detected() {
+        let (store, mut fs) = fresh();
+        fs.write("/a", b"aaa").unwrap();
+        fs.write("/b", b"bbb").unwrap();
+        let blob_a = store.get(&blob_name("/a")).unwrap();
+        let blob_b = store.get(&blob_name("/b")).unwrap();
+        store.put(&blob_name("/a"), blob_b);
+        store.put(&blob_name("/b"), blob_a);
+        assert!(fs.read_uncached("/a").is_err());
+        assert!(fs.read_uncached("/b").is_err());
+    }
+
+    #[test]
+    fn corrupted_blob_detected() {
+        let (store, mut fs) = fresh();
+        fs.write("/f", b"payload").unwrap();
+        store.corrupt(&blob_name("/f"), 3);
+        assert!(matches!(
+            fs.read_uncached("/f"),
+            Err(FsError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_manifest_detected() {
+        let (store, mut fs) = fresh();
+        fs.write("/f", b"payload").unwrap();
+        store.corrupt(MANIFEST_BLOB, 12);
+        assert!(ShieldedFs::load(Box::new(store), key(), None).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (store, mut fs) = fresh();
+        fs.write("/f", b"payload").unwrap();
+        drop(fs);
+        let wrong = AeadKey::from_bytes([8u8; 32]);
+        assert!(ShieldedFs::load(Box::new(store), wrong, None).is_err());
+    }
+
+    #[test]
+    fn remove_updates_tag_and_store() {
+        let (store, mut fs) = fresh();
+        fs.write("/f", b"x").unwrap();
+        let t1 = fs.tag();
+        fs.remove("/f").unwrap();
+        assert_ne!(fs.tag(), t1);
+        assert!(store.get(&blob_name("/f")).is_none());
+        assert!(matches!(fs.remove("/f"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn tag_listener_fires_on_events() {
+        use std::sync::{Arc, Mutex};
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let (_, mut fs) = fresh();
+        let sink = events.clone();
+        fs.set_tag_listener(Box::new(move |tag, ev| {
+            sink.lock().unwrap().push((tag, ev));
+        }));
+        fs.write("/f", b"1").unwrap();
+        fs.sync().unwrap();
+        fs.exit().unwrap();
+        let log = events.lock().unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].1, TagEvent::FileClose);
+        assert_eq!(log[1].1, TagEvent::Sync);
+        assert_eq!(log[2].1, TagEvent::Exit);
+        // Sync and exit without writes push the same tag.
+        assert_eq!(log[1].0, log[2].0);
+    }
+
+    #[test]
+    fn cache_serves_after_first_read() {
+        let (store, mut fs) = fresh();
+        fs.write("/f", b"cached").unwrap();
+        // Corrupt the store; cached read still works, uncached fails.
+        store.corrupt(&blob_name("/f"), 0);
+        assert_eq!(fs.read("/f").unwrap(), b"cached");
+        assert!(fs.read_uncached("/f").is_err());
+    }
+
+    #[test]
+    fn metadata_writeback_persists_on_sync() {
+        let store = MemStore::new();
+        let mut fs = ShieldedFs::create(Box::new(store.clone()), key());
+        fs.set_metadata_writeback(true);
+        fs.write("/f", b"v1").unwrap();
+        // Crash before sync: the manifest on the store is stale, but the
+        // blob exists — reload sees the OLD manifest (no /f).
+        let stale = ShieldedFs::load(Box::new(store.clone()), key(), None).unwrap();
+        assert!(!stale.exists("/f"));
+        // After sync everything is durable.
+        fs.sync().unwrap();
+        let fresh = ShieldedFs::load(Box::new(store), key(), None).unwrap();
+        assert_eq!(fresh.read("/f").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn metadata_writeback_tag_still_updates_per_write() {
+        let (_, mut fs) = fresh();
+        fs.set_metadata_writeback(true);
+        let t0 = fs.tag();
+        fs.write("/f", b"1").unwrap();
+        assert_ne!(fs.tag(), t0, "tag must move even with write-back");
+    }
+
+    #[test]
+    fn empty_fs_tag_is_zero() {
+        let (_, fs) = fresh();
+        assert_eq!(fs.tag(), Digest::ZERO);
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn list_and_exists() {
+        let (_, mut fs) = fresh();
+        fs.write("/b", b"2").unwrap();
+        fs.write("/a", b"1").unwrap();
+        assert_eq!(fs.list(), vec!["/a".to_string(), "/b".to_string()]);
+        assert!(fs.exists("/a"));
+        assert!(!fs.exists("/c"));
+        assert_eq!(fs.len(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Transparent secret injection into configuration files.
+//!
+//! Legacy applications read secrets from config files (paper Table I).
+//! PALÆMON lets the policy owner leave *variables* in those files; when an
+//! attested application reads the file inside the TEE, the runtime replaces
+//! each variable with the secret's value — the application code is never
+//! modified and the plaintext secret never exists outside the TEE
+//! (paper §IV-A).
+//!
+//! Variable syntax: `{{name}}`, where `name` references a secret in the
+//! application's security policy. Unknown variables are left untouched so a
+//! template can be processed by multiple policies. `\{{` escapes a literal
+//! `{{`.
+
+use std::collections::BTreeMap;
+
+/// A map from secret name to value.
+pub type SecretMap = BTreeMap<String, Vec<u8>>;
+
+/// Replaces `{{name}}` variables in `content` with values from `secrets`.
+///
+/// Returns the substituted bytes and how many replacements happened.
+/// Unknown variables are preserved verbatim; `\{{` emits a literal `{{`.
+///
+/// # Example
+/// ```
+/// use shielded_fs::inject::{inject_secrets, SecretMap};
+/// let mut secrets = SecretMap::new();
+/// secrets.insert("pg_pass".into(), b"s3cret".to_vec());
+/// let (out, n) = inject_secrets(b"password={{pg_pass}}\n", &secrets);
+/// assert_eq!(out, b"password=s3cret\n");
+/// assert_eq!(n, 1);
+/// ```
+pub fn inject_secrets(content: &[u8], secrets: &SecretMap) -> (Vec<u8>, usize) {
+    let mut out = Vec::with_capacity(content.len());
+    let mut replaced = 0usize;
+    let mut i = 0usize;
+    while i < content.len() {
+        // Escape: \{{  -> literal {{
+        if content[i] == b'\\' && content[i + 1..].starts_with(b"{{") {
+            out.extend_from_slice(b"{{");
+            i += 3;
+            continue;
+        }
+        if content[i..].starts_with(b"{{") {
+            if let Some(end) = find_close(&content[i + 2..]) {
+                let name = &content[i + 2..i + 2 + end];
+                if let Ok(name_str) = std::str::from_utf8(name) {
+                    if let Some(value) = secrets.get(name_str.trim()) {
+                        out.extend_from_slice(value);
+                        replaced += 1;
+                        i += 2 + end + 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push(content[i]);
+        i += 1;
+    }
+    (out, replaced)
+}
+
+fn find_close(rest: &[u8]) -> Option<usize> {
+    // A variable name must be short and on one line.
+    for (j, w) in rest.windows(2).enumerate().take(256) {
+        if w == b"}}" {
+            return Some(j);
+        }
+        if w[0] == b'\n' {
+            return None;
+        }
+    }
+    None
+}
+
+/// Scans a template for the variable names it references.
+pub fn referenced_variables(content: &[u8]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < content.len() {
+        if content[i] == b'\\' && content[i + 1..].starts_with(b"{{") {
+            i += 3;
+            continue;
+        }
+        if content[i..].starts_with(b"{{") {
+            if let Some(end) = find_close(&content[i + 2..]) {
+                if let Ok(name) = std::str::from_utf8(&content[i + 2..i + 2 + end]) {
+                    let name = name.trim().to_string();
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+                i += 2 + end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secrets(pairs: &[(&str, &str)]) -> SecretMap {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.as_bytes().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn single_replacement() {
+        let s = secrets(&[("key", "VALUE")]);
+        let (out, n) = inject_secrets(b"x={{key}}", &s);
+        assert_eq!(out, b"x=VALUE");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn multiple_and_repeated() {
+        let s = secrets(&[("a", "1"), ("b", "2")]);
+        let (out, n) = inject_secrets(b"{{a}}{{b}}{{a}}", &s);
+        assert_eq!(out, b"121");
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn unknown_variable_preserved() {
+        let s = secrets(&[("a", "1")]);
+        let (out, n) = inject_secrets(b"{{unknown}} {{a}}", &s);
+        assert_eq!(out, b"{{unknown}} 1");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn escaped_braces() {
+        let s = secrets(&[("a", "1")]);
+        let (out, n) = inject_secrets(br"\{{a}} {{a}}", &s);
+        assert_eq!(out, b"{{a}} 1");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn whitespace_in_variable_trimmed() {
+        let s = secrets(&[("a", "1")]);
+        let (out, n) = inject_secrets(b"{{ a }}", &s);
+        assert_eq!(out, b"1");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn unterminated_variable_left_alone() {
+        let s = secrets(&[("a", "1")]);
+        let (out, n) = inject_secrets(b"{{a", &s);
+        assert_eq!(out, b"{{a");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn newline_terminates_scan() {
+        let s = secrets(&[("a", "1")]);
+        let (out, n) = inject_secrets(b"{{a\n}}", &s);
+        assert_eq!(out, b"{{a\n}}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn binary_values_ok() {
+        let mut s = SecretMap::new();
+        s.insert("bin".into(), vec![0u8, 255, 128]);
+        let (out, n) = inject_secrets(b"[{{bin}}]", &s);
+        assert_eq!(out, [b'[', 0, 255, 128, b']']);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn referenced_variables_found() {
+        let vars = referenced_variables(b"a={{x}} b={{y}} c={{x}} d=\\{{z}}");
+        assert_eq!(vars, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, n) = inject_secrets(b"", &SecretMap::new());
+        assert!(out.is_empty());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn no_variables_passthrough_unchanged() {
+        let content = b"plain config\nwith lines\n";
+        let (out, n) = inject_secrets(content, &secrets(&[("a", "1")]));
+        assert_eq!(out, content);
+        assert_eq!(n, 0);
+    }
+}

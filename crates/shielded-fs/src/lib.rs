@@ -1,0 +1,80 @@
+//! SCONE-style shielded file system.
+//!
+//! PALÆMON protects application files by transparent encryption inside the
+//! TEE plus a Merkle tree whose root — the **tag** — identifies the exact
+//! file-system state (paper §III-D). This crate implements that layer:
+//!
+//! * [`store`] — untrusted block stores (in-memory and directory-backed).
+//!   The attacker *owns* this layer: tests roll it back, swap blobs and
+//!   corrupt bytes.
+//! * [`fs`] — the shielded file system: per-file AEAD encryption bound to
+//!   `(path, version)`, a manifest, and the Merkle tag over all files.
+//!   Loading verifies integrity; comparing the loaded tag against the
+//!   expected tag stored in PALÆMON detects rollbacks.
+//! * [`inject`] — transparent secret injection: PALÆMON variables inside
+//!   configuration files are replaced in TEE memory when the file is read,
+//!   without the application noticing (paper §IV-A).
+//!
+//! # Example
+//! ```
+//! use shielded_fs::fs::ShieldedFs;
+//! use shielded_fs::store::MemStore;
+//! use palaemon_crypto::aead::AeadKey;
+//!
+//! let store = MemStore::new();
+//! let key = AeadKey::from_bytes([1u8; 32]);
+//! let mut fs = ShieldedFs::create(Box::new(store.clone()), key.clone());
+//! fs.write("/data/config.yml", b"db_password: {{pg_pass}}").unwrap();
+//! let tag = fs.tag();
+//! // Reload and verify freshness against the expected tag:
+//! let fs2 = ShieldedFs::load(Box::new(store), key, Some(tag)).unwrap();
+//! assert_eq!(fs2.read("/data/config.yml").unwrap(), b"db_password: {{pg_pass}}");
+//! ```
+
+pub mod fs;
+pub mod inject;
+pub mod store;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use palaemon_crypto::Digest;
+
+/// Errors raised by the shielded file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// The file does not exist.
+    NotFound(String),
+    /// A file or the manifest failed authenticated decryption.
+    IntegrityViolation(String),
+    /// The file-system tag does not match the expected tag — the state was
+    /// rolled back or forked.
+    RollbackDetected {
+        /// Tag the caller expected (from PALÆMON).
+        expected: Digest,
+        /// Tag actually computed from storage.
+        actual: Digest,
+    },
+    /// The backing store failed.
+    Storage(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(path) => write!(f, "file not found: {path}"),
+            FsError::IntegrityViolation(why) => write!(f, "integrity violation: {why}"),
+            FsError::RollbackDetected { expected, actual } => write!(
+                f,
+                "rollback detected: expected tag {expected}, found {actual}"
+            ),
+            FsError::Storage(why) => write!(f, "storage error: {why}"),
+        }
+    }
+}
+
+impl StdError for FsError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, FsError>;

@@ -1,0 +1,310 @@
+//! Untrusted block stores.
+//!
+//! Everything below the shielded layer is attacker-controlled. [`MemStore`]
+//! supports snapshot/restore so tests and examples can mount the paper's
+//! rollback attack literally: snapshot the store, let the application make
+//! progress, then restore the old state. [`DirStore`] persists blobs to a
+//! real directory for the benchmarks that need genuine disk I/O (Fig. 11
+//! tag-update latency).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::{FsError, Result};
+
+/// An untrusted key→blob store.
+pub trait BlockStore: Send + Sync {
+    /// Reads a blob; `None` when absent.
+    fn get(&self, name: &str) -> Option<Vec<u8>>;
+    /// Writes (or replaces) a blob.
+    fn put(&self, name: &str, data: Vec<u8>);
+    /// Deletes a blob (idempotent).
+    fn delete(&self, name: &str);
+    /// Lists all blob names.
+    fn list(&self) -> Vec<String>;
+    /// Flushes to durable media, returning when data is persistent.
+    ///
+    /// # Errors
+    /// Returns [`FsError::Storage`] if the underlying medium fails.
+    fn sync(&self) -> Result<()>;
+}
+
+/// In-memory store with snapshot/restore (the rollback attacker's tool).
+#[derive(Clone, Default)]
+pub struct MemStore {
+    blobs: Arc<RwLock<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl std::fmt::Debug for MemStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MemStore({} blobs)", self.blobs.read().len())
+    }
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Captures the full store state.
+    pub fn snapshot(&self) -> BTreeMap<String, Vec<u8>> {
+        self.blobs.read().clone()
+    }
+
+    /// Restores a previously captured state — a rollback attack.
+    pub fn restore(&self, snapshot: BTreeMap<String, Vec<u8>>) {
+        *self.blobs.write() = snapshot;
+    }
+
+    /// Corrupts one byte of the named blob (integrity-attack helper).
+    /// Returns false when the blob does not exist or is empty.
+    pub fn corrupt(&self, name: &str, offset: usize) -> bool {
+        let mut blobs = self.blobs.write();
+        match blobs.get_mut(name) {
+            Some(blob) if !blob.is_empty() => {
+                let i = offset % blob.len();
+                blob[i] ^= 0xFF;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl BlockStore for MemStore {
+    fn get(&self, name: &str) -> Option<Vec<u8>> {
+        self.blobs.read().get(name).cloned()
+    }
+
+    fn put(&self, name: &str, data: Vec<u8>) {
+        self.blobs.write().insert(name.to_string(), data);
+    }
+
+    fn delete(&self, name: &str) {
+        self.blobs.write().remove(name);
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.blobs.read().keys().cloned().collect()
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Directory-backed store: blobs become real files, `sync` calls `fsync`.
+#[derive(Debug, Clone)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    /// Returns [`FsError::Storage`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| FsError::Storage(format!("create {}: {e}", root.display())))?;
+        Ok(DirStore { root })
+    }
+
+    fn path_for(&self, name: &str) -> PathBuf {
+        // Blob names are hex digests or simple identifiers; sanitise anyway.
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            })
+            .collect();
+        self.root.join(safe)
+    }
+}
+
+impl BlockStore for DirStore {
+    fn get(&self, name: &str) -> Option<Vec<u8>> {
+        std::fs::read(self.path_for(name)).ok()
+    }
+
+    fn put(&self, name: &str, data: Vec<u8>) {
+        // Atomic replace via rename, as any crash-consistent store would.
+        let path = self.path_for(name);
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        if std::fs::write(&tmp, &data).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    fn delete(&self, name: &str) {
+        let _ = std::fs::remove_file(self.path_for(name));
+    }
+
+    fn list(&self) -> Vec<String> {
+        std::fs::read_dir(&self.root)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .filter(|n| !n.ends_with(".tmp"))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn sync(&self) -> Result<()> {
+        // Fsync the directory to flush renames.
+        let dir = std::fs::File::open(&self.root)
+            .map_err(|e| FsError::Storage(format!("open dir: {e}")))?;
+        dir.sync_all()
+            .map_err(|e| FsError::Storage(format!("fsync: {e}")))
+    }
+}
+
+/// A fault-injecting store wrapper: drops all writes after a fuse of
+/// `puts_until_failure` put operations burns out, and fails `sync` from
+/// then on. Models a crash / failing disk mid-operation for recovery tests.
+pub struct FaultyStore<S: BlockStore> {
+    inner: S,
+    fuse: std::sync::atomic::AtomicI64,
+}
+
+impl<S: BlockStore> FaultyStore<S> {
+    /// Wraps `inner`; the first `puts_until_failure` puts succeed, later
+    /// ones are silently dropped (as a crashed process's writes would be).
+    pub fn new(inner: S, puts_until_failure: i64) -> Self {
+        FaultyStore {
+            inner,
+            fuse: std::sync::atomic::AtomicI64::new(puts_until_failure),
+        }
+    }
+
+    /// Whether the fuse has burnt out.
+    pub fn failed(&self) -> bool {
+        self.fuse.load(std::sync::atomic::Ordering::Relaxed) <= 0
+    }
+}
+
+impl<S: BlockStore> BlockStore for FaultyStore<S> {
+    fn get(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner.get(name)
+    }
+
+    fn put(&self, name: &str, data: Vec<u8>) {
+        let left = self
+            .fuse
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        if left > 0 {
+            self.inner.put(name, data);
+        }
+    }
+
+    fn delete(&self, name: &str) {
+        if !self.failed() {
+            self.inner.delete(name);
+        }
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.failed() {
+            Err(FsError::Storage("device failed".into()))
+        } else {
+            self.inner.sync()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_basic_ops() {
+        let s = MemStore::new();
+        assert!(s.get("a").is_none());
+        s.put("a", vec![1, 2, 3]);
+        assert_eq!(s.get("a").unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.list(), vec!["a".to_string()]);
+        s.delete("a");
+        assert!(s.get("a").is_none());
+        s.sync().unwrap();
+    }
+
+    #[test]
+    fn memstore_snapshot_restore() {
+        let s = MemStore::new();
+        s.put("f", b"v1".to_vec());
+        let snap = s.snapshot();
+        s.put("f", b"v2".to_vec());
+        assert_eq!(s.get("f").unwrap(), b"v2");
+        s.restore(snap);
+        assert_eq!(s.get("f").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn memstore_corrupt() {
+        let s = MemStore::new();
+        s.put("f", vec![0u8; 4]);
+        assert!(s.corrupt("f", 2));
+        assert_eq!(s.get("f").unwrap(), vec![0, 0, 0xFF, 0]);
+        assert!(!s.corrupt("missing", 0));
+    }
+
+    #[test]
+    fn memstore_clone_shares_state() {
+        let a = MemStore::new();
+        let b = a.clone();
+        a.put("x", b"1".to_vec());
+        assert_eq!(b.get("x").unwrap(), b"1");
+    }
+
+    #[test]
+    fn dirstore_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sfs-test-{}", std::process::id()));
+        let s = DirStore::open(&dir).unwrap();
+        s.put("blob-1", b"hello".to_vec());
+        assert_eq!(s.get("blob-1").unwrap(), b"hello");
+        assert!(s.list().contains(&"blob-1".to_string()));
+        s.sync().unwrap();
+        s.delete("blob-1");
+        assert!(s.get("blob-1").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_store_burns_fuse() {
+        let inner = MemStore::new();
+        let faulty = FaultyStore::new(inner.clone(), 2);
+        faulty.put("a", b"1".to_vec());
+        assert!(!faulty.failed());
+        faulty.put("b", b"2".to_vec()); // last successful write
+        faulty.put("c", b"3".to_vec()); // dropped
+        assert!(faulty.failed());
+        assert!(inner.get("a").is_some());
+        assert!(inner.get("b").is_some());
+        assert!(inner.get("c").is_none());
+        assert!(faulty.sync().is_err());
+    }
+
+    #[test]
+    fn dirstore_sanitises_names() {
+        let dir = std::env::temp_dir().join(format!("sfs-test2-{}", std::process::id()));
+        let s = DirStore::open(&dir).unwrap();
+        s.put("../evil/path", b"x".to_vec());
+        // Must not escape the root.
+        assert!(s.get("../evil/path").is_some());
+        assert!(dir.join(".._evil_path").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

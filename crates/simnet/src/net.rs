@@ -1,0 +1,223 @@
+//! Network links, deployment zones, and TCP/TLS handshake accounting.
+//!
+//! Latency-dominated experiments (attestation, secret retrieval, approval
+//! services at distance) are computed from explicit round-trip accounting on
+//! a [`Link`]: TCP needs one RTT before data flows, a full TLS 1.2 handshake
+//! two more, and each request/response one more plus transfer and server
+//! time. [`Deployment`] provides the five geographical settings of
+//! Fig. 13-right plus the two IAS locations of Fig. 8.
+
+use crate::{Time, MS, US};
+
+/// A bidirectional network link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Round-trip time.
+    pub rtt: Time,
+    /// Bandwidth in bytes per second (per direction).
+    pub bandwidth_bps: u64,
+}
+
+impl Link {
+    /// Creates a link from RTT milliseconds and bandwidth in Gbit/s.
+    pub fn new(rtt_ms: f64, gbps: f64) -> Self {
+        Link {
+            rtt: (rtt_ms * MS as f64) as Time,
+            bandwidth_bps: (gbps * 1e9 / 8.0) as u64,
+        }
+    }
+
+    /// One-way latency.
+    pub fn one_way(&self) -> Time {
+        self.rtt / 2
+    }
+
+    /// Serialisation time for `bytes` at link bandwidth.
+    pub fn transfer(&self, bytes: u64) -> Time {
+        if self.bandwidth_bps == 0 {
+            return 0;
+        }
+        bytes * 1_000_000_000 / self.bandwidth_bps
+    }
+
+    /// TCP connection establishment (SYN/SYN-ACK): one RTT.
+    pub fn tcp_handshake(&self) -> Time {
+        self.rtt
+    }
+
+    /// TLS 1.2 full handshake on an established TCP connection: two RTTs
+    /// plus both sides' handshake crypto.
+    pub fn tls_handshake(&self, crypto_us: u64) -> Time {
+        2 * self.rtt + crypto_us * US
+    }
+
+    /// One request/response on an established (and possibly TLS) connection:
+    /// one RTT + payload transfer both ways + server processing.
+    pub fn request(&self, bytes_out: u64, bytes_in: u64, server_time: Time) -> Time {
+        self.rtt + self.transfer(bytes_out) + self.transfer(bytes_in) + server_time
+    }
+
+    /// Full cost of "connect, TLS, one request" — the paper's secret
+    /// retrieval and approval-service patterns (plus optional DNS lookup).
+    pub fn connect_tls_request(
+        &self,
+        dns: bool,
+        crypto_us: u64,
+        bytes_out: u64,
+        bytes_in: u64,
+        server_time: Time,
+    ) -> Time {
+        let dns_time = if dns { self.rtt } else { 0 };
+        dns_time
+            + self.tcp_handshake()
+            + self.tls_handshake(crypto_us)
+            + self.request(bytes_out, bytes_in, server_time)
+    }
+}
+
+/// The geographical deployments used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Deployment {
+    /// Client and service on the same rack (the paper's cluster, 20 Gb/s).
+    SameRack,
+    /// Same data centre.
+    SameDc,
+    /// Up to 300 km (regional).
+    Regional300Km,
+    /// Up to 7 000 km (transatlantic).
+    Continental7000Km,
+    /// Up to 11 000 km (intercontinental).
+    Intercontinental11000Km,
+}
+
+impl Deployment {
+    /// All deployments, nearest first (the Fig. 13-right x-axis).
+    pub const ALL: [Deployment; 5] = [
+        Deployment::SameRack,
+        Deployment::SameDc,
+        Deployment::Regional300Km,
+        Deployment::Continental7000Km,
+        Deployment::Intercontinental11000Km,
+    ];
+
+    /// The link parameters for this deployment.
+    pub fn link(&self) -> Link {
+        match self {
+            Deployment::SameRack => Link::new(0.12, 20.0),
+            Deployment::SameDc => Link::new(0.5, 10.0),
+            Deployment::Regional300Km => Link::new(8.0, 1.0),
+            Deployment::Continental7000Km => Link::new(140.0, 0.5),
+            Deployment::Intercontinental11000Km => Link::new(260.0, 0.5),
+        }
+    }
+
+    /// Human-readable label matching the paper's axis.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Deployment::SameRack => "Same rack",
+            Deployment::SameDc => "Same DC",
+            Deployment::Regional300Km => "<= 300 km",
+            Deployment::Continental7000Km => "<= 7,000 km",
+            Deployment::Intercontinental11000Km => "<= 11,000 km",
+        }
+    }
+}
+
+/// Where an attestation verifier lives (Fig. 8's three bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttestationSite {
+    /// Intel IAS reached from the EU cluster.
+    IasFromEu,
+    /// Intel IAS reached from Portland, OR (close to IAS).
+    IasFromUs,
+    /// A PALÆMON instance on the local cluster.
+    PalaemonLocal,
+}
+
+impl AttestationSite {
+    /// Link from the attesting application to the verifier.
+    pub fn link(&self) -> Link {
+        match self {
+            // EU cluster to the nearest IAS point of presence. The paper
+            // observed only ~15 ms between the EU and Portland vantage
+            // points, implying IAS terminates TLS close to both; the
+            // dominant cost is server-side EPID verification.
+            AttestationSite::IasFromEu => Link::new(25.0, 0.5),
+            // Portland, OR — close to IAS.
+            AttestationSite::IasFromUs => Link::new(10.0, 0.5),
+            // Local cluster.
+            AttestationSite::PalaemonLocal => Link::new(0.25, 10.0),
+        }
+    }
+
+    /// Label as in Fig. 8.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttestationSite::IasFromEu => "IAS (EU)",
+            AttestationSite::IasFromUs => "IAS (US)",
+            AttestationSite::PalaemonLocal => "Palaemon",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_ms;
+
+    #[test]
+    fn link_construction() {
+        let l = Link::new(10.0, 1.0);
+        assert_eq!(l.rtt, 10 * MS);
+        assert_eq!(l.bandwidth_bps, 125_000_000);
+    }
+
+    #[test]
+    fn transfer_time_scales() {
+        let l = Link::new(1.0, 1.0); // 125 MB/s
+        assert_eq!(l.transfer(125_000_000), 1_000_000_000);
+        assert_eq!(l.transfer(0), 0);
+    }
+
+    #[test]
+    fn tls_adds_two_rtts() {
+        let l = Link::new(100.0, 1.0);
+        assert_eq!(l.tls_handshake(0), 2 * l.rtt);
+    }
+
+    #[test]
+    fn deployments_ordered_by_distance() {
+        let mut prev = 0;
+        for d in Deployment::ALL {
+            let rtt = d.link().rtt;
+            assert!(rtt > prev, "{:?} rtt must grow", d);
+            prev = rtt;
+        }
+    }
+
+    #[test]
+    fn intercontinental_request_latency_matches_paper_scale() {
+        // Fig. 13-right worst case is ~1.36 s for a TLS'd approval request.
+        let l = Deployment::Intercontinental11000Km.link();
+        let total = l.connect_tls_request(true, 2_500, 2_000, 1_000, 4 * MS);
+        let ms = to_ms(total);
+        assert!((1_000.0..1_700.0).contains(&ms), "latency = {ms} ms");
+    }
+
+    #[test]
+    fn same_rack_request_is_sub_ms() {
+        let l = Deployment::SameRack.link();
+        let total = l.request(200, 500, 100 * US);
+        assert!(to_ms(total) < 1.0);
+    }
+
+    #[test]
+    fn ias_links_ranked() {
+        assert!(
+            AttestationSite::IasFromEu.link().rtt > AttestationSite::IasFromUs.link().rtt
+        );
+        assert!(
+            AttestationSite::IasFromUs.link().rtt > AttestationSite::PalaemonLocal.link().rtt
+        );
+    }
+}

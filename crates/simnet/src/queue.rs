@@ -1,0 +1,284 @@
+//! Open- and closed-loop queueing simulators.
+//!
+//! These produce the throughput/latency curves of the evaluation: requests
+//! arrive (at a fixed offered rate, or from a closed population of clients),
+//! are served FIFO by `k` servers (worker threads), and latency is measured
+//! per request. As offered load approaches capacity the queue grows and
+//! latency spikes — the hockey stick in Figs. 13–16.
+//!
+//! Simulation is virtual-time, deterministic per seed, and uses a calendar
+//! of server-free times rather than a full event graph, which is exact for
+//! FIFO multi-server queues.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::stats::{LatencyStats, ThroughputPoint};
+use crate::{Time, SEC};
+
+/// Service-time distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDist {
+    /// Deterministic service time.
+    Fixed(Time),
+    /// Exponential with the given mean (M/M/k-style variability).
+    Exponential(Time),
+    /// Log-normal-ish heavy tail: exponential with a deterministic floor.
+    Shifted {
+        /// Deterministic floor added to every sample.
+        floor: Time,
+        /// Mean of the exponential component.
+        mean_extra: Time,
+    },
+}
+
+impl ServiceDist {
+    /// Draws one service time.
+    pub fn sample(&self, rng: &mut StdRng) -> Time {
+        match *self {
+            ServiceDist::Fixed(t) => t,
+            ServiceDist::Exponential(mean) => sample_exp(rng, mean),
+            ServiceDist::Shifted { floor, mean_extra } => floor + sample_exp(rng, mean_extra),
+        }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> Time {
+        match *self {
+            ServiceDist::Fixed(t) => t,
+            ServiceDist::Exponential(mean) => mean,
+            ServiceDist::Shifted { floor, mean_extra } => floor + mean_extra,
+        }
+    }
+}
+
+fn sample_exp(rng: &mut StdRng, mean: Time) -> Time {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    (-(u.ln()) * mean as f64) as Time
+}
+
+/// Open-loop experiment: requests arrive at `offered_rps` for `duration`.
+///
+/// `poisson` selects Poisson arrivals; the paper's approval-service
+/// experiment uses fixed-rate arrivals (`false`).
+pub fn open_loop(
+    offered_rps: f64,
+    duration: Time,
+    servers: usize,
+    service: ServiceDist,
+    poisson: bool,
+    seed: u64,
+) -> ThroughputPoint {
+    assert!(servers > 0, "need at least one server");
+    assert!(offered_rps > 0.0, "offered rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let interval = SEC as f64 / offered_rps;
+
+    // Min-heap of server free times.
+    let mut free: BinaryHeap<Reverse<Time>> = (0..servers).map(|_| Reverse(0)).collect();
+    let mut latencies = Vec::new();
+    let mut completions_in_window = 0u64;
+
+    let mut t = 0.0f64;
+    while (t as Time) < duration {
+        let arrival = t as Time;
+        let svc = service.sample(&mut rng);
+        let Reverse(server_free) = free.pop().expect("server heap never empty");
+        let start = arrival.max(server_free);
+        let complete = start + svc;
+        free.push(Reverse(complete));
+        latencies.push(complete - arrival);
+        if complete <= duration {
+            completions_in_window += 1;
+        }
+        let step = if poisson {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            -(u.ln()) * interval
+        } else {
+            interval
+        };
+        t += step;
+    }
+
+    ThroughputPoint {
+        offered_rps,
+        achieved_rps: completions_in_window as f64 / (duration as f64 / SEC as f64),
+        latency: LatencyStats::from_samples(latencies)
+            .expect("at least one arrival in the window"),
+    }
+}
+
+/// Closed-loop experiment: `clients` clients issue a request, wait for the
+/// response, think for `think` and repeat, for `duration`.
+pub fn closed_loop(
+    clients: usize,
+    duration: Time,
+    servers: usize,
+    service: ServiceDist,
+    think: Time,
+    seed: u64,
+) -> ThroughputPoint {
+    assert!(clients > 0 && servers > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // (ready_time, client_id) min-heap: clients in arrival order.
+    let mut ready: BinaryHeap<Reverse<(Time, usize)>> =
+        (0..clients).map(|c| Reverse((0, c))).collect();
+    let mut free: BinaryHeap<Reverse<Time>> = (0..servers).map(|_| Reverse(0)).collect();
+    let mut latencies = Vec::new();
+    let mut completions = 0u64;
+
+    while let Some(Reverse((arrival, client))) = ready.pop() {
+        if arrival >= duration {
+            continue;
+        }
+        let svc = service.sample(&mut rng);
+        let Reverse(server_free) = free.pop().expect("server heap never empty");
+        let start = arrival.max(server_free);
+        let complete = start + svc;
+        free.push(Reverse(complete));
+        latencies.push(complete - arrival);
+        if complete <= duration {
+            completions += 1;
+        }
+        ready.push(Reverse((complete + think, client)));
+    }
+
+    let latency = LatencyStats::from_samples(latencies).expect("clients issued requests");
+    ThroughputPoint {
+        offered_rps: clients as f64 / ((latency.mean + think as f64) / SEC as f64),
+        achieved_rps: completions as f64 / (duration as f64 / SEC as f64),
+        latency,
+    }
+}
+
+/// Sweeps an open-loop experiment over offered rates.
+pub fn sweep_open_loop(
+    rates: &[f64],
+    duration: Time,
+    servers: usize,
+    service: ServiceDist,
+    poisson: bool,
+    seed: u64,
+) -> Vec<ThroughputPoint> {
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| open_loop(r, duration, servers, service, poisson, seed ^ (i as u64) << 32))
+        .collect()
+}
+
+/// Sweeps a closed-loop experiment over client counts (Fig. 9's parallelism
+/// axis).
+pub fn sweep_closed_loop(
+    client_counts: &[usize],
+    duration: Time,
+    servers: usize,
+    service: ServiceDist,
+    think: Time,
+    seed: u64,
+) -> Vec<ThroughputPoint> {
+    client_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)|
+
+            closed_loop(c, duration, servers, service, think, seed ^ (i as u64) << 32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MS;
+
+    #[test]
+    fn underloaded_open_loop_latency_is_service_time() {
+        // 10 req/s against a 1 ms fixed server: no queueing.
+        let p = open_loop(10.0, 10 * SEC, 1, ServiceDist::Fixed(MS), false, 1);
+        assert_eq!(p.latency.p50, MS);
+        assert_eq!(p.latency.max, MS);
+        assert!((p.achieved_rps - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn overloaded_open_loop_latency_spikes() {
+        // 2000 req/s against a single 1 ms server (capacity 1000/s).
+        let p = open_loop(2000.0, 5 * SEC, 1, ServiceDist::Fixed(MS), false, 1);
+        assert!(p.achieved_rps < 1100.0, "achieved {}", p.achieved_rps);
+        assert!(
+            p.latency.p95 > 100 * MS,
+            "overload should queue, p95 = {} ns",
+            p.latency.p95
+        );
+    }
+
+    #[test]
+    fn capacity_scales_with_servers() {
+        let one = open_loop(3000.0, 5 * SEC, 1, ServiceDist::Fixed(MS), false, 2);
+        let four = open_loop(3000.0, 5 * SEC, 4, ServiceDist::Fixed(MS), false, 2);
+        assert!(four.achieved_rps > one.achieved_rps * 2.0);
+        assert!(four.latency.p95 < one.latency.p95);
+    }
+
+    #[test]
+    fn poisson_and_fixed_have_same_mean_rate() {
+        let fixed = open_loop(500.0, 10 * SEC, 8, ServiceDist::Fixed(MS), false, 3);
+        let pois = open_loop(500.0, 10 * SEC, 8, ServiceDist::Fixed(MS), true, 3);
+        assert!((fixed.achieved_rps - pois.achieved_rps).abs() / fixed.achieved_rps < 0.1);
+        // Poisson arrivals queue more at the same utilisation.
+        assert!(pois.latency.mean >= fixed.latency.mean);
+    }
+
+    #[test]
+    fn closed_loop_throughput_saturates() {
+        // 1 ms service, 1 server: ~1000 req/s ceiling no matter the clients.
+        let small = closed_loop(1, 5 * SEC, 1, ServiceDist::Fixed(MS), 0, 4);
+        let big = closed_loop(64, 5 * SEC, 1, ServiceDist::Fixed(MS), 0, 4);
+        assert!((small.achieved_rps - 1000.0).abs() < 50.0);
+        assert!((big.achieved_rps - 1000.0).abs() < 50.0);
+        // But latency grows with population (Little's law).
+        assert!(big.latency.mean > small.latency.mean * 30.0);
+    }
+
+    #[test]
+    fn closed_loop_scales_until_servers_saturate() {
+        let svc = ServiceDist::Fixed(MS);
+        let c8 = closed_loop(8, 5 * SEC, 8, svc, 0, 5);
+        assert!((c8.achieved_rps - 8000.0).abs() < 400.0, "got {}", c8.achieved_rps);
+    }
+
+    #[test]
+    fn exponential_service_mean_respected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = ServiceDist::Exponential(10 * MS);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+        let mean = sum / n as f64;
+        let target = (10 * MS) as f64;
+        assert!((mean - target).abs() / target < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn shifted_dist_has_floor() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = ServiceDist::Shifted {
+            floor: 5 * MS,
+            mean_extra: MS,
+        };
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 5 * MS);
+        }
+        assert_eq!(d.mean(), 6 * MS);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = open_loop(800.0, SEC, 2, ServiceDist::Exponential(MS), true, 42);
+        let b = open_loop(800.0, SEC, 2, ServiceDist::Exponential(MS), true, 42);
+        assert_eq!(a.latency.p50, b.latency.p50);
+        assert_eq!(a.achieved_rps, b.achieved_rps);
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal discrete-event engine.
+//!
+//! Events are closures ordered by `(time, sequence)` so execution is fully
+//! deterministic. The world state `W` is owned by the caller and passed to
+//! every event, which keeps borrow checking trivial while letting events
+//! schedule further events.
+//!
+//! # Example
+//! ```
+//! use simnet::sim::Sim;
+//! let mut sim: Sim<Vec<u64>> = Sim::new();
+//! sim.schedule(10, |sim, log| {
+//!     log.push(sim.now());
+//!     sim.schedule(5, |sim, log| log.push(sim.now()));
+//! });
+//! let mut log = Vec::new();
+//! sim.run(&mut log);
+//! assert_eq!(log, vec![10, 15]);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+type Event<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+struct Entry<W> {
+    at: Time,
+    seq: u64,
+    event: Event<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Sim<W> {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Entry<W>>>,
+    executed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Sim<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Creates a simulator at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules `event` to run `delay` after the current time.
+    pub fn schedule(&mut self, delay: Time, event: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute virtual time (clamped to now).
+    pub fn schedule_at(&mut self, at: Time, event: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.queue.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event: Box::new(event),
+        }));
+    }
+
+    /// Runs until the event queue is empty; returns the final time.
+    pub fn run(&mut self, world: &mut W) -> Time {
+        while self.step(world) {}
+        self.now
+    }
+
+    /// Runs until `deadline`, leaving later events queued.
+    pub fn run_until(&mut self, world: &mut W, deadline: Time) -> Time {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step(world);
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// Executes a single event; returns false when the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(entry)) => {
+                debug_assert!(entry.at >= self.now, "time went backwards");
+                self.now = entry.at;
+                self.executed += 1;
+                (entry.event)(self, world);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        sim.schedule(30, |_, log| log.push(3));
+        sim.schedule(10, |_, log| log.push(1));
+        sim.schedule(20, |_, log| log.push(2));
+        let mut log = Vec::new();
+        let end = sim.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(end, 30);
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        for i in 0..10 {
+            sim.schedule(5, move |_, log| log.push(i));
+        }
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<u64> = Sim::new();
+        fn tick(sim: &mut Sim<u64>, count: &mut u64) {
+            *count += 1;
+            if *count < 100 {
+                sim.schedule(1, tick);
+            }
+        }
+        sim.schedule(1, tick);
+        let mut count = 0;
+        let end = sim.run(&mut count);
+        assert_eq!(count, 100);
+        assert_eq!(end, 100);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        sim.schedule(10, |_, log| log.push(10));
+        sim.schedule(100, |_, log| log.push(100));
+        let mut log = Vec::new();
+        sim.run_until(&mut log, 50);
+        assert_eq!(log, vec![10]);
+        assert_eq!(sim.now(), 50);
+        sim.run(&mut log);
+        assert_eq!(log, vec![10, 100]);
+    }
+
+    #[test]
+    fn schedule_at_clamps_to_now() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        sim.schedule(10, |sim, _log: &mut Vec<u64>| {
+            // Try to schedule in the past; must execute at now instead.
+            sim.schedule_at(0, |sim, log| log.push(sim.now()));
+        });
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, vec![10]);
+    }
+
+    #[test]
+    fn executed_counts() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule(1, |_, _| {});
+        sim.schedule(2, |_, _| {});
+        sim.run(&mut ());
+        assert_eq!(sim.executed(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Latency statistics: mean, percentiles, confidence intervals.
+
+use crate::Time;
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency (ns).
+    pub mean: f64,
+    /// Standard deviation (ns).
+    pub stddev: f64,
+    /// Median (ns).
+    pub p50: Time,
+    /// 95th percentile (ns).
+    pub p95: Time,
+    /// 99th percentile (ns).
+    pub p99: Time,
+    /// Maximum (ns).
+    pub max: Time,
+    /// Half-width of the 95 % confidence interval of the mean (ns).
+    pub ci95: f64,
+}
+
+impl LatencyStats {
+    /// Computes statistics from raw samples. Returns `None` when empty.
+    pub fn from_samples(mut samples: Vec<Time>) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: f64 = samples.iter().map(|&s| s as f64).sum();
+        let mean = sum / count as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / count as f64;
+        let stddev = var.sqrt();
+        let pct = |p: f64| -> Time {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            samples[idx.min(count - 1)]
+        };
+        Some(LatencyStats {
+            count,
+            mean,
+            stddev,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *samples.last().unwrap(),
+            ci95: 1.96 * stddev / (count as f64).sqrt(),
+        })
+    }
+
+    /// Mean in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean / 1e6
+    }
+
+    /// p95 in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.p95 as f64 / 1e6
+    }
+}
+
+/// A single point on a throughput/latency curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputPoint {
+    /// Offered load (requests per second).
+    pub offered_rps: f64,
+    /// Achieved throughput (requests per second).
+    pub achieved_rps: f64,
+    /// Latency statistics at this load.
+    pub latency: LatencyStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_none() {
+        assert!(LatencyStats::from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_samples(vec![42]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.p50, 42);
+        assert_eq!(s.max, 42);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let samples: Vec<Time> = (1..=1000).collect();
+        let s = LatencyStats::from_samples(samples).unwrap();
+        assert!(s.p50 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        assert!(s.p50 == 500 || s.p50 == 501, "p50 = {}", s.p50);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small = LatencyStats::from_samples((1..=10).collect()).unwrap();
+        let big = LatencyStats::from_samples((1..=10).cycle().take(1000).collect()).unwrap();
+        assert!(big.ci95 < small.ci95);
+    }
+
+    #[test]
+    fn ms_conversions() {
+        let s = LatencyStats::from_samples(vec![2_000_000; 4]).unwrap();
+        assert!((s.mean_ms() - 2.0).abs() < 1e-9);
+        assert!((s.p95_ms() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,273 @@
+//! Calibrated TEE cost model.
+//!
+//! Macro-benchmarks (Figs. 14–17) run in virtual time; their shapes come
+//! from how each workload stresses the TEE mechanisms. This module turns an
+//! operation profile (CPU work, syscalls, bytes crossing the enclave
+//! boundary, pages touched, hot working set) into a service time for a given
+//! execution mode:
+//!
+//! * **Native** — no SGX: plain syscall cost, no transitions, no paging.
+//! * **Emu** — SCONE emulation mode: the shield (argument checking and
+//!   copying) runs, but there are no hardware transitions and no EPC.
+//! * **Hw** — SGX hardware: enclave transitions per syscall (whose cost
+//!   depends on the microcode level — post-Foreshadow flushes L1 on exit),
+//!   shield copy costs, and EPC paging once the hot working set exceeds the
+//!   usable EPC.
+//!
+//! Calibration targets the paper's testbed (Xeon E3-1270 v6): the constants
+//! reproduce the *ratios* reported in the evaluation, e.g. ~30 % throughput
+//! loss from the post-Foreshadow microcode for syscall-heavy services
+//! (Fig. 14) and the EPC-thrashing collapse of MariaDB with large buffer
+//! pools (Fig. 17d).
+
+use crate::platform::Microcode;
+
+/// Execution mode of a service process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SgxMode {
+    /// No TEE at all.
+    Native,
+    /// SCONE emulation mode (shields, no hardware).
+    Emu,
+    /// SGX hardware mode.
+    #[default]
+    Hw,
+}
+
+/// Per-operation resource profile, the input to the cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpProfile {
+    /// Pure computation time, ns.
+    pub cpu_ns: u64,
+    /// Number of syscalls issued.
+    pub syscalls: u32,
+    /// Bytes copied into the enclave (syscall results, reads).
+    pub bytes_in: u64,
+    /// Bytes copied out of the enclave (syscall args, writes).
+    pub bytes_out: u64,
+    /// Distinct memory pages touched by the operation.
+    pub pages_touched: u32,
+    /// Size of the service's hot working set in bytes (drives EPC paging).
+    pub hot_set_bytes: u64,
+}
+
+/// Calibrated cost constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Enclave entry cost, ns.
+    pub eenter_ns: u64,
+    /// Enclave exit cost, ns (includes L1 flush post-Foreshadow).
+    pub eexit_ns: u64,
+    /// Kernel syscall cost, ns (paid in every mode).
+    pub syscall_ns: u64,
+    /// Shield argument checking per syscall, ns (Emu and Hw).
+    pub shield_check_ns: u64,
+    /// Copy cost through the shield, ns per byte.
+    pub copy_ns_per_byte: f64,
+    /// Cost of one EPC page miss (AEX, EWB + ELDU round trip), ns.
+    pub epc_miss_ns: u64,
+    /// Usable EPC size, bytes.
+    pub epc_bytes: u64,
+    /// CPU-time inflation inside the enclave (memory encryption plus, on
+    /// post-Foreshadow microcode, L1 refills after every AEX/exit).
+    pub hw_cpu_factor: f64,
+    /// CPU-time inflation in SCONE emulation mode (user-level threading,
+    /// shielded libc).
+    pub emu_cpu_factor: f64,
+}
+
+impl CostModel {
+    /// Cost model for a platform at the given microcode level.
+    pub fn for_microcode(mc: Microcode) -> Self {
+        let (eexit_ns, hw_cpu_factor) = match mc {
+            // Post-Foreshadow microcode flushes L1D on every enclave exit;
+            // the flush roughly triples the exit cost, and the refills after
+            // every asynchronous exit degrade in-enclave IPC as well (the
+            // paper attributes Fig. 14's ~30 % drop to exactly this).
+            Microcode::PreSpectre => (1_300, 1.10),
+            Microcode::PostForeshadow => (4_200, 1.30),
+        };
+        CostModel {
+            eenter_ns: 1_100,
+            eexit_ns,
+            syscall_ns: 550,
+            shield_check_ns: 350,
+            copy_ns_per_byte: 0.25,
+            epc_miss_ns: 12_000,
+            epc_bytes: crate::DEFAULT_USABLE_EPC as u64,
+            hw_cpu_factor,
+            emu_cpu_factor: 1.12,
+        }
+    }
+
+    /// Default model (post-Foreshadow, as any patched 2020 host).
+    pub fn default_patched() -> Self {
+        Self::for_microcode(Microcode::PostForeshadow)
+    }
+
+    /// Probability that a touched page misses the EPC given a uniformly
+    /// accessed hot set: 0 while the hot set fits, then `1 - EPC/hot`.
+    pub fn epc_miss_rate(&self, hot_set_bytes: u64) -> f64 {
+        if hot_set_bytes <= self.epc_bytes {
+            0.0
+        } else {
+            1.0 - self.epc_bytes as f64 / hot_set_bytes as f64
+        }
+    }
+
+    /// Service time in nanoseconds for one operation in the given mode.
+    pub fn service_time_ns(&self, mode: SgxMode, op: &OpProfile) -> u64 {
+        let copy_ns = ((op.bytes_in + op.bytes_out) as f64 * self.copy_ns_per_byte) as u64;
+        match mode {
+            SgxMode::Native => op.cpu_ns + u64::from(op.syscalls) * self.syscall_ns,
+            SgxMode::Emu => {
+                // Shields run (checks + copies) but no transitions, no EPC.
+                (op.cpu_ns as f64 * self.emu_cpu_factor) as u64
+                    + u64::from(op.syscalls) * (self.syscall_ns + self.shield_check_ns)
+                    + copy_ns
+            }
+            SgxMode::Hw => {
+                let transition = self.eenter_ns + self.eexit_ns;
+                let paging = (f64::from(op.pages_touched)
+                    * self.epc_miss_rate(op.hot_set_bytes)
+                    * self.epc_miss_ns as f64) as u64;
+                (op.cpu_ns as f64 * self.hw_cpu_factor) as u64
+                    + u64::from(op.syscalls)
+                        * (self.syscall_ns + self.shield_check_ns + transition)
+                    + copy_ns
+                    + paging
+            }
+        }
+    }
+}
+
+/// Attestation-path cost constants (Fig. 8 / Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttestCosts {
+    /// Creating a local report + quote with the native (Schnorr) scheme, µs.
+    pub native_quote_us: u64,
+    /// Verifying a native quote, µs.
+    pub native_verify_us: u64,
+    /// Creating an EPID quote (IAS path) — group signatures are costly, ms.
+    pub epid_quote_ms: u64,
+    /// IAS server-side verification time, ms (observed ~230–250 ms).
+    pub ias_verify_ms: u64,
+    /// TLS handshake crypto (both sides combined), µs.
+    pub tls_handshake_us: u64,
+}
+
+impl AttestCosts {
+    /// Calibrated defaults matching the paper's Fig. 8 decomposition.
+    pub fn calibrated() -> Self {
+        AttestCosts {
+            native_quote_us: 400,
+            native_verify_us: 800,
+            epid_quote_ms: 35,
+            ias_verify_ms: 240,
+            tls_handshake_us: 2_500,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op_kv() -> OpProfile {
+        // A memcached-like GET: tiny compute, 2 syscalls, small copies.
+        OpProfile {
+            cpu_ns: 2_000,
+            syscalls: 2,
+            bytes_in: 100,
+            bytes_out: 1_100,
+            pages_touched: 4,
+            hot_set_bytes: 64 << 20,
+        }
+    }
+
+    #[test]
+    fn native_is_fastest() {
+        let m = CostModel::default_patched();
+        let op = op_kv();
+        let native = m.service_time_ns(SgxMode::Native, &op);
+        let emu = m.service_time_ns(SgxMode::Emu, &op);
+        let hw = m.service_time_ns(SgxMode::Hw, &op);
+        assert!(native < emu, "native {native} < emu {emu}");
+        assert!(emu < hw, "emu {emu} < hw {hw}");
+    }
+
+    #[test]
+    fn microcode_update_slows_hw_only() {
+        let pre = CostModel::for_microcode(Microcode::PreSpectre);
+        let post = CostModel::for_microcode(Microcode::PostForeshadow);
+        let op = op_kv();
+        assert!(
+            post.service_time_ns(SgxMode::Hw, &op) > pre.service_time_ns(SgxMode::Hw, &op)
+        );
+        assert_eq!(
+            post.service_time_ns(SgxMode::Native, &op),
+            pre.service_time_ns(SgxMode::Native, &op)
+        );
+    }
+
+    #[test]
+    fn microcode_penalty_around_thirty_percent_for_syscall_heavy() {
+        // Fig. 14: Barbican drops ~30 % with the post-Foreshadow microcode.
+        let pre = CostModel::for_microcode(Microcode::PreSpectre);
+        let post = CostModel::for_microcode(Microcode::PostForeshadow);
+        let op = OpProfile {
+            cpu_ns: 180_000, // Python-interpreted KMS request
+            syscalls: 40,
+            bytes_in: 4_000,
+            bytes_out: 4_000,
+            pages_touched: 64,
+            hot_set_bytes: 200 << 20,
+        };
+        let t_pre = pre.service_time_ns(SgxMode::Hw, &op) as f64;
+        let t_post = post.service_time_ns(SgxMode::Hw, &op) as f64;
+        let drop = 1.0 - t_pre / t_post;
+        assert!((0.10..0.45).contains(&drop), "drop = {drop}");
+    }
+
+    #[test]
+    fn paging_kicks_in_past_epc() {
+        let m = CostModel::default_patched();
+        assert_eq!(m.epc_miss_rate(10 << 20), 0.0);
+        assert_eq!(m.epc_miss_rate(m.epc_bytes), 0.0);
+        let rate = m.epc_miss_rate(m.epc_bytes * 4);
+        assert!((0.74..0.76).contains(&rate));
+    }
+
+    #[test]
+    fn hot_set_growth_hurts_hw_only() {
+        let m = CostModel::default_patched();
+        let small = OpProfile {
+            hot_set_bytes: 50 << 20,
+            ..op_kv()
+        };
+        let large = OpProfile {
+            hot_set_bytes: 2_000 << 20,
+            ..op_kv()
+        };
+        assert!(
+            m.service_time_ns(SgxMode::Hw, &large) > m.service_time_ns(SgxMode::Hw, &small)
+        );
+        assert_eq!(
+            m.service_time_ns(SgxMode::Emu, &large),
+            m.service_time_ns(SgxMode::Emu, &small)
+        );
+    }
+
+    #[test]
+    fn copy_costs_scale_with_bytes() {
+        let m = CostModel::default_patched();
+        let small = op_kv();
+        let big = OpProfile {
+            bytes_out: 1 << 20,
+            ..small
+        };
+        let d = m.service_time_ns(SgxMode::Hw, &big) - m.service_time_ns(SgxMode::Hw, &small);
+        // ~0.25 ns/byte over ~1 MiB
+        assert!(d > 200_000, "delta = {d}");
+    }
+}

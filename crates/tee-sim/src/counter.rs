@@ -1,0 +1,211 @@
+//! Platform monotonic counters (Intel SGX platform services model).
+//!
+//! Real SGX platform counters are backed by flash in the ME and are both
+//! slow and wear-limited: independent measurements cite 4–17 increments per
+//! second and wear-out after a few hundred thousand to ~1.4 M writes
+//! (paper §IV-D and Fig. 10). The model exposes exactly those properties in
+//! *modelled* time so experiments do not need to wait wall-clock for them:
+//! every increment returns the delay the caller would have observed.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::{Result, TeeError};
+
+/// Modelled minimum interval between increments, in ms (≈ 20/s cap; the
+/// paper's measurements settle around 13/s once the read-back is included).
+pub const INCREMENT_INTERVAL_MS: u64 = 50;
+/// Average additional wait for the in-flight increment to finish, in ms.
+pub const INCREMENT_SETTLE_MS: u64 = 25;
+/// Wear-out budget (write endurance) of one counter.
+pub const WEAR_OUT_WRITES: u64 = 1_400_000;
+
+/// Outcome of a counter increment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Increment {
+    /// The counter value after the increment.
+    pub value: u64,
+    /// Modelled milliseconds the caller waited for the increment.
+    pub wait_ms: u64,
+    /// Remaining write endurance.
+    pub writes_left: u64,
+}
+
+#[derive(Debug, Default)]
+struct CounterState {
+    value: u64,
+    writes: u64,
+    /// Modelled timestamp (ms) of the last increment completion.
+    last_increment_ms: u64,
+}
+
+/// A bank of monotonic counters, as exposed by the SGX platform services.
+#[derive(Clone, Default)]
+pub struct CounterBank {
+    inner: Arc<Mutex<HashMap<u32, CounterState>>>,
+}
+
+impl std::fmt::Debug for CounterBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CounterBank({} counters)", self.inner.lock().len())
+    }
+}
+
+impl CounterBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        CounterBank::default()
+    }
+
+    /// Creates a counter with the given id starting at zero.
+    ///
+    /// Creating an existing counter is a no-op (idempotent), matching the
+    /// SGX SDK behaviour of reusing the UUID.
+    pub fn create(&self, id: u32) {
+        self.inner.lock().entry(id).or_default();
+    }
+
+    /// Reads the current value.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::NoSuchCounter`] for unknown ids.
+    pub fn read(&self, id: u32) -> Result<u64> {
+        self.inner
+            .lock()
+            .get(&id)
+            .map(|c| c.value)
+            .ok_or(TeeError::NoSuchCounter)
+    }
+
+    /// Increments the counter, modelling the platform-service latency.
+    ///
+    /// `now_ms` is the caller's current (virtual or accumulated) time. The
+    /// returned [`Increment::wait_ms`] tells the caller how long the
+    /// operation took: at least the settle time, plus throttling back-off if
+    /// the previous increment was less than [`INCREMENT_INTERVAL_MS`] ago.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::NoSuchCounter`] for unknown ids and
+    /// [`TeeError::CounterWearOut`] once the endurance budget is exhausted.
+    pub fn increment(&self, id: u32, now_ms: u64) -> Result<Increment> {
+        let mut map = self.inner.lock();
+        let c = map.get_mut(&id).ok_or(TeeError::NoSuchCounter)?;
+        if c.writes >= WEAR_OUT_WRITES {
+            return Err(TeeError::CounterWearOut);
+        }
+        let earliest_start = c.last_increment_ms + INCREMENT_INTERVAL_MS;
+        let start = now_ms.max(earliest_start);
+        let finish = start + INCREMENT_SETTLE_MS;
+        c.value += 1;
+        c.writes += 1;
+        c.last_increment_ms = finish;
+        Ok(Increment {
+            value: c.value,
+            wait_ms: finish - now_ms,
+            writes_left: WEAR_OUT_WRITES - c.writes,
+        })
+    }
+
+    /// Directly sets a counter value — **test/attack helper** modelling a
+    /// physically rolled-back platform (the paper's strongest adversary
+    /// cannot do this; tests use it to check detection logic).
+    pub fn rollback_for_test(&self, id: u32, value: u64) {
+        if let Some(c) = self.inner.lock().get_mut(&id) {
+            c.value = value;
+        }
+    }
+}
+
+/// Steady-state modelled throughput of a platform counter in increments/s.
+pub fn modelled_throughput_per_sec() -> f64 {
+    1000.0 / (INCREMENT_INTERVAL_MS + INCREMENT_SETTLE_MS) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_read_increment() {
+        let bank = CounterBank::new();
+        bank.create(1);
+        assert_eq!(bank.read(1).unwrap(), 0);
+        let inc = bank.increment(1, 0).unwrap();
+        assert_eq!(inc.value, 1);
+        assert_eq!(bank.read(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_counter_errors() {
+        let bank = CounterBank::new();
+        assert_eq!(bank.read(9), Err(TeeError::NoSuchCounter));
+        assert_eq!(bank.increment(9, 0).unwrap_err(), TeeError::NoSuchCounter);
+    }
+
+    #[test]
+    fn increments_are_rate_limited() {
+        let bank = CounterBank::new();
+        bank.create(1);
+        // Back-to-back increments at the same virtual instant must model
+        // the throttling interval.
+        let first = bank.increment(1, 0).unwrap();
+        assert_eq!(first.wait_ms, INCREMENT_INTERVAL_MS + INCREMENT_SETTLE_MS);
+        let second = bank.increment(1, 0).unwrap();
+        assert!(second.wait_ms >= first.wait_ms + INCREMENT_INTERVAL_MS);
+    }
+
+    #[test]
+    fn spaced_increments_wait_less() {
+        let bank = CounterBank::new();
+        bank.create(1);
+        bank.increment(1, 0).unwrap();
+        // Arriving long after the previous increment: only the settle time.
+        let inc = bank.increment(1, 10_000).unwrap();
+        assert_eq!(inc.wait_ms, INCREMENT_SETTLE_MS);
+    }
+
+    #[test]
+    fn modelled_throughput_matches_paper_range() {
+        let tput = modelled_throughput_per_sec();
+        // The paper reports 13 increments/s for platform counters; the model
+        // gives 1000/75 ≈ 13.3.
+        assert!((12.0..15.0).contains(&tput), "tput = {tput}");
+    }
+
+    #[test]
+    fn wear_out_enforced() {
+        let bank = CounterBank::new();
+        bank.create(1);
+        {
+            let mut map = bank.inner.lock();
+            map.get_mut(&1).unwrap().writes = WEAR_OUT_WRITES - 1;
+        }
+        assert!(bank.increment(1, 0).is_ok());
+        assert_eq!(bank.increment(1, 0).unwrap_err(), TeeError::CounterWearOut);
+    }
+
+    #[test]
+    fn create_is_idempotent() {
+        let bank = CounterBank::new();
+        bank.create(1);
+        bank.increment(1, 0).unwrap();
+        bank.create(1);
+        assert_eq!(bank.read(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn monotonicity() {
+        let bank = CounterBank::new();
+        bank.create(1);
+        let mut prev = 0;
+        let mut now = 0;
+        for _ in 0..10 {
+            let inc = bank.increment(1, now).unwrap();
+            assert!(inc.value > prev);
+            prev = inc.value;
+            now += inc.wait_ms;
+        }
+        assert_eq!(prev, 10);
+    }
+}

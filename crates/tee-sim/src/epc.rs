@@ -1,0 +1,236 @@
+//! Enclave page cache (EPC) with the SGX driver's global allocation lock.
+//!
+//! The paper traced the poor startup scalability of SGX programs (Fig. 9) to
+//! the Intel SGX driver serialising EPC page (de)allocation behind a single
+//! lock, so page requests from concurrently starting enclaves are served
+//! sequentially. [`EpcAllocator`] reproduces exactly that: a shared pool of
+//! pages guarded by one mutex, with an accounted per-allocation critical
+//! section cost.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{Result, TeeError, PAGE_SIZE};
+
+/// Statistics maintained by the allocator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpcStats {
+    /// Total successful page allocations.
+    pub allocated_pages: u64,
+    /// Total page frees.
+    pub freed_pages: u64,
+    /// Total evictions forced by capacity pressure.
+    pub evicted_pages: u64,
+    /// Number of times an allocation had to wait for eviction.
+    pub pressure_events: u64,
+}
+
+struct EpcInner {
+    free_pages: usize,
+    stats: EpcStats,
+}
+
+/// A shared EPC allocator.
+///
+/// Cloning shares the underlying pool (like processes sharing the driver).
+#[derive(Clone)]
+pub struct EpcAllocator {
+    inner: Arc<Mutex<EpcInner>>,
+    capacity_pages: usize,
+    /// Modelled time spent inside the driver's critical section per page
+    /// allocation, in nanoseconds. Virtual-time experiments read this; the
+    /// lock itself serialises real threads in real-time experiments.
+    critical_section_ns: u64,
+    lock_hold_counter: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for EpcAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("EpcAllocator")
+            .field("capacity_pages", &self.capacity_pages)
+            .field("free_pages", &inner.free_pages)
+            .finish()
+    }
+}
+
+impl EpcAllocator {
+    /// Creates an allocator with `capacity_bytes` of usable EPC.
+    pub fn new(capacity_bytes: usize) -> Self {
+        let capacity_pages = capacity_bytes / PAGE_SIZE;
+        EpcAllocator {
+            inner: Arc::new(Mutex::new(EpcInner {
+                free_pages: capacity_pages,
+                stats: EpcStats::default(),
+            })),
+            capacity_pages,
+            critical_section_ns: 1_800, // calibrated: ~1.8 µs per EPC page op
+            lock_hold_counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates an allocator with the paper's default usable EPC (~93.5 MiB).
+    pub fn with_default_capacity() -> Self {
+        Self::new(crate::DEFAULT_USABLE_EPC)
+    }
+
+    /// Total capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> usize {
+        self.inner.lock().free_pages
+    }
+
+    /// The modelled driver critical-section time per page, in ns.
+    pub fn critical_section_ns(&self) -> u64 {
+        self.critical_section_ns
+    }
+
+    /// Allocates `n` pages, evicting (accounting only) when the pool is
+    /// under pressure. Returns the number of pages that had to be evicted to
+    /// satisfy the request.
+    ///
+    /// All allocations serialise on the single driver lock, which is the
+    /// Fig. 9 bottleneck.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::EpcExhausted`] if `n` exceeds total capacity.
+    pub fn alloc(&self, n: usize) -> Result<AllocOutcome> {
+        if n > self.capacity_pages {
+            return Err(TeeError::EpcExhausted);
+        }
+        let mut inner = self.inner.lock();
+        self.lock_hold_counter.fetch_add(n as u64, Ordering::Relaxed);
+        let mut evicted = 0usize;
+        if inner.free_pages < n {
+            evicted = n - inner.free_pages;
+            inner.stats.pressure_events += 1;
+            inner.stats.evicted_pages += evicted as u64;
+            inner.free_pages = 0;
+        } else {
+            inner.free_pages -= n;
+        }
+        inner.stats.allocated_pages += n as u64;
+        Ok(AllocOutcome {
+            pages: n,
+            evicted_pages: evicted,
+            modelled_lock_ns: self.critical_section_ns * n as u64,
+        })
+    }
+
+    /// Frees `n` pages back to the pool (saturating at capacity).
+    pub fn free(&self, n: usize) {
+        let mut inner = self.inner.lock();
+        inner.free_pages = (inner.free_pages + n).min(self.capacity_pages);
+        inner.stats.freed_pages += n as u64;
+    }
+
+    /// Snapshot of allocator statistics.
+    pub fn stats(&self) -> EpcStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Total pages that passed through the lock (for contention assertions).
+    pub fn lock_traffic(&self) -> u64 {
+        self.lock_hold_counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Result of an EPC allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocOutcome {
+    /// Pages granted.
+    pub pages: usize,
+    /// Pages that had to be evicted from other enclaves to satisfy this.
+    pub evicted_pages: usize,
+    /// Modelled nanoseconds spent holding the driver lock.
+    pub modelled_lock_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_balance() {
+        let epc = EpcAllocator::new(16 * PAGE_SIZE);
+        assert_eq!(epc.capacity_pages(), 16);
+        let out = epc.alloc(10).unwrap();
+        assert_eq!(out.pages, 10);
+        assert_eq!(out.evicted_pages, 0);
+        assert_eq!(epc.free_pages(), 6);
+        epc.free(10);
+        assert_eq!(epc.free_pages(), 16);
+    }
+
+    #[test]
+    fn pressure_triggers_eviction_accounting() {
+        let epc = EpcAllocator::new(8 * PAGE_SIZE);
+        epc.alloc(6).unwrap();
+        let out = epc.alloc(4).unwrap();
+        assert_eq!(out.evicted_pages, 2);
+        let stats = epc.stats();
+        assert_eq!(stats.evicted_pages, 2);
+        assert_eq!(stats.pressure_events, 1);
+    }
+
+    #[test]
+    fn oversized_request_fails() {
+        let epc = EpcAllocator::new(4 * PAGE_SIZE);
+        assert_eq!(epc.alloc(5), Err(TeeError::EpcExhausted));
+    }
+
+    #[test]
+    fn free_saturates_at_capacity() {
+        let epc = EpcAllocator::new(4 * PAGE_SIZE);
+        epc.free(100);
+        assert_eq!(epc.free_pages(), 4);
+    }
+
+    #[test]
+    fn clones_share_pool() {
+        let a = EpcAllocator::new(10 * PAGE_SIZE);
+        let b = a.clone();
+        a.alloc(7).unwrap();
+        assert_eq!(b.free_pages(), 3);
+    }
+
+    #[test]
+    fn lock_traffic_counts_pages() {
+        let epc = EpcAllocator::new(100 * PAGE_SIZE);
+        epc.alloc(3).unwrap();
+        epc.alloc(4).unwrap();
+        assert_eq!(epc.lock_traffic(), 7);
+    }
+
+    #[test]
+    fn modelled_lock_time_scales_with_pages() {
+        let epc = EpcAllocator::new(100 * PAGE_SIZE);
+        let one = epc.alloc(1).unwrap().modelled_lock_ns;
+        let ten = epc.alloc(10).unwrap().modelled_lock_ns;
+        assert_eq!(ten, one * 10);
+    }
+
+    #[test]
+    fn concurrent_allocs_serialise() {
+        // Smoke test that the lock is actually shared across threads.
+        let epc = EpcAllocator::new(10_000 * PAGE_SIZE);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let epc = epc.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    epc.alloc(1).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(epc.stats().allocated_pages, 800);
+    }
+}

@@ -1,0 +1,74 @@
+//! Software model of an SGX-class trusted execution environment.
+//!
+//! The PALÆMON paper evaluates on Intel SGX v1 hardware (Xeon E3-1270 v6,
+//! 128 MB EPC). That hardware is not available here, so this crate implements
+//! the *mechanisms* the evaluation depends on, in software:
+//!
+//! * [`epc`] — the enclave page cache: 4 KiB pages, limited capacity, and the
+//!   **single-lock page allocator** of the Intel SGX driver that the paper
+//!   identified as the startup-throughput bottleneck (Fig. 9).
+//! * [`enclave`] — enclave construction: page addition (real `memcpy`),
+//!   measurement (real SHA-256, producing MRENCLAVE), eviction (real
+//!   encryption, as `EWB` does), and bookkeeping, so Table II / Fig. 7 are
+//!   regenerated from genuinely executed work.
+//! * [`platform`] — CPU identity, microcode level (pre-Spectre `0x58` vs
+//!   post-Foreshadow `0x8e`), sealing keys, and the quoting enclave identity.
+//! * [`quote`] — local reports and remotely verifiable quotes.
+//! * [`counter`] — platform monotonic counters with the ~50 ms increment
+//!   latency and wear-out budget documented by Intel (the paper's Fig. 10
+//!   baseline).
+//! * [`costs`] — the calibrated cost model (transition costs, syscall
+//!   shield, EPC paging) used to run macro-benchmarks in virtual time.
+//!
+//! Everything is deterministic given a seed; nothing here is secure — it is
+//! a simulator.
+
+pub mod costs;
+pub mod counter;
+pub mod enclave;
+pub mod epc;
+pub mod platform;
+pub mod quote;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors raised by the TEE simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TeeError {
+    /// The EPC has no free pages and eviction was disallowed.
+    EpcExhausted,
+    /// A sealed blob failed to unseal (wrong platform or tampering).
+    UnsealFailed,
+    /// A report or quote failed verification.
+    BadQuote(String),
+    /// A monotonic counter wore out.
+    CounterWearOut,
+    /// Unknown counter id.
+    NoSuchCounter,
+}
+
+impl fmt::Display for TeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeeError::EpcExhausted => write!(f, "enclave page cache exhausted"),
+            TeeError::UnsealFailed => write!(f, "sealed blob failed to unseal"),
+            TeeError::BadQuote(why) => write!(f, "quote verification failed: {why}"),
+            TeeError::CounterWearOut => write!(f, "monotonic counter wore out"),
+            TeeError::NoSuchCounter => write!(f, "no such monotonic counter"),
+        }
+    }
+}
+
+impl StdError for TeeError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, TeeError>;
+
+/// Size of one enclave page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Default usable EPC in bytes (128 MiB raw minus SGX metadata, as on the
+/// paper's testbed: ~93.5 MiB usable).
+pub const DEFAULT_USABLE_EPC: usize = 93 * 1024 * 1024 + 512 * 1024;

@@ -1,0 +1,293 @@
+//! Local reports and remotely verifiable quotes.
+//!
+//! Mirrors the SGX attestation data flow (§IV-A of the paper):
+//!
+//! 1. An enclave asks the hardware for a **report** binding its MRENCLAVE
+//!    and 64 bytes of `report_data` (PALÆMON puts the hash of a freshly
+//!    generated TLS public key there). Reports are MACed with a
+//!    platform-local key and only verifiable on the same platform — that is
+//!    what the *local quoting enclave* uses.
+//! 2. The **quoting enclave** (QE) turns a verified report into a **quote**,
+//!    signed with the platform's provisioned attestation key. Quotes are
+//!    verifiable remotely given the QE's public key (PALÆMON's native path)
+//!    or via the attestation service (the IAS path, modelled in `simnet`).
+
+use palaemon_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use palaemon_crypto::sig::{Signature, VerifyingKey};
+use palaemon_crypto::wire::{Decoder, Encoder};
+use palaemon_crypto::Digest;
+
+use crate::platform::Platform;
+use crate::{Result, TeeError};
+
+/// Free-form data bound into a report (e.g. hash of a TLS key).
+pub type ReportData = [u8; 64];
+
+/// A locally verifiable report (SGX `EREPORT`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Measurement of the reporting enclave.
+    pub mrenclave: Digest,
+    /// Platform that produced the report.
+    pub platform_id: String,
+    /// Microcode version at report time (consumed by policy platform checks).
+    pub microcode: u32,
+    /// Caller-chosen bound data.
+    pub report_data: ReportData,
+    mac: Digest,
+}
+
+fn report_mac_input(
+    mrenclave: &Digest,
+    platform_id: &str,
+    microcode: u32,
+    report_data: &ReportData,
+) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_str("tee-sim.report.v1")
+        .put_bytes(mrenclave.as_bytes())
+        .put_str(platform_id)
+        .put_u32(microcode)
+        .put_bytes(report_data);
+    e.finish()
+}
+
+/// Creates a report for an enclave measurement on `platform`.
+///
+/// In real SGX only the enclave itself can get a report with its own
+/// MRENCLAVE; the simulator trusts its callers (enclave code is the caller).
+pub fn create_report(platform: &Platform, mrenclave: Digest, report_data: ReportData) -> Report {
+    let key = report_mac_key(platform);
+    let mac = hmac_sha256(
+        &key,
+        &report_mac_input(
+            &mrenclave,
+            platform.id(),
+            platform.microcode().version(),
+            &report_data,
+        ),
+    );
+    Report {
+        mrenclave,
+        platform_id: platform.id().to_string(),
+        microcode: platform.microcode().version(),
+        report_data,
+        mac,
+    }
+}
+
+fn report_mac_key(platform: &Platform) -> [u8; 32] {
+    palaemon_crypto::hkdf::derive_key32(b"tee-sim.report-key", platform.id().as_bytes(), b"mac")
+}
+
+/// Verifies a report **locally** (same platform).
+///
+/// # Errors
+/// Returns [`TeeError::BadQuote`] for wrong-platform or tampered reports.
+pub fn verify_report(platform: &Platform, report: &Report) -> Result<()> {
+    if report.platform_id != platform.id() {
+        return Err(TeeError::BadQuote("report from another platform".into()));
+    }
+    let key = report_mac_key(platform);
+    let input = report_mac_input(
+        &report.mrenclave,
+        &report.platform_id,
+        report.microcode,
+        &report.report_data,
+    );
+    if verify_hmac_sha256(&key, &input, &report.mac) {
+        Ok(())
+    } else {
+        Err(TeeError::BadQuote("report MAC mismatch".into()))
+    }
+}
+
+/// A remotely verifiable quote (signed report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Measurement of the quoted enclave.
+    pub mrenclave: Digest,
+    /// Originating platform id.
+    pub platform_id: String,
+    /// Microcode version of the platform.
+    pub microcode: u32,
+    /// The report data carried through from the report.
+    pub report_data: ReportData,
+    /// QE signature over the canonical encoding.
+    pub signature: Signature,
+}
+
+impl Quote {
+    fn signed_bytes(
+        mrenclave: &Digest,
+        platform_id: &str,
+        microcode: u32,
+        report_data: &ReportData,
+    ) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_str("tee-sim.quote.v1")
+            .put_bytes(mrenclave.as_bytes())
+            .put_str(platform_id)
+            .put_u32(microcode)
+            .put_bytes(report_data);
+        e.finish()
+    }
+
+    /// Verifies the quote against the quoting enclave's public key.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::BadQuote`] on signature failure.
+    pub fn verify(&self, qe_key: &VerifyingKey) -> Result<()> {
+        let bytes = Self::signed_bytes(
+            &self.mrenclave,
+            &self.platform_id,
+            self.microcode,
+            &self.report_data,
+        );
+        qe_key
+            .verify(&bytes, &self.signature)
+            .map_err(|e| TeeError::BadQuote(e.to_string()))
+    }
+
+    /// Serializes the quote for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_bytes(self.mrenclave.as_bytes())
+            .put_str(&self.platform_id)
+            .put_u32(self.microcode)
+            .put_bytes(&self.report_data)
+            .put_bytes(&self.signature.to_bytes());
+        e.finish()
+    }
+
+    /// Parses a quote from [`Quote::to_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::BadQuote`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Quote> {
+        let mut d = Decoder::new(bytes);
+        let mut parse = || -> palaemon_crypto::Result<Quote> {
+            let mre_raw = d.get_bytes()?;
+            let mre: [u8; 32] = mre_raw
+                .try_into()
+                .map_err(|_| palaemon_crypto::CryptoError::Decode("mre len".into()))?;
+            let platform_id = d.get_str()?;
+            let microcode = d.get_u32()?;
+            let rd_raw = d.get_bytes()?;
+            let report_data: ReportData = rd_raw
+                .try_into()
+                .map_err(|_| palaemon_crypto::CryptoError::Decode("report data len".into()))?;
+            let signature = Signature::from_bytes(&d.get_bytes()?)?;
+            d.finish()?;
+            Ok(Quote {
+                mrenclave: Digest::from_bytes(mre),
+                platform_id,
+                microcode,
+                report_data,
+                signature,
+            })
+        };
+        parse().map_err(|e| TeeError::BadQuote(e.to_string()))
+    }
+}
+
+/// The quoting enclave: verifies a local report, then signs a quote.
+///
+/// # Errors
+/// Returns [`TeeError::BadQuote`] if the report does not verify locally.
+pub fn quote_report(platform: &Platform, report: &Report) -> Result<Quote> {
+    verify_report(platform, report)?;
+    let bytes = Quote::signed_bytes(
+        &report.mrenclave,
+        &report.platform_id,
+        report.microcode,
+        &report.report_data,
+    );
+    let signature = platform.qe_signing_key().sign(&bytes);
+    Ok(Quote {
+        mrenclave: report.mrenclave,
+        platform_id: report.platform_id.clone(),
+        microcode: report.microcode,
+        report_data: report.report_data,
+        signature,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Microcode;
+
+    fn platform(id: &str) -> Platform {
+        Platform::new(id, Microcode::PostForeshadow)
+    }
+
+    fn mre(b: u8) -> Digest {
+        Digest::from_bytes([b; 32])
+    }
+
+    #[test]
+    fn report_verifies_locally() {
+        let p = platform("h1");
+        let r = create_report(&p, mre(1), [7u8; 64]);
+        verify_report(&p, &r).unwrap();
+    }
+
+    #[test]
+    fn report_rejected_on_other_platform() {
+        let p1 = platform("h1");
+        let p2 = platform("h2");
+        let r = create_report(&p1, mre(1), [7u8; 64]);
+        assert!(verify_report(&p2, &r).is_err());
+    }
+
+    #[test]
+    fn tampered_report_rejected() {
+        let p = platform("h1");
+        let mut r = create_report(&p, mre(1), [7u8; 64]);
+        r.report_data[0] ^= 1;
+        assert!(verify_report(&p, &r).is_err());
+    }
+
+    #[test]
+    fn quote_roundtrip_and_verify() {
+        let p = platform("h1");
+        let r = create_report(&p, mre(1), [9u8; 64]);
+        let q = quote_report(&p, &r).unwrap();
+        q.verify(&p.qe_verifying_key()).unwrap();
+        let parsed = Quote::from_bytes(&q.to_bytes()).unwrap();
+        assert_eq!(parsed, q);
+        parsed.verify(&p.qe_verifying_key()).unwrap();
+    }
+
+    #[test]
+    fn quote_rejected_with_wrong_qe_key() {
+        let p1 = platform("h1");
+        let p2 = platform("h2");
+        let r = create_report(&p1, mre(1), [9u8; 64]);
+        let q = quote_report(&p1, &r).unwrap();
+        assert!(q.verify(&p2.qe_verifying_key()).is_err());
+    }
+
+    #[test]
+    fn tampered_quote_rejected() {
+        let p = platform("h1");
+        let r = create_report(&p, mre(1), [9u8; 64]);
+        let mut q = quote_report(&p, &r).unwrap();
+        q.mrenclave = mre(2);
+        assert!(q.verify(&p.qe_verifying_key()).is_err());
+    }
+
+    #[test]
+    fn qe_refuses_foreign_report() {
+        let p1 = platform("h1");
+        let p2 = platform("h2");
+        let r = create_report(&p1, mre(1), [9u8; 64]);
+        assert!(quote_report(&p2, &r).is_err());
+    }
+
+    #[test]
+    fn malformed_quote_bytes_rejected() {
+        assert!(Quote::from_bytes(&[0u8; 4]).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Managed PALÆMON (paper §III-B): an untrusted cloud provider operates the
+//! instance; clients attest it via the PALÆMON CA before trusting it with a
+//! Vault-style KMS workload.
+//!
+//! Run with: `cargo run --example managed_kms`
+
+use palaemon_core::board::Stakeholder;
+use palaemon_core::ca::{instance_key_binding, verify_instance_cert, GovernedCa, PalaemonCa};
+use palaemon_core::instance;
+use palaemon_core::policy::{BoardMember, BoardSpec};
+use palaemon_crypto::Digest;
+use palaemon_services::kms::Kms;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shielded_fs::store::MemStore;
+use tee_sim::platform::{Microcode, Platform};
+use tee_sim::quote::{create_report, quote_report};
+
+fn main() {
+    // The cloud provider's machine — fully untrusted humans, trusted CPU.
+    let platform = Platform::new("cloud-host-17", Microcode::PostForeshadow);
+    let palaemon_mre = Digest::from_bytes([0xAA; 32]);
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // The provider starts the managed PALÆMON instance.
+    let store = MemStore::new();
+    let (palaemon, info) = instance::start_instance(
+        &platform,
+        Box::new(store.clone()),
+        palaemon_mre,
+        1,
+        0,
+        &mut rng,
+    )
+    .expect("instance starts");
+    println!(
+        "provider started PALAEMON (counter={} wait={} ms)",
+        info.counter, info.counter_wait_ms
+    );
+
+    // The PALÆMON CA: its binary embeds the trusted PALÆMON MRE set, and
+    // its updates are controlled by a stakeholder board.
+    let alice = Stakeholder::from_seed("alice", b"a");
+    let bob = Stakeholder::from_seed("bob", b"b");
+    let board = BoardSpec {
+        threshold: 2,
+        members: vec![
+            BoardMember {
+                id: "alice".into(),
+                key: alice.verifying_key(),
+                approval_url: "https://alice.example/approve".into(),
+                veto: false,
+            },
+            BoardMember {
+                id: "bob".into(),
+                key: bob.verifying_key(),
+                approval_url: "https://bob.example/approve".into(),
+                veto: false,
+            },
+        ],
+    };
+    let ca = PalaemonCa::new(b"ca-v1", vec![palaemon_mre], 0, 365 * 24 * 3600 * 1000);
+    let mut governed = GovernedCa::new(ca, board);
+
+    // The instance proves itself to the CA: quote binding its public key.
+    let binding = instance_key_binding(&palaemon.public_key());
+    let report = create_report(&platform, palaemon_mre, binding);
+    let quote = quote_report(&platform, &report).expect("quote");
+    let cert = governed
+        .ca()
+        .issue_for_instance(&quote, &platform.qe_verifying_key(), palaemon.public_key(), 100)
+        .expect("trusted build gets a certificate");
+    println!("CA issued instance certificate (expires at {} ms)", cert.body.not_after);
+
+    // A client connects over TLS: one cheap certificate check attests the
+    // managed instance (no IAS round trip).
+    verify_instance_cert(&cert, governed.ca().root_certificate(), 5_000, &[palaemon_mre])
+        .expect("client attests the instance via TLS");
+    println!("client attested the managed instance via its TLS certificate");
+
+    // A tampered PALÆMON build would never get a certificate:
+    let evil_mre = Digest::from_bytes([0xEE; 32]);
+    let evil_report = create_report(&platform, evil_mre, binding);
+    let evil_quote = quote_report(&platform, &evil_report).expect("quote");
+    let err = governed
+        .ca()
+        .issue_for_instance(&evil_quote, &platform.qe_verifying_key(), palaemon.public_key(), 100)
+        .expect_err("untrusted build");
+    println!("tampered build refused by CA: {err}");
+
+    // Deploying PALÆMON v2 = board-approved CA rotation.
+    let v2_mre = Digest::from_bytes([0xAB; 32]);
+    let new_set = vec![palaemon_mre, v2_mre];
+    let req = governed.propose_rotation(&new_set);
+    let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+    governed
+        .apply_rotation(&req, &votes, new_set, b"ca-v2", 10_000, 365 * 24 * 3600 * 1000)
+        .expect("board-approved rotation");
+    println!("CA rotated: v2 PALAEMON builds are now certifiable");
+
+    // Meanwhile the provider runs a Vault-like KMS hardened by PALÆMON.
+    let mut kms = Kms::new(5);
+    let token = kms.issue_token("acme-corp");
+    kms.put_secret(&token, "prod/db-password", b"s3cr3t!").expect("stored");
+    let got = kms.get_secret(&token, "prod/db-password").expect("read back");
+    println!(
+        "KMS on the managed instance served a secret ({} bytes, {} audit entries)",
+        got.len(),
+        kms.audit_entries()
+    );
+}

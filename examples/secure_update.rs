@@ -1,0 +1,119 @@
+//! Secure software update (paper §III-E): enabling a new application
+//! version via a board-approved policy update, and the image/application
+//! combination-intersection mechanism.
+//!
+//! Run with: `cargo run --example secure_update`
+
+use palaemon_core::board::{PolicyAction, Stakeholder};
+use palaemon_core::policy::{Combo, Policy};
+use palaemon_core::testkit::World;
+use palaemon_core::update;
+use palaemon_crypto::Digest;
+
+fn main() {
+    let mut world = World::new(3);
+    let alice = Stakeholder::from_seed("alice", b"a");
+    let bob = Stakeholder::from_seed("bob", b"b");
+
+    // A board-governed policy for version 1 of the app.
+    let policy_text = format!(
+        r#"
+name: governed_app
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+board:
+  threshold: 2
+  members:
+    - id: alice
+      key: {}
+    - id: bob
+      key: {}
+"#,
+        alice.verifying_key().to_u64(),
+        bob.verifying_key().to_u64()
+    );
+    let v1 = world
+        .policy_from_template(&policy_text, &[("$MRE", world.app_mre())])
+        .expect("policy parses");
+    let req = world
+        .palaemon
+        .begin_approval("governed_app", PolicyAction::Create, v1.digest());
+    let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+    world
+        .palaemon
+        .create_policy(&world.owner.verifying_key(), v1.clone(), Some(&req), &votes)
+        .expect("created");
+    println!("v1 policy active");
+
+    // A new build appears: new MRENCLAVE. A malicious insider alone cannot
+    // enable it…
+    let v2_mre = Digest::from_bytes([0xD0; 32]);
+    let v2 = update::add_service_mre(&v1, "app", v2_mre).expect("service exists");
+    let req = world
+        .palaemon
+        .begin_approval("governed_app", PolicyAction::Update, v2.digest());
+    let only_one = vec![alice.vote(&req, true)];
+    let err = world
+        .palaemon
+        .update_policy(&world.owner.verifying_key(), v2.clone(), Some(&req), &only_one)
+        .expect_err("one vote is not enough");
+    println!("single-insider update rejected: {err}");
+
+    // …but the quorum can.
+    let req = world
+        .palaemon
+        .begin_approval("governed_app", PolicyAction::Update, v2.digest());
+    let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+    world
+        .palaemon
+        .update_policy(&world.owner.verifying_key(), v2, Some(&req), &votes)
+        .expect("quorum update");
+    println!("v2 enabled by the board (rolling update: v1 and v2 both run)");
+
+    // Retiring v1 afterwards is another approved update.
+    let current = {
+        let req = world.palaemon.begin_approval(
+            "governed_app",
+            PolicyAction::Read,
+            Digest::ZERO,
+        );
+        let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+        world
+            .palaemon
+            .read_policy("governed_app", &world.owner.verifying_key(), Some(&req), &votes)
+            .expect("read back")
+    };
+    println!("current policy allows {} measurements", current.services[0].mrenclaves.len());
+
+    // --- Image/application combination intersection -------------------
+    // A curated Python image exports its (MRENCLAVE, tag) combinations.
+    let py_old = Combo {
+        mrenclave: Digest::from_bytes([1; 32]),
+        tag: Digest::from_bytes([2; 32]),
+    };
+    let py_new = Combo {
+        mrenclave: Digest::from_bytes([3; 32]),
+        tag: Digest::from_bytes([4; 32]),
+    };
+    let mut image_policy = Policy::parse("name: python_image\n").expect("image policy");
+    image_policy = update::export_combo(&image_policy, py_old);
+    image_policy = update::export_combo(&image_policy, py_new);
+
+    let app_policy = Policy::parse(
+        "name: py_app\nservices:\n  - name: app\n    import_combos: [\"python_image\"]\n",
+    )
+    .expect("app policy");
+    let allowed =
+        update::allowed_combos(&app_policy, "app", &[&image_policy], &[]).expect("intersection");
+    println!("app accepts {} interpreter combinations", allowed.len());
+
+    // The image provider discovers a vulnerability in the old build and
+    // withdraws it — every importing application loses it automatically.
+    let image_policy = update::withdraw_combo(&image_policy, py_old);
+    let allowed =
+        update::allowed_combos(&app_policy, "app", &[&image_policy], &[]).expect("intersection");
+    assert_eq!(allowed, vec![py_new]);
+    println!("vulnerable combination withdrawn by the image provider;");
+    println!("app now accepts {} combination(s) — no app-side action needed", allowed.len());
+}

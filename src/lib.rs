@@ -1,0 +1,13 @@
+//! PALÆMON — umbrella crate for the DSN 2020 reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! downstream users can depend on a single crate. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use palaemon_core as core;
+pub use palaemon_crypto as crypto;
+pub use palaemon_db as db;
+pub use palaemon_services as services;
+pub use shielded_fs;
+pub use simnet;
+pub use tee_sim;

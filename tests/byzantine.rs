@@ -1,0 +1,324 @@
+//! Attack-matrix integration tests: every row is an attacker capability
+//! from the paper's threat model (§II-A) and the defence that stops it.
+
+use palaemon::core::board::{ApprovalRequest, PolicyAction, Stakeholder};
+use palaemon::core::ca::{instance_key_binding, verify_instance_cert, PalaemonCa};
+use palaemon::core::runtime::tls_key_binding;
+use palaemon::core::testkit::World;
+use palaemon::core::PalaemonError;
+use palaemon::crypto::sig::SigningKey;
+use palaemon::crypto::Digest;
+use shielded_fs::store::MemStore;
+use tee_sim::platform::{Microcode, Platform};
+use tee_sim::quote::{create_report, quote_report, Quote};
+
+/// Root-privileged operator reads all storage: sees only ciphertext.
+#[test]
+fn superuser_sees_only_ciphertext() {
+    let mut world = World::new(10);
+    let policy = world
+        .policy_from_template(
+            r#"
+name: conf
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+    volumes: ["v"]
+secrets:
+  - name: top_secret
+    kind: explicit
+    value: "the-actual-secret-value"
+volumes:
+  - name: v
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(policy).unwrap();
+    let store = MemStore::new();
+    let mut app = world.start_app("conf", "app", &[("v", store.clone())]).unwrap();
+    app.write_file(&mut world.palaemon, "v", "/data", b"the-actual-secret-value")
+        .unwrap();
+    // Scan every blob in both the volume store and PALÆMON's own store.
+    for blob_store in [&store, &world.tms_store] {
+        for name in shielded_fs::store::BlockStore::list(blob_store) {
+            let blob = shielded_fs::store::BlockStore::get(blob_store, &name).unwrap();
+            assert!(
+                !blob
+                    .windows(b"the-actual-secret-value".len())
+                    .any(|w| w == b"the-actual-secret-value"),
+                "plaintext secret leaked into blob {name}"
+            );
+        }
+    }
+}
+
+/// A malicious developer ships a modified binary: attestation refuses it.
+#[test]
+fn modified_binary_gets_no_secrets() {
+    let mut world = World::new(11);
+    let policy = world
+        .policy_from_template(
+            r#"
+name: integrity
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(policy).unwrap();
+    // Forge a quote for a different MRENCLAVE on the same platform.
+    let tls = SigningKey::from_seed(b"attacker-tls");
+    let binding = tls_key_binding(&tls.verifying_key());
+    let evil_mre = Digest::from_bytes([0x66; 32]);
+    let report = create_report(&world.platform, evil_mre, binding);
+    let quote = quote_report(&world.platform, &report).unwrap();
+    let err = world
+        .palaemon
+        .attest_service(&quote, &binding, "integrity", "app")
+        .unwrap_err();
+    assert!(matches!(err, PalaemonError::AttestationFailed(_)));
+}
+
+/// An attacker fabricates a quote without the platform's QE key.
+#[test]
+fn forged_quote_rejected() {
+    let mut world = World::new(12);
+    let policy = world
+        .policy_from_template(
+            r#"
+name: forge
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(policy).unwrap();
+    let config_err = {
+        // Take a legitimate quote and splice in the permitted MRENCLAVE.
+        let tls = SigningKey::from_seed(b"tls");
+        let binding = tls_key_binding(&tls.verifying_key());
+        let evil = Digest::from_bytes([0x67; 32]);
+        let report = create_report(&world.platform, evil, binding);
+        let mut quote: Quote = quote_report(&world.platform, &report).unwrap();
+        quote.mrenclave = Digest::from_hex(&world.app_mre()).unwrap();
+        world
+            .palaemon
+            .attest_service(&quote, &binding, "forge", "app")
+            .unwrap_err()
+    };
+    assert!(matches!(config_err, PalaemonError::AttestationFailed(_)));
+}
+
+/// A man-in-the-middle presents someone else's quote with its own TLS key.
+#[test]
+fn tls_channel_binding_stops_mitm() {
+    let mut world = World::new(13);
+    let policy = world
+        .policy_from_template(
+            r#"
+name: mitm
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(policy).unwrap();
+    let honest_tls = SigningKey::from_seed(b"honest");
+    let honest_binding = tls_key_binding(&honest_tls.verifying_key());
+    let mre = Digest::from_hex(&world.app_mre()).unwrap();
+    let report = create_report(&world.platform, mre, honest_binding);
+    let quote = quote_report(&world.platform, &report).unwrap();
+    // The MITM terminates TLS with its own key but relays the quote.
+    let mitm_tls = SigningKey::from_seed(b"mitm");
+    let mitm_binding = tls_key_binding(&mitm_tls.verifying_key());
+    let err = world
+        .palaemon
+        .attest_service(&quote, &mitm_binding, "mitm", "app")
+        .unwrap_err();
+    assert!(err.to_string().contains("TLS"));
+}
+
+/// f Byzantine board members cannot push a change without an honest vote.
+#[test]
+fn byzantine_minority_cannot_update_policy() {
+    let mut world = World::new(14);
+    let honest1 = Stakeholder::from_seed("h1", b"h1");
+    let honest2 = Stakeholder::from_seed("h2", b"h2");
+    let byzantine = Stakeholder::from_seed("byz", b"byz");
+    let text = format!(
+        r#"
+name: quorum
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+board:
+  threshold: 2
+  members:
+    - id: h1
+      key: {}
+    - id: h2
+      key: {}
+    - id: byz
+      key: {}
+"#,
+        honest1.verifying_key().to_u64(),
+        honest2.verifying_key().to_u64(),
+        byzantine.verifying_key().to_u64()
+    );
+    let policy = world
+        .policy_from_template(&text, &[("$MRE", world.app_mre())])
+        .unwrap();
+    let req = world
+        .palaemon
+        .begin_approval("quorum", PolicyAction::Create, policy.digest());
+    let votes = vec![
+        honest1.vote(&req, true),
+        honest2.vote(&req, true),
+        byzantine.vote(&req, true),
+    ];
+    world
+        .palaemon
+        .create_policy(&world.owner.verifying_key(), policy.clone(), Some(&req), &votes)
+        .unwrap();
+
+    // The Byzantine member tries to slip in a malicious update alone, even
+    // double-voting under different write-ups.
+    let mut evil = policy.clone();
+    evil.services[0]
+        .mrenclaves
+        .push(Digest::from_bytes([0x66; 32]));
+    let req = world
+        .palaemon
+        .begin_approval("quorum", PolicyAction::Update, evil.digest());
+    let solo = vec![byzantine.vote(&req, true)];
+    assert!(world
+        .palaemon
+        .update_policy(&world.owner.verifying_key(), evil.clone(), Some(&req), &solo)
+        .is_err());
+    let req = world
+        .palaemon
+        .begin_approval("quorum", PolicyAction::Update, evil.digest());
+    let duplicated = vec![byzantine.vote(&req, true), byzantine.vote(&req, true)];
+    assert!(world
+        .palaemon
+        .update_policy(&world.owner.verifying_key(), evil, Some(&req), &duplicated)
+        .is_err());
+}
+
+/// Replaying an old approval for new content fails (digest binding).
+#[test]
+fn approval_replay_rejected() {
+    let mut world = World::new(15);
+    let alice = Stakeholder::from_seed("alice", b"a");
+    let text = format!(
+        r#"
+name: replay
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+board:
+  threshold: 1
+  members:
+    - id: alice
+      key: {}
+"#,
+        alice.verifying_key().to_u64()
+    );
+    let policy = world
+        .policy_from_template(&text, &[("$MRE", world.app_mre())])
+        .unwrap();
+    let req = world
+        .palaemon
+        .begin_approval("replay", PolicyAction::Create, policy.digest());
+    let votes = vec![alice.vote(&req, true)];
+    world
+        .palaemon
+        .create_policy(&world.owner.verifying_key(), policy.clone(), Some(&req), &votes)
+        .unwrap();
+
+    // Attacker reuses Alice's old signature for different content.
+    let mut evil = policy.clone();
+    evil.strict = true;
+    let req2 = world
+        .palaemon
+        .begin_approval("replay", PolicyAction::Update, evil.digest());
+    let forged_vote = {
+        // Old vote, new request: signature covers the old digest+nonce.
+        let old_req = ApprovalRequest {
+            policy_name: "replay".into(),
+            action: PolicyAction::Create,
+            policy_digest: policy.digest(),
+            nonce: req2.nonce,
+        };
+        let _ = old_req;
+        votes[0].clone()
+    };
+    assert!(world
+        .palaemon
+        .update_policy(&world.owner.verifying_key(), evil, Some(&req2), &[forged_vote])
+        .is_err());
+}
+
+/// Cloud provider moves PALÆMON's sealed state to another machine.
+#[test]
+fn state_migration_to_other_platform_fails() {
+    let world = World::new(16);
+    let other = Platform::new("other-machine", Microcode::PostForeshadow);
+    let mut rng = palaemon::crypto::randutil::seeded_rng(1);
+    let err = palaemon::core::instance::start_instance(
+        &other,
+        Box::new(world.tms_store.clone()),
+        Digest::from_bytes([0xAA; 32]),
+        1,
+        0,
+        &mut rng,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PalaemonError::Tee(_)));
+}
+
+/// The CA never certifies an instance key that its quote does not bind.
+#[test]
+fn ca_refuses_unbound_instance_key() {
+    let platform = Platform::new("host", Microcode::PostForeshadow);
+    let mre = Digest::from_bytes([0xAA; 32]);
+    let ca = PalaemonCa::new(b"ca", vec![mre], 0, 1 << 40);
+    let real_instance = SigningKey::from_seed(b"real");
+    let attacker = SigningKey::from_seed(b"attacker");
+    let report = create_report(&platform, mre, instance_key_binding(&real_instance.verifying_key()));
+    let quote = quote_report(&platform, &report).unwrap();
+    // The attacker relays the legitimate quote but asks the CA to certify
+    // their own key.
+    assert!(ca
+        .issue_for_instance(&quote, &platform.qe_verifying_key(), attacker.verifying_key(), 1)
+        .is_err());
+    // And the honest request succeeds.
+    let cert = ca
+        .issue_for_instance(&quote, &platform.qe_verifying_key(), real_instance.verifying_key(), 1)
+        .unwrap();
+    verify_instance_cert(&cert, ca.root_certificate(), 2, &[mre]).unwrap();
+}
+
+/// Expired instance certificates force re-attestation (timely upgrades).
+#[test]
+fn stale_instance_certificate_rejected() {
+    let platform = Platform::new("host", Microcode::PostForeshadow);
+    let mre = Digest::from_bytes([0xAA; 32]);
+    let mut ca = PalaemonCa::new(b"ca", vec![mre], 0, 1 << 40);
+    ca.set_cert_validity(1_000);
+    let instance = SigningKey::from_seed(b"inst");
+    let report = create_report(&platform, mre, instance_key_binding(&instance.verifying_key()));
+    let quote = quote_report(&platform, &report).unwrap();
+    let cert = ca
+        .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 0)
+        .unwrap();
+    assert!(verify_instance_cert(&cert, ca.root_certificate(), 999, &[]).is_ok());
+    assert!(verify_instance_cert(&cert, ca.root_certificate(), 1_001, &[]).is_err());
+}

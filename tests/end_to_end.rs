@@ -1,0 +1,334 @@
+//! End-to-end integration tests spanning every crate: platform → enclave →
+//! attestation → policy → shielded volumes → tag service → restart.
+
+use std::collections::HashMap;
+
+use palaemon::core::board::{PolicyAction, Stakeholder};
+use palaemon::core::instance;
+use palaemon::core::runtime::RunningApp;
+use palaemon::core::testkit::World;
+use palaemon::core::PalaemonError;
+use palaemon::crypto::Digest;
+use shielded_fs::store::{BlockStore, MemStore};
+
+#[test]
+fn full_application_lifecycle() {
+    let mut world = World::new(1);
+    let policy = world
+        .policy_from_template(
+            r#"
+name: lifecycle
+services:
+  - name: app
+    command: app --mode {{mode}}
+    mrenclaves: ["$MRE"]
+    volumes: ["data"]
+    injection_files: ["/app/config.ini"]
+secrets:
+  - name: mode
+    kind: explicit
+    value: "production"
+  - name: api_key
+    kind: ascii
+    length: 40
+volumes:
+  - name: data
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(policy).unwrap();
+
+    let store = MemStore::new();
+    // Session 1: write config + state.
+    let mut app = world.start_app("lifecycle", "app", &[("data", store.clone())]).unwrap();
+    assert_eq!(app.config.args, vec!["app", "--mode", "production"]);
+    app.write_file(
+        &mut world.palaemon,
+        "data",
+        "/app/config.ini",
+        b"api_key={{api_key}}\n",
+    )
+    .unwrap();
+    let injected = app.read_file("data", "/app/config.ini").unwrap();
+    let api_key_line = String::from_utf8(injected).unwrap();
+    assert!(api_key_line.starts_with("api_key="));
+    assert_eq!(api_key_line.trim_end().len(), "api_key=".len() + 40);
+    app.write_file(&mut world.palaemon, "data", "/state", b"epoch-1").unwrap();
+    app.exit(&mut world.palaemon).unwrap();
+
+    // Session 2: state is intact, same secrets delivered.
+    let mut app2 = world.start_app("lifecycle", "app", &[("data", store)]).unwrap();
+    assert_eq!(app2.read_file("data", "/state").unwrap(), b"epoch-1");
+    let reinjected = app2.read_file("data", "/app/config.ini").unwrap();
+    assert_eq!(String::from_utf8(reinjected).unwrap(), api_key_line);
+}
+
+#[test]
+fn palaemon_instance_survives_restart_with_all_state() {
+    // Build a full world, store policies and tags, cleanly restart the
+    // PALÆMON instance, and verify everything survives.
+    let mut world = World::new(2);
+    let policy = world
+        .policy_from_template(
+            r#"
+name: durable
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+    volumes: ["v"]
+volumes:
+  - name: v
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(policy).unwrap();
+    let store = MemStore::new();
+    let mut app = world.start_app("durable", "app", &[("v", store.clone())]).unwrap();
+    app.write_file(&mut world.palaemon, "v", "/f", b"x").unwrap();
+    let tag_before = app.volume_tag("v").unwrap();
+    app.exit(&mut world.palaemon).unwrap();
+
+    // Clean shutdown + restart of the PALÆMON instance itself (Fig. 6).
+    instance::shutdown_instance(&mut world.palaemon, &world.platform, 1).unwrap();
+    let old = std::mem::replace(&mut world.palaemon, {
+        let (p, info) = instance::start_instance(
+            &world.platform,
+            Box::new(world.tms_store.clone()),
+            Digest::from_bytes([0xAA; 32]),
+            1,
+            10_000,
+            &mut world.rng,
+        )
+        .unwrap();
+        assert!(!info.first_start);
+        p
+    });
+    drop(old);
+    world
+        .palaemon
+        .register_platform(world.platform.id(), world.platform.qe_verifying_key());
+
+    // The restarted instance still knows the policy and the expected tag.
+    assert_eq!(world.palaemon.policy_count(), 1);
+    let mut app2 = world.start_app("durable", "app", &[("v", store)]).unwrap();
+    assert_eq!(app2.volume_tag("v").unwrap(), tag_before);
+    assert_eq!(app2.read_file("v", "/f").unwrap(), b"x");
+}
+
+#[test]
+fn crashed_palaemon_instance_refuses_restart() {
+    let mut world = World::new(3);
+    // No shutdown — simulates a crash of the PALÆMON process itself.
+    let err = instance::start_instance(
+        &world.platform,
+        Box::new(world.tms_store.clone()),
+        Digest::from_bytes([0xAA; 32]),
+        1,
+        10_000,
+        &mut world.rng,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PalaemonError::RollbackDetected(_)));
+}
+
+#[test]
+fn two_applications_share_exported_secret() {
+    let mut world = World::new(4);
+    let producer = world
+        .policy_from_template(
+            r#"
+name: producer
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+secrets:
+  - name: shared_token
+    kind: ascii
+    length: 30
+    export: consumer
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    let consumer = world
+        .policy_from_template(
+            r#"
+name: consumer
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(producer).unwrap();
+    world.create_policy(consumer).unwrap();
+    let a = world.attest_app("producer", "app").unwrap();
+    let b = world.attest_app("consumer", "app").unwrap();
+    assert_eq!(a.secrets.get("shared_token"), b.secrets.get("shared_token"));
+}
+
+#[test]
+fn board_governs_whole_crud_cycle() {
+    let mut world = World::new(5);
+    let alice = Stakeholder::from_seed("alice", b"a");
+    let bob = Stakeholder::from_seed("bob", b"b");
+    let text = format!(
+        r#"
+name: crud
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+board:
+  threshold: 2
+  members:
+    - id: alice
+      key: {}
+    - id: bob
+      key: {}
+"#,
+        alice.verifying_key().to_u64(),
+        bob.verifying_key().to_u64()
+    );
+    let policy = world
+        .policy_from_template(&text, &[("$MRE", world.app_mre())])
+        .unwrap();
+
+    // Create with quorum.
+    let req = world
+        .palaemon
+        .begin_approval("crud", PolicyAction::Create, policy.digest());
+    let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+    world
+        .palaemon
+        .create_policy(&world.owner.verifying_key(), policy.clone(), Some(&req), &votes)
+        .unwrap();
+
+    // Read requires approval too.
+    assert!(world
+        .palaemon
+        .read_policy("crud", &world.owner.verifying_key(), None, &[])
+        .is_err());
+    let req = world
+        .palaemon
+        .begin_approval("crud", PolicyAction::Read, Digest::ZERO);
+    let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+    let read_back = world
+        .palaemon
+        .read_policy("crud", &world.owner.verifying_key(), Some(&req), &votes)
+        .unwrap();
+    assert_eq!(read_back.name, "crud");
+
+    // Delete with quorum.
+    let req = world
+        .palaemon
+        .begin_approval("crud", PolicyAction::Delete, Digest::ZERO);
+    let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
+    world
+        .palaemon
+        .delete_policy("crud", &world.owner.verifying_key(), Some(&req), &votes)
+        .unwrap();
+    assert_eq!(world.palaemon.policy_count(), 0);
+}
+
+#[test]
+fn strict_mode_recovery_via_reset() {
+    let mut world = World::new(6);
+    let policy = world
+        .policy_from_template(
+            r#"
+name: strictapp
+strict: true
+services:
+  - name: app
+    mrenclaves: ["$MRE"]
+    volumes: ["wal"]
+volumes:
+  - name: wal
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(policy).unwrap();
+    let store = MemStore::new();
+    let mut app = world.start_app("strictapp", "app", &[("wal", store.clone())]).unwrap();
+    app.write_file(&mut world.palaemon, "wal", "/entry", b"1").unwrap();
+    app.crash();
+    // Blocked.
+    assert!(matches!(
+        world.start_app("strictapp", "app", &[("wal", store.clone())]),
+        Err(PalaemonError::StrictModeViolation(_))
+    ));
+    // The operator takes the (board-approved in production) reset path.
+    world.palaemon.reset_tag("strictapp", "wal").unwrap();
+    assert!(world.start_app("strictapp", "app", &[("wal", store)]).is_ok());
+}
+
+#[test]
+fn volume_export_between_policies() {
+    // An image-provider policy exports an encrypted volume; the app policy
+    // imports it and a differently-measured app reads the shared data.
+    let mut world = World::new(7);
+    let provider = world
+        .policy_from_template(
+            r#"
+name: image_provider
+services:
+  - name: publisher
+    mrenclaves: ["$MRE"]
+    volumes: ["shared"]
+volumes:
+  - name: shared
+    export: app_user
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    let consumer = world
+        .policy_from_template(
+            r#"
+name: app_user
+services:
+  - name: reader
+    mrenclaves: ["$MRE"]
+    volumes: ["shared"]
+imports:
+  - policy: image_provider
+    volume: shared
+"#,
+            &[("$MRE", world.app_mre())],
+        )
+        .unwrap();
+    world.create_policy(provider).unwrap();
+    world.create_policy(consumer).unwrap();
+
+    let store = MemStore::new();
+    let mut publisher = world
+        .start_app("image_provider", "publisher", &[("shared", store.clone())])
+        .unwrap();
+    publisher
+        .write_file(&mut world.palaemon, "shared", "/lib.so", b"curated interpreter")
+        .unwrap();
+    publisher.exit(&mut world.palaemon).unwrap();
+
+    // The consumer gets the same key via the export and can decrypt.
+    let mut stores: HashMap<String, Box<dyn BlockStore>> = HashMap::new();
+    stores.insert("shared".into(), Box::new(store));
+    let mut reader = RunningApp::start(
+        &world.platform,
+        &mut world.palaemon,
+        palaemon::core::testkit::DEMO_BINARY,
+        64 * 1024,
+        "app_user",
+        "reader",
+        &mut stores,
+        &mut world.rng,
+    )
+    .unwrap();
+    assert_eq!(
+        reader.read_file("shared", "/lib.so").unwrap(),
+        b"curated interpreter"
+    );
+}

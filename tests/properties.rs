@@ -1,0 +1,285 @@
+//! Property-based tests (proptest) over the core data structures and
+//! protocol invariants.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use palaemon::crypto::aead::AeadKey;
+use palaemon::crypto::merkle::MerkleTree;
+use palaemon::crypto::sha256::Sha256;
+use palaemon::crypto::sig::SigningKey;
+use palaemon::crypto::wire::{Decoder, Encoder};
+use palaemon::db::Db;
+use shielded_fs::fs::ShieldedFs;
+use shielded_fs::inject::{inject_secrets, SecretMap};
+use shielded_fs::store::MemStore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AEAD: decryption inverts encryption for arbitrary payloads/AAD.
+    #[test]
+    fn aead_roundtrip(key in any::<[u8; 32]>(),
+                      nonce_seed in proptest::collection::vec(any::<u8>(), 0..64),
+                      plaintext in proptest::collection::vec(any::<u8>(), 0..2048),
+                      aad in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let k = AeadKey::from_bytes(key);
+        let sealed = k.seal(&nonce_seed, &plaintext, &aad);
+        prop_assert_eq!(k.open(&nonce_seed, &sealed, &aad).unwrap(), plaintext);
+    }
+
+    /// AEAD: any single-byte corruption is detected.
+    #[test]
+    fn aead_tamper_detected(key in any::<[u8; 32]>(),
+                            plaintext in proptest::collection::vec(any::<u8>(), 1..512),
+                            flip_at in any::<usize>()) {
+        let k = AeadKey::from_bytes(key);
+        let mut sealed = k.seal(b"n", &plaintext, b"");
+        let idx = flip_at % sealed.len();
+        sealed[idx] ^= 0x01;
+        prop_assert!(k.open(b"n", &sealed, b"").is_err());
+    }
+
+    /// SHA-256 streaming equals one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                 cuts in proptest::collection::vec(any::<usize>(), 0..8)) {
+        let mut hasher = Sha256::new();
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c % (data.len() + 1)).collect();
+        offsets.sort_unstable();
+        let mut prev = 0;
+        for &o in &offsets {
+            hasher.update(&data[prev..o]);
+            prev = o;
+        }
+        hasher.update(&data[prev..]);
+        prop_assert_eq!(hasher.finalize(), Sha256::digest(&data));
+    }
+
+    /// Merkle: every leaf of every tree size proves against the root, and
+    /// proofs never verify a different value.
+    #[test]
+    fn merkle_proofs_sound(values in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..32), 1..24)) {
+        let tree = MerkleTree::from_values(&values);
+        let root = tree.root();
+        for (i, v) in values.iter().enumerate() {
+            let proof = tree.prove(i);
+            prop_assert!(MerkleTree::verify(&root, v, &proof));
+            let mut other = v.clone();
+            other.push(0xFF);
+            prop_assert!(!MerkleTree::verify(&root, &other, &proof));
+        }
+    }
+
+    /// Signatures: valid for the signed message, invalid for any other.
+    #[test]
+    fn signature_soundness(seed in any::<u64>(),
+                           msg in proptest::collection::vec(any::<u8>(), 0..256),
+                           other in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let sk = SigningKey::from_secret(seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+        if msg != other {
+            prop_assert!(sk.verifying_key().verify(&other, &sig).is_err());
+        }
+    }
+
+    /// Wire encoding: lists of (u64, bytes, str) round-trip.
+    #[test]
+    fn wire_roundtrip(items in proptest::collection::vec(
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64), "[a-z]{0,16}"), 0..16)) {
+        let mut e = Encoder::new();
+        e.put_list(&items, |e, (n, b, s)| {
+            e.put_u64(*n).put_bytes(b).put_str(s);
+        });
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        let decoded = d
+            .get_list(|d| Ok((d.get_u64()?, d.get_bytes()?, d.get_str()?)))
+            .unwrap();
+        d.finish().unwrap();
+        prop_assert_eq!(decoded, items);
+    }
+
+    /// Secret injection: output never contains a replaced variable, always
+    /// preserves non-variable content length relations, and replacing with
+    /// empty secrets is identity.
+    #[test]
+    fn injection_properties(content in "[a-zA-Z0-9 \n=_-]{0,200}",
+                            name in "[a-z]{1,8}",
+                            value in "[a-zA-Z0-9]{0,16}") {
+        let template = format!("{content}{{{{{name}}}}}{content}");
+        let mut secrets = SecretMap::new();
+        secrets.insert(name.clone(), value.as_bytes().to_vec());
+        let (out, n) = inject_secrets(template.as_bytes(), &secrets);
+        prop_assert_eq!(n, 1);
+        let out_str = String::from_utf8(out).unwrap();
+        let variable = format!("{{{{{name}}}}}");
+        let still_there = out_str.contains(&variable);
+        prop_assert!(!still_there);
+        prop_assert_eq!(out_str, format!("{content}{value}{content}"));
+        // No secrets: identity.
+        let (unchanged, zero) = inject_secrets(template.as_bytes(), &SecretMap::new());
+        prop_assert_eq!(zero, 0);
+        prop_assert_eq!(unchanged, template.as_bytes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Policies round-trip through the storage encoding for arbitrary
+    /// structurally valid content.
+    #[test]
+    fn policy_encode_decode_roundtrip(
+        name in "[a-z_]{1,16}",
+        svc_names in proptest::collection::btree_set("[a-z]{1,8}", 1..4),
+        mre_bytes in proptest::collection::vec(any::<u8>(), 1..4),
+        strict in any::<bool>(),
+        secret_len in 1usize..64,
+    ) {
+        use palaemon::core::policy::{Policy, SecretKind, SecretSpec, ServiceSpec, VolumeSpec};
+        let services: Vec<ServiceSpec> = svc_names
+            .iter()
+            .map(|svc| ServiceSpec {
+                name: svc.clone(),
+                image_name: Some(format!("{svc}-img")),
+                command: format!("{svc} --run"),
+                env: [("MODE".to_string(), "x".to_string())].into_iter().collect(),
+                mrenclaves: mre_bytes
+                    .iter()
+                    .map(|b| palaemon::crypto::Digest::from_bytes([*b; 32]))
+                    .collect(),
+                platforms: vec![],
+                pwd: "/".into(),
+                injection_files: vec!["/cfg".into()],
+                volumes: vec!["data".into()],
+                import_combos: vec![],
+            })
+            .collect();
+        let policy = Policy {
+            name,
+            services,
+            images: vec![],
+            volumes: vec![VolumeSpec { name: "data".into(), export_to: None }],
+            secrets: vec![SecretSpec {
+                name: "s".into(),
+                kind: SecretKind::Ascii { length: secret_len },
+                export_to: vec![],
+            }],
+            board: None,
+            exported_combos: vec![],
+            imports: vec![],
+            strict,
+        };
+        policy.validate().unwrap();
+        let decoded = Policy::decode(&policy.encode()).unwrap();
+        prop_assert_eq!(&decoded, &policy);
+        prop_assert_eq!(decoded.digest(), policy.digest());
+    }
+
+    /// Queueing simulator sanity: achieved throughput never exceeds offered
+    /// load or capacity, and latency is at least the service floor.
+    #[test]
+    fn queue_sim_conservation(rate_frac in 0.1f64..2.0, servers in 1usize..8,
+                              svc_us in 100u64..5_000) {
+        use simnet::queue::{open_loop, ServiceDist};
+        let svc_ns = svc_us * 1_000;
+        let capacity = servers as f64 * 1e9 / svc_ns as f64;
+        let p = open_loop(capacity * rate_frac, 2 * simnet::SEC, servers,
+                          ServiceDist::Fixed(svc_ns), false, 5);
+        prop_assert!(p.achieved_rps <= capacity * 1.05 + 1.0);
+        prop_assert!(p.achieved_rps <= p.offered_rps * 1.05 + 1.0);
+        prop_assert!(p.latency.p50 >= svc_ns);
+    }
+}
+
+/// Model-based test: the encrypted database behaves exactly like a
+/// `BTreeMap` across arbitrary put/delete/commit/reopen/checkpoint traces.
+#[derive(Debug, Clone)]
+enum DbOp {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Commit,
+    Checkpoint,
+    Reopen,
+}
+
+fn db_op_strategy() -> impl Strategy<Value = DbOp> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(k, v)| DbOp::Put(k, v)),
+        any::<u8>().prop_map(DbOp::Delete),
+        Just(DbOp::Commit),
+        Just(DbOp::Checkpoint),
+        Just(DbOp::Reopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn db_matches_model(ops in proptest::collection::vec(db_op_strategy(), 0..40)) {
+        let store = MemStore::new();
+        let key = AeadKey::from_bytes([1; 32]);
+        let mut db = Db::create(Box::new(store.clone()), key.clone());
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut durable = model.clone();
+
+        for op in ops {
+            match op {
+                DbOp::Put(k, v) => {
+                    db.put(vec![k], v.clone());
+                    model.insert(vec![k], v);
+                }
+                DbOp::Delete(k) => {
+                    db.delete(&[k]);
+                    model.remove(&vec![k]);
+                }
+                DbOp::Commit => {
+                    db.commit().unwrap();
+                    durable = model.clone();
+                }
+                DbOp::Checkpoint => {
+                    db.checkpoint().unwrap();
+                    durable = model.clone();
+                }
+                DbOp::Reopen => {
+                    // Crash: uncommitted writes vanish.
+                    drop(db);
+                    db = Db::open(Box::new(store.clone()), key.clone()).unwrap();
+                    model = durable.clone();
+                }
+            }
+            // The live view always matches the model.
+            prop_assert_eq!(db.len(), model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(db.get(k), Some(v.as_slice()));
+            }
+        }
+    }
+
+    /// Shielded FS: arbitrary write/remove traces keep read-back exact and
+    /// the tag history free of duplicates (freshness).
+    #[test]
+    fn shielded_fs_tag_uniqueness(ops in proptest::collection::vec(
+        ("[ab]", proptest::collection::vec(any::<u8>(), 0..32)), 1..20)) {
+        let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32]));
+        let mut tags = vec![fs.tag()];
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for (path, content) in ops {
+            let path = format!("/{path}");
+            fs.write(&path, &content).unwrap();
+            model.insert(path, content);
+            let tag = fs.tag();
+            prop_assert!(!tags.contains(&tag), "tag reuse would permit replay");
+            tags.push(tag);
+        }
+        for (path, content) in &model {
+            prop_assert_eq!(&fs.read(path).unwrap(), content);
+        }
+    }
+}
