@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices called out in DESIGN.md:
+//! Ablation benches for the design choices called out in README.md:
 //!
 //! * Fig. 6 counter protocol vs naive per-update platform counters;
 //! * whole-FS Merkle tag recompute cost vs file count;
@@ -38,7 +38,9 @@ fn bench_merkle_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_merkle_tag");
     group.sample_size(20);
     for files in [4usize, 64, 1024] {
-        let values: Vec<Vec<u8>> = (0..files).map(|i| format!("file-{i}").into_bytes()).collect();
+        let values: Vec<Vec<u8>> = (0..files)
+            .map(|i| format!("file-{i}").into_bytes())
+            .collect();
         let tree = MerkleTree::from_values(&values);
         group.bench_with_input(BenchmarkId::new("root_recompute", files), &tree, |b, t| {
             b.iter(|| t.root())

@@ -11,12 +11,8 @@ fn bench_crypto(c: &mut Criterion) {
     let data_64k = vec![0xABu8; 64 * 1024];
     let mut group = c.benchmark_group("crypto_primitives");
     group.throughput(Throughput::Bytes(data_64k.len() as u64));
-    group.bench_function("sha256_64k", |b| {
-        b.iter(|| Sha256::digest(&data_64k))
-    });
-    group.bench_function("hmac_64k", |b| {
-        b.iter(|| hmac_sha256(b"key", &data_64k))
-    });
+    group.bench_function("sha256_64k", |b| b.iter(|| Sha256::digest(&data_64k)));
+    group.bench_function("hmac_64k", |b| b.iter(|| hmac_sha256(b"key", &data_64k)));
     let key = AeadKey::from_bytes([1; 32]);
     group.bench_function("aead_seal_64k", |b| {
         b.iter(|| key.seal(b"n", &data_64k, b""))

@@ -25,7 +25,12 @@ fn tag_world() -> (Palaemon, palaemon_core::tms::SessionId) {
     ))
     .unwrap();
     palaemon
-        .create_policy(&SigningKey::from_seed(b"o").verifying_key(), policy, None, &[])
+        .create_policy(
+            &SigningKey::from_seed(b"o").verifying_key(),
+            policy,
+            None,
+            &[],
+        )
         .unwrap();
     let binding = [0u8; 64];
     let report = create_report(&platform, mre, binding);

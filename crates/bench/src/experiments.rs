@@ -1,6 +1,5 @@
 //! One experiment per table/figure of the paper.
 
-
 use std::time::Duration;
 
 use palaemon_core::attest::{
@@ -218,7 +217,12 @@ pub fn fig12() -> Report {
     for source in SecretSource::ALL {
         let row: Vec<String> = [1usize, 5, 50, 100]
             .iter()
-            .map(|&n| format!("{:>8.1} ms", to_ms(secret_retrieval_latency(source, n, &costs))))
+            .map(|&n| {
+                format!(
+                    "{:>8.1} ms",
+                    to_ms(secret_retrieval_latency(source, n, &costs))
+                )
+            })
             .collect();
         body.push_str(&format!("  {:<15} {}\n", source.label(), row.join(" ")));
     }
@@ -252,14 +256,20 @@ pub fn fig10(budget: Duration) -> Report {
         native.increment().expect("increment");
     });
     native.cleanup();
-    body.push_str(&format!("  file (native)        : {:>12}\n", fmt_rate(native_rate)));
+    body.push_str(&format!(
+        "  file (native)        : {:>12}\n",
+        fmt_rate(native_rate)
+    ));
 
     // (c) In-enclave memory-mapped file (SGX, unencrypted).
     let mut mem = MemFileCounter::new();
     let mem_rate = ops_per_sec(budget, || {
         mem.increment();
     });
-    body.push_str(&format!("  file (SGX)           : {:>12}\n", fmt_rate(mem_rate)));
+    body.push_str(&format!(
+        "  file (SGX)           : {:>12}\n",
+        fmt_rate(mem_rate)
+    ));
 
     // (d) + encrypted file system (metadata write-back caching, as SCONE).
     let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([6; 32]));
@@ -268,7 +278,10 @@ pub fn fig10(budget: Duration) -> Report {
     let enc_rate = ops_per_sec(budget, || {
         shielded.increment().expect("increment");
     });
-    body.push_str(&format!("  file (+encrypted FS) : {:>12}\n", fmt_rate(enc_rate)));
+    body.push_str(&format!(
+        "  file (+encrypted FS) : {:>12}\n",
+        fmt_rate(enc_rate)
+    ));
 
     // (e) + PALÆMON strict mode: every increment pushes the tag.
     let (mut palaemon, session) = tag_session();
@@ -281,11 +294,13 @@ pub fn fig10(budget: Duration) -> Report {
             .push_tag(session, "data", strict_inner.tag(), TagEvent::FileClose)
             .expect("push tag");
     });
-    body.push_str(&format!("  file (+Palaemon)     : {:>12}\n", fmt_rate(strict_rate)));
+    body.push_str(&format!(
+        "  file (+Palaemon)     : {:>12}\n",
+        fmt_rate(strict_rate)
+    ));
 
-    let orders = (native_rate.min(enc_rate).min(strict_rate)
-        / modelled_throughput_per_sec())
-    .log10();
+    let orders =
+        (native_rate.min(enc_rate).min(strict_rate) / modelled_throughput_per_sec()).log10();
     body.push_str(&format!(
         "  => file-based counters beat the platform counter by ~10^{orders:.1}\n"
     ));
@@ -310,7 +325,9 @@ fn tag_session() -> (Palaemon, palaemon_core::tms::SessionId) {
     ))
     .expect("policy");
     let owner = SigningKey::from_seed(b"owner").verifying_key();
-    palaemon.create_policy(&owner, policy, None, &[]).expect("create");
+    palaemon
+        .create_policy(&owner, policy, None, &[])
+        .expect("create");
     let binding = [0u8; 64];
     let report = create_report(&platform, mre, binding);
     let quote = quote_report(&platform, &report).expect("quote");
@@ -341,7 +358,9 @@ pub fn fig11(iters: u64) -> Report {
     ))
     .expect("policy");
     let owner = SigningKey::from_seed(b"owner").verifying_key();
-    palaemon.create_policy(&owner, policy, None, &[]).expect("create");
+    palaemon
+        .create_policy(&owner, policy, None, &[])
+        .expect("create");
     let binding = [0u8; 64];
     let report = create_report(&platform, mre, binding);
     let quote = quote_report(&platform, &report).expect("quote");
@@ -382,7 +401,8 @@ pub fn fig11(iters: u64) -> Report {
     ten[100..100 + marker.len()].copy_from_slice(marker);
 
     // Plain file baseline: real file read.
-    let plain_path = std::env::temp_dir().join(format!("palaemon-fig11-{}.plain", std::process::id()));
+    let plain_path =
+        std::env::temp_dir().join(format!("palaemon-fig11-{}.plain", std::process::id()));
     std::fs::write(&plain_path, &template).expect("write");
     let plain_ns = mean_latency_ns(iters, || {
         std::hint::black_box(std::fs::read(&plain_path).expect("read"));
@@ -441,14 +461,19 @@ fn approval_service_ns(palaemon: bool, tls: bool, model: &CostModel) -> u64 {
         pages_touched: 8,
         hot_set_bytes: 32 << 20,
     };
-    let mode = if palaemon { SgxMode::Hw } else { SgxMode::Native };
+    let mode = if palaemon {
+        SgxMode::Hw
+    } else {
+        SgxMode::Native
+    };
     model.service_time_ns(mode, &profile)
 }
 
 /// Fig. 13: approval service throughput/latency and geo deployments.
 pub fn fig13() -> Report {
     let model = CostModel::default_patched();
-    let mut body = String::from("  rack deployment (open loop):   [paper: ~210 req/s for Palaemon w/ TLS]\n");
+    let mut body =
+        String::from("  rack deployment (open loop):   [paper: ~210 req/s for Palaemon w/ TLS]\n");
     for (palaemon, tls, label) in [
         (false, false, "Native w/o TLS"),
         (false, true, "Native w/ TLS"),
@@ -464,16 +489,14 @@ pub fn fig13() -> Report {
             77,
         ));
     }
-    body.push_str("  geographical deployments (response latency, Pal. w/ TLS):   [paper: up to ~1.36 s]\n");
+    body.push_str(
+        "  geographical deployments (response latency, Pal. w/ TLS):   [paper: up to ~1.36 s]\n",
+    );
     let svc = approval_service_ns(true, true, &model);
     for d in Deployment::ALL {
         let link = d.link();
         let total = link.connect_tls_request(true, 2_500, 2_048, 512, svc);
-        body.push_str(&format!(
-            "    {:<14} {:>9.1} ms\n",
-            d.label(),
-            to_ms(total)
-        ));
+        body.push_str(&format!("    {:<14} {:>9.1} ms\n", d.label(), to_ms(total)));
     }
     Report {
         id: "fig13",
@@ -489,7 +512,8 @@ pub fn fig13() -> Report {
 /// Fig. 14: Barbican variants under two microcode levels.
 pub fn fig14() -> Report {
     use palaemon_services::kms::{barbican_service_time_ns, BarbicanVariant};
-    let mut body = String::from("  [paper: ~30 req/s scale; ~30% drop with post-Foreshadow microcode]\n");
+    let mut body =
+        String::from("  [paper: ~30 req/s scale; ~30% drop with post-Foreshadow microcode]\n");
     for (mc, mc_label) in [
         (Microcode::PreSpectre, "pre-Spectre (0x58)"),
         (Microcode::PostForeshadow, "post-Foreshadow (0x8e)"),
@@ -526,7 +550,13 @@ pub fn fig15() -> Report {
         (SgxMode::Hw, "Palaemon HW"),
     ] {
         let svc = vault_service_time_ns(mode, &model);
-        body.push_str(&throughput_latency_rows(label, svc, 8, &[0.4, 0.8, 1.02], 99));
+        body.push_str(&throughput_latency_rows(
+            label,
+            svc,
+            8,
+            &[0.4, 0.8, 1.02],
+            99,
+        ));
         body.push_str(&format!(
             "    -> {:.1}% of native capacity\n",
             native as f64 / svc as f64 * 100.0
@@ -551,7 +581,13 @@ pub fn fig16() -> Report {
         (SgxMode::Hw, "Palaemon HW"),
     ] {
         let svc = service_time_ns(mode, &model);
-        body.push_str(&throughput_latency_rows(label, svc, 8, &[0.4, 0.8, 1.02], 111));
+        body.push_str(&throughput_latency_rows(
+            label,
+            svc,
+            8,
+            &[0.4, 0.8, 1.02],
+            111,
+        ));
         body.push_str(&format!(
             "    -> {:.1}% of native capacity\n",
             native as f64 / svc as f64 * 100.0
@@ -773,14 +809,7 @@ mod tests {
         // orders of magnitude (paper: 5; release builds here reach 4+;
         // unoptimised debug builds of the crypto substrate still give >2.5).
         assert!(r.body.contains("10^"), "{}", r.body);
-        let exp: f64 = r
-            .body
-            .split("10^")
-            .nth(1)
-            .unwrap()
-            .trim()
-            .parse()
-            .unwrap();
+        let exp: f64 = r.body.split("10^").nth(1).unwrap().trim().parse().unwrap();
         assert!(exp >= 2.5, "orders = {exp}");
     }
 
@@ -818,7 +847,18 @@ mod tests {
 
     #[test]
     fn virtual_time_reports_render() {
-        for r in [fig8(), fig12(), fig13(), fig14(), fig15(), fig16(), fig17a(), fig17bc(), fig17d(), usecase()] {
+        for r in [
+            fig8(),
+            fig12(),
+            fig13(),
+            fig14(),
+            fig15(),
+            fig16(),
+            fig17a(),
+            fig17bc(),
+            fig17d(),
+            usecase(),
+        ] {
             assert!(!r.body.is_empty(), "{}", r.id);
         }
     }

@@ -5,7 +5,7 @@
 //! paper's presentation. The `paper-report` binary prints them; the
 //! Criterion benches under `benches/` cover the CPU-bound micro-benchmarks.
 //!
-//! Time domains (see `DESIGN.md`): CPU-bound experiments measure real
+//! Time domains (see `README.md`): CPU-bound experiments measure real
 //! wall-clock work; network/queueing experiments run in deterministic
 //! virtual time.
 

@@ -302,6 +302,9 @@ mod tests {
         assert!(dc > local);
         assert!(remote > dc * 5, "WAN TLS handshake must dominate");
         let remote_ms = to_ms(remote);
-        assert!((500.0..1_500.0).contains(&remote_ms), "remote = {remote_ms} ms");
+        assert!(
+            (500.0..1_500.0).contains(&remote_ms),
+            "remote = {remote_ms} ms"
+        );
     }
 }

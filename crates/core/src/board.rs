@@ -235,7 +235,11 @@ pub struct BoardOutcome {
 /// * a member voted twice;
 /// * a veto member rejected; or
 /// * fewer than `threshold` members approved.
-pub fn evaluate(board: &BoardSpec, request: &ApprovalRequest, votes: &[Vote]) -> Result<BoardOutcome> {
+pub fn evaluate(
+    board: &BoardSpec,
+    request: &ApprovalRequest,
+    votes: &[Vote],
+) -> Result<BoardOutcome> {
     let mut approvals = Vec::new();
     let mut rejections = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
@@ -246,7 +250,10 @@ pub fn evaluate(board: &BoardSpec, request: &ApprovalRequest, votes: &[Vote]) ->
             .iter()
             .find(|m| m.id == vote.member_id)
             .ok_or_else(|| {
-                PalaemonError::BoardRejected(format!("vote from unknown member '{}'", vote.member_id))
+                PalaemonError::BoardRejected(format!(
+                    "vote from unknown member '{}'",
+                    vote.member_id
+                ))
             })?;
         if !seen.insert(&vote.member_id) {
             return Err(PalaemonError::BoardRejected(format!(
@@ -396,7 +403,7 @@ mod tests {
             policy_digest: Digest::from_bytes([8; 32]),
             ..req1.clone()
         };
-        assert!(evaluate(&board, &req1, &[vote.clone()]).is_ok());
+        assert!(evaluate(&board, &req1, std::slice::from_ref(&vote)).is_ok());
         assert!(evaluate(&board, &req2, &[vote]).is_err());
     }
 
@@ -448,8 +455,7 @@ mod tests {
         let s = Stakeholder::from_seed("m0", b"seed-0");
         let board = board_of(std::slice::from_ref(&s), 1, &[]);
         let req = request();
-        let mut services: Vec<Box<dyn ApprovalService>> =
-            vec![Box::new(AutoApprover::new(s))];
+        let mut services: Vec<Box<dyn ApprovalService>> = vec![Box::new(AutoApprover::new(s))];
         let votes = collect_votes(&mut services, &req);
         assert!(evaluate(&board, &req, &votes).is_ok());
     }

@@ -279,7 +279,12 @@ mod tests {
         let instance = SigningKey::from_seed(b"instance");
         let quote = instance_quote(&platform, mre(1), instance.verifying_key());
         let cert = ca
-            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 10)
+            .issue_for_instance(
+                &quote,
+                &platform.qe_verifying_key(),
+                instance.verifying_key(),
+                10,
+            )
             .unwrap();
         verify_instance_cert(&cert, ca.root_certificate(), 100, &[]).unwrap();
         verify_instance_cert(&cert, ca.root_certificate(), 100, &[mre(1)]).unwrap();
@@ -292,7 +297,12 @@ mod tests {
         let instance = SigningKey::from_seed(b"instance");
         let quote = instance_quote(&platform, mre(9), instance.verifying_key());
         assert!(ca
-            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 10)
+            .issue_for_instance(
+                &quote,
+                &platform.qe_verifying_key(),
+                instance.verifying_key(),
+                10
+            )
             .is_err());
     }
 
@@ -305,7 +315,12 @@ mod tests {
         // Quote binds `other`, but the CA is asked to certify `instance`.
         let quote = instance_quote(&platform, mre(1), other.verifying_key());
         assert!(ca
-            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 10)
+            .issue_for_instance(
+                &quote,
+                &platform.qe_verifying_key(),
+                instance.verifying_key(),
+                10
+            )
             .is_err());
     }
 
@@ -317,7 +332,12 @@ mod tests {
         let instance = SigningKey::from_seed(b"instance");
         let quote = instance_quote(&platform, mre(1), instance.verifying_key());
         let cert = ca
-            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 0)
+            .issue_for_instance(
+                &quote,
+                &platform.qe_verifying_key(),
+                instance.verifying_key(),
+                0,
+            )
             .unwrap();
         assert!(verify_instance_cert(&cert, ca.root_certificate(), 500, &[]).is_ok());
         assert!(verify_instance_cert(&cert, ca.root_certificate(), 1_500, &[]).is_err());
@@ -330,7 +350,12 @@ mod tests {
         let instance = SigningKey::from_seed(b"instance");
         let quote = instance_quote(&platform, mre(1), instance.verifying_key());
         let cert = ca
-            .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 0)
+            .issue_for_instance(
+                &quote,
+                &platform.qe_verifying_key(),
+                instance.verifying_key(),
+                0,
+            )
             .unwrap();
         // Client only trusts mre(7) — e.g. an older deployment.
         assert!(verify_instance_cert(&cert, ca.root_certificate(), 10, &[mre(7)]).is_err());

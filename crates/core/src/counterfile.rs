@@ -95,10 +95,7 @@ impl MemFileCounter {
     /// Increments with a full store read/write round trip.
     pub fn increment(&mut self) -> u64 {
         let raw = shielded_fs::store::BlockStore::get(&self.store, "counter").unwrap_or_default();
-        let mut v = raw
-            .try_into()
-            .map(u64::from_be_bytes)
-            .unwrap_or(self.value);
+        let mut v = raw.try_into().map(u64::from_be_bytes).unwrap_or(self.value);
         v += 1;
         shielded_fs::store::BlockStore::put(&self.store, "counter", v.to_be_bytes().to_vec());
         self.value = v;
@@ -226,6 +223,16 @@ mod tests {
     }
 
     #[test]
+    fn shielded_counter_increment_on_corrupt_length_fails() {
+        let fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
+        let mut c = ShieldedCounter::create(fs).unwrap();
+        c.increment().unwrap();
+        // A truncated counter file must surface as an error, not a reset.
+        c.fs.write("/counter", &[1, 2, 3]).unwrap();
+        assert!(matches!(c.increment(), Err(PalaemonError::Fs(_))));
+    }
+
+    #[test]
     fn shielded_counter_rollback_detected_via_tag() {
         let store = MemStore::new();
         let key = AeadKey::from_bytes([1; 32]);
@@ -240,5 +247,162 @@ mod tests {
         // Remounting with the fresh expected tag detects the rollback.
         let err = ShieldedFs::load(Box::new(store), key, Some(fresh_tag)).unwrap_err();
         assert!(matches!(err, shielded_fs::FsError::RollbackDetected { .. }));
+    }
+}
+
+/// Edge cases of the Fig. 6 version/monotonic-counter protocol that guards
+/// PALÆMON's own database (the protocol the file counters above lean on:
+/// they are only safe because *this* check protects the tag store).
+#[cfg(test)]
+mod fig6_edge_tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shielded_fs::store::{BlockStore, MemStore};
+    use tee_sim::platform::{Microcode, Platform};
+
+    use crate::error::PalaemonError;
+    use crate::instance::{shutdown_instance, start_instance, StartupInfo, VERSION_KEY};
+    use crate::tms::Palaemon;
+    use palaemon_crypto::Digest;
+
+    const MRE: [u8; 32] = [0xEE; 32];
+    const CTR: u32 = 7;
+
+    fn start(
+        platform: &Platform,
+        store: &MemStore,
+        counter_id: u32,
+        rng: &mut StdRng,
+    ) -> crate::error::Result<(Palaemon, StartupInfo)> {
+        start_instance(
+            platform,
+            Box::new(store.clone()),
+            Digest::from_bytes(MRE),
+            counter_id,
+            0,
+            rng,
+        )
+    }
+
+    /// Version file ahead of the counter (`v > c`): the database claims a
+    /// future the counter never saw — e.g. the sealed state was copied next
+    /// to a freshly-created counter. Startup must refuse.
+    #[test]
+    fn version_ahead_of_counter_refused() {
+        let platform = Platform::new("host", Microcode::PostForeshadow);
+        let store = MemStore::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let (mut p, _) = start(&platform, &store, CTR, &mut rng).unwrap();
+        shutdown_instance(&mut p, &platform, CTR).unwrap();
+        drop(p);
+        // v = 1 in the database, but counter id 8 starts fresh at c = 0.
+        let err = start(&platform, &store, CTR + 1, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, PalaemonError::RollbackDetected(ref msg) if msg.contains("version 1")),
+            "v=1 > c=0 must read as rollback, got: {err:?}"
+        );
+    }
+
+    /// Counter ahead of the version file (`c > v`) after a clean shutdown:
+    /// someone else advanced the counter — a concurrent instance or replayed
+    /// old state. Startup must refuse.
+    #[test]
+    fn counter_ahead_of_version_refused() {
+        let platform = Platform::new("host", Microcode::PostForeshadow);
+        let store = MemStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut p, _) = start(&platform, &store, CTR, &mut rng).unwrap();
+        shutdown_instance(&mut p, &platform, CTR).unwrap();
+        drop(p);
+        platform.counters().increment(CTR, 500).unwrap();
+        let err = start(&platform, &store, CTR, &mut rng).unwrap_err();
+        assert!(matches!(err, PalaemonError::RollbackDetected(_)));
+    }
+
+    /// Crash after the startup increment but before any shutdown persist:
+    /// the database trails the counter (`v = 0`, `c = 1`), and per the paper
+    /// a crash is treated as an attack — restart is refused even though the
+    /// instance committed application data in between.
+    #[test]
+    fn crash_between_increment_and_persist_refused() {
+        let platform = Platform::new("host", Microcode::PostForeshadow);
+        let store = MemStore::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let (mut p, info) = start(&platform, &store, CTR, &mut rng).unwrap();
+        assert_eq!(info.counter, 1);
+        // Application data committed mid-lifetime does not persist v.
+        p.db_mut().put(b"tag/app".as_slice(), b"t1".as_slice());
+        p.db_mut().commit().unwrap();
+        drop(p); // crash
+        let err = start(&platform, &store, CTR, &mut rng).unwrap_err();
+        assert!(matches!(err, PalaemonError::RollbackDetected(_)));
+    }
+
+    /// Crash *during* shutdown, after `v = c` was written but before the
+    /// commit reached the untrusted store: durable state still has the old
+    /// version, so the restart must be refused exactly like a plain crash.
+    #[test]
+    fn shutdown_commit_lost_refused() {
+        let platform = Platform::new("host", Microcode::PostForeshadow);
+        let store = MemStore::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let (mut p, _) = start(&platform, &store, CTR, &mut rng).unwrap();
+        // Model the torn shutdown: snapshot the store before the shutdown
+        // commit lands, then restore it — the commit never became durable.
+        let pre_shutdown = store.snapshot();
+        shutdown_instance(&mut p, &platform, CTR).unwrap();
+        drop(p);
+        store.restore(pre_shutdown);
+        let err = start(&platform, &store, CTR, &mut rng).unwrap_err();
+        assert!(matches!(err, PalaemonError::RollbackDetected(_)));
+    }
+
+    /// The version key itself is tamper-evident: flipping bytes of any blob
+    /// in the untrusted store surfaces as a database integrity error, not a
+    /// silently accepted version.
+    #[test]
+    fn tampered_version_record_detected() {
+        let platform = Platform::new("host", Microcode::PostForeshadow);
+        let store = MemStore::new();
+        let mut rng = StdRng::seed_from_u64(14);
+        let (mut p, _) = start(&platform, &store, CTR, &mut rng).unwrap();
+        shutdown_instance(&mut p, &platform, CTR).unwrap();
+        drop(p);
+        for name in store.list() {
+            if name == crate::instance::SEALED_IDENTITY_BLOB {
+                continue;
+            }
+            if let Some(mut blob) = store.get(&name) {
+                if let Some(byte) = blob.last_mut() {
+                    *byte ^= 0xFF;
+                }
+                store.put(&name, blob);
+            }
+        }
+        let err = start(&platform, &store, CTR, &mut rng).unwrap_err();
+        assert!(
+            !matches!(err, PalaemonError::SecondInstance),
+            "tampering must not masquerade as a benign race: {err:?}"
+        );
+    }
+
+    /// After a clean recovery cycle the protocol still admits exactly one
+    /// instance: version and counter advance in lockstep.
+    #[test]
+    fn version_key_tracks_counter_across_restarts() {
+        let platform = Platform::new("host", Microcode::PostForeshadow);
+        let store = MemStore::new();
+        let mut rng = StdRng::seed_from_u64(15);
+        for expected in 1..=5u64 {
+            let (mut p, info) = start(&platform, &store, CTR, &mut rng).unwrap();
+            assert_eq!(info.counter, expected);
+            shutdown_instance(&mut p, &platform, CTR).unwrap();
+            let v = p
+                .db_mut()
+                .get(VERSION_KEY)
+                .map(|raw| u64::from_be_bytes(raw.try_into().unwrap()))
+                .unwrap();
+            assert_eq!(v, expected, "shutdown must persist v = c");
+        }
     }
 }

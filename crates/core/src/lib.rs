@@ -26,7 +26,7 @@
 //!
 //! The substrates live in sibling crates: `tee-sim` (SGX model), `simnet`
 //! (virtual-time network), `shielded-fs` (encrypted FS + tags),
-//! `palaemon-db` (encrypted store). See `DESIGN.md` at the repository root.
+//! `palaemon-db` (encrypted store). See `README.md` at the repository root.
 
 pub mod attest;
 pub mod board;

@@ -228,7 +228,9 @@ fn parse_list(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Value> {
             };
             entries.push((key, first_val));
             // Continuation lines of this map item.
-            if *pos < lines.len() && lines[*pos].indent > indent && !lines[*pos].text.starts_with('-')
+            if *pos < lines.len()
+                && lines[*pos].indent > indent
+                && !lines[*pos].text.starts_with('-')
             {
                 let cont_indent = lines[*pos].indent;
                 if let Value::Map(more) = parse_map(lines, pos, cont_indent)? {

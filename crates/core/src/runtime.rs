@@ -64,6 +64,7 @@ impl RunningApp {
     /// Attestation failures, missing volume stores, and
     /// [`PalaemonError::RollbackDetected`] when a volume's tag does not
     /// match PALÆMON's expected tag.
+    #[allow(clippy::too_many_arguments)]
     pub fn start(
         platform: &Platform,
         palaemon: &mut Palaemon,
@@ -76,7 +77,8 @@ impl RunningApp {
     ) -> Result<RunningApp> {
         // 1. Load the application into an enclave (PALÆMON measures only
         //    code, so the heap does not change MRENCLAVE).
-        let builder = EnclaveBuilder::new(platform.epc().clone()).measure_mode(MeasureMode::CodeOnly);
+        let builder =
+            EnclaveBuilder::new(platform.epc().clone()).measure_mode(MeasureMode::CodeOnly);
         let (enclave, startup) = builder.build(binary, heap_bytes)?;
 
         // 2. Fresh TLS key pair + quote binding it.
@@ -327,7 +329,10 @@ volumes:
         .unwrap();
         let injected = app.read_file("data", "/config.ini").unwrap();
         let content = String::from_utf8(injected).unwrap();
-        assert!(!content.contains("{{db_pass}}"), "variable must be replaced");
+        assert!(
+            !content.contains("{{db_pass}}"),
+            "variable must be replaced"
+        );
         assert!(content.starts_with("password="));
         assert_eq!(content.trim_end().len(), "password=".len() + 12);
         // Non-injection files are served raw.

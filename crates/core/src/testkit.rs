@@ -192,8 +192,11 @@ volumes:
             .unwrap();
         world.create_policy(policy).unwrap();
         let store = MemStore::new();
-        let mut app = world.start_app("v", "app", &[("data", store.clone())]).unwrap();
-        app.write_file(&mut world.palaemon, "data", "/f", b"1").unwrap();
+        let mut app = world
+            .start_app("v", "app", &[("data", store.clone())])
+            .unwrap();
+        app.write_file(&mut world.palaemon, "data", "/f", b"1")
+            .unwrap();
         app.exit(&mut world.palaemon).unwrap();
         let mut app2 = world.start_app("v", "app", &[("data", store)]).unwrap();
         assert_eq!(app2.read_file("data", "/f").unwrap(), b"1");

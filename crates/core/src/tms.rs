@@ -207,7 +207,13 @@ impl Palaemon {
             .pending_approvals
             .remove(&request.nonce)
             .ok_or_else(|| PalaemonError::BoardRejected("unknown or reused nonce".into()))?;
-        if pending != (request.policy_name.clone(), request.action, request.policy_digest) {
+        if pending
+            != (
+                request.policy_name.clone(),
+                request.action,
+                request.policy_digest,
+            )
+        {
             return Err(PalaemonError::BoardRejected(
                 "approval request does not match pending operation".into(),
             ));
@@ -513,10 +519,7 @@ impl Palaemon {
     ) -> Result<AppConfig> {
         // 1. Quote must verify against the registered QE key.
         let qe_key = self.qe_keys.get(&quote.platform_id).ok_or_else(|| {
-            PalaemonError::AttestationFailed(format!(
-                "unknown platform '{}'",
-                quote.platform_id
-            ))
+            PalaemonError::AttestationFailed(format!("unknown platform '{}'", quote.platform_id))
         })?;
         quote
             .verify(qe_key)
@@ -530,9 +533,7 @@ impl Palaemon {
         // 3. Policy and service lookup.
         let policy = self
             .load_policy(policy_name)
-            .map_err(|_| PalaemonError::AttestationFailed(format!(
-                "no policy '{policy_name}'"
-            )))?;
+            .map_err(|_| PalaemonError::AttestationFailed(format!("no policy '{policy_name}'")))?;
         let service = policy
             .service(service_name)
             .ok_or_else(|| {
@@ -601,14 +602,18 @@ impl Palaemon {
                 .get(format!("volkey/{policy_name}/{vol}").as_bytes())
                 .map(|v| v.to_vec())
                 .or_else(|| {
-                    policy.imports.iter().find(|i| &i.volume == vol).and_then(|imp| {
-                        self.db
-                            .get(
-                                format!("export-volume/{policy_name}/{}/{vol}", imp.policy)
-                                    .as_bytes(),
-                            )
-                            .map(|v| v.to_vec())
-                    })
+                    policy
+                        .imports
+                        .iter()
+                        .find(|i| &i.volume == vol)
+                        .and_then(|imp| {
+                            self.db
+                                .get(
+                                    format!("export-volume/{policy_name}/{}/{vol}", imp.policy)
+                                        .as_bytes(),
+                                )
+                                .map(|v| v.to_vec())
+                        })
                 })
                 .ok_or_else(|| {
                     PalaemonError::AttestationFailed(format!("no key for volume '{vol}'"))
@@ -821,7 +826,10 @@ volumes:
         assert_eq!(token.len(), 16);
         // Secret substituted into args and env.
         let token_str = String::from_utf8(token.clone()).unwrap();
-        assert_eq!(config.args, vec!["app".to_string(), "--token".into(), token_str.clone()]);
+        assert_eq!(
+            config.args,
+            vec!["app".to_string(), "--token".into(), token_str.clone()]
+        );
         assert_eq!(config.env.get("API_TOKEN").unwrap(), &token_str);
         // Volume key granted, no expected tag yet.
         assert_eq!(config.volumes.len(), 1);
@@ -842,7 +850,9 @@ volumes:
         let (mut tms, platform, _, _) = setup();
         let binding = [9u8; 64];
         let quote = quote_for(&platform, Digest::from_bytes([0x33; 32]), binding);
-        let err = tms.attest_service(&quote, &binding, "p1", "app").unwrap_err();
+        let err = tms
+            .attest_service(&quote, &binding, "p1", "app")
+            .unwrap_err();
         assert!(matches!(err, PalaemonError::AttestationFailed(_)));
     }
 
@@ -961,23 +971,38 @@ volumes:
             .attest_service(&quote, &binding, "strictp", "app")
             .unwrap();
         // App makes progress but crashes: last push is Sync, not Exit.
-        tms.push_tag(config.session, "state", Digest::from_bytes([1; 32]), TagEvent::Sync)
-            .unwrap();
+        tms.push_tag(
+            config.session,
+            "state",
+            Digest::from_bytes([1; 32]),
+            TagEvent::Sync,
+        )
+        .unwrap();
         let quote2 = quote_for(&platform, mre, binding);
         let err = tms
             .attest_service(&quote2, &binding, "strictp", "app")
             .unwrap_err();
         assert!(matches!(err, PalaemonError::StrictModeViolation(_)));
         // Clean exit unblocks.
-        tms.push_tag(config.session, "state", Digest::from_bytes([2; 32]), TagEvent::Exit)
-            .unwrap();
+        tms.push_tag(
+            config.session,
+            "state",
+            Digest::from_bytes([2; 32]),
+            TagEvent::Exit,
+        )
+        .unwrap();
         let quote3 = quote_for(&platform, mre, binding);
         assert!(tms
             .attest_service(&quote3, &binding, "strictp", "app")
             .is_ok());
         // Admin reset also unblocks after a crash.
-        tms.push_tag(config.session, "state", Digest::from_bytes([3; 32]), TagEvent::Sync)
-            .unwrap();
+        tms.push_tag(
+            config.session,
+            "state",
+            Digest::from_bytes([3; 32]),
+            TagEvent::Sync,
+        )
+        .unwrap();
         let quote4 = quote_for(&platform, mre, binding);
         assert!(tms
             .attest_service(&quote4, &binding, "strictp", "app")

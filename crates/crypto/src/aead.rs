@@ -146,7 +146,10 @@ mod tests {
         let key = AeadKey::from_bytes([9u8; 32]);
         let mut sealed = key.seal(b"n0", b"attack at dawn", b"hdr");
         sealed[0] ^= 1;
-        assert_eq!(key.open(b"n0", &sealed, b"hdr"), Err(CryptoError::TagMismatch));
+        assert_eq!(
+            key.open(b"n0", &sealed, b"hdr"),
+            Err(CryptoError::TagMismatch)
+        );
     }
 
     #[test]
@@ -162,7 +165,10 @@ mod tests {
     fn wrong_aad_detected() {
         let key = AeadKey::from_bytes([9u8; 32]);
         let sealed = key.seal(b"n0", b"msg", b"aad1");
-        assert_eq!(key.open(b"n0", &sealed, b"aad2"), Err(CryptoError::TagMismatch));
+        assert_eq!(
+            key.open(b"n0", &sealed, b"aad2"),
+            Err(CryptoError::TagMismatch)
+        );
     }
 
     #[test]

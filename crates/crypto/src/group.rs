@@ -118,13 +118,13 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == small {
             return true;
         }
-        if n % small == 0 {
+        if n.is_multiple_of(small) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -213,7 +213,7 @@ mod tests {
     fn scalar_from_u64_in_range() {
         for x in [0u64, 1, Q - 2, Q - 1, Q, u64::MAX] {
             let s = scalar_from_u64(x);
-            assert!(s >= 1 && s < Q);
+            assert!((1..Q).contains(&s));
         }
     }
 

@@ -64,12 +64,18 @@ mod tests {
 
     #[test]
     fn info_separates_outputs() {
-        assert_ne!(derive(b"s", b"ikm", b"a", 32), derive(b"s", b"ikm", b"b", 32));
+        assert_ne!(
+            derive(b"s", b"ikm", b"a", 32),
+            derive(b"s", b"ikm", b"b", 32)
+        );
     }
 
     #[test]
     fn salt_separates_outputs() {
-        assert_ne!(derive(b"s1", b"ikm", b"i", 32), derive(b"s2", b"ikm", b"i", 32));
+        assert_ne!(
+            derive(b"s1", b"ikm", b"i", 32),
+            derive(b"s2", b"ikm", b"i", 32)
+        );
     }
 
     #[test]
@@ -92,7 +98,8 @@ mod tests {
         let salt: Vec<u8> = (0x00..=0x0c).collect();
         let info: Vec<u8> = (0xf0..=0xf9).collect();
         let okm = derive(&salt, &ikm, &info, 42);
-        let expected = "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865";
+        let expected =
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865";
         let hex: String = okm.iter().map(|b| format!("{b:02x}")).collect();
         assert_eq!(hex, expected);
     }

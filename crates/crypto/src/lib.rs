@@ -11,7 +11,7 @@
 //!   (Schnorr signatures) and [`dh`] (Diffie–Hellman) operate over a 61-bit
 //!   safe-prime group. The *protocol structure* (key separation, what gets
 //!   signed, channel binding) is faithful to a production deployment, but the
-//!   group is far too small to be secure. See `DESIGN.md` for the rationale;
+//!   group is far too small to be secure. See `README.md` for the rationale;
 //!   swap in a production curve before using any of this outside the
 //!   simulation.
 //! * [`cert`] — a minimal X.509-like certificate with chain verification,

@@ -147,7 +147,7 @@ impl MerkleTree {
         let mut level: Vec<Digest> = self.leaves.clone();
         let mut idx = index;
         while level.len() > 1 {
-            let sib = if idx % 2 == 0 {
+            let sib = if idx.is_multiple_of(2) {
                 level.get(idx + 1).copied()
             } else {
                 Some(level[idx - 1])
@@ -173,7 +173,7 @@ impl MerkleTree {
         let mut idx = proof.index;
         for sib in &proof.siblings {
             acc = match sib {
-                Some(s) if idx % 2 == 0 => node_hash(&acc, s),
+                Some(s) if idx.is_multiple_of(2) => node_hash(&acc, s),
                 Some(s) => node_hash(s, &acc),
                 None => acc,
             };

@@ -155,12 +155,7 @@ impl VerifyingKey {
 }
 
 fn challenge(r: u64, public: u64, msg: &[u8]) -> u64 {
-    let d = Sha256::digest_parts(&[
-        SIG_DOMAIN,
-        &r.to_be_bytes(),
-        &public.to_be_bytes(),
-        msg,
-    ]);
+    let d = Sha256::digest_parts(&[SIG_DOMAIN, &r.to_be_bytes(), &public.to_be_bytes(), msg]);
     scalar_from_u64(u64::from_be_bytes(d.as_bytes()[..8].try_into().unwrap()))
 }
 

@@ -1,0 +1,195 @@
+//! Property tests for the cryptographic substrate: AEAD round-trips, HKDF /
+//! HMAC algebraic invariants plus the remaining RFC vectors, and Merkle
+//! proof soundness under tampering.
+//!
+//! All generation is seeded deterministically per case index (see the
+//! workspace `proptest` stand-in), so a failing case reproduces on every
+//! run with no persistence file.
+
+use proptest::prelude::*;
+
+use palaemon_crypto::aead::AeadKey;
+use palaemon_crypto::hkdf;
+use palaemon_crypto::hmac::{hmac_sha256, verify_hmac_sha256, HmacSha256};
+use palaemon_crypto::merkle::MerkleTree;
+use palaemon_crypto::Digest;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sealing then opening with the same key/nonce/AAD is the identity.
+    #[test]
+    fn aead_seal_open_roundtrip(key in any::<[u8; 32]>(),
+                                nonce_seed in proptest::collection::vec(any::<u8>(), 0..48),
+                                plaintext in proptest::collection::vec(any::<u8>(), 0..1024),
+                                aad in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let k = AeadKey::from_bytes(key);
+        let sealed = k.seal(&nonce_seed, &plaintext, &aad);
+        prop_assert_eq!(k.open(&nonce_seed, &sealed, &aad).unwrap(), plaintext);
+    }
+
+    /// A different key, nonce seed or AAD must all fail to open.
+    #[test]
+    fn aead_binds_key_nonce_and_aad(key in any::<[u8; 32]>(),
+                                    plaintext in proptest::collection::vec(any::<u8>(), 0..256),
+                                    flip in any::<u8>()) {
+        let k = AeadKey::from_bytes(key);
+        let sealed = k.seal(b"nonce", &plaintext, b"aad");
+
+        let mut wrong_key = key;
+        wrong_key[(flip as usize) % 32] ^= 1;
+        prop_assert!(AeadKey::from_bytes(wrong_key).open(b"nonce", &sealed, b"aad").is_err());
+        prop_assert!(k.open(b"other-nonce", &sealed, b"aad").is_err());
+        prop_assert!(k.open(b"nonce", &sealed, b"other-aad").is_err());
+    }
+
+    /// Any single-bit corruption of the sealed blob is detected.
+    #[test]
+    fn aead_bit_tamper_detected(key in any::<[u8; 32]>(),
+                                plaintext in proptest::collection::vec(any::<u8>(), 1..256),
+                                pos in any::<usize>(),
+                                bit in 0u8..8) {
+        let k = AeadKey::from_bytes(key);
+        let mut sealed = k.seal(b"n", &plaintext, b"");
+        let idx = pos % sealed.len();
+        sealed[idx] ^= 1 << bit;
+        prop_assert!(k.open(b"n", &sealed, b"").is_err());
+    }
+
+    /// HKDF expand output for a shorter length is a prefix of the output
+    /// for a longer length (streams are consistent), and `derive` equals
+    /// extract-then-expand.
+    #[test]
+    fn hkdf_expand_prefix_consistent(salt in proptest::collection::vec(any::<u8>(), 0..32),
+                                     ikm in proptest::collection::vec(any::<u8>(), 1..64),
+                                     info in proptest::collection::vec(any::<u8>(), 0..32),
+                                     short in 1usize..64,
+                                     extra in 0usize..64) {
+        let prk = hkdf::extract(&salt, &ikm);
+        let long = hkdf::expand(&prk, &info, short + extra);
+        let short_out = hkdf::expand(&prk, &info, short);
+        prop_assert_eq!(&long[..short], &short_out[..]);
+        prop_assert_eq!(hkdf::derive(&salt, &ikm, &info, short), short_out);
+        let key32 = hkdf::derive_key32(&salt, &ikm, &info);
+        prop_assert_eq!(key32.to_vec(), hkdf::derive(&salt, &ikm, &info, 32));
+    }
+
+    /// Distinct info labels separate derived keys (no cross-context reuse).
+    #[test]
+    fn hkdf_info_separates_keys(ikm in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let a = hkdf::derive_key32(b"salt", &ikm, b"context-a");
+        let b = hkdf::derive_key32(b"salt", &ikm, b"context-b");
+        prop_assert_ne!(a, b);
+    }
+
+    /// Streaming HMAC equals one-shot HMAC for arbitrary chunkings, and
+    /// verification rejects any tampered tag.
+    #[test]
+    fn hmac_streaming_and_verify(key in proptest::collection::vec(any::<u8>(), 0..96),
+                                 msg in proptest::collection::vec(any::<u8>(), 0..1024),
+                                 cut in any::<usize>(),
+                                 flip in any::<u8>()) {
+        let oneshot = hmac_sha256(&key, &msg);
+        let mut streaming = HmacSha256::new(&key);
+        let at = cut % (msg.len() + 1);
+        streaming.update(&msg[..at]);
+        streaming.update(&msg[at..]);
+        prop_assert_eq!(streaming.finalize(), oneshot);
+
+        prop_assert!(verify_hmac_sha256(&key, &msg, &oneshot));
+        let mut bad = *oneshot.as_bytes();
+        bad[(flip as usize) % 32] ^= 1;
+        prop_assert!(!verify_hmac_sha256(&key, &msg, &Digest::from_bytes(bad)));
+    }
+
+    /// Every leaf proves against the root; a tampered value, a proof for a
+    /// different index, and a foreign root must all fail.
+    #[test]
+    fn merkle_proof_soundness(values in proptest::collection::vec(
+                                  proptest::collection::vec(any::<u8>(), 0..48), 1..32),
+                              pick in any::<usize>()) {
+        let tree = MerkleTree::from_values(&values);
+        let root = tree.root();
+        let i = pick % values.len();
+        let proof = tree.prove(i);
+
+        prop_assert!(MerkleTree::verify(&root, &values[i], &proof));
+
+        let mut tampered = values[i].clone();
+        tampered.push(0x5A);
+        prop_assert!(!MerkleTree::verify(&root, &tampered, &proof));
+
+        let mut other_tree_values = values.clone();
+        other_tree_values[i].push(0xA5);
+        let foreign_root = MerkleTree::from_values(&other_tree_values).root();
+        prop_assert!(!MerkleTree::verify(&foreign_root, &values[i], &proof));
+    }
+
+    /// Updating one leaf changes the root; reverting it restores the root.
+    #[test]
+    fn merkle_update_revert(values in proptest::collection::vec(
+                                proptest::collection::vec(any::<u8>(), 0..16), 1..16),
+                            pick in any::<usize>()) {
+        let mut tree = MerkleTree::from_values(&values);
+        let original = tree.root();
+        let i = pick % values.len();
+        let mut changed = values[i].clone();
+        changed.push(0xEE);
+        tree.update(i, &changed);
+        prop_assert_ne!(tree.root(), original);
+        tree.update(i, &values[i]);
+        prop_assert_eq!(tree.root(), original);
+    }
+}
+
+// The seed crate covers RFC 5869 case 1 and RFC 4231 cases 1–2 in its unit
+// tests; the remaining long/edge vectors live here.
+
+#[test]
+fn hkdf_rfc5869_case2_long_inputs() {
+    let ikm: Vec<u8> = (0x00..=0x4f).collect();
+    let salt: Vec<u8> = (0x60..=0xaf).collect();
+    let info: Vec<u8> = (0xb0..=0xff).collect();
+    let okm = hkdf::derive(&salt, &ikm, &info, 82);
+    assert_eq!(
+        hex(&okm),
+        "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+         59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+         cc30c58179ec3e87c14c01d5c1f3434f1d87"
+    );
+}
+
+#[test]
+fn hkdf_rfc5869_case3_empty_salt_and_info() {
+    let ikm = [0x0bu8; 22];
+    let okm = hkdf::derive(&[], &ikm, &[], 42);
+    assert_eq!(
+        hex(&okm),
+        "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+         9d201395faa4b61a96c8"
+    );
+}
+
+#[test]
+fn hmac_rfc4231_case3_block_filling_key() {
+    let key = [0xaau8; 20];
+    let msg = [0xddu8; 50];
+    assert_eq!(
+        hex(hmac_sha256(&key, &msg).as_bytes()),
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    );
+}
+
+#[test]
+fn hmac_rfc4231_case6_oversized_key() {
+    let key = [0xaau8; 131];
+    let msg = b"Test Using Larger Than Block-Size Key - Hash Key First";
+    assert_eq!(
+        hex(hmac_sha256(&key, msg).as_bytes()),
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    );
+}

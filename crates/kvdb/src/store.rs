@@ -61,7 +61,9 @@ impl Meta {
         let mut parse = || -> palaemon_crypto::Result<Meta> {
             let magic = d.get_str()?;
             if magic != "palaemon-db.meta.v1" {
-                return Err(palaemon_crypto::CryptoError::Decode("bad meta magic".into()));
+                return Err(palaemon_crypto::CryptoError::Decode(
+                    "bad meta magic".into(),
+                ));
             }
             let generation = d.get_u64()?;
             let first_seq = d.get_u64()?;
@@ -503,7 +505,10 @@ mod tests {
     fn checkpoint_compacts_and_preserves() {
         let (store, mut db) = fresh();
         for i in 0..50u32 {
-            db.put(format!("key-{i}").into_bytes(), format!("val-{i}").into_bytes());
+            db.put(
+                format!("key-{i}").into_bytes(),
+                format!("val-{i}").into_bytes(),
+            );
             db.commit().unwrap();
         }
         assert_eq!(db.stats().wal_batches, 50);

@@ -27,16 +27,96 @@ pub struct CatalogEntry {
 
 /// The Table I rows, verbatim from the paper.
 pub const TABLE_I: [CatalogEntry; 10] = [
-    CatalogEntry { program: "Consul", version: "1.2.3", language: "Go", args: false, env: true, files: true, evaluated: false },
-    CatalogEntry { program: "MariaDB", version: "10.1.26", language: "C/C++", args: true, env: true, files: true, evaluated: true },
-    CatalogEntry { program: "Memcached", version: "1.5.6", language: "C", args: false, env: false, files: false, evaluated: true },
-    CatalogEntry { program: "MongoDB", version: "4.0", language: "C++", args: true, env: true, files: true, evaluated: false },
-    CatalogEntry { program: "Nginx", version: "2.4", language: "C", args: true, env: true, files: true, evaluated: true },
-    CatalogEntry { program: "PostgreSQL", version: "10.5", language: "C", args: true, env: true, files: true, evaluated: false },
-    CatalogEntry { program: "Redis", version: "4.0.11", language: "C", args: false, env: false, files: true, evaluated: false },
-    CatalogEntry { program: "Vault", version: "0.8.1", language: "Go", args: true, env: false, files: true, evaluated: true },
-    CatalogEntry { program: "WordPress", version: "4.9.x", language: "PHP", args: false, env: false, files: true, evaluated: false },
-    CatalogEntry { program: "ZooKeeper", version: "3.4.11", language: "Java", args: false, env: false, files: true, evaluated: true },
+    CatalogEntry {
+        program: "Consul",
+        version: "1.2.3",
+        language: "Go",
+        args: false,
+        env: true,
+        files: true,
+        evaluated: false,
+    },
+    CatalogEntry {
+        program: "MariaDB",
+        version: "10.1.26",
+        language: "C/C++",
+        args: true,
+        env: true,
+        files: true,
+        evaluated: true,
+    },
+    CatalogEntry {
+        program: "Memcached",
+        version: "1.5.6",
+        language: "C",
+        args: false,
+        env: false,
+        files: false,
+        evaluated: true,
+    },
+    CatalogEntry {
+        program: "MongoDB",
+        version: "4.0",
+        language: "C++",
+        args: true,
+        env: true,
+        files: true,
+        evaluated: false,
+    },
+    CatalogEntry {
+        program: "Nginx",
+        version: "2.4",
+        language: "C",
+        args: true,
+        env: true,
+        files: true,
+        evaluated: true,
+    },
+    CatalogEntry {
+        program: "PostgreSQL",
+        version: "10.5",
+        language: "C",
+        args: true,
+        env: true,
+        files: true,
+        evaluated: false,
+    },
+    CatalogEntry {
+        program: "Redis",
+        version: "4.0.11",
+        language: "C",
+        args: false,
+        env: false,
+        files: true,
+        evaluated: false,
+    },
+    CatalogEntry {
+        program: "Vault",
+        version: "0.8.1",
+        language: "Go",
+        args: true,
+        env: false,
+        files: true,
+        evaluated: true,
+    },
+    CatalogEntry {
+        program: "WordPress",
+        version: "4.9.x",
+        language: "PHP",
+        args: false,
+        env: false,
+        files: true,
+        evaluated: false,
+    },
+    CatalogEntry {
+        program: "ZooKeeper",
+        version: "3.4.11",
+        language: "Java",
+        args: false,
+        env: false,
+        files: true,
+        evaluated: true,
+    },
 ];
 
 /// Looks up a catalog row by program name (case-insensitive).

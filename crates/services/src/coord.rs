@@ -286,11 +286,7 @@ impl Cluster {
     /// True when all **up** replicas have identical state (used by tests
     /// and the property suite).
     pub fn replicas_consistent(&self) -> bool {
-        let mut states = self
-            .replicas
-            .iter()
-            .filter(|r| r.up)
-            .map(|r| &r.state);
+        let mut states = self.replicas.iter().filter(|r| r.up).map(|r| &r.state);
         match states.next() {
             Some(first) => states.all(|s| s == first),
             None => true,
@@ -381,7 +377,10 @@ mod tests {
     fn create_duplicate_rejected() {
         let mut c = Cluster::new(3);
         c.create("/a", b"1").unwrap();
-        assert!(matches!(c.create("/a", b"2"), Err(CoordError::NodeExists(_))));
+        assert!(matches!(
+            c.create("/a", b"2"),
+            Err(CoordError::NodeExists(_))
+        ));
     }
 
     #[test]
@@ -475,11 +474,17 @@ mod tests {
         let read_native = read_service_time_ns(SgxMode::Native, &model);
         let read_hw = read_service_time_ns(SgxMode::Hw, &model);
         let read_emu = read_service_time_ns(SgxMode::Emu, &model);
-        assert!(read_hw < read_native, "hw {read_hw} vs native {read_native}");
+        assert!(
+            read_hw < read_native,
+            "hw {read_hw} vs native {read_native}"
+        );
         assert!(read_emu < read_native);
         // Writes: native wins (Fig. 17c) — consensus path in the enclave.
         let write_native = write_service_time_ns(SgxMode::Native, &model);
         let write_hw = write_service_time_ns(SgxMode::Hw, &model);
-        assert!(write_native < write_hw, "native {write_native} vs hw {write_hw}");
+        assert!(
+            write_native < write_hw,
+            "native {write_native} vs hw {write_hw}"
+        );
     }
 }

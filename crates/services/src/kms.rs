@@ -60,10 +60,7 @@ impl std::fmt::Debug for Kms {
 impl Kms {
     /// Creates a KMS over a fresh encrypted database.
     pub fn new(seed: u64) -> Self {
-        let db = Db::create(
-            Box::new(MemStore::new()),
-            AeadKey::from_bytes([0x4B; 32]),
-        );
+        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([0x4B; 32]));
         Kms {
             db,
             tokens: HashMap::new(),
@@ -97,7 +94,8 @@ impl Kms {
     /// [`KmsError::Unauthorized`] or storage failures.
     pub fn put_secret(&mut self, token: &str, path: &str, value: &[u8]) -> Result<(), KmsError> {
         self.auth(token)?;
-        self.db.put(format!("secret/{path}").into_bytes(), value.to_vec());
+        self.db
+            .put(format!("secret/{path}").into_bytes(), value.to_vec());
         self.db
             .commit()
             .map_err(|e| KmsError::Storage(e.to_string()))?;
@@ -242,7 +240,10 @@ mod tests {
         let token = kms.issue_token("alice");
         kms.put_secret(&token, "p", b"v").unwrap();
         assert!(kms.revoke_token(&token));
-        assert_eq!(kms.get_secret(&token, "p").unwrap_err(), KmsError::Unauthorized);
+        assert_eq!(
+            kms.get_secret(&token, "p").unwrap_err(),
+            KmsError::Unauthorized
+        );
     }
 
     #[test]

@@ -145,10 +145,7 @@ impl Model {
         for (i, layer) in self.layers.iter().enumerate() {
             fs.write(&format!("/model/layer-{i}.bin"), &layer.to_bytes())?;
         }
-        fs.write(
-            "/model/meta",
-            &(self.layers.len() as u32).to_be_bytes(),
-        )?;
+        fs.write("/model/meta", &(self.layers.len() as u32).to_be_bytes())?;
         Ok(())
     }
 
@@ -264,7 +261,10 @@ mod tests {
         let native_ms = native / 1e6;
         let pal_ms = pal / 1e6;
         let slowdown = pal / native;
-        assert!((300.0..350.0).contains(&native_ms), "native = {native_ms} ms");
+        assert!(
+            (300.0..350.0).contains(&native_ms),
+            "native = {native_ms} ms"
+        );
         assert!((2.5..5.0).contains(&slowdown), "slowdown = {slowdown}");
         assert!(pal_ms < 1_500.0, "must stay within the 1.5 s budget");
     }

@@ -275,7 +275,12 @@ mod tests {
         // Native monotonically improves (service time falls).
         assert!(native[4] < native[0], "native 512MB must beat 8MB");
         // HW gets WORSE from 128 MB to 512 MB (EPC thrash).
-        assert!(hw[4] > hw[2], "hw 512MB {0} must be slower than 128MB {1}", hw[4], hw[2]);
+        assert!(
+            hw[4] > hw[2],
+            "hw 512MB {0} must be slower than 128MB {1}",
+            hw[4],
+            hw[2]
+        );
         // At small pools both behave similarly (disk-bound).
         let ratio_small = hw[0] as f64 / native[0] as f64;
         assert!(ratio_small < 1.6, "small-pool ratio = {ratio_small}");

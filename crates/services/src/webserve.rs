@@ -121,7 +121,11 @@ impl NginxVariant {
 /// file-encryption overhead dominates the SGX overhead, and that tuning
 /// NGINX's caching would improve it).
 pub fn op_profile(variant: NginxVariant) -> OpProfile {
-    let decrypt_ns = if variant.encrypted_files() { 450_000 } else { 0 };
+    let decrypt_ns = if variant.encrypted_files() {
+        450_000
+    } else {
+        0
+    };
     OpProfile {
         cpu_ns: 240_000 + decrypt_ns,
         syscalls: 8,

@@ -118,10 +118,12 @@ impl DirStore {
         // Blob names are hex digests or simple identifiers; sanitise anyway.
         let safe: String = name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
-                c
-            } else {
-                '_'
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
             })
             .collect();
         self.root.join(safe)
@@ -198,9 +200,7 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
     }
 
     fn put(&self, name: &str, data: Vec<u8>) {
-        let left = self
-            .fuse
-            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        let left = self.fuse.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         if left > 0 {
             self.inner.put(name, data);
         }

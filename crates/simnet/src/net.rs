@@ -213,11 +213,7 @@ mod tests {
 
     #[test]
     fn ias_links_ranked() {
-        assert!(
-            AttestationSite::IasFromEu.link().rtt > AttestationSite::IasFromUs.link().rtt
-        );
-        assert!(
-            AttestationSite::IasFromUs.link().rtt > AttestationSite::PalaemonLocal.link().rtt
-        );
+        assert!(AttestationSite::IasFromEu.link().rtt > AttestationSite::IasFromUs.link().rtt);
+        assert!(AttestationSite::IasFromUs.link().rtt > AttestationSite::PalaemonLocal.link().rtt);
     }
 }

@@ -105,8 +105,7 @@ pub fn open_loop(
     ThroughputPoint {
         offered_rps,
         achieved_rps: completions_in_window as f64 / (duration as f64 / SEC as f64),
-        latency: LatencyStats::from_samples(latencies)
-            .expect("at least one arrival in the window"),
+        latency: LatencyStats::from_samples(latencies).expect("at least one arrival in the window"),
     }
 }
 
@@ -166,7 +165,16 @@ pub fn sweep_open_loop(
     rates
         .iter()
         .enumerate()
-        .map(|(i, &r)| open_loop(r, duration, servers, service, poisson, seed ^ (i as u64) << 32))
+        .map(|(i, &r)| {
+            open_loop(
+                r,
+                duration,
+                servers,
+                service,
+                poisson,
+                seed ^ (i as u64) << 32,
+            )
+        })
         .collect()
 }
 
@@ -183,9 +191,16 @@ pub fn sweep_closed_loop(
     client_counts
         .iter()
         .enumerate()
-        .map(|(i, &c)|
-
-            closed_loop(c, duration, servers, service, think, seed ^ (i as u64) << 32))
+        .map(|(i, &c)| {
+            closed_loop(
+                c,
+                duration,
+                servers,
+                service,
+                think,
+                seed ^ (i as u64) << 32,
+            )
+        })
         .collect()
 }
 
@@ -247,7 +262,11 @@ mod tests {
     fn closed_loop_scales_until_servers_saturate() {
         let svc = ServiceDist::Fixed(MS);
         let c8 = closed_loop(8, 5 * SEC, 8, svc, 0, 5);
-        assert!((c8.achieved_rps - 8000.0).abs() < 400.0, "got {}", c8.achieved_rps);
+        assert!(
+            (c8.achieved_rps - 8000.0).abs() < 400.0,
+            "got {}",
+            c8.achieved_rps
+        );
     }
 
     #[test]

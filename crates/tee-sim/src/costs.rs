@@ -132,8 +132,7 @@ impl CostModel {
                     * self.epc_miss_rate(op.hot_set_bytes)
                     * self.epc_miss_ns as f64) as u64;
                 (op.cpu_ns as f64 * self.hw_cpu_factor) as u64
-                    + u64::from(op.syscalls)
-                        * (self.syscall_ns + self.shield_check_ns + transition)
+                    + u64::from(op.syscalls) * (self.syscall_ns + self.shield_check_ns + transition)
                     + copy_ns
                     + paging
             }
@@ -201,9 +200,7 @@ mod tests {
         let pre = CostModel::for_microcode(Microcode::PreSpectre);
         let post = CostModel::for_microcode(Microcode::PostForeshadow);
         let op = op_kv();
-        assert!(
-            post.service_time_ns(SgxMode::Hw, &op) > pre.service_time_ns(SgxMode::Hw, &op)
-        );
+        assert!(post.service_time_ns(SgxMode::Hw, &op) > pre.service_time_ns(SgxMode::Hw, &op));
         assert_eq!(
             post.service_time_ns(SgxMode::Native, &op),
             pre.service_time_ns(SgxMode::Native, &op)
@@ -249,9 +246,7 @@ mod tests {
             hot_set_bytes: 2_000 << 20,
             ..op_kv()
         };
-        assert!(
-            m.service_time_ns(SgxMode::Hw, &large) > m.service_time_ns(SgxMode::Hw, &small)
-        );
+        assert!(m.service_time_ns(SgxMode::Hw, &large) > m.service_time_ns(SgxMode::Hw, &small));
         assert_eq!(
             m.service_time_ns(SgxMode::Emu, &large),
             m.service_time_ns(SgxMode::Emu, &small)

@@ -17,7 +17,6 @@
 
 use std::time::{Duration, Instant};
 
-
 use palaemon_crypto::sha256::Sha256;
 use palaemon_crypto::Digest;
 
@@ -223,12 +222,8 @@ fn chacha8_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
     state[2] = 0x7962_2d32;
     state[3] = 0x6b20_6574;
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key[i * 4],
-            key[i * 4 + 1],
-            key[i * 4 + 2],
-            key[i * 4 + 3],
-        ]);
+        state[4 + i] =
+            u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
@@ -382,7 +377,9 @@ mod tests {
     #[test]
     fn page_counts_computed() {
         let b = builder(4096);
-        let (e, _) = b.build(&vec![1u8; PAGE_SIZE * 3 + 1], PAGE_SIZE * 5).unwrap();
+        let (e, _) = b
+            .build(&vec![1u8; PAGE_SIZE * 3 + 1], PAGE_SIZE * 5)
+            .unwrap();
         assert_eq!(e.code_pages(), 4);
         assert_eq!(e.heap_pages(), 5);
         assert_eq!(e.size_bytes(), 9 * PAGE_SIZE);

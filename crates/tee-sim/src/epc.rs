@@ -104,7 +104,8 @@ impl EpcAllocator {
             return Err(TeeError::EpcExhausted);
         }
         let mut inner = self.inner.lock();
-        self.lock_hold_counter.fetch_add(n as u64, Ordering::Relaxed);
+        self.lock_hold_counter
+            .fetch_add(n as u64, Ordering::Relaxed);
         let mut evicted = 0usize;
         if inner.free_pages < n {
             evicted = n - inner.free_pages;

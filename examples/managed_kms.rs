@@ -68,14 +68,27 @@ fn main() {
     let quote = quote_report(&platform, &report).expect("quote");
     let cert = governed
         .ca()
-        .issue_for_instance(&quote, &platform.qe_verifying_key(), palaemon.public_key(), 100)
+        .issue_for_instance(
+            &quote,
+            &platform.qe_verifying_key(),
+            palaemon.public_key(),
+            100,
+        )
         .expect("trusted build gets a certificate");
-    println!("CA issued instance certificate (expires at {} ms)", cert.body.not_after);
+    println!(
+        "CA issued instance certificate (expires at {} ms)",
+        cert.body.not_after
+    );
 
     // A client connects over TLS: one cheap certificate check attests the
     // managed instance (no IAS round trip).
-    verify_instance_cert(&cert, governed.ca().root_certificate(), 5_000, &[palaemon_mre])
-        .expect("client attests the instance via TLS");
+    verify_instance_cert(
+        &cert,
+        governed.ca().root_certificate(),
+        5_000,
+        &[palaemon_mre],
+    )
+    .expect("client attests the instance via TLS");
     println!("client attested the managed instance via its TLS certificate");
 
     // A tampered PALÆMON build would never get a certificate:
@@ -84,7 +97,12 @@ fn main() {
     let evil_quote = quote_report(&platform, &evil_report).expect("quote");
     let err = governed
         .ca()
-        .issue_for_instance(&evil_quote, &platform.qe_verifying_key(), palaemon.public_key(), 100)
+        .issue_for_instance(
+            &evil_quote,
+            &platform.qe_verifying_key(),
+            palaemon.public_key(),
+            100,
+        )
         .expect_err("untrusted build");
     println!("tampered build refused by CA: {err}");
 
@@ -94,15 +112,25 @@ fn main() {
     let req = governed.propose_rotation(&new_set);
     let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
     governed
-        .apply_rotation(&req, &votes, new_set, b"ca-v2", 10_000, 365 * 24 * 3600 * 1000)
+        .apply_rotation(
+            &req,
+            &votes,
+            new_set,
+            b"ca-v2",
+            10_000,
+            365 * 24 * 3600 * 1000,
+        )
         .expect("board-approved rotation");
     println!("CA rotated: v2 PALAEMON builds are now certifiable");
 
     // Meanwhile the provider runs a Vault-like KMS hardened by PALÆMON.
     let mut kms = Kms::new(5);
     let token = kms.issue_token("acme-corp");
-    kms.put_secret(&token, "prod/db-password", b"s3cr3t!").expect("stored");
-    let got = kms.get_secret(&token, "prod/db-password").expect("read back");
+    kms.put_secret(&token, "prod/db-password", b"s3cr3t!")
+        .expect("stored");
+    let got = kms
+        .get_secret(&token, "prod/db-password")
+        .expect("read back");
     println!(
         "KMS on the managed instance served a secret ({} bytes, {} audit entries)",
         got.len(),

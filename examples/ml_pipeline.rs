@@ -14,8 +14,8 @@
 
 use palaemon_core::board::{PolicyAction, Stakeholder};
 use palaemon_core::testkit::World;
-use palaemon_services::mlinfer::{provision_demo_model, Model};
 use palaemon_crypto::aead::AeadKey;
+use palaemon_services::mlinfer::{provision_demo_model, Model};
 use shielded_fs::fs::ShieldedFs;
 
 fn main() {
@@ -60,11 +60,10 @@ board:
         .expect("policy parses");
 
     // Creation needs board approval.
-    let request = world.palaemon.begin_approval(
-        "ml_pipeline",
-        PolicyAction::Create,
-        policy.digest(),
-    );
+    let request =
+        world
+            .palaemon
+            .begin_approval("ml_pipeline", PolicyAction::Create, policy.digest());
     let votes = vec![
         software.vote(&request, true),
         model_p.vote(&request, true),
@@ -85,7 +84,10 @@ board:
     let mut app = world
         .start_app("ml_pipeline", "inference", &stores)
         .expect("attested start");
-    println!("inference enclave attested; {} volumes mounted", app.config.volumes.len());
+    println!(
+        "inference enclave attested; {} volumes mounted",
+        app.config.volumes.len()
+    );
 
     // Engine writes the model + an input inside the TEE, then infers.
     let demo = Model::demo();

@@ -10,7 +10,10 @@ fn main() {
     // instance started through the full Fig. 6 protocol (sealed identity,
     // version/counter check, single-instance claim).
     let mut world = World::new(42);
-    println!("PALAEMON instance up; public key = {}", world.palaemon.public_key().to_u64());
+    println!(
+        "PALAEMON instance up; public key = {}",
+        world.palaemon.public_key().to_u64()
+    );
 
     // A security policy: which MRENCLAVE may run, which secrets it gets.
     let policy = world
@@ -35,14 +38,22 @@ secrets:
         )
         .expect("policy parses");
     world.create_policy(policy).expect("policy created");
-    println!("policy 'quickstart' stored ({} policy total)", world.palaemon.policy_count());
+    println!(
+        "policy 'quickstart' stored ({} policy total)",
+        world.palaemon.policy_count()
+    );
 
     // The application starts, is attested (quote → MRENCLAVE check →
     // platform check → TLS-key binding) and receives its configuration.
-    let config = world.attest_app("quickstart", "app").expect("attestation succeeds");
+    let config = world
+        .attest_app("quickstart", "app")
+        .expect("attestation succeeds");
     println!("attested session: {:?}", config.session);
     println!("args delivered  : {:?}", config.args);
-    println!("env delivered   : DB_PASSWORD={} chars", config.env["DB_PASSWORD"].len());
+    println!(
+        "env delivered   : DB_PASSWORD={} chars",
+        config.env["DB_PASSWORD"].len()
+    );
 
     // A tampered binary would be rejected — prove it with a wrong quote:
     let err = world

@@ -56,7 +56,12 @@ board:
     let only_one = vec![alice.vote(&req, true)];
     let err = world
         .palaemon
-        .update_policy(&world.owner.verifying_key(), v2.clone(), Some(&req), &only_one)
+        .update_policy(
+            &world.owner.verifying_key(),
+            v2.clone(),
+            Some(&req),
+            &only_one,
+        )
         .expect_err("one vote is not enough");
     println!("single-insider update rejected: {err}");
 
@@ -73,18 +78,24 @@ board:
 
     // Retiring v1 afterwards is another approved update.
     let current = {
-        let req = world.palaemon.begin_approval(
-            "governed_app",
-            PolicyAction::Read,
-            Digest::ZERO,
-        );
+        let req = world
+            .palaemon
+            .begin_approval("governed_app", PolicyAction::Read, Digest::ZERO);
         let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
         world
             .palaemon
-            .read_policy("governed_app", &world.owner.verifying_key(), Some(&req), &votes)
+            .read_policy(
+                "governed_app",
+                &world.owner.verifying_key(),
+                Some(&req),
+                &votes,
+            )
             .expect("read back")
     };
-    println!("current policy allows {} measurements", current.services[0].mrenclaves.len());
+    println!(
+        "current policy allows {} measurements",
+        current.services[0].mrenclaves.len()
+    );
 
     // --- Image/application combination intersection -------------------
     // A curated Python image exports its (MRENCLAVE, tag) combinations.
@@ -115,5 +126,8 @@ board:
         update::allowed_combos(&app_policy, "app", &[&image_policy], &[]).expect("intersection");
     assert_eq!(allowed, vec![py_new]);
     println!("vulnerable combination withdrawn by the image provider;");
-    println!("app now accepts {} combination(s) — no app-side action needed", allowed.len());
+    println!(
+        "app now accepts {} combination(s) — no app-side action needed",
+        allowed.len()
+    );
 }

@@ -2,7 +2,7 @@
 //!
 //! Re-exports the workspace crates under one roof so examples and
 //! downstream users can depend on a single crate. See `README.md` for the
-//! architecture overview and `DESIGN.md` for the per-experiment index.
+//! architecture overview, crate table and how to run tier-1 verification.
 
 pub use palaemon_core as core;
 pub use palaemon_crypto as crypto;

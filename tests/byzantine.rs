@@ -36,9 +36,16 @@ volumes:
         .unwrap();
     world.create_policy(policy).unwrap();
     let store = MemStore::new();
-    let mut app = world.start_app("conf", "app", &[("v", store.clone())]).unwrap();
-    app.write_file(&mut world.palaemon, "v", "/data", b"the-actual-secret-value")
+    let mut app = world
+        .start_app("conf", "app", &[("v", store.clone())])
         .unwrap();
+    app.write_file(
+        &mut world.palaemon,
+        "v",
+        "/data",
+        b"the-actual-secret-value",
+    )
+    .unwrap();
     // Scan every blob in both the volume store and PALÆMON's own store.
     for blob_store in [&store, &world.tms_store] {
         for name in shielded_fs::store::BlockStore::list(blob_store) {
@@ -185,7 +192,12 @@ board:
     ];
     world
         .palaemon
-        .create_policy(&world.owner.verifying_key(), policy.clone(), Some(&req), &votes)
+        .create_policy(
+            &world.owner.verifying_key(),
+            policy.clone(),
+            Some(&req),
+            &votes,
+        )
         .unwrap();
 
     // The Byzantine member tries to slip in a malicious update alone, even
@@ -200,7 +212,12 @@ board:
     let solo = vec![byzantine.vote(&req, true)];
     assert!(world
         .palaemon
-        .update_policy(&world.owner.verifying_key(), evil.clone(), Some(&req), &solo)
+        .update_policy(
+            &world.owner.verifying_key(),
+            evil.clone(),
+            Some(&req),
+            &solo
+        )
         .is_err());
     let req = world
         .palaemon
@@ -240,7 +257,12 @@ board:
     let votes = vec![alice.vote(&req, true)];
     world
         .palaemon
-        .create_policy(&world.owner.verifying_key(), policy.clone(), Some(&req), &votes)
+        .create_policy(
+            &world.owner.verifying_key(),
+            policy.clone(),
+            Some(&req),
+            &votes,
+        )
         .unwrap();
 
     // Attacker reuses Alice's old signature for different content.
@@ -262,7 +284,12 @@ board:
     };
     assert!(world
         .palaemon
-        .update_policy(&world.owner.verifying_key(), evil, Some(&req2), &[forged_vote])
+        .update_policy(
+            &world.owner.verifying_key(),
+            evil,
+            Some(&req2),
+            &[forged_vote]
+        )
         .is_err());
 }
 
@@ -292,16 +319,30 @@ fn ca_refuses_unbound_instance_key() {
     let ca = PalaemonCa::new(b"ca", vec![mre], 0, 1 << 40);
     let real_instance = SigningKey::from_seed(b"real");
     let attacker = SigningKey::from_seed(b"attacker");
-    let report = create_report(&platform, mre, instance_key_binding(&real_instance.verifying_key()));
+    let report = create_report(
+        &platform,
+        mre,
+        instance_key_binding(&real_instance.verifying_key()),
+    );
     let quote = quote_report(&platform, &report).unwrap();
     // The attacker relays the legitimate quote but asks the CA to certify
     // their own key.
     assert!(ca
-        .issue_for_instance(&quote, &platform.qe_verifying_key(), attacker.verifying_key(), 1)
+        .issue_for_instance(
+            &quote,
+            &platform.qe_verifying_key(),
+            attacker.verifying_key(),
+            1
+        )
         .is_err());
     // And the honest request succeeds.
     let cert = ca
-        .issue_for_instance(&quote, &platform.qe_verifying_key(), real_instance.verifying_key(), 1)
+        .issue_for_instance(
+            &quote,
+            &platform.qe_verifying_key(),
+            real_instance.verifying_key(),
+            1,
+        )
         .unwrap();
     verify_instance_cert(&cert, ca.root_certificate(), 2, &[mre]).unwrap();
 }
@@ -314,10 +355,19 @@ fn stale_instance_certificate_rejected() {
     let mut ca = PalaemonCa::new(b"ca", vec![mre], 0, 1 << 40);
     ca.set_cert_validity(1_000);
     let instance = SigningKey::from_seed(b"inst");
-    let report = create_report(&platform, mre, instance_key_binding(&instance.verifying_key()));
+    let report = create_report(
+        &platform,
+        mre,
+        instance_key_binding(&instance.verifying_key()),
+    );
     let quote = quote_report(&platform, &report).unwrap();
     let cert = ca
-        .issue_for_instance(&quote, &platform.qe_verifying_key(), instance.verifying_key(), 0)
+        .issue_for_instance(
+            &quote,
+            &platform.qe_verifying_key(),
+            instance.verifying_key(),
+            0,
+        )
         .unwrap();
     assert!(verify_instance_cert(&cert, ca.root_certificate(), 999, &[]).is_ok());
     assert!(verify_instance_cert(&cert, ca.root_certificate(), 1_001, &[]).is_err());

@@ -41,7 +41,9 @@ volumes:
 
     let store = MemStore::new();
     // Session 1: write config + state.
-    let mut app = world.start_app("lifecycle", "app", &[("data", store.clone())]).unwrap();
+    let mut app = world
+        .start_app("lifecycle", "app", &[("data", store.clone())])
+        .unwrap();
     assert_eq!(app.config.args, vec!["app", "--mode", "production"]);
     app.write_file(
         &mut world.palaemon,
@@ -54,11 +56,14 @@ volumes:
     let api_key_line = String::from_utf8(injected).unwrap();
     assert!(api_key_line.starts_with("api_key="));
     assert_eq!(api_key_line.trim_end().len(), "api_key=".len() + 40);
-    app.write_file(&mut world.palaemon, "data", "/state", b"epoch-1").unwrap();
+    app.write_file(&mut world.palaemon, "data", "/state", b"epoch-1")
+        .unwrap();
     app.exit(&mut world.palaemon).unwrap();
 
     // Session 2: state is intact, same secrets delivered.
-    let mut app2 = world.start_app("lifecycle", "app", &[("data", store)]).unwrap();
+    let mut app2 = world
+        .start_app("lifecycle", "app", &[("data", store)])
+        .unwrap();
     assert_eq!(app2.read_file("data", "/state").unwrap(), b"epoch-1");
     let reinjected = app2.read_file("data", "/app/config.ini").unwrap();
     assert_eq!(String::from_utf8(reinjected).unwrap(), api_key_line);
@@ -85,8 +90,11 @@ volumes:
         .unwrap();
     world.create_policy(policy).unwrap();
     let store = MemStore::new();
-    let mut app = world.start_app("durable", "app", &[("v", store.clone())]).unwrap();
-    app.write_file(&mut world.palaemon, "v", "/f", b"x").unwrap();
+    let mut app = world
+        .start_app("durable", "app", &[("v", store.clone())])
+        .unwrap();
+    app.write_file(&mut world.palaemon, "v", "/f", b"x")
+        .unwrap();
     let tag_before = app.volume_tag("v").unwrap();
     app.exit(&mut world.palaemon).unwrap();
 
@@ -203,7 +211,12 @@ board:
     let votes = vec![alice.vote(&req, true), bob.vote(&req, true)];
     world
         .palaemon
-        .create_policy(&world.owner.verifying_key(), policy.clone(), Some(&req), &votes)
+        .create_policy(
+            &world.owner.verifying_key(),
+            policy.clone(),
+            Some(&req),
+            &votes,
+        )
         .unwrap();
 
     // Read requires approval too.
@@ -253,8 +266,11 @@ volumes:
         .unwrap();
     world.create_policy(policy).unwrap();
     let store = MemStore::new();
-    let mut app = world.start_app("strictapp", "app", &[("wal", store.clone())]).unwrap();
-    app.write_file(&mut world.palaemon, "wal", "/entry", b"1").unwrap();
+    let mut app = world
+        .start_app("strictapp", "app", &[("wal", store.clone())])
+        .unwrap();
+    app.write_file(&mut world.palaemon, "wal", "/entry", b"1")
+        .unwrap();
     app.crash();
     // Blocked.
     assert!(matches!(
@@ -263,7 +279,9 @@ volumes:
     ));
     // The operator takes the (board-approved in production) reset path.
     world.palaemon.reset_tag("strictapp", "wal").unwrap();
-    assert!(world.start_app("strictapp", "app", &[("wal", store)]).is_ok());
+    assert!(world
+        .start_app("strictapp", "app", &[("wal", store)])
+        .is_ok());
 }
 
 #[test]
@@ -309,7 +327,12 @@ imports:
         .start_app("image_provider", "publisher", &[("shared", store.clone())])
         .unwrap();
     publisher
-        .write_file(&mut world.palaemon, "shared", "/lib.so", b"curated interpreter")
+        .write_file(
+            &mut world.palaemon,
+            "shared",
+            "/lib.so",
+            b"curated interpreter",
+        )
         .unwrap();
     publisher.exit(&mut world.palaemon).unwrap();
 

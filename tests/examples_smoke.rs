@@ -1,0 +1,81 @@
+//! Smoke tests for the `examples/`: all five must compile, and `quickstart`
+//! must run to completion — these are the repository's executable
+//! documentation, so a PR that breaks them should fail CI.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "managed_kms",
+    "ml_pipeline",
+    "quickstart",
+    "rollback_attack",
+    "secure_update",
+];
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")));
+    cmd.arg("--offline");
+    cmd
+}
+
+#[test]
+fn all_examples_exist_on_disk() {
+    for name in EXAMPLES {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("examples")
+            .join(format!("{name}.rs"));
+        assert!(path.is_file(), "missing example source: {}", path.display());
+    }
+}
+
+#[test]
+fn all_examples_compile() {
+    let output = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let output = cargo()
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("policy 'quickstart' stored"),
+        "quickstart did not reach policy storage:\n{stdout}"
+    );
+}
+
+/// The remaining examples are executable documentation too: they compile
+/// full of runtime assertions, so run each to completion, not just build it.
+#[test]
+fn all_other_examples_run_to_completion() {
+    for name in EXAMPLES.iter().filter(|&&n| n != "quickstart") {
+        let output = cargo()
+            .args(["run", "--example", name])
+            .output()
+            .expect("failed to spawn cargo");
+        assert!(
+            output.status.success(),
+            "example {name} exited with {:?}:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}

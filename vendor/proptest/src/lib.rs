@@ -1,0 +1,317 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, plus [`any`] / [`Arbitrary`]
+//!   for primitives, byte arrays and tuples;
+//! * [`collection::vec`] / [`collection::btree_set`] with size ranges;
+//! * regex-lite string strategies (`"[a-z]{1,8}"` — character classes with
+//!   `{m}` / `{m,n}` repetition);
+//! * integer / float range strategies (`1usize..64`, `0.1f64..2.0`);
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros and
+//!   [`ProptestConfig`].
+//!
+//! Cases are generated from a fixed per-case seed — runs are fully
+//! deterministic, so any failure reproduces on the next `cargo test` with no
+//! persistence file. There is **no shrinking**: the failing case prints its
+//! case index and panics as-is.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` deterministic
+/// cases. Panics carry the case index so failures can be replayed mentally;
+/// generation is seeded per case index, so a plain re-run reproduces.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for proptest_case in 0..config.cases {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(proptest_case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strategy,
+                            &mut proptest_rng,
+                        );
+                    )+
+                    $crate::__CURRENT_CASE.with(|c| c.set(proptest_case));
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+pub fn __case_label() -> String {
+    __CURRENT_CASE.with(|c| format!("[proptest case {}] ", c.get()))
+}
+
+#[doc(hidden)]
+thread_local! {
+    pub static __CURRENT_CASE: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// `assert!` that prefixes the failing deterministic case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "{}assertion failed: {}", $crate::__case_label(), stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, "{}{}", $crate::__case_label(), format!($($fmt)+));
+    };
+}
+
+/// `assert_eq!` that prefixes the failing deterministic case index.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right, "{}", $crate::__case_label());
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, "{}{}", $crate::__case_label(), format!($($fmt)+));
+    };
+}
+
+/// `assert_ne!` that prefixes the failing deterministic case index.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right, "{}", $crate::__case_label());
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, "{}{}", $crate::__case_label(), format!($($fmt)+));
+    };
+}
+
+pub mod string {
+    //! Regex-lite string generation: character classes with repetition.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut members = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            match chars.get(i) {
+                                Some('n') => '\n',
+                                Some('t') => '\t',
+                                Some(&c) => c,
+                                None => panic!("string pattern {pattern:?}: trailing backslash"),
+                            }
+                        } else {
+                            chars[i]
+                        };
+                        // `a-z` range, unless `-` is the class's last char.
+                        if chars.get(i + 1) == Some(&'-')
+                            && chars.get(i + 2).is_some_and(|&n| n != ']')
+                        {
+                            let end = chars[i + 2];
+                            assert!(c <= end, "string pattern {pattern:?}: bad range {c}-{end}");
+                            members.extend(c..=end);
+                            i += 3;
+                        } else {
+                            members.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "string pattern {pattern:?}: unclosed class"
+                    );
+                    i += 1; // consume ']'
+                    assert!(
+                        !members.is_empty(),
+                        "string pattern {pattern:?}: empty class"
+                    );
+                    Atom::Class(members)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = match chars.get(i) {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some(&c) => c,
+                        None => panic!("string pattern {pattern:?}: trailing backslash"),
+                    };
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("string pattern {pattern:?}: unclosed repetition"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition bound"),
+                        hi.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition bound");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.rng().gen_range(piece.min..=piece.max)
+            };
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(members) => {
+                        let idx = rng.rng().gen_range(0..members.len());
+                        out.push(members[idx]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_their_class() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = Strategy::generate(&"[a-zA-Z0-9 \n=_-]{0,20}", &mut rng);
+            assert!(t.len() <= 20);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " \n=_-".contains(c)));
+
+            let u = Strategy::generate(&"[ab]", &mut rng);
+            assert!(u == "a" || u == "b");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = crate::collection::vec(any::<u8>(), 0..64);
+        let a = Strategy::generate(&strat, &mut TestRng::for_case(7));
+        let b = Strategy::generate(&strat, &mut TestRng::for_case(7));
+        let c = Strategy::generate(&strat, &mut TestRng::for_case(8));
+        assert_eq!(a, b);
+        assert_ne!(
+            (a.len(), a.first().copied()),
+            (c.len(), c.first().copied()),
+            "distinct cases should draw from distinct streams (probabilistically)"
+        );
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Op {
+            A(u8),
+            B,
+        }
+        let strat = prop_oneof![any::<u8>().prop_map(Op::A), Just(Op::B)];
+        let mut rng = TestRng::for_case(1);
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..100 {
+            match Strategy::generate(&strat, &mut rng) {
+                Op::A(_) => saw_a = true,
+                Op::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+
+    #[test]
+    fn btree_set_respects_size_range() {
+        let strat = crate::collection::btree_set("[a-z]{1,8}", 1..4);
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..50 {
+            let set = Strategy::generate(&strat, &mut rng);
+            assert!((1..4).contains(&set.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_all_arguments(x in any::<u64>(),
+                                     v in crate::collection::vec(any::<u8>(), 0..8),
+                                     s in "[a-z]{2}",
+                                     n in 1usize..10) {
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(s.len(), 2);
+            prop_assert!((1..10).contains(&n));
+            prop_assert_ne!(x, x.wrapping_add(1));
+        }
+    }
+}
