@@ -16,7 +16,7 @@ use tee_sim::quote::{create_report, quote_report};
 fn tag_world() -> (Palaemon, palaemon_core::tms::SessionId) {
     let platform = Platform::new("bench", Microcode::PostForeshadow);
     let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
-    let mut palaemon = Palaemon::new(db, SigningKey::from_seed(b"b"), Digest::ZERO, 1);
+    let palaemon = Palaemon::new(db, SigningKey::from_seed(b"b"), Digest::ZERO, 1);
     palaemon.register_platform(platform.id(), platform.qe_verifying_key());
     let mre = Digest::from_bytes([0x42; 32]);
     let policy = Policy::parse(&format!(
@@ -45,7 +45,7 @@ fn tag_world() -> (Palaemon, palaemon_core::tms::SessionId) {
 fn bench_tags(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_tags");
     group.sample_size(30);
-    let (mut palaemon, session) = tag_world();
+    let (palaemon, session) = tag_world();
     let mut i = 0u64;
     group.bench_function("tag_update", |b| {
         b.iter(|| {

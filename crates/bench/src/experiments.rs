@@ -1,11 +1,14 @@
 //! One experiment per table/figure of the paper.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use palaemon_core::attest::{
     attestation_breakdown, secret_retrieval_latency, SecretSource, StartupVariant,
 };
-use palaemon_core::counterfile::{MemFileCounter, NativeFileCounter, ShieldedCounter};
+use palaemon_core::counterfile::{
+    MemFileCounter, NativeFileCounter, ShieldedCounter, StrictShieldedCounter,
+};
 use palaemon_core::policy::Policy;
 use palaemon_core::tms::Palaemon;
 use palaemon_crypto::aead::AeadKey;
@@ -284,15 +287,13 @@ pub fn fig10(budget: Duration) -> Report {
     ));
 
     // (e) + PALÆMON strict mode: every increment pushes the tag.
-    let (mut palaemon, session) = tag_session();
+    let (palaemon, session) = tag_session();
     let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([7; 32]));
     fs.set_metadata_writeback(true);
-    let mut strict_inner = ShieldedCounter::create(fs).expect("mem store");
+    let strict_inner = ShieldedCounter::create(fs).expect("mem store");
+    let mut strict = StrictShieldedCounter::new(strict_inner, palaemon, session, "data");
     let strict_rate = ops_per_sec(budget, || {
-        strict_inner.increment().expect("increment");
-        palaemon
-            .push_tag(session, "data", strict_inner.tag(), TagEvent::FileClose)
-            .expect("push tag");
+        strict.increment().expect("increment");
     });
     body.push_str(&format!(
         "  file (+Palaemon)     : {:>12}\n",
@@ -313,10 +314,10 @@ pub fn fig10(budget: Duration) -> Report {
 
 /// Builds a PALÆMON (MemStore-backed) with one attested session granting
 /// volume `data`.
-fn tag_session() -> (Palaemon, palaemon_core::tms::SessionId) {
+fn tag_session() -> (Arc<Palaemon>, palaemon_core::tms::SessionId) {
     let platform = Platform::new("bench-host", Microcode::PostForeshadow);
     let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
-    let mut palaemon = Palaemon::new(db, SigningKey::from_seed(b"bench"), Digest::ZERO, 3);
+    let palaemon = Palaemon::new(db, SigningKey::from_seed(b"bench"), Digest::ZERO, 3);
     palaemon.register_platform(platform.id(), platform.qe_verifying_key());
     let mre = Digest::from_bytes([0x42; 32]);
     let policy = Policy::parse(&format!(
@@ -334,7 +335,7 @@ fn tag_session() -> (Palaemon, palaemon_core::tms::SessionId) {
     let config = palaemon
         .attest_service(&quote, &binding, "bench", "app")
         .expect("attest");
-    (palaemon, config.session)
+    (Arc::new(palaemon), config.session)
 }
 
 // ---------------------------------------------------------------------
@@ -349,7 +350,7 @@ pub fn fig11(iters: u64) -> Report {
     let store = DirStore::open(&dir).expect("temp dir store");
     let platform = Platform::new("bench-host", Microcode::PostForeshadow);
     let db = Db::create(Box::new(store), AeadKey::from_bytes([8; 32]));
-    let mut palaemon = Palaemon::new(db, SigningKey::from_seed(b"fig11"), Digest::ZERO, 4);
+    let palaemon = Palaemon::new(db, SigningKey::from_seed(b"fig11"), Digest::ZERO, 4);
     palaemon.register_platform(platform.id(), platform.qe_verifying_key());
     let mre = Digest::from_bytes([0x43; 32]);
     let policy = Policy::parse(&format!(

@@ -8,21 +8,53 @@
 //! what gets rollback protection.
 //!
 //! The variants here mirror the Fig. 10 bars:
-//! (a) platform counter — see [`tee_sim::counter`];
+//! (a) platform counter — see [`tee_sim::counter`], adapted here as
+//!     [`PlatformCounter`];
 //! (b) native file counter ([`NativeFileCounter`]) — a real file;
 //! (c) in-enclave file counter ([`MemFileCounter`]) — memory-backed store;
 //! (d) + encrypted file system ([`ShieldedCounter`]);
 //! (e) + PALÆMON strict mode ([`StrictShieldedCounter`]) — every increment
 //!     pushes the tag to PALÆMON.
+//!
+//! All variants implement [`MonotonicCounter`], so layers above (the
+//! [`BatchedCounter`] group-commit path, [`crate::server::TmsServer`]'s
+//! strict commit mode, the benches) are backend-agnostic.
+//!
+//! ## Group commit ([`BatchedCounter`])
+//! Monotonic-counter increments are the dominant cost of the Fig. 6
+//! rollback protocol, and serializing every state change behind one counter
+//! write caps throughput at counter latency. [`BatchedCounter`] amortizes
+//! it: concurrent committers coalesce into batches, one leader performs a
+//! single `increment()` covering every operation enqueued before it ran,
+//! and followers observe the leader's value. Ordering is preserved — an
+//! operation only returns once an increment issued *after* it enqueued has
+//! completed, so a crash can never surface a committed operation without
+//! its covering increment (the exact ordering the Fig. 6 edge-case tests
+//! below pin down).
 
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
 
 use shielded_fs::fs::{ShieldedFs, TagEvent};
 use shielded_fs::store::MemStore;
+use tee_sim::counter::CounterBank;
 
 use crate::error::{PalaemonError, Result};
 use crate::tms::{Palaemon, SessionId};
+
+/// A monotonic counter: every call yields a strictly larger value.
+///
+/// Unifies the Fig. 10 counter family (file, memory, shielded, strict) and
+/// the platform counter behind one interface so batching and server layers
+/// do not care which backend pays the increment cost.
+pub trait MonotonicCounter {
+    /// Performs one durable increment and returns the new value.
+    ///
+    /// # Errors
+    /// Backend I/O, file-system, or tag-push failures.
+    fn increment(&mut self) -> Result<u64>;
+}
 
 /// Variant (b): a counter in a real file, opened/updated/closed per
 /// increment like a legacy application would.
@@ -70,6 +102,12 @@ impl NativeFileCounter {
     }
 }
 
+impl MonotonicCounter for NativeFileCounter {
+    fn increment(&mut self) -> Result<u64> {
+        NativeFileCounter::increment(self)
+    }
+}
+
 /// Variant (c): a counter file on an in-memory (enclave-mapped) store,
 /// without encryption — SCONE memory-maps files inside the enclave.
 #[derive(Debug)]
@@ -100,6 +138,12 @@ impl MemFileCounter {
         shielded_fs::store::BlockStore::put(&self.store, "counter", v.to_be_bytes().to_vec());
         self.value = v;
         v
+    }
+}
+
+impl MonotonicCounter for MemFileCounter {
+    fn increment(&mut self) -> Result<u64> {
+        Ok(MemFileCounter::increment(self))
     }
 }
 
@@ -147,10 +191,19 @@ impl ShieldedCounter {
     }
 }
 
+impl MonotonicCounter for ShieldedCounter {
+    fn increment(&mut self) -> Result<u64> {
+        ShieldedCounter::increment(self)
+    }
+}
+
 /// Variant (e): like [`ShieldedCounter`], but every increment also pushes
-/// the new tag to PALÆMON (strict rollback protection).
+/// the new tag to PALÆMON (strict rollback protection). Holds a shared
+/// handle to the engine, so many strict counters across threads push to one
+/// PALÆMON concurrently.
 pub struct StrictShieldedCounter {
     inner: ShieldedCounter,
+    palaemon: Arc<Palaemon>,
     session: SessionId,
     volume: String,
 }
@@ -163,9 +216,15 @@ impl std::fmt::Debug for StrictShieldedCounter {
 
 impl StrictShieldedCounter {
     /// Wraps a shielded counter bound to an attested session's volume.
-    pub fn new(inner: ShieldedCounter, session: SessionId, volume: &str) -> Self {
+    pub fn new(
+        inner: ShieldedCounter,
+        palaemon: Arc<Palaemon>,
+        session: SessionId,
+        volume: &str,
+    ) -> Self {
         StrictShieldedCounter {
             inner,
+            palaemon,
             session,
             volume: volume.to_string(),
         }
@@ -175,15 +234,189 @@ impl StrictShieldedCounter {
     ///
     /// # Errors
     /// Fs or tag-push errors.
-    pub fn increment(&mut self, palaemon: &mut Palaemon) -> Result<u64> {
+    pub fn increment(&mut self) -> Result<u64> {
         let v = self.inner.increment()?;
-        palaemon.push_tag(
+        self.palaemon.push_tag(
             self.session,
             &self.volume,
             self.inner.tag(),
             TagEvent::FileClose,
         )?;
         Ok(v)
+    }
+}
+
+impl MonotonicCounter for StrictShieldedCounter {
+    fn increment(&mut self) -> Result<u64> {
+        StrictShieldedCounter::increment(self)
+    }
+}
+
+/// Variant (a): the platform monotonic counter, adapted to
+/// [`MonotonicCounter`]. Wait times are *modelled* (the bank returns the
+/// latency a real counter would have cost) and accumulated, so callers can
+/// report how much platform-counter time a workload would have burned.
+#[derive(Debug, Clone)]
+pub struct PlatformCounter {
+    bank: CounterBank,
+    id: u32,
+    now_ms: u64,
+    waited_ms: u64,
+}
+
+impl PlatformCounter {
+    /// Binds counter `id` in `bank` (creating it if needed).
+    pub fn new(bank: CounterBank, id: u32) -> Self {
+        bank.create(id);
+        PlatformCounter {
+            bank,
+            id,
+            now_ms: 0,
+            waited_ms: 0,
+        }
+    }
+
+    /// Total modelled milliseconds spent waiting on the platform counter.
+    pub fn modelled_wait_ms(&self) -> u64 {
+        self.waited_ms
+    }
+}
+
+impl MonotonicCounter for PlatformCounter {
+    fn increment(&mut self) -> Result<u64> {
+        let inc = self
+            .bank
+            .increment(self.id, self.now_ms)
+            .map_err(PalaemonError::from)?;
+        self.now_ms += inc.wait_ms;
+        self.waited_ms += inc.wait_ms;
+        Ok(inc.value)
+    }
+}
+
+/// Statistics of a [`BatchedCounter`]: how many logical operations were
+/// committed and how many physical increments they cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Logical operations whose commit completed.
+    pub ops_committed: u64,
+    /// Physical `increment()` calls performed.
+    pub increments: u64,
+}
+
+struct BatchState {
+    /// Sequence number handed to the next enqueued operation.
+    enqueued: u64,
+    /// Operations with sequence `< flushed` are covered by an increment.
+    flushed: u64,
+    /// A leader is currently performing an increment.
+    leader_running: bool,
+    /// Counter value of the most recent completed increment.
+    last_value: u64,
+    increments: u64,
+    /// Operations whose `commit()` returned `Ok` (failed leaders are
+    /// excluded even though a later increment covers their sequence).
+    committed: u64,
+}
+
+/// Group commit for monotonic counters: concurrent `commit()` calls
+/// coalesce into one backend `increment()` per batch window (leader /
+/// follower, like WAL group commit). See the module docs for the ordering
+/// guarantee.
+pub struct BatchedCounter {
+    counter: Mutex<Box<dyn MonotonicCounter + Send>>,
+    state: Mutex<BatchState>,
+    flushed_cv: Condvar,
+}
+
+impl std::fmt::Debug for BatchedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "BatchedCounter({} ops / {} increments)",
+            s.ops_committed, s.increments
+        )
+    }
+}
+
+impl BatchedCounter {
+    /// Wraps any counter backend.
+    pub fn new(counter: impl MonotonicCounter + Send + 'static) -> Self {
+        BatchedCounter {
+            counter: Mutex::new(Box::new(counter)),
+            state: Mutex::new(BatchState {
+                enqueued: 0,
+                flushed: 0,
+                leader_running: false,
+                last_value: 0,
+                increments: 0,
+                committed: 0,
+            }),
+            flushed_cv: Condvar::new(),
+        }
+    }
+
+    /// Commits one logical operation: returns once a counter increment
+    /// issued *after* this call began has completed, and yields the counter
+    /// value that covers the operation.
+    ///
+    /// # Errors
+    /// Backend increment failures (the failed leader's error is returned to
+    /// its own caller; waiting followers elect a new leader and retry).
+    pub fn commit(&self) -> Result<u64> {
+        let mut state = self.state.lock().expect("batch state lock");
+        let my_seq = state.enqueued;
+        state.enqueued += 1;
+        loop {
+            if state.flushed > my_seq {
+                state.committed += 1;
+                return Ok(state.last_value);
+            }
+            if !state.leader_running {
+                // Become leader: everything enqueued so far rides on one
+                // increment.
+                state.leader_running = true;
+                let flush_to = state.enqueued;
+                drop(state);
+                let result = self.counter.lock().expect("counter lock").increment();
+                state = self.state.lock().expect("batch state lock");
+                state.leader_running = false;
+                match result {
+                    Ok(value) => {
+                        state.flushed = flush_to;
+                        state.last_value = value;
+                        state.increments += 1;
+                        state.committed += 1;
+                        self.flushed_cv.notify_all();
+                        return Ok(value);
+                    }
+                    Err(e) => {
+                        // Wake followers so one of them can lead a retry.
+                        self.flushed_cv.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+            state = self
+                .flushed_cv
+                .wait(state)
+                .expect("batch state lock poisoned");
+        }
+    }
+
+    /// Operations committed vs physical increments performed.
+    pub fn stats(&self) -> BatchStats {
+        let state = self.state.lock().expect("batch state lock");
+        BatchStats {
+            ops_committed: state.committed,
+            increments: state.increments,
+        }
+    }
+
+    /// The most recent counter value (0 before the first commit).
+    pub fn value(&self) -> u64 {
+        self.state.lock().expect("batch state lock").last_value
     }
 }
 
@@ -233,6 +466,104 @@ mod tests {
     }
 
     #[test]
+    fn monotonic_counter_trait_unifies_backends() {
+        let path = std::env::temp_dir().join(format!("ctr-dyn-{}.bin", std::process::id()));
+        let fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
+        let mut counters: Vec<Box<dyn MonotonicCounter + Send>> = vec![
+            Box::new(NativeFileCounter::create(&path).unwrap()),
+            Box::new(MemFileCounter::new()),
+            Box::new(ShieldedCounter::create(fs).unwrap()),
+            Box::new(PlatformCounter::new(
+                tee_sim::counter::CounterBank::new(),
+                1,
+            )),
+        ];
+        for c in &mut counters {
+            assert_eq!(c.increment().unwrap(), 1);
+            assert_eq!(c.increment().unwrap(), 2);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn platform_counter_accumulates_modelled_wait() {
+        let mut c = PlatformCounter::new(tee_sim::counter::CounterBank::new(), 7);
+        c.increment().unwrap();
+        c.increment().unwrap();
+        assert!(c.modelled_wait_ms() > 0, "platform counters are slow");
+    }
+
+    #[test]
+    fn batched_counter_serial_commits_count_one_each() {
+        let batched = BatchedCounter::new(MemFileCounter::new());
+        for i in 1..=5 {
+            assert_eq!(batched.commit().unwrap(), i);
+        }
+        let stats = batched.stats();
+        assert_eq!(stats.ops_committed, 5);
+        assert_eq!(stats.increments, 5);
+        assert_eq!(batched.value(), 5);
+    }
+
+    #[test]
+    fn batched_counter_coalesces_concurrent_commits() {
+        /// A counter slow enough that concurrent committers pile up behind
+        /// the leader, guaranteeing multi-op batches.
+        struct Slow(u64);
+        impl MonotonicCounter for Slow {
+            fn increment(&mut self) -> crate::error::Result<u64> {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                self.0 += 1;
+                Ok(self.0)
+            }
+        }
+        let batched = Arc::new(BatchedCounter::new(Slow(0)));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&batched);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..20 {
+                        let v = b.commit().unwrap();
+                        assert!(v > last, "covering values must advance per commit");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = batched.stats();
+        assert_eq!(stats.ops_committed, 160);
+        assert!(
+            stats.increments < stats.ops_committed,
+            "concurrent commits must batch: {stats:?}"
+        );
+        assert_eq!(batched.value(), stats.increments);
+    }
+
+    #[test]
+    fn batched_counter_leader_error_surfaces_and_recovers() {
+        /// Fails exactly once, on the second increment.
+        struct Flaky(u64);
+        impl MonotonicCounter for Flaky {
+            fn increment(&mut self) -> crate::error::Result<u64> {
+                self.0 += 1;
+                if self.0 == 2 {
+                    return Err(PalaemonError::Fs("device glitch".into()));
+                }
+                Ok(self.0)
+            }
+        }
+        let batched = BatchedCounter::new(Flaky(0));
+        assert_eq!(batched.commit().unwrap(), 1);
+        assert!(batched.commit().is_err());
+        // The next commit elects a fresh leader and succeeds.
+        assert_eq!(batched.commit().unwrap(), 3);
+    }
+
+    #[test]
     fn shielded_counter_rollback_detected_via_tag() {
         let store = MemStore::new();
         let key = AeadKey::from_bytes([1; 32]);
@@ -247,6 +578,52 @@ mod tests {
         // Remounting with the fresh expected tag detects the rollback.
         let err = ShieldedFs::load(Box::new(store), key, Some(fresh_tag)).unwrap_err();
         assert!(matches!(err, shielded_fs::FsError::RollbackDetected { .. }));
+    }
+
+    #[test]
+    fn strict_counter_pushes_tags_through_shared_engine() {
+        use crate::policy::Policy;
+        use palaemon_crypto::sig::SigningKey;
+        use palaemon_crypto::Digest;
+        use palaemon_db::Db;
+        use tee_sim::platform::{Microcode, Platform};
+        use tee_sim::quote::{create_report, quote_report};
+
+        let platform = Platform::new("ctr-host", Microcode::PostForeshadow);
+        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32]));
+        let palaemon = Arc::new(Palaemon::new(
+            db,
+            SigningKey::from_seed(b"ctr"),
+            Digest::ZERO,
+            9,
+        ));
+        palaemon.register_platform(platform.id(), platform.qe_verifying_key());
+        let mre = Digest::from_bytes([0x21; 32]);
+        let policy = Policy::parse(&format!(
+            "name: ctr\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+             volumes: [\"data\"]\nvolumes:\n  - name: data\n",
+            mre.to_hex()
+        ))
+        .unwrap();
+        let owner = SigningKey::from_seed(b"owner").verifying_key();
+        palaemon.create_policy(&owner, policy, None, &[]).unwrap();
+        let binding = [0u8; 64];
+        let report = create_report(&platform, mre, binding);
+        let quote = quote_report(&platform, &report).unwrap();
+        let session = palaemon
+            .attest_service(&quote, &binding, "ctr", "app")
+            .unwrap()
+            .session;
+
+        let fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([3; 32]));
+        let inner = ShieldedCounter::create(fs).unwrap();
+        let mut strict = StrictShieldedCounter::new(inner, Arc::clone(&palaemon), session, "data");
+        assert_eq!(strict.increment().unwrap(), 1);
+        assert_eq!(strict.increment().unwrap(), 2);
+        // Every increment pushed the fs tag to the engine.
+        let rec = palaemon.read_tag(session, "data").unwrap().unwrap();
+        assert_eq!(rec.event, TagEvent::FileClose);
+        assert_eq!(rec.tag, strict.inner.tag());
     }
 }
 

@@ -36,6 +36,7 @@ pub mod error;
 pub mod instance;
 pub mod policy;
 pub mod runtime;
+pub mod server;
 pub mod testkit;
 pub mod tms;
 pub mod update;

@@ -67,7 +67,7 @@ impl RunningApp {
     #[allow(clippy::too_many_arguments)]
     pub fn start(
         platform: &Platform,
-        palaemon: &mut Palaemon,
+        palaemon: &Palaemon,
         binary: &[u8],
         heap_bytes: usize,
         policy_name: &str,
@@ -156,7 +156,7 @@ impl RunningApp {
     /// Unknown volume, fs errors, or tag-push failures.
     pub fn write_file(
         &mut self,
-        palaemon: &mut Palaemon,
+        palaemon: &Palaemon,
         volume: &str,
         path: &str,
         content: &[u8],
@@ -174,7 +174,7 @@ impl RunningApp {
     ///
     /// # Errors
     /// Fs or tag-push failures.
-    pub fn sync(&mut self, palaemon: &mut Palaemon) -> Result<()> {
+    pub fn sync(&mut self, palaemon: &Palaemon) -> Result<()> {
         let names: Vec<String> = self.volumes.keys().cloned().collect();
         for name in names {
             let fs = self.volumes.get_mut(&name).unwrap();
@@ -190,7 +190,7 @@ impl RunningApp {
     ///
     /// # Errors
     /// Fs or tag-push failures.
-    pub fn exit(mut self, palaemon: &mut Palaemon) -> Result<()> {
+    pub fn exit(mut self, palaemon: &Palaemon) -> Result<()> {
         let names: Vec<String> = self.volumes.keys().cloned().collect();
         for name in names {
             let fs = self.volumes.get_mut(&name).unwrap();
@@ -245,7 +245,7 @@ mod tests {
     fn setup(policy_extra: &str) -> Harness {
         let platform = Platform::new("host-1", Microcode::PostForeshadow);
         let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32]));
-        let mut palaemon = Palaemon::new(
+        let palaemon = Palaemon::new(
             db,
             SigningKey::from_seed(b"tms"),
             Digest::from_bytes([0xAA; 32]),
@@ -294,7 +294,7 @@ volumes:
         stores.insert("data".into(), Box::new(h.data_store.clone()));
         RunningApp::start(
             &h.platform,
-            &mut h.palaemon,
+            &h.palaemon,
             &h.binary,
             64 * 1024,
             "app_policy",
@@ -308,9 +308,9 @@ volumes:
     fn full_lifecycle_write_exit_restart() {
         let mut h = setup("");
         let mut app = start(&mut h).unwrap();
-        app.write_file(&mut h.palaemon, "data", "/state.bin", b"v1")
+        app.write_file(&h.palaemon, "data", "/state.bin", b"v1")
             .unwrap();
-        app.exit(&mut h.palaemon).unwrap();
+        app.exit(&h.palaemon).unwrap();
         // Restart: tag matches, file readable.
         let mut app2 = start(&mut h).unwrap();
         assert_eq!(app2.read_file("data", "/state.bin").unwrap(), b"v1");
@@ -321,7 +321,7 @@ volumes:
         let mut h = setup("");
         let mut app = start(&mut h).unwrap();
         app.write_file(
-            &mut h.palaemon,
+            &h.palaemon,
             "data",
             "/config.ini",
             b"password={{db_pass}}\n",
@@ -336,7 +336,7 @@ volumes:
         assert!(content.starts_with("password="));
         assert_eq!(content.trim_end().len(), "password=".len() + 12);
         // Non-injection files are served raw.
-        app.write_file(&mut h.palaemon, "data", "/raw.txt", b"{{db_pass}}")
+        app.write_file(&h.palaemon, "data", "/raw.txt", b"{{db_pass}}")
             .unwrap();
         assert_eq!(app.read_file("data", "/raw.txt").unwrap(), b"{{db_pass}}");
     }
@@ -345,14 +345,14 @@ volumes:
     fn rollback_attack_detected_on_restart() {
         let mut h = setup("");
         let mut app = start(&mut h).unwrap();
-        app.write_file(&mut h.palaemon, "data", "/counter", b"1")
+        app.write_file(&h.palaemon, "data", "/counter", b"1")
             .unwrap();
-        app.exit(&mut h.palaemon).unwrap();
+        app.exit(&h.palaemon).unwrap();
         let old_state = h.data_store.snapshot();
         let mut app2 = start(&mut h).unwrap();
-        app2.write_file(&mut h.palaemon, "data", "/counter", b"2")
+        app2.write_file(&h.palaemon, "data", "/counter", b"2")
             .unwrap();
-        app2.exit(&mut h.palaemon).unwrap();
+        app2.exit(&h.palaemon).unwrap();
         // The attacker restores yesterday's volume.
         h.data_store.restore(old_state);
         let err = start(&mut h).unwrap_err();
@@ -363,7 +363,7 @@ volumes:
     fn strict_mode_crash_blocks_restart() {
         let mut h = setup("strict: true");
         let mut app = start(&mut h).unwrap();
-        app.write_file(&mut h.palaemon, "data", "/wip", b"partial")
+        app.write_file(&h.palaemon, "data", "/wip", b"partial")
             .unwrap();
         app.crash();
         let err = start(&mut h).unwrap_err();
@@ -381,7 +381,7 @@ volumes:
     fn non_strict_crash_allows_restart_with_matching_tag() {
         let mut h = setup("");
         let mut app = start(&mut h).unwrap();
-        app.write_file(&mut h.palaemon, "data", "/f", b"x").unwrap();
+        app.write_file(&h.palaemon, "data", "/f", b"x").unwrap();
         app.crash();
         // Not strict: restart allowed as long as the volume tag matches the
         // last pushed tag (the write pushed it).
@@ -403,7 +403,7 @@ volumes:
         let mut stores: HashMap<String, Box<dyn BlockStore>> = HashMap::new();
         let err = RunningApp::start(
             &h.platform,
-            &mut h.palaemon,
+            &h.palaemon,
             &h.binary,
             0,
             "app_policy",

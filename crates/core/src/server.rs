@@ -1,0 +1,563 @@
+//! The concurrent service front-end: one [`TmsServer`] is the single entry
+//! point many client threads drive simultaneously.
+//!
+//! The server owns the engine behind an `Arc<Palaemon>` and dispatches a
+//! [`TmsRequest`] to the matching engine operation, returning a
+//! [`TmsResponse`]. Handles are cheap to clone — give every client thread
+//! its own clone and call [`TmsServer::handle`] concurrently; the engine's
+//! sharded locks (see [`crate::tms`]) do the rest.
+//!
+//! ## Strict commit mode (batched Fig. 6 counter)
+//! A server built with [`TmsServer::with_commit_counter`] couples every
+//! *state-changing* request to the rollback counter: after the engine has
+//! durably committed the change (sealed WAL batch, Fig. 6's "persist
+//! first" half), the request joins the [`BatchedCounter`] group commit and
+//! only returns once a counter increment issued after its database commit
+//! has completed. Concurrent writers therefore coalesce into one counter
+//! increment per batch window — the counter stops being the throughput
+//! ceiling — while the crash-safety ordering of the Fig. 6 protocol is
+//! preserved: no request is acknowledged before both its WAL batch and a
+//! covering increment are durable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use palaemon_crypto::sig::VerifyingKey;
+use palaemon_crypto::Digest;
+use shielded_fs::fs::TagEvent;
+use tee_sim::quote::Quote;
+
+use crate::board::{ApprovalRequest, PolicyAction, Vote};
+use crate::counterfile::{BatchStats, BatchedCounter};
+use crate::error::Result;
+use crate::policy::Policy;
+use crate::tms::{AppConfig, Palaemon, SessionId, TagRecord};
+
+/// One client request against the trust management service.
+#[derive(Debug, Clone)]
+pub enum TmsRequest {
+    /// Create a policy owned by `owner` (board approval if declared).
+    CreatePolicy {
+        /// Client key that will own the policy.
+        owner: VerifyingKey,
+        /// The policy to store.
+        policy: Box<Policy>,
+        /// Approval round issued by [`TmsRequest::BeginApproval`], if any.
+        approval: Option<ApprovalRequest>,
+        /// Board votes for the approval round.
+        votes: Vec<Vote>,
+    },
+    /// Read a policy back (owner key + board approval when declared).
+    ReadPolicy {
+        /// Policy name.
+        name: String,
+        /// The requesting client's key.
+        client: VerifyingKey,
+        /// Approval round, if the policy declares a board.
+        approval: Option<ApprovalRequest>,
+        /// Board votes.
+        votes: Vec<Vote>,
+    },
+    /// Replace a policy's content (secure-update path).
+    UpdatePolicy {
+        /// The requesting client's key.
+        client: VerifyingKey,
+        /// The new policy content (same name).
+        policy: Box<Policy>,
+        /// Approval round against the *current* board.
+        approval: Option<ApprovalRequest>,
+        /// Board votes.
+        votes: Vec<Vote>,
+    },
+    /// Delete a policy and its material.
+    DeletePolicy {
+        /// Policy name.
+        name: String,
+        /// The requesting client's key.
+        client: VerifyingKey,
+        /// Approval round, if the policy declares a board.
+        approval: Option<ApprovalRequest>,
+        /// Board votes.
+        votes: Vec<Vote>,
+    },
+    /// Start a board approval round; returns the request members sign.
+    BeginApproval {
+        /// Target policy name.
+        policy_name: String,
+        /// The CRUD action to approve.
+        action: PolicyAction,
+        /// Digest of the policy content after the action.
+        policy_digest: Digest,
+    },
+    /// Attest an application and deliver its configuration.
+    AttestService {
+        /// The application's quote.
+        quote: Box<Quote>,
+        /// Report-data binding of the app's TLS key.
+        tls_key_binding: [u8; 64],
+        /// Policy the app runs under.
+        policy_name: String,
+        /// Service within the policy.
+        service_name: String,
+    },
+    /// Push a volume tag over an attested session.
+    PushTag {
+        /// The attested session.
+        session: SessionId,
+        /// Volume name.
+        volume: String,
+        /// The new file-system tag.
+        tag: Digest,
+        /// Which event produced the tag.
+        event: TagEvent,
+    },
+    /// Read the expected tag for a session's volume.
+    ReadTag {
+        /// The attested session.
+        session: SessionId,
+        /// Volume name.
+        volume: String,
+    },
+    /// Administratively reset a volume tag (post-crash strict-mode path).
+    ResetTag {
+        /// Policy name.
+        policy: String,
+        /// Volume name.
+        volume: String,
+    },
+    /// End an attested session.
+    CloseSession {
+        /// The session to close.
+        session: SessionId,
+    },
+    /// Number of active attested sessions.
+    SessionCount,
+    /// Number of stored policies.
+    PolicyCount,
+}
+
+impl TmsRequest {
+    /// True when the request mutates service state (and therefore joins
+    /// the batched Fig. 6 counter commit in strict commit mode).
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            TmsRequest::CreatePolicy { .. }
+                | TmsRequest::UpdatePolicy { .. }
+                | TmsRequest::DeletePolicy { .. }
+                | TmsRequest::PushTag { .. }
+                | TmsRequest::ResetTag { .. }
+        )
+    }
+}
+
+/// The successful outcome of a [`TmsRequest`].
+#[derive(Debug, Clone)]
+pub enum TmsResponse {
+    /// The request completed with no payload.
+    Done,
+    /// A policy (from [`TmsRequest::ReadPolicy`]).
+    Policy(Box<Policy>),
+    /// An approval round (from [`TmsRequest::BeginApproval`]).
+    Approval(ApprovalRequest),
+    /// An application configuration (from [`TmsRequest::AttestService`]).
+    Config(Box<AppConfig>),
+    /// A tag record, if one is stored (from [`TmsRequest::ReadTag`]).
+    Tag(Option<TagRecord>),
+    /// A count (sessions or policies).
+    Count(usize),
+}
+
+/// Dispatch statistics of one server (shared across clones).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests that completed successfully.
+    pub ok: u64,
+    /// Requests that returned an error.
+    pub failed: u64,
+    /// Batched counter statistics, when strict commit mode is on.
+    pub counter: Option<BatchStats>,
+}
+
+#[derive(Default)]
+struct Counters {
+    ok: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// The concurrent front-end. Clone freely; all clones share the engine,
+/// the commit counter and the statistics.
+#[derive(Clone)]
+pub struct TmsServer {
+    engine: Arc<Palaemon>,
+    commit_counter: Option<Arc<BatchedCounter>>,
+    counters: Arc<Counters>,
+}
+
+impl std::fmt::Debug for TmsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmsServer")
+            .field("engine", &self.engine)
+            .field("strict_commit", &self.commit_counter.is_some())
+            .finish()
+    }
+}
+
+impl TmsServer {
+    /// Serves `engine` without a rollback-counter coupling.
+    pub fn new(engine: Arc<Palaemon>) -> Self {
+        TmsServer {
+            engine,
+            commit_counter: None,
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// Serves `engine` in strict commit mode: every mutating request joins
+    /// `counter`'s group commit after its database commit.
+    pub fn with_commit_counter(engine: Arc<Palaemon>, counter: Arc<BatchedCounter>) -> Self {
+        TmsServer {
+            engine,
+            commit_counter: Some(counter),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The shared engine (for lifecycle paths that need direct access).
+    pub fn engine(&self) -> &Arc<Palaemon> {
+        &self.engine
+    }
+
+    /// Handles one request. Safe to call from any number of threads.
+    ///
+    /// # Errors
+    /// Whatever the dispatched engine operation returns.
+    pub fn handle(&self, request: TmsRequest) -> Result<TmsResponse> {
+        let mutation = request.is_mutation();
+        let mut result = self.dispatch(request);
+        if result.is_ok() && mutation {
+            if let Some(counter) = &self.commit_counter {
+                // State is durable; cover it with a (batched) Fig. 6
+                // counter increment before acknowledging.
+                if let Err(e) = counter.commit() {
+                    result = Err(e);
+                }
+            }
+        }
+        let outcome = if result.is_ok() {
+            &self.counters.ok
+        } else {
+            &self.counters.failed
+        };
+        outcome.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    fn dispatch(&self, request: TmsRequest) -> Result<TmsResponse> {
+        match request {
+            TmsRequest::CreatePolicy {
+                owner,
+                policy,
+                approval,
+                votes,
+            } => self
+                .engine
+                .create_policy(&owner, *policy, approval.as_ref(), &votes)
+                .map(|()| TmsResponse::Done),
+            TmsRequest::ReadPolicy {
+                name,
+                client,
+                approval,
+                votes,
+            } => self
+                .engine
+                .read_policy(&name, &client, approval.as_ref(), &votes)
+                .map(|p| TmsResponse::Policy(Box::new(p))),
+            TmsRequest::UpdatePolicy {
+                client,
+                policy,
+                approval,
+                votes,
+            } => self
+                .engine
+                .update_policy(&client, *policy, approval.as_ref(), &votes)
+                .map(|()| TmsResponse::Done),
+            TmsRequest::DeletePolicy {
+                name,
+                client,
+                approval,
+                votes,
+            } => self
+                .engine
+                .delete_policy(&name, &client, approval.as_ref(), &votes)
+                .map(|()| TmsResponse::Done),
+            TmsRequest::BeginApproval {
+                policy_name,
+                action,
+                policy_digest,
+            } => Ok(TmsResponse::Approval(self.engine.begin_approval(
+                &policy_name,
+                action,
+                policy_digest,
+            ))),
+            TmsRequest::AttestService {
+                quote,
+                tls_key_binding,
+                policy_name,
+                service_name,
+            } => self
+                .engine
+                .attest_service(&quote, &tls_key_binding, &policy_name, &service_name)
+                .map(|c| TmsResponse::Config(Box::new(c))),
+            TmsRequest::PushTag {
+                session,
+                volume,
+                tag,
+                event,
+            } => self
+                .engine
+                .push_tag(session, &volume, tag, event)
+                .map(|()| TmsResponse::Done),
+            TmsRequest::ReadTag { session, volume } => {
+                self.engine.read_tag(session, &volume).map(TmsResponse::Tag)
+            }
+            TmsRequest::ResetTag { policy, volume } => self
+                .engine
+                .reset_tag(&policy, &volume)
+                .map(|()| TmsResponse::Done),
+            TmsRequest::CloseSession { session } => {
+                self.engine.close_session(session);
+                Ok(TmsResponse::Done)
+            }
+            TmsRequest::SessionCount => Ok(TmsResponse::Count(self.engine.session_count())),
+            TmsRequest::PolicyCount => Ok(TmsResponse::Count(self.engine.policy_count())),
+        }
+    }
+
+    /// Dispatch statistics (shared across all clones of this server).
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            ok: self.counters.ok.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            counter: self.commit_counter.as_ref().map(|c| c.stats()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counterfile::MemFileCounter;
+    use crate::tms::Palaemon;
+    use palaemon_crypto::aead::AeadKey;
+    use palaemon_crypto::sig::SigningKey;
+    use palaemon_db::Db;
+    use shielded_fs::store::MemStore;
+    use tee_sim::platform::{Microcode, Platform};
+    use tee_sim::quote::{create_report, quote_report};
+
+    fn server(strict: bool) -> (TmsServer, Platform, Digest, VerifyingKey) {
+        let platform = Platform::new("srv-host", Microcode::PostForeshadow);
+        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([5; 32]));
+        let engine = Arc::new(Palaemon::new(
+            db,
+            SigningKey::from_seed(b"srv"),
+            Digest::ZERO,
+            13,
+        ));
+        engine.register_platform(platform.id(), platform.qe_verifying_key());
+        let server = if strict {
+            TmsServer::with_commit_counter(
+                engine,
+                Arc::new(BatchedCounter::new(MemFileCounter::new())),
+            )
+        } else {
+            TmsServer::new(engine)
+        };
+        let mre = Digest::from_bytes([0x31; 32]);
+        let owner = SigningKey::from_seed(b"owner").verifying_key();
+        let policy = Policy::parse(&format!(
+            "name: srv\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+             volumes: [\"data\"]\nvolumes:\n  - name: data\n",
+            mre.to_hex()
+        ))
+        .unwrap();
+        server
+            .handle(TmsRequest::CreatePolicy {
+                owner,
+                policy: Box::new(policy),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+        (server, platform, mre, owner)
+    }
+
+    fn attest(server: &TmsServer, platform: &Platform, mre: Digest) -> SessionId {
+        let binding = [0u8; 64];
+        let report = create_report(platform, mre, binding);
+        let quote = quote_report(platform, &report).unwrap();
+        match server
+            .handle(TmsRequest::AttestService {
+                quote: Box::new(quote),
+                tls_key_binding: binding,
+                policy_name: "srv".into(),
+                service_name: "app".into(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Config(config) => config.session,
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dispatches_full_request_surface() {
+        let (server, platform, mre, owner) = server(false);
+        let session = attest(&server, &platform, mre);
+        server
+            .handle(TmsRequest::PushTag {
+                session,
+                volume: "data".into(),
+                tag: Digest::from_bytes([7; 32]),
+                event: TagEvent::Sync,
+            })
+            .unwrap();
+        match server
+            .handle(TmsRequest::ReadTag {
+                session,
+                volume: "data".into(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Tag(Some(rec)) => assert_eq!(rec.tag, Digest::from_bytes([7; 32])),
+            other => panic!("expected stored tag, got {other:?}"),
+        }
+        match server
+            .handle(TmsRequest::ReadPolicy {
+                name: "srv".into(),
+                client: owner,
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Policy(p) => assert_eq!(p.name, "srv"),
+            other => panic!("expected policy, got {other:?}"),
+        }
+        assert!(matches!(
+            server.handle(TmsRequest::SessionCount).unwrap(),
+            TmsResponse::Count(1)
+        ));
+        server.handle(TmsRequest::CloseSession { session }).unwrap();
+        assert!(matches!(
+            server.handle(TmsRequest::SessionCount).unwrap(),
+            TmsResponse::Count(0)
+        ));
+        let stats = server.stats();
+        assert!(stats.ok >= 6);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.counter.is_none());
+    }
+
+    #[test]
+    fn errors_are_counted_and_propagated() {
+        let (server, _, _, owner) = server(false);
+        let err = server
+            .handle(TmsRequest::ReadPolicy {
+                name: "ghost".into(),
+                client: owner,
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, crate::PalaemonError::PolicyNotFound(_)));
+        assert_eq!(server.stats().failed, 1);
+    }
+
+    #[test]
+    fn strict_commit_mode_covers_mutations_with_counter_increments() {
+        let (server, platform, mre, _) = server(true);
+        let session = attest(&server, &platform, mre);
+        for i in 0..5u8 {
+            server
+                .handle(TmsRequest::PushTag {
+                    session,
+                    volume: "data".into(),
+                    tag: Digest::from_bytes([i; 32]),
+                    event: TagEvent::Sync,
+                })
+                .unwrap();
+        }
+        let counter = server.stats().counter.unwrap();
+        // CreatePolicy + 5 tag pushes are mutations; reads/attest are not.
+        assert_eq!(counter.ops_committed, 6);
+        assert!(counter.increments <= counter.ops_committed);
+        server
+            .handle(TmsRequest::ReadTag {
+                session,
+                volume: "data".into(),
+            })
+            .unwrap();
+        assert_eq!(
+            server.stats().counter.unwrap().ops_committed,
+            6,
+            "reads must not touch the counter"
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_server() {
+        let (server, platform, mre, _) = server(true);
+        let binding = [0u8; 64];
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let server = server.clone();
+                // Quotes come from the (single) platform's quoting enclave;
+                // each client carries its own into its thread.
+                let report = create_report(&platform, mre, binding);
+                let quote = quote_report(&platform, &report).unwrap();
+                std::thread::spawn(move || {
+                    let session = match server
+                        .handle(TmsRequest::AttestService {
+                            quote: Box::new(quote),
+                            tls_key_binding: binding,
+                            policy_name: "srv".into(),
+                            service_name: "app".into(),
+                        })
+                        .unwrap()
+                    {
+                        TmsResponse::Config(config) => config.session,
+                        other => panic!("expected Config, got {other:?}"),
+                    };
+                    for i in 0..10u8 {
+                        server
+                            .handle(TmsRequest::PushTag {
+                                session,
+                                volume: "data".into(),
+                                tag: Digest::from_bytes([t as u8 * 16 + i; 32]),
+                                event: TagEvent::Sync,
+                            })
+                            .unwrap();
+                        server
+                            .handle(TmsRequest::ReadTag {
+                                session,
+                                volume: "data".into(),
+                            })
+                            .unwrap();
+                    }
+                    server.handle(TmsRequest::CloseSession { session }).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.engine().session_count(), 0);
+        let stats = server.stats();
+        assert_eq!(stats.failed, 0);
+        let counter = stats.counter.unwrap();
+        assert_eq!(counter.ops_committed, 81); // 1 create + 80 pushes
+        assert!(counter.increments <= counter.ops_committed);
+    }
+}

@@ -52,7 +52,7 @@ impl World {
         let platform = Platform::new("world-host", Microcode::PostForeshadow);
         let tms_store = MemStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let (mut palaemon, _info) = instance::start_instance(
+        let (palaemon, _info) = instance::start_instance(
             &platform,
             Box::new(tms_store.clone()),
             Digest::from_bytes([0xAA; 32]),
@@ -98,7 +98,7 @@ impl World {
     ///
     /// # Errors
     /// Creation errors (duplicate name etc.).
-    pub fn create_policy(&mut self, policy: Policy) -> Result<()> {
+    pub fn create_policy(&self, policy: Policy) -> Result<()> {
         self.palaemon
             .create_policy(&self.owner.verifying_key(), policy, None, &[])
     }
@@ -135,7 +135,7 @@ impl World {
         }
         RunningApp::start(
             &self.platform,
-            &mut self.palaemon,
+            &self.palaemon,
             DEMO_BINARY,
             64 * 1024,
             policy,
@@ -195,9 +195,8 @@ volumes:
         let mut app = world
             .start_app("v", "app", &[("data", store.clone())])
             .unwrap();
-        app.write_file(&mut world.palaemon, "data", "/f", b"1")
-            .unwrap();
-        app.exit(&mut world.palaemon).unwrap();
+        app.write_file(&world.palaemon, "data", "/f", b"1").unwrap();
+        app.exit(&world.palaemon).unwrap();
         let mut app2 = world.start_app("v", "app", &[("data", store)]).unwrap();
         assert_eq!(app2.read_file("data", "/f").unwrap(), b"1");
     }

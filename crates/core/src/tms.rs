@@ -18,14 +18,36 @@
 //! exit over their attested session. Tag updates are committed to the
 //! encrypted database (the expensive path measured in Fig. 11-left); reads
 //! are served from memory.
+//!
+//! ## Concurrency (sharded lock domains)
+//! One [`Palaemon`] serves many client threads at once (share it behind an
+//! `Arc`, or drive it through [`crate::server::TmsServer`]). Every
+//! operation takes `&self`; the interior is split into independent lock
+//! domains so unrelated operations never contend:
+//!
+//! * `db` (`RwLock<Db>`) — the policy/secret/tag store. Hot read paths
+//!   ([`Palaemon::read_tag`], [`Palaemon::read_policy`], attestation) take
+//!   the read lock only long enough to clone a [`DbView`] snapshot and do
+//!   all their work lock-free on it; writers serialize on the write lock.
+//! * `sessions` (`RwLock`) — the attested-session table.
+//! * `approvals` (`Mutex`) — pending board approvals + the nonce counter.
+//! * `rng` (`Mutex`) — secret generation.
+//! * `qe_keys` (`RwLock`) — registered quoting-enclave keys.
+//!
+//! **Lock order:** `db` before `approvals` before `rng`. `sessions` and
+//! `qe_keys` are leaf locks — never acquire another lock while holding
+//! them. Guards are dropped before calling out to crypto or the store
+//! wherever possible.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use palaemon_crypto::aead::AeadKey;
 use palaemon_crypto::randutil;
 use palaemon_crypto::sig::{SigningKey, VerifyingKey};
 use palaemon_crypto::Digest;
-use palaemon_db::Db;
+use palaemon_db::{Db, DbView};
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use shielded_fs::fs::TagEvent;
@@ -105,24 +127,31 @@ fn event_from_code(c: u8) -> Option<TagEvent> {
     }
 }
 
-/// One PALÆMON service instance.
+/// Pending board approvals and their freshness nonces (one lock domain).
+#[derive(Debug, Default)]
+struct ApprovalState {
+    pending: HashMap<u64, (String, PolicyAction, Digest)>,
+    next_nonce: u64,
+}
+
+/// One PALÆMON service instance — a shared, concurrency-safe engine; see
+/// the module docs for the lock domains and lock order.
 pub struct Palaemon {
-    db: Db,
-    rng: StdRng,
+    db: RwLock<Db>,
+    rng: Mutex<StdRng>,
     identity: SigningKey,
     mrenclave: Digest,
-    qe_keys: HashMap<String, VerifyingKey>,
-    sessions: HashMap<u64, Session>,
-    next_session: u64,
-    pending_approvals: HashMap<u64, (String, PolicyAction, Digest)>,
-    next_nonce: u64,
+    qe_keys: RwLock<HashMap<String, VerifyingKey>>,
+    sessions: RwLock<HashMap<u64, Session>>,
+    next_session: AtomicU64,
+    approvals: Mutex<ApprovalState>,
 }
 
 impl std::fmt::Debug for Palaemon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Palaemon")
             .field("mrenclave", &self.mrenclave)
-            .field("sessions", &self.sessions.len())
+            .field("sessions", &self.sessions.read().len())
             .finish()
     }
 }
@@ -135,15 +164,17 @@ impl Palaemon {
     /// enclave itself, and `seed` drives deterministic secret generation.
     pub fn new(db: Db, identity: SigningKey, mrenclave: Digest, seed: u64) -> Self {
         Palaemon {
-            db,
-            rng: StdRng::seed_from_u64(seed),
+            db: RwLock::new(db),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
             identity,
             mrenclave,
-            qe_keys: HashMap::new(),
-            sessions: HashMap::new(),
-            next_session: 1,
-            pending_approvals: HashMap::new(),
-            next_nonce: 1,
+            qe_keys: RwLock::new(HashMap::new()),
+            sessions: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            approvals: Mutex::new(ApprovalState {
+                pending: HashMap::new(),
+                next_nonce: 1,
+            }),
         }
     }
 
@@ -164,13 +195,20 @@ impl Palaemon {
 
     /// Registers a platform's quoting-enclave key so quotes from it can be
     /// verified (models QE provisioning).
-    pub fn register_platform(&mut self, platform_id: &str, qe_key: VerifyingKey) {
-        self.qe_keys.insert(platform_id.to_string(), qe_key);
+    pub fn register_platform(&self, platform_id: &str, qe_key: VerifyingKey) {
+        self.qe_keys.write().insert(platform_id.to_string(), qe_key);
     }
 
     /// Direct access to the underlying database (instance guard, tests).
+    /// Requires exclusive ownership — concurrent callers go through the
+    /// engine's operations instead.
     pub fn db_mut(&mut self) -> &mut Db {
-        &mut self.db
+        self.db.get_mut()
+    }
+
+    /// A lock-free point-in-time snapshot of the service database.
+    fn db_view(&self) -> DbView {
+        self.db.read().view()
     }
 
     // ------------------------------------------------------------------
@@ -180,14 +218,16 @@ impl Palaemon {
     /// Starts an approval round: returns the request board members must
     /// sign. The nonce is single-use.
     pub fn begin_approval(
-        &mut self,
+        &self,
         policy_name: &str,
         action: PolicyAction,
         policy_digest: Digest,
     ) -> ApprovalRequest {
-        let nonce = self.next_nonce;
-        self.next_nonce += 1;
-        self.pending_approvals
+        let mut approvals = self.approvals.lock();
+        let nonce = approvals.next_nonce;
+        approvals.next_nonce += 1;
+        approvals
+            .pending
             .insert(nonce, (policy_name.to_string(), action, policy_digest));
         ApprovalRequest {
             policy_name: policy_name.to_string(),
@@ -198,13 +238,15 @@ impl Palaemon {
     }
 
     fn consume_approval(
-        &mut self,
+        &self,
         request: &ApprovalRequest,
         board: &crate::policy::BoardSpec,
         votes: &[Vote],
     ) -> Result<()> {
         let pending = self
-            .pending_approvals
+            .approvals
+            .lock()
+            .pending
             .remove(&request.nonce)
             .ok_or_else(|| PalaemonError::BoardRejected("unknown or reused nonce".into()))?;
         if pending
@@ -232,15 +274,18 @@ impl Palaemon {
     /// [`PalaemonError::PolicyExists`], [`PalaemonError::BoardRejected`],
     /// or database errors.
     pub fn create_policy(
-        &mut self,
+        &self,
         owner: &VerifyingKey,
         policy: Policy,
         request: Option<&ApprovalRequest>,
         votes: &[Vote],
     ) -> Result<()> {
         policy.validate()?;
+        // The write lock is held across the existence check and the insert
+        // so two racing creates of the same name cannot both succeed.
+        let mut db = self.db.write();
         let key = format!("policy/{}", policy.name);
-        if self.db.get(key.as_bytes()).is_some() {
+        if db.get(key.as_bytes()).is_some() {
             return Err(PalaemonError::PolicyExists(policy.name.clone()));
         }
         if let Some(board) = &policy.board {
@@ -256,25 +301,26 @@ impl Palaemon {
         }
 
         // Generate secrets.
+        let mut rng = self.rng.lock();
         for spec in &policy.secrets {
             let value = match &spec.kind {
                 SecretKind::Ascii { length } => {
-                    randutil::random_token(&mut self.rng, *length).into_bytes()
+                    randutil::random_token(&mut *rng, *length).into_bytes()
                 }
                 SecretKind::Binary { length } => {
                     let mut v = vec![0u8; *length];
-                    self.rng.fill_bytes(&mut v);
+                    rng.fill_bytes(&mut v);
                     v
                 }
                 SecretKind::Explicit { value } => value.clone(),
             };
-            self.db.put(
+            db.put(
                 format!("secretv/{}/{}", policy.name, spec.name).into_bytes(),
                 value.clone(),
             );
             // Exports: make the secret available to target policies.
             for target in &spec.export_to {
-                self.db.put(
+                db.put(
                     format!("export-secret/{}/{}", target, spec.name).into_bytes(),
                     value.clone(),
                 );
@@ -282,48 +328,27 @@ impl Palaemon {
         }
         // Generate volume keys.
         for vol in &policy.volumes {
-            let vol_key = AeadKey::generate(&mut self.rng);
-            self.db.put(
+            let vol_key = AeadKey::generate(&mut *rng);
+            db.put(
                 format!("volkey/{}/{}", policy.name, vol.name).into_bytes(),
                 vol_key.expose_bytes().to_vec(),
             );
             if let Some(target) = &vol.export_to {
-                self.db.put(
+                db.put(
                     format!("export-volume/{}/{}/{}", target, policy.name, vol.name).into_bytes(),
                     vol_key.expose_bytes().to_vec(),
                 );
             }
         }
+        drop(rng);
 
-        self.db.put(key.into_bytes(), policy.encode());
-        self.db.put(
+        db.put(key.into_bytes(), policy.encode());
+        db.put(
             format!("owner/{}", policy.name).into_bytes(),
             owner.to_u64().to_be_bytes().to_vec(),
         );
-        self.db.commit()?;
+        db.commit()?;
         Ok(())
-    }
-
-    fn authorize(&self, name: &str, client: &VerifyingKey) -> Result<()> {
-        let owner_raw = self
-            .db
-            .get(format!("owner/{name}").as_bytes())
-            .ok_or_else(|| PalaemonError::PolicyNotFound(name.to_string()))?;
-        let owner = u64::from_be_bytes(owner_raw.try_into().unwrap_or_default());
-        if owner != client.to_u64() {
-            return Err(PalaemonError::NotAuthorized(format!(
-                "client key does not own policy '{name}'"
-            )));
-        }
-        Ok(())
-    }
-
-    fn load_policy(&self, name: &str) -> Result<Policy> {
-        let raw = self
-            .db
-            .get(format!("policy/{name}").as_bytes())
-            .ok_or_else(|| PalaemonError::PolicyNotFound(name.to_string()))?;
-        Policy::decode(raw)
     }
 
     /// Reads a policy. Requires the owner's key and, when a board exists,
@@ -333,14 +358,16 @@ impl Palaemon {
     /// [`PalaemonError::PolicyNotFound`], [`PalaemonError::NotAuthorized`],
     /// [`PalaemonError::BoardRejected`].
     pub fn read_policy(
-        &mut self,
+        &self,
         name: &str,
         client: &VerifyingKey,
         request: Option<&ApprovalRequest>,
         votes: &[Vote],
     ) -> Result<Policy> {
-        self.authorize(name, client)?;
-        let policy = self.load_policy(name)?;
+        // Hot read path: snapshot, then no db lock held.
+        let view = self.db_view();
+        authorize(&view, name, client)?;
+        let policy = load_policy(&view, name)?;
         if let Some(board) = &policy.board {
             let request = request.ok_or_else(|| {
                 PalaemonError::BoardRejected("policy has a board; approval required".into())
@@ -359,7 +386,7 @@ impl Palaemon {
     /// [`PalaemonError::PolicyNotFound`], [`PalaemonError::NotAuthorized`],
     /// [`PalaemonError::BoardRejected`], parse/db errors.
     pub fn update_policy(
-        &mut self,
+        &self,
         client: &VerifyingKey,
         new_policy: Policy,
         request: Option<&ApprovalRequest>,
@@ -367,8 +394,14 @@ impl Palaemon {
     ) -> Result<()> {
         new_policy.validate()?;
         let name = new_policy.name.clone();
-        self.authorize(&name, client)?;
-        let current = self.load_policy(&name)?;
+        let mut db = self.db.write();
+        let current = {
+            // The view is dropped before mutating so the writes below do
+            // not pay a copy-on-write of the table.
+            let view = db.view();
+            authorize(&view, &name, client)?;
+            load_policy(&view, &name)?
+        };
         if let Some(board) = &current.board {
             let request = request.ok_or_else(|| {
                 PalaemonError::BoardRejected("policy has a board; approval required".into())
@@ -385,23 +418,24 @@ impl Palaemon {
 
         // Generate material for newly declared secrets; keep existing ones
         // so updates do not rotate application secrets implicitly.
+        let mut rng = self.rng.lock();
         for spec in &new_policy.secrets {
             let key = format!("secretv/{}/{}", name, spec.name);
-            if self.db.get(key.as_bytes()).is_none() {
+            if db.get(key.as_bytes()).is_none() {
                 let value = match &spec.kind {
                     SecretKind::Ascii { length } => {
-                        randutil::random_token(&mut self.rng, *length).into_bytes()
+                        randutil::random_token(&mut *rng, *length).into_bytes()
                     }
                     SecretKind::Binary { length } => {
                         let mut v = vec![0u8; *length];
-                        self.rng.fill_bytes(&mut v);
+                        rng.fill_bytes(&mut v);
                         v
                     }
                     SecretKind::Explicit { value } => value.clone(),
                 };
-                self.db.put(key.into_bytes(), value.clone());
+                db.put(key.into_bytes(), value.clone());
                 for target in &spec.export_to {
-                    self.db.put(
+                    db.put(
                         format!("export-secret/{}/{}", target, spec.name).into_bytes(),
                         value.clone(),
                     );
@@ -411,23 +445,21 @@ impl Palaemon {
         // Drop secrets no longer declared.
         for old in &current.secrets {
             if !new_policy.secrets.iter().any(|s| s.name == old.name) {
-                self.db
-                    .delete(format!("secretv/{}/{}", name, old.name).as_bytes());
+                db.delete(format!("secretv/{}/{}", name, old.name).as_bytes());
             }
         }
         // New volumes get keys.
         for vol in &new_policy.volumes {
             let key = format!("volkey/{}/{}", name, vol.name);
-            if self.db.get(key.as_bytes()).is_none() {
-                let vol_key = AeadKey::generate(&mut self.rng);
-                self.db
-                    .put(key.into_bytes(), vol_key.expose_bytes().to_vec());
+            if db.get(key.as_bytes()).is_none() {
+                let vol_key = AeadKey::generate(&mut *rng);
+                db.put(key.into_bytes(), vol_key.expose_bytes().to_vec());
             }
         }
+        drop(rng);
 
-        self.db
-            .put(format!("policy/{name}").into_bytes(), new_policy.encode());
-        self.db.commit()?;
+        db.put(format!("policy/{name}").into_bytes(), new_policy.encode());
+        db.commit()?;
         Ok(())
     }
 
@@ -437,14 +469,18 @@ impl Palaemon {
     /// [`PalaemonError::PolicyNotFound`], [`PalaemonError::NotAuthorized`],
     /// [`PalaemonError::BoardRejected`].
     pub fn delete_policy(
-        &mut self,
+        &self,
         name: &str,
         client: &VerifyingKey,
         request: Option<&ApprovalRequest>,
         votes: &[Vote],
     ) -> Result<()> {
-        self.authorize(name, client)?;
-        let policy = self.load_policy(name)?;
+        let mut db = self.db.write();
+        let policy = {
+            let view = db.view();
+            authorize(&view, name, client)?;
+            load_policy(&view, name)?
+        };
         if let Some(board) = &policy.board {
             let request = request.ok_or_else(|| {
                 PalaemonError::BoardRejected("policy has a board; approval required".into())
@@ -463,41 +499,26 @@ impl Palaemon {
         ];
         let mut to_delete = Vec::new();
         for p in &prefixes {
-            for (k, _) in self.db.scan_prefix(p.as_bytes()) {
+            for (k, _) in db.scan_prefix(p.as_bytes()) {
                 to_delete.push(k.to_vec());
             }
         }
         for k in to_delete {
-            self.db.delete(&k);
+            db.delete(&k);
         }
-        self.db.commit()?;
+        db.commit()?;
         Ok(())
     }
 
     /// Number of stored policies.
     pub fn policy_count(&self) -> usize {
-        self.db.scan_prefix(b"policy/").count()
+        let view = self.db_view();
+        view.scan_prefix(b"policy/").count()
     }
 
     // ------------------------------------------------------------------
     // Attestation & configuration (paper §IV-A)
     // ------------------------------------------------------------------
-
-    /// The set of MRENCLAVEs a service accepts: its own list plus the
-    /// exported combos of imported image policies (intersection with the
-    /// app's restriction happens in [`crate::update::allowed_combos`]).
-    fn effective_mrenclaves(&self, service: &ServiceSpec) -> Result<Vec<Digest>> {
-        let mut mres = service.mrenclaves.clone();
-        for image_policy_name in &service.import_combos {
-            let image_policy = self.load_policy(image_policy_name)?;
-            for combo in &image_policy.exported_combos {
-                if !mres.contains(&combo.mrenclave) {
-                    mres.push(combo.mrenclave);
-                }
-            }
-        }
-        Ok(mres)
-    }
 
     /// Attests an application and, on success, returns its configuration.
     ///
@@ -511,18 +532,27 @@ impl Palaemon {
     /// [`PalaemonError::StrictModeViolation`] when strict mode blocks a
     /// restart after an unclean shutdown.
     pub fn attest_service(
-        &mut self,
+        &self,
         quote: &Quote,
         tls_key_binding: &[u8; 64],
         policy_name: &str,
         service_name: &str,
     ) -> Result<AppConfig> {
-        // 1. Quote must verify against the registered QE key.
-        let qe_key = self.qe_keys.get(&quote.platform_id).ok_or_else(|| {
-            PalaemonError::AttestationFailed(format!("unknown platform '{}'", quote.platform_id))
-        })?;
+        // 1. Quote must verify against the registered QE key (the leaf lock
+        //    is released before the signature check runs).
+        let qe_key = self
+            .qe_keys
+            .read()
+            .get(&quote.platform_id)
+            .cloned()
+            .ok_or_else(|| {
+                PalaemonError::AttestationFailed(format!(
+                    "unknown platform '{}'",
+                    quote.platform_id
+                ))
+            })?;
         quote
-            .verify(qe_key)
+            .verify(&qe_key)
             .map_err(|e| PalaemonError::AttestationFailed(e.to_string()))?;
         // 2. TLS channel binding.
         if &quote.report_data != tls_key_binding {
@@ -530,9 +560,10 @@ impl Palaemon {
                 "report data does not bind the TLS key".into(),
             ));
         }
-        // 3. Policy and service lookup.
-        let policy = self
-            .load_policy(policy_name)
+        // 3. Policy and service lookup — everything below reads from one
+        //    consistent snapshot, without holding the db lock.
+        let view = self.db_view();
+        let policy = load_policy(&view, policy_name)
             .map_err(|_| PalaemonError::AttestationFailed(format!("no policy '{policy_name}'")))?;
         let service = policy
             .service(service_name)
@@ -541,7 +572,7 @@ impl Palaemon {
             })?
             .clone();
         // 4. MRENCLAVE allowed?
-        let allowed = self.effective_mrenclaves(&service)?;
+        let allowed = effective_mrenclaves(&view, &service)?;
         if !allowed.contains(&quote.mrenclave) {
             return Err(PalaemonError::AttestationFailed(format!(
                 "MRENCLAVE {} not permitted for service '{service_name}'",
@@ -560,7 +591,7 @@ impl Palaemon {
         // 6. Strict mode: last run must have exited cleanly.
         if policy.strict {
             for vol in &service.volumes {
-                if let Some(rec) = self.tag_record(policy_name, vol) {
+                if let Some(rec) = tag_record(&view, policy_name, vol) {
                     if rec.event != TagEvent::Exit {
                         return Err(PalaemonError::StrictModeViolation(format!(
                             "volume '{vol}' tag was pushed by {:?}, not a clean exit; \
@@ -575,17 +606,11 @@ impl Palaemon {
         // Collect secrets: own + imported.
         let mut secrets: SecretMap = SecretMap::new();
         for spec in &policy.secrets {
-            if let Some(v) = self
-                .db
-                .get(format!("secretv/{}/{}", policy_name, spec.name).as_bytes())
-            {
+            if let Some(v) = view.get(format!("secretv/{}/{}", policy_name, spec.name).as_bytes()) {
                 secrets.insert(spec.name.clone(), v.to_vec());
             }
         }
-        for (k, v) in self
-            .db
-            .scan_prefix(format!("export-secret/{policy_name}/").as_bytes())
-        {
+        for (k, v) in view.scan_prefix(format!("export-secret/{policy_name}/").as_bytes()) {
             let name = String::from_utf8_lossy(k)
                 .rsplit('/')
                 .next()
@@ -597,8 +622,7 @@ impl Palaemon {
         // Volumes: own keys or imported ones.
         let mut volumes = Vec::new();
         for vol in &service.volumes {
-            let key_bytes = self
-                .db
+            let key_bytes = view
                 .get(format!("volkey/{policy_name}/{vol}").as_bytes())
                 .map(|v| v.to_vec())
                 .or_else(|| {
@@ -607,12 +631,11 @@ impl Palaemon {
                         .iter()
                         .find(|i| &i.volume == vol)
                         .and_then(|imp| {
-                            self.db
-                                .get(
-                                    format!("export-volume/{policy_name}/{}/{vol}", imp.policy)
-                                        .as_bytes(),
-                                )
-                                .map(|v| v.to_vec())
+                            view.get(
+                                format!("export-volume/{policy_name}/{}/{vol}", imp.policy)
+                                    .as_bytes(),
+                            )
+                            .map(|v| v.to_vec())
                         })
                 })
                 .ok_or_else(|| {
@@ -624,7 +647,7 @@ impl Palaemon {
             volumes.push(VolumeGrant {
                 volume: vol.clone(),
                 key: AeadKey::from_bytes(arr),
-                expected_tag: self.tag_record(policy_name, vol).map(|r| r.tag),
+                expected_tag: tag_record(&view, policy_name, vol).map(|r| r.tag),
             });
         }
 
@@ -640,9 +663,8 @@ impl Palaemon {
             .map(|(k, v)| (k.clone(), substitute(v, &secrets)))
             .collect();
 
-        let session = SessionId(self.next_session);
-        self.next_session += 1;
-        self.sessions.insert(
+        let session = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        self.sessions.write().insert(
             session.0,
             Session {
                 policy: policy_name.to_string(),
@@ -673,52 +695,48 @@ impl Palaemon {
     /// [`PalaemonError::NoSuchSession`] for unknown sessions or volumes not
     /// granted to the session; database errors.
     pub fn push_tag(
-        &mut self,
+        &self,
         session: SessionId,
         volume: &str,
         tag: Digest,
         event: TagEvent,
     ) -> Result<()> {
-        let sess = self
-            .sessions
-            .get(&session.0)
-            .ok_or(PalaemonError::NoSuchSession)?;
-        if !sess.volumes.iter().any(|v| v == volume) {
-            return Err(PalaemonError::NoSuchSession);
-        }
+        // The session table is a leaf lock: resolve and release before
+        // taking the db write lock.
+        let policy = {
+            let sessions = self.sessions.read();
+            let sess = sessions
+                .get(&session.0)
+                .ok_or(PalaemonError::NoSuchSession)?;
+            if !sess.volumes.iter().any(|v| v == volume) {
+                return Err(PalaemonError::NoSuchSession);
+            }
+            sess.policy.clone()
+        };
         let mut value = tag.as_bytes().to_vec();
         value.push(event_code(event));
-        self.db.put(
-            format!("tag/{}/{}", sess.policy, volume).into_bytes(),
-            value,
-        );
-        self.db.commit()?;
+        let mut db = self.db.write();
+        db.put(format!("tag/{policy}/{volume}").into_bytes(), value);
+        db.commit()?;
         Ok(())
     }
 
-    /// Reads the expected tag for a session's volume (fast path, no disk).
+    /// Reads the expected tag for a session's volume (fast path, no disk —
+    /// served from a lock-free snapshot so it runs in parallel with
+    /// writers).
     ///
     /// # Errors
     /// [`PalaemonError::NoSuchSession`].
     pub fn read_tag(&self, session: SessionId, volume: &str) -> Result<Option<TagRecord>> {
-        let sess = self
-            .sessions
-            .get(&session.0)
-            .ok_or(PalaemonError::NoSuchSession)?;
-        Ok(self.tag_record(&sess.policy, volume))
-    }
-
-    fn tag_record(&self, policy: &str, volume: &str) -> Option<TagRecord> {
-        let raw = self.db.get(format!("tag/{policy}/{volume}").as_bytes())?;
-        if raw.len() != 33 {
-            return None;
-        }
-        let mut arr = [0u8; 32];
-        arr.copy_from_slice(&raw[..32]);
-        Some(TagRecord {
-            tag: Digest::from_bytes(arr),
-            event: event_from_code(raw[32])?,
-        })
+        let policy = {
+            let sessions = self.sessions.read();
+            sessions
+                .get(&session.0)
+                .ok_or(PalaemonError::NoSuchSession)?
+                .policy
+                .clone()
+        };
+        Ok(tag_record(&self.db_view(), &policy, volume))
     }
 
     /// Administratively resets a volume tag (the paper's "explicit policy
@@ -727,21 +745,76 @@ impl Palaemon {
     ///
     /// # Errors
     /// Database errors.
-    pub fn reset_tag(&mut self, policy: &str, volume: &str) -> Result<()> {
-        self.db.delete(format!("tag/{policy}/{volume}").as_bytes());
-        self.db.commit()?;
+    pub fn reset_tag(&self, policy: &str, volume: &str) -> Result<()> {
+        let mut db = self.db.write();
+        db.delete(format!("tag/{policy}/{volume}").as_bytes());
+        db.commit()?;
         Ok(())
     }
 
     /// Ends a session (the application exited).
-    pub fn close_session(&mut self, session: SessionId) {
-        self.sessions.remove(&session.0);
+    pub fn close_session(&self, session: SessionId) {
+        self.sessions.write().remove(&session.0);
     }
 
     /// Active session count.
     pub fn session_count(&self) -> usize {
-        self.sessions.len()
+        self.sessions.read().len()
     }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot-based lookups: these run on a detached [`DbView`], so read
+// paths never hold the database lock while doing real work.
+// ----------------------------------------------------------------------
+
+fn authorize(view: &DbView, name: &str, client: &VerifyingKey) -> Result<()> {
+    let owner_raw = view
+        .get(format!("owner/{name}").as_bytes())
+        .ok_or_else(|| PalaemonError::PolicyNotFound(name.to_string()))?;
+    let owner = u64::from_be_bytes(owner_raw.try_into().unwrap_or_default());
+    if owner != client.to_u64() {
+        return Err(PalaemonError::NotAuthorized(format!(
+            "client key does not own policy '{name}'"
+        )));
+    }
+    Ok(())
+}
+
+fn load_policy(view: &DbView, name: &str) -> Result<Policy> {
+    let raw = view
+        .get(format!("policy/{name}").as_bytes())
+        .ok_or_else(|| PalaemonError::PolicyNotFound(name.to_string()))?;
+    Policy::decode(raw)
+}
+
+/// The set of MRENCLAVEs a service accepts: its own list plus the exported
+/// combos of imported image policies (intersection with the app's
+/// restriction happens in [`crate::update::allowed_combos`]).
+fn effective_mrenclaves(view: &DbView, service: &ServiceSpec) -> Result<Vec<Digest>> {
+    let mut mres = service.mrenclaves.clone();
+    for image_policy_name in &service.import_combos {
+        let image_policy = load_policy(view, image_policy_name)?;
+        for combo in &image_policy.exported_combos {
+            if !mres.contains(&combo.mrenclave) {
+                mres.push(combo.mrenclave);
+            }
+        }
+    }
+    Ok(mres)
+}
+
+fn tag_record(view: &DbView, policy: &str, volume: &str) -> Option<TagRecord> {
+    let raw = view.get(format!("tag/{policy}/{volume}").as_bytes())?;
+    if raw.len() != 33 {
+        return None;
+    }
+    let mut arr = [0u8; 32];
+    arr.copy_from_slice(&raw[..32]);
+    Some(TagRecord {
+        tag: Digest::from_bytes(arr),
+        event: event_from_code(raw[32])?,
+    })
 }
 
 /// Replaces `{{secret}}` references inside a string value.
@@ -806,7 +879,7 @@ volumes:
     }
 
     fn setup() -> (Palaemon, Platform, VerifyingKey, Digest) {
-        let mut tms = new_tms();
+        let tms = new_tms();
         let platform = Platform::new("plat-1", Microcode::PostForeshadow);
         tms.register_platform(platform.id(), platform.qe_verifying_key());
         let (_, owner) = client();
@@ -818,7 +891,7 @@ volumes:
 
     #[test]
     fn create_and_attest_delivers_config() {
-        let (mut tms, platform, _, mre) = setup();
+        let (tms, platform, _, mre) = setup();
         let binding = [9u8; 64];
         let quote = quote_for(&platform, mre, binding);
         let config = tms.attest_service(&quote, &binding, "p1", "app").unwrap();
@@ -838,7 +911,7 @@ volumes:
 
     #[test]
     fn duplicate_policy_name_rejected() {
-        let (mut tms, _, owner, mre) = setup();
+        let (tms, _, owner, mre) = setup();
         let err = tms
             .create_policy(&owner, simple_policy("p1", mre), None, &[])
             .unwrap_err();
@@ -847,7 +920,7 @@ volumes:
 
     #[test]
     fn wrong_mre_rejected() {
-        let (mut tms, platform, _, _) = setup();
+        let (tms, platform, _, _) = setup();
         let binding = [9u8; 64];
         let quote = quote_for(&platform, Digest::from_bytes([0x33; 32]), binding);
         let err = tms
@@ -858,7 +931,7 @@ volumes:
 
     #[test]
     fn unknown_platform_rejected() {
-        let (mut tms, _, _, mre) = setup();
+        let (tms, _, _, mre) = setup();
         let rogue = Platform::new("rogue", Microcode::PostForeshadow);
         let binding = [9u8; 64];
         let quote = quote_for(&rogue, mre, binding);
@@ -867,7 +940,7 @@ volumes:
 
     #[test]
     fn tls_binding_mismatch_rejected() {
-        let (mut tms, platform, _, mre) = setup();
+        let (tms, platform, _, mre) = setup();
         let quote = quote_for(&platform, mre, [1u8; 64]);
         let err = tms
             .attest_service(&quote, &[2u8; 64], "p1", "app")
@@ -877,7 +950,7 @@ volumes:
 
     #[test]
     fn platform_restriction_enforced() {
-        let mut tms = new_tms();
+        let tms = new_tms();
         let allowed = Platform::new("allowed-host", Microcode::PostForeshadow);
         let other = Platform::new("other-host", Microcode::PostForeshadow);
         tms.register_platform(allowed.id(), allowed.qe_verifying_key());
@@ -905,7 +978,7 @@ services:
 
     #[test]
     fn tag_push_and_read() {
-        let (mut tms, platform, _, mre) = setup();
+        let (tms, platform, _, mre) = setup();
         let binding = [9u8; 64];
         let quote = quote_for(&platform, mre, binding);
         let config = tms.attest_service(&quote, &binding, "p1", "app").unwrap();
@@ -923,7 +996,7 @@ services:
 
     #[test]
     fn tag_push_requires_granted_volume() {
-        let (mut tms, platform, _, mre) = setup();
+        let (tms, platform, _, mre) = setup();
         let binding = [9u8; 64];
         let quote = quote_for(&platform, mre, binding);
         let config = tms.attest_service(&quote, &binding, "p1", "app").unwrap();
@@ -935,7 +1008,7 @@ services:
 
     #[test]
     fn unknown_session_rejected() {
-        let mut tms = new_tms();
+        let tms = new_tms();
         assert_eq!(
             tms.push_tag(SessionId(99), "v", Digest::ZERO, TagEvent::Sync)
                 .unwrap_err(),
@@ -945,7 +1018,7 @@ services:
 
     #[test]
     fn strict_mode_blocks_unclean_restart() {
-        let mut tms = new_tms();
+        let tms = new_tms();
         let platform = Platform::new("plat-1", Microcode::PostForeshadow);
         tms.register_platform(platform.id(), platform.qe_verifying_key());
         let (_, owner) = client();
@@ -1016,7 +1089,7 @@ volumes:
 
     #[test]
     fn board_policy_requires_approval() {
-        let mut tms = new_tms();
+        let tms = new_tms();
         let (_, owner) = client();
         let alice = Stakeholder::from_seed("alice", b"a");
         let bob = Stakeholder::from_seed("bob", b"b");
@@ -1071,7 +1144,7 @@ board:
 
     #[test]
     fn nonce_cannot_be_reused() {
-        let mut tms = new_tms();
+        let tms = new_tms();
         let (_, owner) = client();
         let alice = Stakeholder::from_seed("alice", b"a");
         let mre = Digest::from_bytes([0x66; 32]);
@@ -1108,7 +1181,7 @@ board:
 
     #[test]
     fn owner_key_enforced() {
-        let (mut tms, _, _, mre) = setup();
+        let (tms, _, _, mre) = setup();
         let stranger = SigningKey::from_seed(b"stranger").verifying_key();
         assert!(matches!(
             tms.read_policy("p1", &stranger, None, &[]),
@@ -1119,7 +1192,7 @@ board:
 
     #[test]
     fn secret_export_between_policies() {
-        let mut tms = new_tms();
+        let tms = new_tms();
         let platform = Platform::new("plat-1", Microcode::PostForeshadow);
         tms.register_platform(platform.id(), platform.qe_verifying_key());
         let (_, owner) = client();
@@ -1163,7 +1236,7 @@ services:
 
     #[test]
     fn delete_policy_removes_material() {
-        let (mut tms, _, owner, _) = setup();
+        let (tms, _, owner, _) = setup();
         tms.delete_policy("p1", &owner, None, &[]).unwrap();
         assert_eq!(tms.policy_count(), 0);
         assert!(matches!(
@@ -1174,7 +1247,7 @@ services:
 
     #[test]
     fn imported_combo_mre_accepted() {
-        let mut tms = new_tms();
+        let tms = new_tms();
         let platform = Platform::new("plat-1", Microcode::PostForeshadow);
         tms.register_platform(platform.id(), platform.qe_verifying_key());
         let (_, owner) = client();
@@ -1211,7 +1284,7 @@ services:
 
     #[test]
     fn session_lifecycle() {
-        let (mut tms, platform, _, mre) = setup();
+        let (tms, platform, _, mre) = setup();
         let binding = [9u8; 64];
         let quote = quote_for(&platform, mre, binding);
         let config = tms.attest_service(&quote, &binding, "p1", "app").unwrap();

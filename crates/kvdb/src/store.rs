@@ -1,8 +1,18 @@
 //! The key-value store engine: in-memory table + sealed WAL + checkpoints.
+//!
+//! ## Concurrency model
+//! The visible table lives behind an [`Arc`], so [`Db::view`] hands out
+//! cheap copy-on-write snapshots: a reader holding a [`DbView`] keeps
+//! reading a consistent point-in-time state without any lock, while a
+//! writer keeps mutating the `Db` (the first mutation after a view is taken
+//! clones the table — snapshot isolation, not blocking). Durability is
+//! unchanged: writes are serialized through the WAL by whoever owns the
+//! `&mut Db` (in PALÆMON, the engine's write lock).
 
 use std::collections::BTreeMap;
 use std::error::Error as StdError;
 use std::fmt;
+use std::sync::Arc;
 
 use palaemon_crypto::aead::AeadKey;
 use palaemon_crypto::wire::{Decoder, Encoder};
@@ -102,8 +112,11 @@ pub struct DbStats {
 pub struct Db {
     store: Box<dyn BlockStore>,
     key: AeadKey,
-    table: BTreeMap<Vec<u8>, Vec<u8>>,
-    pending: Vec<Op>,
+    table: Arc<BTreeMap<Vec<u8>, Vec<u8>>>,
+    /// WAL-encoded pending ops (serialized at `put`/`delete` time, so the
+    /// hot path moves key and value into the table instead of cloning them).
+    pending_buf: Vec<u8>,
+    pending_count: u32,
     meta: Meta,
     commits: u64,
     checkpoints: u64,
@@ -113,9 +126,51 @@ impl fmt::Debug for Db {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Db")
             .field("keys", &self.table.len())
-            .field("pending", &self.pending.len())
+            .field("pending", &self.pending_count)
             .field("meta", &self.meta)
             .finish()
+    }
+}
+
+/// A consistent point-in-time view of the visible table (including
+/// not-yet-committed buffered writes), detached from the [`Db`]: readers
+/// hold a `DbView` and read lock-free while writers continue on the `Db`.
+#[derive(Clone)]
+pub struct DbView {
+    table: Arc<BTreeMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl fmt::Debug for DbView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DbView({} keys)", self.table.len())
+    }
+}
+
+impl DbView {
+    /// Reads a value as of the view's snapshot.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.table.get(key).map(|v| v.as_slice())
+    }
+
+    /// Number of keys in the snapshot.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the snapshot holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs whose key starts with `prefix`.
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a [u8], &'a [u8])> + 'a {
+        self.table
+            .range(prefix.to_vec()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
     }
 }
 
@@ -130,8 +185,9 @@ impl Db {
         let mut db = Db {
             store,
             key,
-            table: BTreeMap::new(),
-            pending: Vec::new(),
+            table: Arc::new(BTreeMap::new()),
+            pending_buf: Vec::new(),
+            pending_count: 0,
             meta,
             commits: 0,
             checkpoints: 0,
@@ -185,8 +241,9 @@ impl Db {
         Ok(Db {
             store,
             key,
-            table,
-            pending: Vec::new(),
+            table: Arc::new(table),
+            pending_buf: Vec::new(),
+            pending_count: 0,
             meta,
             commits: 0,
             checkpoints: 0,
@@ -198,17 +255,36 @@ impl Db {
         self.table.get(key).map(|v| v.as_slice())
     }
 
+    /// Returns a detached snapshot of the currently visible state. Cheap
+    /// (one `Arc` clone); see the module docs for the copy-on-write cost
+    /// the *next* write pays while views are outstanding.
+    pub fn view(&self) -> DbView {
+        DbView {
+            table: Arc::clone(&self.table),
+        }
+    }
+
     /// Buffers a put; visible immediately, durable after [`Db::commit`].
+    ///
+    /// The WAL record is encoded here (while key and value are still
+    /// borrowed) and both buffers are then moved into the table, so the hot
+    /// path performs no extra clones.
     pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) {
         let (key, value) = (key.into(), value.into());
-        self.table.insert(key.clone(), value.clone());
-        self.pending.push(Op::Put(key, value));
+        let mut e = Encoder::new();
+        e.put_u8(1).put_bytes(&key).put_bytes(&value);
+        self.pending_buf.extend_from_slice(e.as_bytes());
+        self.pending_count += 1;
+        Arc::make_mut(&mut self.table).insert(key, value);
     }
 
     /// Buffers a delete.
     pub fn delete(&mut self, key: &[u8]) {
-        self.table.remove(key);
-        self.pending.push(Op::Delete(key.to_vec()));
+        let mut e = Encoder::new();
+        e.put_u8(2).put_bytes(key);
+        self.pending_buf.extend_from_slice(e.as_bytes());
+        self.pending_count += 1;
+        Arc::make_mut(&mut self.table).remove(key);
     }
 
     /// Number of keys currently visible.
@@ -237,11 +313,14 @@ impl Db {
     /// # Errors
     /// Propagates storage sync failures.
     pub fn commit(&mut self) -> Result<(), DbError> {
-        if self.pending.is_empty() {
+        if self.pending_count == 0 {
             return Ok(());
         }
         let seq = self.meta.next_seq;
-        let plain = encode_ops(&self.pending);
+        let mut header = Encoder::new();
+        header.put_u32(self.pending_count);
+        let mut plain = header.finish();
+        plain.extend_from_slice(&self.pending_buf);
         let sealed = self.key.seal(
             format!("wal.{seq}").as_bytes(),
             &plain,
@@ -253,7 +332,8 @@ impl Db {
         self.store
             .sync()
             .map_err(|e| DbError::Storage(e.to_string()))?;
-        self.pending.clear();
+        self.pending_buf.clear();
+        self.pending_count = 0;
         self.commits += 1;
         Ok(())
     }
@@ -298,7 +378,7 @@ impl Db {
 
     /// Count of pending (uncommitted) operations.
     pub fn pending_ops(&self) -> usize {
-        self.pending.len()
+        self.pending_count as usize
     }
 
     fn write_snapshot(&mut self, generation: u64) {
@@ -325,22 +405,6 @@ fn apply(table: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: Op) {
             table.remove(&k);
         }
     }
-}
-
-fn encode_ops(ops: &[Op]) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.put_u32(ops.len() as u32);
-    for op in ops {
-        match op {
-            Op::Put(k, v) => {
-                e.put_u8(1).put_bytes(k).put_bytes(v);
-            }
-            Op::Delete(k) => {
-                e.put_u8(2).put_bytes(k);
-            }
-        }
-    }
-    e.finish()
 }
 
 fn decode_ops(bytes: &[u8]) -> Result<Vec<Op>, DbError> {
@@ -617,6 +681,69 @@ mod tests {
                 Err(other) => panic!("unexpected: {other} (fuse={fuse})"),
             }
         }
+    }
+
+    #[test]
+    fn view_is_snapshot_isolated() {
+        let (_, mut db) = fresh();
+        db.put(b"k".as_slice(), b"v1".as_slice());
+        let view = db.view();
+        db.put(b"k".as_slice(), b"v2".as_slice());
+        db.delete(b"k");
+        // The view keeps the state as of its creation.
+        assert_eq!(view.get(b"k"), Some(b"v1".as_slice()));
+        assert_eq!(db.get(b"k"), None);
+        assert_eq!(view.len(), 1);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn view_sees_uncommitted_buffered_writes() {
+        let (_, mut db) = fresh();
+        db.put(b"k".as_slice(), b"v".as_slice());
+        // Visible (not necessarily durable) state, like Db::get.
+        assert_eq!(db.view().get(b"k"), Some(b"v".as_slice()));
+    }
+
+    #[test]
+    fn view_scan_prefix_matches_db() {
+        let (_, mut db) = fresh();
+        db.put(b"tag/a".as_slice(), b"1".as_slice());
+        db.put(b"tag/b".as_slice(), b"2".as_slice());
+        db.put(b"other".as_slice(), b"3".as_slice());
+        let view = db.view();
+        db.delete(b"tag/a");
+        let tags: Vec<_> = view.scan_prefix(b"tag/").collect();
+        assert_eq!(tags.len(), 2);
+        assert_eq!(tags[0], (b"tag/a".as_slice(), b"1".as_slice()));
+    }
+
+    #[test]
+    fn concurrent_readers_on_views_while_writing() {
+        let (_, mut db) = fresh();
+        for i in 0..64u32 {
+            db.put(format!("k{i}").into_bytes(), vec![i as u8]);
+        }
+        let view = db.view();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let v = view.clone();
+                std::thread::spawn(move || {
+                    for i in 0..64u32 {
+                        assert_eq!(v.get(format!("k{i}").as_bytes()), Some(&[i as u8][..]));
+                    }
+                    v.scan_prefix(b"k").count()
+                })
+            })
+            .collect();
+        // Writer keeps going while readers scan their snapshot.
+        for i in 0..64u32 {
+            db.put(format!("k{i}").into_bytes(), vec![0xFF]);
+        }
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 64);
+        }
+        assert_eq!(db.get(b"k0"), Some(&[0xFF][..]));
     }
 
     #[test]

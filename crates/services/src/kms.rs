@@ -9,12 +9,22 @@
 //!   pre-Spectre and post-Foreshadow microcode.
 //! * **Fig. 15 (Vault)**: a Go KMS whose ≥1.9 GB heap exceeds the EPC, so
 //!   hardware mode pays paging (HW ≈ 61 % of native, EMU ≈ 82 %).
+//!
+//! The data plane is concurrency-safe: every operation takes `&self`, so
+//! one [`Kms`] behind an `Arc` serves any number of client threads — the
+//! shape the paper's multi-client throughput experiments assume. The
+//! [`multi_client_throughput`] driver hammers a shared instance from N
+//! client threads and reports aggregate ops/s.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use palaemon_crypto::aead::AeadKey;
 use palaemon_crypto::randutil;
 use palaemon_db::Db;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use shielded_fs::store::MemStore;
@@ -44,16 +54,17 @@ impl std::fmt::Display for KmsError {
 impl std::error::Error for KmsError {}
 
 /// A token-authenticated secret store (the Vault/Barbican data plane).
+/// Share one behind an `Arc` — every operation takes `&self`.
 pub struct Kms {
-    db: Db,
-    tokens: HashMap<String, String>, // token -> principal
-    audit_entries: u64,
-    rng: StdRng,
+    db: RwLock<Db>,
+    tokens: RwLock<HashMap<String, String>>, // token -> principal
+    audit_entries: AtomicU64,
+    rng: Mutex<StdRng>,
 }
 
 impl std::fmt::Debug for Kms {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Kms({} tokens)", self.tokens.len())
+        write!(f, "Kms({} tokens)", self.tokens.read().len())
     }
 }
 
@@ -62,29 +73,32 @@ impl Kms {
     pub fn new(seed: u64) -> Self {
         let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([0x4B; 32]));
         Kms {
-            db,
-            tokens: HashMap::new(),
-            audit_entries: 0,
-            rng: StdRng::seed_from_u64(seed),
+            db: RwLock::new(db),
+            tokens: RwLock::new(HashMap::new()),
+            audit_entries: AtomicU64::new(0),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
 
     /// Issues a bearer token for `principal`.
-    pub fn issue_token(&mut self, principal: &str) -> String {
-        let token = randutil::random_token(&mut self.rng, 32);
-        self.tokens.insert(token.clone(), principal.to_string());
+    pub fn issue_token(&self, principal: &str) -> String {
+        let token = randutil::random_token(&mut *self.rng.lock(), 32);
+        self.tokens
+            .write()
+            .insert(token.clone(), principal.to_string());
         token
     }
 
     /// Revokes a token; true when it existed.
-    pub fn revoke_token(&mut self, token: &str) -> bool {
-        self.tokens.remove(token).is_some()
+    pub fn revoke_token(&self, token: &str) -> bool {
+        self.tokens.write().remove(token).is_some()
     }
 
-    fn auth(&self, token: &str) -> Result<&str, KmsError> {
+    fn auth(&self, token: &str) -> Result<(), KmsError> {
         self.tokens
-            .get(token)
-            .map(String::as_str)
+            .read()
+            .contains_key(token)
+            .then_some(())
             .ok_or(KmsError::Unauthorized)
     }
 
@@ -92,33 +106,94 @@ impl Kms {
     ///
     /// # Errors
     /// [`KmsError::Unauthorized`] or storage failures.
-    pub fn put_secret(&mut self, token: &str, path: &str, value: &[u8]) -> Result<(), KmsError> {
+    pub fn put_secret(&self, token: &str, path: &str, value: &[u8]) -> Result<(), KmsError> {
         self.auth(token)?;
-        self.db
-            .put(format!("secret/{path}").into_bytes(), value.to_vec());
-        self.db
-            .commit()
-            .map_err(|e| KmsError::Storage(e.to_string()))?;
-        self.audit_entries += 1;
+        let mut db = self.db.write();
+        db.put(format!("secret/{path}").into_bytes(), value.to_vec());
+        db.commit().map_err(|e| KmsError::Storage(e.to_string()))?;
+        drop(db);
+        self.audit_entries.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Reads a secret at `path`.
+    /// Reads a secret at `path` (lock-free snapshot read — runs in
+    /// parallel with writers).
     ///
     /// # Errors
     /// [`KmsError::Unauthorized`] / [`KmsError::NotFound`].
-    pub fn get_secret(&mut self, token: &str, path: &str) -> Result<Vec<u8>, KmsError> {
+    pub fn get_secret(&self, token: &str, path: &str) -> Result<Vec<u8>, KmsError> {
         self.auth(token)?;
-        self.audit_entries += 1;
-        self.db
-            .get(format!("secret/{path}").as_bytes())
+        self.audit_entries.fetch_add(1, Ordering::Relaxed);
+        let view = self.db.read().view();
+        view.get(format!("secret/{path}").as_bytes())
             .map(|v| v.to_vec())
             .ok_or_else(|| KmsError::NotFound(path.to_string()))
     }
 
     /// Number of audit-log entries (every authorised operation).
     pub fn audit_entries(&self) -> u64 {
-        self.audit_entries
+        self.audit_entries.load(Ordering::Relaxed)
+    }
+}
+
+/// Outcome of one [`multi_client_throughput`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiClientReport {
+    /// Number of client threads.
+    pub clients: usize,
+    /// Operations performed per client (half puts, half gets).
+    pub ops_per_client: usize,
+    /// Total operations completed across all clients.
+    pub total_ops: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Aggregate throughput in operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// Drives one shared [`Kms`] from `clients` threads, each performing
+/// `ops_per_client` operations (alternating put/get on per-client paths),
+/// and reports aggregate throughput — the multi-client KMS workload of the
+/// paper's §VI throughput experiments.
+///
+/// # Panics
+/// Panics if any client operation fails (tokens are issued up front, so
+/// failures indicate a broken data plane).
+pub fn multi_client_throughput(
+    kms: &Arc<Kms>,
+    clients: usize,
+    ops_per_client: usize,
+) -> MultiClientReport {
+    let tokens: Vec<String> = (0..clients)
+        .map(|c| kms.issue_token(&format!("client-{c}")))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (c, token) in tokens.iter().enumerate() {
+            let kms = Arc::clone(kms);
+            scope.spawn(move || {
+                for i in 0..ops_per_client {
+                    // Ops come in put/get pairs over 8 rotating paths, so
+                    // every get reads a path its own put just wrote.
+                    let path = format!("client-{c}/secret-{}", (i / 2) % 8);
+                    if i % 2 == 0 {
+                        kms.put_secret(token, &path, format!("v{i}").as_bytes())
+                            .expect("put");
+                    } else {
+                        kms.get_secret(token, &path).expect("get");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let total_ops = (clients * ops_per_client) as u64;
+    MultiClientReport {
+        clients,
+        ops_per_client,
+        total_ops,
+        elapsed,
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
     }
 }
 
@@ -214,7 +289,7 @@ mod tests {
 
     #[test]
     fn kms_roundtrip_with_auth() {
-        let mut kms = Kms::new(1);
+        let kms = Kms::new(1);
         let token = kms.issue_token("alice");
         kms.put_secret(&token, "db/password", b"hunter2").unwrap();
         assert_eq!(kms.get_secret(&token, "db/password").unwrap(), b"hunter2");
@@ -223,7 +298,7 @@ mod tests {
 
     #[test]
     fn bad_token_rejected() {
-        let mut kms = Kms::new(2);
+        let kms = Kms::new(2);
         assert_eq!(
             kms.get_secret("bogus", "x").unwrap_err(),
             KmsError::Unauthorized
@@ -236,7 +311,7 @@ mod tests {
 
     #[test]
     fn revoked_token_stops_working() {
-        let mut kms = Kms::new(3);
+        let kms = Kms::new(3);
         let token = kms.issue_token("alice");
         kms.put_secret(&token, "p", b"v").unwrap();
         assert!(kms.revoke_token(&token));
@@ -248,12 +323,59 @@ mod tests {
 
     #[test]
     fn missing_secret_not_found() {
-        let mut kms = Kms::new(4);
+        let kms = Kms::new(4);
         let token = kms.issue_token("alice");
         assert!(matches!(
             kms.get_secret(&token, "ghost"),
             Err(KmsError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn multi_client_driver_hits_shared_instance() {
+        let kms = Arc::new(Kms::new(5));
+        let report = multi_client_throughput(&kms, 4, 50);
+        assert_eq!(report.total_ops, 200);
+        assert_eq!(kms.audit_entries(), 200);
+        assert!(report.ops_per_sec > 0.0);
+        // Every client's last written secret is readable afterwards.
+        let token = kms.issue_token("auditor");
+        for c in 0..4 {
+            for s in 0..8 {
+                assert!(
+                    kms.get_secret(&token, &format!("client-{c}/secret-{s}"))
+                        .is_ok(),
+                    "client {c} secret {s} missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_do_not_starve() {
+        let kms = Arc::new(Kms::new(6));
+        let token = kms.issue_token("rw");
+        kms.put_secret(&token, "hot", b"v0").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let kms = Arc::clone(&kms);
+                let token = token.clone();
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        assert!(kms.get_secret(&token, "hot").unwrap().starts_with(b"v"));
+                    }
+                });
+            }
+            let kms = Arc::clone(&kms);
+            let token = token.clone();
+            scope.spawn(move || {
+                for i in 1..=50 {
+                    kms.put_secret(&token, "hot", format!("v{i}").as_bytes())
+                        .unwrap();
+                }
+            });
+        });
+        assert_eq!(kms.get_secret(&token, "hot").unwrap(), b"v50");
     }
 
     #[test]

@@ -124,7 +124,7 @@ fn main() {
     println!("CA rotated: v2 PALAEMON builds are now certifiable");
 
     // Meanwhile the provider runs a Vault-like KMS hardened by PALÆMON.
-    let mut kms = Kms::new(5);
+    let kms = Kms::new(5);
     let token = kms.issue_token("acme-corp");
     kms.put_secret(&token, "prod/db-password", b"s3cr3t!")
         .expect("stored");

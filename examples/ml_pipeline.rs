@@ -103,9 +103,9 @@ board:
 
     // Processing counter: the software provider limits how many documents
     // may be processed; rollback cannot reset it (strict mode).
-    app.write_file(&mut world.palaemon, "documents", "/processed", b"1")
+    app.write_file(&world.palaemon, "documents", "/processed", b"1")
         .expect("counter write");
-    app.exit(&mut world.palaemon).expect("clean exit");
+    app.exit(&world.palaemon).expect("clean exit");
     println!("document counter persisted under rollback protection");
 
     // Demonstrate the out-of-band model volume helper too.

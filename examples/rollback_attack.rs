@@ -35,9 +35,9 @@ volumes:
     let mut app = world
         .start_app("metered", "worker", &[("state", volume.clone())])
         .expect("start 1");
-    app.write_file(&mut world.palaemon, "state", "/items-processed", b"1")
+    app.write_file(&world.palaemon, "state", "/items-processed", b"1")
         .expect("write");
-    app.exit(&mut world.palaemon).expect("exit");
+    app.exit(&world.palaemon).expect("exit");
     println!("run 1: processed item #1, tag pushed to PALAEMON");
 
     // The operator snapshots the volume now (it is all ciphertext to them).
@@ -52,9 +52,9 @@ volumes:
         app.read_file("state", "/items-processed").expect("read"),
         b"1"
     );
-    app.write_file(&mut world.palaemon, "state", "/items-processed", b"2")
+    app.write_file(&world.palaemon, "state", "/items-processed", b"2")
         .expect("write");
-    app.exit(&mut world.palaemon).expect("exit");
+    app.exit(&world.palaemon).expect("exit");
     println!("run 2: processed item #2");
 
     // The attack: restore yesterday's volume and restart the app, hoping it

@@ -11,7 +11,7 @@ use palaemon_core::update;
 use palaemon_crypto::Digest;
 
 fn main() {
-    let mut world = World::new(3);
+    let world = World::new(3);
     let alice = Stakeholder::from_seed("alice", b"a");
     let bob = Stakeholder::from_seed("bob", b"b");
 

@@ -39,13 +39,8 @@ volumes:
     let mut app = world
         .start_app("conf", "app", &[("v", store.clone())])
         .unwrap();
-    app.write_file(
-        &mut world.palaemon,
-        "v",
-        "/data",
-        b"the-actual-secret-value",
-    )
-    .unwrap();
+    app.write_file(&world.palaemon, "v", "/data", b"the-actual-secret-value")
+        .unwrap();
     // Scan every blob in both the volume store and PALÆMON's own store.
     for blob_store in [&store, &world.tms_store] {
         for name in shielded_fs::store::BlockStore::list(blob_store) {
@@ -63,7 +58,7 @@ volumes:
 /// A malicious developer ships a modified binary: attestation refuses it.
 #[test]
 fn modified_binary_gets_no_secrets() {
-    let mut world = World::new(11);
+    let world = World::new(11);
     let policy = world
         .policy_from_template(
             r#"
@@ -92,7 +87,7 @@ services:
 /// An attacker fabricates a quote without the platform's QE key.
 #[test]
 fn forged_quote_rejected() {
-    let mut world = World::new(12);
+    let world = World::new(12);
     let policy = world
         .policy_from_template(
             r#"
@@ -124,7 +119,7 @@ services:
 /// A man-in-the-middle presents someone else's quote with its own TLS key.
 #[test]
 fn tls_channel_binding_stops_mitm() {
-    let mut world = World::new(13);
+    let world = World::new(13);
     let policy = world
         .policy_from_template(
             r#"
@@ -155,7 +150,7 @@ services:
 /// f Byzantine board members cannot push a change without an honest vote.
 #[test]
 fn byzantine_minority_cannot_update_policy() {
-    let mut world = World::new(14);
+    let world = World::new(14);
     let honest1 = Stakeholder::from_seed("h1", b"h1");
     let honest2 = Stakeholder::from_seed("h2", b"h2");
     let byzantine = Stakeholder::from_seed("byz", b"byz");
@@ -232,7 +227,7 @@ board:
 /// Replaying an old approval for new content fails (digest binding).
 #[test]
 fn approval_replay_rejected() {
-    let mut world = World::new(15);
+    let world = World::new(15);
     let alice = Stakeholder::from_seed("alice", b"a");
     let text = format!(
         r#"

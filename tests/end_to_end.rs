@@ -46,7 +46,7 @@ volumes:
         .unwrap();
     assert_eq!(app.config.args, vec!["app", "--mode", "production"]);
     app.write_file(
-        &mut world.palaemon,
+        &world.palaemon,
         "data",
         "/app/config.ini",
         b"api_key={{api_key}}\n",
@@ -56,9 +56,9 @@ volumes:
     let api_key_line = String::from_utf8(injected).unwrap();
     assert!(api_key_line.starts_with("api_key="));
     assert_eq!(api_key_line.trim_end().len(), "api_key=".len() + 40);
-    app.write_file(&mut world.palaemon, "data", "/state", b"epoch-1")
+    app.write_file(&world.palaemon, "data", "/state", b"epoch-1")
         .unwrap();
-    app.exit(&mut world.palaemon).unwrap();
+    app.exit(&world.palaemon).unwrap();
 
     // Session 2: state is intact, same secrets delivered.
     let mut app2 = world
@@ -93,10 +93,9 @@ volumes:
     let mut app = world
         .start_app("durable", "app", &[("v", store.clone())])
         .unwrap();
-    app.write_file(&mut world.palaemon, "v", "/f", b"x")
-        .unwrap();
+    app.write_file(&world.palaemon, "v", "/f", b"x").unwrap();
     let tag_before = app.volume_tag("v").unwrap();
-    app.exit(&mut world.palaemon).unwrap();
+    app.exit(&world.palaemon).unwrap();
 
     // Clean shutdown + restart of the PALÆMON instance itself (Fig. 6).
     instance::shutdown_instance(&mut world.palaemon, &world.platform, 1).unwrap();
@@ -180,7 +179,7 @@ services:
 
 #[test]
 fn board_governs_whole_crud_cycle() {
-    let mut world = World::new(5);
+    let world = World::new(5);
     let alice = Stakeholder::from_seed("alice", b"a");
     let bob = Stakeholder::from_seed("bob", b"b");
     let text = format!(
@@ -269,7 +268,7 @@ volumes:
     let mut app = world
         .start_app("strictapp", "app", &[("wal", store.clone())])
         .unwrap();
-    app.write_file(&mut world.palaemon, "wal", "/entry", b"1")
+    app.write_file(&world.palaemon, "wal", "/entry", b"1")
         .unwrap();
     app.crash();
     // Blocked.
@@ -327,21 +326,16 @@ imports:
         .start_app("image_provider", "publisher", &[("shared", store.clone())])
         .unwrap();
     publisher
-        .write_file(
-            &mut world.palaemon,
-            "shared",
-            "/lib.so",
-            b"curated interpreter",
-        )
+        .write_file(&world.palaemon, "shared", "/lib.so", b"curated interpreter")
         .unwrap();
-    publisher.exit(&mut world.palaemon).unwrap();
+    publisher.exit(&world.palaemon).unwrap();
 
     // The consumer gets the same key via the export and can decrypt.
     let mut stores: HashMap<String, Box<dyn BlockStore>> = HashMap::new();
     stores.insert("shared".into(), Box::new(store));
     let mut reader = RunningApp::start(
         &world.platform,
-        &mut world.palaemon,
+        &world.palaemon,
         palaemon::core::testkit::DEMO_BINARY,
         64 * 1024,
         "app_user",

@@ -26,7 +26,7 @@ fn attestation_flow_over_simulated_network() {
     // Functional PALÆMON + virtual-time message exchange: the application
     // creates a quote, ships it over the rack network, PALÆMON verifies and
     // answers with the configuration, then the app pushes a tag.
-    let mut world = World::new(21);
+    let world = World::new(21);
     let policy = world
         .policy_from_template(
             r#"
@@ -126,7 +126,7 @@ fn attestation_rejection_costs_no_secrets() {
     // A wrong-MRE quote travels the same path and is rejected server-side;
     // the DES shows the attacker still pays the network cost and learns
     // nothing.
-    let mut world = World::new(22);
+    let world = World::new(22);
     let policy = world
         .policy_from_template(
             r#"
