@@ -2,7 +2,9 @@
 //! (modelled) platform counter.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use palaemon_core::counterfile::{MemFileCounter, NativeFileCounter, ShieldedCounter};
+use palaemon_core::counterfile::{
+    MemFileCounter, MonotonicCounter, NativeFileCounter, ShieldedCounter,
+};
 use palaemon_crypto::aead::AeadKey;
 use shielded_fs::fs::ShieldedFs;
 use shielded_fs::store::MemStore;
@@ -12,11 +14,11 @@ fn bench_counters(c: &mut Criterion) {
     group.sample_size(20);
 
     let path = std::env::temp_dir().join(format!("palaemon-bench-{}.ctr", std::process::id()));
-    let native = NativeFileCounter::create(&path).unwrap();
+    let mut native = NativeFileCounter::create(&path).unwrap();
     group.bench_function("file_native", |b| b.iter(|| native.increment().unwrap()));
 
     let mut mem = MemFileCounter::new();
-    group.bench_function("file_sgx_mem", |b| b.iter(|| mem.increment()));
+    group.bench_function("file_sgx_mem", |b| b.iter(|| mem.increment().unwrap()));
 
     let mut fs = ShieldedFs::create(Box::new(MemStore::new()), AeadKey::from_bytes([6; 32]));
     fs.set_metadata_writeback(true);

@@ -7,7 +7,7 @@ use palaemon_core::attest::{
     attestation_breakdown, secret_retrieval_latency, SecretSource, StartupVariant,
 };
 use palaemon_core::counterfile::{
-    MemFileCounter, NativeFileCounter, ShieldedCounter, StrictShieldedCounter,
+    MemFileCounter, MonotonicCounter, NativeFileCounter, ShieldedCounter, StrictShieldedCounter,
 };
 use palaemon_core::policy::Policy;
 use palaemon_core::tms::Palaemon;
@@ -254,7 +254,7 @@ pub fn fig10(budget: Duration) -> Report {
 
     // (b) Native file counter on a real file.
     let path = std::env::temp_dir().join(format!("palaemon-fig10-{}.ctr", std::process::id()));
-    let native = NativeFileCounter::create(&path).expect("temp file");
+    let mut native = NativeFileCounter::create(&path).expect("temp file");
     let native_rate = ops_per_sec(budget, || {
         native.increment().expect("increment");
     });
@@ -267,7 +267,7 @@ pub fn fig10(budget: Duration) -> Report {
     // (c) In-enclave memory-mapped file (SGX, unencrypted).
     let mut mem = MemFileCounter::new();
     let mem_rate = ops_per_sec(budget, || {
-        mem.increment();
+        mem.increment().expect("increment");
     });
     body.push_str(&format!(
         "  file (SGX)           : {:>12}\n",

@@ -1,0 +1,45 @@
+//! Sharded multi-instance PALÆMON — scale-out for the trust management
+//! service.
+//!
+//! The paper evaluates one PALÆMON instance; its Byzantine-stakeholder
+//! model, though, is exactly the setting where a single trusted front door
+//! must serve *many* stakeholders and policies. This crate reproduces the
+//! scale-out shape related systems use (TeeDAO's distributed trust nodes,
+//! Dstack's replicated attested instances behind a router): a
+//! [`ClusterRouter`] speaks the existing
+//! [`TmsRequest`](palaemon_core::server::TmsRequest) /
+//! [`TmsResponse`](palaemon_core::server::TmsResponse) protocol and fans
+//! requests out across N independent `Palaemon` engines.
+//!
+//! * **Routing** ([`ring`]) — policy names map to shards via a consistent-
+//!   hash ring (virtual nodes, deterministic seed), so the assignment is
+//!   stable across restarts and adding a shard remaps only ~1/N of the
+//!   policies.
+//! * **Per-shard rollback counters** — every shard runs its own
+//!   [`TmsServer`](palaemon_core::server::TmsServer) with its own
+//!   `MonotonicCounter`-backed `BatchedCounter`, so Fig. 6 commit traffic
+//!   scales with shard count instead of serializing on one counter.
+//! * **Session pinning** — attestation binds a session to the shard that
+//!   verified the quote; the router hands out cluster-level session ids and
+//!   keeps dispatching tag traffic to the pinned shard.
+//! * **Rebalancing** ([`router`]) — [`ClusterRouter::add_shard`] /
+//!   [`ClusterRouter::drain_shard`] migrate the affected policy keys
+//!   between engines under a cutover barrier: reads either see the fully
+//!   populated source or the fully populated target, never a half-migrated
+//!   policy.
+//! * **Byzantine shard health** — periodic [`ClusterRouter::health_check`]
+//!   probes every shard and watches its rollback counter for regressions; a
+//!   misbehaving shard is marked unroutable and surfaced in
+//!   [`ClusterStats`].
+
+pub mod ring;
+pub mod router;
+
+pub use ring::{HashRing, ShardId};
+pub use router::{
+    strict_shard, ClusterError, ClusterRouter, ClusterStats, PolicyMove, ShardHealth, ShardPlan,
+    ShardStats,
+};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, router::ClusterError>;

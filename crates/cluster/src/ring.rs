@@ -1,0 +1,225 @@
+//! Consistent-hash ring mapping policy names to shards.
+//!
+//! Each shard contributes `vnodes` virtual points on a 64-bit ring; a key
+//! routes to the shard owning the first point at or after the key's hash
+//! (wrapping). Virtual nodes smooth the key distribution (with a few
+//! hundred points per shard the spread across shards stays within a few
+//! percent of uniform), and consistent hashing gives the minimal-disruption
+//! property rebalancing relies on: adding a shard only *steals* keys for
+//! the new shard — no key ever moves between two pre-existing shards.
+//!
+//! Hashes come from the workspace SHA-256 over a caller-chosen seed, so the
+//! ring layout is deterministic: every router (or a restarted one) built
+//! with the same seed, vnode count and shard set routes identically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use palaemon_crypto::sha256::Sha256;
+
+/// Identifier of one shard (one PALÆMON engine) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// A consistent-hash ring with virtual nodes and a deterministic seed.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: u32,
+    points: BTreeMap<u64, ShardId>,
+    shards: BTreeSet<ShardId>,
+}
+
+impl HashRing {
+    /// Creates an empty ring. `seed` fixes the hash layout; `vnodes` is the
+    /// number of virtual points each shard contributes (more points, finer
+    /// balance — 128 keeps the spread within ~±10 % for small clusters).
+    pub fn new(seed: u64, vnodes: u32) -> Self {
+        HashRing {
+            seed,
+            vnodes: vnodes.max(1),
+            points: BTreeMap::new(),
+            shards: BTreeSet::new(),
+        }
+    }
+
+    fn point(&self, shard: ShardId, vnode: u32) -> u64 {
+        let digest = Sha256::digest_parts(&[
+            b"palaemon-cluster.ring.v1",
+            &self.seed.to_be_bytes(),
+            &shard.0.to_be_bytes(),
+            &vnode.to_be_bytes(),
+        ]);
+        u64::from_be_bytes(digest.as_bytes()[..8].try_into().expect("8 bytes"))
+    }
+
+    fn key_hash(&self, key: &str) -> u64 {
+        let digest = Sha256::digest_parts(&[
+            b"palaemon-cluster.key.v1",
+            &self.seed.to_be_bytes(),
+            key.as_bytes(),
+        ]);
+        u64::from_be_bytes(digest.as_bytes()[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Adds a shard's virtual points. Idempotent.
+    pub fn add_shard(&mut self, shard: ShardId) {
+        if !self.shards.insert(shard) {
+            return;
+        }
+        for vnode in 0..self.vnodes {
+            self.points.insert(self.point(shard, vnode), shard);
+        }
+    }
+
+    /// Removes a shard's virtual points. Idempotent.
+    pub fn remove_shard(&mut self, shard: ShardId) {
+        if !self.shards.remove(&shard) {
+            return;
+        }
+        for vnode in 0..self.vnodes {
+            let key = self.point(shard, vnode);
+            // Guard against the (astronomically unlikely) point collision:
+            // only remove the entry if it is still ours.
+            if self.points.get(&key) == Some(&shard) {
+                self.points.remove(&key);
+            }
+        }
+    }
+
+    /// True when the shard is part of the ring.
+    pub fn contains(&self, shard: ShardId) -> bool {
+        self.shards.contains(&shard)
+    }
+
+    /// The shards currently on the ring, in id order.
+    pub fn shards(&self) -> impl Iterator<Item = ShardId> + '_ {
+        self.shards.iter().copied()
+    }
+
+    /// Number of shards on the ring.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes a key to its owning shard: the first virtual point at or
+    /// after the key's hash, wrapping around the ring. `None` on an empty
+    /// ring.
+    pub fn route(&self, key: &str) -> Option<ShardId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = self.key_hash(key);
+        self.points
+            .range(h..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &shard)| shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with(seed: u64, vnodes: u32, shards: &[u32]) -> HashRing {
+        let mut ring = HashRing::new(seed, vnodes);
+        for &s in shards {
+            ring.add_shard(ShardId(s));
+        }
+        ring
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_builds() {
+        let a = ring_with(7, 64, &[0, 1, 2, 3]);
+        let b = ring_with(7, 64, &[3, 2, 1, 0]); // insertion order irrelevant
+        for i in 0..200 {
+            let key = format!("policy-{i}");
+            assert_eq!(a.route(&key), b.route(&key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_lay_out_differently() {
+        let a = ring_with(1, 64, &[0, 1, 2, 3]);
+        let b = ring_with(2, 64, &[0, 1, 2, 3]);
+        let differing = (0..200)
+            .filter(|i| {
+                let key = format!("policy-{i}");
+                a.route(&key) != b.route(&key)
+            })
+            .count();
+        assert!(differing > 0, "seed must influence the layout");
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(0, 64);
+        assert_eq!(ring.route("anything"), None);
+        assert_eq!(ring.shard_count(), 0);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = ring_with(3, 16, &[9]);
+        for i in 0..50 {
+            assert_eq!(ring.route(&format!("k{i}")), Some(ShardId(9)));
+        }
+    }
+
+    #[test]
+    fn add_remove_roundtrip_restores_routing() {
+        let before = ring_with(5, 64, &[0, 1, 2]);
+        let mut ring = ring_with(5, 64, &[0, 1, 2]);
+        ring.add_shard(ShardId(3));
+        ring.remove_shard(ShardId(3));
+        for i in 0..200 {
+            let key = format!("p{i}");
+            assert_eq!(ring.route(&key), before.route(&key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_only_steals_keys_for_itself() {
+        // The minimal-disruption property: after adding shard 4, every key
+        // either kept its shard or moved to shard 4 — never between two
+        // pre-existing shards.
+        let old = ring_with(11, 128, &[0, 1, 2, 3]);
+        let mut new = ring_with(11, 128, &[0, 1, 2, 3]);
+        new.add_shard(ShardId(4));
+        let mut moved = 0usize;
+        let total = 1000usize;
+        for i in 0..total {
+            let key = format!("policy-{i}");
+            let was = old.route(&key).unwrap();
+            let is = new.route(&key).unwrap();
+            if was != is {
+                assert_eq!(is, ShardId(4), "key {key} moved between old shards");
+                moved += 1;
+            }
+        }
+        // Expected share for the new shard is 1/5; allow generous slack.
+        assert!(moved > 0, "the new shard must receive some keys");
+        assert!(
+            moved <= total * 2 / 5,
+            "remap fraction too high: {moved}/{total}"
+        );
+    }
+
+    #[test]
+    fn idempotent_add_and_remove() {
+        let mut ring = ring_with(2, 32, &[1, 2]);
+        let snapshot: Vec<_> = (0..100).map(|i| ring.route(&format!("k{i}"))).collect();
+        ring.add_shard(ShardId(1)); // duplicate add
+        ring.remove_shard(ShardId(7)); // absent remove
+        let after: Vec<_> = (0..100).map(|i| ring.route(&format!("k{i}"))).collect();
+        assert_eq!(snapshot, after);
+        assert_eq!(ring.shard_count(), 2);
+    }
+}

@@ -1,0 +1,1337 @@
+//! The cluster front door: consistent-hash routing over N PALÆMON shards.
+//!
+//! A [`ClusterRouter`] owns a set of shards — each an independent
+//! [`TmsServer`] over its own `Palaemon` engine with its own (optional)
+//! [`BatchedCounter`] rollback coupling — and dispatches the existing
+//! [`TmsRequest`] protocol:
+//!
+//! * **policy-keyed** requests ([`TmsRequest::policy_key`]) route through
+//!   the [`HashRing`];
+//! * **session-keyed** requests ([`TmsRequest::session_key`]) are pinned to
+//!   the shard that attested the session — the router hands out its own
+//!   cluster-level session ids (shard-local ids from different engines
+//!   collide) and translates on every dispatch;
+//! * aggregates (`PolicyCount`, `SessionCount`) fan out and sum.
+//!
+//! ## Rebalance protocol (warm copy + cutover barrier)
+//! [`ClusterRouter::add_shard`] and [`ClusterRouter::drain_shard`] migrate
+//! in two phases. The *warm* phase runs under the topology **read** lock —
+//! traffic keeps flowing — and bulk-copies every affected policy (snapshot
+//! export → purge-stale → import commit) onto its new owner. The *cutover*
+//! phase takes the **write** lock (every request's dispatch holds the read
+//! lock, so the write lock is a barrier), re-exports each policy and
+//! re-installs only those that changed since the warm copy, swaps the
+//! ring, and finally retires the sources (pinned sessions revoked, records
+//! purged). Reads therefore never observe a half-migrated policy: before
+//! the swap they hit the fully populated source, after it the fully
+//! populated target, and the (short — deltas only) barrier blocks them
+//! during the swap itself. Sessions of a migrated policy are closed on the
+//! source: applications re-attest against the new owner (a session is a
+//! trust relationship with one attested instance and does not travel).
+//!
+//! Failure atomicity: an error before the ring swap aborts with the old
+//! topology intact (warm copies on a joining shard are unobservable; warm
+//! copies on live drain targets are purged best-effort). Retirement runs
+//! *after* the swap and is best-effort — a failed source purge leaves
+//! unrouted leftovers, which later rebalance plans skip (only policies the
+//! current ring routes to a shard ever migrate from it): wasted space and
+//! an inflated `PolicyCount` until the shard is drained, never overwritten
+//! live data. During a drain's warm phase `PolicyCount` may likewise
+//! transiently over-count.
+//!
+//! ## Byzantine shard health
+//! [`ClusterRouter::health_check`] probes every shard with a benign
+//! request and watches its rollback counter: a probe failure or a counter
+//! value that *regressed* since the last check (the classic rollback
+//! signature of Fig. 6) quarantines the shard — it stays unroutable (every
+//! request answers [`ClusterError::ShardUnavailable`]) until an operator
+//! calls [`ClusterRouter::reinstate`].
+//!
+//! **Lock order:** `rebalance_gate` → `topology` → `sessions` → (any
+//! engine's internal locks). Health flags are atomics so marking a shard
+//! Byzantine never blocks traffic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use palaemon_core::counterfile::{BatchedCounter, MonotonicCounter};
+use palaemon_core::server::{ServerStats, TmsRequest, TmsResponse, TmsServer};
+use palaemon_core::tms::{Palaemon, PolicyRecords, SessionId};
+use palaemon_core::PalaemonError;
+use parking_lot::{Mutex, RwLock};
+
+use crate::ring::{HashRing, ShardId};
+
+/// Errors raised by the cluster layer (engine errors pass through).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The cluster has no shards.
+    NoShards,
+    /// A shard with this id already exists.
+    ShardExists(ShardId),
+    /// No shard with this id.
+    NoSuchShard(ShardId),
+    /// The shard is quarantined (Byzantine or failed health checks).
+    ShardUnavailable(ShardId),
+    /// The last remaining shard cannot be drained.
+    LastShard,
+    /// The request is neither policy-keyed, session-keyed nor an
+    /// aggregate, so the router has no way to place it.
+    Unroutable,
+    /// The dispatched engine returned an error.
+    Engine(PalaemonError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoShards => write!(f, "cluster has no shards"),
+            ClusterError::ShardExists(id) => write!(f, "{id} already exists"),
+            ClusterError::NoSuchShard(id) => write!(f, "no such shard {id}"),
+            ClusterError::ShardUnavailable(id) => {
+                write!(f, "{id} is quarantined and unroutable")
+            }
+            ClusterError::LastShard => write!(f, "cannot drain the last shard"),
+            ClusterError::Unroutable => {
+                write!(f, "request is neither policy- nor session-keyed")
+            }
+            ClusterError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<PalaemonError> for ClusterError {
+    fn from(e: PalaemonError) -> Self {
+        ClusterError::Engine(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// Builds a strict-commit shard: the server couples every mutation to a
+/// fresh [`BatchedCounter`] over `backend`, and the counter handle is also
+/// returned so the router can watch it for Byzantine regressions.
+pub fn strict_shard(
+    engine: Arc<Palaemon>,
+    backend: impl MonotonicCounter + Send + 'static,
+) -> (TmsServer, Arc<BatchedCounter>) {
+    let counter = Arc::new(BatchedCounter::new(backend));
+    let server = TmsServer::with_commit_counter(engine, Arc::clone(&counter));
+    (server, counter)
+}
+
+/// One policy scheduled to move between shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyMove {
+    /// The policy being migrated.
+    pub policy: String,
+    /// Shard it moves from.
+    pub from: ShardId,
+    /// Shard it moves to.
+    pub to: ShardId,
+}
+
+/// The executed outcome of a rebalance operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard added by this rebalance, if any.
+    pub added: Option<ShardId>,
+    /// Shard removed by this rebalance, if any.
+    pub removed: Option<ShardId>,
+    /// Policies migrated, in execution order.
+    pub moves: Vec<PolicyMove>,
+}
+
+/// Health verdict for one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// The shard.
+    pub id: ShardId,
+    /// False when quarantined.
+    pub healthy: bool,
+    /// Why the shard was quarantined, when it was.
+    pub reason: Option<String>,
+}
+
+/// Point-in-time statistics of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// The shard.
+    pub id: ShardId,
+    /// False when quarantined.
+    pub healthy: bool,
+    /// Policies stored on this shard.
+    pub policies: usize,
+    /// Sessions attested by this shard.
+    pub sessions: usize,
+    /// The shard server's dispatch + counter statistics.
+    pub server: ServerStats,
+}
+
+/// Aggregated statistics across the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-shard statistics, in shard-id order.
+    pub shards: Vec<ShardStats>,
+    /// Rebalance operations executed since the router was built.
+    pub rebalances: u64,
+}
+
+impl ClusterStats {
+    /// Policies stored across all shards.
+    pub fn total_policies(&self) -> usize {
+        self.shards.iter().map(|s| s.policies).sum()
+    }
+
+    /// Sessions attested across all shards.
+    pub fn total_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions).sum()
+    }
+
+    /// Physical rollback-counter increments across all shards.
+    pub fn total_increments(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.server.counter)
+            .map(|c| c.increments)
+            .sum()
+    }
+
+    /// Mutations committed through the per-shard counters.
+    pub fn total_ops_committed(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.server.counter)
+            .map(|c| c.ops_committed)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for ClusterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.shards {
+            write!(
+                f,
+                "  {}: {} | {} policies, {} sessions | {} ok / {} failed",
+                s.id,
+                if s.healthy { "healthy" } else { "QUARANTINED" },
+                s.policies,
+                s.sessions,
+                s.server.ok,
+                s.server.failed,
+            )?;
+            if let Some(c) = s.server.counter {
+                write!(
+                    f,
+                    " | counter: {} ops / {} increments",
+                    c.ops_committed, c.increments
+                )?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "  rebalances: {}", self.rebalances)
+    }
+}
+
+struct Shard {
+    server: TmsServer,
+    counter: Option<Arc<BatchedCounter>>,
+    healthy: AtomicBool,
+    last_counter_value: AtomicU64,
+    quarantine_reason: Mutex<Option<String>>,
+}
+
+impl Shard {
+    fn new(server: TmsServer, counter: Option<Arc<BatchedCounter>>) -> Self {
+        Shard {
+            server,
+            counter,
+            healthy: AtomicBool::new(true),
+            last_counter_value: AtomicU64::new(0),
+            quarantine_reason: Mutex::new(None),
+        }
+    }
+
+    fn engine(&self) -> &Arc<Palaemon> {
+        self.server.engine()
+    }
+
+    fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+
+    fn quarantine(&self, reason: String) {
+        *self.quarantine_reason.lock() = Some(reason);
+        self.healthy.store(false, Ordering::Release);
+    }
+}
+
+struct Topology {
+    ring: HashRing,
+    shards: HashMap<ShardId, Shard>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SessionBinding {
+    shard: ShardId,
+    local: SessionId,
+}
+
+/// The sharded multi-instance front door. Share it behind an `Arc`; every
+/// method takes `&self`.
+pub struct ClusterRouter {
+    topology: RwLock<Topology>,
+    sessions: RwLock<HashMap<u64, SessionBinding>>,
+    next_session: AtomicU64,
+    rebalances: AtomicU64,
+    /// Serializes rebalance operations, so a warm copy always reconciles
+    /// against the same shard set at cutover.
+    rebalance_gate: Mutex<()>,
+}
+
+impl std::fmt::Debug for ClusterRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let topo = self.topology.read();
+        f.debug_struct("ClusterRouter")
+            .field("shards", &topo.ring.shard_count())
+            .field("sessions", &self.sessions.read().len())
+            .finish()
+    }
+}
+
+impl ClusterRouter {
+    /// Creates an empty router. `seed` and `vnodes` fix the ring layout
+    /// (see [`HashRing::new`]); add shards with [`ClusterRouter::add_shard`].
+    pub fn new(seed: u64, vnodes: u32) -> Self {
+        ClusterRouter {
+            topology: RwLock::new(Topology {
+                ring: HashRing::new(seed, vnodes),
+                shards: HashMap::new(),
+            }),
+            sessions: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            rebalances: AtomicU64::new(0),
+            rebalance_gate: Mutex::new(()),
+        }
+    }
+
+    /// Shard ids currently in the cluster, in id order.
+    pub fn shard_ids(&self) -> Vec<ShardId> {
+        self.topology.read().ring.shards().collect()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.topology.read().ring.shard_count()
+    }
+
+    /// The shard a policy name routes to right now.
+    pub fn shard_for_policy(&self, policy: &str) -> Option<ShardId> {
+        self.topology.read().ring.route(policy)
+    }
+
+    /// The engine behind a shard (lifecycle paths, e.g. registering
+    /// platform quoting-enclave keys on every shard).
+    pub fn engine(&self, id: ShardId) -> Option<Arc<Palaemon>> {
+        self.topology
+            .read()
+            .shards
+            .get(&id)
+            .map(|s| Arc::clone(s.engine()))
+    }
+
+    /// Handles one request, routing it to the owning shard (or fanning out
+    /// for aggregates). Safe to call from any number of threads.
+    ///
+    /// # Errors
+    /// Routing failures ([`ClusterError::NoShards`],
+    /// [`ClusterError::ShardUnavailable`]) or whatever the dispatched
+    /// engine returns ([`ClusterError::Engine`]).
+    pub fn handle(&self, request: TmsRequest) -> Result<TmsResponse> {
+        // Held for the whole dispatch: this is what the rebalance cutover
+        // barrier (the write lock) synchronizes against.
+        let topo = self.topology.read();
+        if topo.shards.is_empty() {
+            return Err(ClusterError::NoShards);
+        }
+
+        // Aggregates fan out to the engines directly (bypassing the shard
+        // servers so per-shard request stats are not inflated N-fold).
+        match &request {
+            TmsRequest::PolicyCount => {
+                let total = topo
+                    .shards
+                    .values()
+                    .map(|s| s.engine().policy_count())
+                    .sum();
+                return Ok(TmsResponse::Count(total));
+            }
+            TmsRequest::SessionCount => {
+                let total = topo
+                    .shards
+                    .values()
+                    .map(|s| s.engine().session_count())
+                    .sum();
+                return Ok(TmsResponse::Count(total));
+            }
+            _ => {}
+        }
+
+        if let Some(policy) = request.policy_key() {
+            let id = topo.ring.route(policy).ok_or(ClusterError::NoShards)?;
+            let shard = topo.shards.get(&id).ok_or(ClusterError::NoSuchShard(id))?;
+            if !shard.is_healthy() {
+                return Err(ClusterError::ShardUnavailable(id));
+            }
+            let response = shard.server.handle(request).map_err(ClusterError::Engine)?;
+            // Attestation pinned a new session to this shard: hand the
+            // client a cluster-level id and remember the binding.
+            if let TmsResponse::Config(mut config) = response {
+                let local = config.session;
+                let cluster = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+                self.sessions
+                    .write()
+                    .insert(cluster.0, SessionBinding { shard: id, local });
+                config.session = cluster;
+                return Ok(TmsResponse::Config(config));
+            }
+            return Ok(response);
+        }
+
+        if let Some(cluster_session) = request.session_key() {
+            let binding = self
+                .sessions
+                .read()
+                .get(&cluster_session.0)
+                .copied()
+                .ok_or(ClusterError::Engine(PalaemonError::NoSuchSession))?;
+            let shard = topo
+                .shards
+                .get(&binding.shard)
+                .ok_or(ClusterError::Engine(PalaemonError::NoSuchSession))?;
+            if !shard.is_healthy() {
+                return Err(ClusterError::ShardUnavailable(binding.shard));
+            }
+            let closing = matches!(request, TmsRequest::CloseSession { .. });
+            let response = shard
+                .server
+                .handle(localize_session(request, binding.local))
+                .map_err(ClusterError::Engine)?;
+            if closing {
+                self.sessions.write().remove(&cluster_session.0);
+            }
+            return Ok(response);
+        }
+
+        // `policy_key`/`session_key` are exhaustive over today's protocol;
+        // refuse (rather than panic on) anything a future variant misses.
+        Err(ClusterError::Unroutable)
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalancing
+    // ------------------------------------------------------------------
+
+    /// Adds a shard, migrating every policy the new ring assigns to it.
+    /// The joining `server` must wrap a fresh engine; pass its commit
+    /// counter (if strict) so health checks can watch it.
+    ///
+    /// Warm-copies under the read lock (traffic keeps flowing), then takes
+    /// the cutover barrier only to reconcile deltas and swap the ring —
+    /// see the module docs for the protocol and its failure atomicity.
+    ///
+    /// # Errors
+    /// [`ClusterError::ShardExists`], or engine errors from before the
+    /// ring swap (the topology is then unchanged).
+    pub fn add_shard(
+        &self,
+        id: ShardId,
+        server: TmsServer,
+        counter: Option<Arc<BatchedCounter>>,
+    ) -> Result<ShardPlan> {
+        let _gate = self.rebalance_gate.lock(); // one rebalance at a time
+
+        // Warm phase (read lock): bulk-copy into the joining engine, which
+        // is not routable yet — errors abort with nothing observable.
+        let mut warm: HashMap<String, PolicyRecords> = HashMap::new();
+        {
+            let topo = self.topology.read();
+            if topo.shards.contains_key(&id) {
+                return Err(ClusterError::ShardExists(id));
+            }
+            let mut next_ring = topo.ring.clone();
+            next_ring.add_shard(id);
+            for (&from, shard) in &topo.shards {
+                for policy in shard.engine().policy_names() {
+                    if !moves_to(&topo.ring, &next_ring, &policy, from, id) {
+                        continue;
+                    }
+                    if let Some(records) = install_policy(shard.engine(), server.engine(), &policy)?
+                    {
+                        warm.insert(policy, records);
+                    }
+                }
+            }
+        }
+
+        // Cutover barrier (write lock): re-install only what changed since
+        // the warm pass, then swap the ring.
+        let mut topo = self.topology.write();
+        let mut next_ring = topo.ring.clone();
+        next_ring.add_shard(id);
+        let mut moves = Vec::new();
+        for (&from, shard) in &topo.shards {
+            for policy in shard.engine().policy_names() {
+                if !moves_to(&topo.ring, &next_ring, &policy, from, id) {
+                    continue;
+                }
+                let records = shard.engine().export_policy_records(&policy);
+                if records.is_empty() {
+                    continue;
+                }
+                if warm.remove(&policy).as_ref() != Some(&records) {
+                    server.engine().purge_policy_records(&policy)?;
+                    server.engine().import_records(&records)?;
+                }
+                moves.push(PolicyMove {
+                    policy,
+                    from,
+                    to: id,
+                });
+            }
+        }
+        // Warm copies whose policy vanished mid-copy must not become
+        // ghosts on the joining shard.
+        for policy in warm.keys() {
+            server.engine().purge_policy_records(policy)?;
+        }
+
+        topo.shards.insert(id, Shard::new(server, counter));
+        topo.ring = next_ring;
+        for m in &moves {
+            let source = Arc::clone(topo.shards[&m.from].engine());
+            self.retire_source(m.from, &source, &m.policy);
+        }
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+        Ok(ShardPlan {
+            added: Some(id),
+            removed: None,
+            moves,
+        })
+    }
+
+    /// Drains a shard: migrates every policy the ring routes to it onto
+    /// the shard the ring-without-it assigns, revokes its sessions, and
+    /// removes it. Same warm-copy + cutover-barrier protocol as
+    /// [`ClusterRouter::add_shard`]; during the warm phase the aggregate
+    /// `PolicyCount` may transiently over-count (live targets hold
+    /// not-yet-routed warm copies).
+    ///
+    /// # Errors
+    /// [`ClusterError::NoSuchShard`], [`ClusterError::LastShard`], or
+    /// engine errors from before the ring swap (the topology is then
+    /// unchanged and warm copies are purged best-effort).
+    pub fn drain_shard(&self, id: ShardId) -> Result<ShardPlan> {
+        let _gate = self.rebalance_gate.lock(); // one rebalance at a time
+
+        // Warm phase (read lock): bulk-copy onto the surviving shards.
+        // `warm` remembers each policy's target so a failed drain can
+        // clean up after itself.
+        let mut warm: HashMap<String, (ShardId, PolicyRecords)> = HashMap::new();
+        let warm_result = (|| -> Result<()> {
+            let topo = self.topology.read();
+            if !topo.shards.contains_key(&id) {
+                return Err(ClusterError::NoSuchShard(id));
+            }
+            if topo.shards.len() == 1 {
+                return Err(ClusterError::LastShard);
+            }
+            let mut next_ring = topo.ring.clone();
+            next_ring.remove_shard(id);
+            let source = topo.shards[&id].engine();
+            for policy in source.policy_names() {
+                if topo.ring.route(&policy) != Some(id) {
+                    continue; // unrouted leftover; dropped with the shard
+                }
+                let to = next_ring.route(&policy).ok_or(ClusterError::NoShards)?;
+                let target = topo.shards[&to].engine();
+                if let Some(records) = install_policy(source, target, &policy)? {
+                    warm.insert(policy, (to, records));
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = warm_result {
+            self.purge_warm_copies(&warm);
+            return Err(e);
+        }
+
+        // Cutover barrier: reconcile deltas, swap the ring, retire.
+        let mut topo = self.topology.write();
+        let mut next_ring = topo.ring.clone();
+        next_ring.remove_shard(id);
+        let source = Arc::clone(topo.shards[&id].engine());
+        let mut moves = Vec::new();
+        for policy in source.policy_names() {
+            if topo.ring.route(&policy) != Some(id) {
+                continue;
+            }
+            let Some(to) = next_ring.route(&policy) else {
+                continue;
+            };
+            let records = source.export_policy_records(&policy);
+            if records.is_empty() {
+                continue;
+            }
+            let fresh = warm.remove(&policy).map(|(_, r)| r).as_ref() != Some(&records);
+            let target = Arc::clone(topo.shards[&to].engine());
+            let reconcile = (|| -> Result<()> {
+                if fresh {
+                    target.purge_policy_records(&policy)?;
+                    target.import_records(&records)?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = reconcile {
+                drop(topo); // release the barrier before cleaning up
+                self.purge_warm_copies(&warm);
+                return Err(e);
+            }
+            moves.push(PolicyMove {
+                policy,
+                from: id,
+                to,
+            });
+        }
+        // Warm copies whose policy vanished mid-copy must not become
+        // ghosts on their targets.
+        let stale: HashMap<_, _> = warm;
+        self.purge_warm_copies_locked(&topo, &stale);
+
+        topo.ring = next_ring;
+        for m in &moves {
+            self.retire_source(id, &source, &m.policy);
+        }
+        topo.shards.remove(&id);
+        self.sessions.write().retain(|_, b| b.shard != id);
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+        Ok(ShardPlan {
+            added: None,
+            removed: Some(id),
+            moves,
+        })
+    }
+
+    /// Best-effort removal of warm copies after a failed drain (acquires
+    /// the topology read lock itself).
+    fn purge_warm_copies(&self, warm: &HashMap<String, (ShardId, PolicyRecords)>) {
+        let topo = self.topology.read();
+        self.purge_warm_copies_locked(&topo, warm);
+    }
+
+    fn purge_warm_copies_locked(
+        &self,
+        topo: &Topology,
+        warm: &HashMap<String, (ShardId, PolicyRecords)>,
+    ) {
+        for (policy, (to, _)) in warm {
+            if let Some(shard) = topo.shards.get(to) {
+                let _ = shard.engine().purge_policy_records(policy);
+            }
+        }
+    }
+
+    /// Closes the source-side sessions of a migrated policy, drops their
+    /// router bindings, and purges the policy's records from the source.
+    /// Runs after the ring swap, so it is best-effort: a failed purge
+    /// leaves unrouted leftovers that later rebalance plans skip (only
+    /// policies the current ring routes to a shard ever migrate from it)
+    /// — wasted space, never overwritten live data.
+    fn retire_source(&self, from: ShardId, source: &Palaemon, policy: &str) {
+        let locals = source.sessions_for_policy(policy);
+        if !locals.is_empty() {
+            for &sid in &locals {
+                source.close_session(sid);
+            }
+            self.sessions
+                .write()
+                .retain(|_, b| !(b.shard == from && locals.contains(&b.local)));
+        }
+        let _ = source.purge_policy_records(policy);
+    }
+
+    // ------------------------------------------------------------------
+    // Health
+    // ------------------------------------------------------------------
+
+    /// Probes every shard and watches its rollback counter; quarantines
+    /// misbehaving (Byzantine) shards. Returns the per-shard verdicts in
+    /// shard-id order. A quarantined shard stays quarantined until
+    /// [`ClusterRouter::reinstate`].
+    pub fn health_check(&self) -> Vec<ShardHealth> {
+        let topo = self.topology.read();
+        let mut ids: Vec<ShardId> = topo.shards.keys().copied().collect();
+        ids.sort_unstable();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let shard = &topo.shards[&id];
+            if shard.is_healthy() {
+                // Probe with a benign read; a shard that cannot even count
+                // its policies is not fit to route to.
+                if let Err(e) = shard.server.handle(TmsRequest::PolicyCount) {
+                    shard.quarantine(format!("probe failed: {e}"));
+                } else if let Some(counter) = &shard.counter {
+                    // The Fig. 6 signature of a Byzantine shard: its
+                    // rollback counter went backwards.
+                    let value = counter.value();
+                    let last = shard.last_counter_value.load(Ordering::Acquire);
+                    if value < last {
+                        shard.quarantine(format!("rollback counter regressed: {last} -> {value}"));
+                    } else {
+                        shard.last_counter_value.store(value, Ordering::Release);
+                    }
+                }
+            }
+            out.push(ShardHealth {
+                id,
+                healthy: shard.is_healthy(),
+                reason: shard.quarantine_reason.lock().clone(),
+            });
+        }
+        out
+    }
+
+    /// Manually quarantines a shard. Returns false for unknown shards.
+    pub fn quarantine(&self, id: ShardId, reason: &str) -> bool {
+        let topo = self.topology.read();
+        match topo.shards.get(&id) {
+            Some(shard) => {
+                shard.quarantine(format!("operator: {reason}"));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Lifts a quarantine (after the operator repaired or replaced the
+    /// shard). Resets counter tracking to the current value. Returns false
+    /// for unknown shards.
+    pub fn reinstate(&self, id: ShardId) -> bool {
+        let topo = self.topology.read();
+        match topo.shards.get(&id) {
+            Some(shard) => {
+                if let Some(counter) = &shard.counter {
+                    shard
+                        .last_counter_value
+                        .store(counter.value(), Ordering::Release);
+                }
+                *shard.quarantine_reason.lock() = None;
+                shard.healthy.store(true, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Aggregated per-shard statistics.
+    pub fn stats(&self) -> ClusterStats {
+        let topo = self.topology.read();
+        let mut ids: Vec<ShardId> = topo.shards.keys().copied().collect();
+        ids.sort_unstable();
+        ClusterStats {
+            shards: ids
+                .into_iter()
+                .map(|id| {
+                    let shard = &topo.shards[&id];
+                    ShardStats {
+                        id,
+                        healthy: shard.is_healthy(),
+                        policies: shard.engine().policy_count(),
+                        sessions: shard.engine().session_count(),
+                        server: shard.server.stats(),
+                    }
+                })
+                .collect(),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// True when `policy`, stored on `from`, must migrate to `to` under the
+/// next ring: the *current* ring must actually route it to `from` (stale
+/// leftovers of a failed retirement never migrate — the live owner does)
+/// and the next ring must hand it to `to`.
+fn moves_to(
+    ring: &HashRing,
+    next_ring: &HashRing,
+    policy: &str,
+    from: ShardId,
+    to: ShardId,
+) -> bool {
+    ring.route(policy) == Some(from) && next_ring.route(policy) == Some(to)
+}
+
+/// Copies one policy's records from `source` onto `target` (purging any
+/// stale copy first) and returns them for the later delta check. `None`
+/// when the policy vanished (deleted while planning) — nothing to move.
+fn install_policy(
+    source: &Palaemon,
+    target: &Palaemon,
+    policy: &str,
+) -> Result<Option<PolicyRecords>> {
+    let records = source.export_policy_records(policy);
+    if records.is_empty() {
+        return Ok(None);
+    }
+    target.purge_policy_records(policy)?;
+    target.import_records(&records)?;
+    Ok(Some(records))
+}
+
+/// Rewrites a session-keyed request to carry the shard-local session id.
+fn localize_session(request: TmsRequest, local: SessionId) -> TmsRequest {
+    match request {
+        TmsRequest::PushTag {
+            volume, tag, event, ..
+        } => TmsRequest::PushTag {
+            session: local,
+            volume,
+            tag,
+            event,
+        },
+        TmsRequest::ReadTag { volume, .. } => TmsRequest::ReadTag {
+            session: local,
+            volume,
+        },
+        TmsRequest::CloseSession { .. } => TmsRequest::CloseSession { session: local },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palaemon_core::counterfile::MemFileCounter;
+    use palaemon_core::policy::Policy;
+    use palaemon_crypto::aead::AeadKey;
+    use palaemon_crypto::sig::SigningKey;
+    use palaemon_crypto::Digest;
+    use palaemon_db::Db;
+    use shielded_fs::fs::TagEvent;
+    use shielded_fs::store::MemStore;
+    use tee_sim::platform::{Microcode, Platform};
+    use tee_sim::quote::{create_report, quote_report};
+
+    const MRE: [u8; 32] = [0x61; 32];
+
+    fn engine(seed: &[u8]) -> Arc<Palaemon> {
+        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32]));
+        Arc::new(Palaemon::new(
+            db,
+            SigningKey::from_seed(seed),
+            Digest::ZERO,
+            5,
+        ))
+    }
+
+    fn fresh_shard(platform: &Platform, tag: u32) -> (TmsServer, Arc<BatchedCounter>) {
+        let engine = engine(format!("shard-{tag}").as_bytes());
+        engine.register_platform(platform.id(), platform.qe_verifying_key());
+        strict_shard(engine, MemFileCounter::new())
+    }
+
+    fn cluster(shards: u32, platform: &Platform) -> ClusterRouter {
+        let router = ClusterRouter::new(42, 64);
+        for i in 0..shards {
+            let (server, counter) = fresh_shard(platform, i);
+            router.add_shard(ShardId(i), server, Some(counter)).unwrap();
+        }
+        router
+    }
+
+    fn owner() -> palaemon_crypto::sig::VerifyingKey {
+        SigningKey::from_seed(b"cluster-owner").verifying_key()
+    }
+
+    fn create_policy(router: &ClusterRouter, name: &str) {
+        let policy = Policy::parse(&format!(
+            "name: {name}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+             volumes: [\"data\"]\nvolumes:\n  - name: data\n",
+            Digest::from_bytes(MRE).to_hex()
+        ))
+        .unwrap();
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner: owner(),
+                policy: Box::new(policy),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+    }
+
+    fn attest(router: &ClusterRouter, platform: &Platform, policy: &str) -> SessionId {
+        let binding = [0u8; 64];
+        let report = create_report(platform, Digest::from_bytes(MRE), binding);
+        let quote = quote_report(platform, &report).unwrap();
+        match router
+            .handle(TmsRequest::AttestService {
+                quote: Box::new(quote),
+                tls_key_binding: binding,
+                policy_name: policy.into(),
+                service_name: "app".into(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Config(config) => config.session,
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+
+    fn push(router: &ClusterRouter, session: SessionId, byte: u8) {
+        router
+            .handle(TmsRequest::PushTag {
+                session,
+                volume: "data".into(),
+                tag: Digest::from_bytes([byte; 32]),
+                event: TagEvent::Sync,
+            })
+            .unwrap();
+    }
+
+    fn count(router: &ClusterRouter, request: TmsRequest) -> usize {
+        match router.handle(request).unwrap() {
+            TmsResponse::Count(n) => n,
+            other => panic!("expected Count, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_router_refuses() {
+        let router = ClusterRouter::new(1, 8);
+        assert!(matches!(
+            router.handle(TmsRequest::PolicyCount),
+            Err(ClusterError::NoShards)
+        ));
+    }
+
+    #[test]
+    fn policies_spread_across_shards_and_stay_readable() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = cluster(4, &platform);
+        let names: Vec<String> = (0..12).map(|i| format!("tenant-{i}")).collect();
+        for name in &names {
+            create_policy(&router, name);
+        }
+        assert_eq!(count(&router, TmsRequest::PolicyCount), 12);
+        // Each policy is stored exactly where the ring says, and readable.
+        for name in &names {
+            let home = router.shard_for_policy(name).unwrap();
+            assert!(router.engine(home).unwrap().policy_names().contains(name));
+            match router
+                .handle(TmsRequest::ReadPolicy {
+                    name: name.clone(),
+                    client: owner(),
+                    approval: None,
+                    votes: Vec::new(),
+                })
+                .unwrap()
+            {
+                TmsResponse::Policy(p) => assert_eq!(&p.name, name),
+                other => panic!("expected policy, got {other:?}"),
+            }
+        }
+        // 12 policies over 4 shards: the ring must actually spread them.
+        let occupied = router
+            .shard_ids()
+            .into_iter()
+            .filter(|&id| router.engine(id).unwrap().policy_count() > 0)
+            .count();
+        assert!(occupied >= 2, "ring routed every policy to one shard");
+    }
+
+    #[test]
+    fn sessions_are_pinned_and_cluster_ids_never_collide() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = cluster(2, &platform);
+        // Find two policies living on different shards.
+        let mut by_shard: HashMap<ShardId, String> = HashMap::new();
+        for i in 0..64 {
+            let name = format!("pin-{i}");
+            by_shard
+                .entry(router.shard_for_policy(&name).unwrap())
+                .or_insert(name);
+            if by_shard.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(by_shard.len(), 2, "need policies on both shards");
+        let names: Vec<String> = by_shard.values().cloned().collect();
+        for name in &names {
+            create_policy(&router, name);
+        }
+        // Each shard allocates local session id 1; the router must still
+        // hand out distinct cluster ids.
+        let s0 = attest(&router, &platform, &names[0]);
+        let s1 = attest(&router, &platform, &names[1]);
+        assert_ne!(s0, s1);
+        assert_eq!(count(&router, TmsRequest::SessionCount), 2);
+        push(&router, s0, 1);
+        push(&router, s1, 2);
+        for (s, byte) in [(s0, 1u8), (s1, 2u8)] {
+            match router
+                .handle(TmsRequest::ReadTag {
+                    session: s,
+                    volume: "data".into(),
+                })
+                .unwrap()
+            {
+                TmsResponse::Tag(Some(rec)) => {
+                    assert_eq!(rec.tag, Digest::from_bytes([byte; 32]));
+                }
+                other => panic!("expected tag, got {other:?}"),
+            }
+        }
+        router
+            .handle(TmsRequest::CloseSession { session: s0 })
+            .unwrap();
+        assert_eq!(count(&router, TmsRequest::SessionCount), 1);
+        // The closed (and any unknown) session is gone.
+        assert!(matches!(
+            router.handle(TmsRequest::ReadTag {
+                session: s0,
+                volume: "data".into()
+            }),
+            Err(ClusterError::Engine(PalaemonError::NoSuchSession))
+        ));
+    }
+
+    #[test]
+    fn mutations_commit_on_per_shard_counters() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = cluster(4, &platform);
+        let names: Vec<String> = (0..16).map(|i| format!("ctr-{i}")).collect();
+        for name in &names {
+            create_policy(&router, name);
+        }
+        let stats = router.stats();
+        assert_eq!(stats.total_ops_committed(), 16);
+        // Every shard that stores policies committed them on its *own*
+        // counter — the per-shard distribution the bench also reports.
+        for shard in &stats.shards {
+            let counter = shard.server.counter.unwrap();
+            assert_eq!(counter.ops_committed, shard.policies as u64);
+        }
+        assert!(stats.total_increments() > 0);
+    }
+
+    #[test]
+    fn add_shard_migrates_exactly_the_stolen_policies() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = cluster(3, &platform);
+        let names: Vec<String> = (0..18).map(|i| format!("mig-{i}")).collect();
+        for name in &names {
+            create_policy(&router, name);
+        }
+        let before: HashMap<String, ShardId> = names
+            .iter()
+            .map(|n| (n.clone(), router.shard_for_policy(n).unwrap()))
+            .collect();
+        // One live session per policy, to observe revocation.
+        let sessions: HashMap<String, SessionId> = names
+            .iter()
+            .map(|n| (n.clone(), attest(&router, &platform, n)))
+            .collect();
+
+        let (server, counter) = fresh_shard(&platform, 3);
+        let plan = router.add_shard(ShardId(3), server, Some(counter)).unwrap();
+        assert!(!plan.moves.is_empty(), "a 4th shard must steal something");
+        assert!(plan.moves.iter().all(|m| m.to == ShardId(3)));
+
+        let moved: Vec<&String> = names
+            .iter()
+            .filter(|n| router.shard_for_policy(n) == Some(ShardId(3)))
+            .collect();
+        assert_eq!(
+            plan.moves.len(),
+            moved.len(),
+            "plan must cover exactly the stolen policies"
+        );
+        for name in &names {
+            let now = router.shard_for_policy(name).unwrap();
+            if now != ShardId(3) {
+                // Minimal disruption: unmoved policies kept their shard.
+                assert_eq!(now, before[name], "policy {name} moved between old shards");
+            }
+            // Every policy — moved or not — stays readable.
+            assert!(matches!(
+                router.handle(TmsRequest::ReadPolicy {
+                    name: name.clone(),
+                    client: owner(),
+                    approval: None,
+                    votes: Vec::new(),
+                }),
+                Ok(TmsResponse::Policy(_))
+            ));
+            // The source no longer stores a migrated policy.
+            if now == ShardId(3) {
+                assert!(!router
+                    .engine(before[name])
+                    .unwrap()
+                    .policy_names()
+                    .contains(name));
+            }
+            // Sessions of migrated policies were revoked; others survive.
+            let read = router.handle(TmsRequest::ReadTag {
+                session: sessions[name],
+                volume: "data".into(),
+            });
+            if now == ShardId(3) {
+                assert!(
+                    matches!(
+                        read,
+                        Err(ClusterError::Engine(PalaemonError::NoSuchSession))
+                    ),
+                    "migrated policy {name} must force re-attestation"
+                );
+            } else {
+                assert!(read.is_ok(), "unmoved session {name} must survive");
+            }
+        }
+        assert_eq!(count(&router, TmsRequest::PolicyCount), 18);
+        // 3 bootstrap adds + this expansion.
+        assert_eq!(router.stats().rebalances, 4);
+        // Re-adding the same shard id is refused.
+        let (server, _) = fresh_shard(&platform, 9);
+        assert!(matches!(
+            router.add_shard(ShardId(3), server, None),
+            Err(ClusterError::ShardExists(ShardId(3)))
+        ));
+    }
+
+    #[test]
+    fn drain_shard_redistributes_and_removes() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = cluster(3, &platform);
+        let names: Vec<String> = (0..15).map(|i| format!("dr-{i}")).collect();
+        for name in &names {
+            create_policy(&router, name);
+        }
+        let plan = router.drain_shard(ShardId(1)).unwrap();
+        assert_eq!(plan.removed, Some(ShardId(1)));
+        assert!(plan.moves.iter().all(|m| m.from == ShardId(1)));
+        assert_eq!(router.shard_count(), 2);
+        assert!(router.engine(ShardId(1)).is_none());
+        assert_eq!(count(&router, TmsRequest::PolicyCount), 15);
+        for name in &names {
+            assert_ne!(router.shard_for_policy(name), Some(ShardId(1)));
+            assert!(matches!(
+                router.handle(TmsRequest::ReadPolicy {
+                    name: name.clone(),
+                    client: owner(),
+                    approval: None,
+                    votes: Vec::new(),
+                }),
+                Ok(TmsResponse::Policy(_))
+            ));
+        }
+        assert!(matches!(
+            router.drain_shard(ShardId(1)),
+            Err(ClusterError::NoSuchShard(ShardId(1)))
+        ));
+        router.drain_shard(ShardId(0)).unwrap();
+        assert!(matches!(
+            router.drain_shard(ShardId(2)),
+            Err(ClusterError::LastShard)
+        ));
+    }
+
+    fn versioned(name: &str, version: u32) -> Policy {
+        Policy::parse(&format!(
+            "name: {name}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+             env:\n      VERSION: \"{version}\"\nvolumes: []\n",
+            Digest::from_bytes(MRE).to_hex()
+        ))
+        .unwrap()
+    }
+
+    fn version_of(router: &ClusterRouter, name: &str) -> String {
+        match router
+            .handle(TmsRequest::ReadPolicy {
+                name: name.into(),
+                client: owner(),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Policy(p) => p.services[0].env["VERSION"].clone(),
+            other => panic!("expected policy, got {other:?}"),
+        }
+    }
+
+    /// A stale leftover (the residue of a failed source purge) must never
+    /// be treated as the live copy: rebalance plans skip it, and when its
+    /// shard legitimately *receives* the policy, the live records replace
+    /// it.
+    #[test]
+    fn stale_leftovers_never_overwrite_live_policies() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        for drain_live_owner in [false, true] {
+            let router = cluster(2, &platform);
+            // A policy owned by shard 0.
+            let name = (0..64)
+                .map(|i| format!("stale-{i}"))
+                .find(|n| router.shard_for_policy(n) == Some(ShardId(0)))
+                .unwrap();
+            router
+                .handle(TmsRequest::CreatePolicy {
+                    owner: owner(),
+                    policy: Box::new(versioned(&name, 1)),
+                    approval: None,
+                    votes: Vec::new(),
+                })
+                .unwrap();
+            // Plant v1 residue on shard 1 (as if a retirement purge had
+            // failed there), then advance the live copy to v2.
+            let residue = router
+                .engine(ShardId(0))
+                .unwrap()
+                .export_policy_records(&name);
+            router
+                .engine(ShardId(1))
+                .unwrap()
+                .import_records(&residue)
+                .unwrap();
+            router
+                .handle(TmsRequest::UpdatePolicy {
+                    client: owner(),
+                    policy: Box::new(versioned(&name, 2)),
+                    approval: None,
+                    votes: Vec::new(),
+                })
+                .unwrap();
+
+            if drain_live_owner {
+                // Shard 0 drains: the live v2 migrates onto shard 1,
+                // replacing the v1 residue there.
+                let plan = router.drain_shard(ShardId(0)).unwrap();
+                assert!(plan.moves.iter().any(|m| m.policy == name));
+                assert_eq!(router.shard_for_policy(&name), Some(ShardId(1)));
+            } else {
+                // Shard 1 (the residue holder) drains: the residue is NOT
+                // a live policy there, so it must not migrate back over
+                // the live copy on shard 0.
+                let plan = router.drain_shard(ShardId(1)).unwrap();
+                assert!(plan.moves.iter().all(|m| m.policy != name));
+            }
+            assert_eq!(version_of(&router, &name), "2", "live copy must win");
+            match router.handle(TmsRequest::PolicyCount).unwrap() {
+                TmsResponse::Count(n) => assert_eq!(n, 1),
+                other => panic!("expected count, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_counter_regression_quarantines_the_shard() {
+        /// Counts 1, 2, 3 — then "rolls back" and reports 1 forever: the
+        /// signature of a shard whose rollback state was reset.
+        struct RegressingCounter {
+            calls: u64,
+        }
+        impl MonotonicCounter for RegressingCounter {
+            fn increment(&mut self) -> palaemon_core::Result<u64> {
+                self.calls += 1;
+                if self.calls <= 3 {
+                    Ok(self.calls)
+                } else {
+                    Ok(1)
+                }
+            }
+        }
+
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = ClusterRouter::new(42, 64);
+        let byzantine_engine = engine(b"byz");
+        byzantine_engine.register_platform(platform.id(), platform.qe_verifying_key());
+        let (srv0, ctr0) = strict_shard(byzantine_engine, RegressingCounter { calls: 0 });
+        router.add_shard(ShardId(0), srv0, Some(ctr0)).unwrap();
+        let (srv1, ctr1) = fresh_shard(&platform, 1);
+        router.add_shard(ShardId(1), srv1, Some(ctr1)).unwrap();
+
+        // Policies pinned to each shard.
+        let mut on_byz = Vec::new();
+        let mut on_good = String::new();
+        for i in 0..128 {
+            let name = format!("byz-{i}");
+            match router.shard_for_policy(&name).unwrap() {
+                ShardId(0) if on_byz.len() < 4 => on_byz.push(name),
+                ShardId(1) if on_good.is_empty() => on_good = name,
+                _ => {}
+            }
+            if on_byz.len() == 4 && !on_good.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(on_byz.len(), 4);
+
+        // Three clean commits (counter 1, 2, 3) — health checks pass.
+        for name in &on_byz[..3] {
+            create_policy(&router, name);
+        }
+        assert!(router.health_check().iter().all(|h| h.healthy));
+        // The fourth commit regresses the counter to 1.
+        create_policy(&router, &on_byz[3]);
+        let health = router.health_check();
+        assert!(!health[0].healthy, "regression must quarantine shard 0");
+        assert!(health[0].reason.as_ref().unwrap().contains("regressed"));
+        assert!(health[1].healthy);
+
+        // The Byzantine shard is unroutable; the healthy one keeps serving.
+        assert!(matches!(
+            router.handle(TmsRequest::ReadPolicy {
+                name: on_byz[0].clone(),
+                client: owner(),
+                approval: None,
+                votes: Vec::new(),
+            }),
+            Err(ClusterError::ShardUnavailable(ShardId(0)))
+        ));
+        create_policy(&router, &on_good);
+        assert!(!router.stats().shards[0].healthy);
+
+        // Quarantine persists across checks until the operator reinstates.
+        assert!(!router.health_check()[0].healthy);
+        assert!(router.reinstate(ShardId(0)));
+        assert!(router.health_check()[0].healthy);
+        assert!(matches!(
+            router.handle(TmsRequest::ReadPolicy {
+                name: on_byz[0].clone(),
+                client: owner(),
+                approval: None,
+                votes: Vec::new(),
+            }),
+            Ok(TmsResponse::Policy(_))
+        ));
+
+        // Manual quarantine also works (and unknown shards are refused).
+        assert!(router.quarantine(ShardId(1), "maintenance"));
+        assert!(matches!(
+            router.handle(TmsRequest::ReadPolicy {
+                name: on_good.clone(),
+                client: owner(),
+                approval: None,
+                votes: Vec::new(),
+            }),
+            Err(ClusterError::ShardUnavailable(ShardId(1)))
+        ));
+        assert!(!router.quarantine(ShardId(9), "ghost"));
+        assert!(!router.reinstate(ShardId(9)));
+    }
+}

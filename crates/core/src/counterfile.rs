@@ -16,9 +16,12 @@
 //! (e) + PALÆMON strict mode ([`StrictShieldedCounter`]) — every increment
 //!     pushes the tag to PALÆMON.
 //!
-//! All variants implement [`MonotonicCounter`], so layers above (the
+//! Every variant implements its increment *as* the [`MonotonicCounter`]
+//! trait method — one uniform `increment(&mut self) -> Result<u64>` shape,
+//! no per-backend inherent variants — so layers above (the
 //! [`BatchedCounter`] group-commit path, [`crate::server::TmsServer`]'s
-//! strict commit mode, the benches) are backend-agnostic.
+//! strict commit mode, the per-shard counters of `palaemon-cluster`, the
+//! benches) use any backend through the trait object without wrapper glue.
 //!
 //! ## Group commit ([`BatchedCounter`])
 //! Monotonic-counter increments are the dominant cost of the Fig. 6
@@ -75,11 +78,15 @@ impl NativeFileCounter {
         Ok(NativeFileCounter { path })
     }
 
+    /// Removes the counter file.
+    pub fn cleanup(self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl MonotonicCounter for NativeFileCounter {
     /// Increments by open → read → write-back → close.
-    ///
-    /// # Errors
-    /// I/O errors.
-    pub fn increment(&self) -> Result<u64> {
+    fn increment(&mut self) -> Result<u64> {
         let mut f = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
@@ -94,17 +101,6 @@ impl NativeFileCounter {
         f.write_all(&v.to_be_bytes())
             .map_err(|e| PalaemonError::Fs(e.to_string()))?;
         Ok(v)
-    }
-
-    /// Removes the counter file.
-    pub fn cleanup(self) {
-        let _ = std::fs::remove_file(&self.path);
-    }
-}
-
-impl MonotonicCounter for NativeFileCounter {
-    fn increment(&mut self) -> Result<u64> {
-        NativeFileCounter::increment(self)
     }
 }
 
@@ -129,21 +125,18 @@ impl MemFileCounter {
         shielded_fs::store::BlockStore::put(&store, "counter", 0u64.to_be_bytes().to_vec());
         MemFileCounter { store, value: 0 }
     }
+}
 
-    /// Increments with a full store read/write round trip.
-    pub fn increment(&mut self) -> u64 {
+impl MonotonicCounter for MemFileCounter {
+    /// Increments with a full store read/write round trip (infallible, but
+    /// uniform with every other backend behind the trait).
+    fn increment(&mut self) -> Result<u64> {
         let raw = shielded_fs::store::BlockStore::get(&self.store, "counter").unwrap_or_default();
         let mut v = raw.try_into().map(u64::from_be_bytes).unwrap_or(self.value);
         v += 1;
         shielded_fs::store::BlockStore::put(&self.store, "counter", v.to_be_bytes().to_vec());
         self.value = v;
-        v
-    }
-}
-
-impl MonotonicCounter for MemFileCounter {
-    fn increment(&mut self) -> Result<u64> {
-        Ok(MemFileCounter::increment(self))
+        Ok(v)
     }
 }
 
@@ -169,11 +162,15 @@ impl ShieldedCounter {
         Ok(ShieldedCounter { fs, value: 0 })
     }
 
+    /// The file system's current tag.
+    pub fn tag(&self) -> palaemon_crypto::Digest {
+        self.fs.tag()
+    }
+}
+
+impl MonotonicCounter for ShieldedCounter {
     /// Increments: encrypted read, encrypted write, tag recompute.
-    ///
-    /// # Errors
-    /// Fs errors.
-    pub fn increment(&mut self) -> Result<u64> {
+    fn increment(&mut self) -> Result<u64> {
         let raw = self.fs.read("/counter")?;
         let v = raw
             .try_into()
@@ -183,17 +180,6 @@ impl ShieldedCounter {
         self.fs.write("/counter", &v.to_be_bytes())?;
         self.value = v;
         Ok(v)
-    }
-
-    /// The file system's current tag.
-    pub fn tag(&self) -> palaemon_crypto::Digest {
-        self.fs.tag()
-    }
-}
-
-impl MonotonicCounter for ShieldedCounter {
-    fn increment(&mut self) -> Result<u64> {
-        ShieldedCounter::increment(self)
     }
 }
 
@@ -229,12 +215,11 @@ impl StrictShieldedCounter {
             volume: volume.to_string(),
         }
     }
+}
 
+impl MonotonicCounter for StrictShieldedCounter {
     /// Increments and pushes the tag to PALÆMON.
-    ///
-    /// # Errors
-    /// Fs or tag-push errors.
-    pub fn increment(&mut self) -> Result<u64> {
+    fn increment(&mut self) -> Result<u64> {
         let v = self.inner.increment()?;
         self.palaemon.push_tag(
             self.session,
@@ -243,12 +228,6 @@ impl StrictShieldedCounter {
             TagEvent::FileClose,
         )?;
         Ok(v)
-    }
-}
-
-impl MonotonicCounter for StrictShieldedCounter {
-    fn increment(&mut self) -> Result<u64> {
-        StrictShieldedCounter::increment(self)
     }
 }
 
@@ -428,7 +407,7 @@ mod tests {
     #[test]
     fn native_counter_counts() {
         let path = std::env::temp_dir().join(format!("ctr-{}.bin", std::process::id()));
-        let c = NativeFileCounter::create(&path).unwrap();
+        let mut c = NativeFileCounter::create(&path).unwrap();
         assert_eq!(c.increment().unwrap(), 1);
         assert_eq!(c.increment().unwrap(), 2);
         assert_eq!(c.increment().unwrap(), 3);
@@ -439,7 +418,7 @@ mod tests {
     fn mem_counter_counts() {
         let mut c = MemFileCounter::new();
         for i in 1..=100 {
-            assert_eq!(c.increment(), i);
+            assert_eq!(c.increment().unwrap(), i);
         }
     }
 

@@ -149,6 +149,53 @@ impl TmsRequest {
                 | TmsRequest::ResetTag { .. }
         )
     }
+
+    /// The policy name this request is keyed by, when it targets exactly
+    /// one policy. This is what a sharded deployment (`palaemon-cluster`)
+    /// hashes to pick the owning instance; `None` means the request is
+    /// either session-keyed (see [`TmsRequest::session_key`]) or an
+    /// aggregate over all instances.
+    ///
+    /// Both key functions match exhaustively on purpose: a new request
+    /// variant must declare its routing class here before it compiles.
+    pub fn policy_key(&self) -> Option<&str> {
+        match self {
+            TmsRequest::CreatePolicy { policy, .. } | TmsRequest::UpdatePolicy { policy, .. } => {
+                Some(&policy.name)
+            }
+            TmsRequest::ReadPolicy { name, .. } | TmsRequest::DeletePolicy { name, .. } => {
+                Some(name)
+            }
+            TmsRequest::BeginApproval { policy_name, .. }
+            | TmsRequest::AttestService { policy_name, .. } => Some(policy_name),
+            TmsRequest::ResetTag { policy, .. } => Some(policy),
+            TmsRequest::PushTag { .. }
+            | TmsRequest::ReadTag { .. }
+            | TmsRequest::CloseSession { .. }
+            | TmsRequest::SessionCount
+            | TmsRequest::PolicyCount => None,
+        }
+    }
+
+    /// The attested session this request is pinned to, if any. Sessions are
+    /// bound to the instance that attested them, so a router must keep
+    /// dispatching these to that same instance.
+    pub fn session_key(&self) -> Option<SessionId> {
+        match self {
+            TmsRequest::PushTag { session, .. }
+            | TmsRequest::ReadTag { session, .. }
+            | TmsRequest::CloseSession { session } => Some(*session),
+            TmsRequest::CreatePolicy { .. }
+            | TmsRequest::ReadPolicy { .. }
+            | TmsRequest::UpdatePolicy { .. }
+            | TmsRequest::DeletePolicy { .. }
+            | TmsRequest::BeginApproval { .. }
+            | TmsRequest::AttestService { .. }
+            | TmsRequest::ResetTag { .. }
+            | TmsRequest::SessionCount
+            | TmsRequest::PolicyCount => None,
+        }
+    }
 }
 
 /// The successful outcome of a [`TmsRequest`].
@@ -458,6 +505,36 @@ mod tests {
         assert!(stats.ok >= 6);
         assert_eq!(stats.failed, 0);
         assert!(stats.counter.is_none());
+    }
+
+    #[test]
+    fn request_keys_partition_the_protocol() {
+        // Every request is policy-keyed, session-keyed or an aggregate —
+        // the invariant `palaemon-cluster`'s routing relies on.
+        let policy_keyed = TmsRequest::ReadPolicy {
+            name: "p".into(),
+            client: SigningKey::from_seed(b"k").verifying_key(),
+            approval: None,
+            votes: Vec::new(),
+        };
+        assert_eq!(policy_keyed.policy_key(), Some("p"));
+        assert_eq!(policy_keyed.session_key(), None);
+        let session_keyed = TmsRequest::ReadTag {
+            session: SessionId(7),
+            volume: "v".into(),
+        };
+        assert_eq!(session_keyed.policy_key(), None);
+        assert_eq!(session_keyed.session_key(), Some(SessionId(7)));
+        let aggregate = TmsRequest::PolicyCount;
+        assert_eq!(aggregate.policy_key(), None);
+        assert_eq!(aggregate.session_key(), None);
+        // Attestation routes by policy (that is where the session gets
+        // pinned); reset routes by the policy it repairs.
+        let reset = TmsRequest::ResetTag {
+            policy: "p2".into(),
+            volume: "v".into(),
+        };
+        assert_eq!(reset.policy_key(), Some("p2"));
     }
 
     #[test]

@@ -62,6 +62,10 @@ use crate::policy::{Policy, SecretKind, ServiceSpec};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
 
+/// Raw `(key, value)` database records of one policy — the unit shard
+/// migration ships between instances.
+pub type PolicyRecords = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// A volume handed to an attested application: its encryption key and the
 /// tag PALÆMON expects the file system to have.
 #[derive(Debug, Clone)]
@@ -490,21 +494,13 @@ impl Palaemon {
             }
             self.consume_approval(request, board, votes)?;
         }
-        let prefixes = [
-            format!("policy/{name}"),
-            format!("owner/{name}"),
-            format!("secretv/{name}/"),
-            format!("volkey/{name}/"),
-            format!("tag/{name}/"),
-        ];
-        let mut to_delete = Vec::new();
-        for p in &prefixes {
-            for (k, _) in db.scan_prefix(p.as_bytes()) {
-                to_delete.push(k.to_vec());
-            }
-        }
-        for k in to_delete {
-            db.delete(&k);
+        // Exact keys for the two singleton records (a bare `policy/{name}`
+        // prefix would also match `policy/{name}-suffix` siblings), prefix
+        // deletes for the per-policy namespaces.
+        db.delete(format!("policy/{name}").as_bytes());
+        db.delete(format!("owner/{name}").as_bytes());
+        for prefix in policy_record_prefixes(name) {
+            db.delete_prefix(prefix.as_bytes());
         }
         db.commit()?;
         Ok(())
@@ -761,6 +757,100 @@ impl Palaemon {
     pub fn session_count(&self) -> usize {
         self.sessions.read().len()
     }
+
+    // ------------------------------------------------------------------
+    // Shard-migration plumbing (used by `palaemon-cluster`)
+    // ------------------------------------------------------------------
+
+    /// Names of all stored policies, from one consistent snapshot.
+    pub fn policy_names(&self) -> Vec<String> {
+        self.db_view()
+            .scan_prefix(b"policy/")
+            .map(|(k, _)| String::from_utf8_lossy(&k[b"policy/".len()..]).into_owned())
+            .collect()
+    }
+
+    /// Exports every database record belonging to policy `name` (the policy
+    /// itself, its owner, secrets, volume keys, tags, and secrets/volumes
+    /// exported *to* it) from one consistent snapshot. Returns an empty
+    /// vector when the policy does not exist — a migration racing a delete
+    /// must treat that as "nothing to move", not an error.
+    pub fn export_policy_records(&self, name: &str) -> PolicyRecords {
+        let view = self.db_view();
+        let policy_key = format!("policy/{name}");
+        let Some(policy_raw) = view.get(policy_key.as_bytes()) else {
+            return Vec::new();
+        };
+        let mut records = vec![(policy_key.into_bytes(), policy_raw.to_vec())];
+        let owner_key = format!("owner/{name}");
+        if let Some(owner_raw) = view.get(owner_key.as_bytes()) {
+            records.push((owner_key.into_bytes(), owner_raw.to_vec()));
+        }
+        for prefix in policy_record_prefixes(name) {
+            records.extend(view.export_prefix(prefix.as_bytes()));
+        }
+        records
+    }
+
+    /// Imports records produced by [`Self::export_policy_records`] on
+    /// another instance and commits them as one durable batch.
+    ///
+    /// # Errors
+    /// Database commit failures.
+    pub fn import_records(&self, records: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut db = self.db.write();
+        for (key, value) in records {
+            db.put(key.clone(), value.clone());
+        }
+        db.commit()?;
+        Ok(())
+    }
+
+    /// Removes every record belonging to policy `name` without the CRUD
+    /// authorization checks — the migration-source half of a shard handoff
+    /// (the policy now lives elsewhere; this instance must stop serving it).
+    ///
+    /// # Errors
+    /// Database commit failures.
+    pub fn purge_policy_records(&self, name: &str) -> Result<()> {
+        let mut db = self.db.write();
+        db.delete(format!("policy/{name}").as_bytes());
+        db.delete(format!("owner/{name}").as_bytes());
+        for prefix in policy_record_prefixes(name) {
+            db.delete_prefix(prefix.as_bytes());
+        }
+        db.commit()?;
+        Ok(())
+    }
+
+    /// Sessions currently attested under policy `name`. A migration closes
+    /// these on the source instance: sessions are pinned to the instance
+    /// that attested them, so moving a policy forces its applications to
+    /// re-attest against the new owner.
+    pub fn sessions_for_policy(&self, name: &str) -> Vec<SessionId> {
+        self.sessions
+            .read()
+            .iter()
+            .filter(|(_, sess)| sess.policy == name)
+            .map(|(&id, _)| SessionId(id))
+            .collect()
+    }
+}
+
+/// The slash-terminated key prefixes holding a policy's non-singleton
+/// records (`policy/{name}` and `owner/{name}` are exact keys handled
+/// separately — a bare prefix would also match `{name}-suffix` siblings).
+fn policy_record_prefixes(name: &str) -> [String; 5] {
+    [
+        format!("secretv/{name}/"),
+        format!("volkey/{name}/"),
+        format!("tag/{name}/"),
+        format!("export-secret/{name}/"),
+        format!("export-volume/{name}/"),
+    ]
 }
 
 // ----------------------------------------------------------------------
@@ -1280,6 +1370,64 @@ services:
         assert!(tms
             .attest_service(&quote, &binding, "app_policy", "app")
             .is_ok());
+    }
+
+    #[test]
+    fn policy_records_migrate_between_engines() {
+        // The shard-migration plumbing: export from one engine, import
+        // into another, purge the source — the moved policy attests on the
+        // target with its secrets and expected tags intact.
+        let source = new_tms();
+        let target = new_tms();
+        let platform = Platform::new("mig-plat", Microcode::PostForeshadow);
+        source.register_platform(platform.id(), platform.qe_verifying_key());
+        target.register_platform(platform.id(), platform.qe_verifying_key());
+        let (_, owner) = client();
+        let mre = Digest::from_bytes([0x71; 32]);
+        source
+            .create_policy(&owner, simple_policy("mig", mre), None, &[])
+            .unwrap();
+        // A sibling whose name shares the prefix must be unaffected.
+        source
+            .create_policy(&owner, simple_policy("mig2", mre), None, &[])
+            .unwrap();
+        let binding = [0u8; 64];
+        let config = source
+            .attest_service(&quote_for(&platform, mre, binding), &binding, "mig", "app")
+            .unwrap();
+        let expected_secret = config.secrets.get("token").unwrap().clone();
+        source
+            .push_tag(
+                config.session,
+                "data",
+                Digest::from_bytes([0x0A; 32]),
+                TagEvent::Sync,
+            )
+            .unwrap();
+        assert_eq!(source.sessions_for_policy("mig"), vec![config.session]);
+
+        let records = source.export_policy_records("mig");
+        target.import_records(&records).unwrap();
+        source.purge_policy_records("mig").unwrap();
+
+        assert_eq!(source.policy_names(), vec!["mig2".to_string()]);
+        assert!(target.policy_names().contains(&"mig".to_string()));
+        // The sibling's material survived the purge of "mig".
+        assert!(source
+            .attest_service(&quote_for(&platform, mre, binding), &binding, "mig2", "app")
+            .is_ok());
+        // The migrated policy serves identically on the target: same
+        // secret material, and the expected tag followed it.
+        let migrated = target
+            .attest_service(&quote_for(&platform, mre, binding), &binding, "mig", "app")
+            .unwrap();
+        assert_eq!(migrated.secrets.get("token").unwrap(), &expected_secret);
+        assert_eq!(
+            migrated.volumes[0].expected_tag,
+            Some(Digest::from_bytes([0x0A; 32]))
+        );
+        // Exporting a missing policy is empty, not an error.
+        assert!(source.export_policy_records("mig").is_empty());
     }
 
     #[test]

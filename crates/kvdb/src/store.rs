@@ -172,6 +172,14 @@ impl DbView {
             .take_while(move |(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.as_slice(), v.as_slice()))
     }
+
+    /// Collects all `(key, value)` pairs under `prefix` as owned records —
+    /// the shape shard migration ships between databases.
+    pub fn export_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.scan_prefix(prefix)
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect()
+    }
 }
 
 impl Db {
@@ -306,6 +314,17 @@ impl Db {
             .range(prefix.to_vec()..)
             .take_while(move |(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Buffers a delete for every key starting with `prefix` and returns how
+    /// many keys were removed. Like [`Db::delete`], the removals are visible
+    /// immediately and durable after [`Db::commit`].
+    pub fn delete_prefix(&mut self, prefix: &[u8]) -> usize {
+        let doomed: Vec<Vec<u8>> = self.scan_prefix(prefix).map(|(k, _)| k.to_vec()).collect();
+        for key in &doomed {
+            self.delete(key);
+        }
+        doomed.len()
     }
 
     /// Durably commits all pending operations as one sealed WAL batch.
@@ -625,6 +644,38 @@ mod tests {
         assert_eq!(tags.len(), 2);
         assert_eq!(tags[0].0, b"tag/app1");
         assert_eq!(tags[1].0, b"tag/app2");
+    }
+
+    #[test]
+    fn delete_prefix_is_durable_and_scoped() {
+        let (store, mut db) = fresh();
+        db.put(b"tag/p1/a".as_slice(), b"1".as_slice());
+        db.put(b"tag/p1/b".as_slice(), b"2".as_slice());
+        db.put(b"tag/p10/a".as_slice(), b"3".as_slice());
+        db.commit().unwrap();
+        assert_eq!(db.delete_prefix(b"tag/p1/"), 2);
+        db.commit().unwrap();
+        drop(db);
+        let db2 = Db::open(Box::new(store), key()).unwrap();
+        assert_eq!(db2.get(b"tag/p1/a"), None);
+        assert_eq!(db2.get(b"tag/p1/b"), None);
+        // The sibling prefix is untouched.
+        assert_eq!(db2.get(b"tag/p10/a"), Some(b"3".as_slice()));
+    }
+
+    #[test]
+    fn view_export_prefix_returns_owned_snapshot() {
+        let (_, mut db) = fresh();
+        db.put(b"policy/a".as_slice(), b"1".as_slice());
+        db.put(b"policy/b".as_slice(), b"2".as_slice());
+        db.put(b"owner/a".as_slice(), b"3".as_slice());
+        let view = db.view();
+        let records = view.export_prefix(b"policy/");
+        db.delete(b"policy/a");
+        // Exported records are owned and unaffected by later writes.
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], (b"policy/a".to_vec(), b"1".to_vec()));
+        assert_eq!(records[1], (b"policy/b".to_vec(), b"2".to_vec()));
     }
 
     #[test]

@@ -136,6 +136,41 @@ impl Kms {
     }
 }
 
+/// Anything that can act as a token-authenticated secret store: the local
+/// [`Kms`], or (in the `sharded_kms` example) a whole PALÆMON cluster with
+/// policies as tenants. Lets one multi-client driver hammer any backend.
+pub trait SecretStore: Send + Sync {
+    /// Issues an opaque credential for `principal`.
+    fn issue(&self, principal: &str) -> String;
+
+    /// Writes a secret at `path`.
+    ///
+    /// # Errors
+    /// A backend-specific message (bad credential, storage failure…).
+    fn put(&self, credential: &str, path: &str, value: &[u8]) -> Result<(), String>;
+
+    /// Reads the secret at `path`.
+    ///
+    /// # Errors
+    /// A backend-specific message (bad credential, missing secret…).
+    fn get(&self, credential: &str, path: &str) -> Result<Vec<u8>, String>;
+}
+
+impl SecretStore for Kms {
+    fn issue(&self, principal: &str) -> String {
+        self.issue_token(principal)
+    }
+
+    fn put(&self, credential: &str, path: &str, value: &[u8]) -> Result<(), String> {
+        self.put_secret(credential, path, value)
+            .map_err(|e| e.to_string())
+    }
+
+    fn get(&self, credential: &str, path: &str) -> Result<Vec<u8>, String> {
+        self.get_secret(credential, path).map_err(|e| e.to_string())
+    }
+}
+
 /// Outcome of one [`multi_client_throughput`] run.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiClientReport {
@@ -151,21 +186,22 @@ pub struct MultiClientReport {
     pub ops_per_sec: f64,
 }
 
-/// Drives one shared [`Kms`] from `clients` threads, each performing
-/// `ops_per_client` operations (alternating put/get on per-client paths),
-/// and reports aggregate throughput — the multi-client KMS workload of the
-/// paper's §VI throughput experiments.
+/// Drives one shared [`SecretStore`] (a [`Kms`], a sharded cluster…) from
+/// `clients` threads, each performing `ops_per_client` operations
+/// (alternating put/get on per-client paths), and reports aggregate
+/// throughput — the multi-client KMS workload of the paper's §VI
+/// throughput experiments.
 ///
 /// # Panics
-/// Panics if any client operation fails (tokens are issued up front, so
-/// failures indicate a broken data plane).
-pub fn multi_client_throughput(
-    kms: &Arc<Kms>,
+/// Panics if any client operation fails (credentials are issued up front,
+/// so failures indicate a broken data plane).
+pub fn multi_client_throughput<S: SecretStore + 'static>(
+    kms: &Arc<S>,
     clients: usize,
     ops_per_client: usize,
 ) -> MultiClientReport {
     let tokens: Vec<String> = (0..clients)
-        .map(|c| kms.issue_token(&format!("client-{c}")))
+        .map(|c| kms.issue(&format!("client-{c}")))
         .collect();
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -177,10 +213,10 @@ pub fn multi_client_throughput(
                     // every get reads a path its own put just wrote.
                     let path = format!("client-{c}/secret-{}", (i / 2) % 8);
                     if i % 2 == 0 {
-                        kms.put_secret(token, &path, format!("v{i}").as_bytes())
+                        kms.put(token, &path, format!("v{i}").as_bytes())
                             .expect("put");
                     } else {
-                        kms.get_secret(token, &path).expect("get");
+                        kms.get(token, &path).expect("get");
                     }
                 }
             });

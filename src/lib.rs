@@ -4,6 +4,7 @@
 //! downstream users can depend on a single crate. See `README.md` for the
 //! architecture overview, crate table and how to run tier-1 verification.
 
+pub use palaemon_cluster as cluster;
 pub use palaemon_core as core;
 pub use palaemon_crypto as crypto;
 pub use palaemon_db as db;

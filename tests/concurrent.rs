@@ -2,11 +2,13 @@
 //! sessions drive one shared engine through the `TmsServer` front-end
 //! doing attest / read_tag / push_tag / update_policy, and the batched
 //! Fig. 6 counter path is checked for ordering under contention and across
-//! a crash (counter failure) point.
+//! a crash (counter failure) point. A 4-shard `ClusterRouter` variant runs
+//! the same load through consistent-hash routing with per-shard counters.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use palaemon::cluster::{strict_shard, ClusterRouter, ShardId};
 use palaemon::core::counterfile::{BatchedCounter, MonotonicCounter};
 use palaemon::core::policy::Policy;
 use palaemon::core::server::{TmsRequest, TmsResponse, TmsServer};
@@ -287,6 +289,133 @@ fn batched_commits_fail_closed_at_crash_point() {
         "pre-crash commits must have succeeded"
     );
     assert_eq!(counter.stats().increments, DIES_AT);
+}
+
+/// The 4-shard cluster variant of the stress run: the same client load as
+/// [`stress_shared_engine_invariants_hold`], but routed through a
+/// `ClusterRouter` over four engines, each with its own slow (contended)
+/// Fig. 6 counter. Afterwards: no leaked sessions anywhere, no failed
+/// request on any shard, every mutation covered by exactly one shard's
+/// counter, and the commit load spread across several per-shard counters.
+#[test]
+fn stress_four_shard_cluster_invariants_hold() {
+    const SHARDS: u32 = 4;
+    let platform = Platform::new("cluster-stress-host", Microcode::PostForeshadow);
+    let router = Arc::new(ClusterRouter::new(77, 96));
+    for i in 0..SHARDS {
+        let db = Db::create(
+            Box::new(MemStore::new()),
+            AeadKey::from_bytes([0x40 + i as u8; 32]),
+        );
+        let engine = Arc::new(Palaemon::new(
+            db,
+            SigningKey::from_seed(format!("cstress-{i}").as_bytes()),
+            Digest::ZERO,
+            29 + u64::from(i),
+        ));
+        engine.register_platform(platform.id(), platform.qe_verifying_key());
+        let (server, counter) = strict_shard(engine, SlowCounter(0));
+        router.add_shard(ShardId(i), server, Some(counter)).unwrap();
+    }
+    let owner = SigningKey::from_seed(b"cstress-owner");
+    let mre = Digest::from_bytes([0x52; 32]);
+    // One policy per client thread, spread across the shards by the ring.
+    let names: Vec<String> = (0..THREADS).map(|t| format!("cstress-{t}")).collect();
+    for name in &names {
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner: owner.verifying_key(),
+                policy: Box::new(Policy::parse(&policy_text(name, &mre)).unwrap()),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+    }
+    let spread = router
+        .shard_ids()
+        .into_iter()
+        .filter(|&id| router.engine(id).unwrap().policy_count() > 0)
+        .count();
+    assert!(spread >= 2, "ring must spread the stress policies");
+
+    let binding = [0u8; 64];
+    std::thread::scope(|scope| {
+        for (t, name) in names.iter().enumerate() {
+            let router = Arc::clone(&router);
+            let platform = &platform;
+            scope.spawn(move || {
+                for s in 0..SESSIONS_PER_THREAD {
+                    let quote = fresh_quote(platform, mre, binding);
+                    let session = match router
+                        .handle(TmsRequest::AttestService {
+                            quote: Box::new(quote),
+                            tls_key_binding: binding,
+                            policy_name: name.clone(),
+                            service_name: "app".into(),
+                        })
+                        .unwrap()
+                    {
+                        TmsResponse::Config(config) => config.session,
+                        other => panic!("expected Config, got {other:?}"),
+                    };
+                    for i in 0..PUSHES_PER_SESSION {
+                        let mut tag = [0u8; 32];
+                        tag[0] = t as u8;
+                        tag[1] = s as u8;
+                        tag[2] = i as u8;
+                        router
+                            .handle(TmsRequest::PushTag {
+                                session,
+                                volume: "data".into(),
+                                tag: Digest::from_bytes(tag),
+                                event: TagEvent::Sync,
+                            })
+                            .unwrap();
+                        match router
+                            .handle(TmsRequest::ReadTag {
+                                session,
+                                volume: "data".into(),
+                            })
+                            .unwrap()
+                        {
+                            TmsResponse::Tag(Some(_)) => {}
+                            other => panic!("tag must be visible after push, got {other:?}"),
+                        }
+                    }
+                    router.handle(TmsRequest::CloseSession { session }).unwrap();
+                }
+            });
+        }
+    });
+
+    match router.handle(TmsRequest::SessionCount).unwrap() {
+        TmsResponse::Count(n) => assert_eq!(n, 0, "no leaked sessions"),
+        other => panic!("expected count, got {other:?}"),
+    }
+    match router.handle(TmsRequest::PolicyCount).unwrap() {
+        TmsResponse::Count(n) => assert_eq!(n, THREADS),
+        other => panic!("expected count, got {other:?}"),
+    }
+    let stats = router.stats();
+    assert!(
+        stats.shards.iter().all(|s| s.server.failed == 0),
+        "no request may fail under contention: {stats}"
+    );
+    // Every mutation (1 create + pushes per policy) landed on exactly one
+    // shard's counter, and shards hosting several policies batched.
+    let expected_ops = (THREADS * (1 + SESSIONS_PER_THREAD * PUSHES_PER_SESSION)) as u64;
+    assert_eq!(stats.total_ops_committed(), expected_ops);
+    assert!(stats.total_increments() <= stats.total_ops_committed());
+    for shard in &stats.shards {
+        let counter = shard.server.counter.unwrap();
+        let expected = (shard.policies * (1 + SESSIONS_PER_THREAD * PUSHES_PER_SESSION)) as u64;
+        assert_eq!(
+            counter.ops_committed, expected,
+            "{}: ops must match its own policies",
+            shard.id
+        );
+    }
+    assert!(router.health_check().iter().all(|h| h.healthy));
 }
 
 /// Snapshot reads stay consistent while the engine is being written: a

@@ -1,16 +1,17 @@
-//! Smoke tests for the `examples/`: all five must compile, and `quickstart`
+//! Smoke tests for the `examples/`: all six must compile, and `quickstart`
 //! must run to completion — these are the repository's executable
 //! documentation, so a PR that breaks them should fail CI.
 
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "managed_kms",
     "ml_pipeline",
     "quickstart",
     "rollback_attack",
     "secure_update",
+    "sharded_kms",
 ];
 
 fn cargo() -> Command {

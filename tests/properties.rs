@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
+use palaemon::cluster::{HashRing, ShardId};
 use palaemon::crypto::aead::AeadKey;
 use palaemon::crypto::merkle::MerkleTree;
 use palaemon::crypto::sha256::Sha256;
@@ -281,5 +282,68 @@ proptest! {
         for (path, content) in &model {
             prop_assert_eq!(&fs.read(path).unwrap(), content);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Consistent-hash ring: the key distribution across 8 shards stays
+    /// within ±25 % of the uniform share, for arbitrary ring seeds and key
+    /// populations.
+    #[test]
+    fn ring_distribution_balanced_within_25_percent(seed in any::<u64>(),
+                                                    salt in any::<u32>()) {
+        // 512 vnodes/shard puts the per-shard share's relative std-dev
+        // around 4 % — the ±25 % bound is then a >5σ event, robust for
+        // arbitrary seeds rather than lucky on the sampled ones.
+        let mut ring = HashRing::new(seed, 512);
+        for i in 0..8 {
+            ring.add_shard(ShardId(i));
+        }
+        const KEYS: usize = 4000;
+        let mut counts: BTreeMap<ShardId, usize> = BTreeMap::new();
+        for i in 0..KEYS {
+            let shard = ring.route(&format!("policy-{salt}-{i}")).unwrap();
+            *counts.entry(shard).or_default() += 1;
+        }
+        prop_assert_eq!(counts.len(), 8, "every shard must receive keys");
+        let share = KEYS / 8;
+        for (&shard, &n) in &counts {
+            prop_assert!(
+                n >= share * 3 / 4 && n <= share * 5 / 4,
+                "{} holds {} keys; uniform share is {} (±25 %)", shard, n, share
+            );
+        }
+    }
+
+    /// Minimal disruption: growing an N-shard ring by one remaps roughly
+    /// 1/(N+1) of the keys — and every remapped key lands on the *new*
+    /// shard, never between two pre-existing ones.
+    #[test]
+    fn ring_expansion_remaps_about_one_nth(seed in any::<u64>(), n in 2u32..8) {
+        let mut old = HashRing::new(seed, 256);
+        for i in 0..n {
+            old.add_shard(ShardId(i));
+        }
+        let mut new = old.clone();
+        new.add_shard(ShardId(n));
+        const KEYS: usize = 2000;
+        let mut moved = 0usize;
+        for i in 0..KEYS {
+            let key = format!("policy-{i}");
+            let was = old.route(&key).unwrap();
+            let is = new.route(&key).unwrap();
+            if was != is {
+                prop_assert_eq!(is, ShardId(n), "key moved between old shards");
+                moved += 1;
+            }
+        }
+        let expected = KEYS / (n as usize + 1);
+        prop_assert!(moved > 0, "the new shard must take over some keys");
+        prop_assert!(
+            moved <= expected * 7 / 4,
+            "remapped {} keys; ~1/{} of {} is {}", moved, n + 1, KEYS, expected
+        );
     }
 }

@@ -2,13 +2,24 @@
 //! and tag pushes as message exchanges with realistic timing, checking both
 //! functional outcomes and end-to-end virtual-time latency.
 
+use std::sync::Arc;
+
+use palaemon::cluster::{strict_shard, ClusterRouter, ShardId};
+use palaemon::core::counterfile::MemFileCounter;
+use palaemon::core::policy::Policy;
 use palaemon::core::runtime::tls_key_binding;
+use palaemon::core::server::{TmsRequest, TmsResponse};
 use palaemon::core::testkit::World;
+use palaemon::core::tms::Palaemon;
+use palaemon::crypto::aead::AeadKey;
 use palaemon::crypto::sig::SigningKey;
 use palaemon::crypto::Digest;
+use palaemon::db::Db;
+use palaemon::shielded_fs::store::MemStore;
 use simnet::net::Deployment;
 use simnet::sim::Sim;
 use simnet::{to_ms, Time, MS, US};
+use tee_sim::platform::{Microcode, Platform};
 use tee_sim::quote::{create_report, quote_report, Quote};
 
 /// The world threaded through the simulation events.
@@ -119,6 +130,122 @@ volumes:
         "attestation over rack = {config_ms} ms"
     );
     assert!(tag_ms < 2.0, "tag push = {tag_ms} ms");
+}
+
+/// The sharded deployment adds one router→shard hop to every attestation.
+/// This test replays the Fig. 10-style attestation exchange twice on the
+/// same-rack link — once straight to a single instance, once through a
+/// 2-shard `ClusterRouter` (functional routing + attestation at the right
+/// sim events) — and checks the extra hop stays within the stated bound:
+/// under 1 ms absolute and under 15 % of the direct latency.
+#[test]
+fn sharded_router_hop_overhead_stays_bounded() {
+    const MRE: [u8; 32] = [0x29; 32];
+    let platform = Platform::new("hop-host", Microcode::PostForeshadow);
+    let router = Arc::new(ClusterRouter::new(3, 64));
+    for i in 0..2u32 {
+        let db = Db::create(
+            Box::new(MemStore::new()),
+            AeadKey::from_bytes([0x70 + i as u8; 32]),
+        );
+        let engine = Arc::new(Palaemon::new(
+            db,
+            SigningKey::from_seed(format!("hop-{i}").as_bytes()),
+            Digest::ZERO,
+            51 + u64::from(i),
+        ));
+        engine.register_platform(platform.id(), platform.qe_verifying_key());
+        let (server, counter) = strict_shard(engine, MemFileCounter::new());
+        router.add_shard(ShardId(i), server, Some(counter)).unwrap();
+    }
+    let owner = SigningKey::from_seed(b"hop-owner").verifying_key();
+    let policy = Policy::parse(&format!(
+        "name: hopflow\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n",
+        Digest::from_bytes(MRE).to_hex()
+    ))
+    .unwrap();
+    router
+        .handle(TmsRequest::CreatePolicy {
+            owner,
+            policy: Box::new(policy),
+            approval: None,
+            votes: Vec::new(),
+        })
+        .unwrap();
+
+    let tls_key = SigningKey::from_seed(b"hop-tls");
+    let binding = tls_key_binding(&tls_key.verifying_key());
+    let link = Deployment::SameRack.link();
+
+    struct HopWorld {
+        router: Arc<ClusterRouter>,
+        quote: Option<Quote>,
+        binding: [u8; 64],
+        attested_at: Option<Time>,
+    }
+
+    // One attestation exchange; `extra_hop` adds the router→shard leg.
+    let run_flow = |extra_hop: bool| -> Time {
+        let report = create_report(&platform, Digest::from_bytes(MRE), binding);
+        let mut sim: Sim<HopWorld> = Sim::new();
+        let mut world = HopWorld {
+            router: Arc::clone(&router),
+            quote: Some(quote_report(&platform, &report).unwrap()),
+            binding,
+            attested_at: None,
+        };
+        let setup = link.tcp_handshake() + link.tls_handshake(2_500);
+        // Quote generation + one-way flight of the ~2 kB quote.
+        let to_front_door = setup + 400 * US + link.one_way() + link.transfer(2_048);
+        // Router→shard leg: the quote is forwarded over the rack and the
+        // 4 kB configuration relayed back, plus the routing decision.
+        let hop = if extra_hop {
+            50 * US + link.request(2_048, 4_096, 0)
+        } else {
+            0
+        };
+        // Server work + configuration flight back to the client.
+        let back = 800 * US + 3 * MS + link.one_way() + link.transfer(4_096);
+        sim.schedule(to_front_door + hop, move |sim, world: &mut HopWorld| {
+            let quote = world.quote.take().unwrap();
+            let config = world
+                .router
+                .handle(TmsRequest::AttestService {
+                    quote: Box::new(quote),
+                    tls_key_binding: world.binding,
+                    policy_name: "hopflow".into(),
+                    service_name: "app".into(),
+                })
+                .expect("attestation through the router succeeds");
+            match config {
+                TmsResponse::Config(_) => {}
+                other => panic!("expected Config, got {other:?}"),
+            }
+            sim.schedule(back, move |sim, world: &mut HopWorld| {
+                world.attested_at = Some(sim.now());
+            });
+        });
+        sim.run(&mut world);
+        world.attested_at.expect("flow completed")
+    };
+
+    let direct = run_flow(false);
+    let routed = run_flow(true);
+    let direct_ms = to_ms(direct);
+    let overhead_ms = to_ms(routed - direct);
+    assert!(
+        (2.0..30.0).contains(&direct_ms),
+        "direct attestation = {direct_ms} ms"
+    );
+    assert!(
+        overhead_ms < 1.0,
+        "router hop adds {overhead_ms} ms on the rack"
+    );
+    assert!(
+        to_ms(routed) < direct_ms * 1.15,
+        "routed ({} ms) must stay within 15 % of direct ({direct_ms} ms)",
+        to_ms(routed)
+    );
 }
 
 #[test]
