@@ -27,18 +27,34 @@
 //!   between engines under a cutover barrier: reads either see the fully
 //!   populated source or the fully populated target, never a half-migrated
 //!   policy.
+//! * **Replication & failover** ([`router`]) — each ring arc can be a
+//!   replica group ([`ClusterRouter::add_replicated_shard`]): the primary
+//!   applies a mutation, forwards the counter-attested policy/session
+//!   delta to its followers, and acks at a configurable write quorum. A
+//!   quarantined primary fails over to the freshest in-quorum follower —
+//!   freshness decided by the Fig. 6 counter token, so a rolled-back
+//!   replica never wins — instead of taking its arc offline. Reinstated or
+//!   replacement replicas catch up over the warm-copy path before
+//!   rejoining the quorum.
 //! * **Byzantine shard health** — periodic [`ClusterRouter::health_check`]
-//!   probes every shard and watches its rollback counter for regressions; a
-//!   misbehaving shard is marked unroutable and surfaced in
+//!   probes every replica and watches its rollback counters for
+//!   regressions; a misbehaving replica is quarantined (triggering a
+//!   failover when it held the primary seat) and surfaced in
 //!   [`ClusterStats`].
+//! * **Deterministic fault injection** ([`fault`]) — a [`FaultPlan`] names
+//!   crash / partition / counter-rollback faults by an exact
+//!   (shard, operation) coordinate, so every failover scenario the test
+//!   suite asserts on is reproducible.
 
+pub mod fault;
 pub mod ring;
 pub mod router;
 
+pub use fault::{kill_server_at, FaultKind, FaultPlan, PlannedFault};
 pub use ring::{HashRing, ShardId};
 pub use router::{
-    strict_shard, ClusterError, ClusterRouter, ClusterStats, PolicyMove, ShardHealth, ShardPlan,
-    ShardStats,
+    strict_shard, ClusterError, ClusterRouter, ClusterStats, PolicyMove, ReplicaHealth,
+    ReplicaSetStatus, ReplicaStatus, ShardHealth, ShardPlan, ShardStats,
 };
 
 /// Convenience alias for results in this crate.

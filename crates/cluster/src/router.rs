@@ -1,17 +1,50 @@
-//! The cluster front door: consistent-hash routing over N PALÆMON shards.
+//! The cluster front door: consistent-hash routing over N PALÆMON shards,
+//! each a **replica group** that fails over instead of going dark.
 //!
-//! A [`ClusterRouter`] owns a set of shards — each an independent
-//! [`TmsServer`] over its own `Palaemon` engine with its own (optional)
-//! [`BatchedCounter`] rollback coupling — and dispatches the existing
-//! [`TmsRequest`] protocol:
+//! A [`ClusterRouter`] owns a set of shards — each a replica group of 1..R
+//! [`TmsServer`]s over independent `Palaemon` engines, each with its own
+//! (optional) [`BatchedCounter`] rollback coupling — and dispatches the
+//! existing [`TmsRequest`] protocol:
 //!
 //! * **policy-keyed** requests ([`TmsRequest::policy_key`]) route through
 //!   the [`HashRing`];
 //! * **session-keyed** requests ([`TmsRequest::session_key`]) are pinned to
-//!   the shard that attested the session — the router hands out its own
+//!   the *group* that attested the session — the router hands out its own
 //!   cluster-level session ids (shard-local ids from different engines
 //!   collide) and translates on every dispatch;
 //! * aggregates (`PolicyCount`, `SessionCount`) fan out and sum.
+//!
+//! ## Replication protocol (synchronous mirroring + write quorum)
+//! Every request is served by the group's **primary** replica. After the
+//! primary durably applies a mutation (and commits it on its Fig. 6
+//! counter), the router — still inside the client's call — extracts the
+//! resulting *counter-attested snapshot*
+//! ([`PolicyDelta`](palaemon_core::tms::PolicyDelta): the policy's full
+//! record set plus a commitment digest, paired with the primary's rollback-
+//! counter token) and forwards it to every in-quorum follower. The call
+//! acknowledges only once `write_quorum` replicas (primary included) hold
+//! the write; otherwise it fails with [`ClusterError::QuorumLost`] and the
+//! write may legitimately be lost by a later failover. A follower that
+//! misses or fails a forward is demoted from the quorum until it catches
+//! up. Attested sessions are mirrored the same way (create and close), so
+//! a session survives the loss of the replica that attested it. Forwarding
+//! is serialized per group (`forward_lock`), so in-quorum followers apply
+//! the same delta sequence the primary produced.
+//!
+//! ## Failover (freshness by counter value)
+//! When a primary is quarantined — by the health monitor or an operator —
+//! the group elects the **freshest in-quorum follower**: the one with the
+//! highest applied counter token, ties to the lowest index. Freshness is
+//! decided by the Fig. 6 counter value, so a replica whose state was rolled
+//! back (its token regressed) can never win the election while a fresher
+//! replica survives. Reads retry on the new primary if a failover races
+//! them, so a quarantine loses **zero quorum-acked writes** and keeps every
+//! policy readable as long as one in-quorum follower remains. Quarantined
+//! or lagging replicas rejoin through [`ClusterRouter::reinstate`] (and
+//! replacements through [`ClusterRouter::add_replica`]), which catch them
+//! up from the current primary via the warm-copy export/import path before
+//! they count toward the quorum again. Deterministic fault injection for
+//! all of this lives in [`crate::fault`].
 //!
 //! ## Rebalance protocol (warm copy + cutover barrier)
 //! [`ClusterRouter::add_shard`] and [`ClusterRouter::drain_shard`] migrate
@@ -40,19 +73,21 @@
 //! transiently over-count.
 //!
 //! ## Byzantine shard health
-//! [`ClusterRouter::health_check`] probes every shard with a benign
-//! request and watches its rollback counter: a probe failure or a counter
-//! value that *regressed* since the last check (the classic rollback
-//! signature of Fig. 6) quarantines the shard — it stays unroutable (every
-//! request answers [`ClusterError::ShardUnavailable`]) until an operator
-//! calls [`ClusterRouter::reinstate`].
+//! [`ClusterRouter::health_check`] probes every replica of every group
+//! with a benign request and watches its rollback counters: a probe
+//! failure, a physical counter value that *regressed* since the last
+//! check, or an applied-token watermark that went backwards (the classic
+//! rollback signature of Fig. 6) quarantines the replica. Quarantining the
+//! primary triggers a failover; only when no in-quorum follower survives
+//! does the group answer [`ClusterError::ShardUnavailable`] until an
+//! operator calls [`ClusterRouter::reinstate`].
 //!
-//! **Lock order:** `rebalance_gate` → `topology` → `sessions` → (any
-//! engine's internal locks). Health flags are atomics so marking a shard
-//! Byzantine never blocks traffic.
+//! **Lock order:** `rebalance_gate` → `topology` → (one group's
+//! `forward_lock`) → `sessions` → (any engine's internal locks). Health
+//! flags are atomics so marking a replica Byzantine never blocks traffic.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use palaemon_core::counterfile::{BatchedCounter, MonotonicCounter};
@@ -61,6 +96,7 @@ use palaemon_core::tms::{Palaemon, PolicyRecords, SessionId};
 use palaemon_core::PalaemonError;
 use parking_lot::{Mutex, RwLock};
 
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use crate::ring::{HashRing, ShardId};
 
 /// Errors raised by the cluster layer (engine errors pass through).
@@ -80,6 +116,19 @@ pub enum ClusterError {
     /// The request is neither policy-keyed, session-keyed nor an
     /// aggregate, so the router has no way to place it.
     Unroutable,
+    /// A mutation was applied on the primary but could not gather its
+    /// write quorum. It is **not** acknowledged: a failover may lose it.
+    QuorumLost {
+        /// The replica group that fell short.
+        shard: ShardId,
+        /// Replicas (primary included) that hold the write.
+        acked: usize,
+        /// The configured write quorum.
+        needed: usize,
+    },
+    /// A replica-set configuration was rejected (empty set, or a write
+    /// quorum outside `1..=replicas`).
+    BadReplicaSet(String),
     /// The dispatched engine returned an error.
     Engine(PalaemonError),
 }
@@ -97,6 +146,15 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Unroutable => {
                 write!(f, "request is neither policy- nor session-keyed")
             }
+            ClusterError::QuorumLost {
+                shard,
+                acked,
+                needed,
+            } => write!(
+                f,
+                "{shard}: write acked by {acked} of the {needed} required replicas"
+            ),
+            ClusterError::BadReplicaSet(why) => write!(f, "bad replica set: {why}"),
             ClusterError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
@@ -147,30 +205,93 @@ pub struct ShardPlan {
     pub moves: Vec<PolicyMove>,
 }
 
-/// Health verdict for one shard.
+/// Health verdict for one replica within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// Replica index within the group.
+    pub replica: usize,
+    /// True for the replica currently seated as primary.
+    pub primary: bool,
+    /// False when quarantined.
+    pub healthy: bool,
+    /// True while the replica counts toward the write quorum.
+    pub in_quorum: bool,
+    /// The replica's applied rollback-counter token (freshness).
+    pub applied: u64,
+    /// Why the replica was quarantined, when it was.
+    pub reason: Option<String>,
+}
+
+/// Health verdict for one shard (replica group).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardHealth {
     /// The shard.
     pub id: ShardId,
-    /// False when quarantined.
+    /// False when the group is unroutable (its primary seat is
+    /// quarantined and no in-quorum follower could be elected).
     pub healthy: bool,
-    /// Why the shard was quarantined, when it was.
+    /// Why the primary seat was quarantined, when it was.
     pub reason: Option<String>,
+    /// Per-replica verdicts, in replica-index order.
+    pub replicas: Vec<ReplicaHealth>,
 }
 
-/// Point-in-time statistics of one shard.
+/// Point-in-time statistics of one shard (replica group). The per-request
+/// figures (`policies`, `sessions`, `server`) describe the current primary.
 #[derive(Debug, Clone)]
 pub struct ShardStats {
     /// The shard.
     pub id: ShardId,
-    /// False when quarantined.
+    /// False when the group is unroutable.
     pub healthy: bool,
     /// Policies stored on this shard.
     pub policies: usize,
     /// Sessions attested by this shard.
     pub sessions: usize,
-    /// The shard server's dispatch + counter statistics.
+    /// The primary server's dispatch + counter statistics.
     pub server: ServerStats,
+    /// Replication factor (replica count) of the group.
+    pub replicas: usize,
+    /// Replicas currently counting toward the write quorum.
+    pub in_quorum: usize,
+    /// Index of the current primary replica.
+    pub primary: usize,
+    /// Failovers the group has performed.
+    pub failovers: u64,
+}
+
+/// Point-in-time view of one replica (for failover tests and operators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Replica index within the group.
+    pub replica: usize,
+    /// True for the current primary.
+    pub primary: bool,
+    /// True when quarantined.
+    pub quarantined: bool,
+    /// True while the replica counts toward the write quorum.
+    pub in_quorum: bool,
+    /// The replica's applied rollback-counter token (freshness).
+    pub applied: u64,
+}
+
+/// Point-in-time view of one replica group
+/// ([`ClusterRouter::replica_status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSetStatus {
+    /// The shard.
+    pub id: ShardId,
+    /// Acks (primary included) a mutation needs before it is acknowledged.
+    pub write_quorum: usize,
+    /// Replicated mutations the group has executed (the fault-plan
+    /// operation coordinate).
+    pub ops: u64,
+    /// Failovers the group has performed.
+    pub failovers: u64,
+    /// Index of the current primary replica.
+    pub primary: usize,
+    /// Per-replica views, in replica-index order.
+    pub replicas: Vec<ReplicaStatus>,
 }
 
 /// Aggregated statistics across the cluster.
@@ -232,28 +353,47 @@ impl std::fmt::Display for ClusterStats {
                     c.ops_committed, c.increments
                 )?;
             }
+            if s.replicas > 1 {
+                write!(
+                    f,
+                    " | R={} ({} in quorum), primary #{}, {} failovers",
+                    s.replicas, s.in_quorum, s.primary, s.failovers
+                )?;
+            }
             writeln!(f)?;
         }
         write!(f, "  rebalances: {}", self.rebalances)
     }
 }
 
-struct Shard {
+/// One engine within a replica group.
+struct Replica {
     server: TmsServer,
     counter: Option<Arc<BatchedCounter>>,
-    healthy: AtomicBool,
-    last_counter_value: AtomicU64,
-    quarantine_reason: Mutex<Option<String>>,
+    /// Rollback-counter token of the last replicated mutation this replica
+    /// applied — the freshness evidence a failover election compares.
+    applied: AtomicU64,
+    /// True while the replica has applied every forwarded delta since it
+    /// last (re)joined; a missed or failed forward clears it.
+    in_quorum: AtomicBool,
+    quarantined: AtomicBool,
+    reason: Mutex<Option<String>>,
+    /// Health-monitor watermarks (regression watch).
+    watch_counter: AtomicU64,
+    watch_applied: AtomicU64,
 }
 
-impl Shard {
+impl Replica {
     fn new(server: TmsServer, counter: Option<Arc<BatchedCounter>>) -> Self {
-        Shard {
+        Replica {
             server,
             counter,
-            healthy: AtomicBool::new(true),
-            last_counter_value: AtomicU64::new(0),
-            quarantine_reason: Mutex::new(None),
+            applied: AtomicU64::new(0),
+            in_quorum: AtomicBool::new(true),
+            quarantined: AtomicBool::new(false),
+            reason: Mutex::new(None),
+            watch_counter: AtomicU64::new(0),
+            watch_applied: AtomicU64::new(0),
         }
     }
 
@@ -261,19 +401,265 @@ impl Shard {
         self.server.engine()
     }
 
-    fn is_healthy(&self) -> bool {
-        self.healthy.load(Ordering::Acquire)
+    fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
     }
 
-    fn quarantine(&self, reason: String) {
-        *self.quarantine_reason.lock() = Some(reason);
-        self.healthy.store(false, Ordering::Release);
+    fn is_in_quorum(&self) -> bool {
+        !self.is_quarantined() && self.in_quorum.load(Ordering::Acquire)
     }
+
+    /// Quarantines the replica. An already-quarantined replica keeps its
+    /// original reason and appends the new one — the first diagnosis is
+    /// what the operator needs to see.
+    fn quarantine(&self, reason: String) {
+        let mut slot = self.reason.lock();
+        *slot = Some(match slot.take() {
+            Some(first) => format!("{first}; {reason}"),
+            None => reason,
+        });
+        self.quarantined.store(true, Ordering::Release);
+        self.in_quorum.store(false, Ordering::Release);
+    }
+
+    /// Clears quarantine and rejoins the write quorum, resetting the
+    /// health watches to the current values (catch-up ran first).
+    fn rejoin(&self) {
+        if let Some(counter) = &self.counter {
+            self.watch_counter.store(counter.value(), Ordering::Release);
+        }
+        self.watch_applied
+            .store(self.applied.load(Ordering::Acquire), Ordering::Release);
+        *self.reason.lock() = None;
+        self.quarantined.store(false, Ordering::Release);
+        self.in_quorum.store(true, Ordering::Release);
+    }
+}
+
+/// One ring arc's replica group: a primary plus R−1 synchronously mirrored
+/// followers.
+struct ReplicaSet {
+    replicas: Vec<Replica>,
+    /// Index of the current primary.
+    primary: AtomicUsize,
+    /// Acks (primary included) a mutation needs before it returns.
+    write_quorum: usize,
+    /// Serializes delta extraction + forwarding (and migration installs),
+    /// so followers apply the same delta sequence the primary produced.
+    forward_lock: Mutex<()>,
+    /// Replicated-mutation index — the deterministic fault-plan coordinate.
+    ops: AtomicU64,
+    /// Highest freshness token the group has handed out. Tokens are
+    /// `max(primary counter value, watermark + 1)`: monotone per *group*,
+    /// so a newly promoted primary (whose own physical counter starts low)
+    /// can never issue a token older than the group has seen.
+    watermark: AtomicU64,
+    failovers: AtomicU64,
+}
+
+impl ReplicaSet {
+    fn new(replicas: Vec<Replica>, write_quorum: usize) -> Self {
+        ReplicaSet {
+            replicas,
+            primary: AtomicUsize::new(0),
+            write_quorum,
+            forward_lock: Mutex::new(()),
+            ops: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    fn primary_idx(&self) -> usize {
+        self.primary.load(Ordering::Acquire)
+    }
+
+    /// The engine behind the current primary seat — consulted for stats,
+    /// aggregates and migration regardless of quarantine state.
+    fn primary_engine(&self) -> &Arc<Palaemon> {
+        self.replicas[self.primary_idx()].engine()
+    }
+
+    /// True while the group can serve requests.
+    fn is_routable(&self) -> bool {
+        !self.replicas[self.primary_idx()].is_quarantined()
+    }
+
+    /// Freshness election: the in-quorum replica (excluding `not`) with
+    /// the highest applied counter token; ties go to the lowest index. A
+    /// rolled-back replica reports an older token, so it can never beat a
+    /// fresh one.
+    fn elect(&self, not: usize) -> Option<usize> {
+        freshest(
+            self.replicas
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| *i != not && r.is_in_quorum()),
+        )
+    }
+
+    /// Quarantines replica `idx`; when it held the primary seat, fails
+    /// over to the freshest in-quorum follower. Returns the new primary
+    /// index if a failover happened.
+    ///
+    /// Seat changes take the forward lock, so a failover never interleaves
+    /// with an in-flight delta forward: an acked write always reaches the
+    /// future primary before the promotion, and a deposed primary can
+    /// never forward a stale snapshot over its successor's writes (the
+    /// replication path re-checks the seat under the lock).
+    fn quarantine_replica(&self, idx: usize, reason: String) -> Option<usize> {
+        // Always under the lock — even for an apparent follower: a
+        // concurrent failover may be seating exactly this replica, and
+        // flagging it lock-free could strand the group on a quarantined
+        // seat while live followers exist.
+        let _forward = self.forward_lock.lock();
+        self.depose_locked(idx, reason)
+    }
+
+    /// The failover itself; caller holds `forward_lock`. The seat moves
+    /// *before* the deposed replica is flagged, so dispatch never observes
+    /// a quarantined seat while a live follower exists — traffic flows
+    /// through the entire failover window.
+    fn depose_locked(&self, idx: usize, reason: String) -> Option<usize> {
+        let moved = if self.primary.load(Ordering::Acquire) == idx {
+            self.elect(idx).inspect(|&new| {
+                self.primary.store(new, Ordering::Release);
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+            })
+        } else {
+            None // someone else already moved the seat
+        };
+        self.replicas[idx].quarantine(reason);
+        moved
+    }
+
+    /// Installs one policy's records on every live replica (migration
+    /// path). The primary seat must succeed — its error propagates so a
+    /// rebalance can abort before the ring swap; a follower failure only
+    /// demotes the follower from the quorum.
+    fn group_install(&self, policy: &str, records: &PolicyRecords) -> Result<()> {
+        let _forward = self.forward_lock.lock();
+        let pidx = self.primary_idx();
+        let primary = &self.replicas[pidx];
+        primary.engine().purge_policy_records(policy)?;
+        primary.engine().import_records(records)?;
+        for (k, follower) in self.replicas.iter().enumerate() {
+            if k == pidx || !follower.is_in_quorum() {
+                continue;
+            }
+            let copied = follower
+                .engine()
+                .purge_policy_records(policy)
+                .and_then(|()| follower.engine().import_records(records));
+            if copied.is_err() {
+                follower.in_quorum.store(false, Ordering::Release);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes one policy's records from every live replica (migration
+    /// retirement). Primary-seat errors propagate; follower failures
+    /// demote.
+    fn group_purge(&self, policy: &str) -> Result<()> {
+        let _forward = self.forward_lock.lock();
+        let pidx = self.primary_idx();
+        self.replicas[pidx].engine().purge_policy_records(policy)?;
+        for (k, follower) in self.replicas.iter().enumerate() {
+            if k == pidx || !follower.is_in_quorum() {
+                continue;
+            }
+            if follower.engine().purge_policy_records(policy).is_err() {
+                follower.in_quorum.store(false, Ordering::Release);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirrors a session the primary just attested onto the followers, so
+    /// the session survives a failover.
+    fn mirror_session(&self, pidx: usize, local: SessionId) {
+        if self.replicas.len() == 1 {
+            return;
+        }
+        let _forward = self.forward_lock.lock();
+        let Some(record) = self.replicas[pidx].engine().export_session(local) else {
+            return;
+        };
+        for (k, follower) in self.replicas.iter().enumerate() {
+            if k != pidx && !follower.is_quarantined() {
+                follower.engine().import_session(&record);
+            }
+        }
+    }
+
+    /// Mirrors a session close onto the followers.
+    fn mirror_close(&self, pidx: usize, local: SessionId) {
+        if self.replicas.len() == 1 {
+            return;
+        }
+        let _forward = self.forward_lock.lock();
+        for (k, follower) in self.replicas.iter().enumerate() {
+            if k != pidx && !follower.is_quarantined() {
+                follower.engine().close_session(local);
+            }
+        }
+    }
+}
+
+/// The freshness comparator every seat election shares: the candidate
+/// with the highest applied counter token wins; ties go to the lowest
+/// index.
+fn freshest<'a>(candidates: impl Iterator<Item = (usize, &'a Replica)>) -> Option<usize> {
+    candidates
+        .max_by(|(ia, a), (ib, b)| {
+            let fa = a.applied.load(Ordering::Acquire);
+            let fb = b.applied.load(Ordering::Acquire);
+            fa.cmp(&fb).then(ib.cmp(ia))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Full resync of `target` from `primary` via the warm-copy path: every
+/// policy (export/import, stale ones purged) plus the session table. Only
+/// on full success is the target stamped with the primary's applied token
+/// — a replica whose resync failed must never re-enter the freshness
+/// election claiming state it does not hold.
+///
+/// # Errors
+/// Whatever the target engine's purge/import commits return; the target's
+/// freshness token is then left untouched.
+fn catch_up(primary: &Replica, target: &Replica) -> palaemon_core::Result<()> {
+    let src = primary.engine();
+    let dst = target.engine();
+    let live: HashSet<String> = src.policy_names().into_iter().collect();
+    for stale in dst.policy_names() {
+        if !live.contains(&stale) {
+            dst.purge_policy_records(&stale)?;
+        }
+    }
+    for policy in &live {
+        dst.apply_policy_delta(&src.export_policy_delta(policy))?;
+    }
+    let sessions = src.export_sessions();
+    let keep: HashSet<u64> = sessions.iter().map(|s| s.session.0).collect();
+    for stale in dst.export_sessions() {
+        if !keep.contains(&stale.session.0) {
+            dst.close_session(stale.session);
+        }
+    }
+    for record in &sessions {
+        dst.import_session(record);
+    }
+    target
+        .applied
+        .store(primary.applied.load(Ordering::Acquire), Ordering::Release);
+    Ok(())
 }
 
 struct Topology {
     ring: HashRing,
-    shards: HashMap<ShardId, Shard>,
+    shards: HashMap<ShardId, ReplicaSet>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -292,6 +678,8 @@ pub struct ClusterRouter {
     /// Serializes rebalance operations, so a warm copy always reconciles
     /// against the same shard set at cutover.
     rebalance_gate: Mutex<()>,
+    /// Deterministic fault schedule (test builds); `None` in production.
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl std::fmt::Debug for ClusterRouter {
@@ -317,7 +705,14 @@ impl ClusterRouter {
             next_session: AtomicU64::new(1),
             rebalances: AtomicU64::new(0),
             rebalance_gate: Mutex::new(()),
+            fault_plan: Mutex::new(None),
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`] the replication path
+    /// consults on every replicated mutation (fault-injection tests).
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault_plan.lock() = Some(plan);
     }
 
     /// Shard ids currently in the cluster, in id order.
@@ -335,23 +730,64 @@ impl ClusterRouter {
         self.topology.read().ring.route(policy)
     }
 
-    /// The engine behind a shard (lifecycle paths, e.g. registering
-    /// platform quoting-enclave keys on every shard).
+    /// The engine behind a shard's current primary (lifecycle paths, e.g.
+    /// registering platform quoting-enclave keys on every shard).
     pub fn engine(&self, id: ShardId) -> Option<Arc<Palaemon>> {
         self.topology
             .read()
             .shards
             .get(&id)
-            .map(|s| Arc::clone(s.engine()))
+            .map(|g| Arc::clone(g.primary_engine()))
     }
 
-    /// Handles one request, routing it to the owning shard (or fanning out
-    /// for aggregates). Safe to call from any number of threads.
+    /// Every replica engine of a shard, in replica-index order (divergence
+    /// checks, fleet-wide key provisioning).
+    pub fn replica_engines(&self, id: ShardId) -> Vec<Arc<Palaemon>> {
+        self.topology
+            .read()
+            .shards
+            .get(&id)
+            .map(|g| g.replicas.iter().map(|r| Arc::clone(r.engine())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time view of a shard's replica group: primary seat, quorum
+    /// membership and per-replica freshness tokens.
+    pub fn replica_status(&self, id: ShardId) -> Option<ReplicaSetStatus> {
+        let topo = self.topology.read();
+        let group = topo.shards.get(&id)?;
+        let pidx = group.primary_idx();
+        Some(ReplicaSetStatus {
+            id,
+            write_quorum: group.write_quorum,
+            ops: group.ops.load(Ordering::Relaxed),
+            failovers: group.failovers.load(Ordering::Relaxed),
+            primary: pidx,
+            replicas: group
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(k, r)| ReplicaStatus {
+                    replica: k,
+                    primary: k == pidx,
+                    quarantined: r.is_quarantined(),
+                    in_quorum: r.is_in_quorum(),
+                    applied: r.applied.load(Ordering::Acquire),
+                })
+                .collect(),
+        })
+    }
+
+    /// Handles one request, routing it to the owning replica group (or
+    /// fanning out for aggregates). Mutations are synchronously mirrored
+    /// onto the group's followers and acknowledged only at write quorum.
+    /// Safe to call from any number of threads.
     ///
     /// # Errors
     /// Routing failures ([`ClusterError::NoShards`],
-    /// [`ClusterError::ShardUnavailable`]) or whatever the dispatched
-    /// engine returns ([`ClusterError::Engine`]).
+    /// [`ClusterError::ShardUnavailable`]), a missed write quorum
+    /// ([`ClusterError::QuorumLost`]), or whatever the dispatched engine
+    /// returns ([`ClusterError::Engine`]).
     pub fn handle(&self, request: TmsRequest) -> Result<TmsResponse> {
         // Held for the whole dispatch: this is what the rebalance cutover
         // barrier (the write lock) synchronizes against.
@@ -360,14 +796,15 @@ impl ClusterRouter {
             return Err(ClusterError::NoShards);
         }
 
-        // Aggregates fan out to the engines directly (bypassing the shard
-        // servers so per-shard request stats are not inflated N-fold).
+        // Aggregates fan out to the primary engines directly (bypassing
+        // the shard servers so per-shard request stats are not inflated,
+        // and counting each group once, not once per replica).
         match &request {
             TmsRequest::PolicyCount => {
                 let total = topo
                     .shards
                     .values()
-                    .map(|s| s.engine().policy_count())
+                    .map(|g| g.primary_engine().policy_count())
                     .sum();
                 return Ok(TmsResponse::Count(total));
             }
@@ -375,7 +812,7 @@ impl ClusterRouter {
                 let total = topo
                     .shards
                     .values()
-                    .map(|s| s.engine().session_count())
+                    .map(|g| g.primary_engine().session_count())
                     .sum();
                 return Ok(TmsResponse::Count(total));
             }
@@ -383,13 +820,11 @@ impl ClusterRouter {
         }
 
         if let Some(policy) = request.policy_key() {
-            let id = topo.ring.route(policy).ok_or(ClusterError::NoShards)?;
-            let shard = topo.shards.get(&id).ok_or(ClusterError::NoSuchShard(id))?;
-            if !shard.is_healthy() {
-                return Err(ClusterError::ShardUnavailable(id));
-            }
-            let response = shard.server.handle(request).map_err(ClusterError::Engine)?;
-            // Attestation pinned a new session to this shard: hand the
+            let policy = policy.to_string();
+            let id = topo.ring.route(&policy).ok_or(ClusterError::NoShards)?;
+            let group = topo.shards.get(&id).ok_or(ClusterError::NoSuchShard(id))?;
+            let response = self.dispatch_to_group(id, group, &request, None, Some(&policy))?;
+            // Attestation pinned a new session to this group: hand the
             // client a cluster-level id and remember the binding.
             if let TmsResponse::Config(mut config) = response {
                 let local = config.session;
@@ -410,18 +845,13 @@ impl ClusterRouter {
                 .get(&cluster_session.0)
                 .copied()
                 .ok_or(ClusterError::Engine(PalaemonError::NoSuchSession))?;
-            let shard = topo
+            let group = topo
                 .shards
                 .get(&binding.shard)
                 .ok_or(ClusterError::Engine(PalaemonError::NoSuchSession))?;
-            if !shard.is_healthy() {
-                return Err(ClusterError::ShardUnavailable(binding.shard));
-            }
             let closing = matches!(request, TmsRequest::CloseSession { .. });
-            let response = shard
-                .server
-                .handle(localize_session(request, binding.local))
-                .map_err(ClusterError::Engine)?;
+            let response =
+                self.dispatch_to_group(binding.shard, group, &request, Some(binding.local), None)?;
             if closing {
                 self.sessions.write().remove(&cluster_session.0);
             }
@@ -433,30 +863,216 @@ impl ClusterRouter {
         Err(ClusterError::Unroutable)
     }
 
+    /// Serves one request on a group's primary; replicates mutations and
+    /// mirrors session-table changes onto the followers.
+    fn dispatch_to_group(
+        &self,
+        id: ShardId,
+        group: &ReplicaSet,
+        request: &TmsRequest,
+        local: Option<SessionId>,
+        policy: Option<&str>,
+    ) -> Result<TmsResponse> {
+        loop {
+            let pidx = group.primary_idx();
+            let primary = &group.replicas[pidx];
+            if primary.is_quarantined() {
+                return Err(ClusterError::ShardUnavailable(id));
+            }
+            let req = match local {
+                Some(l) => localize_session(request.clone(), l),
+                None => request.clone(),
+            };
+            let mutation = req.is_mutation();
+            let response = primary.server.handle(req).map_err(ClusterError::Engine)?;
+            if mutation {
+                // Single-replica groups have nobody to forward to: skip
+                // the whole replication machinery (delta export, digest,
+                // forward-lock serialization) and keep PR 3's engine-level
+                // concurrency for unreplicated shards.
+                if group.replicas.len() > 1 {
+                    // The policy the forwarded delta covers: the request's
+                    // own key, or — for session-keyed tag pushes — the
+                    // policy the session is attested under.
+                    let policy = match policy {
+                        Some(p) => Some(p.to_string()),
+                        None => local.and_then(|l| primary.engine().policy_of_session(l)),
+                    };
+                    if let Some(policy) = policy {
+                        self.replicate(id, group, pidx, &policy)?;
+                    }
+                }
+                return Ok(response);
+            }
+            // Session-table changes are mirrored so sessions survive a
+            // failover of the replica that attested them.
+            match (&response, request) {
+                (TmsResponse::Config(config), TmsRequest::AttestService { .. }) => {
+                    group.mirror_session(pidx, config.session);
+                    return Ok(response);
+                }
+                (_, TmsRequest::CloseSession { .. }) => {
+                    if let Some(l) = local {
+                        group.mirror_close(pidx, l);
+                    }
+                    return Ok(response);
+                }
+                _ => {}
+            }
+            // Pure read: if a failover raced us, the deposed primary may
+            // have missed a write acked on its successor — retry there.
+            if group.primary_idx() != pidx || primary.is_quarantined() {
+                continue;
+            }
+            return Ok(response);
+        }
+    }
+
+    /// Forwards the counter-attested snapshot of `policy` — just mutated
+    /// and committed on the primary — to the group's in-quorum followers,
+    /// and acknowledges at write quorum. Consults the fault plan at the
+    /// three injection sites.
+    fn replicate(&self, id: ShardId, group: &ReplicaSet, pidx: usize, policy: &str) -> Result<()> {
+        let primary = &group.replicas[pidx];
+        let _forward = group.forward_lock.lock();
+        if group.primary_idx() != pidx || primary.is_quarantined() {
+            // A failover deposed us between the engine apply and the
+            // forward: the write reached only the deposed primary and is
+            // not acknowledged.
+            return Err(ClusterError::ShardUnavailable(id));
+        }
+        let op = group.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let plan = self.fault_plan.lock().clone();
+        if let Some(plan) = &plan {
+            if plan
+                .take(id, op, FaultSite::BeforeForward)
+                .contains(&FaultKind::CrashBeforeForward)
+            {
+                // The primary dies with the write applied only locally: it
+                // was never acked, so losing it in the failover is sound.
+                group.depose_locked(pidx, "fault: primary crashed before forwarding".into());
+                return Err(ClusterError::ShardUnavailable(id));
+            }
+        }
+        // The counter-attested snapshot: full record set + commitment
+        // digest, paired with a group-monotone freshness token derived
+        // from the primary's Fig. 6 counter value.
+        let delta = primary.engine().export_policy_delta(policy);
+        let counter_value = primary.counter.as_ref().map_or(0, |c| c.value());
+        let token = counter_value.max(group.watermark.load(Ordering::Acquire) + 1);
+        group.watermark.store(token, Ordering::Release);
+        primary.applied.store(token, Ordering::Release);
+        let mut acked = 1usize; // the primary itself
+        for (k, follower) in group.replicas.iter().enumerate() {
+            if k == pidx || follower.is_quarantined() {
+                continue;
+            }
+            if let Some(plan) = &plan {
+                if !plan.take(id, op, FaultSite::ForwardTo(k)).is_empty() {
+                    // Partitioned: the follower missed this delta — it no
+                    // longer counts toward the quorum until it catches up.
+                    follower.in_quorum.store(false, Ordering::Release);
+                    continue;
+                }
+            }
+            if !follower.in_quorum.load(Ordering::Acquire) {
+                continue; // lagging — must catch up before rejoining
+            }
+            match follower.engine().apply_policy_delta(&delta) {
+                Ok(()) => {
+                    follower.applied.store(token, Ordering::Release);
+                    acked += 1;
+                }
+                Err(_) => follower.in_quorum.store(false, Ordering::Release),
+            }
+        }
+        if acked < group.write_quorum {
+            return Err(ClusterError::QuorumLost {
+                shard: id,
+                acked,
+                needed: group.write_quorum,
+            });
+        }
+        if let Some(plan) = &plan {
+            for kind in plan.take(id, op, FaultSite::AfterQuorum) {
+                match kind {
+                    FaultKind::CrashAfterQuorum => {
+                        // The write is quorum-acked; the failover election
+                        // must preserve it.
+                        group.depose_locked(
+                            pidx,
+                            "fault: primary crashed after the quorum ack".into(),
+                        );
+                    }
+                    FaultKind::CounterRollback { replica, to } => {
+                        if let Some(r) = group.replicas.get(replica) {
+                            r.applied.store(to, Ordering::Release);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Rebalancing
     // ------------------------------------------------------------------
 
-    /// Adds a shard, migrating every policy the new ring assigns to it.
-    /// The joining `server` must wrap a fresh engine; pass its commit
-    /// counter (if strict) so health checks can watch it.
-    ///
-    /// Warm-copies under the read lock (traffic keeps flowing), then takes
-    /// the cutover barrier only to reconcile deltas and swap the ring —
-    /// see the module docs for the protocol and its failure atomicity.
+    /// Adds a single-replica shard, migrating every policy the new ring
+    /// assigns to it. The joining `server` must wrap a fresh engine; pass
+    /// its commit counter (if strict) so health checks can watch it.
     ///
     /// # Errors
-    /// [`ClusterError::ShardExists`], or engine errors from before the
-    /// ring swap (the topology is then unchanged).
+    /// See [`ClusterRouter::add_replicated_shard`].
     pub fn add_shard(
         &self,
         id: ShardId,
         server: TmsServer,
         counter: Option<Arc<BatchedCounter>>,
     ) -> Result<ShardPlan> {
+        self.add_replicated_shard(id, vec![(server, counter)], 1)
+    }
+
+    /// Adds a replicated shard: `replicas[0]` starts as the primary, the
+    /// rest as synchronously mirrored followers, and every mutation needs
+    /// `write_quorum` acks (primary included) before it returns. All
+    /// replica servers must wrap fresh engines.
+    ///
+    /// Warm-copies under the read lock (traffic keeps flowing), then takes
+    /// the cutover barrier only to reconcile deltas and swap the ring —
+    /// see the module docs for the protocol and its failure atomicity.
+    ///
+    /// # Errors
+    /// [`ClusterError::ShardExists`], [`ClusterError::BadReplicaSet`], or
+    /// engine errors from before the ring swap (the topology is then
+    /// unchanged).
+    pub fn add_replicated_shard(
+        &self,
+        id: ShardId,
+        replicas: Vec<(TmsServer, Option<Arc<BatchedCounter>>)>,
+        write_quorum: usize,
+    ) -> Result<ShardPlan> {
+        if replicas.is_empty() {
+            return Err(ClusterError::BadReplicaSet("no replicas".into()));
+        }
+        if write_quorum == 0 || write_quorum > replicas.len() {
+            return Err(ClusterError::BadReplicaSet(format!(
+                "write quorum {write_quorum} outside 1..={}",
+                replicas.len()
+            )));
+        }
+        let group = ReplicaSet::new(
+            replicas
+                .into_iter()
+                .map(|(server, counter)| Replica::new(server, counter))
+                .collect(),
+            write_quorum,
+        );
         let _gate = self.rebalance_gate.lock(); // one rebalance at a time
 
-        // Warm phase (read lock): bulk-copy into the joining engine, which
+        // Warm phase (read lock): bulk-copy into the joining group, which
         // is not routable yet — errors abort with nothing observable.
         let mut warm: HashMap<String, PolicyRecords> = HashMap::new();
         {
@@ -466,12 +1082,12 @@ impl ClusterRouter {
             }
             let mut next_ring = topo.ring.clone();
             next_ring.add_shard(id);
-            for (&from, shard) in &topo.shards {
-                for policy in shard.engine().policy_names() {
+            for (&from, source) in &topo.shards {
+                for policy in source.primary_engine().policy_names() {
                     if !moves_to(&topo.ring, &next_ring, &policy, from, id) {
                         continue;
                     }
-                    if let Some(records) = install_policy(shard.engine(), server.engine(), &policy)?
+                    if let Some(records) = install_policy(source.primary_engine(), &group, &policy)?
                     {
                         warm.insert(policy, records);
                     }
@@ -485,18 +1101,17 @@ impl ClusterRouter {
         let mut next_ring = topo.ring.clone();
         next_ring.add_shard(id);
         let mut moves = Vec::new();
-        for (&from, shard) in &topo.shards {
-            for policy in shard.engine().policy_names() {
+        for (&from, source) in &topo.shards {
+            for policy in source.primary_engine().policy_names() {
                 if !moves_to(&topo.ring, &next_ring, &policy, from, id) {
                     continue;
                 }
-                let records = shard.engine().export_policy_records(&policy);
+                let records = source.primary_engine().export_policy_records(&policy);
                 if records.is_empty() {
                     continue;
                 }
                 if warm.remove(&policy).as_ref() != Some(&records) {
-                    server.engine().purge_policy_records(&policy)?;
-                    server.engine().import_records(&records)?;
+                    group.group_install(&policy, &records)?;
                 }
                 moves.push(PolicyMove {
                     policy,
@@ -508,14 +1123,13 @@ impl ClusterRouter {
         // Warm copies whose policy vanished mid-copy must not become
         // ghosts on the joining shard.
         for policy in warm.keys() {
-            server.engine().purge_policy_records(policy)?;
+            group.group_purge(policy)?;
         }
 
-        topo.shards.insert(id, Shard::new(server, counter));
+        topo.shards.insert(id, group);
         topo.ring = next_ring;
         for m in &moves {
-            let source = Arc::clone(topo.shards[&m.from].engine());
-            self.retire_source(m.from, &source, &m.policy);
+            self.retire_source(&topo, m.from, &m.policy);
         }
         self.rebalances.fetch_add(1, Ordering::Relaxed);
         Ok(ShardPlan {
@@ -523,6 +1137,35 @@ impl ClusterRouter {
             removed: None,
             moves,
         })
+    }
+
+    /// Adds a replacement follower to an existing group: the new engine
+    /// catches up from the current primary (warm-copy of every policy plus
+    /// the session table) and joins the write quorum. Returns its replica
+    /// index. The configured write quorum is unchanged.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoSuchShard`], or engine errors from the catch-up
+    /// copy (the group is then unchanged — a half-synced replica never
+    /// joins).
+    pub fn add_replica(
+        &self,
+        id: ShardId,
+        server: TmsServer,
+        counter: Option<Arc<BatchedCounter>>,
+    ) -> Result<usize> {
+        // Write lock: the replica vector grows, and the barrier guarantees
+        // no forward is in flight while the newcomer copies state.
+        let mut topo = self.topology.write();
+        let group = topo
+            .shards
+            .get_mut(&id)
+            .ok_or(ClusterError::NoSuchShard(id))?;
+        let replica = Replica::new(server, counter);
+        catch_up(&group.replicas[group.primary_idx()], &replica).map_err(ClusterError::Engine)?;
+        replica.rejoin();
+        group.replicas.push(replica);
+        Ok(group.replicas.len() - 1)
     }
 
     /// Drains a shard: migrates every policy the ring routes to it onto
@@ -539,7 +1182,7 @@ impl ClusterRouter {
     pub fn drain_shard(&self, id: ShardId) -> Result<ShardPlan> {
         let _gate = self.rebalance_gate.lock(); // one rebalance at a time
 
-        // Warm phase (read lock): bulk-copy onto the surviving shards.
+        // Warm phase (read lock): bulk-copy onto the surviving groups.
         // `warm` remembers each policy's target so a failed drain can
         // clean up after itself.
         let mut warm: HashMap<String, (ShardId, PolicyRecords)> = HashMap::new();
@@ -553,14 +1196,13 @@ impl ClusterRouter {
             }
             let mut next_ring = topo.ring.clone();
             next_ring.remove_shard(id);
-            let source = topo.shards[&id].engine();
+            let source = topo.shards[&id].primary_engine();
             for policy in source.policy_names() {
                 if topo.ring.route(&policy) != Some(id) {
                     continue; // unrouted leftover; dropped with the shard
                 }
                 let to = next_ring.route(&policy).ok_or(ClusterError::NoShards)?;
-                let target = topo.shards[&to].engine();
-                if let Some(records) = install_policy(source, target, &policy)? {
+                if let Some(records) = install_policy(source, &topo.shards[&to], &policy)? {
                     warm.insert(policy, (to, records));
                 }
             }
@@ -575,7 +1217,7 @@ impl ClusterRouter {
         let mut topo = self.topology.write();
         let mut next_ring = topo.ring.clone();
         next_ring.remove_shard(id);
-        let source = Arc::clone(topo.shards[&id].engine());
+        let source = Arc::clone(topo.shards[&id].primary_engine());
         let mut moves = Vec::new();
         for policy in source.policy_names() {
             if topo.ring.route(&policy) != Some(id) {
@@ -589,14 +1231,11 @@ impl ClusterRouter {
                 continue;
             }
             let fresh = warm.remove(&policy).map(|(_, r)| r).as_ref() != Some(&records);
-            let target = Arc::clone(topo.shards[&to].engine());
-            let reconcile = (|| -> Result<()> {
-                if fresh {
-                    target.purge_policy_records(&policy)?;
-                    target.import_records(&records)?;
-                }
+            let reconcile = if fresh {
+                topo.shards[&to].group_install(&policy, &records)
+            } else {
                 Ok(())
-            })();
+            };
             if let Err(e) = reconcile {
                 drop(topo); // release the barrier before cleaning up
                 self.purge_warm_copies(&warm);
@@ -615,7 +1254,7 @@ impl ClusterRouter {
 
         topo.ring = next_ring;
         for m in &moves {
-            self.retire_source(id, &source, &m.policy);
+            self.retire_source(&topo, id, &m.policy);
         }
         topo.shards.remove(&id);
         self.sessions.write().retain(|_, b| b.shard != id);
@@ -640,38 +1279,45 @@ impl ClusterRouter {
         warm: &HashMap<String, (ShardId, PolicyRecords)>,
     ) {
         for (policy, (to, _)) in warm {
-            if let Some(shard) = topo.shards.get(to) {
-                let _ = shard.engine().purge_policy_records(policy);
+            if let Some(group) = topo.shards.get(to) {
+                let _ = group.group_purge(policy);
             }
         }
     }
 
-    /// Closes the source-side sessions of a migrated policy, drops their
-    /// router bindings, and purges the policy's records from the source.
-    /// Runs after the ring swap, so it is best-effort: a failed purge
-    /// leaves unrouted leftovers that later rebalance plans skip (only
-    /// policies the current ring routes to a shard ever migrate from it)
-    /// — wasted space, never overwritten live data.
-    fn retire_source(&self, from: ShardId, source: &Palaemon, policy: &str) {
-        let locals = source.sessions_for_policy(policy);
+    /// Closes the source-side sessions of a migrated policy (on every
+    /// replica — the group mirrors its session table), drops their router
+    /// bindings, and purges the policy's records group-wide. Runs after
+    /// the ring swap, so it is best-effort: a failed purge leaves unrouted
+    /// leftovers that later rebalance plans skip (only policies the
+    /// current ring routes to a shard ever migrate from it) — wasted
+    /// space, never overwritten live data.
+    fn retire_source(&self, topo: &Topology, from: ShardId, policy: &str) {
+        let Some(group) = topo.shards.get(&from) else {
+            return;
+        };
+        let locals = group.primary_engine().sessions_for_policy(policy);
         if !locals.is_empty() {
-            for &sid in &locals {
-                source.close_session(sid);
+            for replica in &group.replicas {
+                for &sid in &locals {
+                    replica.engine().close_session(sid);
+                }
             }
             self.sessions
                 .write()
                 .retain(|_, b| !(b.shard == from && locals.contains(&b.local)));
         }
-        let _ = source.purge_policy_records(policy);
+        let _ = group.group_purge(policy);
     }
 
     // ------------------------------------------------------------------
     // Health
     // ------------------------------------------------------------------
 
-    /// Probes every shard and watches its rollback counter; quarantines
-    /// misbehaving (Byzantine) shards. Returns the per-shard verdicts in
-    /// shard-id order. A quarantined shard stays quarantined until
+    /// Probes every replica of every group and watches its rollback
+    /// counters; quarantines misbehaving (Byzantine) replicas, failing the
+    /// group over when the primary is hit. Returns the per-shard verdicts
+    /// in shard-id order. A quarantined replica stays quarantined until
     /// [`ClusterRouter::reinstate`].
     pub fn health_check(&self) -> Vec<ShardHealth> {
         let topo = self.topology.read();
@@ -679,63 +1325,123 @@ impl ClusterRouter {
         ids.sort_unstable();
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
-            let shard = &topo.shards[&id];
-            if shard.is_healthy() {
-                // Probe with a benign read; a shard that cannot even count
-                // its policies is not fit to route to.
-                if let Err(e) = shard.server.handle(TmsRequest::PolicyCount) {
-                    shard.quarantine(format!("probe failed: {e}"));
-                } else if let Some(counter) = &shard.counter {
-                    // The Fig. 6 signature of a Byzantine shard: its
-                    // rollback counter went backwards.
-                    let value = counter.value();
-                    let last = shard.last_counter_value.load(Ordering::Acquire);
-                    if value < last {
-                        shard.quarantine(format!("rollback counter regressed: {last} -> {value}"));
+            let group = &topo.shards[&id];
+            let mut replicas = Vec::with_capacity(group.replicas.len());
+            for (k, replica) in group.replicas.iter().enumerate() {
+                if !replica.is_quarantined() {
+                    // Probe with a benign read; a replica that cannot even
+                    // count its policies is not fit to serve or vote.
+                    if let Err(e) = replica.server.handle(TmsRequest::PolicyCount) {
+                        group.quarantine_replica(k, format!("probe failed: {e}"));
                     } else {
-                        shard.last_counter_value.store(value, Ordering::Release);
+                        // The Fig. 6 signature of a Byzantine replica:
+                        // its physical rollback counter or its applied
+                        // freshness token went backwards.
+                        let mut regressed = None;
+                        if let Some(counter) = &replica.counter {
+                            let value = counter.value();
+                            let last = replica.watch_counter.load(Ordering::Acquire);
+                            if value < last {
+                                regressed = Some((last, value));
+                            } else {
+                                replica.watch_counter.store(value, Ordering::Release);
+                            }
+                        }
+                        if regressed.is_none() {
+                            let applied = replica.applied.load(Ordering::Acquire);
+                            let last = replica.watch_applied.load(Ordering::Acquire);
+                            if applied < last {
+                                regressed = Some((last, applied));
+                            } else {
+                                replica.watch_applied.store(applied, Ordering::Release);
+                            }
+                        }
+                        if let Some((last, now)) = regressed {
+                            group.quarantine_replica(
+                                k,
+                                format!("rollback counter regressed: {last} -> {now}"),
+                            );
+                        }
                     }
                 }
+                replicas.push(ReplicaHealth {
+                    replica: k,
+                    primary: false, // seated below, once the loop settled
+                    healthy: !replica.is_quarantined(),
+                    in_quorum: replica.is_in_quorum(),
+                    applied: replica.applied.load(Ordering::Acquire),
+                    reason: replica.reason.lock().clone(),
+                });
             }
+            let pidx = group.primary_idx();
+            if let Some(r) = replicas.get_mut(pidx) {
+                r.primary = true;
+            }
+            let seat = &group.replicas[pidx];
             out.push(ShardHealth {
                 id,
-                healthy: shard.is_healthy(),
-                reason: shard.quarantine_reason.lock().clone(),
+                healthy: !seat.is_quarantined(),
+                reason: seat.reason.lock().clone(),
+                replicas,
             });
         }
         out
     }
 
-    /// Manually quarantines a shard. Returns false for unknown shards.
+    /// Manually quarantines a shard's current primary, failing over to the
+    /// freshest in-quorum follower when one exists. Quarantining an
+    /// already-quarantined shard preserves the original reason and appends
+    /// the new one. Returns false for unknown shards.
     pub fn quarantine(&self, id: ShardId, reason: &str) -> bool {
         let topo = self.topology.read();
         match topo.shards.get(&id) {
-            Some(shard) => {
-                shard.quarantine(format!("operator: {reason}"));
+            Some(group) => {
+                group.quarantine_replica(group.primary_idx(), format!("operator: {reason}"));
                 true
             }
             None => false,
         }
     }
 
-    /// Lifts a quarantine (after the operator repaired or replaced the
-    /// shard). Resets counter tracking to the current value. Returns false
-    /// for unknown shards.
+    /// Lifts every quarantine in a group (after the operator repaired or
+    /// replaced the replicas). Quarantined and lagging replicas first
+    /// catch up from the freshest surviving state via the warm-copy path,
+    /// then rejoin the write quorum with their counter watches reset.
+    /// Returns false for unknown shards.
     pub fn reinstate(&self, id: ShardId) -> bool {
         let topo = self.topology.read();
-        match topo.shards.get(&id) {
-            Some(shard) => {
-                if let Some(counter) = &shard.counter {
-                    shard
-                        .last_counter_value
-                        .store(counter.value(), Ordering::Release);
-                }
-                *shard.quarantine_reason.lock() = None;
-                shard.healthy.store(true, Ordering::Release);
-                true
+        let Some(group) = topo.shards.get(&id) else {
+            return false;
+        };
+        let _forward = group.forward_lock.lock(); // no forwards mid-resync
+
+        // Seat a primary first: when the whole group went dark (no live
+        // follower was electable at failure time), move the seat to the
+        // replica with the highest applied token, so catch-up copies from
+        // the best surviving state — freshness-by-counter means a
+        // rolled-back replica loses this election too.
+        let mut pidx = group.primary_idx();
+        if group.replicas[pidx].is_quarantined() {
+            let best = freshest(group.replicas.iter().enumerate()).unwrap_or(pidx);
+            if best != pidx {
+                group.primary.store(best, Ordering::Release);
+                group.failovers.fetch_add(1, Ordering::Relaxed);
+                pidx = best;
             }
-            None => false,
         }
+        let primary = &group.replicas[pidx];
+        for (k, replica) in group.replicas.iter().enumerate() {
+            if k != pidx && !replica.is_in_quorum() {
+                // A replica whose resync failed stays out: rejoining it
+                // would let it claim state it does not hold.
+                if let Err(e) = catch_up(primary, replica) {
+                    replica.quarantine(format!("catch-up failed: {e}"));
+                    continue;
+                }
+            }
+            replica.rejoin();
+        }
+        true
     }
 
     /// Aggregated per-shard statistics.
@@ -747,13 +1453,18 @@ impl ClusterRouter {
             shards: ids
                 .into_iter()
                 .map(|id| {
-                    let shard = &topo.shards[&id];
+                    let group = &topo.shards[&id];
+                    let pidx = group.primary_idx();
                     ShardStats {
                         id,
-                        healthy: shard.is_healthy(),
-                        policies: shard.engine().policy_count(),
-                        sessions: shard.engine().session_count(),
-                        server: shard.server.stats(),
+                        healthy: group.is_routable(),
+                        policies: group.primary_engine().policy_count(),
+                        sessions: group.primary_engine().session_count(),
+                        server: group.replicas[pidx].server.stats(),
+                        replicas: group.replicas.len(),
+                        in_quorum: group.replicas.iter().filter(|r| r.is_in_quorum()).count(),
+                        primary: pidx,
+                        failovers: group.failovers.load(Ordering::Relaxed),
                     }
                 })
                 .collect(),
@@ -776,20 +1487,20 @@ fn moves_to(
     ring.route(policy) == Some(from) && next_ring.route(policy) == Some(to)
 }
 
-/// Copies one policy's records from `source` onto `target` (purging any
-/// stale copy first) and returns them for the later delta check. `None`
-/// when the policy vanished (deleted while planning) — nothing to move.
+/// Copies one policy's records from `source` onto every live replica of
+/// `target` (purging any stale copy first) and returns them for the later
+/// delta check. `None` when the policy vanished (deleted while planning) —
+/// nothing to move.
 fn install_policy(
     source: &Palaemon,
-    target: &Palaemon,
+    target: &ReplicaSet,
     policy: &str,
 ) -> Result<Option<PolicyRecords>> {
     let records = source.export_policy_records(policy);
     if records.is_empty() {
         return Ok(None);
     }
-    target.purge_policy_records(policy)?;
-    target.import_records(&records)?;
+    target.group_install(policy, &records)?;
     Ok(Some(records))
 }
 
@@ -1236,6 +1947,130 @@ mod tests {
                 other => panic!("expected count, got {other:?}"),
             }
         }
+    }
+
+    fn replicated_cluster(
+        platform: &Platform,
+        replicas: usize,
+        quorum: usize,
+    ) -> (ClusterRouter, ShardId) {
+        let router = ClusterRouter::new(42, 64);
+        let set: Vec<_> = (0..replicas)
+            .map(|r| {
+                let (server, counter) = fresh_shard(platform, 100 + r as u32);
+                (server, Some(counter))
+            })
+            .collect();
+        router
+            .add_replicated_shard(ShardId(0), set, quorum)
+            .unwrap();
+        (router, ShardId(0))
+    }
+
+    #[test]
+    fn bad_replica_sets_are_rejected() {
+        let router = ClusterRouter::new(1, 8);
+        assert!(matches!(
+            router.add_replicated_shard(ShardId(0), Vec::new(), 1),
+            Err(ClusterError::BadReplicaSet(_))
+        ));
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        for quorum in [0usize, 3] {
+            let (server, counter) = fresh_shard(&platform, 50);
+            assert!(matches!(
+                router.add_replicated_shard(ShardId(0), vec![(server, Some(counter))], quorum),
+                Err(ClusterError::BadReplicaSet(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn mutations_mirror_onto_followers_and_survive_failover() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let (router, id) = replicated_cluster(&platform, 3, 2);
+        for i in 0..6 {
+            create_policy(&router, &format!("rep-{i}"));
+        }
+        // Every follower holds byte-identical records for every policy.
+        let engines = router.replica_engines(id);
+        assert_eq!(engines.len(), 3);
+        for i in 0..6 {
+            let name = format!("rep-{i}");
+            let reference = engines[0].export_policy_records(&name);
+            assert!(!reference.is_empty());
+            for engine in &engines[1..] {
+                assert_eq!(engine.export_policy_records(&name), reference);
+            }
+        }
+        // A session attested on the primary is mirrored too.
+        let session = attest(&router, &platform, "rep-0");
+        push(&router, session, 9);
+
+        let before = router.replica_status(id).unwrap();
+        assert_eq!(before.primary, 0);
+        assert_eq!(before.write_quorum, 2);
+        assert!(before.replicas.iter().all(|r| r.in_quorum));
+
+        // Quarantining the primary fails over instead of going dark.
+        assert!(router.quarantine(id, "power cut"));
+        let after = router.replica_status(id).unwrap();
+        assert_ne!(after.primary, 0, "a follower must take the seat");
+        assert_eq!(after.failovers, 1);
+        // All quorum-acked state — policies, tags, the session — serves.
+        for i in 0..6 {
+            assert!(matches!(
+                router.handle(TmsRequest::ReadPolicy {
+                    name: format!("rep-{i}"),
+                    client: owner(),
+                    approval: None,
+                    votes: Vec::new(),
+                }),
+                Ok(TmsResponse::Policy(_))
+            ));
+        }
+        match router
+            .handle(TmsRequest::ReadTag {
+                session,
+                volume: "data".into(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Tag(Some(rec)) => assert_eq!(rec.tag, Digest::from_bytes([9; 32])),
+            other => panic!("expected mirrored tag, got {other:?}"),
+        }
+        // And new writes keep replicating through the new primary.
+        push(&router, session, 10);
+        create_policy(&router, "rep-after");
+        let stats = router.stats();
+        assert_eq!(stats.shards[0].replicas, 3);
+        assert_eq!(stats.shards[0].in_quorum, 2);
+        assert_eq!(stats.shards[0].failovers, 1);
+        assert!(stats.shards[0].healthy);
+        assert!(format!("{stats}").contains("R=3"));
+    }
+
+    /// Regression test: quarantining an already-quarantined shard must not
+    /// overwrite the original reason — the first diagnosis is preserved
+    /// and later ones append.
+    #[test]
+    fn quarantine_preserves_the_first_reason_and_appends() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = cluster(1, &platform);
+        assert!(router.quarantine(ShardId(0), "disk smells of smoke"));
+        assert!(router.quarantine(ShardId(0), "now it is on fire"));
+        let health = router.health_check();
+        let reason = health[0].reason.as_ref().unwrap();
+        assert!(
+            reason.starts_with("operator: disk smells of smoke"),
+            "first reason must survive: {reason}"
+        );
+        assert!(
+            reason.contains("now it is on fire"),
+            "later reasons must append: {reason}"
+        );
+        // Reinstating clears the whole history.
+        assert!(router.reinstate(ShardId(0)));
+        assert_eq!(router.health_check()[0].reason, None);
     }
 
     #[test]

@@ -232,13 +232,21 @@ struct Counters {
     failed: AtomicU64,
 }
 
+/// A fault-injection hook consulted before every dispatched request.
+/// Returning an error fails the request without touching the engine — the
+/// deterministic fault harness of `palaemon-cluster` uses this to "kill" a
+/// replica at a named operation index (from which point the replica answers
+/// nothing, so the next health probe quarantines it).
+pub type FaultHook = Arc<dyn Fn(&TmsRequest) -> Result<()> + Send + Sync>;
+
 /// The concurrent front-end. Clone freely; all clones share the engine,
-/// the commit counter and the statistics.
+/// the commit counter, the statistics and any installed fault hook.
 #[derive(Clone)]
 pub struct TmsServer {
     engine: Arc<Palaemon>,
     commit_counter: Option<Arc<BatchedCounter>>,
     counters: Arc<Counters>,
+    fault_hook: Option<FaultHook>,
 }
 
 impl std::fmt::Debug for TmsServer {
@@ -257,6 +265,7 @@ impl TmsServer {
             engine,
             commit_counter: None,
             counters: Arc::new(Counters::default()),
+            fault_hook: None,
         }
     }
 
@@ -267,7 +276,17 @@ impl TmsServer {
             engine,
             commit_counter: Some(counter),
             counters: Arc::new(Counters::default()),
+            fault_hook: None,
         }
+    }
+
+    /// Installs a [`FaultHook`] (fault-injection test builds). The hook is
+    /// shared by every clone made *from this value*; install it before
+    /// handing the server out.
+    #[must_use]
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
     }
 
     /// The shared engine (for lifecycle paths that need direct access).
@@ -281,7 +300,10 @@ impl TmsServer {
     /// Whatever the dispatched engine operation returns.
     pub fn handle(&self, request: TmsRequest) -> Result<TmsResponse> {
         let mutation = request.is_mutation();
-        let mut result = self.dispatch(request);
+        let mut result = match &self.fault_hook {
+            Some(hook) => hook(&request).and_then(|()| self.dispatch(request)),
+            None => self.dispatch(request),
+        };
         if result.is_ok() && mutation {
             if let Some(counter) = &self.commit_counter {
                 // State is durable; cover it with a (batched) Fig. 6
@@ -581,6 +603,40 @@ mod tests {
             6,
             "reads must not touch the counter"
         );
+    }
+
+    #[test]
+    fn fault_hook_kills_the_server_at_the_named_operation() {
+        use std::sync::atomic::AtomicU64;
+
+        let (server, _, _, owner) = server(false);
+        // "Kill" the server at its 3rd handled request: everything from
+        // that operation on fails without touching the engine.
+        let seen = AtomicU64::new(0);
+        let server = server.with_fault_hook(Arc::new(move |_req| {
+            if seen.fetch_add(1, Ordering::Relaxed) + 1 >= 3 {
+                return Err(crate::PalaemonError::Fs("replica killed".into()));
+            }
+            Ok(())
+        }));
+        let read = TmsRequest::ReadPolicy {
+            name: "srv".into(),
+            client: owner,
+            approval: None,
+            votes: Vec::new(),
+        };
+        assert!(server.handle(read.clone()).is_ok());
+        assert!(server.handle(read.clone()).is_ok());
+        for _ in 0..3 {
+            assert!(matches!(
+                server.handle(read.clone()),
+                Err(crate::PalaemonError::Fs(_))
+            ));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.failed, 3, "killed requests are counted as failed");
+        // Clones share the hook: the kill persists across them.
+        assert!(server.clone().handle(read).is_err());
     }
 
     #[test]

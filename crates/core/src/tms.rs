@@ -66,6 +66,61 @@ pub struct SessionId(pub u64);
 /// migration ships between instances.
 pub type PolicyRecords = Vec<(Vec<u8>, Vec<u8>)>;
 
+/// A counter-attested snapshot of one policy's full record set — the unit a
+/// replica group's primary forwards to its followers after applying a
+/// mutation (`palaemon-cluster` replication).
+///
+/// `digest` commits to the exact record set; a follower verifies it before
+/// applying ([`Palaemon::apply_policy_delta`]), so a delta corrupted or
+/// substituted in transit is rejected. The router pairs the delta with the
+/// primary's Fig. 6 rollback-counter value, making the pair a
+/// *counter-attested snapshot*: "this is the policy's state as of counter
+/// value c" — the freshness evidence a failover election compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyDelta {
+    /// The policy the records belong to.
+    pub policy: String,
+    /// The policy's full record set after the mutation. Empty means the
+    /// policy was deleted — applying the delta purges it.
+    pub records: PolicyRecords,
+    /// Digest over `policy` and `records` (see [`PolicyDelta::digest_of`]).
+    pub digest: Digest,
+}
+
+impl PolicyDelta {
+    /// The commitment digest of a record set: length-prefixed hash over the
+    /// policy name and every `(key, value)` pair, in export order.
+    pub fn digest_of(policy: &str, records: &PolicyRecords) -> Digest {
+        let mut h = palaemon_crypto::sha256::Sha256::new();
+        h.update(b"palaemon.policy-delta.v1");
+        h.update(&(policy.len() as u64).to_be_bytes());
+        h.update(policy.as_bytes());
+        h.update(&(records.len() as u64).to_be_bytes());
+        for (k, v) in records {
+            h.update(&(k.len() as u64).to_be_bytes());
+            h.update(k);
+            h.update(&(v.len() as u64).to_be_bytes());
+            h.update(v);
+        }
+        h.finalize()
+    }
+}
+
+/// An attested session, exported for replication: a replica group mirrors
+/// the primary's session table onto its followers so sessions survive a
+/// failover (the session stays pinned to the *group*, not to one engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// The session id (preserved verbatim on the follower).
+    pub session: SessionId,
+    /// Policy the session is attested under.
+    pub policy: String,
+    /// Service within the policy.
+    pub service: String,
+    /// Volumes granted to the session.
+    pub volumes: Vec<String>,
+}
+
 /// A volume handed to an attested application: its encryption key and the
 /// tag PALÆMON expects the file system to have.
 #[derive(Debug, Clone)]
@@ -100,7 +155,6 @@ pub struct AppConfig {
 #[derive(Debug, Clone)]
 struct Session {
     policy: String,
-    #[allow(dead_code)]
     service: String,
     volumes: Vec<String>,
 }
@@ -838,6 +892,97 @@ impl Palaemon {
             .map(|(&id, _)| SessionId(id))
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Replication plumbing (used by `palaemon-cluster` replica groups)
+    // ------------------------------------------------------------------
+
+    /// The policy a session is attested under. A replica group's primary
+    /// uses this to turn a session-keyed mutation (tag push) into the
+    /// policy-keyed delta it forwards to its followers.
+    pub fn policy_of_session(&self, session: SessionId) -> Option<String> {
+        self.sessions
+            .read()
+            .get(&session.0)
+            .map(|s| s.policy.clone())
+    }
+
+    /// Exports one policy's full record set as a digest-committed
+    /// [`PolicyDelta`] (see its docs for the counter-attested-snapshot
+    /// role). An empty record set means the policy does not exist — the
+    /// delta then *deletes* on apply.
+    pub fn export_policy_delta(&self, name: &str) -> PolicyDelta {
+        let records = self.export_policy_records(name);
+        PolicyDelta {
+            digest: PolicyDelta::digest_of(name, &records),
+            policy: name.to_string(),
+            records,
+        }
+    }
+
+    /// Applies a [`PolicyDelta`] produced by another replica: verifies the
+    /// commitment digest, then replaces this instance's copy of the policy
+    /// with the delta's record set (purge + import; an empty delta is a
+    /// delete).
+    ///
+    /// # Errors
+    /// [`PalaemonError::Db`] when the digest does not match the records
+    /// (corrupted or substituted delta); database commit failures.
+    pub fn apply_policy_delta(&self, delta: &PolicyDelta) -> Result<()> {
+        if PolicyDelta::digest_of(&delta.policy, &delta.records) != delta.digest {
+            return Err(PalaemonError::Db(format!(
+                "policy delta for '{}' failed its digest check",
+                delta.policy
+            )));
+        }
+        self.purge_policy_records(&delta.policy)?;
+        self.import_records(&delta.records)
+    }
+
+    /// Exports one session for mirroring onto a follower replica.
+    pub fn export_session(&self, session: SessionId) -> Option<SessionRecord> {
+        self.sessions.read().get(&session.0).map(|s| SessionRecord {
+            session,
+            policy: s.policy.clone(),
+            service: s.service.clone(),
+            volumes: s.volumes.clone(),
+        })
+    }
+
+    /// Exports every active session, in session-id order (replica catch-up
+    /// copies the whole table).
+    pub fn export_sessions(&self) -> Vec<SessionRecord> {
+        let sessions = self.sessions.read();
+        let mut ids: Vec<u64> = sessions.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| {
+                let s = &sessions[&id];
+                SessionRecord {
+                    session: SessionId(id),
+                    policy: s.policy.clone(),
+                    service: s.service.clone(),
+                    volumes: s.volumes.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Installs a session exported from another replica, preserving its id,
+    /// and keeps this instance's id allocator ahead of it — after a
+    /// failover the promoted replica must never re-issue a mirrored id.
+    pub fn import_session(&self, record: &SessionRecord) {
+        self.sessions.write().insert(
+            record.session.0,
+            Session {
+                policy: record.policy.clone(),
+                service: record.service.clone(),
+                volumes: record.volumes.clone(),
+            },
+        );
+        self.next_session
+            .fetch_max(record.session.0 + 1, Ordering::Relaxed);
+    }
 }
 
 /// The slash-terminated key prefixes holding a policy's non-singleton
@@ -1440,5 +1585,97 @@ services:
         tms.close_session(config.session);
         assert_eq!(tms.session_count(), 0);
         assert!(tms.read_tag(config.session, "data").is_err());
+    }
+
+    #[test]
+    fn policy_delta_roundtrips_and_rejects_tampering() {
+        let (primary, platform, _, mre) = setup();
+        let binding = [3u8; 64];
+        let quote = quote_for(&platform, mre, binding);
+        let config = primary
+            .attest_service(&quote, &binding, "p1", "app")
+            .unwrap();
+        primary
+            .push_tag(
+                config.session,
+                "data",
+                Digest::from_bytes([0x5A; 32]),
+                TagEvent::Sync,
+            )
+            .unwrap();
+
+        // Forward the delta to a follower: the follower serves the policy
+        // identically (secret material and expected tag included).
+        let follower = new_tms();
+        follower.register_platform(platform.id(), platform.qe_verifying_key());
+        let delta = primary.export_policy_delta("p1");
+        assert_eq!(delta.digest, PolicyDelta::digest_of("p1", &delta.records));
+        follower.apply_policy_delta(&delta).unwrap();
+        let mirrored = follower
+            .attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
+            .unwrap();
+        assert_eq!(
+            mirrored.volumes[0].expected_tag,
+            Some(Digest::from_bytes([0x5A; 32]))
+        );
+        assert_eq!(mirrored.secrets.get("token"), config.secrets.get("token"));
+
+        // A corrupted delta is rejected before any record lands.
+        let mut evil = primary.export_policy_delta("p1");
+        evil.records[0].1.push(0xFF);
+        assert!(matches!(
+            follower.apply_policy_delta(&evil),
+            Err(PalaemonError::Db(_))
+        ));
+        assert_eq!(follower.policy_count(), 1, "rejected delta must not purge");
+
+        // An empty delta (deleted policy) purges on apply.
+        let (_, owner) = client();
+        primary.delete_policy("p1", &owner, None, &[]).unwrap();
+        let tombstone = primary.export_policy_delta("p1");
+        assert!(tombstone.records.is_empty());
+        follower.apply_policy_delta(&tombstone).unwrap();
+        assert_eq!(follower.policy_count(), 0);
+    }
+
+    #[test]
+    fn session_mirroring_preserves_ids_and_allocator() {
+        let (primary, platform, _, mre) = setup();
+        let binding = [4u8; 64];
+        let config = primary
+            .attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
+            .unwrap();
+        assert_eq!(
+            primary.policy_of_session(config.session).as_deref(),
+            Some("p1")
+        );
+        assert_eq!(primary.policy_of_session(SessionId(999)), None);
+
+        let record = primary.export_session(config.session).unwrap();
+        assert_eq!(record.policy, "p1");
+        assert_eq!(record.service, "app");
+        assert_eq!(primary.export_sessions(), vec![record.clone()]);
+
+        // The follower installs the session under the *same* id and can
+        // serve its tag traffic after a failover.
+        let follower = new_tms();
+        follower.register_platform(platform.id(), platform.qe_verifying_key());
+        follower
+            .apply_policy_delta(&primary.export_policy_delta("p1"))
+            .unwrap();
+        follower.import_session(&record);
+        follower
+            .push_tag(
+                config.session,
+                "data",
+                Digest::from_bytes([0x77; 32]),
+                TagEvent::Sync,
+            )
+            .unwrap();
+        // The promoted follower's allocator stays ahead of mirrored ids.
+        let fresh = follower
+            .attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
+            .unwrap();
+        assert!(fresh.session > config.session, "mirrored id was re-issued");
     }
 }

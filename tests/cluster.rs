@@ -202,6 +202,129 @@ fn live_migration_loses_no_reads_and_serves_no_stale_data() {
     );
 }
 
+/// Crash-point for live migration × replication: draining a *replicated*
+/// arc while mutations are in flight must leave no replica divergence —
+/// after the drain, every in-quorum replica of every surviving group holds
+/// byte-identical records for every policy, and every policy serves its
+/// last acknowledged version.
+#[test]
+fn drain_of_replicated_arc_mid_mutation_leaves_no_divergence() {
+    const GROUPS: u32 = 3;
+    const REPLICAS: u32 = 3;
+
+    let platform = Platform::new("it-host", Microcode::PostForeshadow);
+    let router = Arc::new(ClusterRouter::new(4242, 96));
+    for g in 0..GROUPS {
+        let set: Vec<_> = (0..REPLICAS)
+            .map(|r| {
+                let (server, counter) = fresh_shard(&platform, g * 10 + r);
+                (server, Some(counter))
+            })
+            .collect();
+        router
+            .add_replicated_shard(ShardId(g), set, 2)
+            .expect("replicated shard");
+    }
+    let names: Vec<String> = (0..POLICIES).map(|i| format!("rep-{i}")).collect();
+    for name in &names {
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner: owner(),
+                policy: Box::new(versioned_policy(name, 1)),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let acked: Arc<Vec<AtomicU64>> = Arc::new((0..POLICIES).map(|_| AtomicU64::new(1)).collect());
+    std::thread::scope(|scope| {
+        // Writers keep mutating throughout the drain.
+        for w in 0..2 {
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let acked = Arc::clone(&acked);
+            let names = names.clone();
+            scope.spawn(move || {
+                let mut version = 1u64;
+                let mut i = w; // the two writers interleave over policies
+                while !stop.load(Ordering::Relaxed) {
+                    version += 1;
+                    router
+                        .handle(TmsRequest::UpdatePolicy {
+                            client: owner(),
+                            policy: Box::new(versioned_policy(&names[i], version)),
+                            approval: None,
+                            votes: Vec::new(),
+                        })
+                        .unwrap();
+                    acked[i].fetch_max(version, Ordering::AcqRel);
+                    i = (i + 2) % POLICIES;
+                }
+            });
+        }
+        // Readers assert no miss / no stale read mid-drain.
+        let reader_router = Arc::clone(&router);
+        let reader_stop = Arc::clone(&stop);
+        let reader_acked = Arc::clone(&acked);
+        let reader_names = names.clone();
+        scope.spawn(move || {
+            while !reader_stop.load(Ordering::Relaxed) {
+                for (i, name) in reader_names.iter().enumerate() {
+                    let floor = reader_acked[i].load(Ordering::Acquire);
+                    let version = read_version(&reader_router, name);
+                    assert!(
+                        version >= floor,
+                        "stale read of '{name}' mid-drain: v{version} < acked v{floor}"
+                    );
+                }
+            }
+        });
+
+        std::thread::sleep(Duration::from_millis(30));
+        let plan = router.drain_shard(ShardId(1)).expect("drain mid-mutation");
+        assert_eq!(plan.removed, Some(ShardId(1)));
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // No divergence: within every surviving group, every in-quorum replica
+    // exports byte-identical records for every policy it owns.
+    assert_eq!(router.shard_count(), 2);
+    for (i, name) in names.iter().enumerate() {
+        let home = router.shard_for_policy(name).unwrap();
+        assert_ne!(home, ShardId(1));
+        let status = router.replica_status(home).unwrap();
+        let engines = router.replica_engines(home);
+        let reference = engines[status.primary].export_policy_records(name);
+        assert!(!reference.is_empty(), "'{name}' lost by the drain");
+        for replica in &status.replicas {
+            if replica.in_quorum {
+                assert_eq!(
+                    engines[replica.replica].export_policy_records(name),
+                    reference,
+                    "{home} replica #{} diverged on '{name}'",
+                    replica.replica
+                );
+            }
+        }
+        assert_eq!(
+            read_version(&router, name),
+            acked[i].load(Ordering::Acquire),
+            "'{name}' must serve its last acked version"
+        );
+    }
+    // The drain never cost a replica its quorum membership.
+    for id in router.shard_ids() {
+        let status = router.replica_status(id).unwrap();
+        assert!(
+            status.replicas.iter().all(|r| r.in_quorum),
+            "{id}: migration imports must not demote replicas"
+        );
+    }
+}
+
 /// Aggregated stats stay coherent across shards: totals equal the sums of
 /// the per-shard figures and every mutation is covered by exactly one
 /// shard's counter.

@@ -1,0 +1,560 @@
+//! Failover integration suite, driven by the deterministic fault injector.
+//!
+//! Every scenario here names its fault by an exact (shard, operation)
+//! coordinate through a [`FaultPlan`], so each run exercises the same
+//! interleaving:
+//!
+//! * the acceptance bar — with R=3 and write-quorum 2, quarantining any
+//!   single primary under live traffic loses **zero quorum-acked writes**
+//!   and keeps every policy readable;
+//! * crash-before-forward loses exactly the one un-acked write, nothing
+//!   acked;
+//! * crash-after-quorum preserves the acked write across the failover;
+//! * a dropped forward demotes the follower from the quorum until it
+//!   catches up, and the election never seats it while it lags;
+//! * a counter-rollback victim is quarantined by the health monitor and
+//!   never elected primary;
+//! * a killed primary (its server stops answering) is quarantined by the
+//!   health probe and replaced;
+//! * a replacement replica added mid-life catches up and can take over.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use palaemon::cluster::{
+    kill_server_at, strict_shard, ClusterError, ClusterRouter, FaultKind, FaultPlan, PlannedFault,
+    ShardId,
+};
+use palaemon::core::counterfile::{BatchedCounter, MemFileCounter};
+use palaemon::core::policy::Policy;
+use palaemon::core::server::{FaultHook, TmsRequest, TmsResponse, TmsServer};
+use palaemon::core::tms::{Palaemon, SessionId};
+use palaemon::crypto::aead::AeadKey;
+use palaemon::crypto::sig::{SigningKey, VerifyingKey};
+use palaemon::crypto::Digest;
+use palaemon::db::Db;
+use palaemon::shielded_fs::store::MemStore;
+use palaemon::tee_sim::platform::{Microcode, Platform};
+use palaemon::tee_sim::quote::{create_report, quote_report};
+
+const MRE: [u8; 32] = [0x9C; 32];
+
+fn owner() -> VerifyingKey {
+    SigningKey::from_seed(b"failover-owner").verifying_key()
+}
+
+fn versioned_policy(name: &str, version: u64) -> Policy {
+    Policy::parse(&format!(
+        "name: {name}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+         volumes: [\"data\"]\n    env:\n      VERSION: \"{version}\"\nvolumes:\n  - name: data\n",
+        Digest::from_bytes(MRE).to_hex()
+    ))
+    .unwrap()
+}
+
+fn replica(
+    platform: &Platform,
+    tag: u32,
+    hook: Option<FaultHook>,
+) -> (TmsServer, Arc<BatchedCounter>) {
+    let db = Db::create(
+        Box::new(MemStore::new()),
+        AeadKey::from_bytes([tag as u8; 32]),
+    );
+    let engine = Arc::new(Palaemon::new(
+        db,
+        SigningKey::from_seed(format!("fo-replica-{tag}").as_bytes()),
+        Digest::ZERO,
+        51 + u64::from(tag),
+    ));
+    engine.register_platform(platform.id(), platform.qe_verifying_key());
+    let (server, counter) = strict_shard(engine, MemFileCounter::new());
+    let server = match hook {
+        Some(hook) => server.with_fault_hook(hook),
+        None => server,
+    };
+    (server, counter)
+}
+
+/// A cluster of `groups` shards, each an R=`replicas` group with
+/// write-quorum `quorum`.
+fn replicated_cluster(
+    platform: &Platform,
+    groups: u32,
+    replicas: u32,
+    quorum: usize,
+) -> ClusterRouter {
+    let router = ClusterRouter::new(7007, 96);
+    for g in 0..groups {
+        let set: Vec<_> = (0..replicas)
+            .map(|r| {
+                let (server, counter) = replica(platform, g * 10 + r, None);
+                (server, Some(counter))
+            })
+            .collect();
+        router
+            .add_replicated_shard(ShardId(g), set, quorum)
+            .unwrap();
+    }
+    router
+}
+
+fn create(router: &ClusterRouter, name: &str, version: u64) {
+    router
+        .handle(TmsRequest::CreatePolicy {
+            owner: owner(),
+            policy: Box::new(versioned_policy(name, version)),
+            approval: None,
+            votes: Vec::new(),
+        })
+        .unwrap();
+}
+
+fn update(router: &ClusterRouter, name: &str, version: u64) -> Result<(), ClusterError> {
+    router
+        .handle(TmsRequest::UpdatePolicy {
+            client: owner(),
+            policy: Box::new(versioned_policy(name, version)),
+            approval: None,
+            votes: Vec::new(),
+        })
+        .map(|_| ())
+}
+
+fn read_version(router: &ClusterRouter, name: &str) -> u64 {
+    match router
+        .handle(TmsRequest::ReadPolicy {
+            name: name.to_string(),
+            client: owner(),
+            approval: None,
+            votes: Vec::new(),
+        })
+        .unwrap_or_else(|e| panic!("read of '{name}' failed: {e}"))
+    {
+        TmsResponse::Policy(p) => p.services[0].env["VERSION"].parse().unwrap(),
+        other => panic!("expected policy, got {other:?}"),
+    }
+}
+
+fn attest(router: &ClusterRouter, platform: &Platform, policy: &str) -> SessionId {
+    let binding = [0u8; 64];
+    let report = create_report(platform, Digest::from_bytes(MRE), binding);
+    let quote = quote_report(platform, &report).unwrap();
+    match router
+        .handle(TmsRequest::AttestService {
+            quote: Box::new(quote),
+            tls_key_binding: binding,
+            policy_name: policy.into(),
+            service_name: "app".into(),
+        })
+        .unwrap()
+    {
+        TmsResponse::Config(config) => config.session,
+        other => panic!("expected Config, got {other:?}"),
+    }
+}
+
+/// The acceptance bar. R=3, write-quorum 2, two replica groups, live
+/// writer + reader traffic. The main thread quarantines the primary of
+/// *every* shard mid-traffic. No read may miss, no read may observe a
+/// version older than the last acknowledged one, and after the dust
+/// settles every policy serves its last acked version.
+#[test]
+fn quarantining_any_primary_under_live_traffic_loses_no_acked_writes() {
+    const POLICIES: usize = 12;
+    const READERS: usize = 3;
+
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = Arc::new(replicated_cluster(&platform, 2, 3, 2));
+    let names: Vec<String> = (0..POLICIES).map(|i| format!("ha-{i}")).collect();
+    for name in &names {
+        create(&router, name, 1);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // acked[i]: highest version of policy i whose update was acknowledged.
+    let acked: Arc<Vec<AtomicU64>> = Arc::new((0..POLICIES).map(|_| AtomicU64::new(1)).collect());
+
+    std::thread::scope(|scope| {
+        {
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let acked = Arc::clone(&acked);
+            let names = names.clone();
+            scope.spawn(move || {
+                let mut version = 1u64;
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    version += 1;
+                    // A failed update (e.g. the shard mid-failover) is
+                    // simply not acknowledged — the invariant only covers
+                    // acked writes.
+                    if update(&router, &names[i], version).is_ok() {
+                        acked[i].store(version, Ordering::Release);
+                    }
+                    i = (i + 1) % POLICIES;
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let acked = Arc::clone(&acked);
+            let names = names.clone();
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for (i, name) in names.iter().enumerate() {
+                        let floor = acked[i].load(Ordering::Acquire);
+                        let version = read_version(&router, name);
+                        assert!(
+                            version >= floor,
+                            "stale read of '{name}': saw v{version}, acked v{floor}"
+                        );
+                    }
+                }
+            });
+        }
+
+        // Fail over every shard while the traffic runs.
+        for id in [ShardId(0), ShardId(1)] {
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(router.quarantine(id, "chaos: primary pulled"));
+            let status = router.replica_status(id).unwrap();
+            assert!(status.failovers >= 1, "{id} must have failed over");
+            assert!(
+                !status.replicas[status.primary].quarantined,
+                "{id}: elected primary must be live"
+            );
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Every policy still readable at (at least) its last acked version,
+    // despite every original primary being gone.
+    for (i, name) in names.iter().enumerate() {
+        assert!(read_version(router.as_ref(), name) >= acked[i].load(Ordering::Acquire));
+    }
+    let stats = router.stats();
+    for shard in &stats.shards {
+        assert!(
+            shard.healthy,
+            "{}: group must survive its failover",
+            shard.id
+        );
+        assert_eq!(shard.replicas, 3);
+        assert!(shard.failovers >= 1);
+    }
+}
+
+/// Crash-after-quorum: the write was acknowledged, so the failover must
+/// preserve it — the elected follower already holds the delta.
+#[test]
+fn crash_after_quorum_preserves_the_acked_write() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 3,
+        kind: FaultKind::CrashAfterQuorum,
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+
+    create(&router, "aq", 1); // op 1
+    update(&router, "aq", 2).unwrap(); // op 2
+    update(&router, "aq", 3).unwrap(); // op 3: acked, then primary dies
+    assert!(plan.all_fired());
+
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.failovers, 1);
+    assert_ne!(status.primary, 0, "a follower must hold the seat");
+    assert_eq!(read_version(&router, "aq"), 3, "acked write must survive");
+    // The group keeps accepting (and replicating) writes.
+    update(&router, "aq", 4).unwrap(); // op 4, on the new primary
+    assert_eq!(read_version(&router, "aq"), 4);
+    assert_eq!(router.replica_status(id).unwrap().ops, 4);
+}
+
+/// Crash-before-forward: the write reached only the dying primary and was
+/// never acknowledged — the failover may lose it, and nothing else.
+#[test]
+fn crash_before_forward_loses_exactly_the_unacked_write() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 3,
+        kind: FaultKind::CrashBeforeForward,
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+
+    create(&router, "bf", 1); // op 1
+    update(&router, "bf", 2).unwrap(); // op 2: acked
+                                       // Op 3: applied on the primary, which crashes before any forward —
+                                       // the client sees a failure, i.e. no acknowledgement.
+    assert!(matches!(
+        update(&router, "bf", 3),
+        Err(ClusterError::ShardUnavailable(s)) if s == id
+    ));
+    assert!(plan.all_fired());
+
+    // The un-acked v3 is gone; the acked v2 serves from the new primary.
+    assert_eq!(router.replica_status(id).unwrap().failovers, 1);
+    assert_eq!(read_version(&router, "bf"), 2);
+    update(&router, "bf", 4).unwrap();
+    assert_eq!(read_version(&router, "bf"), 4);
+}
+
+/// A dropped forward (partitioned link) demotes the follower: it stops
+/// counting toward the quorum, the election never seats it while it lags,
+/// and `reinstate` catches it up before it rejoins.
+#[test]
+fn dropped_forward_demotes_the_follower_until_catch_up() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 2,
+        kind: FaultKind::DropForwardToReplica(2),
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+
+    create(&router, "dp", 1); // op 1: everyone has v1
+    update(&router, "dp", 2).unwrap(); // op 2: replica 2 misses v2
+    assert!(plan.all_fired());
+    let status = router.replica_status(id).unwrap();
+    assert!(!status.replicas[2].in_quorum, "lagging replica must demote");
+    assert!(status.replicas[1].in_quorum);
+    assert!(
+        status.replicas[2].applied < status.replicas[1].applied,
+        "the miss must show in the freshness tokens"
+    );
+
+    update(&router, "dp", 3).unwrap(); // op 3: only replica 1 mirrors
+
+    // Primary dies: the election must seat replica 1 (freshest in-quorum),
+    // never the lagging replica 2.
+    assert!(router.quarantine(id, "chaos"));
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.primary, 1);
+    assert_eq!(read_version(&router, "dp"), 3, "acked writes survive");
+
+    // Reinstate: replica 2 (and the crashed ex-primary) catch up over the
+    // warm-copy path and rejoin the quorum with identical records.
+    assert!(router.reinstate(id));
+    let status = router.replica_status(id).unwrap();
+    assert!(status
+        .replicas
+        .iter()
+        .all(|r| r.in_quorum && !r.quarantined));
+    let engines = router.replica_engines(id);
+    let reference = engines[status.primary].export_policy_records("dp");
+    for engine in &engines {
+        assert_eq!(engine.export_policy_records("dp"), reference);
+    }
+    update(&router, "dp", 4).unwrap();
+    assert_eq!(read_version(&router, "dp"), 4);
+}
+
+/// A rolled-back replica (its counter token regressed — the Fig. 6 attack
+/// signature) is quarantined by the health monitor and can never win the
+/// failover election while a fresher replica survives.
+#[test]
+fn rolled_back_replica_is_never_elected_primary() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+
+    create(&router, "rb", 1); // op 1
+    assert!(router.health_check()[0].healthy); // watches armed
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 2,
+        kind: FaultKind::CounterRollback { replica: 2, to: 0 },
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+    update(&router, "rb", 2).unwrap(); // op 2: replica 2 rolls back
+    assert!(plan.all_fired());
+
+    // Even before the monitor notices, a failover skips the rolled-back
+    // replica: its token (0) loses the freshness election.
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.replicas[2].applied, 0);
+    assert!(status.replicas[1].applied > 0);
+
+    // The health monitor sees the regression and quarantines replica 2.
+    let health = router.health_check();
+    assert!(health[0].healthy, "the group itself stays routable");
+    assert!(!health[0].replicas[2].healthy);
+    assert!(health[0].replicas[2]
+        .reason
+        .as_ref()
+        .unwrap()
+        .contains("regressed"));
+
+    // Primary crash: the seat must go to replica 1, never to the
+    // rolled-back replica 2.
+    assert!(router.quarantine(id, "chaos"));
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.primary, 1, "rolled-back replica must never win");
+    assert_eq!(read_version(&router, "rb"), 2);
+}
+
+/// A killed primary — its server stops answering requests entirely — is
+/// caught by the health probe and replaced by a follower.
+#[test]
+fn killed_primary_is_quarantined_by_probe_and_replaced() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = ClusterRouter::new(7007, 96);
+    let id = ShardId(0);
+    // The primary's server dies at its 4th handled request.
+    let mut set = vec![{
+        let (server, counter) = replica(&platform, 0, Some(kill_server_at(4)));
+        (server, Some(counter))
+    }];
+    for r in 1..3u32 {
+        let (server, counter) = replica(&platform, r, None);
+        set.push((server, Some(counter)));
+    }
+    router.add_replicated_shard(id, set, 2).unwrap();
+
+    create(&router, "kp", 1); // request 1
+    update(&router, "kp", 2).unwrap(); // request 2
+    update(&router, "kp", 3).unwrap(); // request 3 — the last one served
+    let dead = update(&router, "kp", 4); // request 4: the server is dead
+    assert!(matches!(dead, Err(ClusterError::Engine(_))));
+
+    // The health probe fails against the dead server; the monitor
+    // quarantines it and the group fails over.
+    let health = router.health_check();
+    assert!(health[0].healthy, "failover must keep the group routable");
+    assert!(!health[0].replicas[0].healthy);
+    assert!(health[0].replicas[0]
+        .reason
+        .as_ref()
+        .unwrap()
+        .contains("probe failed"));
+    let status = router.replica_status(id).unwrap();
+    assert_ne!(status.primary, 0);
+    assert_eq!(read_version(&router, "kp"), 3);
+    update(&router, "kp", 5).unwrap();
+    assert_eq!(read_version(&router, "kp"), 5);
+}
+
+/// A replacement replica added to a running group catches up through the
+/// warm-copy path (policies *and* sessions) and can later take the seat.
+#[test]
+fn replacement_replica_catches_up_and_takes_over() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 2, 2);
+    let id = ShardId(0);
+
+    create(&router, "rr", 1);
+    let session = attest(&router, &platform, "rr");
+    router
+        .handle(TmsRequest::PushTag {
+            session,
+            volume: "data".into(),
+            tag: Digest::from_bytes([0x42; 32]),
+            event: palaemon::shielded_fs::fs::TagEvent::Sync,
+        })
+        .unwrap();
+    update(&router, "rr", 2).unwrap();
+
+    // The replacement joins and is immediately a full quorum member.
+    let (server, counter) = replica(&platform, 9, None);
+    let idx = router.add_replica(id, server, Some(counter)).unwrap();
+    assert_eq!(idx, 2);
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.replicas.len(), 3);
+    assert!(status.replicas[2].in_quorum);
+    assert_eq!(
+        status.replicas[2].applied, status.replicas[0].applied,
+        "catch-up must equalize the freshness tokens"
+    );
+
+    // Kill both original replicas, one after the other: the replacement
+    // ends up primary with every acked write and the mirrored session.
+    update(&router, "rr", 3).unwrap();
+    assert!(router.quarantine(id, "chaos 1"));
+    assert!(router.quarantine(id, "chaos 2"));
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.primary, 2, "the replacement must hold the seat");
+    assert_eq!(read_version(&router, "rr"), 3);
+    match router
+        .handle(TmsRequest::ReadTag {
+            session,
+            volume: "data".into(),
+        })
+        .unwrap()
+    {
+        TmsResponse::Tag(Some(rec)) => assert_eq!(rec.tag, Digest::from_bytes([0x42; 32])),
+        other => panic!("expected the mirrored tag, got {other:?}"),
+    }
+}
+
+/// When every replica of a group is gone, the group goes dark (refuses)
+/// rather than serving stale state; `reinstate` seats the freshest
+/// replica and resyncs the rest.
+#[test]
+fn total_group_loss_refuses_until_reinstated() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    create(&router, "tg", 1);
+    update(&router, "tg", 2).unwrap();
+    for _ in 0..3 {
+        assert!(router.quarantine(id, "cascading failure"));
+    }
+    assert!(!router.replica_status(id).unwrap().replicas.is_empty());
+    assert!(matches!(
+        router.handle(TmsRequest::ReadPolicy {
+            name: "tg".into(),
+            client: owner(),
+            approval: None,
+            votes: Vec::new(),
+        }),
+        Err(ClusterError::ShardUnavailable(s)) if s == id
+    ));
+    assert!(!router.health_check()[0].healthy);
+
+    assert!(router.reinstate(id));
+    assert!(router.health_check()[0].healthy);
+    assert_eq!(read_version(&router, "tg"), 2);
+    update(&router, "tg", 3).unwrap();
+    assert_eq!(read_version(&router, "tg"), 3);
+    let status = router.replica_status(id).unwrap();
+    assert!(status.replicas.iter().all(|r| r.in_quorum));
+}
+
+/// Losing the write quorum (too few live followers) fails the mutation
+/// with `QuorumLost` — it is not silently acknowledged.
+#[test]
+fn missing_write_quorum_fails_the_mutation() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 3);
+    let id = ShardId(0);
+    create(&router, "wq", 1); // all 3 ack
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 2,
+        kind: FaultKind::DropForwardToReplica(2),
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+    assert!(matches!(
+        update(&router, "wq", 2),
+        Err(ClusterError::QuorumLost {
+            shard,
+            acked: 2,
+            needed: 3,
+        }) if shard == id
+    ));
+    // Reinstate resyncs the demoted follower; quorum writes work again.
+    assert!(router.reinstate(id));
+    update(&router, "wq", 3).unwrap();
+    assert_eq!(read_version(&router, "wq"), 3);
+}

@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use palaemon::cluster::{HashRing, ShardId};
+use palaemon::cluster::{
+    strict_shard, ClusterRouter, FaultKind, FaultPlan, HashRing, PlannedFault, ShardId,
+};
 use palaemon::crypto::aead::AeadKey;
 use palaemon::crypto::merkle::MerkleTree;
 use palaemon::crypto::sha256::Sha256;
@@ -345,5 +347,215 @@ proptest! {
             moved <= expected * 7 / 4,
             "remapped {} keys; ~1/{} of {} is {}", moved, n + 1, KEYS, expected
         );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Replication / failover invariants under random fault interleavings
+// ----------------------------------------------------------------------
+
+/// One step of a randomized mutation/fault schedule against a replicated
+/// shard (R=3, write-quorum 2).
+#[derive(Debug, Clone, Copy)]
+enum FailoverOp {
+    /// Publish the next version of policy `0..POLICIES`.
+    Update(u8),
+    /// Quarantine the current primary (operator / health monitor).
+    CrashPrimary,
+    /// Roll replica `0..3`'s counter token back to 0 at the next mutation.
+    Rollback(u8),
+    /// Partition the link to replica `0..3` for the next mutation.
+    Drop(u8),
+    /// Repair: catch every quarantined/lagging replica up and rejoin.
+    Reinstate,
+}
+
+fn failover_op_strategy() -> impl Strategy<Value = FailoverOp> {
+    // Updates listed four times and repairs twice: the schedule leans
+    // toward mutations, with faults sprinkled in between.
+    prop_oneof![
+        (0u8..4).prop_map(FailoverOp::Update),
+        (0u8..4).prop_map(FailoverOp::Update),
+        (0u8..4).prop_map(FailoverOp::Update),
+        (0u8..4).prop_map(FailoverOp::Update),
+        Just(FailoverOp::CrashPrimary),
+        (0u8..3).prop_map(FailoverOp::Rollback),
+        (0u8..3).prop_map(FailoverOp::Drop),
+        Just(FailoverOp::Reinstate),
+        Just(FailoverOp::Reinstate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary interleavings of mutations, primary crashes, counter
+    /// rollbacks (within the `write_quorum - 1` tolerance, see below),
+    /// dropped forwards and repairs:
+    ///
+    /// 1. a read never returns a version older than the last quorum-acked
+    ///    write of that policy (in particular post-failover), and
+    /// 2. the replica holding the primary seat always has the maximum
+    ///    applied counter token among in-quorum replicas — i.e. the
+    ///    election always picks the freshest candidate and never a
+    ///    rolled-back one.
+    #[test]
+    fn failover_never_serves_older_than_acked(
+        ops in proptest::collection::vec(failover_op_strategy(), 1..40)
+    ) {
+        use palaemon::core::counterfile::MemFileCounter;
+        use palaemon::core::policy::Policy;
+        use palaemon::core::server::{TmsRequest, TmsResponse};
+        use palaemon::core::tms::Palaemon;
+        use palaemon::crypto::aead::AeadKey;
+        use palaemon::crypto::sig::SigningKey;
+        use palaemon::crypto::Digest;
+        use palaemon::db::Db;
+        use shielded_fs::store::MemStore;
+        use std::sync::Arc;
+
+        const POLICIES: u8 = 4;
+        const REPLICAS: u32 = 3;
+        let owner = SigningKey::from_seed(b"prop-owner").verifying_key();
+        let versioned = |p: u8, version: u64| {
+            Policy::parse(&format!(
+                "name: prop-{p}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+                 env:\n      VERSION: \"{version}\"\nvolumes: []\n",
+                Digest::from_bytes([0xF0; 32]).to_hex()
+            ))
+            .unwrap()
+        };
+
+        // One replicated shard: every policy routes to it.
+        let id = ShardId(0);
+        let router = ClusterRouter::new(99, 32);
+        let set: Vec<_> = (0..REPLICAS)
+            .map(|r| {
+                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32]));
+                let engine = Arc::new(Palaemon::new(
+                    db,
+                    SigningKey::from_seed(format!("prop-{r}").as_bytes()),
+                    Digest::ZERO,
+                    u64::from(r),
+                ));
+                let (server, counter) = strict_shard(engine, MemFileCounter::new());
+                (server, Some(counter))
+            })
+            .collect();
+        router.add_replicated_shard(id, set, 2).unwrap();
+        let plan = FaultPlan::new([]);
+        router.set_fault_plan(Arc::clone(&plan));
+
+        let mut acked = [0u64; POLICIES as usize];
+        let mut version = 0u64;
+        for p in 0..POLICIES {
+            version += 1;
+            router
+                .handle(TmsRequest::CreatePolicy {
+                    owner,
+                    policy: Box::new(versioned(p, version)),
+                    approval: None,
+                    votes: Vec::new(),
+                })
+                .unwrap();
+            acked[p as usize] = version;
+        }
+
+        // A rollback attack destroys its victim's freshness evidence, so a
+        // quorum protocol can only tolerate `write_quorum - 1` un-repaired
+        // victims at once (here: one) — beyond that, every holder of an
+        // acked write may have been compromised and no election can
+        // recover it. Crashes and partitions are fail-stop (state and
+        // token survive) and are *not* budgeted. The driver enforces the
+        // budget the way a deployment's monitoring would.
+        let mut rollback_armed_at: Option<u64> = None;
+        for op in ops {
+            match op {
+                FailoverOp::Update(p) => {
+                    version += 1;
+                    let outcome = router.handle(TmsRequest::UpdatePolicy {
+                        client: owner,
+                        policy: Box::new(versioned(p, version)),
+                        approval: None,
+                        votes: Vec::new(),
+                    });
+                    if outcome.is_ok() {
+                        // Only acknowledged writes enter the model.
+                        acked[p as usize] = version;
+                    }
+                }
+                FailoverOp::CrashPrimary => {
+                    router.quarantine(id, "prop: crash");
+                }
+                FailoverOp::Rollback(r) => {
+                    if rollback_armed_at.is_none() {
+                        let next = router.replica_status(id).unwrap().ops + 1;
+                        plan.schedule(PlannedFault {
+                            shard: id,
+                            op: next,
+                            kind: FaultKind::CounterRollback { replica: r as usize, to: 0 },
+                        });
+                        rollback_armed_at = Some(next);
+                    }
+                }
+                FailoverOp::Drop(r) => {
+                    let next = router.replica_status(id).unwrap().ops + 1;
+                    plan.schedule(PlannedFault {
+                        shard: id,
+                        op: next,
+                        kind: FaultKind::DropForwardToReplica(r as usize),
+                    });
+                }
+                FailoverOp::Reinstate => {
+                    router.reinstate(id);
+                    // The repair clears the rollback budget once the fault
+                    // actually fired (an armed-but-unfired fault stays
+                    // pending).
+                    if let Some(at) = rollback_armed_at {
+                        if router.replica_status(id).unwrap().ops >= at {
+                            rollback_armed_at = None;
+                        }
+                    }
+                }
+            }
+            // The health monitor runs after every step: it quarantines
+            // rolled-back replicas (failing over when the primary is hit).
+            router.health_check();
+
+            // Invariant 2: the seat always holds the max applied token
+            // among in-quorum replicas.
+            let status = router.replica_status(id).unwrap();
+            let seat = &status.replicas[status.primary];
+            if !seat.quarantined {
+                for r in &status.replicas {
+                    if r.in_quorum {
+                        prop_assert!(
+                            seat.applied >= r.applied,
+                            "primary #{} (applied {}) behind in-quorum #{} (applied {})",
+                            status.primary, seat.applied, r.replica, r.applied
+                        );
+                    }
+                }
+                // Invariant 1: reads serve at least the last acked write.
+                for p in 0..POLICIES {
+                    match router.handle(TmsRequest::ReadPolicy {
+                        name: format!("prop-{p}"),
+                        client: owner,
+                        approval: None,
+                        votes: Vec::new(),
+                    }) {
+                        Ok(TmsResponse::Policy(policy)) => {
+                            let seen: u64 = policy.services[0].env["VERSION"].parse().unwrap();
+                            prop_assert!(
+                                seen >= acked[p as usize],
+                                "policy prop-{p}: read v{seen} after v{} was acked",
+                                acked[p as usize]
+                            );
+                        }
+                        other => prop_assert!(false, "routable group must serve: {other:?}"),
+                    }
+                }
+            }
+        }
     }
 }
