@@ -21,6 +21,12 @@
 //! * [`FaultKind::DropForwardToReplica`] — the link to one follower is
 //!   partitioned for this mutation: the follower misses the delta and must
 //!   be demoted from the write quorum until it catches up.
+//! * [`FaultKind::LoseIncremental`] — an incremental delta vanishes on the
+//!   wire *without the router noticing*: the gap must surface at the next
+//!   delta's chain check (snapshot resync), never as silent divergence.
+//! * [`FaultKind::ReorderIncremental`] — an incremental delta is delivered
+//!   to one follower after its successor: both out-of-order deliveries hit
+//!   the chain check; the stale one must never overwrite newer state.
 //! * [`FaultKind::CounterRollback`] — a replica's rollback-counter
 //!   watermark is reset to an older value (the Fig. 6 rollback signature):
 //!   the freshness election must never seat it.
@@ -51,6 +57,18 @@ pub enum FaultKind {
     CrashAfterQuorum,
     /// Silently drop the forward to follower `.0` for this mutation.
     DropForwardToReplica(usize),
+    /// Lose this mutation's incremental delta on the wire to follower `.0`
+    /// **without the router noticing** (no demotion): the follower's chain
+    /// now has a gap that the *next* delta's parent check must surface as
+    /// a snapshot resync — never silent divergence. Contrast with
+    /// [`FaultKind::DropForwardToReplica`], where the router itself
+    /// observes the drop and demotes.
+    LoseIncremental(usize),
+    /// Deliver this mutation's delta to follower `.0` *after* the next one
+    /// (a reordered network): the out-of-order delivery must be rejected
+    /// by the chain check and trigger a snapshot resync, and the late
+    /// stale delta must never overwrite newer state.
+    ReorderIncremental(usize),
     /// Roll replica `replica`'s applied-counter watermark back to `to`.
     CounterRollback {
         /// Index of the replica to roll back.
@@ -75,7 +93,9 @@ impl FaultKind {
     pub(crate) fn site(self) -> FaultSite {
         match self {
             FaultKind::CrashBeforeForward => FaultSite::BeforeForward,
-            FaultKind::DropForwardToReplica(k) => FaultSite::ForwardTo(k),
+            FaultKind::DropForwardToReplica(k)
+            | FaultKind::LoseIncremental(k)
+            | FaultKind::ReorderIncremental(k) => FaultSite::ForwardTo(k),
             FaultKind::CrashAfterQuorum | FaultKind::CounterRollback { .. } => {
                 FaultSite::AfterQuorum
             }
@@ -273,6 +293,14 @@ mod tests {
         assert_eq!(
             FaultKind::DropForwardToReplica(4).site(),
             FaultSite::ForwardTo(4)
+        );
+        assert_eq!(
+            FaultKind::LoseIncremental(1).site(),
+            FaultSite::ForwardTo(1)
+        );
+        assert_eq!(
+            FaultKind::ReorderIncremental(2).site(),
+            FaultSite::ForwardTo(2)
         );
         assert_eq!(FaultKind::CrashAfterQuorum.site(), FaultSite::AfterQuorum);
         assert_eq!(

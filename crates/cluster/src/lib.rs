@@ -53,8 +53,9 @@ pub mod router;
 pub use fault::{kill_server_at, FaultKind, FaultPlan, PlannedFault};
 pub use ring::{HashRing, ShardId};
 pub use router::{
-    strict_shard, ClusterError, ClusterRouter, ClusterStats, PolicyMove, ReplicaHealth,
-    ReplicaSetStatus, ReplicaStatus, ShardHealth, ShardPlan, ShardStats,
+    strict_shard, ClusterError, ClusterRouter, ClusterStats, PolicyMove, ReadPreference,
+    ReplicaHealth, ReplicaSetStatus, ReplicaStatus, ReplicationMode, ReplicationStats, ShardHealth,
+    ShardPlan, ShardStats,
 };
 
 /// Convenience alias for results in this crate.

@@ -14,22 +14,42 @@
 //!   collide) and translates on every dispatch;
 //! * aggregates (`PolicyCount`, `SessionCount`) fan out and sum.
 //!
-//! ## Replication protocol (synchronous mirroring + write quorum)
-//! Every request is served by the group's **primary** replica. After the
-//! primary durably applies a mutation (and commits it on its Fig. 6
-//! counter), the router — still inside the client's call — extracts the
-//! resulting *counter-attested snapshot*
-//! ([`PolicyDelta`](palaemon_core::tms::PolicyDelta): the policy's full
-//! record set plus a commitment digest, paired with the primary's rollback-
-//! counter token) and forwards it to every in-quorum follower. The call
-//! acknowledges only once `write_quorum` replicas (primary included) hold
-//! the write; otherwise it fails with [`ClusterError::QuorumLost`] and the
-//! write may legitimately be lost by a later failover. A follower that
-//! misses or fails a forward is demoted from the quorum until it catches
-//! up. Attested sessions are mirrored the same way (create and close), so
-//! a session survives the loss of the replica that attested it. Forwarding
+//! ## Replication protocol (incremental deltas + write quorum)
+//! Every mutation is applied by the group's **primary** replica. After the
+//! primary durably applies it (and commits it on its Fig. 6 counter), the
+//! router — still inside the client's call — forwards a *counter-attested
+//! delta* ([`PolicyDelta`](palaemon_core::tms::PolicyDelta)) to every
+//! in-quorum follower. In the default [`ReplicationMode::Incremental`] the
+//! delta carries only **what the mutation changed** (the engine's captured
+//! write batch: puts + tombstones — e.g. just the tag row for a tag push),
+//! digest-bound to the policy name and *chained to the predecessor delta's
+//! counter token*: a follower applies an incremental only when its own
+//! per-policy cursor equals the delta's `parent`, so a lost or reordered
+//! forward surfaces as an out-of-sequence rejection and is healed by an
+//! on-the-spot **snapshot resync** (the full-record form, which resets the
+//! chain) — never silent divergence. Replication cost therefore tracks the
+//! mutation, not the policy size; [`ReplicationMode::Snapshot`] keeps the
+//! PR 4 full-snapshot-per-mutation behavior for comparison, and snapshots
+//! remain the warm-copy/catch-up and migration form. The call acknowledges
+//! only once `write_quorum` replicas (primary included) hold the write;
+//! otherwise it fails with [`ClusterError::QuorumLost`] and the write may
+//! legitimately be lost by a later failover. A follower that misses or
+//! fails a forward is demoted from the quorum until it catches up.
+//! Attested sessions are mirrored the same way (create and close), so a
+//! session survives the loss of the replica that attested it. Forwarding
 //! is serialized per group (`forward_lock`), so in-quorum followers apply
 //! the same delta sequence the primary produced.
+//!
+//! ## Read placement ([`ReadPreference`])
+//! Under the default [`ReadPreference::Primary`] every read is served by
+//! the primary. [`ReadPreference::Quorum`] fans `ReadPolicy`/`ReadTag`
+//! reads round-robin across the whole group: a follower serves only while
+//! it is in the write quorum **and** its applied counter token has reached
+//! the group's freshness watermark (the token of the last forwarded
+//! mutation), so a lagging or rolled-back follower is never read — those
+//! reads, and anything a follower cannot answer (board-approval nonces,
+//! attestation, every mutation), fall back to the primary. Read throughput
+//! per arc then scales with R instead of being pinned to the primary.
 //!
 //! ## Failover (freshness by counter value)
 //! When a primary is quarantined — by the health monitor or an operator —
@@ -87,12 +107,12 @@
 //! flags are atomics so marking a replica Byzantine never blocks traffic.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use palaemon_core::counterfile::{BatchedCounter, MonotonicCounter};
 use palaemon_core::server::{ServerStats, TmsRequest, TmsResponse, TmsServer};
-use palaemon_core::tms::{Palaemon, PolicyRecords, SessionId};
+use palaemon_core::tms::{Palaemon, PolicyDelta, PolicyRecords, SessionId};
 use palaemon_core::PalaemonError;
 use parking_lot::{Mutex, RwLock};
 
@@ -183,6 +203,105 @@ pub fn strict_shard(
     (server, counter)
 }
 
+/// How reads are placed within a replica group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPreference {
+    /// Every read is served by the group's primary (the PR 4 behavior).
+    #[default]
+    Primary,
+    /// `ReadPolicy`/`ReadTag` reads rotate round-robin across the group —
+    /// followers included — but a follower serves only while it is in the
+    /// write quorum **and** its applied counter token matches the group's
+    /// freshness watermark, so a lagging or rolled-back follower is never
+    /// read; anything else falls back to the primary. Multiplies read
+    /// throughput per arc by up to R.
+    Quorum,
+}
+
+/// What the primary forwards to its followers after a mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicationMode {
+    /// Ship only what the mutation changed (an incremental
+    /// [`PolicyDelta`], chained by counter token), falling back to a
+    /// snapshot when a follower's chain breaks. Replication cost tracks
+    /// the mutation, not the policy size.
+    #[default]
+    Incremental,
+    /// Ship the full-policy snapshot on every mutation (the PR 4
+    /// behavior; kept for comparison and migration).
+    Snapshot,
+}
+
+/// Replication and read-path telemetry of one replica group — what the
+/// per-arc `ClusterStats` report: where reads landed, how often the
+/// freshness check refused a follower, and how many bytes each delta form
+/// shipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// `ReadPolicy`/`ReadTag` reads served by the primary.
+    pub reads_primary: u64,
+    /// `ReadPolicy`/`ReadTag` reads served by in-quorum followers.
+    pub reads_follower: u64,
+    /// Times the freshness check skipped a follower whose applied token
+    /// lagged the group watermark (the read went elsewhere).
+    pub freshness_rejections: u64,
+    /// Incremental deltas forwarded (counted per follower delivery).
+    pub incremental_deltas: u64,
+    /// Snapshot deltas forwarded (counted per follower delivery).
+    pub snapshot_deltas: u64,
+    /// Wire bytes of forwarded incremental deltas.
+    pub incremental_bytes: u64,
+    /// Wire bytes of forwarded snapshot deltas (incl. resyncs).
+    pub snapshot_bytes: u64,
+    /// Chain breaks healed by an on-the-spot snapshot resync.
+    pub snapshot_resyncs: u64,
+    /// Out-of-sequence deltas a follower refused (lost/reordered/replayed
+    /// forwards surfacing at the chain check).
+    pub sequence_rejections: u64,
+}
+
+/// Atomic backing for [`ReplicationStats`] (one per replica group).
+#[derive(Default)]
+struct ReplTelemetry {
+    reads_primary: AtomicU64,
+    reads_follower: AtomicU64,
+    freshness_rejections: AtomicU64,
+    incremental_deltas: AtomicU64,
+    snapshot_deltas: AtomicU64,
+    incremental_bytes: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    snapshot_resyncs: AtomicU64,
+    sequence_rejections: AtomicU64,
+}
+
+impl ReplTelemetry {
+    /// Accounts one delta delivery (bytes by payload form).
+    fn count_delta(&self, delta: &PolicyDelta) {
+        let bytes = delta.wire_size() as u64;
+        if delta.is_incremental() {
+            self.incremental_deltas.fetch_add(1, Ordering::Relaxed);
+            self.incremental_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.snapshot_deltas.fetch_add(1, Ordering::Relaxed);
+            self.snapshot_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> ReplicationStats {
+        ReplicationStats {
+            reads_primary: self.reads_primary.load(Ordering::Relaxed),
+            reads_follower: self.reads_follower.load(Ordering::Relaxed),
+            freshness_rejections: self.freshness_rejections.load(Ordering::Relaxed),
+            incremental_deltas: self.incremental_deltas.load(Ordering::Relaxed),
+            snapshot_deltas: self.snapshot_deltas.load(Ordering::Relaxed),
+            incremental_bytes: self.incremental_bytes.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            snapshot_resyncs: self.snapshot_resyncs.load(Ordering::Relaxed),
+            sequence_rejections: self.sequence_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One policy scheduled to move between shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PolicyMove {
@@ -258,6 +377,8 @@ pub struct ShardStats {
     pub primary: usize,
     /// Failovers the group has performed.
     pub failovers: u64,
+    /// Read-path and replication byte counters of the group.
+    pub replication: ReplicationStats,
 }
 
 /// Point-in-time view of one replica (for failover tests and operators).
@@ -359,6 +480,19 @@ impl std::fmt::Display for ClusterStats {
                     " | R={} ({} in quorum), primary #{}, {} failovers",
                     s.replicas, s.in_quorum, s.primary, s.failovers
                 )?;
+                let r = &s.replication;
+                write!(
+                    f,
+                    " | fwd: {} inc ({} B) / {} snap ({} B), {} resyncs | reads: {} follower / {} primary, {} freshness rejects",
+                    r.incremental_deltas,
+                    r.incremental_bytes,
+                    r.snapshot_deltas,
+                    r.snapshot_bytes,
+                    r.snapshot_resyncs,
+                    r.reads_follower,
+                    r.reads_primary,
+                    r.freshness_rejections,
+                )?;
             }
             writeln!(f)?;
         }
@@ -381,6 +515,9 @@ struct Replica {
     /// Health-monitor watermarks (regression watch).
     watch_counter: AtomicU64,
     watch_applied: AtomicU64,
+    /// A delta the fault injector is holding back to deliver out of order
+    /// ([`FaultKind::ReorderIncremental`]); always `None` in production.
+    held_delta: Mutex<Option<PolicyDelta>>,
 }
 
 impl Replica {
@@ -394,6 +531,7 @@ impl Replica {
             reason: Mutex::new(None),
             watch_counter: AtomicU64::new(0),
             watch_applied: AtomicU64::new(0),
+            held_delta: Mutex::new(None),
         }
     }
 
@@ -454,6 +592,13 @@ struct ReplicaSet {
     /// so a newly promoted primary (whose own physical counter starts low)
     /// can never issue a token older than the group has seen.
     watermark: AtomicU64,
+    /// Per-policy delta chain tail: the token of the last delta issued for
+    /// each policy (what the next incremental's `parent` must be). Reset
+    /// when a migration installs/purges the policy group-wide.
+    chain: Mutex<HashMap<String, u64>>,
+    /// Round-robin cursor for quorum reads.
+    read_cursor: AtomicUsize,
+    telemetry: ReplTelemetry,
     failovers: AtomicU64,
 }
 
@@ -466,6 +611,9 @@ impl ReplicaSet {
             forward_lock: Mutex::new(()),
             ops: AtomicU64::new(0),
             watermark: AtomicU64::new(0),
+            chain: Mutex::new(HashMap::new()),
+            read_cursor: AtomicUsize::new(0),
+            telemetry: ReplTelemetry::default(),
             failovers: AtomicU64::new(0),
         }
     }
@@ -485,16 +633,33 @@ impl ReplicaSet {
         !self.replicas[self.primary_idx()].is_quarantined()
     }
 
-    /// Freshness election: the in-quorum replica (excluding `not`) with
-    /// the highest applied counter token; ties go to the lowest index. A
-    /// rolled-back replica reports an older token, so it can never beat a
-    /// fresh one.
+    /// Router-side ground truth that a replica applied **every** delta the
+    /// group ever forwarded: each per-policy chain tail must match the
+    /// replica's own cursor for that policy. Unlike the global applied
+    /// token — which later deltas for *other* policies keep advancing — an
+    /// omission gap for one policy stays visible here until it is healed,
+    /// so a replica silently missing a quorum-acked write can never look
+    /// fit to lead. In crash-only executions every in-quorum replica is
+    /// chain-complete (misses demote), so this only bites under omission
+    /// faults.
+    fn chain_complete(&self, replica: &Replica) -> bool {
+        let chain = self.chain.lock();
+        chain
+            .iter()
+            .all(|(policy, &tail)| replica.engine().policy_cursor(policy) == Some(tail))
+    }
+
+    /// Freshness election: the chain-complete in-quorum replica (excluding
+    /// `not`) with the highest applied counter token; ties go to the
+    /// lowest index. A rolled-back replica reports an older token, so it
+    /// can never beat a fresh one, and a replica with an unhealed delta
+    /// gap is not a candidate at all.
     fn elect(&self, not: usize) -> Option<usize> {
         freshest(
             self.replicas
                 .iter()
                 .enumerate()
-                .filter(|(i, r)| *i != not && r.is_in_quorum()),
+                .filter(|(i, r)| *i != not && r.is_in_quorum() && self.chain_complete(r)),
         )
     }
 
@@ -514,6 +679,14 @@ impl ReplicaSet {
         // seat while live followers exist.
         let _forward = self.forward_lock.lock();
         self.depose_locked(idx, reason)
+    }
+
+    /// Quarantines whoever holds the primary seat *at lock time*: the seat
+    /// is re-read under the forward lock, so a racing failover cannot
+    /// redirect the caller's action onto an already-deposed replica.
+    fn quarantine_primary(&self, reason: String) -> Option<usize> {
+        let _forward = self.forward_lock.lock();
+        self.depose_locked(self.primary.load(Ordering::Acquire), reason)
     }
 
     /// The failover itself; caller holds `forward_lock`. The seat moves
@@ -555,6 +728,10 @@ impl ReplicaSet {
                 follower.in_quorum.store(false, Ordering::Release);
             }
         }
+        // The install re-based every replica's copy outside the delta
+        // chain: restart the chain so the next incremental is accepted
+        // from scratch (replica cursors were reset by the purge).
+        self.chain.lock().remove(policy);
         Ok(())
     }
 
@@ -573,6 +750,7 @@ impl ReplicaSet {
                 follower.in_quorum.store(false, Ordering::Release);
             }
         }
+        self.chain.lock().remove(policy);
         Ok(())
     }
 
@@ -620,28 +798,64 @@ fn freshest<'a>(candidates: impl Iterator<Item = (usize, &'a Replica)>) -> Optio
         .map(|(i, _)| i)
 }
 
-/// Full resync of `target` from `primary` via the warm-copy path: every
-/// policy (export/import, stale ones purged) plus the session table. Only
-/// on full success is the target stamped with the primary's applied token
-/// — a replica whose resync failed must never re-enter the freshness
-/// election claiming state it does not hold.
+/// Full resync of `target` from the group's current primary via the
+/// warm-copy path: every policy plus the session table, taken from **one
+/// consistent replication snapshot** of the primary engine (a single
+/// `DbView` covering all policies, with the session table captured under
+/// the same db guard) — a concurrent mutation can no longer interleave
+/// between per-policy exports and the session export. Each policy lands as
+/// a chain-resetting snapshot delta stamped with the group's chain token
+/// for that policy, so subsequent incrementals chain onto the caught-up
+/// state. Only on full success is the target stamped with the primary's
+/// applied token — a replica whose resync failed must never re-enter the
+/// freshness election claiming state it does not hold.
 ///
 /// # Errors
 /// Whatever the target engine's purge/import commits return; the target's
 /// freshness token is then left untouched.
-fn catch_up(primary: &Replica, target: &Replica) -> palaemon_core::Result<()> {
-    let src = primary.engine();
+fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
+    let primary = &group.replicas[group.primary_idx()];
+    let (policies, sessions) = primary.engine().replication_snapshot();
     let dst = target.engine();
-    let live: HashSet<String> = src.policy_names().into_iter().collect();
+    // Full re-base: stale cursors from the target's previous life must
+    // not veto the incoming snapshots (e.g. a chain-reset migration left
+    // the group's token for a policy below the target's old cursor).
+    dst.reset_replication_cursors();
+    let live: HashSet<&str> = policies.iter().map(|(n, _)| n.as_str()).collect();
     for stale in dst.policy_names() {
-        if !live.contains(&stale) {
+        if !live.contains(stale.as_str()) {
             dst.purge_policy_records(&stale)?;
         }
     }
-    for policy in &live {
-        dst.apply_policy_delta(&src.export_policy_delta(policy))?;
+    {
+        let chain = group.chain.lock();
+        // Chain entries whose policy no longer exists (deleted after its
+        // last delta): the target holds nothing for them, which IS the
+        // current state — seed its cursors to the tails, or the dead
+        // entries would fail its chain-completeness (and hence its
+        // election fitness) forever.
+        for (name, &tail) in chain.iter() {
+            if !live.contains(name.as_str()) {
+                dst.advance_policy_cursor(name, tail);
+            }
+        }
+        for (name, records) in policies {
+            match chain.get(&name).copied() {
+                Some(token) => {
+                    dst.apply_policy_delta(&PolicyDelta::snapshot(&name, records, token))?
+                }
+                // No chain entry (the policy was migrated in, or predates
+                // the group's replication): install the records with no
+                // cursor, mirroring the chain's view — a cursor of
+                // Some(0) would disagree with the absent tail and fail
+                // the replica's freshness checks forever.
+                None => {
+                    dst.purge_policy_records(&name)?;
+                    dst.import_records(&records)?;
+                }
+            }
+        }
     }
-    let sessions = src.export_sessions();
     let keep: HashSet<u64> = sessions.iter().map(|s| s.session.0).collect();
     for stale in dst.export_sessions() {
         if !keep.contains(&stale.session.0) {
@@ -651,6 +865,9 @@ fn catch_up(primary: &Replica, target: &Replica) -> palaemon_core::Result<()> {
     for record in &sessions {
         dst.import_session(record);
     }
+    // Anything the injector held back for out-of-order delivery predates
+    // the resync and is void.
+    *target.held_delta.lock() = None;
     target
         .applied
         .store(primary.applied.load(Ordering::Acquire), Ordering::Release);
@@ -678,8 +895,16 @@ pub struct ClusterRouter {
     /// Serializes rebalance operations, so a warm copy always reconciles
     /// against the same shard set at cutover.
     rebalance_gate: Mutex<()>,
+    /// Where reads land within a replica group (encoded [`ReadPreference`];
+    /// an atomic so the read hot path never takes a lock).
+    read_preference: AtomicU8,
+    /// What the forward path ships (encoded [`ReplicationMode`]).
+    replication_mode: AtomicU8,
     /// Deterministic fault schedule (test builds); `None` in production.
     fault_plan: Mutex<Option<Arc<FaultPlan>>>,
+    /// Fast-path flag mirroring `fault_plan.is_some()`, so the production
+    /// replication path (no plan installed) never takes the plan mutex.
+    fault_armed: AtomicBool,
 }
 
 impl std::fmt::Debug for ClusterRouter {
@@ -705,7 +930,10 @@ impl ClusterRouter {
             next_session: AtomicU64::new(1),
             rebalances: AtomicU64::new(0),
             rebalance_gate: Mutex::new(()),
+            read_preference: AtomicU8::new(0),
+            replication_mode: AtomicU8::new(0),
             fault_plan: Mutex::new(None),
+            fault_armed: AtomicBool::new(false),
         }
     }
 
@@ -713,6 +941,43 @@ impl ClusterRouter {
     /// consults on every replicated mutation (fault-injection tests).
     pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
         *self.fault_plan.lock() = Some(plan);
+        self.fault_armed.store(true, Ordering::Release);
+    }
+
+    /// Switches where reads land within replica groups (default:
+    /// [`ReadPreference::Primary`]).
+    pub fn set_read_preference(&self, preference: ReadPreference) {
+        let code = match preference {
+            ReadPreference::Primary => 0,
+            ReadPreference::Quorum => 1,
+        };
+        self.read_preference.store(code, Ordering::Release);
+    }
+
+    /// The current read placement policy.
+    pub fn read_preference(&self) -> ReadPreference {
+        match self.read_preference.load(Ordering::Acquire) {
+            0 => ReadPreference::Primary,
+            _ => ReadPreference::Quorum,
+        }
+    }
+
+    /// Switches what the forward path ships (default:
+    /// [`ReplicationMode::Incremental`]).
+    pub fn set_replication_mode(&self, mode: ReplicationMode) {
+        let code = match mode {
+            ReplicationMode::Incremental => 0,
+            ReplicationMode::Snapshot => 1,
+        };
+        self.replication_mode.store(code, Ordering::Release);
+    }
+
+    /// The current forwarding mode.
+    pub fn replication_mode(&self) -> ReplicationMode {
+        match self.replication_mode.load(Ordering::Acquire) {
+            0 => ReplicationMode::Incremental,
+            _ => ReplicationMode::Snapshot,
+        }
     }
 
     /// Shard ids currently in the cluster, in id order.
@@ -823,7 +1088,7 @@ impl ClusterRouter {
             let policy = policy.to_string();
             let id = topo.ring.route(&policy).ok_or(ClusterError::NoShards)?;
             let group = topo.shards.get(&id).ok_or(ClusterError::NoSuchShard(id))?;
-            let response = self.dispatch_to_group(id, group, &request, None, Some(&policy))?;
+            let response = self.dispatch_to_group(id, group, request, None, Some(&policy))?;
             // Attestation pinned a new session to this group: hand the
             // client a cluster-level id and remember the binding.
             if let TmsResponse::Config(mut config) = response {
@@ -851,7 +1116,7 @@ impl ClusterRouter {
                 .ok_or(ClusterError::Engine(PalaemonError::NoSuchSession))?;
             let closing = matches!(request, TmsRequest::CloseSession { .. });
             let response =
-                self.dispatch_to_group(binding.shard, group, &request, Some(binding.local), None)?;
+                self.dispatch_to_group(binding.shard, group, request, Some(binding.local), None)?;
             if closing {
                 self.sessions.write().remove(&cluster_session.0);
             }
@@ -869,21 +1134,60 @@ impl ClusterRouter {
         &self,
         id: ShardId,
         group: &ReplicaSet,
-        request: &TmsRequest,
+        request: TmsRequest,
         local: Option<SessionId>,
         policy: Option<&str>,
     ) -> Result<TmsResponse> {
+        // Policy and tag reads can be served by any freshness-checked
+        // in-quorum replica; everything else — mutations, attestation
+        // (which creates session state), approval rounds (whose nonces
+        // live on the issuing engine) — must seat on the primary.
+        let follower_readable = matches!(
+            request,
+            TmsRequest::ReadPolicy { .. } | TmsRequest::ReadTag { .. }
+        );
+        if follower_readable
+            && group.replicas.len() > 1
+            && self.read_preference() == ReadPreference::Quorum
+        {
+            if let Some(response) = self.try_follower_read(group, &request, local) {
+                return Ok(response);
+            }
+        }
+        let mutation = request.is_mutation();
+        let is_attest = matches!(request, TmsRequest::AttestService { .. });
+        let is_close = matches!(request, TmsRequest::CloseSession { .. });
+        let mut carry = Some(request);
         loop {
             let pidx = group.primary_idx();
             let primary = &group.replicas[pidx];
             if primary.is_quarantined() {
                 return Err(ClusterError::ShardUnavailable(id));
             }
-            let req = match local {
-                Some(l) => localize_session(request.clone(), l),
-                None => request.clone(),
+            // Resolve the policy a replicated mutation covers *before*
+            // applying it: the request's own key, or — for session-keyed
+            // tag pushes — the policy the session is attested under. Once
+            // the engine applies the write it must be forwarded, and a
+            // concurrent `CloseSession` could make the session
+            // unresolvable afterwards.
+            let mutation_policy = if mutation && group.replicas.len() > 1 {
+                match policy {
+                    Some(p) => Some(p.to_string()),
+                    None => local.and_then(|l| primary.engine().policy_of_session(l)),
+                }
+            } else {
+                None
             };
-            let mutation = req.is_mutation();
+            let req = match local {
+                Some(l) => localize_session(carry.take().expect("request present"), l),
+                None => carry.take().expect("request present"),
+            };
+            // Only reads can come back around the loop (failover retry),
+            // so only they pay the clone — mutations are dispatched
+            // zero-copy.
+            if !mutation {
+                carry = Some(req.clone());
+            }
             let response = primary.server.handle(req).map_err(ClusterError::Engine)?;
             if mutation {
                 // Single-replica groups have nobody to forward to: skip
@@ -891,58 +1195,169 @@ impl ClusterRouter {
                 // forward-lock serialization) and keep PR 3's engine-level
                 // concurrency for unreplicated shards.
                 if group.replicas.len() > 1 {
-                    // The policy the forwarded delta covers: the request's
-                    // own key, or — for session-keyed tag pushes — the
-                    // policy the session is attested under.
-                    let policy = match policy {
-                        Some(p) => Some(p.to_string()),
-                        None => local.and_then(|l| primary.engine().policy_of_session(l)),
-                    };
-                    if let Some(policy) = policy {
-                        self.replicate(id, group, pidx, &policy)?;
+                    match &mutation_policy {
+                        Some(policy) => self.replicate(id, group, pidx, policy)?,
+                        None => {
+                            // The session vanished between resolution and
+                            // apply yet the engine accepted the write: it
+                            // reached only the primary and must NOT be
+                            // acknowledged as replicated.
+                            return Err(ClusterError::QuorumLost {
+                                shard: id,
+                                acked: 1,
+                                needed: group.write_quorum,
+                            });
+                        }
                     }
                 }
                 return Ok(response);
             }
             // Session-table changes are mirrored so sessions survive a
             // failover of the replica that attested them.
-            match (&response, request) {
-                (TmsResponse::Config(config), TmsRequest::AttestService { .. }) => {
+            if is_attest {
+                if let TmsResponse::Config(config) = &response {
                     group.mirror_session(pidx, config.session);
                     return Ok(response);
                 }
-                (_, TmsRequest::CloseSession { .. }) => {
-                    if let Some(l) = local {
-                        group.mirror_close(pidx, l);
-                    }
-                    return Ok(response);
+            }
+            if is_close {
+                if let Some(l) = local {
+                    group.mirror_close(pidx, l);
                 }
-                _ => {}
+                return Ok(response);
             }
             // Pure read: if a failover raced us, the deposed primary may
             // have missed a write acked on its successor — retry there.
             if group.primary_idx() != pidx || primary.is_quarantined() {
                 continue;
             }
+            if follower_readable {
+                group
+                    .telemetry
+                    .reads_primary
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             return Ok(response);
         }
     }
 
-    /// Forwards the counter-attested snapshot of `policy` — just mutated
-    /// and committed on the primary — to the group's in-quorum followers,
-    /// and acknowledges at write quorum. Consults the fault plan at the
-    /// three injection sites.
+    /// Quorum-read placement: rotates round-robin across the group and
+    /// serves from the first follower that is in the write quorum **and**
+    /// freshness-checked at two granularities — its applied counter token
+    /// must have reached the group watermark, *and* its chain cursor for
+    /// the specific policy being read must match the group's chain tail
+    /// (the global token alone can mask a silently lost delta for one
+    /// policy once a later delta for another policy advances it) — so a
+    /// lagging or rolled-back follower is never read. `None` hands the
+    /// read to the primary path instead (the primary's own slot in the
+    /// rotation, no eligible follower, or a follower-side error such as a
+    /// board-approval nonce that only the primary holds).
+    fn try_follower_read(
+        &self,
+        group: &ReplicaSet,
+        request: &TmsRequest,
+        local: Option<SessionId>,
+    ) -> Option<TmsResponse> {
+        let pidx = group.primary_idx();
+        let watermark = group.watermark.load(Ordering::Acquire);
+        let n = group.replicas.len();
+        let start = group.read_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for off in 0..n {
+            let k = (start + off) % n;
+            if k == pidx {
+                if off == 0 {
+                    // The primary's own slot in the rotation keeps the
+                    // load spread even across all R replicas.
+                    return None;
+                }
+                // Mid-scan (an earlier follower was skipped): prefer any
+                // remaining eligible follower over loading the primary.
+                continue;
+            }
+            let follower = &group.replicas[k];
+            if !follower.is_in_quorum() {
+                continue;
+            }
+            if follower.applied.load(Ordering::Acquire) < watermark
+                || !self.policy_chain_fresh(group, follower, request, local)
+            {
+                group
+                    .telemetry
+                    .freshness_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let req = match local {
+                Some(l) => localize_session(request.clone(), l),
+                None => request.clone(),
+            };
+            match follower.server.handle(req) {
+                Ok(response) => {
+                    group
+                        .telemetry
+                        .reads_follower
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Some(response);
+                }
+                // Defensive: a follower-side failure falls back to the
+                // primary rather than guessing which errors are benign.
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    /// Per-policy freshness: the follower's chain cursor for the policy
+    /// this read touches must match the group's chain tail. Unlike the
+    /// global applied token, the cursor is follower-side ground truth —
+    /// a delta that silently vanished on the wire never advanced it, so
+    /// the gap stays visible even after later deltas for *other* policies
+    /// lift the follower's global token to the watermark. Reads that
+    /// resolve no policy (unknown session/policy) pass — the engine
+    /// answers with the same error the primary would.
+    fn policy_chain_fresh(
+        &self,
+        group: &ReplicaSet,
+        follower: &Replica,
+        request: &TmsRequest,
+        local: Option<SessionId>,
+    ) -> bool {
+        let policy = match request.policy_key() {
+            Some(p) => Some(p.to_string()),
+            None => local.and_then(|l| follower.engine().policy_of_session(l)),
+        };
+        let Some(policy) = policy else {
+            return true;
+        };
+        let tail = group.chain.lock().get(&policy).copied();
+        follower.engine().policy_cursor(&policy) == tail
+    }
+
+    /// Forwards the counter-attested delta of `policy` — just mutated and
+    /// committed on the primary — to the group's in-quorum followers, and
+    /// acknowledges at write quorum. In [`ReplicationMode::Incremental`]
+    /// the delta carries only what the mutation changed (the engine's
+    /// captured [`ChangeSet`](palaemon_db::ChangeSet)), chained onto the
+    /// policy's previous token; a follower whose chain does not match —
+    /// fresh, lagging, or victim of a lost/reordered forward — rejects it
+    /// and is resynced on the spot with a snapshot delta. Consults the
+    /// fault plan at the three injection sites.
     fn replicate(&self, id: ShardId, group: &ReplicaSet, pidx: usize, policy: &str) -> Result<()> {
         let primary = &group.replicas[pidx];
         let _forward = group.forward_lock.lock();
         if group.primary_idx() != pidx || primary.is_quarantined() {
             // A failover deposed us between the engine apply and the
             // forward: the write reached only the deposed primary and is
-            // not acknowledged.
+            // not acknowledged. Its captured changes stay undrained; the
+            // snapshot-based catch-up voids them before any rejoin.
             return Err(ClusterError::ShardUnavailable(id));
         }
         let op = group.ops.fetch_add(1, Ordering::Relaxed) + 1;
-        let plan = self.fault_plan.lock().clone();
+        let plan = if self.fault_armed.load(Ordering::Acquire) {
+            self.fault_plan.lock().clone()
+        } else {
+            None
+        };
         if let Some(plan) = &plan {
             if plan
                 .take(id, op, FaultSite::BeforeForward)
@@ -954,36 +1369,91 @@ impl ClusterRouter {
                 return Err(ClusterError::ShardUnavailable(id));
             }
         }
-        // The counter-attested snapshot: full record set + commitment
-        // digest, paired with a group-monotone freshness token derived
-        // from the primary's Fig. 6 counter value.
-        let delta = primary.engine().export_policy_delta(policy);
+        // Drain what the mutation changed and assign the chain position:
+        // the freshness token is group-monotone (derived from the
+        // primary's Fig. 6 counter value), and `parent` is the token of
+        // the policy's previous delta — what a follower's cursor must
+        // match for an incremental to apply.
+        let changes = primary.engine().take_policy_changes(policy);
         let counter_value = primary.counter.as_ref().map_or(0, |c| c.value());
         let token = counter_value.max(group.watermark.load(Ordering::Acquire) + 1);
         group.watermark.store(token, Ordering::Release);
         primary.applied.store(token, Ordering::Release);
+        let parent = {
+            let mut chain = group.chain.lock();
+            let parent = chain.get(policy).copied().unwrap_or(0);
+            chain.insert(policy.to_string(), token);
+            parent
+        };
+        // The primary holds the mutation by construction; keep its own
+        // cursor in step so chain completeness (the election fitness
+        // check) is comparable across every replica.
+        primary.engine().advance_policy_cursor(policy, token);
+        let delta = match self.replication_mode() {
+            // A racing forward may have drained this mutation's changes
+            // already (they rode the earlier delta); an empty incremental
+            // still advances the chain.
+            ReplicationMode::Incremental => {
+                PolicyDelta::incremental(policy, changes.unwrap_or_default(), token, parent)
+            }
+            ReplicationMode::Snapshot => primary.engine().export_policy_snapshot(policy, token),
+        };
         let mut acked = 1usize; // the primary itself
         for (k, follower) in group.replicas.iter().enumerate() {
             if k == pidx || follower.is_quarantined() {
                 continue;
             }
             if let Some(plan) = &plan {
-                if !plan.take(id, op, FaultSite::ForwardTo(k)).is_empty() {
-                    // Partitioned: the follower missed this delta — it no
-                    // longer counts toward the quorum until it catches up.
+                let faults = plan.take(id, op, FaultSite::ForwardTo(k));
+                if faults.contains(&FaultKind::DropForwardToReplica(k)) {
+                    // Partitioned, and the router *saw* the send fail: the
+                    // follower no longer counts toward the quorum until it
+                    // catches up.
                     follower.in_quorum.store(false, Ordering::Release);
+                    continue;
+                }
+                if faults.contains(&FaultKind::LoseIncremental(k)) {
+                    // Lost on the wire without the router noticing: no
+                    // demotion — the gap must surface at the follower's
+                    // next chain check.
+                    continue;
+                }
+                if faults.contains(&FaultKind::ReorderIncremental(k)) {
+                    // Held back by the network; delivered (stale) after
+                    // the next delta.
+                    *follower.held_delta.lock() = Some(delta.clone());
                     continue;
                 }
             }
             if !follower.in_quorum.load(Ordering::Acquire) {
                 continue; // lagging — must catch up before rejoining
             }
-            match follower.engine().apply_policy_delta(&delta) {
-                Ok(()) => {
-                    follower.applied.store(token, Ordering::Release);
-                    acked += 1;
+            if self.deliver(group, primary, follower, &delta, token) {
+                acked += 1;
+            }
+            // A delta the injector held back arrives now, out of order —
+            // behind its successor. Cross-policy it is merely late (its
+            // own chain is intact); same-policy it must be rejected. Held
+            // deltas only exist under a fault plan, so production forwards
+            // never touch this lock.
+            let stale = if plan.is_some() {
+                follower.held_delta.lock().take()
+            } else {
+                None
+            };
+            if let Some(stale) = stale {
+                group.telemetry.count_delta(&stale);
+                match follower.engine().apply_policy_delta(&stale) {
+                    Ok(()) => {
+                        follower.applied.fetch_max(stale.token, Ordering::AcqRel);
+                    }
+                    Err(_) => {
+                        group
+                            .telemetry
+                            .sequence_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                Err(_) => follower.in_quorum.store(false, Ordering::Release),
             }
         }
         if acked < group.write_quorum {
@@ -1014,6 +1484,53 @@ impl ClusterRouter {
             }
         }
         Ok(())
+    }
+
+    /// Delivers one delta to a follower, healing a broken chain with an
+    /// on-the-spot snapshot resync. Returns true when the follower ended
+    /// up holding the write (it counts toward the quorum ack); on any
+    /// unhealable failure the follower is demoted.
+    fn deliver(
+        &self,
+        group: &ReplicaSet,
+        primary: &Replica,
+        follower: &Replica,
+        delta: &PolicyDelta,
+        token: u64,
+    ) -> bool {
+        group.telemetry.count_delta(delta);
+        let outcome = match follower.engine().apply_policy_delta(delta) {
+            Err(PalaemonError::DeltaOutOfSequence { .. }) => {
+                // The follower's chain for this policy does not match —
+                // it is fresh, or a forward to it was lost or reordered.
+                // Never apply out of sequence: re-base it with a full
+                // snapshot at the same token.
+                group
+                    .telemetry
+                    .sequence_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                group
+                    .telemetry
+                    .snapshot_resyncs
+                    .fetch_add(1, Ordering::Relaxed);
+                let resync = primary
+                    .engine()
+                    .export_policy_snapshot(&delta.policy, token);
+                group.telemetry.count_delta(&resync);
+                follower.engine().apply_policy_delta(&resync)
+            }
+            other => other,
+        };
+        match outcome {
+            Ok(()) => {
+                follower.applied.fetch_max(token, Ordering::AcqRel);
+                true
+            }
+            Err(_) => {
+                follower.in_quorum.store(false, Ordering::Release);
+                false
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1070,6 +1587,14 @@ impl ClusterRouter {
                 .collect(),
             write_quorum,
         );
+        // Replicated groups capture per-mutation change sets on every
+        // engine (any replica can be seated as the forwarding primary);
+        // single-replica shards skip the capture cost entirely.
+        if group.replicas.len() > 1 {
+            for r in &group.replicas {
+                r.engine().enable_change_capture();
+            }
+        }
         let _gate = self.rebalance_gate.lock(); // one rebalance at a time
 
         // Warm phase (read lock): bulk-copy into the joining group, which
@@ -1162,9 +1687,17 @@ impl ClusterRouter {
             .get_mut(&id)
             .ok_or(ClusterError::NoSuchShard(id))?;
         let replica = Replica::new(server, counter);
-        catch_up(&group.replicas[group.primary_idx()], &replica).map_err(ClusterError::Engine)?;
+        catch_up(group, &replica).map_err(ClusterError::Engine)?;
         replica.rejoin();
         group.replicas.push(replica);
+        // The group is (now) replicated: every engine must capture what
+        // its mutations change, since any replica may be seated as the
+        // delta-forwarding primary later.
+        if group.replicas.len() > 1 {
+            for r in &group.replicas {
+                r.engine().enable_change_capture();
+            }
+        }
         Ok(group.replicas.len() - 1)
     }
 
@@ -1336,13 +1869,16 @@ impl ClusterRouter {
                     } else {
                         // The Fig. 6 signature of a Byzantine replica:
                         // its physical rollback counter or its applied
-                        // freshness token went backwards.
+                        // freshness token went backwards. The two watches
+                        // have different repair stories (counter-file
+                        // tampering vs replication-state rollback), so
+                        // the reason names which one fired.
                         let mut regressed = None;
                         if let Some(counter) = &replica.counter {
                             let value = counter.value();
                             let last = replica.watch_counter.load(Ordering::Acquire);
                             if value < last {
-                                regressed = Some((last, value));
+                                regressed = Some(("rollback counter", last, value));
                             } else {
                                 replica.watch_counter.store(value, Ordering::Release);
                             }
@@ -1351,15 +1887,15 @@ impl ClusterRouter {
                             let applied = replica.applied.load(Ordering::Acquire);
                             let last = replica.watch_applied.load(Ordering::Acquire);
                             if applied < last {
-                                regressed = Some((last, applied));
+                                regressed = Some(("applied freshness token", last, applied));
                             } else {
                                 replica.watch_applied.store(applied, Ordering::Release);
                             }
                         }
-                        if let Some((last, now)) = regressed {
+                        if let Some((watch, last, now)) = regressed {
                             group.quarantine_replica(
                                 k,
-                                format!("rollback counter regressed: {last} -> {now}"),
+                                format!("{watch} regressed: {last} -> {now}"),
                             );
                         }
                     }
@@ -1396,7 +1932,7 @@ impl ClusterRouter {
         let topo = self.topology.read();
         match topo.shards.get(&id) {
             Some(group) => {
-                group.quarantine_replica(group.primary_idx(), format!("operator: {reason}"));
+                group.quarantine_primary(format!("operator: {reason}"));
                 true
             }
             None => false,
@@ -1422,19 +1958,29 @@ impl ClusterRouter {
         // rolled-back replica loses this election too.
         let mut pidx = group.primary_idx();
         if group.replicas[pidx].is_quarantined() {
-            let best = freshest(group.replicas.iter().enumerate()).unwrap_or(pidx);
+            // Prefer a chain-complete survivor (it holds every forwarded
+            // delta); only when none exists — catastrophic loss — fall
+            // back to the freshest state still standing.
+            let best = freshest(
+                group
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| group.chain_complete(r)),
+            )
+            .or_else(|| freshest(group.replicas.iter().enumerate()))
+            .unwrap_or(pidx);
             if best != pidx {
                 group.primary.store(best, Ordering::Release);
                 group.failovers.fetch_add(1, Ordering::Relaxed);
                 pidx = best;
             }
         }
-        let primary = &group.replicas[pidx];
         for (k, replica) in group.replicas.iter().enumerate() {
             if k != pidx && !replica.is_in_quorum() {
                 // A replica whose resync failed stays out: rejoining it
                 // would let it claim state it does not hold.
-                if let Err(e) = catch_up(primary, replica) {
+                if let Err(e) = catch_up(group, replica) {
                     replica.quarantine(format!("catch-up failed: {e}"));
                     continue;
                 }
@@ -1465,6 +2011,7 @@ impl ClusterRouter {
                         in_quorum: group.replicas.iter().filter(|r| r.is_in_quorum()).count(),
                         primary: pidx,
                         failovers: group.failovers.load(Ordering::Relaxed),
+                        replication: group.telemetry.snapshot(),
                     }
                 })
                 .collect(),
@@ -1527,6 +2074,7 @@ fn localize_session(request: TmsRequest, local: SessionId) -> TmsRequest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::PlannedFault;
     use palaemon_core::counterfile::MemFileCounter;
     use palaemon_core::policy::Policy;
     use palaemon_crypto::aead::AeadKey;
@@ -2047,6 +2595,229 @@ mod tests {
         assert_eq!(stats.shards[0].failovers, 1);
         assert!(stats.shards[0].healthy);
         assert!(format!("{stats}").contains("R=3"));
+    }
+
+    #[test]
+    fn incremental_deltas_ship_fewer_bytes_than_snapshots() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let (router, id) = replicated_cluster(&platform, 2, 2);
+        create_policy(&router, "inc-0");
+        let session = attest(&router, &platform, "inc-0");
+
+        assert_eq!(router.replication_mode(), ReplicationMode::Incremental);
+        let before = router.stats().shards[0].replication;
+        for i in 0..8 {
+            push(&router, session, i);
+        }
+        let after_inc = router.stats().shards[0].replication;
+        let inc_deltas = after_inc.incremental_deltas - before.incremental_deltas;
+        let inc_bytes = after_inc.incremental_bytes - before.incremental_bytes;
+        assert_eq!(inc_deltas, 8, "one incremental per push per follower");
+        assert_eq!(
+            after_inc.snapshot_resyncs, 0,
+            "a clean run never needs a resync"
+        );
+
+        router.set_replication_mode(ReplicationMode::Snapshot);
+        for i in 8..16 {
+            push(&router, session, i);
+        }
+        let after_snap = router.stats().shards[0].replication;
+        let snap_deltas = after_snap.snapshot_deltas - after_inc.snapshot_deltas;
+        let snap_bytes = after_snap.snapshot_bytes - after_inc.snapshot_bytes;
+        assert_eq!(snap_deltas, 8);
+        assert!(
+            inc_bytes * 3 < snap_bytes,
+            "a tag push must ship far fewer bytes incrementally \
+             ({inc_bytes} B) than as a snapshot ({snap_bytes} B)"
+        );
+
+        // Both forms converged to the same records.
+        let engines = router.replica_engines(id);
+        assert_eq!(
+            engines[0].export_policy_records("inc-0"),
+            engines[1].export_policy_records("inc-0")
+        );
+    }
+
+    #[test]
+    fn quorum_reads_rotate_and_skip_stale_followers() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let (router, id) = replicated_cluster(&platform, 3, 2);
+        create_policy(&router, "qr-0");
+        let session = attest(&router, &platform, "qr-0");
+        push(&router, session, 1);
+        router.set_read_preference(ReadPreference::Quorum);
+        assert_eq!(router.read_preference(), ReadPreference::Quorum);
+
+        let read = |router: &ClusterRouter| match router
+            .handle(TmsRequest::ReadTag {
+                session,
+                volume: "data".into(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Tag(rec) => rec.expect("tag stored"),
+            other => panic!("expected tag, got {other:?}"),
+        };
+        for _ in 0..12 {
+            assert_eq!(read(&router).tag, Digest::from_bytes([1; 32]));
+        }
+        let repl = router.stats().shards[0].replication;
+        assert!(
+            repl.reads_follower >= 6,
+            "followers must take most of the rotation: {repl:?}"
+        );
+        assert!(
+            repl.reads_primary >= 1,
+            "the primary keeps its slot in the rotation: {repl:?}"
+        );
+
+        // Lose a forward to follower 2 silently: it stays in the quorum
+        // but its applied token lags the watermark, so the freshness check
+        // must refuse to read from it — no read may see the old tag.
+        let plan = FaultPlan::new([PlannedFault {
+            shard: id,
+            op: router.replica_status(id).unwrap().ops + 1,
+            kind: FaultKind::LoseIncremental(2),
+        }]);
+        router.set_fault_plan(Arc::clone(&plan));
+        push(&router, session, 2);
+        assert!(plan.all_fired());
+        let status = router.replica_status(id).unwrap();
+        assert!(status.replicas[2].in_quorum, "a silent loss never demotes");
+        assert!(status.replicas[2].applied < status.replicas[1].applied);
+        for _ in 0..12 {
+            assert_eq!(read(&router).tag, Digest::from_bytes([2; 32]));
+        }
+        let repl = router.stats().shards[0].replication;
+        assert!(
+            repl.freshness_rejections > 0,
+            "the lagging follower must have been refused: {repl:?}"
+        );
+
+        // The next forward heals the gap (snapshot resync), after which
+        // the follower serves again.
+        push(&router, session, 3);
+        let repl = router.stats().shards[0].replication;
+        assert_eq!(repl.snapshot_resyncs, 1);
+        let status = router.replica_status(id).unwrap();
+        assert_eq!(status.replicas[2].applied, status.replicas[1].applied);
+        for _ in 0..6 {
+            assert_eq!(read(&router).tag, Digest::from_bytes([3; 32]));
+        }
+    }
+
+    /// Regression test: a policy that predates the group's replication
+    /// (created at R=1, no chain entry) must stay follower-servable after
+    /// a replica joins — catch-up must not stamp it with a cursor the
+    /// absent chain tail disagrees with.
+    #[test]
+    fn catch_up_of_chain_absent_policies_keeps_quorum_reads_available() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = ClusterRouter::new(42, 64);
+        let (server, counter) = fresh_shard(&platform, 0);
+        router.add_shard(ShardId(0), server, Some(counter)).unwrap();
+        create_policy(&router, "pre-repl"); // unreplicated: no chain entry
+
+        let (server, counter) = fresh_shard(&platform, 1);
+        router
+            .add_replica(ShardId(0), server, Some(counter))
+            .unwrap();
+        router.set_read_preference(ReadPreference::Quorum);
+        for _ in 0..8 {
+            assert!(matches!(
+                router.handle(TmsRequest::ReadPolicy {
+                    name: "pre-repl".into(),
+                    client: owner(),
+                    approval: None,
+                    votes: Vec::new(),
+                }),
+                Ok(TmsResponse::Policy(_))
+            ));
+        }
+        let repl = router.stats().shards[0].replication;
+        assert_eq!(
+            repl.freshness_rejections, 0,
+            "a chain-absent policy must not read as stale: {repl:?}"
+        );
+        assert!(repl.reads_follower > 0, "{repl:?}");
+        // And the caught-up replica is election-fit for it too.
+        assert!(router.quarantine(ShardId(0), "chaos"));
+        let status = router.replica_status(ShardId(0)).unwrap();
+        assert_eq!(status.primary, 1, "joined replica must take the seat");
+    }
+
+    /// Regression test: the quorum-read freshness check must be
+    /// per-policy. A delta for policy A silently lost to a follower is
+    /// masked at the *global* token level as soon as a later delta for
+    /// policy B advances that follower's applied token to the watermark —
+    /// only the per-policy chain cursor still shows the gap.
+    #[test]
+    fn quorum_reads_reject_per_policy_gaps_hidden_by_the_global_token() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let (router, id) = replicated_cluster(&platform, 3, 2);
+        router.set_read_preference(ReadPreference::Quorum);
+        let create_versioned = |name: &str, v: u32| {
+            router
+                .handle(TmsRequest::CreatePolicy {
+                    owner: owner(),
+                    policy: Box::new(versioned(name, v)),
+                    approval: None,
+                    votes: Vec::new(),
+                })
+                .unwrap();
+        };
+        let update_versioned = |name: &str, v: u32| {
+            router
+                .handle(TmsRequest::UpdatePolicy {
+                    client: owner(),
+                    policy: Box::new(versioned(name, v)),
+                    approval: None,
+                    votes: Vec::new(),
+                })
+                .unwrap();
+        };
+        create_versioned("gap-a", 1); // op 1
+        create_versioned("gap-b", 1); // op 2
+        let plan = FaultPlan::new([PlannedFault {
+            shard: id,
+            op: 3,
+            kind: FaultKind::LoseIncremental(2),
+        }]);
+        router.set_fault_plan(Arc::clone(&plan));
+        update_versioned("gap-a", 2); // op 3: follower 2 silently misses
+        update_versioned("gap-b", 2); // op 4: follower 2 applies — its
+                                      // global token reaches the watermark
+        assert!(plan.all_fired());
+        let status = router.replica_status(id).unwrap();
+        assert_eq!(
+            status.replicas[2].applied, status.replicas[1].applied,
+            "the global token must NOT show the policy-A gap (that is the point)"
+        );
+
+        // Every quorum read of gap-a must still see v2: follower 2's
+        // chain cursor for gap-a exposes the gap the global token hides.
+        for _ in 0..9 {
+            assert_eq!(version_of(&router, "gap-a"), "2", "stale acked-over read");
+            assert_eq!(version_of(&router, "gap-b"), "2");
+        }
+        let repl = router.stats().shards[0].replication;
+        assert!(
+            repl.freshness_rejections > 0,
+            "follower 2 must have been refused for gap-a: {repl:?}"
+        );
+        // gap-b reads are servable by every follower, so the rotation
+        // still reaches followers.
+        assert!(repl.reads_follower > 0, "{repl:?}");
+
+        // The next gap-a mutation heals the chain (snapshot resync);
+        // follower 2 serves gap-a again afterwards.
+        update_versioned("gap-a", 3);
+        assert_eq!(router.stats().shards[0].replication.snapshot_resyncs, 1);
+        for _ in 0..6 {
+            assert_eq!(version_of(&router, "gap-a"), "3");
+        }
     }
 
     /// Regression test: quarantining an already-quarantined shard must not

@@ -27,6 +27,17 @@ pub enum PalaemonError {
     SecondInstance,
     /// The referenced session is unknown or expired.
     NoSuchSession,
+    /// An incremental replication delta does not chain onto this replica's
+    /// last applied delta for the policy (a forwarded delta was lost or
+    /// reordered) — the sender must fall back to a snapshot resync.
+    DeltaOutOfSequence {
+        /// The policy whose chain broke.
+        policy: String,
+        /// The cursor this replica holds (token of its last applied delta).
+        expected: u64,
+        /// The parent token the rejected delta claimed.
+        got: u64,
+    },
     /// Underlying database failure.
     Db(String),
     /// Underlying TEE failure.
@@ -51,6 +62,15 @@ impl fmt::Display for PalaemonError {
             StrictModeViolation(why) => write!(f, "strict mode violation: {why}"),
             SecondInstance => write!(f, "another instance is already running"),
             NoSuchSession => write!(f, "no such session"),
+            DeltaOutOfSequence {
+                policy,
+                expected,
+                got,
+            } => write!(
+                f,
+                "incremental delta for '{policy}' out of sequence: replica cursor is \
+                 {expected}, delta chains from {got} — snapshot resync required"
+            ),
             Db(why) => write!(f, "database error: {why}"),
             Tee(why) => write!(f, "TEE error: {why}"),
             Crypto(why) => write!(f, "crypto error: {why}"),
@@ -112,6 +132,11 @@ mod tests {
             PalaemonError::StrictModeViolation("x".into()),
             PalaemonError::SecondInstance,
             PalaemonError::NoSuchSession,
+            PalaemonError::DeltaOutOfSequence {
+                policy: "p".into(),
+                expected: 2,
+                got: 5,
+            },
             PalaemonError::Db("x".into()),
             PalaemonError::Tee("x".into()),
             PalaemonError::Crypto("x".into()),

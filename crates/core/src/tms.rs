@@ -33,20 +33,23 @@
 //! * `approvals` (`Mutex`) — pending board approvals + the nonce counter.
 //! * `rng` (`Mutex`) — secret generation.
 //! * `qe_keys` (`RwLock`) — registered quoting-enclave keys.
+//! * `pending_changes` / `policy_cursors` (`Mutex`) — replication change
+//!   capture and per-policy delta-chain cursors.
 //!
-//! **Lock order:** `db` before `approvals` before `rng`. `sessions` and
-//! `qe_keys` are leaf locks — never acquire another lock while holding
-//! them. Guards are dropped before calling out to crypto or the store
-//! wherever possible.
+//! **Lock order:** `db` before `approvals` before `rng`. `sessions`,
+//! `qe_keys`, `pending_changes` and `policy_cursors` are leaf locks —
+//! never acquire another lock while holding them (they may themselves be
+//! taken under `db`). Guards are dropped before calling out to crypto or
+//! the store wherever possible.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use palaemon_crypto::aead::AeadKey;
 use palaemon_crypto::randutil;
 use palaemon_crypto::sig::{SigningKey, VerifyingKey};
 use palaemon_crypto::Digest;
-use palaemon_db::{Db, DbView};
+use palaemon_db::{ChangeSet, Db, DbView};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -66,43 +69,146 @@ pub struct SessionId(pub u64);
 /// migration ships between instances.
 pub type PolicyRecords = Vec<(Vec<u8>, Vec<u8>)>;
 
-/// A counter-attested snapshot of one policy's full record set — the unit a
+/// The payload of a [`PolicyDelta`]: either the policy's full record set
+/// or just what one mutation changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaPayload {
+    /// The policy's full record set. Applying it replaces this replica's
+    /// copy wholesale (purge + re-import) and *resets* the policy's delta
+    /// chain — the warm-copy catch-up, migration, and resync form. An
+    /// empty record set means the policy was deleted.
+    Snapshot {
+        /// The full record set after the mutation.
+        records: PolicyRecords,
+    },
+    /// Exactly what one mutation wrote and deleted, applied in place — the
+    /// steady-state replication form, whose size tracks the mutation
+    /// instead of the policy. Keys are disjoint across the two lists.
+    Incremental {
+        /// Records the mutation wrote (final values).
+        puts: PolicyRecords,
+        /// Keys the mutation deleted.
+        tombstones: Vec<Vec<u8>>,
+    },
+}
+
+/// A counter-attested replication delta for one policy — the unit a
 /// replica group's primary forwards to its followers after applying a
 /// mutation (`palaemon-cluster` replication).
 ///
-/// `digest` commits to the exact record set; a follower verifies it before
-/// applying ([`Palaemon::apply_policy_delta`]), so a delta corrupted or
-/// substituted in transit is rejected. The router pairs the delta with the
-/// primary's Fig. 6 rollback-counter value, making the pair a
-/// *counter-attested snapshot*: "this is the policy's state as of counter
-/// value c" — the freshness evidence a failover election compares.
+/// `digest` commits to the policy name, both chain tokens and the entire
+/// payload; a follower verifies it before applying
+/// ([`Palaemon::apply_policy_delta`]), so a delta corrupted or substituted
+/// in transit is rejected. `token` is the group-monotone Fig. 6
+/// rollback-counter token of the mutation — "this is the policy's state as
+/// of counter value c", the freshness evidence a failover election
+/// compares — and `parent` chains an incremental delta to its predecessor:
+/// a follower applies an incremental only when `parent` equals its own
+/// cursor (the token of the last delta it applied for that policy), so a
+/// lost or reordered forward surfaces as
+/// [`PalaemonError::DeltaOutOfSequence`] and forces a snapshot resync
+/// instead of silent divergence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PolicyDelta {
-    /// The policy the records belong to.
+    /// The policy the delta belongs to.
     pub policy: String,
-    /// The policy's full record set after the mutation. Empty means the
-    /// policy was deleted — applying the delta purges it.
-    pub records: PolicyRecords,
-    /// Digest over `policy` and `records` (see [`PolicyDelta::digest_of`]).
+    /// Group-monotone freshness token of the mutation this delta carries.
+    pub token: u64,
+    /// Token of the predecessor delta in this policy's chain (0 at chain
+    /// start). Checked for incrementals; snapshots reset the chain.
+    pub parent: u64,
+    /// What to apply.
+    pub payload: DeltaPayload,
+    /// Digest over policy, token, parent and payload
+    /// (see [`PolicyDelta::digest_of`]).
     pub digest: Digest,
 }
 
 impl PolicyDelta {
-    /// The commitment digest of a record set: length-prefixed hash over the
-    /// policy name and every `(key, value)` pair, in export order.
-    pub fn digest_of(policy: &str, records: &PolicyRecords) -> Digest {
+    /// Builds a digest-committed snapshot delta (chain-resetting).
+    pub fn snapshot(policy: &str, records: PolicyRecords, token: u64) -> Self {
+        let payload = DeltaPayload::Snapshot { records };
+        PolicyDelta {
+            digest: PolicyDelta::digest_of(policy, token, 0, &payload),
+            policy: policy.to_string(),
+            token,
+            parent: 0,
+            payload,
+        }
+    }
+
+    /// Builds a digest-committed incremental delta from a captured
+    /// [`ChangeSet`], chained onto the predecessor token `parent`.
+    pub fn incremental(policy: &str, changes: ChangeSet, token: u64, parent: u64) -> Self {
+        let (puts, tombstones) = changes.into_parts();
+        let payload = DeltaPayload::Incremental { puts, tombstones };
+        PolicyDelta {
+            digest: PolicyDelta::digest_of(policy, token, parent, &payload),
+            policy: policy.to_string(),
+            token,
+            parent,
+            payload,
+        }
+    }
+
+    /// The commitment digest: length-prefixed hash over the policy name,
+    /// the chain tokens, the payload kind and every record, in order.
+    pub fn digest_of(policy: &str, token: u64, parent: u64, payload: &DeltaPayload) -> Digest {
         let mut h = palaemon_crypto::sha256::Sha256::new();
-        h.update(b"palaemon.policy-delta.v1");
+        h.update(b"palaemon.policy-delta.v2");
         h.update(&(policy.len() as u64).to_be_bytes());
         h.update(policy.as_bytes());
-        h.update(&(records.len() as u64).to_be_bytes());
-        for (k, v) in records {
-            h.update(&(k.len() as u64).to_be_bytes());
-            h.update(k);
-            h.update(&(v.len() as u64).to_be_bytes());
-            h.update(v);
+        h.update(&token.to_be_bytes());
+        h.update(&parent.to_be_bytes());
+        let mut hash_records = |records: &PolicyRecords| {
+            h.update(&(records.len() as u64).to_be_bytes());
+            for (k, v) in records {
+                h.update(&(k.len() as u64).to_be_bytes());
+                h.update(k);
+                h.update(&(v.len() as u64).to_be_bytes());
+                h.update(v);
+            }
+        };
+        match payload {
+            DeltaPayload::Snapshot { records } => {
+                hash_records(records);
+                h.update(&[1u8]);
+            }
+            DeltaPayload::Incremental { puts, tombstones } => {
+                hash_records(puts);
+                h.update(&[2u8]);
+                h.update(&(tombstones.len() as u64).to_be_bytes());
+                for k in tombstones {
+                    h.update(&(k.len() as u64).to_be_bytes());
+                    h.update(k);
+                }
+            }
         }
         h.finalize()
+    }
+
+    /// True for the incremental (in-place) form.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self.payload, DeltaPayload::Incremental { .. })
+    }
+
+    /// Approximate bytes this delta would occupy on the wire: keys, values
+    /// and the fixed header — what the replication byte counters account.
+    pub fn wire_size(&self) -> usize {
+        let header = self.policy.len() + 8 + 8 + 32 + 1;
+        let body = match &self.payload {
+            DeltaPayload::Snapshot { records } => records
+                .iter()
+                .map(|(k, v)| k.len() + v.len() + 16)
+                .sum::<usize>(),
+            DeltaPayload::Incremental { puts, tombstones } => {
+                puts.iter()
+                    .map(|(k, v)| k.len() + v.len() + 16)
+                    .sum::<usize>()
+                    + tombstones.iter().map(|k| k.len() + 8).sum::<usize>()
+            }
+        };
+        header + body
     }
 }
 
@@ -203,6 +309,17 @@ pub struct Palaemon {
     sessions: RwLock<HashMap<u64, Session>>,
     next_session: AtomicU64,
     approvals: Mutex<ApprovalState>,
+    /// When set ([`Palaemon::enable_change_capture`]), every mutating
+    /// operation records the exact keys it wrote/deleted so replication can
+    /// forward incremental deltas instead of full snapshots.
+    change_capture: AtomicBool,
+    /// Captured-but-not-yet-forwarded changes, keyed by policy (leaf lock;
+    /// may be taken while holding `db`).
+    pending_changes: Mutex<HashMap<String, ChangeSet>>,
+    /// Per-policy replication cursor: the token of the last delta this
+    /// replica applied for the policy (leaf lock; may be taken while
+    /// holding `db`).
+    policy_cursors: Mutex<HashMap<String, u64>>,
 }
 
 impl std::fmt::Debug for Palaemon {
@@ -233,6 +350,9 @@ impl Palaemon {
                 pending: HashMap::new(),
                 next_nonce: 1,
             }),
+            change_capture: AtomicBool::new(false),
+            pending_changes: Mutex::new(HashMap::new()),
+            policy_cursors: Mutex::new(HashMap::new()),
         }
     }
 
@@ -267,6 +387,45 @@ impl Palaemon {
     /// A lock-free point-in-time snapshot of the service database.
     fn db_view(&self) -> DbView {
         self.db.read().view()
+    }
+
+    /// Turns on change capture: from here on every mutating operation
+    /// records the exact keys it wrote/deleted into a per-policy
+    /// [`ChangeSet`] the replication layer drains with
+    /// [`Palaemon::take_policy_changes`]. Idempotent; off by default, so
+    /// unreplicated deployments pay nothing.
+    pub fn enable_change_capture(&self) {
+        self.change_capture.store(true, Ordering::Release);
+    }
+
+    fn capture_on(&self) -> bool {
+        self.change_capture.load(Ordering::Relaxed)
+    }
+
+    /// Arms write-batch capture on `db` when capture is enabled (called
+    /// with the db write lock held, before a mutation's first write).
+    fn capture_begin(&self, db: &mut Db) {
+        if self.capture_on() {
+            db.begin_capture();
+        }
+    }
+
+    /// Stashes what the just-committed mutation changed under `policy`.
+    /// Racing mutations of the same policy merge in commit order (the db
+    /// write lock is still held here).
+    fn capture_stash(&self, db: &mut Db, policy: &str) {
+        if !self.capture_on() {
+            return;
+        }
+        let changes = db.take_changes();
+        if changes.is_empty() {
+            return;
+        }
+        self.pending_changes
+            .lock()
+            .entry(policy.to_string())
+            .or_default()
+            .merge(changes);
     }
 
     // ------------------------------------------------------------------
@@ -357,6 +516,7 @@ impl Palaemon {
             }
             self.consume_approval(request, board, votes)?;
         }
+        self.capture_begin(&mut db);
 
         // Generate secrets.
         let mut rng = self.rng.lock();
@@ -406,6 +566,7 @@ impl Palaemon {
             owner.to_u64().to_be_bytes().to_vec(),
         );
         db.commit()?;
+        self.capture_stash(&mut db, &policy.name);
         Ok(())
     }
 
@@ -473,6 +634,7 @@ impl Palaemon {
             }
             self.consume_approval(request, board, votes)?;
         }
+        self.capture_begin(&mut db);
 
         // Generate material for newly declared secrets; keep existing ones
         // so updates do not rotate application secrets implicitly.
@@ -518,6 +680,7 @@ impl Palaemon {
 
         db.put(format!("policy/{name}").into_bytes(), new_policy.encode());
         db.commit()?;
+        self.capture_stash(&mut db, &name);
         Ok(())
     }
 
@@ -548,6 +711,7 @@ impl Palaemon {
             }
             self.consume_approval(request, board, votes)?;
         }
+        self.capture_begin(&mut db);
         // Exact keys for the two singleton records (a bare `policy/{name}`
         // prefix would also match `policy/{name}-suffix` siblings), prefix
         // deletes for the per-policy namespaces.
@@ -557,6 +721,7 @@ impl Palaemon {
             db.delete_prefix(prefix.as_bytes());
         }
         db.commit()?;
+        self.capture_stash(&mut db, name);
         Ok(())
     }
 
@@ -766,8 +931,10 @@ impl Palaemon {
         let mut value = tag.as_bytes().to_vec();
         value.push(event_code(event));
         let mut db = self.db.write();
+        self.capture_begin(&mut db);
         db.put(format!("tag/{policy}/{volume}").into_bytes(), value);
         db.commit()?;
+        self.capture_stash(&mut db, &policy);
         Ok(())
     }
 
@@ -797,8 +964,10 @@ impl Palaemon {
     /// Database errors.
     pub fn reset_tag(&self, policy: &str, volume: &str) -> Result<()> {
         let mut db = self.db.write();
+        self.capture_begin(&mut db);
         db.delete(format!("tag/{policy}/{volume}").as_bytes());
         db.commit()?;
+        self.capture_stash(&mut db, policy);
         Ok(())
     }
 
@@ -830,20 +999,7 @@ impl Palaemon {
     /// vector when the policy does not exist — a migration racing a delete
     /// must treat that as "nothing to move", not an error.
     pub fn export_policy_records(&self, name: &str) -> PolicyRecords {
-        let view = self.db_view();
-        let policy_key = format!("policy/{name}");
-        let Some(policy_raw) = view.get(policy_key.as_bytes()) else {
-            return Vec::new();
-        };
-        let mut records = vec![(policy_key.into_bytes(), policy_raw.to_vec())];
-        let owner_key = format!("owner/{name}");
-        if let Some(owner_raw) = view.get(owner_key.as_bytes()) {
-            records.push((owner_key.into_bytes(), owner_raw.to_vec()));
-        }
-        for prefix in policy_record_prefixes(name) {
-            records.extend(view.export_prefix(prefix.as_bytes()));
-        }
-        records
+        export_records_from(&self.db_view(), name)
     }
 
     /// Imports records produced by [`Self::export_policy_records`] on
@@ -877,6 +1033,11 @@ impl Palaemon {
             db.delete_prefix(prefix.as_bytes());
         }
         db.commit()?;
+        // The policy no longer lives here: its delta chain restarts and any
+        // captured-but-unforwarded changes are void (forwarding residue from
+        // before a purge would roll the new owner's records back).
+        self.policy_cursors.lock().remove(name);
+        self.pending_changes.lock().remove(name);
         Ok(())
     }
 
@@ -907,36 +1068,152 @@ impl Palaemon {
             .map(|s| s.policy.clone())
     }
 
-    /// Exports one policy's full record set as a digest-committed
-    /// [`PolicyDelta`] (see its docs for the counter-attested-snapshot
-    /// role). An empty record set means the policy does not exist — the
-    /// delta then *deletes* on apply.
-    pub fn export_policy_delta(&self, name: &str) -> PolicyDelta {
-        let records = self.export_policy_records(name);
-        PolicyDelta {
-            digest: PolicyDelta::digest_of(name, &records),
-            policy: name.to_string(),
-            records,
-        }
+    /// Drains the captured-but-unforwarded changes of `policy` (what every
+    /// mutation since the last drain wrote/deleted, coalesced per key).
+    /// `None` when nothing is pending — e.g. another forwarding thread
+    /// already drained the racing mutation, or capture is off.
+    pub fn take_policy_changes(&self, policy: &str) -> Option<ChangeSet> {
+        self.pending_changes.lock().remove(policy)
     }
 
-    /// Applies a [`PolicyDelta`] produced by another replica: verifies the
-    /// commitment digest, then replaces this instance's copy of the policy
-    /// with the delta's record set (purge + import; an empty delta is a
-    /// delete).
+    /// This replica's cursor for `policy`: the token of the last
+    /// replication delta it applied, if any.
+    pub fn policy_cursor(&self, policy: &str) -> Option<u64> {
+        self.policy_cursors.lock().get(policy).copied()
+    }
+
+    /// Records that this engine's own (locally applied) mutation left as
+    /// the delta carrying `token`: the forwarding router keeps the
+    /// primary's cursor in step with its followers, so chain completeness
+    /// is comparable across the whole group when a failover election runs.
+    pub fn advance_policy_cursor(&self, policy: &str, token: u64) {
+        self.policy_cursors.lock().insert(policy.to_string(), token);
+    }
+
+    /// Voids this replica's entire delta-chain state — every per-policy
+    /// cursor and any captured-but-unforwarded changes — ahead of a full
+    /// re-base (warm-copy catch-up): the incoming snapshots define the new
+    /// chain positions, and stale cursors from a previous life must not
+    /// veto them.
+    pub fn reset_replication_cursors(&self) {
+        self.policy_cursors.lock().clear();
+        self.pending_changes.lock().clear();
+    }
+
+    /// Exports one policy's full record set as a digest-committed
+    /// chain-resetting snapshot [`PolicyDelta`] carrying freshness token
+    /// `token`. An empty record set means the policy does not exist — the
+    /// delta then *deletes* on apply.
+    pub fn export_policy_snapshot(&self, name: &str, token: u64) -> PolicyDelta {
+        PolicyDelta::snapshot(name, self.export_policy_records(name), token)
+    }
+
+    /// Applies a [`PolicyDelta`] produced by another replica after
+    /// verifying its commitment digest.
+    ///
+    /// * A **snapshot** replaces this instance's copy of the policy
+    ///   wholesale (purge + import; an empty record set is a delete) and
+    ///   resets the policy's chain cursor to the delta's token.
+    /// * An **incremental** applies in place, but only when its `parent`
+    ///   equals this replica's cursor for the policy — a lost or reordered
+    ///   forward breaks the chain and is rejected, never silently applied.
     ///
     /// # Errors
-    /// [`PalaemonError::Db`] when the digest does not match the records
-    /// (corrupted or substituted delta); database commit failures.
+    /// [`PalaemonError::Db`] when the digest does not match the payload
+    /// (corrupted or substituted delta);
+    /// [`PalaemonError::DeltaOutOfSequence`] when an incremental does not
+    /// chain onto the cursor (the sender must resync with a snapshot);
+    /// database commit failures.
     pub fn apply_policy_delta(&self, delta: &PolicyDelta) -> Result<()> {
-        if PolicyDelta::digest_of(&delta.policy, &delta.records) != delta.digest {
+        if PolicyDelta::digest_of(&delta.policy, delta.token, delta.parent, &delta.payload)
+            != delta.digest
+        {
             return Err(PalaemonError::Db(format!(
                 "policy delta for '{}' failed its digest check",
                 delta.policy
             )));
         }
-        self.purge_policy_records(&delta.policy)?;
-        self.import_records(&delta.records)
+        match &delta.payload {
+            DeltaPayload::Snapshot { records } => {
+                // A snapshot may re-base the chain *forward* (resync,
+                // catch-up) but never backwards: a late or reordered
+                // snapshot carrying an older token must not roll this
+                // replica's records back under a fresh-looking facade.
+                if let Some(cursor) = self.policy_cursors.lock().get(&delta.policy).copied() {
+                    if delta.token < cursor {
+                        return Err(PalaemonError::DeltaOutOfSequence {
+                            policy: delta.policy.clone(),
+                            expected: cursor,
+                            got: delta.token,
+                        });
+                    }
+                }
+                self.purge_policy_records(&delta.policy)?;
+                self.import_records(records)?;
+                self.policy_cursors
+                    .lock()
+                    .insert(delta.policy.clone(), delta.token);
+                Ok(())
+            }
+            DeltaPayload::Incremental { puts, tombstones } => {
+                let mut db = self.db.write();
+                {
+                    let cursors = self.policy_cursors.lock();
+                    let cursor = cursors.get(&delta.policy).copied().unwrap_or(0);
+                    if cursor != delta.parent {
+                        return Err(PalaemonError::DeltaOutOfSequence {
+                            policy: delta.policy.clone(),
+                            expected: cursor,
+                            got: delta.parent,
+                        });
+                    }
+                }
+                for (key, value) in puts {
+                    db.put(key.clone(), value.clone());
+                }
+                for key in tombstones {
+                    db.delete(key);
+                }
+                db.commit()?;
+                self.policy_cursors
+                    .lock()
+                    .insert(delta.policy.clone(), delta.token);
+                // A follower must never re-forward what it applied: clear
+                // any capture residue for the policy (e.g. from a stint as
+                // a deposed primary).
+                self.pending_changes.lock().remove(&delta.policy);
+                Ok(())
+            }
+        }
+    }
+
+    /// One consistent cut for replica catch-up: every policy's record set
+    /// plus the session table, all exported from a **single** database
+    /// snapshot (the session table is captured while the db guard is still
+    /// held, so a concurrent mutation cannot land between the two) —
+    /// unlike per-policy exports, a warm copy built from this cut cannot
+    /// interleave with a racing mutation.
+    pub fn replication_snapshot(&self) -> (Vec<(String, PolicyRecords)>, Vec<SessionRecord>) {
+        let (view, sessions) = {
+            let db = self.db.read();
+            let view = db.view();
+            // `sessions` is a leaf lock: taking it under the db guard is
+            // within the documented order.
+            let sessions = self.export_sessions();
+            (view, sessions)
+        };
+        let names: Vec<String> = view
+            .scan_prefix(b"policy/")
+            .map(|(k, _)| String::from_utf8_lossy(&k[b"policy/".len()..]).into_owned())
+            .collect();
+        let policies = names
+            .into_iter()
+            .map(|name| {
+                let records = export_records_from(&view, &name);
+                (name, records)
+            })
+            .collect();
+        (policies, sessions)
     }
 
     /// Exports one session for mirroring onto a follower replica.
@@ -983,6 +1260,25 @@ impl Palaemon {
         self.next_session
             .fetch_max(record.session.0 + 1, Ordering::Relaxed);
     }
+}
+
+/// Exports every record belonging to policy `name` from one [`DbView`]
+/// snapshot (the body of [`Palaemon::export_policy_records`], reusable
+/// against a shared view so multi-policy exports stay consistent).
+fn export_records_from(view: &DbView, name: &str) -> PolicyRecords {
+    let policy_key = format!("policy/{name}");
+    let Some(policy_raw) = view.get(policy_key.as_bytes()) else {
+        return Vec::new();
+    };
+    let mut records = vec![(policy_key.into_bytes(), policy_raw.to_vec())];
+    let owner_key = format!("owner/{name}");
+    if let Some(owner_raw) = view.get(owner_key.as_bytes()) {
+        records.push((owner_key.into_bytes(), owner_raw.to_vec()));
+    }
+    for prefix in policy_record_prefixes(name) {
+        records.extend(view.export_prefix(prefix.as_bytes()));
+    }
+    records
 }
 
 /// The slash-terminated key prefixes holding a policy's non-singleton
@@ -1608,9 +1904,14 @@ services:
         // identically (secret material and expected tag included).
         let follower = new_tms();
         follower.register_platform(platform.id(), platform.qe_verifying_key());
-        let delta = primary.export_policy_delta("p1");
-        assert_eq!(delta.digest, PolicyDelta::digest_of("p1", &delta.records));
+        let delta = primary.export_policy_snapshot("p1", 7);
+        assert!(!delta.is_incremental());
+        assert_eq!(
+            delta.digest,
+            PolicyDelta::digest_of("p1", 7, 0, &delta.payload)
+        );
         follower.apply_policy_delta(&delta).unwrap();
+        assert_eq!(follower.policy_cursor("p1"), Some(7));
         let mirrored = follower
             .attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
             .unwrap();
@@ -1621,21 +1922,192 @@ services:
         assert_eq!(mirrored.secrets.get("token"), config.secrets.get("token"));
 
         // A corrupted delta is rejected before any record lands.
-        let mut evil = primary.export_policy_delta("p1");
-        evil.records[0].1.push(0xFF);
+        let mut evil = primary.export_policy_snapshot("p1", 8);
+        let DeltaPayload::Snapshot { records } = &mut evil.payload else {
+            panic!("snapshot expected");
+        };
+        records[0].1.push(0xFF);
         assert!(matches!(
             follower.apply_policy_delta(&evil),
             Err(PalaemonError::Db(_))
         ));
         assert_eq!(follower.policy_count(), 1, "rejected delta must not purge");
+        // So is one whose chain tokens were tampered with.
+        let mut shifted = primary.export_policy_snapshot("p1", 9);
+        shifted.token = 99;
+        assert!(matches!(
+            follower.apply_policy_delta(&shifted),
+            Err(PalaemonError::Db(_))
+        ));
 
         // An empty delta (deleted policy) purges on apply.
         let (_, owner) = client();
         primary.delete_policy("p1", &owner, None, &[]).unwrap();
-        let tombstone = primary.export_policy_delta("p1");
-        assert!(tombstone.records.is_empty());
+        let tombstone = primary.export_policy_snapshot("p1", 10);
+        assert!(matches!(
+            &tombstone.payload,
+            DeltaPayload::Snapshot { records } if records.is_empty()
+        ));
         follower.apply_policy_delta(&tombstone).unwrap();
         assert_eq!(follower.policy_count(), 0);
+    }
+
+    #[test]
+    fn incremental_deltas_chain_and_reject_gaps_and_replays() {
+        let (primary, platform, _, mre) = setup();
+        primary.enable_change_capture();
+        let follower = new_tms();
+        follower.register_platform(platform.id(), platform.qe_verifying_key());
+
+        // "p1" was created before capture was on: seed the follower with a
+        // snapshot (token 1), like a fresh replica's warm copy.
+        follower
+            .apply_policy_delta(&primary.export_policy_snapshot("p1", 1))
+            .unwrap();
+
+        // A tag push captures exactly one record — the tag row.
+        let binding = [6u8; 64];
+        let config = primary
+            .attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
+            .unwrap();
+        primary
+            .push_tag(
+                config.session,
+                "data",
+                Digest::from_bytes([0x11; 32]),
+                TagEvent::Sync,
+            )
+            .unwrap();
+        let changes = primary.take_policy_changes("p1").expect("captured");
+        assert_eq!(changes.len(), 1, "a tag push changes exactly the tag row");
+        assert!(primary.take_policy_changes("p1").is_none(), "drained");
+        let d2 = PolicyDelta::incremental("p1", changes, 2, 1);
+        assert!(d2.is_incremental());
+        assert!(d2.wire_size() < primary.export_policy_snapshot("p1", 2).wire_size());
+        follower.apply_policy_delta(&d2).unwrap();
+        assert_eq!(follower.policy_cursor("p1"), Some(2));
+        assert_eq!(
+            follower.export_policy_records("p1"),
+            primary.export_policy_records("p1"),
+            "incremental apply must converge to the primary's records"
+        );
+
+        // Replaying the same delta is out of sequence (cursor moved on).
+        assert!(matches!(
+            follower.apply_policy_delta(&d2),
+            Err(PalaemonError::DeltaOutOfSequence {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+
+        // A gap (delta 4 chaining from 3, which the follower never saw) is
+        // rejected and leaves the records untouched...
+        primary
+            .push_tag(
+                config.session,
+                "data",
+                Digest::from_bytes([0x22; 32]),
+                TagEvent::Sync,
+            )
+            .unwrap();
+        let lost = primary.take_policy_changes("p1").unwrap(); // never forwarded
+        primary
+            .push_tag(
+                config.session,
+                "data",
+                Digest::from_bytes([0x33; 32]),
+                TagEvent::Exit,
+            )
+            .unwrap();
+        let after_gap =
+            PolicyDelta::incremental("p1", primary.take_policy_changes("p1").unwrap(), 4, 3);
+        let before = follower.export_policy_records("p1");
+        assert!(matches!(
+            follower.apply_policy_delta(&after_gap),
+            Err(PalaemonError::DeltaOutOfSequence {
+                expected: 2,
+                got: 3,
+                ..
+            })
+        ));
+        assert_eq!(follower.export_policy_records("p1"), before);
+        drop(lost);
+        // ...until a snapshot resync re-bases the chain.
+        follower
+            .apply_policy_delta(&primary.export_policy_snapshot("p1", 4))
+            .unwrap();
+        assert_eq!(follower.policy_cursor("p1"), Some(4));
+        assert_eq!(
+            follower.export_policy_records("p1"),
+            primary.export_policy_records("p1")
+        );
+        // Snapshots re-base *forward* only: a stale (older-token) snapshot
+        // must never purge newer records.
+        assert!(matches!(
+            follower.apply_policy_delta(&primary.export_policy_snapshot("p1", 3)),
+            Err(PalaemonError::DeltaOutOfSequence {
+                expected: 4,
+                got: 3,
+                ..
+            })
+        ));
+        assert_eq!(follower.policy_cursor("p1"), Some(4));
+
+        // A delete travels as tombstones and applies in place.
+        let (_, owner) = client();
+        primary.delete_policy("p1", &owner, None, &[]).unwrap();
+        let del = primary.take_policy_changes("p1").unwrap();
+        follower
+            .apply_policy_delta(&PolicyDelta::incremental("p1", del, 5, 4))
+            .unwrap();
+        assert_eq!(follower.policy_count(), 0);
+
+        // Purging resets the chain: cursors and pending changes are void.
+        assert_eq!(follower.policy_cursor("p1"), Some(5));
+        follower.purge_policy_records("p1").unwrap();
+        assert_eq!(follower.policy_cursor("p1"), None);
+    }
+
+    #[test]
+    fn reset_replication_cursors_clears_the_chain_veto() {
+        let (primary, ..) = setup();
+        let follower = new_tms();
+        follower
+            .apply_policy_delta(&primary.export_policy_snapshot("p1", 9))
+            .unwrap();
+        // An older snapshot is vetoed by the cursor...
+        assert!(matches!(
+            follower.apply_policy_delta(&primary.export_policy_snapshot("p1", 3)),
+            Err(PalaemonError::DeltaOutOfSequence { .. })
+        ));
+        // ...until a full re-base (warm-copy catch-up) voids chain state.
+        follower.reset_replication_cursors();
+        follower
+            .apply_policy_delta(&primary.export_policy_snapshot("p1", 3))
+            .unwrap();
+        assert_eq!(follower.policy_cursor("p1"), Some(3));
+    }
+
+    #[test]
+    fn replication_snapshot_is_one_consistent_cut() {
+        let (tms, platform, owner, mre) = setup();
+        tms.create_policy(&owner, simple_policy("p2", mre), None, &[])
+            .unwrap();
+        let binding = [8u8; 64];
+        let config = tms
+            .attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
+            .unwrap();
+        let (policies, sessions) = tms.replication_snapshot();
+        let names: Vec<&str> = policies.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["p1", "p2"]);
+        for (name, records) in &policies {
+            assert_eq!(records, &tms.export_policy_records(name));
+        }
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].session, config.session);
+        assert_eq!(sessions[0].policy, "p1");
     }
 
     #[test]
@@ -1661,7 +2133,7 @@ services:
         let follower = new_tms();
         follower.register_platform(platform.id(), platform.qe_verifying_key());
         follower
-            .apply_policy_delta(&primary.export_policy_delta("p1"))
+            .apply_policy_delta(&primary.export_policy_snapshot("p1", 1))
             .unwrap();
         follower.import_session(&record);
         follower

@@ -21,7 +21,7 @@
 
 pub mod store;
 
-pub use store::{Db, DbError, DbStats, DbView};
+pub use store::{ChangeSet, Db, DbError, DbStats, DbView};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, DbError>;

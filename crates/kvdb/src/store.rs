@@ -95,6 +95,70 @@ enum Op {
     Delete(Vec<u8>),
 }
 
+/// Owned `(key, value)` records a write span put (half of
+/// [`ChangeSet::into_parts`]).
+pub type Puts = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Keys a write span deleted (the other half of
+/// [`ChangeSet::into_parts`]).
+pub type Tombstones = Vec<Vec<u8>>;
+
+/// The exact keys a span of writes touched: puts (with their final value)
+/// and tombstones (deleted keys), coalesced per key — a later write to the
+/// same key replaces the earlier entry, so applying a `ChangeSet` in any
+/// order reproduces the final state of the span.
+///
+/// Captured between [`Db::begin_capture`] and [`Db::take_changes`]; this is
+/// what lets replication ship *what a commit changed* instead of
+/// re-exporting whole prefixes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChangeSet {
+    /// `key -> Some(value)` for a put, `key -> None` for a delete.
+    changes: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+}
+
+impl ChangeSet {
+    /// Records a put (replacing any earlier entry for the key).
+    pub fn record_put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.changes.insert(key, Some(value));
+    }
+
+    /// Records a delete (replacing any earlier entry for the key).
+    pub fn record_delete(&mut self, key: Vec<u8>) {
+        self.changes.insert(key, None);
+    }
+
+    /// Folds `later` into `self`: entries of `later` win per key, as if the
+    /// two captured spans had run back to back.
+    pub fn merge(&mut self, later: ChangeSet) {
+        self.changes.extend(later.changes);
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of distinct keys touched.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Splits into `(puts, tombstones)` — the wire shape of an incremental
+    /// replication delta. Keys are disjoint across the two lists.
+    pub fn into_parts(self) -> (Puts, Tombstones) {
+        let mut puts = Vec::new();
+        let mut tombstones = Vec::new();
+        for (key, value) in self.changes {
+            match value {
+                Some(value) => puts.push((key, value)),
+                None => tombstones.push(key),
+            }
+        }
+        (puts, tombstones)
+    }
+}
+
 /// Runtime statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DbStats {
@@ -117,6 +181,8 @@ pub struct Db {
     /// hot path moves key and value into the table instead of cloning them).
     pending_buf: Vec<u8>,
     pending_count: u32,
+    /// Active write-batch capture, if a caller asked for one.
+    capture: Option<ChangeSet>,
     meta: Meta,
     commits: u64,
     checkpoints: u64,
@@ -196,6 +262,7 @@ impl Db {
             table: Arc::new(BTreeMap::new()),
             pending_buf: Vec::new(),
             pending_count: 0,
+            capture: None,
             meta,
             commits: 0,
             checkpoints: 0,
@@ -252,6 +319,7 @@ impl Db {
             table: Arc::new(table),
             pending_buf: Vec::new(),
             pending_count: 0,
+            capture: None,
             meta,
             commits: 0,
             checkpoints: 0,
@@ -283,6 +351,9 @@ impl Db {
         e.put_u8(1).put_bytes(&key).put_bytes(&value);
         self.pending_buf.extend_from_slice(e.as_bytes());
         self.pending_count += 1;
+        if let Some(capture) = &mut self.capture {
+            capture.record_put(key.clone(), value.clone());
+        }
         Arc::make_mut(&mut self.table).insert(key, value);
     }
 
@@ -292,7 +363,29 @@ impl Db {
         e.put_u8(2).put_bytes(key);
         self.pending_buf.extend_from_slice(e.as_bytes());
         self.pending_count += 1;
+        if let Some(capture) = &mut self.capture {
+            capture.record_delete(key.to_vec());
+        }
         Arc::make_mut(&mut self.table).remove(key);
+    }
+
+    /// Starts (or restarts) write-batch capture: every `put`/`delete` from
+    /// here on is also recorded into a [`ChangeSet`] until
+    /// [`Db::take_changes`] collects it. Restarting discards anything
+    /// captured but not yet taken.
+    ///
+    /// Capture is how a caller learns *exactly which keys a commit wrote or
+    /// deleted* — replication ships that instead of re-exporting whole
+    /// prefixes. The extra clone per write only happens while a capture is
+    /// active; the default path is unchanged.
+    pub fn begin_capture(&mut self) {
+        self.capture = Some(ChangeSet::default());
+    }
+
+    /// Ends the active capture and returns what it recorded (empty when no
+    /// capture was active).
+    pub fn take_changes(&mut self) -> ChangeSet {
+        self.capture.take().unwrap_or_default()
     }
 
     /// Number of keys currently visible.
@@ -795,6 +888,66 @@ mod tests {
             assert_eq!(r.join().unwrap(), 64);
         }
         assert_eq!(db.get(b"k0"), Some(&[0xFF][..]));
+    }
+
+    #[test]
+    fn capture_records_exactly_the_written_keys() {
+        let (_, mut db) = fresh();
+        db.put(b"before".as_slice(), b"0".as_slice());
+        db.begin_capture();
+        db.put(b"tag/p/v".as_slice(), b"t1".as_slice());
+        db.put(b"tag/p/v".as_slice(), b"t2".as_slice()); // coalesces
+        db.put(b"policy/p".as_slice(), b"pol".as_slice());
+        db.delete(b"secretv/p/s");
+        db.commit().unwrap();
+        let changes = db.take_changes();
+        assert_eq!(changes.len(), 3, "same-key writes must coalesce");
+        let (puts, tombstones) = changes.into_parts();
+        assert_eq!(
+            puts,
+            vec![
+                (b"policy/p".to_vec(), b"pol".to_vec()),
+                (b"tag/p/v".to_vec(), b"t2".to_vec()),
+            ]
+        );
+        assert_eq!(tombstones, vec![b"secretv/p/s".to_vec()]);
+        // Capture is one-shot: nothing recorded after the take.
+        db.put(b"after".as_slice(), b"1".as_slice());
+        assert!(db.take_changes().is_empty());
+    }
+
+    #[test]
+    fn capture_covers_delete_prefix_and_restart_discards() {
+        let (_, mut db) = fresh();
+        db.put(b"tag/p/a".as_slice(), b"1".as_slice());
+        db.put(b"tag/p/b".as_slice(), b"2".as_slice());
+        db.begin_capture();
+        db.delete_prefix(b"tag/p/");
+        let first = db.take_changes();
+        let (puts, tombstones) = first.into_parts();
+        assert!(puts.is_empty());
+        assert_eq!(tombstones, vec![b"tag/p/a".to_vec(), b"tag/p/b".to_vec()]);
+        // Restarting a capture discards the uncollected recording.
+        db.begin_capture();
+        db.put(b"x".as_slice(), b"1".as_slice());
+        db.begin_capture();
+        db.put(b"y".as_slice(), b"2".as_slice());
+        let (puts, _) = db.take_changes().into_parts();
+        assert_eq!(puts, vec![(b"y".to_vec(), b"2".to_vec())]);
+    }
+
+    #[test]
+    fn changeset_merge_later_entry_wins() {
+        let mut first = ChangeSet::default();
+        first.record_put(b"k".to_vec(), b"v1".to_vec());
+        first.record_delete(b"gone".to_vec());
+        let mut second = ChangeSet::default();
+        second.record_delete(b"k".to_vec());
+        second.record_put(b"gone".to_vec(), b"back".to_vec());
+        first.merge(second);
+        let (puts, tombstones) = first.into_parts();
+        assert_eq!(puts, vec![(b"gone".to_vec(), b"back".to_vec())]);
+        assert_eq!(tombstones, vec![b"k".to_vec()]);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use palaemon::cluster::{
     kill_server_at, strict_shard, ClusterError, ClusterRouter, FaultKind, FaultPlan, PlannedFault,
-    ShardId,
+    ReadPreference, ReplicationMode, ShardId,
 };
 use palaemon::core::counterfile::{BatchedCounter, MemFileCounter};
 use palaemon::core::policy::Policy;
@@ -159,14 +159,16 @@ fn attest(router: &ClusterRouter, platform: &Platform, policy: &str) -> SessionI
 /// writer + reader traffic. The main thread quarantines the primary of
 /// *every* shard mid-traffic. No read may miss, no read may observe a
 /// version older than the last acknowledged one, and after the dust
-/// settles every policy serves its last acked version.
-#[test]
-fn quarantining_any_primary_under_live_traffic_loses_no_acked_writes() {
+/// settles every policy serves its last acked version. Runs under both
+/// read placements: primary-only, and quorum reads fanned across the
+/// freshness-checked followers.
+fn chaos_under_live_traffic(preference: ReadPreference) {
     const POLICIES: usize = 12;
     const READERS: usize = 3;
 
     let platform = Platform::new("fo-host", Microcode::PostForeshadow);
     let router = Arc::new(replicated_cluster(&platform, 2, 3, 2));
+    router.set_read_preference(preference);
     let names: Vec<String> = (0..POLICIES).map(|i| format!("ha-{i}")).collect();
     for name in &names {
         create(&router, name, 1);
@@ -245,7 +247,227 @@ fn quarantining_any_primary_under_live_traffic_loses_no_acked_writes() {
         );
         assert_eq!(shard.replicas, 3);
         assert!(shard.failovers >= 1);
+        // The steady-state forward path must have run incrementally.
+        assert!(shard.replication.incremental_deltas > 0);
+        if preference == ReadPreference::Quorum {
+            assert!(
+                shard.replication.reads_follower > 0,
+                "{}: quorum mode must spread reads onto followers",
+                shard.id
+            );
+        }
     }
+}
+
+#[test]
+fn quarantining_any_primary_under_live_traffic_loses_no_acked_writes() {
+    chaos_under_live_traffic(ReadPreference::Primary);
+}
+
+/// Same chaos, but every read fans out across the quorum: the freshness
+/// check (follower token vs. group watermark) must keep the "never older
+/// than acked" bar even while primaries are being pulled.
+#[test]
+fn quorum_reads_lose_no_acked_writes_under_chaos() {
+    chaos_under_live_traffic(ReadPreference::Quorum);
+}
+
+/// An incremental delta lost on the wire *without the router noticing*
+/// (no demotion — unlike a dropped forward) leaves a gap in the victim's
+/// chain. The next forward must surface it and heal with a snapshot
+/// resync; at no point may the group silently diverge, and the victim can
+/// still be elected after the resync equalizes it.
+#[test]
+fn lost_incremental_heals_by_snapshot_resync_never_diverges() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 2,
+        kind: FaultKind::LoseIncremental(2),
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+
+    create(&router, "li", 1); // op 1: everyone at v1
+    update(&router, "li", 2).unwrap(); // op 2: follower 2's copy is lost silently
+    assert!(plan.all_fired());
+    let status = router.replica_status(id).unwrap();
+    assert!(
+        status.replicas[2].in_quorum,
+        "a silent wire loss must not demote (the router never saw it fail)"
+    );
+    assert!(
+        status.replicas[2].applied < status.replicas[1].applied,
+        "the gap must show in the freshness tokens"
+    );
+
+    // Op 3: follower 2 rejects the out-of-sequence incremental (its chain
+    // is at v1, the delta chains from v2) and is resynced with a snapshot.
+    update(&router, "li", 3).unwrap();
+    let repl = router.stats().shards[0].replication;
+    assert!(repl.sequence_rejections >= 1, "{repl:?}");
+    assert_eq!(repl.snapshot_resyncs, 1, "{repl:?}");
+
+    // No divergence anywhere: every replica holds identical records.
+    let engines = router.replica_engines(id);
+    let reference = engines[0].export_policy_records("li");
+    for engine in &engines[1..] {
+        assert_eq!(engine.export_policy_records("li"), reference);
+    }
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.replicas[2].applied, status.replicas[1].applied);
+
+    // The healed follower is a first-class election candidate again.
+    assert!(router.quarantine(id, "chaos 1"));
+    assert!(router.quarantine(id, "chaos 2"));
+    assert_eq!(router.replica_status(id).unwrap().primary, 2);
+    assert_eq!(read_version(&router, "li"), 3);
+}
+
+/// A reordered incremental — delivered to one follower *after* its
+/// successor — must be rejected by the chain check on both ends: the
+/// successor triggers a snapshot resync, and the late stale delta must
+/// never overwrite the newer state it arrives on top of.
+#[test]
+fn reordered_incremental_is_rejected_and_never_rolls_back() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 2,
+        kind: FaultKind::ReorderIncremental(2),
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+
+    create(&router, "ri", 1); // op 1
+    update(&router, "ri", 2).unwrap(); // op 2: v2's delta is held back for follower 2
+    assert!(plan.all_fired());
+    assert!(
+        router.replica_status(id).unwrap().replicas[2].applied
+            < router.replica_status(id).unwrap().replicas[1].applied
+    );
+
+    // Op 3 reaches follower 2 *before* the held v2 delta: the v3 delta is
+    // out of sequence (snapshot resync to v3), and the stale v2 delta then
+    // arrives late — it must be rejected, not roll the follower back.
+    update(&router, "ri", 3).unwrap();
+    let repl = router.stats().shards[0].replication;
+    assert_eq!(repl.snapshot_resyncs, 1, "{repl:?}");
+    assert!(
+        repl.sequence_rejections >= 2,
+        "both the out-of-order successor and the stale straggler must be \
+         rejected by the chain check: {repl:?}"
+    );
+    let engines = router.replica_engines(id);
+    let reference = engines[0].export_policy_records("ri");
+    for engine in &engines[1..] {
+        assert_eq!(engine.export_policy_records("ri"), reference);
+    }
+
+    // Elect the reorder victim: it must serve v3, not the stale v2.
+    assert!(router.quarantine(id, "chaos 1"));
+    assert!(router.quarantine(id, "chaos 2"));
+    assert_eq!(router.replica_status(id).unwrap().primary, 2);
+    assert_eq!(read_version(&router, "ri"), 3);
+    // After repairing the others, writes flow again through the victim.
+    assert!(router.reinstate(id));
+    update(&router, "ri", 4).unwrap();
+    assert_eq!(read_version(&router, "ri"), 4);
+}
+
+/// Regression: deleting a policy leaves its entry in the group's delta
+/// chain, but a follower caught up *after* the delete holds nothing for
+/// that policy — which IS the current state. The dead entry must not fail
+/// the follower's chain-completeness (its election fitness) forever.
+#[test]
+fn deleted_policy_does_not_block_failover_after_catch_up() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    create(&router, "dead", 1); // op 1
+    create(&router, "alive", 1); // op 2
+    router
+        .handle(TmsRequest::DeletePolicy {
+            name: "dead".into(),
+            client: owner(),
+            approval: None,
+            votes: Vec::new(),
+        })
+        .unwrap(); // op 3: chain keeps an entry for "dead"
+
+    // Demote follower 2, then reinstate it: catch-up resets its cursors
+    // and re-seeds from the live snapshot — which no longer contains
+    // "dead".
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 4,
+        kind: FaultKind::DropForwardToReplica(2),
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+    update(&router, "alive", 2).unwrap(); // op 4
+    assert!(!router.replica_status(id).unwrap().replicas[2].in_quorum);
+    assert!(router.reinstate(id));
+
+    // The caught-up follower must be a first-class election candidate:
+    // pull the other two replicas and it has to take the seat (before the
+    // fix the dead chain entry made it chain-incomplete and the group
+    // went dark instead).
+    assert!(router.quarantine(id, "chaos 1"));
+    assert!(router.quarantine(id, "chaos 2"));
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.primary, 2, "caught-up follower must be electable");
+    assert!(
+        !status.replicas[2].quarantined,
+        "the group must not go dark while a synced follower survives"
+    );
+    assert_eq!(read_version(&router, "alive"), 2);
+}
+
+/// Snapshot-mode reordering: a *snapshot* delta delivered late must be
+/// rejected by the token check — snapshots may re-base a replica's chain
+/// forward (resync, catch-up) but a stale one must never purge newer
+/// records and roll the follower back behind a fresh-looking token.
+#[test]
+fn reordered_snapshot_never_rolls_back() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    router.set_replication_mode(ReplicationMode::Snapshot);
+    let id = ShardId(0);
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 2,
+        kind: FaultKind::ReorderIncremental(2),
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+
+    create(&router, "rs", 1); // op 1
+    update(&router, "rs", 2).unwrap(); // op 2: v2's snapshot held for follower 2
+    assert!(plan.all_fired());
+    // Op 3: follower 2 receives v3's snapshot first (a forward re-base —
+    // snapshots carry the full record set, so no resync is needed), then
+    // the stale v2 snapshot arrives late and must be refused outright.
+    update(&router, "rs", 3).unwrap();
+    let repl = router.stats().shards[0].replication;
+    assert!(
+        repl.sequence_rejections >= 1,
+        "the stale snapshot must be rejected by the token check: {repl:?}"
+    );
+    let engines = router.replica_engines(id);
+    let reference = engines[0].export_policy_records("rs");
+    for engine in &engines[1..] {
+        assert_eq!(
+            engine.export_policy_records("rs"),
+            reference,
+            "a late snapshot must never roll a follower back"
+        );
+    }
+    // The reorder victim, elected, serves v3 — not the stale v2.
+    assert!(router.quarantine(id, "chaos 1"));
+    assert!(router.quarantine(id, "chaos 2"));
+    assert_eq!(router.replica_status(id).unwrap().primary, 2);
+    assert_eq!(read_version(&router, "rs"), 3);
 }
 
 /// Crash-after-quorum: the write was acknowledged, so the failover must

@@ -6,7 +6,8 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use palaemon::cluster::{
-    strict_shard, ClusterRouter, FaultKind, FaultPlan, HashRing, PlannedFault, ShardId,
+    strict_shard, ClusterRouter, FaultKind, FaultPlan, HashRing, PlannedFault, ReadPreference,
+    ShardId,
 };
 use palaemon::crypto::aead::AeadKey;
 use palaemon::crypto::merkle::MerkleTree;
@@ -384,6 +385,222 @@ fn failover_op_strategy() -> impl Strategy<Value = FailoverOp> {
         Just(FailoverOp::Reinstate),
         Just(FailoverOp::Reinstate),
     ]
+}
+
+/// One step of a randomized schedule for the incremental-delta data plane
+/// (R=3, write-quorum 2, quorum reads on).
+#[derive(Debug, Clone, Copy)]
+enum DeltaOp {
+    /// Publish the next version of policy `0..2`.
+    Update(u8),
+    /// Lose the next mutation's incremental to follower `0..3` *silently*
+    /// (no demotion — the chain check must catch the gap later).
+    Lose(u8),
+    /// Deliver the next mutation's delta to follower `0..3` out of order
+    /// (after its successor).
+    Reorder(u8),
+    /// Quarantine the current primary.
+    CrashPrimary,
+    /// Catch every quarantined/lagging replica up and rejoin.
+    Reinstate,
+}
+
+fn delta_op_strategy() -> impl Strategy<Value = DeltaOp> {
+    prop_oneof![
+        (0u8..2).prop_map(DeltaOp::Update),
+        (0u8..2).prop_map(DeltaOp::Update),
+        (0u8..2).prop_map(DeltaOp::Update),
+        (0u8..2).prop_map(DeltaOp::Update),
+        (0u8..3).prop_map(DeltaOp::Lose),
+        (0u8..3).prop_map(DeltaOp::Reorder),
+        Just(DeltaOp::CrashPrimary),
+        Just(DeltaOp::Reinstate),
+        Just(DeltaOp::Reinstate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary interleavings of updates, silently lost incrementals,
+    /// reordered incrementals, primary crashes and repairs — with reads in
+    /// quorum mode, fanned across the freshness-checked followers:
+    ///
+    /// 1. a quorum read never returns a version older than the last
+    ///    quorum-acked write, no matter which replica served it;
+    /// 2. a lost or reordered incremental never causes silent divergence:
+    ///    once the chain advances past the damage, every in-quorum replica
+    ///    holds byte-identical records (gaps are healed by snapshot
+    ///    resyncs, which the stats must show whenever a chain actually
+    ///    broke).
+    #[test]
+    fn quorum_reads_never_stale_and_incrementals_never_diverge(
+        ops in proptest::collection::vec(delta_op_strategy(), 1..40)
+    ) {
+        use palaemon::core::counterfile::MemFileCounter;
+        use palaemon::core::policy::Policy;
+        use palaemon::core::server::{TmsRequest, TmsResponse};
+        use palaemon::core::tms::Palaemon;
+        use palaemon::crypto::aead::AeadKey;
+        use palaemon::crypto::sig::SigningKey;
+        use palaemon::crypto::Digest;
+        use palaemon::db::Db;
+        use shielded_fs::store::MemStore;
+        use std::sync::Arc;
+
+        const REPLICAS: u32 = 3;
+        // Two policies: a silently lost delta for one policy must stay
+        // visible to the freshness check even after deltas for the other
+        // policy advance the victim's global applied token.
+        const POLICIES: u8 = 2;
+        let owner = SigningKey::from_seed(b"delta-owner").verifying_key();
+        let versioned = |p: u8, version: u64| {
+            Policy::parse(&format!(
+                "name: delta-{p}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+                 env:\n      VERSION: \"{version}\"\nvolumes: []\n",
+                Digest::from_bytes([0xD1; 32]).to_hex()
+            ))
+            .unwrap()
+        };
+
+        let id = ShardId(0);
+        let router = ClusterRouter::new(77, 32);
+        let set: Vec<_> = (0..REPLICAS)
+            .map(|r| {
+                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32]));
+                let engine = Arc::new(Palaemon::new(
+                    db,
+                    SigningKey::from_seed(format!("delta-{r}").as_bytes()),
+                    Digest::ZERO,
+                    u64::from(r),
+                ));
+                let (server, counter) = strict_shard(engine, MemFileCounter::new());
+                (server, Some(counter))
+            })
+            .collect();
+        router.add_replicated_shard(id, set, 2).unwrap();
+        router.set_read_preference(ReadPreference::Quorum);
+        let plan = FaultPlan::new([]);
+        router.set_fault_plan(Arc::clone(&plan));
+
+        let update = |p: u8, version: u64| {
+            router.handle(TmsRequest::UpdatePolicy {
+                client: owner,
+                policy: Box::new(versioned(p, version)),
+                approval: None,
+                votes: Vec::new(),
+            })
+        };
+        let mut version = 1u64;
+        let mut acked = [1u64; POLICIES as usize];
+        for p in 0..POLICIES {
+            router
+                .handle(TmsRequest::CreatePolicy {
+                    owner,
+                    policy: Box::new(versioned(p, version)),
+                    approval: None,
+                    votes: Vec::new(),
+                })
+                .unwrap();
+        }
+
+        for op in ops {
+            match op {
+                DeltaOp::Update(p) => {
+                    version += 1;
+                    if update(p, version).is_ok() {
+                        acked[p as usize] = version;
+                    }
+                }
+                DeltaOp::Lose(r) => {
+                    let next = router.replica_status(id).unwrap().ops + 1;
+                    plan.schedule(PlannedFault {
+                        shard: id,
+                        op: next,
+                        kind: FaultKind::LoseIncremental(r as usize),
+                    });
+                }
+                DeltaOp::Reorder(r) => {
+                    let next = router.replica_status(id).unwrap().ops + 1;
+                    plan.schedule(PlannedFault {
+                        shard: id,
+                        op: next,
+                        kind: FaultKind::ReorderIncremental(r as usize),
+                    });
+                }
+                DeltaOp::CrashPrimary => {
+                    router.quarantine(id, "prop: crash");
+                }
+                DeltaOp::Reinstate => {
+                    router.reinstate(id);
+                }
+            }
+
+            let status = router.replica_status(id).unwrap();
+            if status.replicas[status.primary].quarantined {
+                continue; // group dark until a repair
+            }
+            // Invariant 1: several reads of both policies, so the rotation
+            // crosses every eligible replica — none may serve older than
+            // that policy's last acked write.
+            for p in 0..POLICIES {
+                for _ in 0..REPLICAS as usize {
+                    match router.handle(TmsRequest::ReadPolicy {
+                        name: format!("delta-{p}"),
+                        client: owner,
+                        approval: None,
+                        votes: Vec::new(),
+                    }) {
+                        Ok(TmsResponse::Policy(policy)) => {
+                            let seen: u64 = policy.services[0].env["VERSION"].parse().unwrap();
+                            prop_assert!(
+                                seen >= acked[p as usize],
+                                "quorum read of delta-{p} saw v{seen} after v{} was acked",
+                                acked[p as usize]
+                            );
+                        }
+                        other => prop_assert!(false, "routable group must serve: {other:?}"),
+                    }
+                }
+            }
+        }
+
+        // Drain the schedule: repair everything, then force more chained
+        // mutations. Faults are always armed for the *next* op at
+        // scheduling time, so only the first drain update can still be hit
+        // by one — every later one forwards cleanly, surfacing and healing
+        // any remaining gap or held-back delta on both policy chains.
+        router.reinstate(id);
+        version += 1;
+        let _ = update(0, version); // may be the victim of a still-armed fault
+        for p in [1u8, 0] {
+            version += 1;
+            prop_assert!(update(p, version).is_ok(), "the clean drain update must ack");
+            acked[p as usize] = version;
+        }
+        let status = router.replica_status(id).unwrap();
+        prop_assert!(status.replicas.iter().all(|r| r.in_quorum));
+
+        // Invariant 2: no silent divergence — every replica identical.
+        let engines = router.replica_engines(id);
+        for p in 0..POLICIES {
+            let name = format!("delta-{p}");
+            let reference = engines[status.primary].export_policy_records(&name);
+            for (k, engine) in engines.iter().enumerate() {
+                prop_assert!(
+                    engine.export_policy_records(&name) == reference,
+                    "replica {k} diverged from the primary on {name}"
+                );
+            }
+        }
+        let repl = router.stats().shards[0].replication;
+        prop_assert!(repl.incremental_deltas > 0, "data plane must run incrementally");
+        // Every chain break was healed by an explicit snapshot resync.
+        prop_assert!(
+            repl.snapshot_resyncs <= repl.sequence_rejections,
+            "resyncs only happen against a detected break: {repl:?}"
+        );
+    }
 }
 
 proptest! {
