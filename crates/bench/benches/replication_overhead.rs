@@ -1,7 +1,7 @@
 //! What does synchronous replication cost, and what do incremental deltas
 //! and quorum reads buy back?
 //!
-//! Four measurements over one replicated ring arc whose replicas each sit
+//! Five measurements over one replicated ring arc whose replicas each sit
 //! on a database with a modelled ~150 µs durable-media flush (the same
 //! scaled-latency technique as `cluster_scaling`):
 //!
@@ -18,7 +18,12 @@
 //!    request at a time at a fixed cost): `ReadPreference::Primary` pins
 //!    every read to one replica, `ReadPreference::Quorum` fans them across
 //!    the freshness-checked group. Asserts quorum ≥ 2× primary-only.
-//! 4. **Failover window** — read throughput against an R=3 group while
+//! 4. **Attestation scaling** — `AttestService` throughput at R=3 vs R=1
+//!    under the same capacity model: with the session-id space partitioned
+//!    into per-replica residue classes, any in-quorum replica seats an
+//!    attestation and mirrors the session group-wide. Asserts R=3 ≥ 1.5×
+//!    the R=1 rate.
+//! 5. **Failover window** — read throughput against an R=3 group while
 //!    its primary is quarantined mid-run: reads must keep succeeding
 //!    before, across and after the failover (zero misses), and the acked
 //!    write floor must survive.
@@ -305,6 +310,58 @@ fn run_read_scaling(window_ms: u64, platform: &Platform) -> (f64, f64, u64, u64)
     (rates[0], rates[1], split.0, split.1)
 }
 
+/// `AttestService` throughput under the modelled per-replica service
+/// cost: R=1 (every attestation seats on the lone replica) vs R=3 with
+/// quorum placement (any in-quorum replica seats it, allocating from its
+/// own session-id residue class, and the session mirrors group-wide).
+/// Returns (r1, r3) attestations/s plus the R=3 seat split
+/// (follower, primary).
+fn run_attest_scaling(window_ms: u64, platform: &Platform) -> (f64, f64, u64, u64) {
+    /// See `run_read_scaling`: a capacity model — one request occupies a
+    /// replica's gate for this long.
+    const SERVICE_COST: Duration = Duration::from_micros(100);
+    let owner = SigningKey::from_seed(b"ro-owner").verifying_key();
+    let mut rates = Vec::new();
+    let mut split = (0, 0);
+    for replicas in [1u32, 3] {
+        let router = Arc::new(build_fast_group(replicas, platform, Some(SERVICE_COST)));
+        router.set_read_preference(ReadPreference::Quorum);
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner,
+                policy: Box::new(policy_with_payload("as_tenant")),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .expect("create");
+        let stop = Arc::new(AtomicBool::new(false));
+        let attests = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                let router = Arc::clone(&router);
+                let stop = Arc::clone(&stop);
+                let attests = Arc::clone(&attests);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        attest(&router, platform, "as_tenant");
+                        attests.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(window_ms));
+            stop.store(true, Ordering::Relaxed);
+        });
+        let elapsed = start.elapsed();
+        rates.push(attests.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64().max(1e-9));
+        if replicas == 3 {
+            let repl = router.stats().shards[0].replication;
+            split = (repl.attests_follower, repl.attests_primary);
+        }
+    }
+    (rates[0], rates[1], split.0, split.1)
+}
+
 fn attest(router: &ClusterRouter, platform: &Platform, policy: &str) -> SessionId {
     let binding = [0u8; 64];
     let report = create_report(platform, Digest::from_bytes(MRE), binding);
@@ -510,6 +567,25 @@ fn main() {
     assert!(
         follower_reads > 0,
         "quorum mode must actually serve from followers"
+    );
+
+    let (r1_aps, r3_aps, att_follower, att_primary) = run_attest_scaling(read_window, &platform);
+    let att_scale = r3_aps / r1_aps.max(1.0);
+    println!("\n  attestation scaling (partitioned session-id space, mirrored sessions):");
+    println!("    R=1 : {r1_aps:>9.0} attestations/s (single seat)");
+    println!(
+        "    R=3 : {r3_aps:>9.0} attestations/s \
+         ({att_follower} follower-seated / {att_primary} primary-seated)"
+    );
+    println!("    => attestation serves {att_scale:.2}x the single-replica rate");
+    assert!(
+        r3_aps >= 1.5 * r1_aps,
+        "attestation at R=3 must reach >= 1.5x the R=1 rate \
+         ({r3_aps:.0} vs {r1_aps:.0} attestations/s)"
+    );
+    assert!(
+        att_follower > 0,
+        "quorum placement must actually seat attestations on followers"
     );
 
     let (rps, done, failovers) = run_failover_window(window_ms, &platform);

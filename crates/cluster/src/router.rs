@@ -48,8 +48,12 @@
 //! the group's freshness watermark (the token of the last forwarded
 //! mutation), so a lagging or rolled-back follower is never read — those
 //! reads, and anything a follower cannot answer (board-approval nonces,
-//! attestation, every mutation), fall back to the primary. Read throughput
-//! per arc then scales with R instead of being pinned to the primary.
+//! every mutation), fall back to the primary. `Attest` is fanned out the
+//! same way: the session-id space is partitioned into per-replica residue
+//! classes (`partition_session_ids`), so any fresh in-quorum replica can
+//! seat `AttestService` and mirror the session it created to the rest of
+//! the group. Read *and* attestation throughput per arc then scale with R
+//! instead of being pinned to the primary.
 //!
 //! ## Failover (freshness by counter value)
 //! When a primary is quarantined — by the health monitor or an operator —
@@ -112,7 +116,7 @@ use std::sync::Arc;
 
 use palaemon_core::counterfile::{BatchedCounter, MonotonicCounter};
 use palaemon_core::server::{ServerStats, TmsRequest, TmsResponse, TmsServer};
-use palaemon_core::tms::{Palaemon, PolicyDelta, PolicyRecords, SessionId};
+use palaemon_core::tms::{Palaemon, PolicyDelta, PolicyRecords, ReplicationSnapshot, SessionId};
 use palaemon_core::PalaemonError;
 use parking_lot::{Mutex, RwLock};
 
@@ -242,6 +246,11 @@ pub struct ReplicationStats {
     pub reads_primary: u64,
     /// `ReadPolicy`/`ReadTag` reads served by in-quorum followers.
     pub reads_follower: u64,
+    /// `AttestService` sessions seated on the primary.
+    pub attests_primary: u64,
+    /// `AttestService` sessions seated on in-quorum followers (scale-out
+    /// attestation: each replica allocates from its own session-id class).
+    pub attests_follower: u64,
     /// Times the freshness check skipped a follower whose applied token
     /// lagged the group watermark (the read went elsewhere).
     pub freshness_rejections: u64,
@@ -265,6 +274,8 @@ pub struct ReplicationStats {
 struct ReplTelemetry {
     reads_primary: AtomicU64,
     reads_follower: AtomicU64,
+    attests_primary: AtomicU64,
+    attests_follower: AtomicU64,
     freshness_rejections: AtomicU64,
     incremental_deltas: AtomicU64,
     snapshot_deltas: AtomicU64,
@@ -291,6 +302,8 @@ impl ReplTelemetry {
         ReplicationStats {
             reads_primary: self.reads_primary.load(Ordering::Relaxed),
             reads_follower: self.reads_follower.load(Ordering::Relaxed),
+            attests_primary: self.attests_primary.load(Ordering::Relaxed),
+            attests_follower: self.attests_follower.load(Ordering::Relaxed),
             freshness_rejections: self.freshness_rejections.load(Ordering::Relaxed),
             incremental_deltas: self.incremental_deltas.load(Ordering::Relaxed),
             snapshot_deltas: self.snapshot_deltas.load(Ordering::Relaxed),
@@ -483,7 +496,7 @@ impl std::fmt::Display for ClusterStats {
                 let r = &s.replication;
                 write!(
                     f,
-                    " | fwd: {} inc ({} B) / {} snap ({} B), {} resyncs | reads: {} follower / {} primary, {} freshness rejects",
+                    " | fwd: {} inc ({} B) / {} snap ({} B), {} resyncs | reads: {} follower / {} primary, {} freshness rejects | attests: {} follower / {} primary",
                     r.incremental_deltas,
                     r.incremental_bytes,
                     r.snapshot_deltas,
@@ -492,6 +505,8 @@ impl std::fmt::Display for ClusterStats {
                     r.reads_follower,
                     r.reads_primary,
                     r.freshness_rejections,
+                    r.attests_follower,
+                    r.attests_primary,
                 )?;
             }
             writeln!(f)?;
@@ -783,6 +798,86 @@ impl ReplicaSet {
             }
         }
     }
+
+    /// Mirrors an approval round the seat at `from` just opened onto the
+    /// rest of the group, so the round (and its single-use nonce) survives
+    /// a failover of the replica that issued it.
+    fn mirror_approval(&self, from: usize, nonce: u64) {
+        if self.replicas.len() == 1 {
+            return;
+        }
+        let _forward = self.forward_lock.lock();
+        let Some(record) = self.replicas[from].engine().export_approval(nonce) else {
+            return;
+        };
+        for (k, peer) in self.replicas.iter().enumerate() {
+            if k != from && !peer.is_quarantined() {
+                peer.engine().import_approval(&record);
+            }
+        }
+    }
+
+    /// Mirrors the consumption (or burn) of an approval nonce onto the
+    /// rest of the group: the round is closed group-wide, so a promoted
+    /// follower can never accept a replayed approval.
+    fn mirror_discard(&self, from: usize, nonce: u64) {
+        if self.replicas.len() == 1 {
+            return;
+        }
+        let _forward = self.forward_lock.lock();
+        for (k, peer) in self.replicas.iter().enumerate() {
+            if k != from && !peer.is_quarantined() {
+                peer.engine().discard_approval(nonce);
+            }
+        }
+    }
+}
+
+/// Capacity of a replica group's session-id partition: replica `k`
+/// allocates local session ids from the residue class
+/// `k + 1 (mod SESSION_ID_STRIDE)`, so any in-quorum replica can seat
+/// attestations without coordinating with its peers. Bounds the group
+/// size.
+const SESSION_ID_STRIDE: u64 = 64;
+
+/// Gives each replica of a group its own disjoint session-id residue
+/// class (idempotent; see [`SESSION_ID_STRIDE`]).
+fn partition_session_ids(replicas: &[Replica]) {
+    for (k, r) in replicas.iter().enumerate() {
+        r.engine()
+            .set_session_id_range(k as u64 + 1, SESSION_ID_STRIDE);
+    }
+}
+
+/// The board-approval nonce a request carries, if any. Such requests must
+/// seat on the primary: consuming the single-use nonce anywhere else would
+/// diverge the group's round state.
+/// The export targets a policy-keyed request can add, retarget, or drop:
+/// the union of the incoming policy body's declared targets (create/update)
+/// and the stored version's (update may drop one; delete destroys them
+/// all), minus the producer itself (same-shard by definition).
+fn export_targets_for(group: &ReplicaSet, policy: &str, request: &TmsRequest) -> Vec<String> {
+    let mut targets = match request {
+        TmsRequest::CreatePolicy { policy: body, .. }
+        | TmsRequest::UpdatePolicy { policy: body, .. } => body.export_targets(),
+        TmsRequest::DeletePolicy { .. } => Vec::new(),
+        _ => return Vec::new(),
+    };
+    targets.extend(group.primary_engine().export_targets(policy));
+    targets.sort_unstable();
+    targets.dedup();
+    targets.retain(|t| t != policy);
+    targets
+}
+
+fn approval_nonce(request: &TmsRequest) -> Option<u64> {
+    match request {
+        TmsRequest::CreatePolicy { approval, .. }
+        | TmsRequest::ReadPolicy { approval, .. }
+        | TmsRequest::UpdatePolicy { approval, .. }
+        | TmsRequest::DeletePolicy { approval, .. } => approval.as_ref().map(|r| r.nonce),
+        _ => None,
+    }
 }
 
 /// The freshness comparator every seat election shares: the candidate
@@ -799,11 +894,12 @@ fn freshest<'a>(candidates: impl Iterator<Item = (usize, &'a Replica)>) -> Optio
 }
 
 /// Full resync of `target` from the group's current primary via the
-/// warm-copy path: every policy plus the session table, taken from **one
-/// consistent replication snapshot** of the primary engine (a single
-/// `DbView` covering all policies, with the session table captured under
-/// the same db guard) — a concurrent mutation can no longer interleave
-/// between per-policy exports and the session export. Each policy lands as
+/// warm-copy path: every policy plus the session table and the pending
+/// approval rounds, taken from **one consistent replication snapshot** of
+/// the primary engine (a single `DbView` covering all policies, with the
+/// session and approval tables captured under the same db guard) — a
+/// concurrent mutation can no longer interleave between per-policy
+/// exports and the session export. Each policy lands as
 /// a chain-resetting snapshot delta stamped with the group's chain token
 /// for that policy, so subsequent incrementals chain onto the caught-up
 /// state. Only on full success is the target stamped with the primary's
@@ -815,7 +911,11 @@ fn freshest<'a>(candidates: impl Iterator<Item = (usize, &'a Replica)>) -> Optio
 /// freshness token is then left untouched.
 fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
     let primary = &group.replicas[group.primary_idx()];
-    let (policies, sessions) = primary.engine().replication_snapshot();
+    let ReplicationSnapshot {
+        policies,
+        sessions,
+        approvals,
+    } = primary.engine().replication_snapshot();
     let dst = target.engine();
     // Full re-base: stale cursors from the target's previous life must
     // not veto the incoming snapshots (e.g. a chain-reset migration left
@@ -864,6 +964,18 @@ fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
     }
     for record in &sessions {
         dst.import_session(record);
+    }
+    // Approval rounds mirror like sessions: rounds consumed while the
+    // target was away are discarded, open ones installed (and the target's
+    // nonce counter pulled ahead of them).
+    let keep_rounds: HashSet<u64> = approvals.iter().map(|a| a.nonce).collect();
+    for stale in dst.export_approvals() {
+        if !keep_rounds.contains(&stale.nonce) {
+            dst.discard_approval(stale.nonce);
+        }
+    }
+    for record in &approvals {
+        dst.import_approval(record);
     }
     // Anything the injector held back for out-of-order delivery predates
     // the resync and is void.
@@ -1088,7 +1200,15 @@ impl ClusterRouter {
             let policy = policy.to_string();
             let id = topo.ring.route(&policy).ok_or(ClusterError::NoShards)?;
             let group = topo.shards.get(&id).ok_or(ClusterError::NoSuchShard(id))?;
+            // Export targets this mutation may add, retarget, or drop —
+            // resolved *before* dispatch (a delete destroys the records
+            // that name them) so the consumers' shards can be diffed
+            // afterwards.
+            let export_targets = export_targets_for(group, &policy, &request);
             let response = self.dispatch_to_group(id, group, request, None, Some(&policy))?;
+            if !export_targets.is_empty() {
+                self.sync_exports(&topo, id, &policy, &export_targets)?;
+            }
             // Attestation pinned a new session to this group: hand the
             // client a cluster-level id and remember the binding.
             if let TmsResponse::Config(mut config) = response {
@@ -1139,9 +1259,11 @@ impl ClusterRouter {
         policy: Option<&str>,
     ) -> Result<TmsResponse> {
         // Policy and tag reads can be served by any freshness-checked
-        // in-quorum replica; everything else — mutations, attestation
-        // (which creates session state), approval rounds (whose nonces
-        // live on the issuing engine) — must seat on the primary.
+        // in-quorum replica, and attestation can *seat* on one (each
+        // replica allocates session ids from its own residue class, and
+        // the new session is mirrored group-wide either way); everything
+        // else — mutations, approval rounds (whose single-use nonces must
+        // be consumed exactly once, then mirrored) — seats on the primary.
         let follower_readable = matches!(
             request,
             TmsRequest::ReadPolicy { .. } | TmsRequest::ReadTag { .. }
@@ -1156,7 +1278,14 @@ impl ClusterRouter {
         }
         let mutation = request.is_mutation();
         let is_attest = matches!(request, TmsRequest::AttestService { .. });
+        if is_attest && group.replicas.len() > 1 && self.read_preference() == ReadPreference::Quorum
+        {
+            if let Some(response) = self.try_follower_attest(group, &request) {
+                return Ok(response);
+            }
+        }
         let is_close = matches!(request, TmsRequest::CloseSession { .. });
+        let approval = approval_nonce(&request);
         let mut carry = Some(request);
         loop {
             let pidx = group.primary_idx();
@@ -1188,7 +1317,18 @@ impl ClusterRouter {
             if !mutation {
                 carry = Some(req.clone());
             }
-            let response = primary.server.handle(req).map_err(ClusterError::Engine)?;
+            let response = primary.server.handle(req);
+            // An approval nonce is single-use and was mirrored group-wide
+            // when issued: if the primary no longer holds it after this
+            // dispatch (consumed by success, or burned by the board's
+            // reject/mismatch paths), the peers must burn their copies
+            // too or a failover would resurrect a spent nonce.
+            if let Some(nonce) = approval {
+                if group.replicas.len() > 1 && primary.engine().export_approval(nonce).is_none() {
+                    group.mirror_discard(pidx, nonce);
+                }
+            }
+            let response = response.map_err(ClusterError::Engine)?;
             if mutation {
                 // Single-replica groups have nobody to forward to: skip
                 // the whole replication machinery (delta export, digest,
@@ -1217,6 +1357,12 @@ impl ClusterRouter {
             if is_attest {
                 if let TmsResponse::Config(config) = &response {
                     group.mirror_session(pidx, config.session);
+                    if group.replicas.len() > 1 {
+                        group
+                            .telemetry
+                            .attests_primary
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                     return Ok(response);
                 }
             }
@@ -1224,6 +1370,13 @@ impl ClusterRouter {
                 if let Some(l) = local {
                     group.mirror_close(pidx, l);
                 }
+                return Ok(response);
+            }
+            // A freshly opened approval round lives only on the issuing
+            // engine until mirrored; copy the round (nonce + tuple) to the
+            // peers so a failover mid-round does not strand the approval.
+            if let TmsResponse::Approval(approval) = &response {
+                group.mirror_approval(pidx, approval.nonce);
                 return Ok(response);
             }
             // Pure read: if a failover raced us, the deposed primary may
@@ -1239,6 +1392,80 @@ impl ClusterRouter {
             }
             return Ok(response);
         }
+    }
+
+    /// Forwards a producer's `export-secret/` / `export-volume/` records
+    /// to each consumer's owning shard, diffing the consumer-side copy
+    /// against the producer shard's authoritative rows and applying only
+    /// the delta (puts for new/changed rows, tombstones for dropped ones).
+    /// Runs after the producer mutation committed, under the same topology
+    /// read guard, so a concurrent rebalance cannot re-route mid-sync. The
+    /// applied rows are captured under the *consumer* policy's name, so
+    /// on replicated consumer shards they ride the consumer's incremental
+    /// delta chain to its followers — and because they live under
+    /// `policy_record_prefixes(target)`, they migrate with the consumer.
+    /// Same-shard targets are skipped: producer and consumer share an
+    /// engine there, so the rows already exist.
+    fn sync_exports(
+        &self,
+        topo: &Topology,
+        producer_shard: ShardId,
+        producer: &str,
+        targets: &[String],
+    ) -> Result<()> {
+        let source = topo
+            .shards
+            .get(&producer_shard)
+            .ok_or(ClusterError::NoSuchShard(producer_shard))?;
+        for target in targets {
+            // Routes even for targets with no policy yet: the rows
+            // pre-land on the shard that will own the consumer when it
+            // is created, exactly where its attestation will scan.
+            let Some(tid) = topo.ring.route(target) else {
+                continue;
+            };
+            if tid == producer_shard {
+                continue;
+            }
+            let Some(tgroup) = topo.shards.get(&tid) else {
+                continue;
+            };
+            let tpidx = tgroup.primary_idx();
+            let tprimary = &tgroup.replicas[tpidx];
+            if tprimary.is_quarantined() {
+                return Err(ClusterError::ShardUnavailable(tid));
+            }
+            let desired = source.primary_engine().export_records_for(target, producer);
+            let current = tprimary.engine().export_records_for(target, producer);
+            let puts: PolicyRecords = desired
+                .iter()
+                .filter(|(k, v)| {
+                    current.iter().find(|(ck, _)| ck == k).map(|(_, cv)| cv) != Some(v)
+                })
+                .cloned()
+                .collect();
+            let tombstones: Vec<Vec<u8>> = current
+                .iter()
+                .filter(|(k, _)| !desired.iter().any(|(dk, _)| dk == k))
+                .map(|(k, _)| k.clone())
+                .collect();
+            if puts.is_empty() && tombstones.is_empty() {
+                continue;
+            }
+            tprimary
+                .engine()
+                .apply_export_records(target, &puts, &tombstones)
+                .map_err(ClusterError::Engine)?;
+            // The engine-level apply bypasses the shard server, so the
+            // rollback counter's group commit is driven here.
+            if let Some(counter) = &tprimary.counter {
+                counter.commit().map_err(ClusterError::Engine)?;
+            }
+            if tgroup.replicas.len() > 1 {
+                self.replicate(tid, tgroup, tpidx, target)?;
+            }
+        }
+        Ok(())
     }
 
     /// Quorum-read placement: rotates round-robin across the group and
@@ -1258,6 +1485,12 @@ impl ClusterRouter {
         request: &TmsRequest,
         local: Option<SessionId>,
     ) -> Option<TmsResponse> {
+        // Approval-carrying reads consume a single-use nonce; a follower
+        // burning its mirrored copy would diverge the round state from
+        // the primary's, so those always seat on the primary.
+        if approval_nonce(request).is_some() {
+            return None;
+        }
         let pidx = group.primary_idx();
         let watermark = group.watermark.load(Ordering::Acquire);
         let n = group.replicas.len();
@@ -1301,6 +1534,63 @@ impl ClusterRouter {
                 }
                 // Defensive: a follower-side failure falls back to the
                 // primary rather than guessing which errors are benign.
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    /// Quorum attestation placement: like [`Self::try_follower_read`],
+    /// but for `AttestService`. Every replica allocates session ids from
+    /// its own residue class (domain `k+1`, stride [`SESSION_ID_STRIDE`])
+    /// so a follower-seated attestation cannot collide with one seated
+    /// anywhere else in the group, and the resulting session is mirrored
+    /// group-wide exactly as primary-seated ones are. `None` hands the
+    /// attestation to the primary path.
+    fn try_follower_attest(&self, group: &ReplicaSet, request: &TmsRequest) -> Option<TmsResponse> {
+        let pidx = group.primary_idx();
+        let watermark = group.watermark.load(Ordering::Acquire);
+        let n = group.replicas.len();
+        let start = group.read_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for off in 0..n {
+            let k = (start + off) % n;
+            if k == pidx {
+                if off == 0 {
+                    // The primary's own slot keeps attestation load spread
+                    // evenly across all R replicas.
+                    return None;
+                }
+                continue;
+            }
+            let follower = &group.replicas[k];
+            if !follower.is_in_quorum() {
+                continue;
+            }
+            // Attestation reads the policy being attested (quote checks,
+            // secret material, export scans), so the follower must be
+            // fresh for that policy's chain just like a quorum read.
+            if follower.applied.load(Ordering::Acquire) < watermark
+                || !self.policy_chain_fresh(group, follower, request, None)
+            {
+                group
+                    .telemetry
+                    .freshness_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match follower.server.handle(request.clone()) {
+                Ok(response) => {
+                    if let TmsResponse::Config(config) = &response {
+                        group.mirror_session(k, config.session);
+                    }
+                    group
+                        .telemetry
+                        .attests_follower
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Some(response);
+                }
+                // Fall back to the primary rather than guessing which
+                // follower-side errors are benign.
                 Err(_) => return None,
             }
         }
@@ -1580,6 +1870,12 @@ impl ClusterRouter {
                 replicas.len()
             )));
         }
+        if replicas.len() as u64 > SESSION_ID_STRIDE {
+            return Err(ClusterError::BadReplicaSet(format!(
+                "replica count {} exceeds the session-id partition width {SESSION_ID_STRIDE}",
+                replicas.len()
+            )));
+        }
         let group = ReplicaSet::new(
             replicas
                 .into_iter()
@@ -1589,11 +1885,14 @@ impl ClusterRouter {
         );
         // Replicated groups capture per-mutation change sets on every
         // engine (any replica can be seated as the forwarding primary);
-        // single-replica shards skip the capture cost entirely.
+        // single-replica shards skip the capture cost entirely. Each
+        // replica also allocates session ids from its own residue class
+        // so attestation can seat on any of them without collisions.
         if group.replicas.len() > 1 {
             for r in &group.replicas {
                 r.engine().enable_change_capture();
             }
+            partition_session_ids(&group.replicas);
         }
         let _gate = self.rebalance_gate.lock(); // one rebalance at a time
 
@@ -1686,17 +1985,34 @@ impl ClusterRouter {
             .shards
             .get_mut(&id)
             .ok_or(ClusterError::NoSuchShard(id))?;
+        if group.replicas.len() as u64 >= SESSION_ID_STRIDE {
+            return Err(ClusterError::BadReplicaSet(format!(
+                "replica count {} exceeds the session-id partition width {SESSION_ID_STRIDE}",
+                group.replicas.len() + 1
+            )));
+        }
         let replica = Replica::new(server, counter);
+        // The newcomer's session-id residue class is fixed *before* the
+        // catch-up copy so the live sessions it imports advance only its
+        // own class counter (peer-class ids are not confusable with its
+        // future allocations).
+        replica
+            .engine()
+            .set_session_id_range(group.replicas.len() as u64 + 1, SESSION_ID_STRIDE);
         catch_up(group, &replica).map_err(ClusterError::Engine)?;
         replica.rejoin();
         group.replicas.push(replica);
         // The group is (now) replicated: every engine must capture what
         // its mutations change, since any replica may be seated as the
-        // delta-forwarding primary later.
+        // delta-forwarding primary later. Partitioning the session-id
+        // space covers the R=1 -> 2 upgrade: replica 0 switches from the
+        // default (1, 1) range to class (1, 64), which is monotone (the
+        // next id in the new class is never below one it already issued).
         if group.replicas.len() > 1 {
             for r in &group.replicas {
                 r.engine().enable_change_capture();
             }
+            partition_session_ids(&group.replicas);
         }
         Ok(group.replicas.len() - 1)
     }
@@ -2075,6 +2391,7 @@ fn localize_session(request: TmsRequest, local: SessionId) -> TmsRequest {
 mod tests {
     use super::*;
     use crate::fault::PlannedFault;
+    use palaemon_core::board::{PolicyAction, Stakeholder};
     use palaemon_core::counterfile::MemFileCounter;
     use palaemon_core::policy::Policy;
     use palaemon_crypto::aead::AeadKey;
@@ -2939,5 +3256,364 @@ mod tests {
         ));
         assert!(!router.quarantine(ShardId(9), "ghost"));
         assert!(!router.reinstate(ShardId(9)));
+    }
+
+    fn attest_config(
+        router: &ClusterRouter,
+        platform: &Platform,
+        policy: &str,
+    ) -> palaemon_core::tms::AppConfig {
+        let binding = [0u8; 64];
+        let report = create_report(platform, Digest::from_bytes(MRE), binding);
+        let quote = quote_report(platform, &report).unwrap();
+        match router
+            .handle(TmsRequest::AttestService {
+                quote: Box::new(quote),
+                tls_key_binding: binding,
+                policy_name: policy.into(),
+                service_name: "app".into(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Config(config) => *config,
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+
+    /// A producer policy exporting one binary secret to `target`; pass
+    /// `target: None` for the no-longer-exporting update body.
+    fn producer_policy(name: &str, target: Option<&str>) -> Policy {
+        let export = match target {
+            Some(t) => format!("\n    export: {t}"),
+            None => String::new(),
+        };
+        Policy::parse(&format!(
+            "name: {name}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n\
+             secrets:\n  - name: exported_key\n    kind: binary\n    length: 32{export}\n",
+            Digest::from_bytes(MRE).to_hex()
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn attestation_scales_onto_followers_and_sessions_survive_failover() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let (router, id) = replicated_cluster(&platform, 3, 2);
+        router.set_read_preference(ReadPreference::Quorum);
+        create_policy(&router, "att-0");
+
+        // The rotation spreads attestations over all three replicas; every
+        // one must get a distinct cluster session id, and every engine
+        // must end up holding every (mirrored) session.
+        let sessions: Vec<SessionId> = (0..9)
+            .map(|_| attest(&router, &platform, "att-0"))
+            .collect();
+        let distinct: std::collections::HashSet<u64> = sessions.iter().map(|s| s.0).collect();
+        assert_eq!(distinct.len(), 9, "cluster session ids collided");
+        for engine in router.replica_engines(id) {
+            assert_eq!(engine.session_count(), 9, "sessions must mirror group-wide");
+        }
+        let repl = router.stats().shards[0].replication;
+        assert!(
+            repl.attests_follower > 0,
+            "attestation never landed on a follower: {repl:?}"
+        );
+        assert!(
+            repl.attests_primary > 0,
+            "the primary's rotation slot never fired: {repl:?}"
+        );
+
+        // Every session is live for tag pushes regardless of which replica
+        // seated it (the volume tag is shared, so the last push wins)...
+        for (i, s) in sessions.iter().enumerate() {
+            push(&router, *s, i as u8);
+        }
+        // ...and every session survives a failover of the (former) primary.
+        assert!(router.quarantine(id, "power cut"));
+        for (i, s) in sessions.iter().enumerate() {
+            match router
+                .handle(TmsRequest::ReadTag {
+                    session: *s,
+                    volume: "data".into(),
+                })
+                .unwrap()
+            {
+                TmsResponse::Tag(Some(rec)) => {
+                    assert_eq!(rec.tag, Digest::from_bytes([8; 32]));
+                }
+                other => panic!("expected tag for session {i}, got {other:?}"),
+            }
+        }
+        // Follower-seated attestation keeps working after the failover.
+        let after = attest(&router, &platform, "att-0");
+        assert!(!distinct.contains(&after.0));
+    }
+
+    #[test]
+    fn oversized_replica_sets_are_rejected() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = ClusterRouter::new(42, 64);
+        let set: Vec<_> = (0..65)
+            .map(|r| {
+                let (server, counter) = fresh_shard(&platform, 200 + r as u32);
+                (server, Some(counter))
+            })
+            .collect();
+        assert!(matches!(
+            router.add_replicated_shard(ShardId(0), set, 2),
+            Err(ClusterError::BadReplicaSet(_))
+        ));
+    }
+
+    /// Finds a name of the form `{prefix}-{i}` that the router's ring
+    /// places on `shard`.
+    fn name_on_shard(router: &ClusterRouter, prefix: &str, shard: ShardId) -> String {
+        (0..256)
+            .map(|i| format!("{prefix}-{i}"))
+            .find(|n| router.shard_for_policy(n) == Some(shard))
+            .expect("no candidate name routed to the shard")
+    }
+
+    #[test]
+    fn cross_shard_exports_are_consumable_and_reconciled() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = cluster(2, &platform);
+        let producer = name_on_shard(&router, "xprod", ShardId(0));
+        let consumer = name_on_shard(&router, "xcons", ShardId(1));
+
+        create_policy(&router, &consumer);
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner: owner(),
+                policy: Box::new(producer_policy(&producer, Some(&consumer))),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+
+        // The export row crossed to the consumer's shard and attestation
+        // there delivers the secret.
+        let config = attest_config(&router, &platform, &consumer);
+        let value = config
+            .secrets
+            .get("exported_key")
+            .expect("export missing")
+            .clone();
+        assert_eq!(value.len(), 32);
+
+        // An update that drops the export target tombstones the row on
+        // the consumer's shard...
+        router
+            .handle(TmsRequest::UpdatePolicy {
+                client: owner(),
+                policy: Box::new(producer_policy(&producer, None)),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+        let config = attest_config(&router, &platform, &consumer);
+        assert!(
+            !config.secrets.contains_key("exported_key"),
+            "dropped export must stop flowing"
+        );
+
+        // ...re-declaring it restores the same secret value (reconciled,
+        // not rotated)...
+        router
+            .handle(TmsRequest::UpdatePolicy {
+                client: owner(),
+                policy: Box::new(producer_policy(&producer, Some(&consumer))),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+        let config = attest_config(&router, &platform, &consumer);
+        assert_eq!(config.secrets.get("exported_key"), Some(&value));
+
+        // ...and deleting the producer purges it for good.
+        router
+            .handle(TmsRequest::DeletePolicy {
+                name: producer.clone(),
+                client: owner(),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+        let config = attest_config(&router, &platform, &consumer);
+        assert!(!config.secrets.contains_key("exported_key"));
+        let home = router.shard_for_policy(&consumer).unwrap();
+        assert!(
+            router
+                .engine(home)
+                .unwrap()
+                .export_records_for(&consumer, &producer)
+                .is_empty(),
+            "deleted producer left ghost rows on the consumer's shard"
+        );
+    }
+
+    #[test]
+    fn cross_shard_exports_replicate_and_survive_consumer_failover() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = ClusterRouter::new(42, 64);
+        let (server, counter) = fresh_shard(&platform, 0);
+        router.add_shard(ShardId(0), server, Some(counter)).unwrap();
+        let set: Vec<_> = (0..3)
+            .map(|r| {
+                let (server, counter) = fresh_shard(&platform, 300 + r as u32);
+                (server, Some(counter))
+            })
+            .collect();
+        router.add_replicated_shard(ShardId(1), set, 2).unwrap();
+        let producer = name_on_shard(&router, "rprod", ShardId(0));
+        let consumer = name_on_shard(&router, "rcons", ShardId(1));
+
+        create_policy(&router, &consumer);
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner: owner(),
+                policy: Box::new(producer_policy(&producer, Some(&consumer))),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+
+        // The forwarded export row rode the consumer policy's delta chain:
+        // every replica of the consumer's group holds it.
+        for engine in router.replica_engines(ShardId(1)) {
+            assert_eq!(
+                engine.export_records_for(&consumer, &producer).len(),
+                1,
+                "export row missing on a consumer-shard replica"
+            );
+        }
+        // After the consumer shard's primary fails over, the export is
+        // still consumable on the successor.
+        assert!(router.quarantine(ShardId(1), "power cut"));
+        let config = attest_config(&router, &platform, &consumer);
+        assert!(config.secrets.contains_key("exported_key"));
+    }
+
+    #[test]
+    fn cross_shard_exports_follow_a_migrating_consumer() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let router = cluster(2, &platform);
+        let producer = name_on_shard(&router, "mprod", ShardId(0));
+        let consumer = name_on_shard(&router, "mcons", ShardId(1));
+        create_policy(&router, &consumer);
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner: owner(),
+                policy: Box::new(producer_policy(&producer, Some(&consumer))),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+
+        // Grow the ring until the consumer actually moves: its export
+        // rows live under the consumer's own record prefixes, so they
+        // migrate with it.
+        let mut next = 2u32;
+        while router.shard_for_policy(&consumer) == Some(ShardId(1)) {
+            let (server, counter) = fresh_shard(&platform, 400 + next);
+            router
+                .add_shard(ShardId(next), server, Some(counter))
+                .unwrap();
+            next += 1;
+            assert!(next < 16, "consumer never migrated");
+        }
+        let config = attest_config(&router, &platform, &consumer);
+        assert!(
+            config.secrets.contains_key("exported_key"),
+            "migration must carry the export rows"
+        );
+        // Post-migration reconciliation still reaches the new owner.
+        router
+            .handle(TmsRequest::DeletePolicy {
+                name: producer.clone(),
+                client: owner(),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+        let config = attest_config(&router, &platform, &consumer);
+        assert!(!config.secrets.contains_key("exported_key"));
+    }
+
+    #[test]
+    fn approval_rounds_survive_failover_via_mirroring() {
+        let platform = Platform::new("cl-host", Microcode::PostForeshadow);
+        let (router, id) = replicated_cluster(&platform, 3, 2);
+        let alice = Stakeholder::from_seed("alice", b"router-board-a");
+        let policy_text = format!(
+            "name: board-p\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n\
+             board:\n  threshold: 1\n  members:\n    - id: alice\n      key: {}\n",
+            Digest::from_bytes(MRE).to_hex(),
+            alice.verifying_key().to_u64()
+        );
+        let policy = Policy::parse(&policy_text).unwrap();
+        let begin = |action| match router
+            .handle(TmsRequest::BeginApproval {
+                policy_name: "board-p".into(),
+                action,
+                policy_digest: policy.digest(),
+            })
+            .unwrap()
+        {
+            TmsResponse::Approval(approval) => approval,
+            other => panic!("expected Approval, got {other:?}"),
+        };
+        let create_round = begin(PolicyAction::Create);
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner: owner(),
+                policy: Box::new(policy.clone()),
+                approval: Some(create_round.clone()),
+                votes: vec![alice.vote(&create_round, true)],
+            })
+            .unwrap();
+
+        // Open a round; the nonce is mirrored to the followers.
+        let approval = begin(PolicyAction::Update);
+        for engine in router.replica_engines(id) {
+            assert!(
+                engine.export_approval(approval.nonce).is_some(),
+                "round must be mirrored group-wide"
+            );
+        }
+
+        // The primary that issued the nonce dies mid-round; the vote
+        // completes against its successor.
+        assert!(router.quarantine(id, "power cut"));
+        let vote = alice.vote(&approval, true);
+        router
+            .handle(TmsRequest::UpdatePolicy {
+                client: owner(),
+                policy: Box::new(policy),
+                approval: Some(approval.clone()),
+                votes: vec![vote],
+            })
+            .unwrap();
+        // The consumed nonce was discarded on every live replica (the
+        // quarantined ex-primary keeps its stale copy until the snapshot
+        // catch-up reconciles it on rejoin), so whichever replica is
+        // primary now refuses a replay.
+        let status = router.replica_status(id).unwrap();
+        for (engine, replica) in router.replica_engines(id).iter().zip(&status.replicas) {
+            if replica.quarantined {
+                continue;
+            }
+            assert!(
+                engine.export_approvals().is_empty(),
+                "consumed round must be discarded on every live replica"
+            );
+        }
+        let replay = router.handle(TmsRequest::UpdatePolicy {
+            client: owner(),
+            policy: Box::new(Policy::parse(&policy_text).unwrap()),
+            approval: Some(approval.clone()),
+            votes: vec![alice.vote(&approval, true)],
+        });
+        assert!(replay.is_err(), "spent nonce must not be replayable");
     }
 }

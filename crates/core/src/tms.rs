@@ -212,6 +212,18 @@ impl PolicyDelta {
     }
 }
 
+/// One consistent cut of everything a fresh or re-joining replica needs to
+/// catch up with its group ([`Palaemon::replication_snapshot`]).
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationSnapshot {
+    /// Every stored policy's full record set, in name order.
+    pub policies: Vec<(String, PolicyRecords)>,
+    /// Every active session, in session-id order.
+    pub sessions: Vec<SessionRecord>,
+    /// Every pending board-approval round, in nonce order.
+    pub approvals: Vec<ApprovalRecord>,
+}
+
 /// An attested session, exported for replication: a replica group mirrors
 /// the primary's session table onto its followers so sessions survive a
 /// failover (the session stays pinned to the *group*, not to one engine).
@@ -225,6 +237,22 @@ pub struct SessionRecord {
     pub service: String,
     /// Volumes granted to the session.
     pub volumes: Vec<String>,
+}
+
+/// A pending board-approval round, exported for replication: a replica
+/// group mirrors the primary's open rounds (and their single-use nonces)
+/// onto its followers, so an in-flight approval survives a failover
+/// instead of dying with the primary that issued it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApprovalRecord {
+    /// The round's single-use freshness nonce (preserved on the follower).
+    pub nonce: u64,
+    /// Policy the round covers.
+    pub policy_name: String,
+    /// Action the board is voting on.
+    pub action: PolicyAction,
+    /// Digest of the policy content being approved.
+    pub policy_digest: Digest,
 }
 
 /// A volume handed to an attested application: its encryption key and the
@@ -307,7 +335,15 @@ pub struct Palaemon {
     mrenclave: Digest,
     qe_keys: RwLock<HashMap<String, VerifyingKey>>,
     sessions: RwLock<HashMap<u64, Session>>,
+    /// Slot counter for session-id allocation; the id handed out for slot
+    /// `n` is `session_domain + n * session_stride`.
     next_session: AtomicU64,
+    /// First session id this instance allocates
+    /// ([`Palaemon::set_session_id_range`]); 1 when unpartitioned.
+    session_domain: AtomicU64,
+    /// Distance between consecutive ids this instance allocates; 1 when
+    /// unpartitioned.
+    session_stride: AtomicU64,
     approvals: Mutex<ApprovalState>,
     /// When set ([`Palaemon::enable_change_capture`]), every mutating
     /// operation records the exact keys it wrote/deleted so replication can
@@ -345,7 +381,9 @@ impl Palaemon {
             mrenclave,
             qe_keys: RwLock::new(HashMap::new()),
             sessions: RwLock::new(HashMap::new()),
-            next_session: AtomicU64::new(1),
+            next_session: AtomicU64::new(0),
+            session_domain: AtomicU64::new(1),
+            session_stride: AtomicU64::new(1),
             approvals: Mutex::new(ApprovalState {
                 pending: HashMap::new(),
                 next_nonce: 1,
@@ -375,6 +413,29 @@ impl Palaemon {
     /// verified (models QE provisioning).
     pub fn register_platform(&self, platform_id: &str, qe_key: VerifyingKey) {
         self.qe_keys.write().insert(platform_id.to_string(), qe_key);
+    }
+
+    /// Partitions the session-id space: from here on this instance
+    /// allocates ids `domain, domain + stride, domain + 2*stride, …`. A
+    /// replica group gives each member a disjoint residue class
+    /// (`domain = k + 1`, `stride =` group capacity) so *any* in-quorum
+    /// replica can attest sessions without colliding with its peers — the
+    /// lever that lets attestation throughput scale with the replication
+    /// factor. Defaults to `(1, 1)` (unpartitioned).
+    ///
+    /// # Panics
+    /// When `stride` is zero.
+    pub fn set_session_id_range(&self, domain: u64, stride: u64) {
+        assert!(stride > 0, "session stride must be non-zero");
+        self.session_domain.store(domain, Ordering::Relaxed);
+        self.session_stride.store(stride, Ordering::Relaxed);
+    }
+
+    fn allocate_session_id(&self) -> SessionId {
+        let slot = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let domain = self.session_domain.load(Ordering::Relaxed);
+        let stride = self.session_stride.load(Ordering::Relaxed);
+        SessionId(domain + slot * stride)
     }
 
     /// Direct access to the underlying database (instance guard, tests).
@@ -536,10 +597,12 @@ impl Palaemon {
                 format!("secretv/{}/{}", policy.name, spec.name).into_bytes(),
                 value.clone(),
             );
-            // Exports: make the secret available to target policies.
+            // Exports: make the secret available to target policies. The
+            // producer segment keeps same-named secrets from different
+            // producers distinct on the consumer side.
             for target in &spec.export_to {
                 db.put(
-                    format!("export-secret/{}/{}", target, spec.name).into_bytes(),
+                    format!("export-secret/{}/{}/{}", target, policy.name, spec.name).into_bytes(),
                     value.clone(),
                 );
             }
@@ -637,43 +700,85 @@ impl Palaemon {
         self.capture_begin(&mut db);
 
         // Generate material for newly declared secrets; keep existing ones
-        // so updates do not rotate application secrets implicitly.
+        // so updates do not rotate application secrets implicitly. Export
+        // rows are rewritten unconditionally (idempotent puts): on a
+        // promoted or resynced replica the rows under *other* policies'
+        // prefixes may be missing, and this rewrite is what heals them —
+        // it is also the scan source the cluster's cross-shard export
+        // forwarder diffs against.
         let mut rng = self.rng.lock();
         for spec in &new_policy.secrets {
             let key = format!("secretv/{}/{}", name, spec.name);
-            if db.get(key.as_bytes()).is_none() {
-                let value = match &spec.kind {
-                    SecretKind::Ascii { length } => {
-                        randutil::random_token(&mut *rng, *length).into_bytes()
-                    }
-                    SecretKind::Binary { length } => {
-                        let mut v = vec![0u8; *length];
-                        rng.fill_bytes(&mut v);
-                        v
-                    }
-                    SecretKind::Explicit { value } => value.clone(),
-                };
-                db.put(key.into_bytes(), value.clone());
-                for target in &spec.export_to {
-                    db.put(
-                        format!("export-secret/{}/{}", target, spec.name).into_bytes(),
-                        value.clone(),
-                    );
+            let value = match db.get(key.as_bytes()) {
+                Some(v) => v.to_vec(),
+                None => {
+                    let value = match &spec.kind {
+                        SecretKind::Ascii { length } => {
+                            randutil::random_token(&mut *rng, *length).into_bytes()
+                        }
+                        SecretKind::Binary { length } => {
+                            let mut v = vec![0u8; *length];
+                            rng.fill_bytes(&mut v);
+                            v
+                        }
+                        SecretKind::Explicit { value } => value.clone(),
+                    };
+                    db.put(key.into_bytes(), value.clone());
+                    value
+                }
+            };
+            for target in &spec.export_to {
+                db.put(
+                    format!("export-secret/{target}/{name}/{}", spec.name).into_bytes(),
+                    value.clone(),
+                );
+            }
+        }
+        // Drop secrets no longer declared (with their export rows), and
+        // export rows whose target the new spec no longer lists.
+        for old in &current.secrets {
+            let kept = new_policy.secrets.iter().find(|s| s.name == old.name);
+            if kept.is_none() {
+                db.delete(format!("secretv/{}/{}", name, old.name).as_bytes());
+            }
+            for target in &old.export_to {
+                let still_exported = kept
+                    .map(|s| s.export_to.iter().any(|t| t == target))
+                    .unwrap_or(false);
+                if !still_exported {
+                    db.delete(format!("export-secret/{target}/{name}/{}", old.name).as_bytes());
                 }
             }
         }
-        // Drop secrets no longer declared.
-        for old in &current.secrets {
-            if !new_policy.secrets.iter().any(|s| s.name == old.name) {
-                db.delete(format!("secretv/{}/{}", name, old.name).as_bytes());
-            }
-        }
-        // New volumes get keys.
+        // New volumes get keys; export rows are rewritten like secrets'.
         for vol in &new_policy.volumes {
             let key = format!("volkey/{}/{}", name, vol.name);
-            if db.get(key.as_bytes()).is_none() {
-                let vol_key = AeadKey::generate(&mut *rng);
-                db.put(key.into_bytes(), vol_key.expose_bytes().to_vec());
+            let key_bytes = match db.get(key.as_bytes()) {
+                Some(v) => v.to_vec(),
+                None => {
+                    let vol_key = AeadKey::generate(&mut *rng);
+                    let bytes = vol_key.expose_bytes().to_vec();
+                    db.put(key.into_bytes(), bytes.clone());
+                    bytes
+                }
+            };
+            if let Some(target) = &vol.export_to {
+                db.put(
+                    format!("export-volume/{target}/{name}/{}", vol.name).into_bytes(),
+                    key_bytes,
+                );
+            }
+        }
+        // Export rows for re-targeted or no-longer-exported volumes.
+        for old in &current.volumes {
+            if let Some(target) = &old.export_to {
+                let still_exported = new_policy
+                    .volumes
+                    .iter()
+                    .any(|v| v.name == old.name && v.export_to.as_ref() == Some(target));
+                if !still_exported {
+                    db.delete(format!("export-volume/{target}/{name}/{}", old.name).as_bytes());
+                }
             }
         }
         drop(rng);
@@ -719,6 +824,18 @@ impl Palaemon {
         db.delete(format!("owner/{name}").as_bytes());
         for prefix in policy_record_prefixes(name) {
             db.delete_prefix(prefix.as_bytes());
+        }
+        // Records this policy exported *to others* live under the targets'
+        // prefixes and must not outlive their producer.
+        for spec in &policy.secrets {
+            for target in &spec.export_to {
+                db.delete(format!("export-secret/{target}/{name}/{}", spec.name).as_bytes());
+            }
+        }
+        for vol in &policy.volumes {
+            if let Some(target) = &vol.export_to {
+                db.delete(format!("export-volume/{target}/{name}/{}", vol.name).as_bytes());
+            }
         }
         db.commit()?;
         self.capture_stash(&mut db, name);
@@ -878,7 +995,7 @@ impl Palaemon {
             .map(|(k, v)| (k.clone(), substitute(v, &secrets)))
             .collect();
 
-        let session = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        let session = self.allocate_session_id();
         self.sessions.write().insert(
             session.0,
             Session {
@@ -1055,6 +1172,65 @@ impl Palaemon {
     }
 
     // ------------------------------------------------------------------
+    // Cross-shard export plumbing (used by `palaemon-cluster` forwarding)
+    // ------------------------------------------------------------------
+
+    /// The export records policy `producer` has materialized for consumer
+    /// policy `target` on this instance — the
+    /// `export-secret/{target}/{producer}/…` and
+    /// `export-volume/{target}/{producer}/…` rows, from one snapshot. The
+    /// cluster router diffs this against the target's owning shard to
+    /// forward cross-shard exports.
+    pub fn export_records_for(&self, target: &str, producer: &str) -> PolicyRecords {
+        let view = self.db_view();
+        let mut records = Vec::new();
+        for prefix in [
+            format!("export-secret/{target}/{producer}/"),
+            format!("export-volume/{target}/{producer}/"),
+        ] {
+            records.extend(view.export_prefix(prefix.as_bytes()));
+        }
+        records
+    }
+
+    /// Applies forwarded export records for consumer policy `target` as
+    /// one committed batch, attributed to `target`'s change capture so the
+    /// rows ride `target`'s incremental-delta chain to this group's
+    /// followers. An empty batch is a no-op (no spurious delta).
+    ///
+    /// # Errors
+    /// Database commit failures.
+    pub fn apply_export_records(
+        &self,
+        target: &str,
+        puts: &PolicyRecords,
+        tombstones: &[Vec<u8>],
+    ) -> Result<()> {
+        if puts.is_empty() && tombstones.is_empty() {
+            return Ok(());
+        }
+        let mut db = self.db.write();
+        self.capture_begin(&mut db);
+        for (key, value) in puts {
+            db.put(key.clone(), value.clone());
+        }
+        for key in tombstones {
+            db.delete(key);
+        }
+        db.commit()?;
+        self.capture_stash(&mut db, target);
+        Ok(())
+    }
+
+    /// The export targets policy `name` declares, deduplicated (empty when
+    /// the policy is not stored here).
+    pub fn export_targets(&self, name: &str) -> Vec<String> {
+        load_policy(&self.db_view(), name)
+            .map(|p| p.export_targets())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
     // Replication plumbing (used by `palaemon-cluster` replica groups)
     // ------------------------------------------------------------------
 
@@ -1187,20 +1363,23 @@ impl Palaemon {
         }
     }
 
-    /// One consistent cut for replica catch-up: every policy's record set
-    /// plus the session table, all exported from a **single** database
-    /// snapshot (the session table is captured while the db guard is still
-    /// held, so a concurrent mutation cannot land between the two) —
-    /// unlike per-policy exports, a warm copy built from this cut cannot
-    /// interleave with a racing mutation.
-    pub fn replication_snapshot(&self) -> (Vec<(String, PolicyRecords)>, Vec<SessionRecord>) {
-        let (view, sessions) = {
+    /// One consistent cut for replica catch-up: every policy's record set,
+    /// the session table, and the pending approval rounds, all exported
+    /// while a **single** database guard is held (the session and approval
+    /// tables are captured before the guard drops, so a concurrent
+    /// mutation cannot land between them) — unlike per-policy exports, a
+    /// warm copy built from this cut cannot interleave with a racing
+    /// mutation.
+    pub fn replication_snapshot(&self) -> ReplicationSnapshot {
+        let (view, sessions, approvals) = {
             let db = self.db.read();
             let view = db.view();
-            // `sessions` is a leaf lock: taking it under the db guard is
-            // within the documented order.
+            // `sessions` is a leaf lock and `approvals` orders after `db`:
+            // capturing both under the db guard is within the documented
+            // lock order.
             let sessions = self.export_sessions();
-            (view, sessions)
+            let approvals = self.export_approvals();
+            (view, sessions, approvals)
         };
         let names: Vec<String> = view
             .scan_prefix(b"policy/")
@@ -1213,7 +1392,11 @@ impl Palaemon {
                 (name, records)
             })
             .collect();
-        (policies, sessions)
+        ReplicationSnapshot {
+            policies,
+            sessions,
+            approvals,
+        }
     }
 
     /// Exports one session for mirroring onto a follower replica.
@@ -1248,6 +1431,9 @@ impl Palaemon {
     /// Installs a session exported from another replica, preserving its id,
     /// and keeps this instance's id allocator ahead of it — after a
     /// failover the promoted replica must never re-issue a mirrored id.
+    /// Only ids in this instance's own residue class
+    /// ([`Palaemon::set_session_id_range`]) advance the allocator: a peer's
+    /// ids cannot collide with ours and must not inflate the slot counter.
     pub fn import_session(&self, record: &SessionRecord) {
         self.sessions.write().insert(
             record.session.0,
@@ -1257,8 +1443,71 @@ impl Palaemon {
                 volumes: record.volumes.clone(),
             },
         );
-        self.next_session
-            .fetch_max(record.session.0 + 1, Ordering::Relaxed);
+        let domain = self.session_domain.load(Ordering::Relaxed);
+        let stride = self.session_stride.load(Ordering::Relaxed);
+        let id = record.session.0;
+        if id >= domain && (id - domain).is_multiple_of(stride) {
+            self.next_session
+                .fetch_max((id - domain) / stride + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Exports one pending approval round for mirroring onto a follower.
+    /// `None` when the nonce is not pending (consumed, discarded, or never
+    /// issued here).
+    pub fn export_approval(&self, nonce: u64) -> Option<ApprovalRecord> {
+        self.approvals
+            .lock()
+            .pending
+            .get(&nonce)
+            .map(|(policy_name, action, policy_digest)| ApprovalRecord {
+                nonce,
+                policy_name: policy_name.clone(),
+                action: *action,
+                policy_digest: *policy_digest,
+            })
+    }
+
+    /// Exports every pending approval round, in nonce order (replica
+    /// catch-up copies the whole table).
+    pub fn export_approvals(&self) -> Vec<ApprovalRecord> {
+        let approvals = self.approvals.lock();
+        let mut nonces: Vec<u64> = approvals.pending.keys().copied().collect();
+        nonces.sort_unstable();
+        nonces
+            .into_iter()
+            .map(|nonce| {
+                let (policy_name, action, policy_digest) = &approvals.pending[&nonce];
+                ApprovalRecord {
+                    nonce,
+                    policy_name: policy_name.clone(),
+                    action: *action,
+                    policy_digest: *policy_digest,
+                }
+            })
+            .collect()
+    }
+
+    /// Installs an approval round exported from another replica, preserving
+    /// its nonce, and keeps this instance's nonce counter ahead of it — a
+    /// promoted replica must never re-issue a mirrored nonce.
+    pub fn import_approval(&self, record: &ApprovalRecord) {
+        let mut approvals = self.approvals.lock();
+        approvals.pending.insert(
+            record.nonce,
+            (
+                record.policy_name.clone(),
+                record.action,
+                record.policy_digest,
+            ),
+        );
+        approvals.next_nonce = approvals.next_nonce.max(record.nonce + 1);
+    }
+
+    /// Forgets a pending approval round: the primary consumed (or burned)
+    /// its nonce, so the nonce must become unusable group-wide.
+    pub fn discard_approval(&self, nonce: u64) {
+        self.approvals.lock().pending.remove(&nonce);
     }
 }
 
@@ -2099,15 +2348,19 @@ services:
         let config = tms
             .attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
             .unwrap();
-        let (policies, sessions) = tms.replication_snapshot();
-        let names: Vec<&str> = policies.iter().map(|(n, _)| n.as_str()).collect();
+        let req = tms.begin_approval("p1", PolicyAction::Update, Digest::ZERO);
+        let snap = tms.replication_snapshot();
+        let names: Vec<&str> = snap.policies.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["p1", "p2"]);
-        for (name, records) in &policies {
+        for (name, records) in &snap.policies {
             assert_eq!(records, &tms.export_policy_records(name));
         }
-        assert_eq!(sessions.len(), 1);
-        assert_eq!(sessions[0].session, config.session);
-        assert_eq!(sessions[0].policy, "p1");
+        assert_eq!(snap.sessions.len(), 1);
+        assert_eq!(snap.sessions[0].session, config.session);
+        assert_eq!(snap.sessions[0].policy, "p1");
+        assert_eq!(snap.approvals.len(), 1);
+        assert_eq!(snap.approvals[0].nonce, req.nonce);
+        assert_eq!(snap.approvals[0].policy_name, "p1");
     }
 
     #[test]
@@ -2149,5 +2402,265 @@ services:
             .attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
             .unwrap();
         assert!(fresh.session > config.session, "mirrored id was re-issued");
+    }
+
+    #[test]
+    fn session_id_ranges_partition_the_space() {
+        let (tms, platform, _, mre) = setup();
+        tms.set_session_id_range(2, 64);
+        let binding = [5u8; 64];
+        let attest = || {
+            tms.attest_service(&quote_for(&platform, mre, binding), &binding, "p1", "app")
+                .unwrap()
+                .session
+        };
+        assert_eq!(attest(), SessionId(2));
+        assert_eq!(attest(), SessionId(66));
+        let record = |id: u64| SessionRecord {
+            session: SessionId(id),
+            policy: "p1".into(),
+            service: "app".into(),
+            volumes: vec!["data".into()],
+        };
+        // A peer-class id (domain 4) mirrors in without touching our
+        // allocator...
+        tms.import_session(&record(3 + 64 * 50));
+        assert_eq!(attest(), SessionId(130));
+        // ...while an own-class id jumps the slot counter past it.
+        tms.import_session(&record(2 + 64 * 9));
+        assert_eq!(attest(), SessionId(2 + 64 * 10));
+    }
+
+    #[test]
+    fn same_named_secret_exports_do_not_collide() {
+        // Regression: the export-secret key used to omit the producer
+        // segment, so two producers exporting a same-named secret to one
+        // consumer clobbered each other.
+        let tms = new_tms();
+        let platform = Platform::new("plat-1", Microcode::PostForeshadow);
+        tms.register_platform(platform.id(), platform.qe_verifying_key());
+        let (_, owner) = client();
+        let mre = Digest::from_bytes([0x30; 32]);
+        for producer in ["prod-a", "prod-b"] {
+            let p = Policy::parse(&format!(
+                r#"
+name: {producer}
+services:
+  - name: app
+    mrenclaves: ["{}"]
+secrets:
+  - name: shared_key
+    kind: binary
+    length: 32
+    export: consumer
+"#,
+                mre.to_hex()
+            ))
+            .unwrap();
+            tms.create_policy(&owner, p, None, &[]).unwrap();
+        }
+        let consumer = Policy::parse(&format!(
+            r#"
+name: consumer
+services:
+  - name: app
+    mrenclaves: ["{}"]
+"#,
+            mre.to_hex()
+        ))
+        .unwrap();
+        tms.create_policy(&owner, consumer, None, &[]).unwrap();
+
+        // Both producers' rows coexist under the consumer's prefix.
+        let from_a = tms.export_records_for("consumer", "prod-a");
+        let from_b = tms.export_records_for("consumer", "prod-b");
+        assert_eq!(from_a.len(), 1);
+        assert_eq!(from_b.len(), 1);
+        assert_ne!(from_a[0].1, from_b[0].1, "producers generated one value");
+
+        // Delivery is deterministic: first producer in key order wins.
+        let binding = [0u8; 64];
+        let config = tms
+            .attest_service(
+                &quote_for(&platform, mre, binding),
+                &binding,
+                "consumer",
+                "app",
+            )
+            .unwrap();
+        assert_eq!(config.secrets.get("shared_key").unwrap(), &from_a[0].1);
+
+        // Deleting one producer leaves the other's export intact.
+        tms.delete_policy("prod-a", &owner, None, &[]).unwrap();
+        assert!(tms.export_records_for("consumer", "prod-a").is_empty());
+        let config = tms
+            .attest_service(
+                &quote_for(&platform, mre, binding),
+                &binding,
+                "consumer",
+                "app",
+            )
+            .unwrap();
+        assert_eq!(config.secrets.get("shared_key").unwrap(), &from_b[0].1);
+        tms.delete_policy("prod-b", &owner, None, &[]).unwrap();
+        let config = tms
+            .attest_service(
+                &quote_for(&platform, mre, binding),
+                &binding,
+                "consumer",
+                "app",
+            )
+            .unwrap();
+        assert!(!config.secrets.contains_key("shared_key"));
+    }
+
+    #[test]
+    fn update_reconciles_export_rows() {
+        let tms = new_tms();
+        let (_, owner) = client();
+        let mre = Digest::from_bytes([0x31; 32]);
+        let spec = |secret_target: &str, vol_target: &str| {
+            Policy::parse(&format!(
+                r#"
+name: producer
+services:
+  - name: app
+    mrenclaves: ["{}"]
+secrets:
+  - name: api_key
+    kind: binary
+    length: 32
+    export: {secret_target}
+volumes:
+  - name: shared
+    export: {vol_target}
+"#,
+                mre.to_hex()
+            ))
+            .unwrap()
+        };
+        tms.create_policy(&owner, spec("t1", "t1"), None, &[])
+            .unwrap();
+        let before = tms.export_records_for("t1", "producer");
+        assert_eq!(before.len(), 2);
+
+        // Re-targeting moves the rows without rotating the material.
+        tms.update_policy(&owner, spec("t2", "t2"), None, &[])
+            .unwrap();
+        assert!(tms.export_records_for("t1", "producer").is_empty());
+        let after = tms.export_records_for("t2", "producer");
+        let values = |recs: &PolicyRecords| recs.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>();
+        assert_eq!(values(&after), values(&before), "material was rotated");
+
+        // Dropping the declarations entirely purges the rows.
+        let bare = Policy::parse(&format!(
+            r#"
+name: producer
+services:
+  - name: app
+    mrenclaves: ["{}"]
+volumes:
+  - name: shared
+"#,
+            mre.to_hex()
+        ))
+        .unwrap();
+        tms.update_policy(&owner, bare, None, &[]).unwrap();
+        assert!(tms.export_records_for("t2", "producer").is_empty());
+        assert_eq!(tms.export_targets("producer"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn forwarded_export_records_ride_the_targets_chain() {
+        let tms = new_tms();
+        tms.enable_change_capture();
+        let (_, owner) = client();
+        let mre = Digest::from_bytes([0x32; 32]);
+        tms.create_policy(&owner, simple_policy("cons", mre), None, &[])
+            .unwrap();
+        tms.take_policy_changes("cons");
+        let puts = vec![(b"export-secret/cons/far-prod/api".to_vec(), b"v1".to_vec())];
+        tms.apply_export_records("cons", &puts, &[]).unwrap();
+        let changes = tms
+            .take_policy_changes("cons")
+            .expect("forwarded rows captured under the consumer");
+        assert_eq!(changes.len(), 1);
+        // An empty batch is a no-op: no spurious delta.
+        tms.apply_export_records("cons", &Vec::new(), &[]).unwrap();
+        assert!(tms.take_policy_changes("cons").is_none());
+        // Tombstones drop the row again.
+        tms.apply_export_records(
+            "cons",
+            &Vec::new(),
+            &[b"export-secret/cons/far-prod/api".to_vec()],
+        )
+        .unwrap();
+        assert!(tms.export_records_for("cons", "far-prod").is_empty());
+    }
+
+    #[test]
+    fn approval_rounds_mirror_between_engines() {
+        let tms = new_tms();
+        let (_, owner) = client();
+        let alice = Stakeholder::from_seed("alice", b"a");
+        let mre = Digest::from_bytes([0x67; 32]);
+        let policy = Policy::parse(&format!(
+            r#"
+name: mirror_p
+services:
+  - name: app
+    mrenclaves: ["{}"]
+board:
+  threshold: 1
+  members:
+    - id: alice
+      key: {}
+"#,
+            mre.to_hex(),
+            alice.verifying_key().to_u64()
+        ))
+        .unwrap();
+        let req = tms.begin_approval("mirror_p", PolicyAction::Create, policy.digest());
+        tms.create_policy(
+            &owner,
+            policy.clone(),
+            Some(&req),
+            &[alice.vote(&req, true)],
+        )
+        .unwrap();
+        assert!(tms.export_approval(req.nonce).is_none(), "consumed");
+
+        // An open round mirrors onto a follower and completes there.
+        let mut updated = policy.clone();
+        updated.strict = true;
+        let req = tms.begin_approval("mirror_p", PolicyAction::Update, updated.digest());
+        let record = tms.export_approval(req.nonce).unwrap();
+        assert_eq!(record.policy_name, "mirror_p");
+        assert_eq!(tms.export_approvals(), vec![record.clone()]);
+
+        let follower = new_tms();
+        follower
+            .apply_policy_delta(&tms.export_policy_snapshot("mirror_p", 1))
+            .unwrap();
+        follower.import_approval(&record);
+        follower
+            .update_policy(&owner, updated, Some(&req), &[alice.vote(&req, true)])
+            .unwrap();
+
+        // The promoted follower never re-issues a mirrored nonce...
+        let fresh = follower.begin_approval("mirror_p", PolicyAction::Read, Digest::ZERO);
+        assert!(fresh.nonce > req.nonce, "mirrored nonce was re-issued");
+        // ...and a discarded round's nonce is unusable.
+        follower.discard_approval(fresh.nonce);
+        assert!(follower.export_approval(fresh.nonce).is_none());
+        let err = follower
+            .read_policy(
+                "mirror_p",
+                &owner,
+                Some(&fresh),
+                &[alice.vote(&fresh, true)],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("nonce"));
     }
 }

@@ -780,3 +780,83 @@ fn missing_write_quorum_fails_the_mutation() {
     update(&router, "wq", 3).unwrap();
     assert_eq!(read_version(&router, "wq"), 3);
 }
+
+/// A board-approval round opened on one primary completes on its
+/// successor: the round (nonce + approval tuple) is mirrored alongside
+/// the session table, so quarantining the issuing primary mid-round no
+/// longer strands the in-flight approval.
+#[test]
+fn approval_round_completes_on_the_successor_after_failover() {
+    use palaemon::core::board::{PolicyAction, Stakeholder};
+
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    let alice = Stakeholder::from_seed("alice", b"fo-board-a");
+    let bob = Stakeholder::from_seed("bob", b"fo-board-b");
+    let policy_text = format!(
+        "name: board-ha\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n\
+         board:\n  threshold: 2\n  members:\n    - id: alice\n      key: {}\n    \
+         - id: bob\n      key: {}\n",
+        Digest::from_bytes(MRE).to_hex(),
+        alice.verifying_key().to_u64(),
+        bob.verifying_key().to_u64(),
+    );
+    let policy = Policy::parse(&policy_text).unwrap();
+    let begin = |action| match router
+        .handle(TmsRequest::BeginApproval {
+            policy_name: "board-ha".into(),
+            action,
+            policy_digest: policy.digest(),
+        })
+        .unwrap()
+    {
+        TmsResponse::Approval(approval) => approval,
+        other => panic!("expected Approval, got {other:?}"),
+    };
+    let create_round = begin(PolicyAction::Create);
+    router
+        .handle(TmsRequest::CreatePolicy {
+            owner: owner(),
+            policy: Box::new(policy.clone()),
+            approval: Some(create_round.clone()),
+            votes: vec![
+                alice.vote(&create_round, true),
+                bob.vote(&create_round, true),
+            ],
+        })
+        .unwrap();
+
+    // Open an update round on the current primary, then kill that
+    // primary before any vote lands.
+    let round = begin(PolicyAction::Update);
+    let before = router.replica_status(id).unwrap();
+    assert!(router.quarantine(id, "power cut mid-round"));
+    let after = router.replica_status(id).unwrap();
+    assert_ne!(after.primary, before.primary, "a follower must take over");
+
+    // Both stakeholders vote against the successor; the round completes.
+    router
+        .handle(TmsRequest::UpdatePolicy {
+            client: owner(),
+            policy: Box::new(policy.clone()),
+            approval: Some(round.clone()),
+            votes: vec![alice.vote(&round, true), bob.vote(&round, true)],
+        })
+        .unwrap();
+
+    // The spent nonce is gone group-wide (live replicas) and a replay is
+    // refused; a fresh round gets a strictly newer nonce.
+    let replay = router.handle(TmsRequest::UpdatePolicy {
+        client: owner(),
+        policy: Box::new(policy.clone()),
+        approval: Some(round.clone()),
+        votes: vec![alice.vote(&round, true), bob.vote(&round, true)],
+    });
+    assert!(replay.is_err(), "spent nonce must not be replayable");
+    let fresh = begin(PolicyAction::Delete);
+    assert!(
+        fresh.nonce > round.nonce,
+        "the successor re-issued a mirrored nonce"
+    );
+}

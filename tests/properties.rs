@@ -776,3 +776,193 @@ proptest! {
         }
     }
 }
+
+#[derive(Debug, Clone, Copy)]
+enum ExportOp {
+    /// Create producer `0..3` (exporting its secret to the consumer).
+    Create(u8),
+    /// Update producer `0..3` to stop exporting.
+    Drop(u8),
+    /// Update producer `0..3` to export again.
+    Restore(u8),
+    /// Delete producer `0..3`.
+    Delete(u8),
+    /// Grow the ring by one shard (migrates whatever the ring reassigns).
+    AddShard,
+    /// Drain the most recently added shard (migrates its policies back).
+    DrainShard,
+}
+
+fn export_op_strategy() -> impl Strategy<Value = ExportOp> {
+    prop_oneof![
+        (0u8..3).prop_map(ExportOp::Create),
+        (0u8..3).prop_map(ExportOp::Create),
+        (0u8..3).prop_map(ExportOp::Drop),
+        (0u8..3).prop_map(ExportOp::Restore),
+        (0u8..3).prop_map(ExportOp::Delete),
+        Just(ExportOp::AddShard),
+        Just(ExportOp::DrainShard),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For arbitrary interleavings of producer lifecycle events (create /
+    /// drop-export / restore-export / delete) with ring changes (add /
+    /// drain shards — i.e. live migration of producers and the consumer),
+    /// attesting the consumer always delivers **exactly** the secrets of
+    /// the currently-live, currently-exporting producers: no dropped or
+    /// deleted producer's secret lingers, and no live export goes missing
+    /// because producer and consumer landed on different shards.
+    #[test]
+    fn cross_shard_exports_track_producers_through_migration(
+        ops in proptest::collection::vec(export_op_strategy(), 1..25)
+    ) {
+        use palaemon::core::counterfile::MemFileCounter;
+        use palaemon::core::policy::Policy;
+        use palaemon::core::server::{TmsRequest, TmsResponse};
+        use palaemon::core::tms::Palaemon;
+        use palaemon::crypto::Digest;
+        use palaemon::tee_sim::platform::{Microcode, Platform};
+        use palaemon::tee_sim::quote::{create_report, quote_report};
+        use std::sync::Arc;
+
+        let platform = Platform::new("xp-host", Microcode::PostForeshadow);
+        let mre = Digest::from_bytes([0xF0; 32]);
+        let owner = SigningKey::from_seed(b"xp-owner").verifying_key();
+        let shard = |tag: u32| {
+            let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([tag as u8; 32]));
+            let engine = Arc::new(Palaemon::new(
+                db,
+                SigningKey::from_seed(format!("xp-shard-{tag}").as_bytes()),
+                Digest::ZERO,
+                7 + u64::from(tag),
+            ));
+            engine.register_platform(platform.id(), platform.qe_verifying_key());
+            strict_shard(engine, MemFileCounter::new())
+        };
+        let producer = |p: u8, exporting: bool| {
+            let export = if exporting { "\n    export: xcons" } else { "" };
+            Policy::parse(&format!(
+                "name: xprod-{p}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n\
+                 secrets:\n  - name: key-{p}\n    kind: binary\n    length: 32{export}\n",
+                mre.to_hex()
+            ))
+            .unwrap()
+        };
+
+        let router = ClusterRouter::new(77, 32);
+        for i in 0..2u32 {
+            let (server, counter) = shard(i);
+            router.add_shard(ShardId(i), server, Some(counter)).unwrap();
+        }
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner,
+                policy: Box::new(Policy::parse(&format!(
+                    "name: xcons\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n",
+                    mre.to_hex()
+                )).unwrap()),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+
+        let mut present = [false; 3];
+        let mut exporting = [false; 3];
+        let mut added: Vec<u32> = Vec::new();
+        let mut next_shard = 2u32;
+        for op in ops {
+            match op {
+                ExportOp::Create(p) => {
+                    if !present[p as usize] {
+                        router
+                            .handle(TmsRequest::CreatePolicy {
+                                owner,
+                                policy: Box::new(producer(p, true)),
+                                approval: None,
+                                votes: Vec::new(),
+                            })
+                            .unwrap();
+                        present[p as usize] = true;
+                        exporting[p as usize] = true;
+                    }
+                }
+                ExportOp::Drop(p) | ExportOp::Restore(p) => {
+                    let want = matches!(op, ExportOp::Restore(_));
+                    if present[p as usize] && exporting[p as usize] != want {
+                        router
+                            .handle(TmsRequest::UpdatePolicy {
+                                client: owner,
+                                policy: Box::new(producer(p, want)),
+                                approval: None,
+                                votes: Vec::new(),
+                            })
+                            .unwrap();
+                        exporting[p as usize] = want;
+                    }
+                }
+                ExportOp::Delete(p) => {
+                    if present[p as usize] {
+                        router
+                            .handle(TmsRequest::DeletePolicy {
+                                name: format!("xprod-{p}"),
+                                client: owner,
+                                approval: None,
+                                votes: Vec::new(),
+                            })
+                            .unwrap();
+                        present[p as usize] = false;
+                        exporting[p as usize] = false;
+                    }
+                }
+                ExportOp::AddShard => {
+                    if added.len() < 4 {
+                        let (server, counter) = shard(next_shard);
+                        router
+                            .add_shard(ShardId(next_shard), server, Some(counter))
+                            .unwrap();
+                        added.push(next_shard);
+                        next_shard += 1;
+                    }
+                }
+                ExportOp::DrainShard => {
+                    if let Some(id) = added.pop() {
+                        router.drain_shard(ShardId(id)).unwrap();
+                    }
+                }
+            }
+
+            // The consumer's attestation delivers exactly the live,
+            // exporting producers' secrets — wherever the ring currently
+            // places the producers and the consumer.
+            let binding = [0u8; 64];
+            let report = create_report(&platform, mre, binding);
+            let quote = quote_report(&platform, &report).unwrap();
+            let config = match router
+                .handle(TmsRequest::AttestService {
+                    quote: Box::new(quote),
+                    tls_key_binding: binding,
+                    policy_name: "xcons".into(),
+                    service_name: "app".into(),
+                })
+                .unwrap()
+            {
+                TmsResponse::Config(config) => config,
+                other => panic!("expected Config, got {other:?}"),
+            };
+            let mut got: Vec<String> = config.secrets.keys().cloned().collect();
+            got.sort_unstable();
+            let mut expect: Vec<String> = (0..3u8)
+                .filter(|&p| present[p as usize] && exporting[p as usize])
+                .map(|p| format!("key-{p}"))
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(&got, &expect, "live exports must match live producers");
+            router
+                .handle(TmsRequest::CloseSession { session: config.session })
+                .unwrap();
+        }
+    }
+}
