@@ -30,6 +30,15 @@
 //! * [`FaultKind::CounterRollback`] — a replica's rollback-counter
 //!   watermark is reset to an older value (the Fig. 6 rollback signature):
 //!   the freshness election must never seat it.
+//! * [`FaultKind::StallForwardChannel`] — one follower's background
+//!   forward channel wedges: deltas enqueue (and, in windowed mode, ack)
+//!   but nothing ships until a fence drain or reinstate repairs the path.
+//!   The failover fence *ignores* the stall, which is exactly how an
+//!   enqueue-acked write survives a primary crash behind a dead pipe.
+//! * [`FaultKind::DropBatch`] — the next batch shipped on one follower's
+//!   channel vanishes on the wire, silently (no demotion): the window-wide
+//!   chain gap must surface at the follower's next delivery as a snapshot
+//!   resync — the batched analogue of [`FaultKind::LoseIncremental`].
 //!
 //! For "kill this replica's process" scenarios — where the replica stops
 //! answering *requests*, not just replication traffic — [`kill_server_at`]
@@ -76,6 +85,15 @@ pub enum FaultKind {
         /// The (older) counter value it reports afterwards.
         to: u64,
     },
+    /// Wedge follower `.0`'s background forward channel from this
+    /// mutation's enqueue on: deltas keep queueing but the sender stops
+    /// shipping until a fence drain (failover, migration) or
+    /// [`reinstate`](crate::ClusterRouter::reinstate) clears the stall.
+    StallForwardChannel(usize),
+    /// Silently lose the *next batch* shipped on follower `.0`'s channel —
+    /// the whole wire transfer, however many coalesced mutations it
+    /// covers — without the router noticing (no demotion).
+    DropBatch(usize),
 }
 
 /// The replication-path site a fault kind fires at.
@@ -95,7 +113,9 @@ impl FaultKind {
             FaultKind::CrashBeforeForward => FaultSite::BeforeForward,
             FaultKind::DropForwardToReplica(k)
             | FaultKind::LoseIncremental(k)
-            | FaultKind::ReorderIncremental(k) => FaultSite::ForwardTo(k),
+            | FaultKind::ReorderIncremental(k)
+            | FaultKind::StallForwardChannel(k)
+            | FaultKind::DropBatch(k) => FaultSite::ForwardTo(k),
             FaultKind::CrashAfterQuorum | FaultKind::CounterRollback { .. } => {
                 FaultSite::AfterQuorum
             }
@@ -302,6 +322,11 @@ mod tests {
             FaultKind::ReorderIncremental(2).site(),
             FaultSite::ForwardTo(2)
         );
+        assert_eq!(
+            FaultKind::StallForwardChannel(1).site(),
+            FaultSite::ForwardTo(1)
+        );
+        assert_eq!(FaultKind::DropBatch(2).site(), FaultSite::ForwardTo(2));
         assert_eq!(FaultKind::CrashAfterQuorum.site(), FaultSite::AfterQuorum);
         assert_eq!(
             FaultKind::CounterRollback { replica: 0, to: 0 }.site(),

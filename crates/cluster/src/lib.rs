@@ -29,8 +29,10 @@
 //!   policy.
 //! * **Replication & failover** ([`router`]) — each ring arc can be a
 //!   replica group ([`ClusterRouter::add_replicated_shard`]): the primary
-//!   applies a mutation, forwards the counter-attested policy/session
-//!   delta to its followers, and acks at a configurable write quorum. A
+//!   applies a mutation, enqueues the counter-attested policy/session
+//!   delta onto per-follower background channels (windowed batching off
+//!   the ack path under [`router::AckMode::Windowed`], synchronous
+//!   durable acks by default), and acks at a configurable write quorum. A
 //!   quarantined primary fails over to the freshest in-quorum follower —
 //!   freshness decided by the Fig. 6 counter token, so a rolled-back
 //!   replica never wins — instead of taking its arc offline. Reinstated or
@@ -53,7 +55,7 @@ pub mod router;
 pub use fault::{kill_server_at, FaultKind, FaultPlan, PlannedFault};
 pub use ring::{HashRing, ShardId};
 pub use router::{
-    strict_shard, ClusterError, ClusterRouter, ClusterStats, PolicyMove, ReadPreference,
+    strict_shard, AckMode, ClusterError, ClusterRouter, ClusterStats, PolicyMove, ReadPreference,
     ReplicaHealth, ReplicaSetStatus, ReplicaStatus, ReplicationMode, ReplicationStats, ShardHealth,
     ShardPlan, ShardStats,
 };

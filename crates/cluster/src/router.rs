@@ -36,9 +36,33 @@
 //! legitimately be lost by a later failover. A follower that misses or
 //! fails a forward is demoted from the quorum until it catches up.
 //! Attested sessions are mirrored the same way (create and close), so a
-//! session survives the loss of the replica that attested it. Forwarding
-//! is serialized per group (`forward_lock`), so in-quorum followers apply
-//! the same delta sequence the primary produced.
+//! session survives the loss of the replica that attested it. Delta
+//! *extraction* is serialized per group (`forward_lock`), so in-quorum
+//! followers apply the same delta sequence the primary produced.
+//!
+//! ## Pipelined forwards ([`AckMode`])
+//! Forwards no longer ride the client's call. The primary enqueues each
+//! delta onto a **per-follower background channel** under the forward
+//! lock — the critical section is now seat-check + capture-drain +
+//! enqueue, microseconds instead of R−1 wire round-trips — and a
+//! dedicated sender thread per follower drains its channel and ships. In
+//! the default [`AckMode::Durable`] the mutation still blocks until every
+//! live follower's sender has applied its delta (today's synchronous
+//! semantics, item for item, so omission faults surface exactly as
+//! before). [`AckMode::Windowed`] acknowledges at *local commit +
+//! enqueue-under-quorum*: the sender accumulates a flush window
+//! ([`ClusterRouter::set_flush_window`]) and ships **one chained delta
+//! covering the whole window** — consecutive same-policy incrementals
+//! coalesce their [`ChangeSet`]s (parent = the first's parent, token =
+//! the last's token), consecutive snapshots keep only the newest — so a
+//! window of N mutations costs one wire transfer and one follower apply.
+//! The chain-token rule is unchanged: a gap (e.g. a dropped batch)
+//! surfaces as an out-of-sequence rejection at the next delivery and is
+//! healed by the same snapshot resync. **Fencing:** every seat change
+//! drains all channels under the forward lock before the election, so an
+//! enqueue-acked write always reaches the electorate and a deposed
+//! primary's queued batches can never clobber its successor; an operator
+//! can force the same flush with [`ClusterRouter::flush_replication`].
 //!
 //! ## Read placement ([`ReadPreference`])
 //! Under the default [`ReadPreference::Primary`] every read is served by
@@ -107,17 +131,25 @@
 //! operator calls [`ClusterRouter::reinstate`].
 //!
 //! **Lock order:** `rebalance_gate` → `topology` → (one group's
-//! `forward_lock`) → `sessions` → (any engine's internal locks). Health
-//! flags are atomics so marking a replica Byzantine never blocks traffic.
+//! `forward_lock`) → (one pipe's `delivery` then `queue`) → `sessions` →
+//! (any engine's internal locks). Sender threads take only their own
+//! pipe's locks and engine locks — never `forward_lock` or `topology` —
+//! so the request path and the background data plane cannot deadlock.
+//! Health flags are atomics so marking a replica Byzantine never blocks
+//! traffic.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 use palaemon_core::counterfile::{BatchedCounter, MonotonicCounter};
 use palaemon_core::server::{ServerStats, TmsRequest, TmsResponse, TmsServer};
-use palaemon_core::tms::{Palaemon, PolicyDelta, PolicyRecords, ReplicationSnapshot, SessionId};
+use palaemon_core::tms::{
+    DeltaPayload, Palaemon, PolicyDelta, PolicyRecords, ReplicationSnapshot, SessionId,
+};
 use palaemon_core::PalaemonError;
+use palaemon_db::ChangeSet;
 use parking_lot::{Mutex, RwLock};
 
 use crate::fault::{FaultKind, FaultPlan, FaultSite};
@@ -236,6 +268,94 @@ pub enum ReplicationMode {
     Snapshot,
 }
 
+/// When a replicated mutation acknowledges to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// Block until every live follower's sender has applied the delta —
+    /// the synchronous semantics every caller had before pipelining.
+    /// Deltas ship item for item (no window coalescing), so omission
+    /// faults surface with exactly the pre-pipeline telemetry.
+    #[default]
+    Durable,
+    /// Acknowledge at local commit + enqueue-under-quorum: the write is
+    /// on the primary and queued (under the forward lock, seat verified)
+    /// to every in-quorum follower channel. The senders batch a flush
+    /// window into one chained delta per policy. Failover fencing drains
+    /// the channels before any election, so an enqueue-acked write
+    /// survives a primary crash; a *silently* dropped batch (omission on
+    /// the wire) surfaces as a chain gap and snapshot resync, exactly
+    /// like a lost synchronous forward.
+    Windowed,
+}
+
+/// Why a sender flushed its accumulation window (pipeline telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushReason {
+    /// The window filled to the batch cap before the timer fired.
+    WindowFull,
+    /// The flush-window timer elapsed.
+    Timer,
+    /// A fence (failover, migration install, operator flush) forced the
+    /// queue to drain.
+    Fence,
+    /// A durable-ack item demanded immediate shipping.
+    Durable,
+}
+
+/// Shared knobs of the pipelined forward path (one per router, cloned
+/// into every group; all atomic so senders read them lock-free).
+struct PipelineConfig {
+    /// Encoded [`AckMode`].
+    mode: AtomicU8,
+    /// Flush window in microseconds (windowed mode). 0 ships immediately.
+    window_micros: AtomicU64,
+    /// Max queued mutations one flush covers before the timer fires.
+    window_cap: AtomicUsize,
+    /// Modelled one-way wire latency per shipped batch, in microseconds —
+    /// the cost windowing amortizes. 0 (production default) disables it;
+    /// benches set it to measure the pipelining win.
+    forward_latency_micros: AtomicU64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            mode: AtomicU8::new(0),
+            window_micros: AtomicU64::new(1_000),
+            window_cap: AtomicUsize::new(64),
+            forward_latency_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn ack_mode(&self) -> AckMode {
+        match self.mode.load(Ordering::Acquire) {
+            0 => AckMode::Durable,
+            _ => AckMode::Windowed,
+        }
+    }
+
+    fn flush_window(&self) -> Duration {
+        Duration::from_micros(self.window_micros.load(Ordering::Acquire))
+    }
+
+    fn window_cap(&self) -> usize {
+        self.window_cap.load(Ordering::Acquire).max(1)
+    }
+
+    fn forward_latency(&self) -> Duration {
+        Duration::from_micros(self.forward_latency_micros.load(Ordering::Acquire))
+    }
+}
+
+/// Upper bound a durable-ack waiter spends on one follower delivery
+/// before treating it as failed (the sender resolves long before this in
+/// any healthy run; the cap only prevents an unbounded hang if a sender
+/// is wedged — the write then reports [`ClusterError::QuorumLost`], whose
+/// contract already allows the write to survive).
+const ACK_WAIT_CAP: Duration = Duration::from_secs(30);
+
 /// Replication and read-path telemetry of one replica group — what the
 /// per-arc `ClusterStats` report: where reads landed, how often the
 /// freshness check refused a follower, and how many bytes each delta form
@@ -267,6 +387,22 @@ pub struct ReplicationStats {
     /// Out-of-sequence deltas a follower refused (lost/reordered/replayed
     /// forwards surfacing at the chain check).
     pub sequence_rejections: u64,
+    /// Batches the background senders shipped (one wire transfer each).
+    pub batches_shipped: u64,
+    /// Mutations those batches covered (≥ `batches_shipped`; the ratio is
+    /// the windowing win).
+    pub mutations_shipped: u64,
+    /// Mutations-per-batch histogram: buckets of 1, 2–4, 5–16, 17–64 and
+    /// >64 mutations coalesced into one shipped delta.
+    pub batch_histogram: [u64; 5],
+    /// Flushes forced by the window cap filling.
+    pub flushes_window_full: u64,
+    /// Flushes fired by the window timer.
+    pub flushes_timer: u64,
+    /// Flushes forced by a fence (failover, migration, operator flush).
+    pub flushes_fence: u64,
+    /// Flushes demanded by a durable-ack item.
+    pub flushes_durable: u64,
 }
 
 /// Atomic backing for [`ReplicationStats`] (one per replica group).
@@ -283,6 +419,13 @@ struct ReplTelemetry {
     snapshot_bytes: AtomicU64,
     snapshot_resyncs: AtomicU64,
     sequence_rejections: AtomicU64,
+    batches_shipped: AtomicU64,
+    mutations_shipped: AtomicU64,
+    batch_histogram: [AtomicU64; 5],
+    flushes_window_full: AtomicU64,
+    flushes_timer: AtomicU64,
+    flushes_fence: AtomicU64,
+    flushes_durable: AtomicU64,
 }
 
 impl ReplTelemetry {
@@ -298,6 +441,32 @@ impl ReplTelemetry {
         }
     }
 
+    /// Accounts one shipped batch covering `mutations` coalesced deltas.
+    fn count_batch(&self, mutations: u64) {
+        self.batches_shipped.fetch_add(1, Ordering::Relaxed);
+        self.mutations_shipped
+            .fetch_add(mutations, Ordering::Relaxed);
+        let bucket = match mutations {
+            0..=1 => 0,
+            2..=4 => 1,
+            5..=16 => 2,
+            17..=64 => 3,
+            _ => 4,
+        };
+        self.batch_histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts why a sender flushed its window.
+    fn count_flush(&self, reason: FlushReason) {
+        let counter = match reason {
+            FlushReason::WindowFull => &self.flushes_window_full,
+            FlushReason::Timer => &self.flushes_timer,
+            FlushReason::Fence => &self.flushes_fence,
+            FlushReason::Durable => &self.flushes_durable,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> ReplicationStats {
         ReplicationStats {
             reads_primary: self.reads_primary.load(Ordering::Relaxed),
@@ -311,6 +480,19 @@ impl ReplTelemetry {
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
             snapshot_resyncs: self.snapshot_resyncs.load(Ordering::Relaxed),
             sequence_rejections: self.sequence_rejections.load(Ordering::Relaxed),
+            batches_shipped: self.batches_shipped.load(Ordering::Relaxed),
+            mutations_shipped: self.mutations_shipped.load(Ordering::Relaxed),
+            batch_histogram: [
+                self.batch_histogram[0].load(Ordering::Relaxed),
+                self.batch_histogram[1].load(Ordering::Relaxed),
+                self.batch_histogram[2].load(Ordering::Relaxed),
+                self.batch_histogram[3].load(Ordering::Relaxed),
+                self.batch_histogram[4].load(Ordering::Relaxed),
+            ],
+            flushes_window_full: self.flushes_window_full.load(Ordering::Relaxed),
+            flushes_timer: self.flushes_timer.load(Ordering::Relaxed),
+            flushes_fence: self.flushes_fence.load(Ordering::Relaxed),
+            flushes_durable: self.flushes_durable.load(Ordering::Relaxed),
         }
     }
 }
@@ -392,6 +574,10 @@ pub struct ShardStats {
     pub failovers: u64,
     /// Read-path and replication byte counters of the group.
     pub replication: ReplicationStats,
+    /// Deltas currently queued on each replica's forward channel, in
+    /// replica-index order (the primary's own slot is 0). Empty for
+    /// single-replica shards.
+    pub queue_depths: Vec<usize>,
 }
 
 /// Point-in-time view of one replica (for failover tests and operators).
@@ -508,6 +694,20 @@ impl std::fmt::Display for ClusterStats {
                     r.attests_follower,
                     r.attests_primary,
                 )?;
+                if r.batches_shipped > 0 {
+                    let queued: usize = s.queue_depths.iter().sum();
+                    write!(
+                        f,
+                        " | pipeline: {} batches / {} mutations ({} queued), flushes: {} full / {} timer / {} fence / {} durable",
+                        r.batches_shipped,
+                        r.mutations_shipped,
+                        queued,
+                        r.flushes_window_full,
+                        r.flushes_timer,
+                        r.flushes_fence,
+                        r.flushes_durable,
+                    )?;
+                }
             }
             writeln!(f)?;
         }
@@ -589,16 +789,282 @@ impl Replica {
     }
 }
 
-/// One ring arc's replica group: a primary plus R−1 synchronously mirrored
-/// followers.
-struct ReplicaSet {
-    replicas: Vec<Replica>,
+/// A synchronization point a durable-ack mutation parks on: resolved by
+/// the follower's sender thread once its delta is applied (or failed).
+struct Completion {
+    state: StdMutex<Option<bool>>,
+    done: Condvar,
+}
+
+impl Completion {
+    fn new() -> Arc<Self> {
+        Arc::new(Completion {
+            state: StdMutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn resolve(&self, ok: bool) {
+        *self.state.lock().unwrap() = Some(ok);
+        self.done.notify_all();
+    }
+
+    /// Blocks until resolved; `false` on failure or after `cap`.
+    fn wait(&self, cap: Duration) -> bool {
+        let deadline = Instant::now() + cap;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(ok) = *state {
+                return ok;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.done.wait_timeout(state, deadline - now).unwrap();
+            state = guard;
+        }
+    }
+}
+
+/// One delta queued on a follower's forward channel.
+struct QueuedForward {
+    delta: PolicyDelta,
+    /// Present for durable-ack items: the mutation blocks on it, and the
+    /// sender ships the item individually (never coalesced).
+    completion: Option<Arc<Completion>>,
+    /// A delta the fault injector delivered out of order (behind its
+    /// successor). Shipped individually via the legacy stale path: a
+    /// same-policy chain mismatch only counts a rejection — no resync, no
+    /// demotion — because the successor already carried the state.
+    stale: bool,
+}
+
+/// Mutable state of one follower's forward channel.
+struct PipeQueue {
+    items: VecDeque<QueuedForward>,
+    /// [`FaultKind::StallForwardChannel`]: the sender stops draining (a
+    /// wedged network path) until a fence drain or reinstate clears it.
+    stalled: bool,
+    /// [`FaultKind::DropBatch`]: the next popped batch vanishes on the
+    /// wire — silently, without demotion.
+    drop_next: bool,
+    shutdown: bool,
+}
+
+/// One follower's background forward channel plus its wakeup machinery.
+/// Lock order: `delivery` strictly before `queue`. `delivery` is held
+/// across pop + ship (by the sender or a fence drain), which makes
+/// "queue empty" observed under both locks mean "everything enqueued so
+/// far has been applied".
+struct Pipe {
+    queue: StdMutex<PipeQueue>,
+    ready: Condvar,
+    delivery: StdMutex<()>,
+    depth_peak: AtomicUsize,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Pipe {
+            queue: StdMutex::new(PipeQueue {
+                items: VecDeque::new(),
+                stalled: false,
+                drop_next: false,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            delivery: StdMutex::new(()),
+            depth_peak: AtomicUsize::new(0),
+        })
+    }
+
+    fn push(&self, item: QueuedForward) {
+        let mut q = self.queue.lock().unwrap();
+        q.items.push_back(item);
+        self.depth_peak.fetch_max(q.items.len(), Ordering::Relaxed);
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.lock().unwrap().items.len()
+    }
+
+    fn set_stalled(&self) {
+        self.queue.lock().unwrap().stalled = true;
+    }
+
+    fn set_drop_next(&self) {
+        self.queue.lock().unwrap().drop_next = true;
+    }
+
+    /// Clears injected faults (reinstate: the wedged path is repaired).
+    fn clear_faults(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.stalled = false;
+        q.drop_next = false;
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    /// Discards everything queued without delivering (the follower is
+    /// about to be rebuilt by a snapshot catch-up, which supersedes any
+    /// queued delta). Caller holds `delivery`.
+    fn purge(&self) {
+        let mut q = self.queue.lock().unwrap();
+        for item in q.items.drain(..) {
+            if let Some(c) = item.completion {
+                c.resolve(false);
+            }
+        }
+    }
+
+    /// Pops the whole queue (respecting `stalled` unless `ignore_stall`)
+    /// together with whether a [`FaultKind::DropBatch`] consumes it.
+    /// Caller holds `delivery`.
+    fn pop_all(&self, ignore_stall: bool) -> (Vec<QueuedForward>, bool) {
+        let mut q = self.queue.lock().unwrap();
+        if q.stalled && !ignore_stall {
+            return (Vec::new(), false);
+        }
+        let items: Vec<QueuedForward> = q.items.drain(..).collect();
+        let dropped = !items.is_empty() && std::mem::take(&mut q.drop_next);
+        (items, dropped)
+    }
+
+    fn begin_shutdown(&self) {
+        self.queue.lock().unwrap().shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One shipped delta: either a queued item verbatim, or a window of
+/// consecutive same-policy incrementals coalesced into one chained delta
+/// (parent = the first's parent, token = the last's token — the follower
+/// applies it exactly as it would the uncoalesced sequence).
+struct Shipment {
+    body: ShipBody,
+    mutations: u64,
+    stale: bool,
+    completions: Vec<Arc<Completion>>,
+}
+
+enum ShipBody {
+    Verbatim(PolicyDelta),
+    Merged {
+        policy: String,
+        changes: ChangeSet,
+        parent: u64,
+        token: u64,
+    },
+}
+
+impl Shipment {
+    fn build(self) -> (PolicyDelta, u64, bool, Vec<Arc<Completion>>) {
+        let delta = match self.body {
+            ShipBody::Verbatim(delta) => delta,
+            ShipBody::Merged {
+                policy,
+                changes,
+                parent,
+                token,
+            } => PolicyDelta::incremental(&policy, changes, token, parent),
+        };
+        (delta, self.mutations, self.stale, self.completions)
+    }
+}
+
+/// Rebuilds the [`ChangeSet`] an incremental delta was built from (the
+/// coalescing primitive; puts/tombstones are disjoint by construction).
+fn changeset_of(delta: PolicyDelta) -> ChangeSet {
+    let mut changes = ChangeSet::default();
+    match delta.payload {
+        DeltaPayload::Incremental { puts, tombstones } => {
+            for (key, value) in puts {
+                changes.record_put(key, value);
+            }
+            for key in tombstones {
+                changes.record_delete(key);
+            }
+        }
+        DeltaPayload::Snapshot { .. } => unreachable!("only incrementals coalesce"),
+    }
+    changes
+}
+
+/// Coalesces one popped window into the shipments that go on the wire.
+/// Same-policy runs of plain incrementals merge their change sets;
+/// consecutive snapshots keep only the newest. Durable-ack and stale
+/// items ship individually and close their policy's open run, so the
+/// per-policy delta order on the wire is exactly the enqueue order.
+fn coalesce(items: Vec<QueuedForward>) -> Vec<Shipment> {
+    let mut out: Vec<Shipment> = Vec::new();
+    let mut open: HashMap<String, usize> = HashMap::new();
+    for item in items {
+        let policy = item.delta.policy.clone();
+        let mergeable = !item.stale && item.completion.is_none();
+        if mergeable {
+            if let Some(&idx) = open.get(&policy) {
+                let incoming_incremental = item.delta.is_incremental();
+                let compatible = match &out[idx].body {
+                    ShipBody::Merged { .. } => incoming_incremental,
+                    ShipBody::Verbatim(prev) => !prev.is_incremental() && !incoming_incremental,
+                };
+                if compatible {
+                    match &mut out[idx].body {
+                        ShipBody::Merged { changes, token, .. } => {
+                            *token = item.delta.token;
+                            changes.merge(changeset_of(item.delta));
+                        }
+                        ShipBody::Verbatim(prev) => {
+                            *prev = item.delta; // later snapshot supersedes
+                        }
+                    }
+                    out[idx].mutations += 1;
+                    continue;
+                }
+            }
+        }
+        let idx = out.len();
+        let body = if mergeable && item.delta.is_incremental() {
+            let parent = item.delta.parent;
+            let token = item.delta.token;
+            ShipBody::Merged {
+                policy: policy.clone(),
+                changes: changeset_of(item.delta),
+                parent,
+                token,
+            }
+        } else {
+            ShipBody::Verbatim(item.delta)
+        };
+        out.push(Shipment {
+            body,
+            mutations: 1,
+            stale: item.stale,
+            completions: item.completion.into_iter().collect(),
+        });
+        if mergeable {
+            open.insert(policy, idx);
+        } else {
+            open.remove(&policy);
+        }
+    }
+    out
+}
+
+/// The replica-group state shared between the request path and the
+/// background sender threads. [`ReplicaSet`] derefs to it, so group
+/// fields read the same at every call site.
+struct GroupCore {
     /// Index of the current primary.
     primary: AtomicUsize,
     /// Acks (primary included) a mutation needs before it returns.
     write_quorum: usize,
-    /// Serializes delta extraction + forwarding (and migration installs),
+    /// Serializes delta extraction + enqueue (and migration installs),
     /// so followers apply the same delta sequence the primary produced.
+    /// Since pipelining, the wire time is *outside* this lock.
     forward_lock: Mutex<()>,
     /// Replicated-mutation index — the deterministic fault-plan coordinate.
     ops: AtomicU64,
@@ -615,12 +1081,221 @@ struct ReplicaSet {
     read_cursor: AtomicUsize,
     telemetry: ReplTelemetry,
     failovers: AtomicU64,
+    /// Replica roster mirror for the sender threads (resolving the
+    /// current primary's engine for snapshot resyncs without touching
+    /// the topology-guarded vector). Grows only under `add_replica`.
+    roster: Mutex<Vec<Arc<Replica>>>,
+    config: Arc<PipelineConfig>,
+}
+
+impl GroupCore {
+    /// The engine behind the current primary seat, as the sender threads
+    /// resolve it (never holds the roster lock across engine work).
+    fn seat_engine(&self) -> Arc<Palaemon> {
+        let roster = self.roster.lock();
+        let idx = self.primary.load(Ordering::Acquire).min(roster.len() - 1);
+        Arc::clone(roster[idx].engine())
+    }
+
+    /// Ships one delta to `follower`, healing a broken chain with an
+    /// on-the-spot snapshot resync from the current primary seat. Returns
+    /// true when the follower ended up holding the write; on any
+    /// unhealable failure the follower is demoted.
+    fn ship(&self, follower: &Replica, delta: &PolicyDelta) -> bool {
+        self.telemetry.count_delta(delta);
+        let outcome = match follower.engine().apply_policy_delta(delta) {
+            Err(PalaemonError::DeltaOutOfSequence { .. }) => {
+                // The follower's chain for this policy does not match —
+                // it is fresh, or a forward to it was lost or reordered.
+                // Never apply out of sequence: re-base it with a full
+                // snapshot at the same token.
+                self.telemetry
+                    .sequence_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                self.telemetry
+                    .snapshot_resyncs
+                    .fetch_add(1, Ordering::Relaxed);
+                let resync = self
+                    .seat_engine()
+                    .export_policy_snapshot(&delta.policy, delta.token);
+                self.telemetry.count_delta(&resync);
+                follower.engine().apply_policy_delta(&resync)
+            }
+            other => other,
+        };
+        match outcome {
+            Ok(()) => {
+                follower.applied.fetch_max(delta.token, Ordering::AcqRel);
+                true
+            }
+            Err(_) => {
+                follower.in_quorum.store(false, Ordering::Release);
+                false
+            }
+        }
+    }
+
+    /// Ships a stale (reordered) delta via the legacy out-of-order path:
+    /// cross-policy it is merely late and applies; same-policy the chain
+    /// check rejects it — counted, but no resync and no demotion, because
+    /// its successor already carried the state.
+    fn ship_stale(&self, follower: &Replica, delta: &PolicyDelta) -> bool {
+        self.telemetry.count_delta(delta);
+        match follower.engine().apply_policy_delta(delta) {
+            Ok(()) => {
+                follower.applied.fetch_max(delta.token, Ordering::AcqRel);
+            }
+            Err(_) => {
+                self.telemetry
+                    .sequence_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        true
+    }
+
+    /// Delivers one popped window to `follower`: accounts the flush,
+    /// coalesces, pays the modelled wire latency once for the whole
+    /// batch, and ships. `dropped` consumes the transfer on the wire
+    /// ([`FaultKind::DropBatch`]): nothing arrives, nobody is demoted,
+    /// and the resulting chain gap must surface at the next delivery.
+    fn deliver_batch(
+        &self,
+        follower: &Replica,
+        items: Vec<QueuedForward>,
+        dropped: bool,
+        reason: FlushReason,
+    ) {
+        self.telemetry.count_flush(reason);
+        let shipments = coalesce(items);
+        if dropped {
+            for s in shipments {
+                for c in s.completions {
+                    c.resolve(false);
+                }
+            }
+            return;
+        }
+        let latency = self.config.forward_latency();
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        for shipment in shipments {
+            let (delta, mutations, stale, completions) = shipment.build();
+            let ok = if stale {
+                self.ship_stale(follower, &delta)
+            } else {
+                self.ship(follower, &delta)
+            };
+            self.telemetry.count_batch(mutations);
+            for c in completions {
+                c.resolve(ok);
+            }
+        }
+    }
+}
+
+/// The per-follower background sender: waits for queued deltas, batches
+/// a flush window in [`AckMode::Windowed`] (durable items flush
+/// immediately), and ships under the pipe's delivery lock so fence
+/// drains stay atomic with in-flight deliveries.
+fn follower_sender(core: Arc<GroupCore>, pipe: Arc<Pipe>, follower: Arc<Replica>) {
+    loop {
+        let reason = {
+            let mut q = pipe.queue.lock().unwrap();
+            loop {
+                if q.shutdown {
+                    for item in q.items.drain(..) {
+                        if let Some(c) = item.completion {
+                            c.resolve(false);
+                        }
+                    }
+                    return;
+                }
+                if !q.items.is_empty() && !q.stalled {
+                    break;
+                }
+                q = pipe.ready.wait(q).unwrap();
+            }
+            let window = core.config.flush_window();
+            let cap = core.config.window_cap();
+            let durable_queued = |q: &PipeQueue| q.items.iter().any(|i| i.completion.is_some());
+            if window.is_zero() || durable_queued(&q) {
+                FlushReason::Durable
+            } else {
+                // Windowed accumulation: batch until the timer elapses,
+                // the cap fills, or a durable item demands a flush.
+                let deadline = Instant::now() + window;
+                let mut reason = FlushReason::Timer;
+                loop {
+                    if q.shutdown || q.stalled {
+                        break;
+                    }
+                    if q.items.len() >= cap {
+                        reason = FlushReason::WindowFull;
+                        break;
+                    }
+                    if durable_queued(&q) {
+                        reason = FlushReason::Durable;
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = pipe.ready.wait_timeout(q, deadline - now).unwrap();
+                    q = guard;
+                }
+                reason
+            }
+        };
+        // Queue lock released; take delivery → queue (the lock order the
+        // fence drain also follows) and ship whatever is still there — a
+        // racing fence may have drained it already.
+        let _delivery = pipe.delivery.lock().unwrap();
+        let (items, dropped) = pipe.pop_all(false);
+        if items.is_empty() {
+            continue;
+        }
+        core.deliver_batch(&follower, items, dropped, reason);
+    }
+}
+
+/// One ring arc's replica group: a primary plus R−1 mirrored followers,
+/// each fed by its own background forward channel. Derefs to
+/// [`GroupCore`] (the state the sender threads share).
+struct ReplicaSet {
+    replicas: Vec<Arc<Replica>>,
+    /// One forward channel per replica (parallel to `replicas`; empty
+    /// for single-replica groups, which never forward). Every replica
+    /// gets a pipe because any of them may become a follower later.
+    pipes: Vec<Arc<Pipe>>,
+    senders: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    core: Arc<GroupCore>,
+}
+
+impl std::ops::Deref for ReplicaSet {
+    type Target = GroupCore;
+    fn deref(&self) -> &GroupCore {
+        &self.core
+    }
+}
+
+impl Drop for ReplicaSet {
+    fn drop(&mut self) {
+        for pipe in &self.pipes {
+            pipe.begin_shutdown();
+        }
+        for handle in self.senders.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl ReplicaSet {
-    fn new(replicas: Vec<Replica>, write_quorum: usize) -> Self {
-        ReplicaSet {
-            replicas,
+    fn new(replicas: Vec<Replica>, write_quorum: usize, config: Arc<PipelineConfig>) -> Self {
+        let replicas: Vec<Arc<Replica>> = replicas.into_iter().map(Arc::new).collect();
+        let core = Arc::new(GroupCore {
             primary: AtomicUsize::new(0),
             write_quorum,
             forward_lock: Mutex::new(()),
@@ -630,6 +1305,58 @@ impl ReplicaSet {
             read_cursor: AtomicUsize::new(0),
             telemetry: ReplTelemetry::default(),
             failovers: AtomicU64::new(0),
+            roster: Mutex::new(replicas.clone()),
+            config,
+        });
+        let mut group = ReplicaSet {
+            replicas,
+            pipes: Vec::new(),
+            senders: Mutex::new(Vec::new()),
+            core,
+        };
+        if group.replicas.len() > 1 {
+            group.spawn_pipes();
+        }
+        group
+    }
+
+    /// Gives every replica without one a forward channel + sender thread
+    /// (group construction, and the R=1 → 2 upgrade in `add_replica`).
+    fn spawn_pipes(&mut self) {
+        let mut senders = self.senders.lock();
+        for k in self.pipes.len()..self.replicas.len() {
+            let pipe = Pipe::new();
+            let handle = std::thread::Builder::new()
+                .name(format!("palaemon-fwd-{k}"))
+                .spawn({
+                    let core = Arc::clone(&self.core);
+                    let pipe = Arc::clone(&pipe);
+                    let follower = Arc::clone(&self.replicas[k]);
+                    move || follower_sender(core, pipe, follower)
+                })
+                .expect("spawn forward sender");
+            senders.push(handle);
+            self.pipes.push(pipe);
+        }
+    }
+
+    /// Fences and drains every follower channel: delivers everything
+    /// queued (atomically w.r.t. in-flight sender deliveries) before
+    /// returning, so "drained" means *applied*, not just dequeued.
+    /// Caller holds `forward_lock`.
+    fn drain_pipes(&self, ignore_stall: bool) {
+        for (k, pipe) in self.pipes.iter().enumerate() {
+            let replica = &self.replicas[k];
+            if replica.is_quarantined() {
+                continue; // nobody to deliver to; reinstate clears it
+            }
+            let _delivery = pipe.delivery.lock().unwrap();
+            let (items, dropped) = pipe.pop_all(ignore_stall);
+            if items.is_empty() {
+                continue;
+            }
+            self.core
+                .deliver_batch(replica, items, dropped, FlushReason::Fence);
         }
     }
 
@@ -710,6 +1437,12 @@ impl ReplicaSet {
     /// through the entire failover window.
     fn depose_locked(&self, idx: usize, reason: String) -> Option<usize> {
         let moved = if self.primary.load(Ordering::Acquire) == idx {
+            // Fence + drain before the election: every queued batch —
+            // stalled channels included — reaches its follower now, so
+            // any enqueue-acked write is on the electorate and nothing
+            // of the deposed primary's reign stays queued to clobber
+            // the successor later.
+            self.drain_pipes(true);
             self.elect(idx).inspect(|&new| {
                 self.primary.store(new, Ordering::Release);
                 self.failovers.fetch_add(1, Ordering::Relaxed);
@@ -727,6 +1460,9 @@ impl ReplicaSet {
     /// demotes the follower from the quorum.
     fn group_install(&self, policy: &str, records: &PolicyRecords) -> Result<()> {
         let _forward = self.forward_lock.lock();
+        // Queued deltas predate the install; landing one *after* it would
+        // clobber the migrated records. Deliver them all first.
+        self.drain_pipes(true);
         let pidx = self.primary_idx();
         let primary = &self.replicas[pidx];
         primary.engine().purge_policy_records(policy)?;
@@ -755,6 +1491,7 @@ impl ReplicaSet {
     /// demote.
     fn group_purge(&self, policy: &str) -> Result<()> {
         let _forward = self.forward_lock.lock();
+        self.drain_pipes(true);
         let pidx = self.primary_idx();
         self.replicas[pidx].engine().purge_policy_records(policy)?;
         for (k, follower) in self.replicas.iter().enumerate() {
@@ -842,7 +1579,7 @@ const SESSION_ID_STRIDE: u64 = 64;
 
 /// Gives each replica of a group its own disjoint session-id residue
 /// class (idempotent; see [`SESSION_ID_STRIDE`]).
-fn partition_session_ids(replicas: &[Replica]) {
+fn partition_session_ids(replicas: &[Arc<Replica>]) {
     for (k, r) in replicas.iter().enumerate() {
         r.engine()
             .set_session_id_range(k as u64 + 1, SESSION_ID_STRIDE);
@@ -883,7 +1620,7 @@ fn approval_nonce(request: &TmsRequest) -> Option<u64> {
 /// The freshness comparator every seat election shares: the candidate
 /// with the highest applied counter token wins; ties go to the lowest
 /// index.
-fn freshest<'a>(candidates: impl Iterator<Item = (usize, &'a Replica)>) -> Option<usize> {
+fn freshest<'a>(candidates: impl Iterator<Item = (usize, &'a Arc<Replica>)>) -> Option<usize> {
     candidates
         .max_by(|(ia, a), (ib, b)| {
             let fa = a.applied.load(Ordering::Acquire);
@@ -1012,6 +1749,9 @@ pub struct ClusterRouter {
     read_preference: AtomicU8,
     /// What the forward path ships (encoded [`ReplicationMode`]).
     replication_mode: AtomicU8,
+    /// Knobs of the pipelined forward path, shared with every group's
+    /// sender threads.
+    pipeline: Arc<PipelineConfig>,
     /// Deterministic fault schedule (test builds); `None` in production.
     fault_plan: Mutex<Option<Arc<FaultPlan>>>,
     /// Fast-path flag mirroring `fault_plan.is_some()`, so the production
@@ -1044,6 +1784,7 @@ impl ClusterRouter {
             rebalance_gate: Mutex::new(()),
             read_preference: AtomicU8::new(0),
             replication_mode: AtomicU8::new(0),
+            pipeline: Arc::new(PipelineConfig::default()),
             fault_plan: Mutex::new(None),
             fault_armed: AtomicBool::new(false),
         }
@@ -1090,6 +1831,62 @@ impl ClusterRouter {
             0 => ReplicationMode::Incremental,
             _ => ReplicationMode::Snapshot,
         }
+    }
+
+    /// Switches when replicated mutations acknowledge (default:
+    /// [`AckMode::Durable`] — today's synchronous semantics).
+    pub fn set_ack_mode(&self, mode: AckMode) {
+        let code = match mode {
+            AckMode::Durable => 0,
+            AckMode::Windowed => 1,
+        };
+        self.pipeline.mode.store(code, Ordering::Release);
+    }
+
+    /// The current acknowledgement mode.
+    pub fn ack_mode(&self) -> AckMode {
+        self.pipeline.ack_mode()
+    }
+
+    /// Sets the windowed-mode flush window: how long a sender accumulates
+    /// queued deltas before shipping them as one batch. Zero ships every
+    /// enqueue immediately (still off the ack path).
+    pub fn set_flush_window(&self, window: Duration) {
+        self.pipeline
+            .window_micros
+            .store(window.as_micros() as u64, Ordering::Release);
+    }
+
+    /// Caps how many queued mutations one flush covers before the window
+    /// timer fires (default 64).
+    pub fn set_flush_window_cap(&self, cap: usize) {
+        self.pipeline
+            .window_cap
+            .store(cap.max(1), Ordering::Release);
+    }
+
+    /// Sets a modelled one-way wire latency paid once per shipped batch —
+    /// the per-message cost windowing amortizes. Zero (the default)
+    /// disables it; benches use it to measure the pipelining win.
+    pub fn set_forward_latency(&self, latency: Duration) {
+        self.pipeline
+            .forward_latency_micros
+            .store(latency.as_micros() as u64, Ordering::Release);
+    }
+
+    /// Fences and drains shard `id`'s forward channels: every queued
+    /// delta is applied to its follower before this returns (stalled
+    /// channels excepted — a wedged path cannot be flushed from here;
+    /// failover fencing ignores the stall instead). Returns false for an
+    /// unknown shard.
+    pub fn flush_replication(&self, id: ShardId) -> bool {
+        let topo = self.topology.read();
+        let Some(group) = topo.shards.get(&id) else {
+            return false;
+        };
+        let _forward = group.forward_lock.lock();
+        group.drain_pipes(false);
+        true
     }
 
     /// Shard ids currently in the cluster, in id order.
@@ -1623,127 +2420,168 @@ impl ClusterRouter {
         follower.engine().policy_cursor(&policy) == tail
     }
 
-    /// Forwards the counter-attested delta of `policy` — just mutated and
-    /// committed on the primary — to the group's in-quorum followers, and
-    /// acknowledges at write quorum. In [`ReplicationMode::Incremental`]
-    /// the delta carries only what the mutation changed (the engine's
-    /// captured [`ChangeSet`](palaemon_db::ChangeSet)), chained onto the
-    /// policy's previous token; a follower whose chain does not match —
-    /// fresh, lagging, or victim of a lost/reordered forward — rejects it
-    /// and is resynced on the spot with a snapshot delta. Consults the
-    /// fault plan at the three injection sites.
+    /// Replicates the counter-attested delta of `policy` — just mutated
+    /// and committed on the primary — to the group's in-quorum followers
+    /// via their background channels. The forward lock covers only
+    /// seat-check + capture-drain + chain assignment + enqueue, so
+    /// independent mutations of one shard pipeline concurrently; the wire
+    /// time runs on the senders. [`AckMode::Durable`] then blocks (lock
+    /// released) until every enqueued delivery resolves and acknowledges
+    /// at write quorum of *applied* replicas; [`AckMode::Windowed`]
+    /// acknowledges at enqueue-under-quorum. In
+    /// [`ReplicationMode::Incremental`] the delta carries only what the
+    /// mutation changed (the engine's captured [`ChangeSet`]), chained
+    /// onto the policy's previous token; a follower whose chain does not
+    /// match — fresh, lagging, or victim of a lost/reordered forward —
+    /// rejects it and is resynced on the spot with a snapshot delta.
+    /// Consults the fault plan at the three injection sites.
     fn replicate(&self, id: ShardId, group: &ReplicaSet, pidx: usize, policy: &str) -> Result<()> {
         let primary = &group.replicas[pidx];
-        let _forward = group.forward_lock.lock();
-        if group.primary_idx() != pidx || primary.is_quarantined() {
-            // A failover deposed us between the engine apply and the
-            // forward: the write reached only the deposed primary and is
-            // not acknowledged. Its captured changes stay undrained; the
-            // snapshot-based catch-up voids them before any rejoin.
-            return Err(ClusterError::ShardUnavailable(id));
-        }
-        let op = group.ops.fetch_add(1, Ordering::Relaxed) + 1;
-        let plan = if self.fault_armed.load(Ordering::Acquire) {
-            self.fault_plan.lock().clone()
-        } else {
-            None
-        };
-        if let Some(plan) = &plan {
-            if plan
-                .take(id, op, FaultSite::BeforeForward)
-                .contains(&FaultKind::CrashBeforeForward)
-            {
-                // The primary dies with the write applied only locally: it
-                // was never acked, so losing it in the failover is sound.
-                group.depose_locked(pidx, "fault: primary crashed before forwarding".into());
+        let durable = group.config.ack_mode() == AckMode::Durable;
+        // Deliveries this mutation is waiting on: (completion, whether it
+        // counts toward the quorum — stale redeliveries do not).
+        let mut waits: Vec<(Arc<Completion>, bool)> = Vec::new();
+        let mut acked = 1usize; // the primary itself
+        let (op, plan) = {
+            let _forward = group.forward_lock.lock();
+            if group.primary_idx() != pidx || primary.is_quarantined() {
+                // A failover deposed us between the engine apply and the
+                // forward: the write reached only the deposed primary and
+                // is not acknowledged. Its captured changes stay
+                // undrained; the snapshot-based catch-up voids them
+                // before any rejoin.
                 return Err(ClusterError::ShardUnavailable(id));
             }
-        }
-        // Drain what the mutation changed and assign the chain position:
-        // the freshness token is group-monotone (derived from the
-        // primary's Fig. 6 counter value), and `parent` is the token of
-        // the policy's previous delta — what a follower's cursor must
-        // match for an incremental to apply.
-        let changes = primary.engine().take_policy_changes(policy);
-        let counter_value = primary.counter.as_ref().map_or(0, |c| c.value());
-        let token = counter_value.max(group.watermark.load(Ordering::Acquire) + 1);
-        group.watermark.store(token, Ordering::Release);
-        primary.applied.store(token, Ordering::Release);
-        let parent = {
-            let mut chain = group.chain.lock();
-            let parent = chain.get(policy).copied().unwrap_or(0);
-            chain.insert(policy.to_string(), token);
-            parent
-        };
-        // The primary holds the mutation by construction; keep its own
-        // cursor in step so chain completeness (the election fitness
-        // check) is comparable across every replica.
-        primary.engine().advance_policy_cursor(policy, token);
-        let delta = match self.replication_mode() {
-            // A racing forward may have drained this mutation's changes
-            // already (they rode the earlier delta); an empty incremental
-            // still advances the chain.
-            ReplicationMode::Incremental => {
-                PolicyDelta::incremental(policy, changes.unwrap_or_default(), token, parent)
-            }
-            ReplicationMode::Snapshot => primary.engine().export_policy_snapshot(policy, token),
-        };
-        let mut acked = 1usize; // the primary itself
-        for (k, follower) in group.replicas.iter().enumerate() {
-            if k == pidx || follower.is_quarantined() {
-                continue;
-            }
-            if let Some(plan) = &plan {
-                let faults = plan.take(id, op, FaultSite::ForwardTo(k));
-                if faults.contains(&FaultKind::DropForwardToReplica(k)) {
-                    // Partitioned, and the router *saw* the send fail: the
-                    // follower no longer counts toward the quorum until it
-                    // catches up.
-                    follower.in_quorum.store(false, Ordering::Release);
-                    continue;
-                }
-                if faults.contains(&FaultKind::LoseIncremental(k)) {
-                    // Lost on the wire without the router noticing: no
-                    // demotion — the gap must surface at the follower's
-                    // next chain check.
-                    continue;
-                }
-                if faults.contains(&FaultKind::ReorderIncremental(k)) {
-                    // Held back by the network; delivered (stale) after
-                    // the next delta.
-                    *follower.held_delta.lock() = Some(delta.clone());
-                    continue;
-                }
-            }
-            if !follower.in_quorum.load(Ordering::Acquire) {
-                continue; // lagging — must catch up before rejoining
-            }
-            if self.deliver(group, primary, follower, &delta, token) {
-                acked += 1;
-            }
-            // A delta the injector held back arrives now, out of order —
-            // behind its successor. Cross-policy it is merely late (its
-            // own chain is intact); same-policy it must be rejected. Held
-            // deltas only exist under a fault plan, so production forwards
-            // never touch this lock.
-            let stale = if plan.is_some() {
-                follower.held_delta.lock().take()
+            let op = group.ops.fetch_add(1, Ordering::Relaxed) + 1;
+            let plan = if self.fault_armed.load(Ordering::Acquire) {
+                self.fault_plan.lock().clone()
             } else {
                 None
             };
-            if let Some(stale) = stale {
-                group.telemetry.count_delta(&stale);
-                match follower.engine().apply_policy_delta(&stale) {
-                    Ok(()) => {
-                        follower.applied.fetch_max(stale.token, Ordering::AcqRel);
+            if let Some(plan) = &plan {
+                if plan
+                    .take(id, op, FaultSite::BeforeForward)
+                    .contains(&FaultKind::CrashBeforeForward)
+                {
+                    // The primary dies with the write applied only
+                    // locally: it was never acked, so losing it in the
+                    // failover is sound.
+                    group.depose_locked(pidx, "fault: primary crashed before forwarding".into());
+                    return Err(ClusterError::ShardUnavailable(id));
+                }
+            }
+            // Drain what the mutation changed and assign the chain
+            // position: the freshness token is group-monotone (derived
+            // from the primary's Fig. 6 counter value), and `parent` is
+            // the token of the policy's previous delta — what a
+            // follower's cursor must match for an incremental to apply.
+            let changes = primary.engine().take_policy_changes(policy);
+            let counter_value = primary.counter.as_ref().map_or(0, |c| c.value());
+            let token = counter_value.max(group.watermark.load(Ordering::Acquire) + 1);
+            group.watermark.store(token, Ordering::Release);
+            primary.applied.store(token, Ordering::Release);
+            let parent = {
+                let mut chain = group.chain.lock();
+                let parent = chain.get(policy).copied().unwrap_or(0);
+                chain.insert(policy.to_string(), token);
+                parent
+            };
+            // The primary holds the mutation by construction; keep its
+            // own cursor in step so chain completeness (the election
+            // fitness check) is comparable across every replica.
+            primary.engine().advance_policy_cursor(policy, token);
+            let delta = match self.replication_mode() {
+                // A racing forward may have drained this mutation's
+                // changes already (they rode the earlier delta); an empty
+                // incremental still advances the chain.
+                ReplicationMode::Incremental => {
+                    PolicyDelta::incremental(policy, changes.unwrap_or_default(), token, parent)
+                }
+                ReplicationMode::Snapshot => primary.engine().export_policy_snapshot(policy, token),
+            };
+            for (k, follower) in group.replicas.iter().enumerate() {
+                if k == pidx || follower.is_quarantined() {
+                    continue;
+                }
+                if let Some(plan) = &plan {
+                    let faults = plan.take(id, op, FaultSite::ForwardTo(k));
+                    if faults.contains(&FaultKind::StallForwardChannel(k)) {
+                        // The channel wedges *before* this enqueue: the
+                        // delta queues behind a stalled sender. Enqueues
+                        // still count — a network stall is invisible to
+                        // the router — and fence drains deliver anyway.
+                        group.pipes[k].set_stalled();
                     }
-                    Err(_) => {
-                        group
-                            .telemetry
-                            .sequence_rejections
-                            .fetch_add(1, Ordering::Relaxed);
+                    if faults.contains(&FaultKind::DropBatch(k)) {
+                        // The next batch shipped on this channel vanishes
+                        // on the wire, silently.
+                        group.pipes[k].set_drop_next();
+                    }
+                    if faults.contains(&FaultKind::DropForwardToReplica(k)) {
+                        // Partitioned, and the router *saw* the send
+                        // fail: the follower no longer counts toward the
+                        // quorum until it catches up.
+                        follower.in_quorum.store(false, Ordering::Release);
+                        continue;
+                    }
+                    if faults.contains(&FaultKind::LoseIncremental(k)) {
+                        // Lost on the wire without the router noticing:
+                        // no demotion — the gap must surface at the
+                        // follower's next chain check.
+                        continue;
+                    }
+                    if faults.contains(&FaultKind::ReorderIncremental(k)) {
+                        // Held back by the network; delivered (stale)
+                        // after the next delta.
+                        *follower.held_delta.lock() = Some(delta.clone());
+                        continue;
                     }
                 }
+                if !follower.in_quorum.load(Ordering::Acquire) {
+                    continue; // lagging — must catch up before rejoining
+                }
+                let completion = durable.then(Completion::new);
+                group.pipes[k].push(QueuedForward {
+                    delta: delta.clone(),
+                    completion: completion.clone(),
+                    stale: false,
+                });
+                match completion {
+                    Some(c) => waits.push((c, true)),
+                    // Windowed: enqueue-under-quorum IS the ack.
+                    None => acked += 1,
+                }
+                // A delta the injector held back arrives now, out of
+                // order — queued behind its successor on the same
+                // channel. Cross-policy it is merely late (its own chain
+                // is intact); same-policy it must be rejected. Held
+                // deltas only exist under a fault plan, so production
+                // forwards never touch this lock.
+                let stale = if plan.is_some() {
+                    follower.held_delta.lock().take()
+                } else {
+                    None
+                };
+                if let Some(stale) = stale {
+                    let completion = durable.then(Completion::new);
+                    group.pipes[k].push(QueuedForward {
+                        delta: stale,
+                        completion: completion.clone(),
+                        stale: true,
+                    });
+                    if let Some(c) = completion {
+                        waits.push((c, false));
+                    }
+                }
+            }
+            (op, plan)
+        };
+        // Lock released: durable callers wait for their deliveries here,
+        // while other policies' mutations enqueue concurrently.
+        for (completion, counts) in waits {
+            let delivered = completion.wait(ACK_WAIT_CAP);
+            if counts && delivered {
+                acked += 1;
             }
         }
         if acked < group.write_quorum {
@@ -1757,9 +2595,11 @@ impl ClusterRouter {
             for kind in plan.take(id, op, FaultSite::AfterQuorum) {
                 match kind {
                     FaultKind::CrashAfterQuorum => {
-                        // The write is quorum-acked; the failover election
-                        // must preserve it.
-                        group.depose_locked(
+                        // The write is quorum-acked — in windowed mode
+                        // possibly still queued; the fence drain inside
+                        // the deposition delivers it, so the failover
+                        // election must (and does) preserve it.
+                        group.quarantine_replica(
                             pidx,
                             "fault: primary crashed after the quorum ack".into(),
                         );
@@ -1774,53 +2614,6 @@ impl ClusterRouter {
             }
         }
         Ok(())
-    }
-
-    /// Delivers one delta to a follower, healing a broken chain with an
-    /// on-the-spot snapshot resync. Returns true when the follower ended
-    /// up holding the write (it counts toward the quorum ack); on any
-    /// unhealable failure the follower is demoted.
-    fn deliver(
-        &self,
-        group: &ReplicaSet,
-        primary: &Replica,
-        follower: &Replica,
-        delta: &PolicyDelta,
-        token: u64,
-    ) -> bool {
-        group.telemetry.count_delta(delta);
-        let outcome = match follower.engine().apply_policy_delta(delta) {
-            Err(PalaemonError::DeltaOutOfSequence { .. }) => {
-                // The follower's chain for this policy does not match —
-                // it is fresh, or a forward to it was lost or reordered.
-                // Never apply out of sequence: re-base it with a full
-                // snapshot at the same token.
-                group
-                    .telemetry
-                    .sequence_rejections
-                    .fetch_add(1, Ordering::Relaxed);
-                group
-                    .telemetry
-                    .snapshot_resyncs
-                    .fetch_add(1, Ordering::Relaxed);
-                let resync = primary
-                    .engine()
-                    .export_policy_snapshot(&delta.policy, token);
-                group.telemetry.count_delta(&resync);
-                follower.engine().apply_policy_delta(&resync)
-            }
-            other => other,
-        };
-        match outcome {
-            Ok(()) => {
-                follower.applied.fetch_max(token, Ordering::AcqRel);
-                true
-            }
-            Err(_) => {
-                follower.in_quorum.store(false, Ordering::Release);
-                false
-            }
-        }
     }
 
     // ------------------------------------------------------------------
@@ -1882,6 +2675,7 @@ impl ClusterRouter {
                 .map(|(server, counter)| Replica::new(server, counter))
                 .collect(),
             write_quorum,
+            Arc::clone(&self.pipeline),
         );
         // Replicated groups capture per-mutation change sets on every
         // engine (any replica can be seated as the forwarding primary);
@@ -1991,7 +2785,7 @@ impl ClusterRouter {
                 group.replicas.len() + 1
             )));
         }
-        let replica = Replica::new(server, counter);
+        let replica = Arc::new(Replica::new(server, counter));
         // The newcomer's session-id residue class is fixed *before* the
         // catch-up copy so the live sessions it imports advance only its
         // own class counter (peer-class ids are not confusable with its
@@ -2001,7 +2795,11 @@ impl ClusterRouter {
             .set_session_id_range(group.replicas.len() as u64 + 1, SESSION_ID_STRIDE);
         catch_up(group, &replica).map_err(ClusterError::Engine)?;
         replica.rejoin();
+        group.roster.lock().push(Arc::clone(&replica));
         group.replicas.push(replica);
+        // Every replica gets a forward channel (covers the R=1 → 2
+        // upgrade, where replica 0 needs one too).
+        group.spawn_pipes();
         // The group is (now) replicated: every engine must capture what
         // its mutations change, since any replica may be seated as the
         // delta-forwarding primary later. Partitioning the session-id
@@ -2267,6 +3065,15 @@ impl ClusterRouter {
         };
         let _forward = group.forward_lock.lock(); // no forwards mid-resync
 
+        // Repair the channels first: injected stall/drop faults are gone
+        // (the operator fixed the network), and whatever is still queued
+        // to live replicas lands before anyone is caught up — a queued
+        // batch surviving its follower's catch-up would clobber it.
+        for pipe in &group.pipes {
+            pipe.clear_faults();
+        }
+        group.drain_pipes(true);
+
         // Seat a primary first: when the whole group went dark (no live
         // follower was electable at failure time), move the seat to the
         // replica with the highest applied token, so catch-up copies from
@@ -2294,6 +3101,12 @@ impl ClusterRouter {
         }
         for (k, replica) in group.replicas.iter().enumerate() {
             if k != pidx && !replica.is_in_quorum() {
+                // Queued deltas from the replica's previous life predate
+                // the snapshot catch-up and are void.
+                if let Some(pipe) = group.pipes.get(k) {
+                    let _delivery = pipe.delivery.lock().unwrap();
+                    pipe.purge();
+                }
                 // A replica whose resync failed stays out: rejoining it
                 // would let it claim state it does not hold.
                 if let Err(e) = catch_up(group, replica) {
@@ -2328,6 +3141,7 @@ impl ClusterRouter {
                         primary: pidx,
                         failovers: group.failovers.load(Ordering::Relaxed),
                         replication: group.telemetry.snapshot(),
+                        queue_depths: group.pipes.iter().map(|p| p.depth()).collect(),
                     }
                 })
                 .collect(),

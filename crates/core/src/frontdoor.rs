@@ -1,0 +1,524 @@
+//! The event-loop RPC front door: a bounded worker pool multiplexing many
+//! idle client sessions over submitted [`TmsRequest`]s.
+//!
+//! [`TmsServer::handle`] is synchronous — each in-flight request pins the
+//! calling thread until the engine answers. That is the right primitive
+//! for a handful of hot clients, but a production deployment fronts
+//! *thousands* of mostly-idle attested sessions: pinning a thread per
+//! connected client burns a stack and a scheduler slot on connections
+//! that speak once a minute. A [`FrontDoor`] decouples the two
+//! populations: any number of client handles [`FrontDoor::submit`]
+//! requests onto a bounded queue and park on cheap completion
+//! [`Ticket`]s (or register a callback with [`FrontDoor::submit_with`]),
+//! while a small fixed worker pool — sized to the engine's actual
+//! parallelism, not the client count — drains the queue through the
+//! server. One process multiplexes thousands of sessions over a few
+//! threads; the queue bound applies backpressure instead of letting a
+//! flood of requests pile up unboundedly ([`FrontDoor::try_submit`]
+//! refuses instead of blocking, for callers that shed load).
+//!
+//! The pipelined replication data plane is the same idea on the other
+//! side of the engine: see `palaemon-cluster`'s router, whose per-follower
+//! background channels take the wire off the mutation ack path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::error::Result;
+use crate::server::{TmsRequest, TmsResponse, TmsServer};
+
+/// Where a completed request's result goes.
+enum Sink {
+    /// Resolve a ticket a client is parked on.
+    Ticket(Arc<TicketState>),
+    /// Invoke a completion callback on the worker thread.
+    Callback(Box<dyn FnOnce(Result<TmsResponse>) + Send>),
+}
+
+struct Job {
+    request: TmsRequest,
+    sink: Sink,
+}
+
+struct DoorQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// State shared between submitters and workers.
+struct DoorShared {
+    queue: Mutex<DoorQueue>,
+    /// Signals workers that a job (or shutdown) is ready.
+    ready: Condvar,
+    /// Signals blocked submitters that queue space freed up.
+    space: Condvar,
+    capacity: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    queue_peak: AtomicUsize,
+}
+
+/// State of one submitted request's completion ticket.
+struct TicketState {
+    slot: Mutex<Option<Result<TmsResponse>>>,
+    done: Condvar,
+}
+
+/// A parked client's handle on one in-flight request. Cheap: a parked
+/// ticket is a mutex/condvar pair, not a thread.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl Ticket {
+    fn new() -> Self {
+        Ticket {
+            state: Arc::new(TicketState {
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// True once the result is available ([`Ticket::wait`] won't block).
+    pub fn is_done(&self) -> bool {
+        self.state.slot.lock().unwrap().is_some()
+    }
+
+    /// The result, if already available — the ticket stays waitable
+    /// otherwise.
+    pub fn try_take(&self) -> Option<Result<TmsResponse>> {
+        self.state.slot.lock().unwrap().take()
+    }
+
+    /// Parks until the request completes and returns its result.
+    pub fn wait(self) -> Result<TmsResponse> {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.done.wait(slot).unwrap();
+        }
+    }
+}
+
+/// Point-in-time counters of a [`FrontDoor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontDoorStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Queue bound (backpressure threshold).
+    pub capacity: usize,
+    /// Requests accepted onto the queue.
+    pub submitted: u64,
+    /// Requests fully processed (ticket resolved / callback run).
+    pub completed: u64,
+    /// Submissions [`FrontDoor::try_submit`] refused at saturation.
+    pub rejected: u64,
+    /// Requests queued right now.
+    pub queue_depth: usize,
+    /// Deepest the queue has been — how far ahead of the pool the
+    /// submitters ran.
+    pub queue_peak: usize,
+}
+
+/// The bounded thread-pool front door over one [`TmsServer`]. Dropping it
+/// drains the queue (every accepted request still completes) and joins
+/// the workers.
+pub struct FrontDoor {
+    shared: Arc<DoorShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FrontDoor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("FrontDoor")
+            .field("workers", &s.workers)
+            .field("queue_depth", &s.queue_depth)
+            .finish()
+    }
+}
+
+impl FrontDoor {
+    /// Spawns a pool of `workers` threads over `server` with a default
+    /// queue bound of 128 jobs per worker.
+    pub fn new(server: TmsServer, workers: usize) -> Self {
+        let workers = workers.max(1);
+        FrontDoor::with_capacity(server, workers, workers * 128)
+    }
+
+    /// Spawns a pool with an explicit queue bound: at most `capacity`
+    /// jobs wait at once; further [`FrontDoor::submit`]s block (and
+    /// [`FrontDoor::try_submit`]s refuse) until space frees up.
+    pub fn with_capacity(server: TmsServer, workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(DoorShared {
+            queue: Mutex::new(DoorQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_peak: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let server = server.clone();
+                std::thread::Builder::new()
+                    .name(format!("palaemon-door-{i}"))
+                    .spawn(move || worker_loop(shared, server))
+                    .expect("spawn front-door worker")
+            })
+            .collect();
+        FrontDoor {
+            shared,
+            workers: handles,
+        }
+    }
+
+    fn enqueue(&self, job: Job) {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.shared.queue.lock().unwrap();
+        q.jobs.push_back(job);
+        self.shared
+            .queue_peak
+            .fetch_max(q.jobs.len(), Ordering::Relaxed);
+        drop(q);
+        self.shared.ready.notify_one();
+    }
+
+    /// Submits a request, blocking while the queue is at capacity
+    /// (backpressure), and returns the completion [`Ticket`] the caller
+    /// parks on — or polls, or drops (the request still runs).
+    pub fn submit(&self, request: TmsRequest) -> Ticket {
+        let ticket = Ticket::new();
+        let sink = Sink::Ticket(Arc::clone(&ticket.state));
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            while q.jobs.len() >= self.shared.capacity && !q.shutdown {
+                q = self.shared.space.wait(q).unwrap();
+            }
+        }
+        self.enqueue(Job { request, sink });
+        ticket
+    }
+
+    /// Submits without blocking: at saturation the request is handed
+    /// back (`Err`) so the caller can shed load instead of piling on.
+    // The large Err variant is the point: the rejected request returns
+    // to the caller by value so it can be retried or shed unboxed.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, request: TmsRequest) -> std::result::Result<Ticket, TmsRequest> {
+        {
+            let q = self.shared.queue.lock().unwrap();
+            if q.jobs.len() >= self.shared.capacity {
+                drop(q);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(request);
+            }
+        }
+        let ticket = Ticket::new();
+        let sink = Sink::Ticket(Arc::clone(&ticket.state));
+        self.enqueue(Job { request, sink });
+        Ok(ticket)
+    }
+
+    /// Submits with a completion callback instead of a ticket — the
+    /// event-loop form. The callback runs on a worker thread; keep it
+    /// short. Blocks at capacity like [`FrontDoor::submit`].
+    pub fn submit_with(
+        &self,
+        request: TmsRequest,
+        callback: impl FnOnce(Result<TmsResponse>) + Send + 'static,
+    ) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            while q.jobs.len() >= self.shared.capacity && !q.shutdown {
+                q = self.shared.space.wait(q).unwrap();
+            }
+        }
+        self.enqueue(Job {
+            request,
+            sink: Sink::Callback(Box::new(callback)),
+        });
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FrontDoorStats {
+        FrontDoorStats {
+            workers: self.workers.len(),
+            capacity: self.shared.capacity,
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.lock().unwrap().jobs.len(),
+            queue_peak: self.shared.queue_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for FrontDoor {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        self.shared.space.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<DoorShared>, server: TmsServer) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return; // queue drained, pool shutting down
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+        };
+        shared.space.notify_one();
+        let result = server.handle(job.request);
+        // Count before resolving the sink: a client whose ticket just
+        // resolved must see its own request in `completed`.
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        match job.sink {
+            Sink::Ticket(state) => {
+                *state.slot.lock().unwrap() = Some(result);
+                state.done.notify_all();
+            }
+            Sink::Callback(callback) => callback(result),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    use super::*;
+    use crate::error::PalaemonError;
+    use crate::policy::Policy;
+    use crate::server::FaultHook;
+    use crate::tms::{Palaemon, SessionId};
+    use palaemon_crypto::aead::AeadKey;
+    use palaemon_crypto::sig::SigningKey;
+    use palaemon_crypto::Digest;
+    use palaemon_db::Db;
+    use shielded_fs::fs::TagEvent;
+    use shielded_fs::store::MemStore;
+    use tee_sim::platform::{Microcode, Platform};
+    use tee_sim::quote::{create_report, quote_report};
+
+    const MRE: [u8; 32] = [0x6d; 32];
+
+    /// One engine with one policy (`name`, service `app`, volume `data`)
+    /// — the fixture every front-door test drives through the pool.
+    fn fixture(name: &str) -> (TmsServer, Platform) {
+        let platform = Platform::new("door-host", Microcode::PostForeshadow);
+        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32]));
+        let engine = Arc::new(Palaemon::new(
+            db,
+            SigningKey::from_seed(b"door"),
+            Digest::ZERO,
+            17,
+        ));
+        engine.register_platform(platform.id(), platform.qe_verifying_key());
+        let server = TmsServer::new(engine);
+        let owner = SigningKey::from_seed(b"door-owner").verifying_key();
+        let policy = Policy::parse(&format!(
+            "name: {name}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+             volumes: [\"data\"]\nvolumes:\n  - name: data\n",
+            Digest::from_bytes(MRE).to_hex()
+        ))
+        .unwrap();
+        server
+            .handle(TmsRequest::CreatePolicy {
+                owner,
+                policy: Box::new(policy),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .unwrap();
+        (server, platform)
+    }
+
+    fn attest_request(platform: &Platform, policy: &str) -> TmsRequest {
+        let binding = [0u8; 64];
+        let report = create_report(platform, Digest::from_bytes(MRE), binding);
+        TmsRequest::AttestService {
+            quote: Box::new(quote_report(platform, &report).unwrap()),
+            tls_key_binding: binding,
+            policy_name: policy.into(),
+            service_name: "app".into(),
+        }
+    }
+
+    #[test]
+    fn thousands_of_sessions_multiplex_over_a_small_pool() {
+        let (server, platform) = fixture("mux");
+        let engine = Arc::clone(server.engine());
+        let door = FrontDoor::with_capacity(server, 4, 64);
+
+        // 1000 clients attest concurrently through a 4-thread pool: no
+        // thread per client anywhere, just tickets. Quotes are minted up
+        // front so the submit loop outruns the verifying workers.
+        const SESSIONS: usize = 1000;
+        let requests: Vec<TmsRequest> = (0..SESSIONS)
+            .map(|_| attest_request(&platform, "mux"))
+            .collect();
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| door.submit(r)).collect();
+        let mut sessions = Vec::new();
+        for ticket in tickets {
+            match ticket.wait().expect("attest") {
+                TmsResponse::Config(config) => sessions.push(config.session),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        // Every session is live and distinct.
+        let mut ids: Vec<u64> = sessions.iter().map(|s| s.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), SESSIONS, "sessions must be distinct");
+        assert_eq!(engine.session_count(), SESSIONS);
+
+        // Each parked session speaks once more (a tag push), again over
+        // the same 4 workers.
+        let pushes: Vec<Ticket> = sessions
+            .iter()
+            .map(|&s| {
+                door.submit(TmsRequest::PushTag {
+                    session: s,
+                    volume: "data".into(),
+                    tag: Digest::from_bytes([7; 32]),
+                    event: TagEvent::FileClose,
+                })
+            })
+            .collect();
+        for ticket in pushes {
+            ticket.wait().expect("push tag");
+        }
+
+        let stats = door.stats();
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.submitted, 2 * SESSIONS as u64);
+        assert_eq!(stats.completed, stats.submitted);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(
+            stats.queue_peak > stats.workers,
+            "submitters must run ahead of the pool (peak {} vs {} workers)",
+            stats.queue_peak,
+            stats.workers
+        );
+    }
+
+    #[test]
+    fn callbacks_fire_and_drop_drains_accepted_work() {
+        let (server, platform) = fixture("cb");
+        let engine = Arc::clone(server.engine());
+        let door = FrontDoor::with_capacity(server, 2, 32);
+
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            door.submit_with(attest_request(&platform, "cb"), move |result| {
+                result.expect("attest");
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Dropping the door drains everything already accepted.
+        drop(door);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        assert_eq!(engine.session_count(), 16);
+    }
+
+    #[test]
+    fn saturation_applies_backpressure_instead_of_unbounded_growth() {
+        let (server, _platform) = fixture("sat");
+        // A server whose every request stalls 20ms: one worker, capacity
+        // 2 — a further concurrent submission must be refused.
+        let gate: FaultHook = Arc::new(|_req| {
+            std::thread::sleep(Duration::from_millis(20));
+            Ok(())
+        });
+        let door = FrontDoor::with_capacity(server.with_fault_hook(gate), 1, 2);
+
+        // Fill the worker + the queue with slow probes (`submit` blocks
+        // once the queue is full, so these all land eventually).
+        let parked: Vec<Ticket> = (0..3)
+            .map(|_| door.submit(TmsRequest::PolicyCount))
+            .collect();
+        // Saturated now (1 in flight + 2 queued): try_submit refuses and
+        // hands the request back.
+        let refused = door.try_submit(TmsRequest::PolicyCount);
+        assert!(refused.is_err(), "saturated door must shed load");
+        assert!(door.stats().rejected >= 1);
+        for ticket in parked {
+            ticket.wait().expect("probe");
+        }
+        // Space freed: accepted again.
+        door.try_submit(TmsRequest::PolicyCount)
+            .expect("space freed")
+            .wait()
+            .expect("probe");
+    }
+
+    #[test]
+    fn tickets_poll_without_blocking_and_errors_pass_through() {
+        let (server, _platform) = fixture("poll");
+        let door = FrontDoor::with_capacity(server, 2, 16);
+        let ticket = door.submit(TmsRequest::PushTag {
+            session: SessionId(9999),
+            volume: "data".into(),
+            tag: Digest::ZERO,
+            event: TagEvent::Sync,
+        });
+        let result = ticket.wait();
+        assert!(
+            matches!(result, Err(PalaemonError::NoSuchSession)),
+            "engine errors must reach the ticket: {result:?}"
+        );
+
+        let ticket = door.submit(TmsRequest::PolicyCount);
+        // Polling loop: is_done/try_take instead of parking.
+        let mut polled = None;
+        for _ in 0..500 {
+            if let Some(result) = ticket.try_take() {
+                polled = Some(result);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            matches!(polled, Some(Ok(TmsResponse::Count(1)))),
+            "poll must observe the completed count: {polled:?}"
+        );
+    }
+}

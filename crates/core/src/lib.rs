@@ -33,6 +33,7 @@ pub mod board;
 pub mod ca;
 pub mod counterfile;
 pub mod error;
+pub mod frontdoor;
 pub mod instance;
 pub mod policy;
 pub mod runtime;

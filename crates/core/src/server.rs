@@ -5,7 +5,11 @@
 //! [`TmsRequest`] to the matching engine operation, returning a
 //! [`TmsResponse`]. Handles are cheap to clone — give every client thread
 //! its own clone and call [`TmsServer::handle`] concurrently; the engine's
-//! sharded locks (see [`crate::tms`]) do the rest.
+//! sharded locks (see [`crate::tms`]) do the rest. When clients outnumber
+//! useful threads — thousands of mostly-idle attested sessions — front the
+//! server with a [`crate::frontdoor::FrontDoor`] instead: a bounded worker
+//! pool drains a shared request queue and resolves per-request completion
+//! tickets or callbacks, so idle sessions cost no thread at all.
 //!
 //! ## Strict commit mode (batched Fig. 6 counter)
 //! A server built with [`TmsServer::with_commit_counter`] couples every

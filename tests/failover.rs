@@ -23,8 +23,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use palaemon::cluster::{
-    kill_server_at, strict_shard, ClusterError, ClusterRouter, FaultKind, FaultPlan, PlannedFault,
-    ReadPreference, ReplicationMode, ShardId,
+    kill_server_at, strict_shard, AckMode, ClusterError, ClusterRouter, FaultKind, FaultPlan,
+    PlannedFault, ReadPreference, ReplicationMode, ShardId,
 };
 use palaemon::core::counterfile::{BatchedCounter, MemFileCounter};
 use palaemon::core::policy::Policy;
@@ -160,15 +160,18 @@ fn attest(router: &ClusterRouter, platform: &Platform, policy: &str) -> SessionI
 /// *every* shard mid-traffic. No read may miss, no read may observe a
 /// version older than the last acknowledged one, and after the dust
 /// settles every policy serves its last acked version. Runs under both
-/// read placements: primary-only, and quorum reads fanned across the
-/// freshness-checked followers.
-fn chaos_under_live_traffic(preference: ReadPreference) {
+/// read placements (primary-only, and quorum reads fanned across the
+/// freshness-checked followers) and both ack modes (synchronous durable
+/// forwards, and windowed background batching where the fence drain at
+/// deposition is what keeps queued acked writes alive).
+fn chaos_under_live_traffic(preference: ReadPreference, mode: AckMode) {
     const POLICIES: usize = 12;
     const READERS: usize = 3;
 
     let platform = Platform::new("fo-host", Microcode::PostForeshadow);
     let router = Arc::new(replicated_cluster(&platform, 2, 3, 2));
     router.set_read_preference(preference);
+    router.set_ack_mode(mode);
     let names: Vec<String> = (0..POLICIES).map(|i| format!("ha-{i}")).collect();
     for name in &names {
         create(&router, name, 1);
@@ -261,7 +264,7 @@ fn chaos_under_live_traffic(preference: ReadPreference) {
 
 #[test]
 fn quarantining_any_primary_under_live_traffic_loses_no_acked_writes() {
-    chaos_under_live_traffic(ReadPreference::Primary);
+    chaos_under_live_traffic(ReadPreference::Primary, AckMode::Durable);
 }
 
 /// Same chaos, but every read fans out across the quorum: the freshness
@@ -269,7 +272,24 @@ fn quarantining_any_primary_under_live_traffic_loses_no_acked_writes() {
 /// than acked" bar even while primaries are being pulled.
 #[test]
 fn quorum_reads_lose_no_acked_writes_under_chaos() {
-    chaos_under_live_traffic(ReadPreference::Quorum);
+    chaos_under_live_traffic(ReadPreference::Quorum, AckMode::Durable);
+}
+
+/// The same chaos with forwards riding the windowed background channels:
+/// acks happen at local commit + enqueue, so the zero-loss bar now rests
+/// entirely on the fence drain at deposition flushing the queues before
+/// the election.
+#[test]
+fn windowed_pipeline_loses_no_acked_writes_under_chaos() {
+    chaos_under_live_traffic(ReadPreference::Primary, AckMode::Windowed);
+}
+
+/// Windowed batching and quorum reads together: a follower is only a read
+/// candidate while its applied token matches the watermark, so the batch
+/// lag must push reads back to the primary rather than serve stale data.
+#[test]
+fn windowed_quorum_reads_lose_no_acked_writes_under_chaos() {
+    chaos_under_live_traffic(ReadPreference::Quorum, AckMode::Windowed);
 }
 
 /// An incremental delta lost on the wire *without the router noticing*
@@ -859,4 +879,160 @@ fn approval_round_completes_on_the_successor_after_failover() {
         fresh.nonce > round.nonce,
         "the successor re-issued a mirrored nonce"
     );
+}
+
+/// Windowed pipeline, both forward channels wedged: every write still
+/// acks (enqueue-under-quorum — a network stall is invisible to the
+/// router), the deltas pile up in the per-follower queues, and the fence
+/// drain at deposition delivers every one of them before the election.
+/// Zero acked writes lost even though *no* forward reached any follower
+/// before the primary died.
+#[test]
+fn stalled_forward_channels_lose_no_acked_writes_across_failover() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    router.set_ack_mode(AckMode::Windowed);
+    // A flush window far beyond the test: only the stall + fence matter.
+    router.set_flush_window(Duration::from_secs(30));
+    let id = ShardId(0);
+    let plan = FaultPlan::new([
+        PlannedFault {
+            shard: id,
+            op: 2,
+            kind: FaultKind::StallForwardChannel(1),
+        },
+        PlannedFault {
+            shard: id,
+            op: 2,
+            kind: FaultKind::StallForwardChannel(2),
+        },
+    ]);
+    router.set_fault_plan(Arc::clone(&plan));
+
+    create(&router, "st", 1); // op 1: queued (long window), not yet shipped
+    for version in 2..=6 {
+        update(&router, "st", version).unwrap(); // op 2 wedges both channels
+    }
+    assert!(plan.all_fired());
+
+    // Nothing was demoted — the stall is indistinguishable from a slow
+    // wire — and the backlog is visible in the queue depths.
+    let status = router.replica_status(id).unwrap();
+    assert!(status.replicas.iter().all(|r| r.in_quorum));
+    let shard = &router.stats().shards[0];
+    assert!(
+        shard.queue_depths.iter().sum::<usize>() >= 2,
+        "stalled channels must show a backlog: {:?}",
+        shard.queue_depths
+    );
+
+    // Pull the primary: deposing it fences (drains) its channels, so the
+    // queued v1..v6 reach the followers before the freshness election.
+    assert!(router.quarantine(id, "chaos: primary pulled"));
+    let status = router.replica_status(id).unwrap();
+    assert_ne!(status.primary, 0, "a follower must hold the seat");
+    assert_eq!(
+        read_version(&router, "st"),
+        6,
+        "every acked write must survive the stalled-channel failover"
+    );
+    let repl = router.stats().shards[0].replication;
+    assert!(repl.flushes_fence >= 1, "{repl:?}");
+
+    // The group keeps accepting writes on the successor.
+    update(&router, "st", 7).unwrap();
+    assert_eq!(read_version(&router, "st"), 7);
+}
+
+/// A whole batch lost on the wire *silently* (no demotion — the sender
+/// saw it leave): the victim's chain now has a gap, the next shipped
+/// batch must surface it, and the group heals with a snapshot resync.
+/// Failing over onto either follower afterwards serves the acked state.
+#[test]
+fn dropped_batch_heals_by_snapshot_resync_and_survives_failover() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    router.set_ack_mode(AckMode::Windowed);
+    router.set_flush_window(Duration::from_secs(30));
+    let id = ShardId(0);
+
+    create(&router, "db", 1); // op 1
+    assert!(router.flush_replication(id), "explicit flush must drain");
+    let applied_after_create = router.replica_status(id).unwrap().replicas[1].applied;
+
+    // Op 2's batch to follower 1 vanishes on the wire.
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 2,
+        kind: FaultKind::DropBatch(1),
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+    update(&router, "db", 2).unwrap(); // op 2: acked at enqueue
+    assert!(router.flush_replication(id));
+    assert!(plan.all_fired());
+
+    let status = router.replica_status(id).unwrap();
+    assert!(
+        status.replicas[1].in_quorum,
+        "a silent batch loss must not demote (the router never saw it fail)"
+    );
+    assert_eq!(
+        status.replicas[1].applied, applied_after_create,
+        "the dropped batch must leave follower 1 behind"
+    );
+    assert!(
+        status.replicas[2].applied > applied_after_create,
+        "follower 2's copy of v2 must land"
+    );
+
+    // Op 3 ships normally: follower 1 rejects the out-of-sequence delta
+    // (its chain is at v1, the delta chains from v2) and resyncs by
+    // snapshot.
+    update(&router, "db", 3).unwrap();
+    assert!(router.flush_replication(id));
+    let repl = router.stats().shards[0].replication;
+    assert!(repl.sequence_rejections >= 1, "{repl:?}");
+    assert_eq!(repl.snapshot_resyncs, 1, "{repl:?}");
+
+    // No divergence anywhere; the victim is a first-class candidate.
+    let engines = router.replica_engines(id);
+    let reference = engines[0].export_policy_records("db");
+    for engine in &engines[1..] {
+        assert_eq!(engine.export_policy_records("db"), reference);
+    }
+    assert!(router.quarantine(id, "chaos 1"));
+    assert!(router.quarantine(id, "chaos 2"));
+    assert_eq!(router.replica_status(id).unwrap().primary, 2);
+    assert_eq!(read_version(&router, "db"), 3, "acked writes must survive");
+}
+
+/// Crash-after-quorum in windowed mode: the ack happened at local
+/// commit plus enqueue, so the forwards are still sitting in the
+/// channels when the primary dies. The deposition fence must flush them
+/// so the elected follower already holds every acked write.
+#[test]
+fn windowed_crash_after_quorum_preserves_acked_writes() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    router.set_ack_mode(AckMode::Windowed);
+    router.set_flush_window(Duration::from_secs(30));
+    let id = ShardId(0);
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 3,
+        kind: FaultKind::CrashAfterQuorum,
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+
+    create(&router, "wq", 1); // op 1: queued
+    update(&router, "wq", 2).unwrap(); // op 2: queued
+    update(&router, "wq", 3).unwrap(); // op 3: acked, then the primary dies
+    assert!(plan.all_fired());
+
+    let status = router.replica_status(id).unwrap();
+    assert_eq!(status.failovers, 1);
+    assert_ne!(status.primary, 0, "a follower must hold the seat");
+    assert_eq!(read_version(&router, "wq"), 3, "acked write must survive");
+    update(&router, "wq", 4).unwrap();
+    assert_eq!(read_version(&router, "wq"), 4);
 }

@@ -6,8 +6,8 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use palaemon::cluster::{
-    strict_shard, ClusterRouter, FaultKind, FaultPlan, HashRing, PlannedFault, ReadPreference,
-    ShardId,
+    strict_shard, AckMode, ClusterRouter, FaultKind, FaultPlan, HashRing, PlannedFault,
+    ReadPreference, ShardId,
 };
 use palaemon::crypto::aead::AeadKey;
 use palaemon::crypto::merkle::MerkleTree;
@@ -419,6 +419,44 @@ fn delta_op_strategy() -> impl Strategy<Value = DeltaOp> {
     ]
 }
 
+/// One step of a randomized schedule for the *windowed* (pipelined)
+/// replication data plane: forwards ride per-follower background channels
+/// and acks happen at local commit + enqueue.
+#[derive(Debug, Clone, Copy)]
+enum PipelineOp {
+    /// Publish the next version of policy `0..2`.
+    Update(u8),
+    /// Wedge replica `0..3`'s forward channel at the next mutation (the
+    /// sender stops draining; enqueues still ack; cleared by reinstate).
+    Stall(u8),
+    /// Silently drop the next batch shipped to follower 1 (acked writes
+    /// survive on the primary and follower 2; the chain gap must heal by
+    /// snapshot resync, never diverge).
+    DropBatch,
+    /// Operator flush: drain every non-stalled channel now.
+    Flush,
+    /// Quarantine the current primary (deposing fences its channels).
+    CrashPrimary,
+    /// Catch every quarantined/lagging replica up and rejoin; clears
+    /// stalls and pending drops.
+    Reinstate,
+}
+
+fn pipeline_op_strategy() -> impl Strategy<Value = PipelineOp> {
+    prop_oneof![
+        (0u8..2).prop_map(PipelineOp::Update),
+        (0u8..2).prop_map(PipelineOp::Update),
+        (0u8..2).prop_map(PipelineOp::Update),
+        (0u8..2).prop_map(PipelineOp::Update),
+        (0u8..3).prop_map(PipelineOp::Stall),
+        Just(PipelineOp::DropBatch),
+        Just(PipelineOp::Flush),
+        Just(PipelineOp::CrashPrimary),
+        Just(PipelineOp::Reinstate),
+        Just(PipelineOp::Reinstate),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -596,6 +634,195 @@ proptest! {
         let repl = router.stats().shards[0].replication;
         prop_assert!(repl.incremental_deltas > 0, "data plane must run incrementally");
         // Every chain break was healed by an explicit snapshot resync.
+        prop_assert!(
+            repl.snapshot_resyncs <= repl.sequence_rejections,
+            "resyncs only happen against a detected break: {repl:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary interleavings of updates, channel stalls, silently
+    /// dropped batches, operator flushes, primary crashes and repairs —
+    /// with forwards riding the windowed background channels (acks at
+    /// local commit + enqueue) and reads in quorum mode:
+    ///
+    /// 1. whenever the group is routable, no read returns a version older
+    ///    than the last acked write — the deposition fence must flush the
+    ///    queued forwards before any election, and the freshness check
+    ///    must push reads off batch-lagged followers;
+    /// 2. after a final repair + flush, every replica holds byte-identical
+    ///    records: stalls, dropped batches and coalesced windows never
+    ///    cause silent divergence.
+    #[test]
+    fn windowed_pipeline_never_serves_stale_and_never_diverges(
+        ops in proptest::collection::vec(pipeline_op_strategy(), 1..40)
+    ) {
+        use palaemon::core::counterfile::MemFileCounter;
+        use palaemon::core::policy::Policy;
+        use palaemon::core::server::{TmsRequest, TmsResponse};
+        use palaemon::core::tms::Palaemon;
+        use palaemon::crypto::aead::AeadKey;
+        use palaemon::crypto::sig::SigningKey;
+        use palaemon::crypto::Digest;
+        use palaemon::db::Db;
+        use shielded_fs::store::MemStore;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        const REPLICAS: u32 = 3;
+        const POLICIES: u8 = 2;
+        let owner = SigningKey::from_seed(b"pipe-owner").verifying_key();
+        let versioned = |p: u8, version: u64| {
+            Policy::parse(&format!(
+                "name: pipe-{p}\nservices:\n  - name: app\n    mrenclaves: [\"{}\"]\n    \
+                 env:\n      VERSION: \"{version}\"\nvolumes: []\n",
+                Digest::from_bytes([0xB7; 32]).to_hex()
+            ))
+            .unwrap()
+        };
+
+        let id = ShardId(0);
+        let router = ClusterRouter::new(88, 32);
+        let set: Vec<_> = (0..REPLICAS)
+            .map(|r| {
+                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32]));
+                let engine = Arc::new(Palaemon::new(
+                    db,
+                    SigningKey::from_seed(format!("pipe-{r}").as_bytes()),
+                    Digest::ZERO,
+                    u64::from(r),
+                ));
+                let (server, counter) = strict_shard(engine, MemFileCounter::new());
+                (server, Some(counter))
+            })
+            .collect();
+        router.add_replicated_shard(id, set, 2).unwrap();
+        router.set_read_preference(ReadPreference::Quorum);
+        router.set_ack_mode(AckMode::Windowed);
+        // A window wide enough that consecutive updates coalesce into one
+        // shipped batch unless a flush or fence forces them out earlier.
+        router.set_flush_window(Duration::from_millis(2));
+        let plan = FaultPlan::new([]);
+        router.set_fault_plan(Arc::clone(&plan));
+
+        let update = |p: u8, version: u64| {
+            router.handle(TmsRequest::UpdatePolicy {
+                client: owner,
+                policy: Box::new(versioned(p, version)),
+                approval: None,
+                votes: Vec::new(),
+            })
+        };
+        let mut version = 1u64;
+        let mut acked = [1u64; POLICIES as usize];
+        for p in 0..POLICIES {
+            router
+                .handle(TmsRequest::CreatePolicy {
+                    owner,
+                    policy: Box::new(versioned(p, version)),
+                    approval: None,
+                    votes: Vec::new(),
+                })
+                .unwrap();
+        }
+
+        for op in ops {
+            match op {
+                PipelineOp::Update(p) => {
+                    version += 1;
+                    if update(p, version).is_ok() {
+                        acked[p as usize] = version;
+                    }
+                }
+                PipelineOp::Stall(r) => {
+                    let next = router.replica_status(id).unwrap().ops + 1;
+                    plan.schedule(PlannedFault {
+                        shard: id,
+                        op: next,
+                        kind: FaultKind::StallForwardChannel(r as usize),
+                    });
+                }
+                PipelineOp::DropBatch => {
+                    let next = router.replica_status(id).unwrap().ops + 1;
+                    plan.schedule(PlannedFault {
+                        shard: id,
+                        op: next,
+                        kind: FaultKind::DropBatch(1),
+                    });
+                }
+                PipelineOp::Flush => {
+                    router.flush_replication(id);
+                }
+                PipelineOp::CrashPrimary => {
+                    router.quarantine(id, "prop: crash");
+                }
+                PipelineOp::Reinstate => {
+                    router.reinstate(id);
+                }
+            }
+
+            let status = router.replica_status(id).unwrap();
+            if status.replicas[status.primary].quarantined {
+                continue; // group dark until a repair
+            }
+            // Invariant 1: several reads of both policies, so the rotation
+            // crosses every eligible replica — none may serve older than
+            // that policy's last acked write, batch lag notwithstanding.
+            for p in 0..POLICIES {
+                for _ in 0..REPLICAS as usize {
+                    match router.handle(TmsRequest::ReadPolicy {
+                        name: format!("pipe-{p}"),
+                        client: owner,
+                        approval: None,
+                        votes: Vec::new(),
+                    }) {
+                        Ok(TmsResponse::Policy(policy)) => {
+                            let seen: u64 = policy.services[0].env["VERSION"].parse().unwrap();
+                            prop_assert!(
+                                seen >= acked[p as usize],
+                                "read of pipe-{p} saw v{seen} after v{} was acked",
+                                acked[p as usize]
+                            );
+                        }
+                        other => prop_assert!(false, "routable group must serve: {other:?}"),
+                    }
+                }
+            }
+        }
+
+        // Drain the schedule: repair everything (clears stalls and pending
+        // drops), force chained mutations on both policies, then flush the
+        // channels so every queued window lands.
+        router.reinstate(id);
+        version += 1;
+        let _ = update(0, version); // may be the victim of a still-armed fault
+        for p in [1u8, 0] {
+            version += 1;
+            prop_assert!(update(p, version).is_ok(), "the clean drain update must ack");
+            acked[p as usize] = version;
+        }
+        router.reinstate(id);
+        router.flush_replication(id);
+        let status = router.replica_status(id).unwrap();
+        prop_assert!(status.replicas.iter().all(|r| r.in_quorum));
+
+        // Invariant 2: no silent divergence — every replica identical.
+        let engines = router.replica_engines(id);
+        for p in 0..POLICIES {
+            let name = format!("pipe-{p}");
+            let reference = engines[status.primary].export_policy_records(&name);
+            for (k, engine) in engines.iter().enumerate() {
+                prop_assert!(
+                    engine.export_policy_records(&name) == reference,
+                    "replica {k} diverged from the primary on {name}"
+                );
+            }
+        }
+        let repl = router.stats().shards[0].replication;
+        prop_assert!(repl.batches_shipped > 0, "forwards must ride the channels: {repl:?}");
         prop_assert!(
             repl.snapshot_resyncs <= repl.sequence_rejections,
             "resyncs only happen against a detected break: {repl:?}"
