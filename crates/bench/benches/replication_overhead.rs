@@ -1,7 +1,7 @@
 //! What does synchronous replication cost, and what do incremental deltas
 //! and quorum reads buy back?
 //!
-//! Six measurements over one replicated ring arc whose replicas each sit
+//! Seven measurements over one replicated ring arc whose replicas each sit
 //! on a database with a modelled ~150 µs durable-media flush (the same
 //! scaled-latency technique as `cluster_scaling`):
 //!
@@ -34,6 +34,12 @@
 //!    window). Asserts the pipeline at least halves p99, with zero
 //!    demotions and full convergence after a flush. Key figures land in
 //!    `BENCH_replication.json` at the workspace root.
+//! 7. **Telemetry overhead** — the R=3 mutation mix submitted through a
+//!    [`FrontDoor`] over the whole cluster, request tracing off vs on.
+//!    Per-stage recording is a thread-local add plus a histogram atomic,
+//!    while every mutation already pays its WAL syncs — so full tracing
+//!    must stay within 5 % of the untraced rate. Stage p99s and both
+//!    rates land in `BENCH_telemetry.json` at the workspace root.
 //!
 //! Run with `--quick` (CI) for a shorter opcount.
 
@@ -41,10 +47,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use palaemon_bench::measure::percentile;
 use palaemon_cluster::{
-    strict_shard, AckMode, ClusterRouter, ReadPreference, ReplicationMode, ShardId,
+    strict_shard, AckMode, ClusterDoor, ClusterRouter, ReadPreference, ReplicationMode, ShardId,
 };
 use palaemon_core::counterfile::ShieldedCounter;
+use palaemon_core::frontdoor::FrontDoor;
 use palaemon_core::policy::Policy;
 use palaemon_core::server::{FaultHook, TmsRequest, TmsResponse};
 use palaemon_core::tms::{Palaemon, SessionId};
@@ -52,6 +60,7 @@ use palaemon_crypto::aead::AeadKey;
 use palaemon_crypto::sig::SigningKey;
 use palaemon_crypto::Digest;
 use palaemon_db::Db;
+use palaemon_telemetry::Stage;
 use shielded_fs::fs::{ShieldedFs, TagEvent};
 use shielded_fs::store::MemStore;
 use tee_sim::platform::{Microcode, Platform};
@@ -582,10 +591,8 @@ fn run_ack_latency(ops_per_client: usize, platform: &Platform) -> (f64, f64, u64
             router.flush_replication(ShardId(0)),
             "flush must reach the group"
         );
-        let mut latencies = all.into_inner().unwrap();
-        latencies.sort_unstable();
-        let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
-        p99s.push(p99 as f64);
+        let latencies = all.into_inner().unwrap();
+        p99s.push(percentile(&latencies, 0.99) as f64);
         if mode == AckMode::Windowed {
             let after = router.stats().shards[0].replication;
             shipped = (
@@ -615,6 +622,96 @@ fn run_ack_latency(ops_per_client: usize, platform: &Platform) -> (f64, f64, u64
         "after the flush every replica must sit at the watermark"
     );
     (p99s[0], p99s[1], shipped.0, shipped.1)
+}
+
+/// Telemetry overhead: the R=3 `SlowSyncStore` mutation mix submitted
+/// through a [`FrontDoor`] over the whole cluster ([`ClusterDoor`]),
+/// request tracing off vs on. With tracing on, every request mints a
+/// trace id and records queue-wait, engine-apply, counter-commit,
+/// forward-enqueue and quorum-ack timings into per-stage histograms;
+/// the recording cost is a thread-local add plus one histogram atomic
+/// per stage, against mutations that each pay ~150 µs WAL syncs.
+/// Returns (off, on) mutations/s plus per-stage p99 latencies in ns.
+fn run_telemetry_overhead(
+    ops_per_client: usize,
+    platform: &Platform,
+) -> (f64, f64, Vec<(&'static str, u64)>) {
+    let router = Arc::new(build_group(3, platform));
+    let telemetry = Arc::clone(router.telemetry());
+    let door = FrontDoor::with_telemetry(
+        ClusterDoor(Arc::clone(&router)),
+        CLIENTS,
+        CLIENTS * 128,
+        Arc::clone(&telemetry),
+    );
+    let owner = SigningKey::from_seed(b"ro-owner").verifying_key();
+    // One policy per client, like the ack-latency section: contention
+    // stays on the replication path, not on one policy's engine locks.
+    let names: Vec<String> = (0..CLIENTS).map(|c| format!("to_tenant_{c}")).collect();
+    let policies: Vec<Policy> = names.iter().map(|n| policy_with_payload(n)).collect();
+    for policy in &policies {
+        door.submit(TmsRequest::CreatePolicy {
+            owner,
+            policy: Box::new(policy.clone()),
+            approval: None,
+            votes: Vec::new(),
+        })
+        .wait()
+        .expect("create");
+    }
+
+    // Untraced pass first: the traced pass then runs on the warmer
+    // caches, so any measured regression is attributable to tracing.
+    let mut rates = Vec::new();
+    for enabled in [false, true] {
+        telemetry.set_tracing(enabled);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for (c, policy) in policies.iter().enumerate() {
+                let door = &door;
+                scope.spawn(move || {
+                    for _ in 0..ops_per_client {
+                        door.submit(TmsRequest::UpdatePolicy {
+                            client: owner,
+                            policy: Box::new(policy.clone()),
+                            approval: None,
+                            votes: Vec::new(),
+                        })
+                        .wait()
+                        .unwrap_or_else(|e| panic!("update on client {c}: {e}"));
+                    }
+                });
+            }
+        });
+        rates.push((CLIENTS * ops_per_client) as f64 / start.elapsed().as_secs_f64());
+    }
+    telemetry.set_tracing(false);
+
+    // The traced pass must have exercised the full five-stage pipeline.
+    assert!(
+        telemetry.traces_minted() >= (CLIENTS * ops_per_client) as u64,
+        "tracing pass must mint a trace per request"
+    );
+    let stage_p99s: Vec<(&'static str, u64)> = Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let hist = telemetry.stage_histogram(stage);
+            assert!(
+                hist.count() > 0,
+                "stage {} must have recorded samples",
+                stage.name()
+            );
+            (stage.name(), hist.percentile(0.99))
+        })
+        .collect();
+
+    let stats = door.drain();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.rejected,
+        "front-door conservation must hold after drain"
+    );
+    (rates[0], rates[1], stage_p99s)
 }
 
 fn main() {
@@ -726,6 +823,21 @@ fn main() {
         "the flush window must coalesce mutations ({batches} batches / {mutations} mutations)"
     );
 
+    let (off_rate, on_rate, stage_p99s) = run_telemetry_overhead(latency_ops, &platform);
+    let overhead_pct = (1.0 - on_rate / off_rate.max(1.0)) * 100.0;
+    println!("\n  telemetry overhead at R=3 (front door over the cluster, full tracing):");
+    println!("    tracing off : {off_rate:>9.0} mutations/s");
+    println!("    tracing on  : {on_rate:>9.0} mutations/s  ({overhead_pct:+.1}% overhead)");
+    for (stage, p99) in &stage_p99s {
+        println!("      {stage:<15} p99 {:>9.1} us", *p99 as f64 / 1e3);
+    }
+    println!("    => per-request tracing costs <= 5% on the replicated mutation path");
+    assert!(
+        on_rate >= 0.95 * off_rate,
+        "full tracing must stay within 5% of the untraced mutation rate \
+         ({on_rate:.0}/s traced vs {off_rate:.0}/s untraced)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"replication_overhead\",\n  \"quick\": {quick},\n  \
          \"mutations_per_sec\": {{ \"r1\": {:.0}, \"r2\": {:.0}, \"r3\": {:.0} }},\n  \
@@ -743,5 +855,24 @@ fn main() {
         eprintln!("  (could not write BENCH_replication.json: {e})");
     } else {
         println!("\n  wrote BENCH_replication.json");
+    }
+
+    let stages = stage_p99s
+        .iter()
+        .map(|(stage, p99)| format!("\"{stage}\": {p99}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let telemetry_json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"quick\": {quick},\n  \
+         \"mutations_per_sec\": {{ \"tracing_off\": {off_rate:.0}, \
+         \"tracing_on\": {on_rate:.0} }},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \
+         \"stage_p99_ns\": {{ {stages} }}\n}}\n"
+    );
+    let telemetry_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    if let Err(e) = std::fs::write(telemetry_path, &telemetry_json) {
+        eprintln!("  (could not write BENCH_telemetry.json: {e})");
+    } else {
+        println!("  wrote BENCH_telemetry.json");
     }
 }

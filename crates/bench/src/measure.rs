@@ -32,6 +32,16 @@ pub fn mean_latency_ns(iters: u64, mut op: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// The `p`-th percentile (0..=1) of raw latency samples, in the caller's
+/// unit. Sorts a copy and delegates to the workspace's single percentile
+/// implementation ([`palaemon_telemetry::summary::percentile_sorted`]).
+/// Panics on an empty slice.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    palaemon_telemetry::summary::percentile_sorted(&sorted, p)
+}
+
 /// Formats ops/sec in the paper's style (k/M suffixes).
 pub fn fmt_rate(ops: f64) -> String {
     if ops >= 1e6 {
@@ -60,6 +70,15 @@ mod tests {
         let mut v = Vec::new();
         let ns = mean_latency_ns(100, || v.push(1u8));
         assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn percentile_matches_shared_math() {
+        let samples: Vec<u64> = (1..=100).rev().collect(); // unsorted input
+        assert_eq!(percentile(&samples, 0.0), 1);
+        assert_eq!(percentile(&samples, 1.0), 100);
+        let p99 = percentile(&samples, 0.99);
+        assert!(p99 == 99 || p99 == 100, "p99 = {p99}");
     }
 
     #[test]

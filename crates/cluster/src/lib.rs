@@ -55,9 +55,9 @@ pub mod router;
 pub use fault::{kill_server_at, FaultKind, FaultPlan, PlannedFault};
 pub use ring::{HashRing, ShardId};
 pub use router::{
-    strict_shard, AckMode, ClusterError, ClusterRouter, ClusterStats, PolicyMove, ReadPreference,
-    ReplicaHealth, ReplicaSetStatus, ReplicaStatus, ReplicationMode, ReplicationStats, ShardHealth,
-    ShardPlan, ShardStats,
+    strict_shard, AckMode, ClusterDoor, ClusterError, ClusterRouter, ClusterStats, PolicyMove,
+    ReadPreference, ReplicaHealth, ReplicaSetStatus, ReplicaStatus, ReplicationMode,
+    ReplicationStats, ShardHealth, ShardPlan, ShardStats, DEGRADED_SATURATION,
 };
 
 /// Convenience alias for results in this crate.

@@ -136,7 +136,10 @@
 //! pipe's locks and engine locks — never `forward_lock` or `topology` —
 //! so the request path and the background data plane cannot deadlock.
 //! Health flags are atomics so marking a replica Byzantine never blocks
-//! traffic.
+//! traffic. Telemetry locks (the flight-recorder ring and the registry
+//! maps in `palaemon-telemetry`) are **leaves**: taken, updated and
+//! released without calling back into router or engine code, so they may
+//! be acquired under any of the locks above without extending the order.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -144,12 +147,14 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use palaemon_core::counterfile::{BatchedCounter, MonotonicCounter};
+use palaemon_core::frontdoor::Door;
 use palaemon_core::server::{ServerStats, TmsRequest, TmsResponse, TmsServer};
 use palaemon_core::tms::{
     DeltaPayload, Palaemon, PolicyDelta, PolicyRecords, ReplicationSnapshot, SessionId,
 };
 use palaemon_core::PalaemonError;
 use palaemon_db::ChangeSet;
+use palaemon_telemetry::{trace, Collect, EventKind, FlightRecorder, MetricSink, Stage, Telemetry};
 use parking_lot::{Mutex, RwLock};
 
 use crate::fault::{FaultKind, FaultPlan, FaultSite};
@@ -405,6 +410,54 @@ pub struct ReplicationStats {
     pub flushes_durable: u64,
 }
 
+impl Collect for ReplicationStats {
+    fn collect(&self, sink: &mut MetricSink) {
+        sink.counter("replication_reads_primary_total", self.reads_primary);
+        sink.counter("replication_reads_follower_total", self.reads_follower);
+        sink.counter("replication_attests_primary_total", self.attests_primary);
+        sink.counter("replication_attests_follower_total", self.attests_follower);
+        sink.counter(
+            "replication_freshness_rejections_total",
+            self.freshness_rejections,
+        );
+        sink.counter(
+            "replication_incremental_deltas_total",
+            self.incremental_deltas,
+        );
+        sink.counter("replication_snapshot_deltas_total", self.snapshot_deltas);
+        sink.counter(
+            "replication_incremental_bytes_total",
+            self.incremental_bytes,
+        );
+        sink.counter("replication_snapshot_bytes_total", self.snapshot_bytes);
+        sink.counter("replication_snapshot_resyncs_total", self.snapshot_resyncs);
+        sink.counter(
+            "replication_sequence_rejections_total",
+            self.sequence_rejections,
+        );
+        sink.counter("replication_batches_shipped_total", self.batches_shipped);
+        sink.counter(
+            "replication_mutations_shipped_total",
+            self.mutations_shipped,
+        );
+        for (bucket, count) in ["1", "2-4", "5-16", "17-64", ">64"]
+            .into_iter()
+            .zip(self.batch_histogram)
+        {
+            sink.scoped("mutations", bucket, |sink| {
+                sink.counter("replication_batch_size_total", count)
+            });
+        }
+        sink.counter(
+            "replication_flushes_window_full_total",
+            self.flushes_window_full,
+        );
+        sink.counter("replication_flushes_timer_total", self.flushes_timer);
+        sink.counter("replication_flushes_fence_total", self.flushes_fence);
+        sink.counter("replication_flushes_durable_total", self.flushes_durable);
+    }
+}
+
 /// Atomic backing for [`ReplicationStats`] (one per replica group).
 #[derive(Default)]
 struct ReplTelemetry {
@@ -537,7 +590,7 @@ pub struct ReplicaHealth {
 }
 
 /// Health verdict for one shard (replica group).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardHealth {
     /// The shard.
     pub id: ShardId,
@@ -546,9 +599,22 @@ pub struct ShardHealth {
     pub healthy: bool,
     /// Why the primary seat was quarantined, when it was.
     pub reason: Option<String>,
+    /// How full the fullest live forward channel is, as a fraction of
+    /// the flush-window cap (0.0 = idle; ≥ 1.0 = a sender is not keeping
+    /// up and mutations queue faster than they ship). 0.0 for
+    /// single-replica shards.
+    pub pipe_saturation: f64,
+    /// True when the group is routable but a live forward channel is
+    /// saturated past [`DEGRADED_SATURATION`] — it still serves, but the
+    /// background data plane is falling behind.
+    pub degraded: bool,
     /// Per-replica verdicts, in replica-index order.
     pub replicas: Vec<ReplicaHealth>,
 }
+
+/// Pipe-saturation fraction above which a routable shard is reported
+/// degraded by [`ClusterRouter::health_check`].
+pub const DEGRADED_SATURATION: f64 = 0.8;
 
 /// Point-in-time statistics of one shard (replica group). The per-request
 /// figures (`policies`, `sessions`, `server`) describe the current primary.
@@ -578,6 +644,30 @@ pub struct ShardStats {
     /// replica-index order (the primary's own slot is 0). Empty for
     /// single-replica shards.
     pub queue_depths: Vec<usize>,
+    /// How full the fullest live forward channel is, as a fraction of
+    /// the flush-window cap (see [`ShardHealth::pipe_saturation`]).
+    pub pipe_saturation: f64,
+}
+
+impl Collect for ShardStats {
+    fn collect(&self, sink: &mut MetricSink) {
+        sink.scoped("shard", self.id.0, |sink| {
+            sink.gauge("shard_healthy", if self.healthy { 1.0 } else { 0.0 });
+            sink.gauge("shard_policies", self.policies as f64);
+            sink.gauge("shard_sessions", self.sessions as f64);
+            sink.gauge("shard_replicas", self.replicas as f64);
+            sink.gauge("shard_in_quorum", self.in_quorum as f64);
+            sink.gauge("shard_primary_index", self.primary as f64);
+            sink.counter("shard_failovers_total", self.failovers);
+            sink.gauge(
+                "shard_queue_depth",
+                self.queue_depths.iter().sum::<usize>() as f64,
+            );
+            sink.gauge("shard_pipe_saturation", self.pipe_saturation);
+            self.server.collect(sink);
+            self.replication.collect(sink);
+        });
+    }
 }
 
 /// Point-in-time view of one replica (for failover tests and operators).
@@ -650,6 +740,16 @@ impl ClusterStats {
             .filter_map(|s| s.server.counter)
             .map(|c| c.ops_committed)
             .sum()
+    }
+}
+
+impl Collect for ClusterStats {
+    fn collect(&self, sink: &mut MetricSink) {
+        sink.counter("cluster_rebalances_total", self.rebalances);
+        sink.gauge("cluster_shards", self.shards.len() as f64);
+        for shard in &self.shards {
+            shard.collect(sink);
+        }
     }
 }
 
@@ -1080,6 +1180,11 @@ struct GroupCore {
     /// Round-robin cursor for quorum reads.
     read_cursor: AtomicUsize,
     telemetry: ReplTelemetry,
+    /// This group's shard id, as the flight recorder reports it.
+    shard: u64,
+    /// The router-wide control-plane flight recorder (a telemetry leaf
+    /// lock — safe under every router lock).
+    flight: Arc<FlightRecorder>,
     failovers: AtomicU64,
     /// Replica roster mirror for the sender threads (resolving the
     /// current primary's engine for snapshot resyncs without touching
@@ -1097,11 +1202,11 @@ impl GroupCore {
         Arc::clone(roster[idx].engine())
     }
 
-    /// Ships one delta to `follower`, healing a broken chain with an
+    /// Ships one delta to follower `k`, healing a broken chain with an
     /// on-the-spot snapshot resync from the current primary seat. Returns
     /// true when the follower ended up holding the write; on any
     /// unhealable failure the follower is demoted.
-    fn ship(&self, follower: &Replica, delta: &PolicyDelta) -> bool {
+    fn ship(&self, follower: &Replica, k: usize, delta: &PolicyDelta) -> bool {
         self.telemetry.count_delta(delta);
         let outcome = match follower.engine().apply_policy_delta(delta) {
             Err(PalaemonError::DeltaOutOfSequence { .. }) => {
@@ -1115,10 +1220,23 @@ impl GroupCore {
                 self.telemetry
                     .snapshot_resyncs
                     .fetch_add(1, Ordering::Relaxed);
+                self.flight.record(EventKind::GapRejection {
+                    shard: self.shard,
+                    replica: k,
+                    policy: delta.policy.clone(),
+                    token: delta.token,
+                    parent: delta.parent,
+                });
                 let resync = self
                     .seat_engine()
                     .export_policy_snapshot(&delta.policy, delta.token);
                 self.telemetry.count_delta(&resync);
+                self.flight.record(EventKind::SnapshotResync {
+                    shard: self.shard,
+                    replica: k,
+                    policy: delta.policy.clone(),
+                    token: delta.token,
+                });
                 follower.engine().apply_policy_delta(&resync)
             }
             other => other,
@@ -1139,7 +1257,7 @@ impl GroupCore {
     /// cross-policy it is merely late and applies; same-policy the chain
     /// check rejects it — counted, but no resync and no demotion, because
     /// its successor already carried the state.
-    fn ship_stale(&self, follower: &Replica, delta: &PolicyDelta) -> bool {
+    fn ship_stale(&self, follower: &Replica, k: usize, delta: &PolicyDelta) -> bool {
         self.telemetry.count_delta(delta);
         match follower.engine().apply_policy_delta(delta) {
             Ok(()) => {
@@ -1149,49 +1267,67 @@ impl GroupCore {
                 self.telemetry
                     .sequence_rejections
                     .fetch_add(1, Ordering::Relaxed);
+                self.flight.record(EventKind::GapRejection {
+                    shard: self.shard,
+                    replica: k,
+                    policy: delta.policy.clone(),
+                    token: delta.token,
+                    parent: delta.parent,
+                });
             }
         }
         true
     }
 
-    /// Delivers one popped window to `follower`: accounts the flush,
+    /// Delivers one popped window to follower `k`: accounts the flush,
     /// coalesces, pays the modelled wire latency once for the whole
     /// batch, and ships. `dropped` consumes the transfer on the wire
     /// ([`FaultKind::DropBatch`]): nothing arrives, nobody is demoted,
     /// and the resulting chain gap must surface at the next delivery.
+    /// Returns the mutations actually delivered (0 for a dropped batch).
     fn deliver_batch(
         &self,
         follower: &Replica,
+        k: usize,
         items: Vec<QueuedForward>,
         dropped: bool,
         reason: FlushReason,
-    ) {
+    ) -> u64 {
         self.telemetry.count_flush(reason);
         let shipments = coalesce(items);
         if dropped {
+            let mutations: u64 = shipments.iter().map(|s| s.mutations).sum();
+            self.flight.record(EventKind::BatchDrop {
+                shard: self.shard,
+                replica: k,
+                mutations,
+            });
             for s in shipments {
                 for c in s.completions {
                     c.resolve(false);
                 }
             }
-            return;
+            return 0;
         }
         let latency = self.config.forward_latency();
         if !latency.is_zero() {
             std::thread::sleep(latency);
         }
+        let mut delivered = 0u64;
         for shipment in shipments {
             let (delta, mutations, stale, completions) = shipment.build();
             let ok = if stale {
-                self.ship_stale(follower, &delta)
+                self.ship_stale(follower, k, &delta)
             } else {
-                self.ship(follower, &delta)
+                self.ship(follower, k, &delta)
             };
             self.telemetry.count_batch(mutations);
+            delivered += mutations;
             for c in completions {
                 c.resolve(ok);
             }
         }
+        delivered
     }
 }
 
@@ -1199,7 +1335,7 @@ impl GroupCore {
 /// a flush window in [`AckMode::Windowed`] (durable items flush
 /// immediately), and ships under the pipe's delivery lock so fence
 /// drains stay atomic with in-flight deliveries.
-fn follower_sender(core: Arc<GroupCore>, pipe: Arc<Pipe>, follower: Arc<Replica>) {
+fn follower_sender(core: Arc<GroupCore>, pipe: Arc<Pipe>, k: usize, follower: Arc<Replica>) {
     loop {
         let reason = {
             let mut q = pipe.queue.lock().unwrap();
@@ -1257,7 +1393,7 @@ fn follower_sender(core: Arc<GroupCore>, pipe: Arc<Pipe>, follower: Arc<Replica>
         if items.is_empty() {
             continue;
         }
-        core.deliver_batch(&follower, items, dropped, reason);
+        core.deliver_batch(&follower, k, items, dropped, reason);
     }
 }
 
@@ -1293,7 +1429,13 @@ impl Drop for ReplicaSet {
 }
 
 impl ReplicaSet {
-    fn new(replicas: Vec<Replica>, write_quorum: usize, config: Arc<PipelineConfig>) -> Self {
+    fn new(
+        replicas: Vec<Replica>,
+        write_quorum: usize,
+        config: Arc<PipelineConfig>,
+        shard: u64,
+        flight: Arc<FlightRecorder>,
+    ) -> Self {
         let replicas: Vec<Arc<Replica>> = replicas.into_iter().map(Arc::new).collect();
         let core = Arc::new(GroupCore {
             primary: AtomicUsize::new(0),
@@ -1304,6 +1446,8 @@ impl ReplicaSet {
             chain: Mutex::new(HashMap::new()),
             read_cursor: AtomicUsize::new(0),
             telemetry: ReplTelemetry::default(),
+            shard,
+            flight,
             failovers: AtomicU64::new(0),
             roster: Mutex::new(replicas.clone()),
             config,
@@ -1332,7 +1476,7 @@ impl ReplicaSet {
                     let core = Arc::clone(&self.core);
                     let pipe = Arc::clone(&pipe);
                     let follower = Arc::clone(&self.replicas[k]);
-                    move || follower_sender(core, pipe, follower)
+                    move || follower_sender(core, pipe, k, follower)
                 })
                 .expect("spawn forward sender");
             senders.push(handle);
@@ -1343,8 +1487,11 @@ impl ReplicaSet {
     /// Fences and drains every follower channel: delivers everything
     /// queued (atomically w.r.t. in-flight sender deliveries) before
     /// returning, so "drained" means *applied*, not just dequeued.
-    /// Caller holds `forward_lock`.
-    fn drain_pipes(&self, ignore_stall: bool) {
+    /// Returns the mutations the drain delivered, recording a
+    /// [`EventKind::FenceDrain`] per non-empty channel. Caller holds
+    /// `forward_lock`.
+    fn drain_pipes(&self, ignore_stall: bool) -> u64 {
+        let mut total = 0u64;
         for (k, pipe) in self.pipes.iter().enumerate() {
             let replica = &self.replicas[k];
             if replica.is_quarantined() {
@@ -1355,9 +1502,32 @@ impl ReplicaSet {
             if items.is_empty() {
                 continue;
             }
-            self.core
-                .deliver_batch(replica, items, dropped, FlushReason::Fence);
+            let delivered = self
+                .core
+                .deliver_batch(replica, k, items, dropped, FlushReason::Fence);
+            if delivered > 0 {
+                self.flight.record(EventKind::FenceDrain {
+                    shard: self.shard,
+                    replica: k,
+                    mutations: delivered,
+                });
+                total += delivered;
+            }
         }
+        total
+    }
+
+    /// How full the fullest live forward channel is, as a fraction of the
+    /// flush-window cap. A channel past 1.0 means its sender cannot keep
+    /// up with the enqueue rate (stalled, wedged, or simply outpaced).
+    fn pipe_saturation(&self) -> f64 {
+        let cap = self.config.window_cap().max(1) as f64;
+        self.pipes
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !self.replicas[*k].is_quarantined())
+            .map(|(_, pipe)| pipe.depth() as f64 / cap)
+            .fold(0.0, f64::max)
     }
 
     fn primary_idx(&self) -> usize {
@@ -1442,14 +1612,26 @@ impl ReplicaSet {
             // any enqueue-acked write is on the electorate and nothing
             // of the deposed primary's reign stays queued to clobber
             // the successor later.
-            self.drain_pipes(true);
+            let fence_drained = self.drain_pipes(true);
             self.elect(idx).inspect(|&new| {
                 self.primary.store(new, Ordering::Release);
                 self.failovers.fetch_add(1, Ordering::Relaxed);
+                self.flight.record(EventKind::Election {
+                    shard: self.shard,
+                    deposed: idx,
+                    winner: new,
+                    winner_token: self.replicas[new].applied.load(Ordering::Acquire),
+                    fence_drained,
+                });
             })
         } else {
             None // someone else already moved the seat
         };
+        self.flight.record(EventKind::Quarantine {
+            shard: self.shard,
+            replica: idx,
+            reason: reason.clone(),
+        });
         self.replicas[idx].quarantine(reason);
         moved
     }
@@ -1757,6 +1939,10 @@ pub struct ClusterRouter {
     /// Fast-path flag mirroring `fault_plan.is_some()`, so the production
     /// replication path (no plan installed) never takes the plan mutex.
     fault_armed: AtomicBool,
+    /// The unified telemetry plane: metrics registry, request-stage
+    /// histograms and the control-plane flight recorder every replica
+    /// group records into.
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for ClusterRouter {
@@ -1787,7 +1973,18 @@ impl ClusterRouter {
             pipeline: Arc::new(PipelineConfig::default()),
             fault_plan: Mutex::new(None),
             fault_armed: AtomicBool::new(false),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// The router's telemetry plane. Groups record control-plane events
+    /// into its flight recorder; [`FrontDoor`](palaemon_core::frontdoor::FrontDoor)
+    /// pools built with
+    /// [`with_telemetry`](palaemon_core::frontdoor::FrontDoor::with_telemetry)
+    /// over this router should share it so request traces and cluster
+    /// events land in one snapshot.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Installs a deterministic [`FaultPlan`] the replication path
@@ -2442,6 +2639,7 @@ impl ClusterRouter {
         // counts toward the quorum — stale redeliveries do not).
         let mut waits: Vec<(Arc<Completion>, bool)> = Vec::new();
         let mut acked = 1usize; // the primary itself
+        let enqueue = trace::start();
         let (op, plan) = {
             let _forward = group.forward_lock.lock();
             if group.primary_idx() != pidx || primary.is_quarantined() {
@@ -2576,14 +2774,17 @@ impl ClusterRouter {
             }
             (op, plan)
         };
+        trace::finish(Stage::ForwardEnqueue, enqueue);
         // Lock released: durable callers wait for their deliveries here,
         // while other policies' mutations enqueue concurrently.
+        let quorum_wait = trace::start();
         for (completion, counts) in waits {
             let delivered = completion.wait(ACK_WAIT_CAP);
             if counts && delivered {
                 acked += 1;
             }
         }
+        trace::finish(Stage::QuorumAck, quorum_wait);
         if acked < group.write_quorum {
             return Err(ClusterError::QuorumLost {
                 shard: id,
@@ -2676,6 +2877,8 @@ impl ClusterRouter {
                 .collect(),
             write_quorum,
             Arc::clone(&self.pipeline),
+            u64::from(id.0),
+            Arc::clone(self.telemetry.flight()),
         );
         // Replicated groups capture per-mutation change sets on every
         // engine (any replica can be seated as the forwarding primary);
@@ -2750,6 +2953,11 @@ impl ClusterRouter {
             self.retire_source(&topo, m.from, &m.policy);
         }
         self.rebalances.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.flight().record(EventKind::MigrationCutover {
+            added: Some(u64::from(id.0)),
+            removed: None,
+            moves: moves.len() as u64,
+        });
         Ok(ShardPlan {
             added: Some(id),
             removed: None,
@@ -2906,6 +3114,11 @@ impl ClusterRouter {
         topo.shards.remove(&id);
         self.sessions.write().retain(|_, b| b.shard != id);
         self.rebalances.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.flight().record(EventKind::MigrationCutover {
+            added: None,
+            removed: Some(u64::from(id.0)),
+            moves: moves.len() as u64,
+        });
         Ok(ShardPlan {
             added: None,
             removed: Some(id),
@@ -3028,10 +3241,14 @@ impl ClusterRouter {
                 r.primary = true;
             }
             let seat = &group.replicas[pidx];
+            let healthy = !seat.is_quarantined();
+            let pipe_saturation = group.pipe_saturation();
             out.push(ShardHealth {
                 id,
-                healthy: !seat.is_quarantined(),
+                healthy,
                 reason: seat.reason.lock().clone(),
+                pipe_saturation,
+                degraded: healthy && pipe_saturation >= DEGRADED_SATURATION,
                 replicas,
             });
         }
@@ -3110,7 +3327,13 @@ impl ClusterRouter {
                 // A replica whose resync failed stays out: rejoining it
                 // would let it claim state it does not hold.
                 if let Err(e) = catch_up(group, replica) {
-                    replica.quarantine(format!("catch-up failed: {e}"));
+                    let reason = format!("catch-up failed: {e}");
+                    group.flight.record(EventKind::Quarantine {
+                        shard: group.shard,
+                        replica: k,
+                        reason: reason.clone(),
+                    });
+                    replica.quarantine(reason);
                     continue;
                 }
             }
@@ -3142,11 +3365,35 @@ impl ClusterRouter {
                         failovers: group.failovers.load(Ordering::Relaxed),
                         replication: group.telemetry.snapshot(),
                         queue_depths: group.pipes.iter().map(|p| p.depth()).collect(),
+                        pipe_saturation: group.pipe_saturation(),
                     }
                 })
                 .collect(),
             rebalances: self.rebalances.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// A shared router as a [`Door`]: a `FrontDoor<ClusterDoor>` pool
+/// multiplexes callers over the whole cluster, and with the router's
+/// [`Telemetry`] installed each request's trace crosses queue wait,
+/// engine apply, counter commit, forward enqueue and quorum ack.
+/// (A newtype because the orphan rule forbids `impl Door for
+/// Arc<ClusterRouter>` outside the `Door`-defining crate.)
+#[derive(Clone)]
+pub struct ClusterDoor(pub Arc<ClusterRouter>);
+
+impl From<Arc<ClusterRouter>> for ClusterDoor {
+    fn from(router: Arc<ClusterRouter>) -> ClusterDoor {
+        ClusterDoor(router)
+    }
+}
+
+impl Door for ClusterDoor {
+    type Error = ClusterError;
+
+    fn call(&self, request: TmsRequest) -> std::result::Result<TmsResponse, ClusterError> {
+        self.0.handle(request)
     }
 }
 

@@ -39,6 +39,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 
+use palaemon_telemetry::{Collect, MetricSink};
 use shielded_fs::fs::{ShieldedFs, TagEvent};
 use shielded_fs::store::MemStore;
 use tee_sim::counter::CounterBank;
@@ -281,6 +282,13 @@ pub struct BatchStats {
     pub ops_committed: u64,
     /// Physical `increment()` calls performed.
     pub increments: u64,
+}
+
+impl Collect for BatchStats {
+    fn collect(&self, sink: &mut MetricSink) {
+        sink.counter("counter_ops_committed_total", self.ops_committed);
+        sink.counter("counter_increments_total", self.increments);
+    }
 }
 
 struct BatchState {

@@ -17,6 +17,15 @@
 //! flood of requests pile up unboundedly ([`FrontDoor::try_submit`]
 //! refuses instead of blocking, for callers that shed load).
 //!
+//! The door is generic over the [`Door`] backend it fronts: a single
+//! [`TmsServer`] (the default) or anything else that answers a
+//! [`TmsRequest`] synchronously, such as a sharded cluster router. When
+//! built [`FrontDoor::with_telemetry`], the door is also where request
+//! tracing begins: a trace id is minted at submit, the queue wait is
+//! measured from enqueue to worker pickup, and the worker installs the
+//! trace context so the engine and replication layers can time their
+//! stages without any signature changes (see `palaemon_telemetry::trace`).
+//!
 //! The pipelined replication data plane is the same idea on the other
 //! side of the engine: see `palaemon-cluster`'s router, whose per-follower
 //! background channels take the wire off the mutation ack path.
@@ -25,31 +34,55 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use crate::error::Result;
+use palaemon_telemetry::{trace, Collect, MetricSink, Stage, Telemetry, TraceCtx};
+
+use crate::error::PalaemonError;
 use crate::server::{TmsRequest, TmsResponse, TmsServer};
 
+/// A synchronous request backend a [`FrontDoor`] pool can drain into:
+/// one engine ([`TmsServer`]) or a sharded cluster router.
+pub trait Door: Clone + Send + 'static {
+    /// The backend's error type (reaches the ticket unchanged).
+    type Error: Send + 'static;
+
+    /// Answers one request, blocking the calling worker until done.
+    fn call(&self, request: TmsRequest) -> std::result::Result<TmsResponse, Self::Error>;
+}
+
+impl Door for TmsServer {
+    type Error = PalaemonError;
+
+    fn call(&self, request: TmsRequest) -> std::result::Result<TmsResponse, PalaemonError> {
+        self.handle(request)
+    }
+}
+
 /// Where a completed request's result goes.
-enum Sink {
+enum Sink<E> {
     /// Resolve a ticket a client is parked on.
-    Ticket(Arc<TicketState>),
+    Ticket(Arc<TicketState<E>>),
     /// Invoke a completion callback on the worker thread.
-    Callback(Box<dyn FnOnce(Result<TmsResponse>) + Send>),
+    Callback(Box<dyn FnOnce(std::result::Result<TmsResponse, E>) + Send>),
 }
 
-struct Job {
+struct Job<E> {
     request: TmsRequest,
-    sink: Sink,
+    sink: Sink<E>,
+    /// Trace id + enqueue instant, when the door is telemetry-backed and
+    /// tracing is on: the worker turns the pair into the queue-wait stage.
+    trace: Option<(u64, Instant)>,
 }
 
-struct DoorQueue {
-    jobs: VecDeque<Job>,
+struct DoorQueue<E> {
+    jobs: VecDeque<Job<E>>,
     shutdown: bool,
 }
 
 /// State shared between submitters and workers.
-struct DoorShared {
-    queue: Mutex<DoorQueue>,
+struct DoorShared<E> {
+    queue: Mutex<DoorQueue<E>>,
     /// Signals workers that a job (or shutdown) is ready.
     ready: Condvar,
     /// Signals blocked submitters that queue space freed up.
@@ -59,21 +92,24 @@ struct DoorShared {
     completed: AtomicU64,
     rejected: AtomicU64,
     queue_peak: AtomicUsize,
+    /// The telemetry plane minting trace ids and absorbing finished
+    /// traces, when attached.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// State of one submitted request's completion ticket.
-struct TicketState {
-    slot: Mutex<Option<Result<TmsResponse>>>,
+struct TicketState<E> {
+    slot: Mutex<Option<std::result::Result<TmsResponse, E>>>,
     done: Condvar,
 }
 
 /// A parked client's handle on one in-flight request. Cheap: a parked
 /// ticket is a mutex/condvar pair, not a thread.
-pub struct Ticket {
-    state: Arc<TicketState>,
+pub struct Ticket<E = PalaemonError> {
+    state: Arc<TicketState<E>>,
 }
 
-impl std::fmt::Debug for Ticket {
+impl<E> std::fmt::Debug for Ticket<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ticket")
             .field("done", &self.is_done())
@@ -81,7 +117,7 @@ impl std::fmt::Debug for Ticket {
     }
 }
 
-impl Ticket {
+impl<E> Ticket<E> {
     fn new() -> Self {
         Ticket {
             state: Arc::new(TicketState {
@@ -98,12 +134,12 @@ impl Ticket {
 
     /// The result, if already available — the ticket stays waitable
     /// otherwise.
-    pub fn try_take(&self) -> Option<Result<TmsResponse>> {
+    pub fn try_take(&self) -> Option<std::result::Result<TmsResponse, E>> {
         self.state.slot.lock().unwrap().take()
     }
 
     /// Parks until the request completes and returns its result.
-    pub fn wait(self) -> Result<TmsResponse> {
+    pub fn wait(self) -> std::result::Result<TmsResponse, E> {
         let mut slot = self.state.slot.lock().unwrap();
         loop {
             if let Some(result) = slot.take() {
@@ -121,7 +157,8 @@ pub struct FrontDoorStats {
     pub workers: usize,
     /// Queue bound (backpressure threshold).
     pub capacity: usize,
-    /// Requests accepted onto the queue.
+    /// Submission attempts — accepted *and* refused, so that after a
+    /// drain `submitted == completed + rejected` holds exactly.
     pub submitted: u64,
     /// Requests fully processed (ticket resolved / callback run).
     pub completed: u64,
@@ -134,15 +171,27 @@ pub struct FrontDoorStats {
     pub queue_peak: usize,
 }
 
-/// The bounded thread-pool front door over one [`TmsServer`]. Dropping it
-/// drains the queue (every accepted request still completes) and joins
-/// the workers.
-pub struct FrontDoor {
-    shared: Arc<DoorShared>,
+impl Collect for FrontDoorStats {
+    fn collect(&self, sink: &mut MetricSink) {
+        sink.gauge("frontdoor_workers", self.workers as f64);
+        sink.gauge("frontdoor_capacity", self.capacity as f64);
+        sink.counter("frontdoor_submitted_total", self.submitted);
+        sink.counter("frontdoor_completed_total", self.completed);
+        sink.counter("frontdoor_rejected_total", self.rejected);
+        sink.gauge("frontdoor_queue_depth", self.queue_depth as f64);
+        sink.gauge("frontdoor_queue_peak", self.queue_peak as f64);
+    }
+}
+
+/// The bounded thread-pool front door over one [`Door`] backend (a
+/// [`TmsServer`] by default). Dropping it drains the queue (every
+/// accepted request still completes) and joins the workers.
+pub struct FrontDoor<D: Door = TmsServer> {
+    shared: Arc<DoorShared<D::Error>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for FrontDoor {
+impl<D: Door> std::fmt::Debug for FrontDoor<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.stats();
         f.debug_struct("FrontDoor")
@@ -152,18 +201,35 @@ impl std::fmt::Debug for FrontDoor {
     }
 }
 
-impl FrontDoor {
-    /// Spawns a pool of `workers` threads over `server` with a default
+impl<D: Door> FrontDoor<D> {
+    /// Spawns a pool of `workers` threads over `door` with a default
     /// queue bound of 128 jobs per worker.
-    pub fn new(server: TmsServer, workers: usize) -> Self {
+    pub fn new(door: D, workers: usize) -> Self {
         let workers = workers.max(1);
-        FrontDoor::with_capacity(server, workers, workers * 128)
+        FrontDoor::with_capacity(door, workers, workers * 128)
     }
 
     /// Spawns a pool with an explicit queue bound: at most `capacity`
     /// jobs wait at once; further [`FrontDoor::submit`]s block (and
     /// [`FrontDoor::try_submit`]s refuse) until space frees up.
-    pub fn with_capacity(server: TmsServer, workers: usize, capacity: usize) -> Self {
+    pub fn with_capacity(door: D, workers: usize, capacity: usize) -> Self {
+        FrontDoor::build(door, workers, capacity, None)
+    }
+
+    /// Spawns a telemetry-backed pool: each submission mints a trace id,
+    /// queue wait is measured from enqueue to worker pickup, and workers
+    /// install the trace context around the backend call so deeper layers
+    /// record their stages into `telemetry`'s histograms.
+    pub fn with_telemetry(
+        door: D,
+        workers: usize,
+        capacity: usize,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
+        FrontDoor::build(door, workers, capacity, Some(telemetry))
+    }
+
+    fn build(door: D, workers: usize, capacity: usize, telemetry: Option<Arc<Telemetry>>) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(DoorShared {
             queue: Mutex::new(DoorQueue {
@@ -177,14 +243,15 @@ impl FrontDoor {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             queue_peak: AtomicUsize::new(0),
+            telemetry,
         });
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let server = server.clone();
+                let door = door.clone();
                 std::thread::Builder::new()
                     .name(format!("palaemon-door-{i}"))
-                    .spawn(move || worker_loop(shared, server))
+                    .spawn(move || worker_loop(shared, door))
                     .expect("spawn front-door worker")
             })
             .collect();
@@ -194,7 +261,17 @@ impl FrontDoor {
         }
     }
 
-    fn enqueue(&self, job: Job) {
+    /// Mints the trace pair for a request entering the queue now, when a
+    /// telemetry plane is attached and tracing is on.
+    fn mint_trace(&self) -> Option<(u64, Instant)> {
+        self.shared
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.mint_trace())
+            .map(|id| (id, Instant::now()))
+    }
+
+    fn enqueue(&self, job: Job<D::Error>) {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let mut q = self.shared.queue.lock().unwrap();
         q.jobs.push_back(job);
@@ -208,7 +285,7 @@ impl FrontDoor {
     /// Submits a request, blocking while the queue is at capacity
     /// (backpressure), and returns the completion [`Ticket`] the caller
     /// parks on — or polls, or drops (the request still runs).
-    pub fn submit(&self, request: TmsRequest) -> Ticket {
+    pub fn submit(&self, request: TmsRequest) -> Ticket<D::Error> {
         let ticket = Ticket::new();
         let sink = Sink::Ticket(Arc::clone(&ticket.state));
         {
@@ -217,7 +294,12 @@ impl FrontDoor {
                 q = self.shared.space.wait(q).unwrap();
             }
         }
-        self.enqueue(Job { request, sink });
+        let trace = self.mint_trace();
+        self.enqueue(Job {
+            request,
+            sink,
+            trace,
+        });
         ticket
     }
 
@@ -226,18 +308,29 @@ impl FrontDoor {
     // The large Err variant is the point: the rejected request returns
     // to the caller by value so it can be retried or shed unboxed.
     #[allow(clippy::result_large_err)]
-    pub fn try_submit(&self, request: TmsRequest) -> std::result::Result<Ticket, TmsRequest> {
+    pub fn try_submit(
+        &self,
+        request: TmsRequest,
+    ) -> std::result::Result<Ticket<D::Error>, TmsRequest> {
         {
             let q = self.shared.queue.lock().unwrap();
             if q.jobs.len() >= self.shared.capacity {
                 drop(q);
+                // A refusal is still a submission attempt: count it on
+                // both sides so submitted == completed + rejected.
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(request);
             }
         }
         let ticket = Ticket::new();
         let sink = Sink::Ticket(Arc::clone(&ticket.state));
-        self.enqueue(Job { request, sink });
+        let trace = self.mint_trace();
+        self.enqueue(Job {
+            request,
+            sink,
+            trace,
+        });
         Ok(ticket)
     }
 
@@ -247,7 +340,7 @@ impl FrontDoor {
     pub fn submit_with(
         &self,
         request: TmsRequest,
-        callback: impl FnOnce(Result<TmsResponse>) + Send + 'static,
+        callback: impl FnOnce(std::result::Result<TmsResponse, D::Error>) + Send + 'static,
     ) {
         {
             let mut q = self.shared.queue.lock().unwrap();
@@ -255,9 +348,11 @@ impl FrontDoor {
                 q = self.shared.space.wait(q).unwrap();
             }
         }
+        let trace = self.mint_trace();
         self.enqueue(Job {
             request,
             sink: Sink::Callback(Box::new(callback)),
+            trace,
         });
     }
 
@@ -273,9 +368,29 @@ impl FrontDoor {
             queue_peak: self.shared.queue_peak.load(Ordering::Relaxed),
         }
     }
+
+    /// Shuts the pool down — drains every accepted request, joins the
+    /// workers — and returns the final counters. The post-mortem form of
+    /// [`FrontDoor::stats`]: by the time it returns, `queue_depth` is 0
+    /// and `submitted == completed + rejected`.
+    pub fn drain(self) -> FrontDoorStats {
+        let shared = Arc::clone(&self.shared);
+        let workers = self.workers.len();
+        drop(self); // Drop drains the queue and joins the pool.
+        let queue_depth = shared.queue.lock().unwrap().jobs.len();
+        FrontDoorStats {
+            workers,
+            capacity: shared.capacity,
+            submitted: shared.submitted.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            queue_depth,
+            queue_peak: shared.queue_peak.load(Ordering::Relaxed),
+        }
+    }
 }
 
-impl Drop for FrontDoor {
+impl<D: Door> Drop for FrontDoor<D> {
     fn drop(&mut self) {
         {
             let mut q = self.shared.queue.lock().unwrap();
@@ -289,7 +404,7 @@ impl Drop for FrontDoor {
     }
 }
 
-fn worker_loop(shared: Arc<DoorShared>, server: TmsServer) {
+fn worker_loop<D: Door>(shared: Arc<DoorShared<D::Error>>, door: D) {
     loop {
         let job = {
             let mut q = shared.queue.lock().unwrap();
@@ -304,7 +419,24 @@ fn worker_loop(shared: Arc<DoorShared>, server: TmsServer) {
             }
         };
         shared.space.notify_one();
-        let result = server.handle(job.request);
+        // With a trace attached: book the queue wait, install the context
+        // so deeper layers (engine apply, counter commit, replication)
+        // record their stages, and fold the finished trace into the plane.
+        let tracing = match (&shared.telemetry, job.trace) {
+            (Some(telemetry), Some((id, enqueued))) => {
+                let mut ctx = TraceCtx::new(id);
+                ctx.add(Stage::QueueWait, enqueued.elapsed().as_nanos() as u64);
+                trace::install(ctx);
+                Some(Arc::clone(telemetry))
+            }
+            _ => None,
+        };
+        let result = door.call(job.request);
+        if let Some(telemetry) = tracing {
+            if let Some(ctx) = trace::take() {
+                telemetry.finish_trace(ctx);
+            }
+        }
         // Count before resolving the sink: a client whose ticket just
         // resolved must see its own request in `completed`.
         shared.completed.fetch_add(1, Ordering::Relaxed);
@@ -479,7 +611,10 @@ mod tests {
         // hands the request back.
         let refused = door.try_submit(TmsRequest::PolicyCount);
         assert!(refused.is_err(), "saturated door must shed load");
-        assert!(door.stats().rejected >= 1);
+        let stats = door.stats();
+        assert!(stats.rejected >= 1);
+        // A refusal counts as a submission attempt (conservation).
+        assert!(stats.submitted >= 3 + stats.rejected);
         for ticket in parked {
             ticket.wait().expect("probe");
         }
@@ -520,5 +655,30 @@ mod tests {
             matches!(polled, Some(Ok(TmsResponse::Count(1)))),
             "poll must observe the completed count: {polled:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_door_mints_traces_and_records_stage_latencies() {
+        let (server, platform) = fixture("tele");
+        let telemetry = Telemetry::new();
+        let door = FrontDoor::with_telemetry(server, 2, 32, Arc::clone(&telemetry));
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| door.submit(attest_request(&platform, "tele")))
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("attest");
+        }
+        assert_eq!(telemetry.traces_minted(), 8);
+        assert_eq!(telemetry.stage_histogram(Stage::QueueWait).count(), 8);
+        assert_eq!(telemetry.stage_histogram(Stage::EngineApply).count(), 8);
+
+        // Disabling tracing stops minting; requests still complete.
+        telemetry.set_tracing(false);
+        door.submit(TmsRequest::PolicyCount).wait().expect("probe");
+        assert_eq!(telemetry.traces_minted(), 8);
+
+        let stats = door.drain();
+        assert_eq!(stats.submitted, stats.completed + stats.rejected);
+        assert_eq!(stats.queue_depth, 0);
     }
 }

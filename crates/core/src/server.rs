@@ -26,6 +26,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use palaemon_telemetry::{trace, Collect, MetricSink, Stage};
+
 use palaemon_crypto::sig::VerifyingKey;
 use palaemon_crypto::Digest;
 use shielded_fs::fs::TagEvent;
@@ -230,6 +232,16 @@ pub struct ServerStats {
     pub counter: Option<BatchStats>,
 }
 
+impl Collect for ServerStats {
+    fn collect(&self, sink: &mut MetricSink) {
+        sink.counter("server_requests_ok_total", self.ok);
+        sink.counter("server_requests_failed_total", self.failed);
+        if let Some(counter) = &self.counter {
+            counter.collect(sink);
+        }
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     ok: AtomicU64,
@@ -304,17 +316,21 @@ impl TmsServer {
     /// Whatever the dispatched engine operation returns.
     pub fn handle(&self, request: TmsRequest) -> Result<TmsResponse> {
         let mutation = request.is_mutation();
+        let apply = trace::start();
         let mut result = match &self.fault_hook {
             Some(hook) => hook(&request).and_then(|()| self.dispatch(request)),
             None => self.dispatch(request),
         };
+        trace::finish(Stage::EngineApply, apply);
         if result.is_ok() && mutation {
             if let Some(counter) = &self.commit_counter {
                 // State is durable; cover it with a (batched) Fig. 6
                 // counter increment before acknowledging.
+                let commit = trace::start();
                 if let Err(e) = counter.commit() {
                     result = Err(e);
                 }
+                trace::finish(Stage::CounterCommit, commit);
             }
         }
         let outcome = if result.is_ok() {

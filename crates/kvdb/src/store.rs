@@ -172,6 +172,15 @@ pub struct DbStats {
     pub wal_batches: u64,
 }
 
+impl palaemon_telemetry::Collect for DbStats {
+    fn collect(&self, sink: &mut palaemon_telemetry::MetricSink) {
+        sink.counter("db_commits_total", self.commits);
+        sink.counter("db_checkpoints_total", self.checkpoints);
+        sink.gauge("db_keys", self.keys as f64);
+        sink.gauge("db_wal_batches_pending", self.wal_batches as f64);
+    }
+}
+
 /// The embedded encrypted key-value store.
 pub struct Db {
     store: Box<dyn BlockStore>,

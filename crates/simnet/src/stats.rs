@@ -1,4 +1,10 @@
 //! Latency statistics: mean, percentiles, confidence intervals.
+//!
+//! The percentile math lives in [`palaemon_telemetry::summary`] — the
+//! workspace's single exact-percentile implementation — and
+//! [`LatencyStats::from_samples`] delegates to it.
+
+use palaemon_telemetry::{summary, Collect, MetricSink};
 
 use crate::Time;
 
@@ -25,36 +31,19 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes statistics from raw samples. Returns `None` when empty.
-    pub fn from_samples(mut samples: Vec<Time>) -> Option<LatencyStats> {
-        if samples.is_empty() {
-            return None;
-        }
-        samples.sort_unstable();
-        let count = samples.len();
-        let sum: f64 = samples.iter().map(|&s| s as f64).sum();
-        let mean = sum / count as f64;
-        let var: f64 = samples
-            .iter()
-            .map(|&s| {
-                let d = s as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / count as f64;
-        let stddev = var.sqrt();
-        let pct = |p: f64| -> Time {
-            let idx = ((count as f64 - 1.0) * p).round() as usize;
-            samples[idx.min(count - 1)]
-        };
+    /// Delegates to [`palaemon_telemetry::summary::from_samples`] — the
+    /// shared exact-percentile implementation.
+    pub fn from_samples(samples: Vec<Time>) -> Option<LatencyStats> {
+        let s = summary::from_samples(samples)?;
         Some(LatencyStats {
-            count,
-            mean,
-            stddev,
-            p50: pct(0.50),
-            p95: pct(0.95),
-            p99: pct(0.99),
-            max: *samples.last().unwrap(),
-            ci95: 1.96 * stddev / (count as f64).sqrt(),
+            count: s.count,
+            mean: s.mean,
+            stddev: s.stddev,
+            p50: s.p50,
+            p95: s.p95,
+            p99: s.p99,
+            max: s.max,
+            ci95: s.ci95,
         })
     }
 
@@ -66,6 +55,18 @@ impl LatencyStats {
     /// p95 in milliseconds.
     pub fn p95_ms(&self) -> f64 {
         self.p95 as f64 / 1e6
+    }
+}
+
+impl Collect for LatencyStats {
+    fn collect(&self, sink: &mut MetricSink) {
+        sink.gauge("latency_samples", self.count as f64);
+        sink.gauge("latency_mean_ns", self.mean);
+        sink.gauge("latency_p50_ns", self.p50 as f64);
+        sink.gauge("latency_p95_ns", self.p95 as f64);
+        sink.gauge("latency_p99_ns", self.p99 as f64);
+        sink.gauge("latency_max_ns", self.max as f64);
+        sink.gauge("latency_ci95_ns", self.ci95);
     }
 }
 

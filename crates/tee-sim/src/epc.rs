@@ -26,6 +26,15 @@ pub struct EpcStats {
     pub pressure_events: u64,
 }
 
+impl palaemon_telemetry::Collect for EpcStats {
+    fn collect(&self, sink: &mut palaemon_telemetry::MetricSink) {
+        sink.counter("epc_allocated_pages_total", self.allocated_pages);
+        sink.counter("epc_freed_pages_total", self.freed_pages);
+        sink.counter("epc_evicted_pages_total", self.evicted_pages);
+        sink.counter("epc_pressure_events_total", self.pressure_events);
+    }
+}
+
 struct EpcInner {
     free_pages: usize,
     stats: EpcStats,

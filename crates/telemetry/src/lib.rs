@@ -1,0 +1,217 @@
+//! The unified telemetry plane: one [`Telemetry`] handle carries a
+//! lock-light metrics [`Registry`], per-request trace-stage histograms,
+//! and a bounded control-plane [`FlightRecorder`] — everything the
+//! operator-facing exposition ([`TelemetrySnapshot`]) aggregates.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **The mutation hot path pays almost nothing.** Counters and gauges
+//!    are single atomics; histograms are fixed-bucket atomic arrays (one
+//!    `fetch_add` per sample, no allocation, no lock). Request tracing is
+//!    a thread-local context installed by the front door — when tracing
+//!    is disabled (or no context is installed) every instrumentation
+//!    site collapses to one thread-local read.
+//! 2. **Control-plane events are never lost silently.** The flight
+//!    recorder is a bounded ring: when it wraps, the drop *count* is kept
+//!    so the exposition can say how much history is missing.
+//! 3. **No locks held across foreign code.** Registry maps and the
+//!    recorder ring are leaf mutexes: taken, touched, released. They
+//!    never nest with engine or router locks.
+//!
+//! The existing `*Stats` surfaces (server, front door, replication,
+//! shard, cluster, db, counter, EPC, latency) register into the plane by
+//! implementing [`Collect`]: a pull-based export that costs the hot path
+//! zero and renders into both JSON and Prometheus text format.
+
+pub mod metrics;
+pub mod recorder;
+pub mod snapshot;
+pub mod summary;
+pub mod trace;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Registry};
+pub use recorder::{Event, EventKind, FlightRecorder};
+pub use snapshot::{Collect, Metric, MetricSink, MetricValue, StageSummary, TelemetrySnapshot};
+pub use trace::{Stage, TraceCtx};
+
+/// How many flight-recorder events [`Telemetry::new`] retains.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// How many trailing flight-recorder events a [`TelemetrySnapshot`]
+/// carries.
+pub const SNAPSHOT_EVENT_TAIL: usize = 64;
+
+/// One process-wide (or per-cluster) telemetry plane: registry + stage
+/// histograms + flight recorder behind a single shared handle.
+pub struct Telemetry {
+    /// Master switch for request tracing (the only per-request cost knob;
+    /// counters and the flight recorder are always on — they are not on
+    /// the per-mutation hot path).
+    tracing: AtomicBool,
+    registry: Registry,
+    stages: [Histogram; Stage::COUNT],
+    /// Trace ids minted (`FrontDoor::submit` and friends).
+    traces: AtomicU64,
+    flight: Arc<FlightRecorder>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            tracing: AtomicBool::new(true),
+            registry: Registry::default(),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            traces: AtomicU64::new(0),
+            flight: Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A fresh telemetry plane with tracing enabled and a
+    /// [`DEFAULT_FLIGHT_CAPACITY`]-event recorder.
+    pub fn new() -> Arc<Telemetry> {
+        Arc::new(Telemetry::default())
+    }
+
+    /// Enables or disables request tracing. Counters, gauges and the
+    /// flight recorder stay on either way.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.tracing.store(enabled, Ordering::Release);
+    }
+
+    /// True while request tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Acquire)
+    }
+
+    /// Mints a request id for a new trace, or `None` while tracing is
+    /// disabled. The caller builds the [`TraceCtx`] when the request is
+    /// picked up and [`Telemetry::finish_trace`]s it when it completes.
+    pub fn mint_trace(&self) -> Option<u64> {
+        if !self.tracing_enabled() {
+            return None;
+        }
+        Some(self.traces.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Trace ids minted so far.
+    pub fn traces_minted(&self) -> u64 {
+        self.traces.load(Ordering::Relaxed)
+    }
+
+    /// Folds a finished trace's per-stage timings into the stage
+    /// histograms.
+    pub fn finish_trace(&self, ctx: TraceCtx) {
+        for stage in Stage::ALL {
+            if let Some(nanos) = ctx.stage_nanos(stage) {
+                self.stages[stage as usize].record(nanos);
+            }
+        }
+    }
+
+    /// The latency histogram of one request stage.
+    pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+
+    /// The named-instrument registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The control-plane flight recorder.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// One exposition of the whole plane: every registry instrument,
+    /// everything `sources` collect, the per-stage latency summaries and
+    /// the flight-recorder tail.
+    pub fn snapshot(&self, sources: &[&dyn Collect]) -> TelemetrySnapshot {
+        let mut sink = MetricSink::new();
+        self.registry.collect(&mut sink);
+        for source in sources {
+            source.collect(&mut sink);
+        }
+        let stages = Stage::ALL
+            .iter()
+            .map(|&stage| StageSummary::of(stage, self.stages[stage as usize].summary()))
+            .collect();
+        TelemetrySnapshot {
+            metrics: sink.into_metrics(),
+            stages,
+            events: self.flight.tail(SNAPSHOT_EVENT_TAIL),
+            traces: self.traces_minted(),
+            events_dropped: self.flight.dropped(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("tracing", &self.tracing_enabled())
+            .field("traces", &self.traces_minted())
+            .field("events", &self.flight.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracing_switch_gates_trace_minting() {
+        let t = Telemetry::new();
+        assert!(t.mint_trace().is_some());
+        t.set_tracing(false);
+        assert!(t.mint_trace().is_none());
+        t.set_tracing(true);
+        assert_eq!(t.mint_trace(), Some(2));
+        assert_eq!(t.traces_minted(), 2);
+    }
+
+    #[test]
+    fn finished_traces_land_in_stage_histograms() {
+        let t = Telemetry::new();
+        let mut ctx = TraceCtx::new(t.mint_trace().unwrap());
+        ctx.add(Stage::QueueWait, 1_500);
+        ctx.add(Stage::EngineApply, 40_000);
+        t.finish_trace(ctx);
+        assert_eq!(t.stage_histogram(Stage::QueueWait).summary().count, 1);
+        assert_eq!(t.stage_histogram(Stage::EngineApply).summary().count, 1);
+        // Untouched stages record nothing.
+        assert_eq!(t.stage_histogram(Stage::QuorumAck).summary().count, 0);
+    }
+
+    #[test]
+    fn snapshot_carries_registry_sources_stages_and_events() {
+        let t = Telemetry::new();
+        t.registry().counter("demo_total").add(3);
+        let mut ctx = TraceCtx::new(1);
+        ctx.add(Stage::QueueWait, 2_000);
+        t.finish_trace(ctx);
+        t.flight().record(EventKind::Quarantine {
+            shard: 0,
+            replica: 2,
+            reason: "test".into(),
+        });
+        struct Src;
+        impl Collect for Src {
+            fn collect(&self, sink: &mut MetricSink) {
+                sink.gauge("src_gauge", 1.5);
+            }
+        }
+        let snap = t.snapshot(&[&Src]);
+        assert!(snap.metrics.iter().any(|m| m.name == "demo_total"));
+        assert!(snap.metrics.iter().any(|m| m.name == "src_gauge"));
+        assert_eq!(snap.events.len(), 1);
+        let queue = snap.stages.iter().find(|s| s.stage == "queue_wait");
+        assert_eq!(queue.unwrap().count, 1);
+    }
+}

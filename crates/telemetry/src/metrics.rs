@@ -1,0 +1,294 @@
+//! Lock-light instruments: atomic counters and gauges, fixed-bucket
+//! latency histograms, and the named-instrument [`Registry`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::MetricSink;
+use crate::summary;
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
+/// buckets: three steps per decade from 250 ns to 10 s, then 30 s and a
+/// catch-all. Chosen so p50/p95/p99 read within ~2.5x anywhere from a
+/// queue-pop to a stalled 30 s ack wait.
+pub const BUCKET_BOUNDS_NS: [u64; 26] = [
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    30_000_000_000,
+    u64::MAX,
+];
+
+/// A monotonically increasing atomic counter.
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins atomic gauge (f64 stored as bits).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean sample (ns), exact (tracked as a running sum).
+    pub mean_ns: f64,
+    /// Estimated 50th percentile (ns) — the covering bucket's bound.
+    pub p50_ns: u64,
+    /// Estimated 95th percentile (ns).
+    pub p95_ns: u64,
+    /// Estimated 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Largest sample (ns), exact.
+    pub max_ns: u64,
+}
+
+/// A fixed-bucket latency histogram: one `fetch_add` per sample, no
+/// allocation, no lock — cheap enough for the mutation hot path.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len()],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample in nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        let idx = BUCKET_BOUNDS_NS.partition_point(|&bound| bound < nanos);
+        self.buckets[idx.min(BUCKET_BOUNDS_NS.len() - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated percentile (0..=1): the bound of the first bucket whose
+    /// cumulative count covers the rank, clamped to the observed maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let max = self.max.load(Ordering::Relaxed);
+        let mut cumulative = 0;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return BUCKET_BOUNDS_NS[idx].min(max);
+            }
+        }
+        max
+    }
+
+    /// The point-in-time summary (count, mean, p50/p95/p99, max).
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            mean_ns: if count == 0 {
+                0.0
+            } else {
+                self.sum.load(Ordering::Relaxed) as f64 / count as f64
+            },
+            p50_ns: self.percentile(0.50),
+            p95_ns: self.percentile(0.95),
+            p99_ns: self.percentile(0.99),
+            max_ns: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// An exact summary over raw samples — the percentile implementation
+    /// shared with `simnet::stats` and the bench harness (see
+    /// [`summary::from_samples`]).
+    pub fn exact(samples: Vec<u64>) -> Option<summary::Summary> {
+        summary::from_samples(samples)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("p50_ns", &s.p50_ns)
+            .field("p99_ns", &s.p99_ns)
+            .finish()
+    }
+}
+
+/// A named-instrument registry: get-or-create handles by name, exported
+/// wholesale into every snapshot. The maps are leaf mutexes taken only
+/// for handle lookup and export — never on the per-sample path (handles
+/// are cloned out once and cached by the instrumented site).
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Exports every registered instrument into `sink`.
+    pub fn collect(&self, sink: &mut MetricSink) {
+        for (name, counter) in self.counters.lock().unwrap().iter() {
+            sink.counter(name.clone(), counter.get());
+        }
+        for (name, gauge) in self.gauges.lock().unwrap().iter() {
+            sink.gauge(name.clone(), gauge.get());
+        }
+        for (name, histogram) in self.histograms.lock().unwrap().iter() {
+            let s = histogram.summary();
+            sink.counter(format!("{name}_count"), s.count);
+            sink.gauge(format!("{name}_p50_ns"), s.p50_ns as f64);
+            sink.gauge(format!("{name}_p99_ns"), s.p99_ns as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let registry = Registry::default();
+        let c = registry.counter("ops_total");
+        c.inc();
+        c.add(4);
+        // Same name, same instrument.
+        assert_eq!(registry.counter("ops_total").get(), 5);
+        let g = registry.gauge("depth");
+        g.set(0.75);
+        assert!((registry.gauge("depth").get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_ordered_and_bounded() {
+        let h = Histogram::new();
+        for micros in 1..=1000u64 {
+            h.record(micros * 1_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+        assert_eq!(s.max_ns, 1_000_000);
+        // The mean is exact even though percentiles are bucketed.
+        assert!((s.mean_ns - 500_500.0).abs() < 1e-6);
+        // p50 of a uniform 1..=1000 us spread sits in the 500 us bucket.
+        assert_eq!(s.p50_ns, 500_000);
+    }
+
+    #[test]
+    fn histogram_clamps_to_observed_max() {
+        let h = Histogram::new();
+        h.record(300); // lands in the 500 ns bucket, max is 300
+        assert_eq!(h.percentile(0.99), 300);
+        assert_eq!(h.summary().max_ns, 300);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!((s.count, s.p50_ns, s.p99_ns, s.max_ns), (0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,372 @@
+//! The control-plane flight recorder: a bounded ring of the rare,
+//! high-signal events an operator replays after an incident —
+//! quarantines, failover elections, fence drains, gap rejections,
+//! snapshot resyncs, migration cutovers and batch drops.
+//!
+//! The ring is a leaf mutex (taken, pushed, released — never nested
+//! with router or engine locks) and events are rare by construction,
+//! so recording stays off the mutation hot path. When the ring wraps,
+//! the overwritten events are counted: the exposition can always say
+//! how much history is missing.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One recorded control-plane event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotonic sequence number (1-based, gap-free across drops).
+    pub seq: u64,
+    /// Time since the recorder was created.
+    pub at: Duration,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The control-plane event taxonomy.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A replica was quarantined (probe failure, watch regression,
+    /// injected fault, or a failed catch-up on reinstate).
+    Quarantine {
+        /// Shard id.
+        shard: u64,
+        /// Replica index within the shard.
+        replica: usize,
+        /// Why the replica was benched.
+        reason: String,
+    },
+    /// A primary was deposed and a follower elected in its place.
+    Election {
+        /// Shard id.
+        shard: u64,
+        /// Replica index of the deposed primary.
+        deposed: usize,
+        /// Replica index of the election winner.
+        winner: usize,
+        /// The winner's applied rollback-counter token at election.
+        winner_token: u64,
+        /// Mutations delivered by the fence drain that preceded the
+        /// election.
+        fence_drained: u64,
+    },
+    /// A fence drain flushed a follower's queued forwards.
+    FenceDrain {
+        /// Shard id.
+        shard: u64,
+        /// Follower index whose pipe was drained.
+        replica: usize,
+        /// Mutations delivered by the drain.
+        mutations: u64,
+    },
+    /// A follower rejected an out-of-sequence delta (parent-token gap).
+    GapRejection {
+        /// Shard id.
+        shard: u64,
+        /// Follower index that rejected.
+        replica: usize,
+        /// Policy whose chain had the gap.
+        policy: String,
+        /// Token of the rejected delta.
+        token: u64,
+        /// Parent token the delta claimed.
+        parent: u64,
+    },
+    /// A follower was healed with a full snapshot after a gap.
+    SnapshotResync {
+        /// Shard id.
+        shard: u64,
+        /// Follower index that was resynced.
+        replica: usize,
+        /// Policy that was re-exported.
+        policy: String,
+        /// Token the snapshot carries.
+        token: u64,
+    },
+    /// The shard map changed (scale-out, scale-in, or rebalance).
+    MigrationCutover {
+        /// Shard id added, if any.
+        added: Option<u64>,
+        /// Shard id removed, if any.
+        removed: Option<u64>,
+        /// Policies moved during the cutover.
+        moves: u64,
+    },
+    /// A forward batch was dropped (injected fault or shutdown race);
+    /// its waiters were failed, not left hanging.
+    BatchDrop {
+        /// Shard id.
+        shard: u64,
+        /// Follower index whose batch dropped.
+        replica: usize,
+        /// Mutations in the dropped batch.
+        mutations: u64,
+    },
+}
+
+impl EventKind {
+    /// The stable taxonomy name of this event.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Quarantine { .. } => "quarantine",
+            EventKind::Election { .. } => "election",
+            EventKind::FenceDrain { .. } => "fence_drain",
+            EventKind::GapRejection { .. } => "gap_rejection",
+            EventKind::SnapshotResync { .. } => "snapshot_resync",
+            EventKind::MigrationCutover { .. } => "migration_cutover",
+            EventKind::BatchDrop { .. } => "batch_drop",
+        }
+    }
+
+    /// The event's payload as JSON object fields (no surrounding
+    /// braces), used by the snapshot exposition.
+    pub fn json_fields(&self) -> String {
+        fn opt(v: &Option<u64>) -> String {
+            match v {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            }
+        }
+        match self {
+            EventKind::Quarantine {
+                shard,
+                replica,
+                reason,
+            } => format!(
+                "\"shard\":{shard},\"replica\":{replica},\"reason\":{}",
+                crate::snapshot::json_string(reason)
+            ),
+            EventKind::Election {
+                shard,
+                deposed,
+                winner,
+                winner_token,
+                fence_drained,
+            } => format!(
+                "\"shard\":{shard},\"deposed\":{deposed},\"winner\":{winner},\
+                 \"winner_token\":{winner_token},\"fence_drained\":{fence_drained}"
+            ),
+            EventKind::FenceDrain {
+                shard,
+                replica,
+                mutations,
+            } => format!("\"shard\":{shard},\"replica\":{replica},\"mutations\":{mutations}"),
+            EventKind::GapRejection {
+                shard,
+                replica,
+                policy,
+                token,
+                parent,
+            } => format!(
+                "\"shard\":{shard},\"replica\":{replica},\"policy\":{},\
+                 \"token\":{token},\"parent\":{parent}",
+                crate::snapshot::json_string(policy)
+            ),
+            EventKind::SnapshotResync {
+                shard,
+                replica,
+                policy,
+                token,
+            } => format!(
+                "\"shard\":{shard},\"replica\":{replica},\"policy\":{},\"token\":{token}",
+                crate::snapshot::json_string(policy)
+            ),
+            EventKind::MigrationCutover {
+                added,
+                removed,
+                moves,
+            } => format!(
+                "\"added\":{},\"removed\":{},\"moves\":{moves}",
+                opt(added),
+                opt(removed)
+            ),
+            EventKind::BatchDrop {
+                shard,
+                replica,
+                mutations,
+            } => format!("\"shard\":{shard},\"replica\":{replica},\"mutations\":{mutations}"),
+        }
+    }
+}
+
+/// A bounded ring of control-plane [`Event`]s.
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<Event>>,
+    cap: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    origin: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `cap` events (`cap` is clamped to at
+    /// least one).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            origin: Instant::now(),
+        }
+    }
+
+    /// Records one event, evicting (and counting) the oldest when full.
+    pub fn record(&self, kind: EventKind) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            at: self.origin.elapsed(),
+            kind,
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Every retained event, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let ring = self.ring.lock().unwrap();
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("len", &self.len())
+            .field("cap", &self.cap)
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(n: u64) -> EventKind {
+        EventKind::FenceDrain {
+            shard: 0,
+            replica: 1,
+            mutations: n,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let r = FlightRecorder::new(3);
+        for n in 1..=5 {
+            r.record(probe(n));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let events = r.events();
+        // Sequence numbers stay gap-free across eviction.
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn tail_returns_newest_oldest_first() {
+        let r = FlightRecorder::new(10);
+        for n in 1..=6 {
+            r.record(probe(n));
+        }
+        let tail = r.tail(2);
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![5, 6]);
+        // Asking for more than retained returns everything.
+        assert_eq!(r.tail(100).len(), 6);
+    }
+
+    #[test]
+    fn event_names_cover_the_taxonomy() {
+        let kinds = [
+            EventKind::Quarantine {
+                shard: 1,
+                replica: 0,
+                reason: "probe".into(),
+            },
+            EventKind::Election {
+                shard: 1,
+                deposed: 0,
+                winner: 2,
+                winner_token: 9,
+                fence_drained: 3,
+            },
+            EventKind::FenceDrain {
+                shard: 1,
+                replica: 2,
+                mutations: 4,
+            },
+            EventKind::GapRejection {
+                shard: 1,
+                replica: 2,
+                policy: "p".into(),
+                token: 7,
+                parent: 5,
+            },
+            EventKind::SnapshotResync {
+                shard: 1,
+                replica: 2,
+                policy: "p".into(),
+                token: 7,
+            },
+            EventKind::MigrationCutover {
+                added: Some(2),
+                removed: None,
+                moves: 12,
+            },
+            EventKind::BatchDrop {
+                shard: 1,
+                replica: 2,
+                mutations: 8,
+            },
+        ];
+        let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "quarantine",
+                "election",
+                "fence_drain",
+                "gap_rejection",
+                "snapshot_resync",
+                "migration_cutover",
+                "batch_drop",
+            ]
+        );
+        for kind in &kinds {
+            let fields = kind.json_fields();
+            assert!(!fields.contains('{') && !fields.contains('}'), "{fields}");
+        }
+    }
+}

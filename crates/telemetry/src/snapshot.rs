@@ -1,0 +1,372 @@
+//! The exposition layer: the pull-based [`Collect`] trait every `*Stats`
+//! surface implements, the [`MetricSink`] they emit into, and the
+//! [`TelemetrySnapshot`] that renders the whole plane as JSON or
+//! Prometheus text format.
+
+use crate::metrics::HistogramSummary;
+use crate::recorder::Event;
+use crate::trace::Stage;
+
+/// A single exported sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (snake_case, Prometheus-safe).
+    pub name: String,
+    /// Label pairs, outermost scope first.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+/// A sampled value: monotone counter or point-in-time gauge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+}
+
+/// The sink a [`Collect`] source emits into. Labels are scoped: a
+/// per-shard source wraps its emissions in
+/// `sink.scoped("shard", id, |sink| ...)` and every nested metric
+/// carries the label.
+#[derive(Debug, Default)]
+pub struct MetricSink {
+    metrics: Vec<Metric>,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricSink {
+    /// An empty sink.
+    pub fn new() -> MetricSink {
+        MetricSink::default()
+    }
+
+    /// Emits a counter sample under the current label scope.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            labels: self.labels.clone(),
+            value: MetricValue::Counter(value),
+        });
+    }
+
+    /// Emits a gauge sample under the current label scope.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            labels: self.labels.clone(),
+            value: MetricValue::Gauge(value),
+        });
+    }
+
+    /// Runs `f` with the label `key=value` applied to everything it
+    /// emits.
+    pub fn scoped<R>(
+        &mut self,
+        key: impl Into<String>,
+        value: impl ToString,
+        f: impl FnOnce(&mut MetricSink) -> R,
+    ) -> R {
+        self.labels.push((key.into(), value.to_string()));
+        let out = f(self);
+        self.labels.pop();
+        out
+    }
+
+    /// Everything emitted, in emission order.
+    pub fn into_metrics(self) -> Vec<Metric> {
+        self.metrics
+    }
+}
+
+/// A pull-based telemetry source. Implemented by every stats surface
+/// (server, front door, replication, shard, cluster, db, counter, EPC,
+/// latency) — the hot path pays nothing; export walks already-captured
+/// snapshots.
+pub trait Collect {
+    /// Emits this source's samples into `sink`.
+    fn collect(&self, sink: &mut MetricSink);
+}
+
+/// A request stage's latency distribution as carried by the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Stage exposition name (`queue_wait`, `engine_apply`, ...).
+    pub stage: &'static str,
+    /// Traces that recorded this stage.
+    pub count: u64,
+    /// Mean stage time (ns).
+    pub mean_ns: f64,
+    /// Estimated 50th percentile (ns).
+    pub p50_ns: u64,
+    /// Estimated 95th percentile (ns).
+    pub p95_ns: u64,
+    /// Estimated 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Largest observed stage time (ns).
+    pub max_ns: u64,
+}
+
+impl StageSummary {
+    /// Pairs a stage with its histogram summary.
+    pub fn of(stage: Stage, s: HistogramSummary) -> StageSummary {
+        StageSummary {
+            stage: stage.name(),
+            count: s.count,
+            mean_ns: s.mean_ns,
+            p50_ns: s.p50_ns,
+            p95_ns: s.p95_ns,
+            p99_ns: s.p99_ns,
+            max_ns: s.max_ns,
+        }
+    }
+}
+
+/// One exposition of the whole telemetry plane.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Every metric sample: registry instruments plus every [`Collect`]
+    /// source.
+    pub metrics: Vec<Metric>,
+    /// Per-request-stage latency summaries.
+    pub stages: Vec<StageSummary>,
+    /// The flight-recorder tail, oldest first.
+    pub events: Vec<Event>,
+    /// Trace ids minted so far.
+    pub traces: u64,
+    /// Flight-recorder events lost to ring wrap-around.
+    pub events_dropped: u64,
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            out.push_str(&json_string(&m.name));
+            if !m.labels.is_empty() {
+                out.push_str(",\"labels\":{");
+                for (j, (k, v)) in m.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_string(k));
+                    out.push(':');
+                    out.push_str(&json_string(v));
+                }
+                out.push('}');
+            }
+            match m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{v}}}"))
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(",\"type\":\"gauge\",\"value\":{}}}", json_f64(v)))
+                }
+            }
+        }
+        out.push_str("],\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":{},\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\
+                 \"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                json_string(s.stage),
+                s.count,
+                json_f64(s.mean_ns),
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns,
+                s.max_ns
+            ));
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_us\":{},\"kind\":{},{}}}",
+                e.seq,
+                e.at.as_micros(),
+                json_string(e.kind.name()),
+                e.kind.json_fields()
+            ));
+        }
+        out.push_str(&format!(
+            "],\"traces\":{},\"events_dropped\":{}}}",
+            self.traces, self.events_dropped
+        ));
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (metrics and stage quantiles; flight-recorder events are
+    /// JSON-only).
+    pub fn to_prometheus(&self) -> String {
+        fn labels(pairs: &[(String, String)]) -> String {
+            if pairs.is_empty() {
+                return String::new();
+            }
+            let body: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+        let mut out = String::new();
+        for m in &self.metrics {
+            match m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, labels(&m.labels)))
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, labels(&m.labels)))
+                }
+            }
+        }
+        for s in &self.stages {
+            for (q, v) in [("0.5", s.p50_ns), ("0.95", s.p95_ns), ("0.99", s.p99_ns)] {
+                out.push_str(&format!(
+                    "palaemon_stage_latency_ns{{stage=\"{}\",quantile=\"{q}\"}} {v}\n",
+                    s.stage
+                ));
+            }
+            out.push_str(&format!(
+                "palaemon_stage_latency_ns_count{{stage=\"{}\"}} {}\n",
+                s.stage, s.count
+            ));
+        }
+        out.push_str(&format!("palaemon_traces_total {}\n", self.traces));
+        out.push_str(&format!(
+            "palaemon_flight_events_dropped_total {}\n",
+            self.events_dropped
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::EventKind;
+    use std::time::Duration;
+
+    #[test]
+    fn scoped_labels_apply_to_nested_emissions_only() {
+        let mut sink = MetricSink::new();
+        sink.counter("plain", 1);
+        sink.scoped("shard", 3, |sink| {
+            sink.counter("inner", 2);
+            sink.scoped("replica", 1, |sink| sink.gauge("deep", 0.5));
+        });
+        sink.counter("after", 4);
+        let metrics = sink.into_metrics();
+        assert!(metrics[0].labels.is_empty());
+        assert_eq!(metrics[1].labels, vec![("shard".into(), "3".into())]);
+        assert_eq!(
+            metrics[2].labels,
+            vec![("shard".into(), "3".into()), ("replica".into(), "1".into())]
+        );
+        assert!(metrics[3].labels.is_empty());
+    }
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut sink = MetricSink::new();
+        sink.counter("requests_total", 10);
+        sink.scoped("shard", 0, |sink| sink.gauge("pipe_saturation", 0.25));
+        TelemetrySnapshot {
+            metrics: sink.into_metrics(),
+            stages: vec![StageSummary {
+                stage: "queue_wait",
+                count: 3,
+                mean_ns: 1500.0,
+                p50_ns: 1000,
+                p95_ns: 2500,
+                p99_ns: 2500,
+                max_ns: 2600,
+            }],
+            events: vec![Event {
+                seq: 1,
+                at: Duration::from_micros(42),
+                kind: EventKind::Quarantine {
+                    shard: 0,
+                    replica: 2,
+                    reason: "probe \"x\"".into(),
+                },
+            }],
+            traces: 3,
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let json = sample_snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests_total\""));
+        assert!(json.contains("\"labels\":{\"shard\":\"0\"}"));
+        assert!(json.contains("\"kind\":\"quarantine\""));
+        assert!(json.contains("\\\"x\\\""), "escaped quote survives: {json}");
+        assert!(json.contains("\"traces\":3"));
+        // Balanced braces (no raw quotes inside values thanks to escaping).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' => d + 1,
+            '}' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_emits_quantile_series() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("requests_total 10\n"));
+        assert!(text.contains("pipe_saturation{shard=\"0\"} 0.25\n"));
+        assert!(text
+            .contains("palaemon_stage_latency_ns{stage=\"queue_wait\",quantile=\"0.99\"} 2500\n"));
+        assert!(text.contains("palaemon_stage_latency_ns_count{stage=\"queue_wait\"} 3\n"));
+        assert!(text.contains("palaemon_traces_total 3\n"));
+    }
+
+    #[test]
+    fn json_string_escapes_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

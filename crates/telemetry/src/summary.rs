@@ -1,0 +1,108 @@
+//! Exact summary statistics over raw latency samples — the single
+//! percentile implementation the workspace shares (`simnet::stats`
+//! delegates here, and the bench harness uses [`percentile_sorted`]
+//! instead of hand-rolling index math).
+
+/// Exact summary statistics of a sample set (all latencies in ns, but
+/// the math is unit-agnostic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub stddev: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Half-width of the 95 % confidence interval of the mean.
+    pub ci95: f64,
+}
+
+/// The `p`-th percentile (0..=1) of an ascending-sorted slice, by
+/// nearest-rank index: `round((n - 1) * p)`. Panics on an empty slice —
+/// callers gate on emptiness first.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    let count = sorted.len();
+    let idx = ((count as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx.min(count - 1)]
+}
+
+/// Computes exact summary statistics from raw samples. Returns `None`
+/// when empty. Sorts in place (the samples are consumed).
+pub fn from_samples(mut samples: Vec<u64>) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    let count = samples.len();
+    let sum: f64 = samples.iter().map(|&s| s as f64).sum();
+    let mean = sum / count as f64;
+    let var: f64 = samples
+        .iter()
+        .map(|&s| {
+            let d = s as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / count as f64;
+    let stddev = var.sqrt();
+    Some(Summary {
+        count,
+        mean,
+        stddev,
+        p50: percentile_sorted(&samples, 0.50),
+        p95: percentile_sorted(&samples, 0.95),
+        p99: percentile_sorted(&samples, 0.99),
+        max: *samples.last().unwrap(),
+        ci95: 1.96 * stddev / (count as f64).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = from_samples(vec![42]).unwrap();
+        assert_eq!((s.count, s.p50, s.max), (1, 42, 42));
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn uniform_percentiles() {
+        let s = from_samples((1..=1000).collect()).unwrap();
+        assert!(s.p50 == 500 || s.p50 == 501, "p50 = {}", s.p50);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small = from_samples((1..=10).collect()).unwrap();
+        let big = from_samples((1..=10).cycle().take(1000).collect()).unwrap();
+        assert!(big.ci95 < small.ci95);
+    }
+
+    #[test]
+    fn percentile_sorted_handles_extremes() {
+        let sorted = [10, 20, 30];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 30);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 20);
+    }
+}

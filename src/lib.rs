@@ -9,6 +9,7 @@ pub use palaemon_core as core;
 pub use palaemon_crypto as crypto;
 pub use palaemon_db as db;
 pub use palaemon_services as services;
+pub use palaemon_telemetry as telemetry;
 pub use shielded_fs;
 pub use simnet;
 pub use tee_sim;

@@ -37,6 +37,7 @@ use palaemon::db::Db;
 use palaemon::shielded_fs::store::MemStore;
 use palaemon::tee_sim::platform::{Microcode, Platform};
 use palaemon::tee_sim::quote::{create_report, quote_report};
+use palaemon::telemetry::EventKind;
 
 const MRE: [u8; 32] = [0x9C; 32];
 
@@ -1035,4 +1036,87 @@ fn windowed_crash_after_quorum_preserves_acked_writes() {
     assert_eq!(read_version(&router, "wq"), 3, "acked write must survive");
     update(&router, "wq", 4).unwrap();
     assert_eq!(read_version(&router, "wq"), 4);
+}
+
+/// The control-plane flight recorder must capture a failover end to end:
+/// deposing a windowed primary with a queued backlog leaves a
+/// `FenceDrain` for the delivered backlog, an `Election` naming the
+/// deposed seat, the winner and its counter token, and a `Quarantine`
+/// for the pulled replica — in that order, with the election's
+/// fence-drain count agreeing with the drain events.
+#[test]
+fn flight_recorder_captures_the_election() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    router.set_ack_mode(AckMode::Windowed);
+    // A flush window far beyond the test: the backlog sits in the pipes
+    // until the deposition fence drains it.
+    router.set_flush_window(Duration::from_secs(30));
+    let id = ShardId(0);
+
+    create(&router, "fr", 1);
+    for version in 2..=5 {
+        update(&router, "fr", version).unwrap();
+    }
+    assert!(router.quarantine(id, "chaos: primary pulled"));
+    let status = router.replica_status(id).unwrap();
+    let winner = status.primary;
+    assert_ne!(winner, 0, "a follower must hold the seat");
+    assert_eq!(read_version(&router, "fr"), 5, "acked writes survive");
+
+    let events = router.telemetry().flight().events();
+    let drained: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::FenceDrain {
+                shard: 0,
+                mutations,
+                ..
+            } => Some(mutations),
+            _ => None,
+        })
+        .sum();
+    assert!(drained > 0, "the fence drain must deliver the backlog");
+
+    let election = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Election { .. }))
+        .expect("the recorder must capture the election");
+    let EventKind::Election {
+        shard,
+        deposed,
+        winner: elected,
+        winner_token,
+        fence_drained,
+    } = &election.kind
+    else {
+        unreachable!()
+    };
+    assert_eq!(*shard, 0);
+    assert_eq!(*deposed, 0, "replica 0 held the seat when it was pulled");
+    assert_eq!(*elected, winner, "the recorder names the seated follower");
+    assert_eq!(
+        *winner_token, status.replicas[winner].applied,
+        "the winning token is the freshness-election counter token"
+    );
+    assert!(*winner_token > 0, "the winner carries real applied state");
+    assert_eq!(
+        *fence_drained, drained,
+        "the election's drain count agrees with the FenceDrain events"
+    );
+
+    let quarantine = events
+        .iter()
+        .find(|e| {
+            matches!(
+                &e.kind,
+                EventKind::Quarantine { shard: 0, replica: 0, reason }
+                    if reason.contains("primary pulled")
+            )
+        })
+        .expect("the recorder must capture the quarantine");
+    assert!(
+        election.seq < quarantine.seq,
+        "fence + election precede the quarantine mark"
+    );
 }
