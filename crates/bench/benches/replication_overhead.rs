@@ -40,6 +40,12 @@
 //!    while every mutation already pays its WAL syncs — so full tracing
 //!    must stay within 5 % of the untraced rate. Stage p99s and both
 //!    rates land in `BENCH_telemetry.json` at the workspace root.
+//! 8. **Self-healing MTTR** — quarantine the primary of an R=3 group
+//!    watched by the background [`ClusterMonitor`] and measure the
+//!    wall-clock until the group is whole again: new primary seated by
+//!    the synchronous failover, pulled replica rebuilt and re-admitted
+//!    by the monitor alone (no operator `reinstate`). Asserts the window
+//!    stays under a CI-safe bound; lands in `BENCH_selfheal.json`.
 //!
 //! Run with `--quick` (CI) for a shorter opcount.
 
@@ -49,7 +55,8 @@ use std::time::{Duration, Instant};
 
 use palaemon_bench::measure::percentile;
 use palaemon_cluster::{
-    strict_shard, AckMode, ClusterDoor, ClusterRouter, ReadPreference, ReplicationMode, ShardId,
+    strict_shard, AckMode, ClusterDoor, ClusterMonitor, ClusterRouter, MonitorConfig,
+    QuarantineOutcome, ReadPreference, ReplicationMode, ShardId,
 };
 use palaemon_core::counterfile::ShieldedCounter;
 use palaemon_core::frontdoor::FrontDoor;
@@ -510,7 +517,9 @@ fn run_failover_window(window_ms: u64, platform: &Platform) -> (f64, u64, u64) {
             });
         }
         std::thread::sleep(Duration::from_millis(window_ms / 2));
-        assert!(router.quarantine(ShardId(0), "bench: primary pulled"));
+        assert!(router
+            .quarantine(ShardId(0), "bench: primary pulled")
+            .is_some());
         std::thread::sleep(Duration::from_millis(window_ms / 2));
         stop.store(true, Ordering::Relaxed);
     });
@@ -714,6 +723,77 @@ fn run_telemetry_overhead(
     (rates[0], rates[1], stage_p99s)
 }
 
+/// Self-healing MTTR at R=3: pull the primary of a monitored group and
+/// measure the wall-clock from the quarantine to full strength — the
+/// synchronous failover seats a new primary immediately, and the
+/// background monitor (probation + catch-up, no operator `reinstate`)
+/// rebuilds the pulled replica. Returns the repair window in
+/// milliseconds plus the monitor's (healed, ticks) counters.
+fn run_selfheal_mttr(platform: &Platform) -> (f64, u64, u64) {
+    let router = Arc::new(build_group(3, platform));
+    let owner = SigningKey::from_seed(b"ro-owner").verifying_key();
+    let names: Vec<String> = (0..POLICIES).map(|i| format!("sh_tenant_{i}")).collect();
+    for name in &names {
+        router
+            .handle(TmsRequest::CreatePolicy {
+                owner,
+                policy: Box::new(policy_with_payload(name)),
+                approval: None,
+                votes: Vec::new(),
+            })
+            .expect("create");
+    }
+
+    let monitor = ClusterMonitor::new(
+        Arc::clone(&router),
+        MonitorConfig {
+            cadence: Duration::from_millis(5),
+            probation_ticks: 1,
+            ..MonitorConfig::default()
+        },
+    );
+    monitor.start();
+
+    let start = Instant::now();
+    let outcome = router
+        .quarantine(ShardId(0), "bench: primary pulled")
+        .expect("the group exists");
+    assert!(
+        matches!(outcome, QuarantineOutcome::FailedOver { .. }),
+        "pulling one of three replicas must fail over, not go dark"
+    );
+    // Writes keep landing on the new seat while the monitor repairs.
+    router
+        .handle(TmsRequest::UpdatePolicy {
+            client: owner,
+            policy: Box::new(policy_with_payload(&names[0])),
+            approval: None,
+            votes: Vec::new(),
+        })
+        .expect("the group must stay writable across the repair window");
+    let deadline = start + Duration::from_secs(10);
+    let mttr = loop {
+        let status = router.replica_status(ShardId(0)).expect("status");
+        let whole = status.replicas.iter().filter(|r| r.in_quorum).count() == 3
+            && !status.replicas[status.primary].quarantined;
+        if whole {
+            break start.elapsed();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "monitor failed to re-admit the pulled replica in time: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    monitor.stop();
+    let totals = monitor.totals();
+    assert!(
+        totals.healed >= 1,
+        "the pulled replica must come back through the probation heal: {totals:?}"
+    );
+    (mttr.as_secs_f64() * 1e3, totals.healed, monitor.ticks())
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let ops_per_client = if quick { 150 } else { 600 };
@@ -838,6 +918,18 @@ fn main() {
          ({on_rate:.0}/s traced vs {off_rate:.0}/s untraced)"
     );
 
+    let (mttr_ms, healed, ticks) = run_selfheal_mttr(&platform);
+    println!("\n  self-healing MTTR at R=3 (5 ms monitor cadence, probation 1 tick):");
+    println!(
+        "    primary pulled -> group whole : {mttr_ms:>7.1} ms \
+         ({healed} probation heal, {ticks} monitor ticks)"
+    );
+    println!("    => the monitor rebuilds the pulled replica; no operator reinstate");
+    assert!(
+        mttr_ms < 5_000.0,
+        "self-heal window must close well inside the CI bound ({mttr_ms:.1} ms)"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"replication_overhead\",\n  \"quick\": {quick},\n  \
          \"mutations_per_sec\": {{ \"r1\": {:.0}, \"r2\": {:.0}, \"r3\": {:.0} }},\n  \
@@ -874,5 +966,18 @@ fn main() {
         eprintln!("  (could not write BENCH_telemetry.json: {e})");
     } else {
         println!("  wrote BENCH_telemetry.json");
+    }
+
+    let selfheal_json = format!(
+        "{{\n  \"bench\": \"selfheal_mttr\",\n  \"quick\": {quick},\n  \
+         \"mttr_ms\": {mttr_ms:.1},\n  \
+         \"monitor\": {{ \"cadence_ms\": 5, \"probation_ticks\": 1, \
+         \"healed\": {healed}, \"ticks\": {ticks} }}\n}}\n"
+    );
+    let selfheal_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_selfheal.json");
+    if let Err(e) = std::fs::write(selfheal_path, &selfheal_json) {
+        eprintln!("  (could not write BENCH_selfheal.json: {e})");
+    } else {
+        println!("  wrote BENCH_selfheal.json");
     }
 }

@@ -227,6 +227,26 @@ pub fn kill_server_at(at: u64) -> FaultHook {
     })
 }
 
+/// Builds a [`FaultHook`] that kills a replica's server for a *window*
+/// of handled requests — from its `from`-th through its `to`-th
+/// (1-based, inclusive), recovering afterwards. Models a crash-restart:
+/// the health probe fails while the window is open (quarantining the
+/// replica), then succeeds again, so a monitor's probation heal can
+/// catch the replica up and re-admit it without an operator
+/// `reinstate`.
+pub fn kill_server_between(from: u64, to: u64) -> FaultHook {
+    let seen = AtomicU64::new(0);
+    Arc::new(move |_req: &TmsRequest| {
+        let n = seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= from && n <= to {
+            return Err(PalaemonError::Fs(
+                "replica down for repair window".to_string(),
+            ));
+        }
+        Ok(())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,21 +43,31 @@
 //!   regressions; a misbehaving replica is quarantined (triggering a
 //!   failover when it held the primary seat) and surfaced in
 //!   [`ClusterStats`].
+//! * **Self-healing** ([`monitor`]) — an optional [`ClusterMonitor`]
+//!   closes the health loop without an operator: background probe sweeps
+//!   (automatic quarantine + failover, dark-group recovery), per-policy
+//!   chain-cursor/digest anti-entropy that repairs quietly-diverged
+//!   followers before a mutation trips the chain check, automatic
+//!   re-admission of caught-up replicas, and saturation-triggered flush
+//!   windows — every action recorded on the telemetry flight recorder.
 //! * **Deterministic fault injection** ([`fault`]) — a [`FaultPlan`] names
 //!   crash / partition / counter-rollback faults by an exact
 //!   (shard, operation) coordinate, so every failover scenario the test
 //!   suite asserts on is reproducible.
 
 pub mod fault;
+pub mod monitor;
 pub mod ring;
 pub mod router;
 
-pub use fault::{kill_server_at, FaultKind, FaultPlan, PlannedFault};
+pub use fault::{kill_server_at, kill_server_between, FaultKind, FaultPlan, PlannedFault};
+pub use monitor::{ClusterMonitor, MonitorConfig, TickReport};
 pub use ring::{HashRing, ShardId};
 pub use router::{
-    strict_shard, AckMode, ClusterDoor, ClusterError, ClusterRouter, ClusterStats, PolicyMove,
-    ReadPreference, ReplicaHealth, ReplicaSetStatus, ReplicaStatus, ReplicationMode,
-    ReplicationStats, ShardHealth, ShardPlan, ShardStats, DEGRADED_SATURATION,
+    strict_shard, AckMode, AntiEntropyOutcome, ClusterDoor, ClusterError, ClusterRouter,
+    ClusterStats, PolicyMove, QuarantineOutcome, ReadPreference, ReplicaHealth, ReplicaSetStatus,
+    ReplicaStatus, ReplicationMode, ReplicationStats, ShardHealth, ShardPlan, ShardStats,
+    DEGRADED_SATURATION,
 };
 
 /// Convenience alias for results in this crate.

@@ -128,18 +128,29 @@
 //! rollback signature of Fig. 6) quarantines the replica. Quarantining the
 //! primary triggers a failover; only when no in-quorum follower survives
 //! does the group answer [`ClusterError::ShardUnavailable`] until an
-//! operator calls [`ClusterRouter::reinstate`].
+//! operator calls [`ClusterRouter::reinstate`] — or, with a
+//! [`ClusterMonitor`](crate::monitor::ClusterMonitor) attached, until the
+//! monitor's probe sweep and anti-entropy repair converge the group on
+//! their own (see the `monitor` module).
+//!
+//! The probe sweep itself runs on a snapshot of the replica handles with
+//! the topology lock **released**, so one wedged replica can stall only
+//! the sweep, never `add_shard`/`drain_shard`.
 //!
 //! **Lock order:** `rebalance_gate` → `topology` → (one group's
 //! `forward_lock`) → (one pipe's `delivery` then `queue`) → `sessions` →
 //! (any engine's internal locks). Sender threads take only their own
 //! pipe's locks and engine locks — never `forward_lock` or `topology` —
 //! so the request path and the background data plane cannot deadlock.
-//! Health flags are atomics so marking a replica Byzantine never blocks
-//! traffic. Telemetry locks (the flight-recorder ring and the registry
-//! maps in `palaemon-telemetry`) are **leaves**: taken, updated and
-//! released without calling back into router or engine code, so they may
-//! be acquired under any of the locks above without extending the order.
+//! The monitor thread follows the dispatch order exactly: its sweeps take
+//! `topology` (read) → `forward_lock` → pipe `delivery` then `queue` →
+//! engine locks, and its health probes hold **no** router lock at all, so
+//! attaching a monitor introduces no new lock edges. Health flags are
+//! atomics so marking a replica Byzantine never blocks traffic. Telemetry
+//! locks (the flight-recorder ring and the registry maps in
+//! `palaemon-telemetry`) are **leaves**: taken, updated and released
+//! without calling back into router or engine code, so they may be
+//! acquired under any of the locks above without extending the order.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -579,13 +590,16 @@ pub struct ReplicaHealth {
     pub replica: usize,
     /// True for the replica currently seated as primary.
     pub primary: bool,
-    /// False when quarantined.
+    /// False when quarantined **or** demoted from the write quorum: a
+    /// follower that missed a forward or failed a migration install is
+    /// not serving its share of the group even though it still answers
+    /// probes.
     pub healthy: bool,
     /// True while the replica counts toward the write quorum.
     pub in_quorum: bool,
     /// The replica's applied rollback-counter token (freshness).
     pub applied: u64,
-    /// Why the replica was quarantined, when it was.
+    /// Why the replica was quarantined or demoted, when it was.
     pub reason: Option<String>,
 }
 
@@ -615,6 +629,42 @@ pub struct ShardHealth {
 /// Pipe-saturation fraction above which a routable shard is reported
 /// degraded by [`ClusterRouter::health_check`].
 pub const DEGRADED_SATURATION: f64 = 0.8;
+
+/// The outcome of pulling a shard's primary
+/// ([`ClusterRouter::quarantine`]; the monitor's auto-failovers follow
+/// the same election).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineOutcome {
+    /// The freshest chain-complete in-quorum follower was seated; the
+    /// shard keeps serving through the failover.
+    FailedOver {
+        /// Replica index of the new primary.
+        new_primary: usize,
+    },
+    /// No successor was electable: the group is dark (unroutable) until
+    /// a replica is healed or reinstated. A `group_dark` flight event
+    /// was recorded.
+    GroupDark,
+}
+
+/// What one anti-entropy pass over a shard did (the monitor aggregates
+/// these into its tick report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AntiEntropyOutcome {
+    /// Per-policy repairs performed (cursor advances, cursor-bounded
+    /// delta resends, snapshot resyncs, ghost purges).
+    pub repairs: u64,
+    /// Quorum-demoted followers re-admitted to the write quorum.
+    pub readmitted: u64,
+}
+
+impl AntiEntropyOutcome {
+    /// Folds another shard's outcome into this one.
+    pub fn merge(&mut self, other: AntiEntropyOutcome) {
+        self.repairs += other.repairs;
+        self.readmitted += other.readmitted;
+    }
+}
 
 /// Point-in-time statistics of one shard (replica group). The per-request
 /// figures (`policies`, `sessions`, `server`) describe the current primary.
@@ -860,6 +910,21 @@ impl Replica {
 
     fn is_in_quorum(&self) -> bool {
         !self.is_quarantined() && self.in_quorum.load(Ordering::Acquire)
+    }
+
+    /// Demotes the replica from the write quorum without quarantining
+    /// it, recording why. The first diagnosis wins: a follower failing
+    /// every forward of a burst keeps the original cause, and a
+    /// quarantine reason already in the slot is never overwritten.
+    /// Cleared by [`Replica::rejoin`] (reinstate, or the monitor's
+    /// re-admission).
+    fn demote(&self, reason: String) {
+        let mut slot = self.reason.lock();
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        drop(slot);
+        self.in_quorum.store(false, Ordering::Release);
     }
 
     /// Quarantines the replica. An already-quarantined replica keeps its
@@ -1246,8 +1311,11 @@ impl GroupCore {
                 follower.applied.fetch_max(delta.token, Ordering::AcqRel);
                 true
             }
-            Err(_) => {
-                follower.in_quorum.store(false, Ordering::Release);
+            Err(e) => {
+                follower.demote(format!(
+                    "demoted: applying delta for policy '{}' failed: {e}",
+                    delta.policy
+                ));
                 false
             }
         }
@@ -1613,7 +1681,7 @@ impl ReplicaSet {
             // of the deposed primary's reign stays queued to clobber
             // the successor later.
             let fence_drained = self.drain_pipes(true);
-            self.elect(idx).inspect(|&new| {
+            let winner = self.elect(idx).inspect(|&new| {
                 self.primary.store(new, Ordering::Release);
                 self.failovers.fetch_add(1, Ordering::Relaxed);
                 self.flight.record(EventKind::Election {
@@ -1623,7 +1691,18 @@ impl ReplicaSet {
                     winner_token: self.replicas[new].applied.load(Ordering::Acquire),
                     fence_drained,
                 });
-            })
+            });
+            if winner.is_none() {
+                // No chain-complete in-quorum follower left: the seat
+                // stays put and the group serves nothing until a replica
+                // is healed or reinstated.
+                self.flight.record(EventKind::GroupDark {
+                    shard: self.shard,
+                    deposed: idx,
+                    reason: reason.clone(),
+                });
+            }
+            winner
         } else {
             None // someone else already moved the seat
         };
@@ -1657,8 +1736,8 @@ impl ReplicaSet {
                 .engine()
                 .purge_policy_records(policy)
                 .and_then(|()| follower.engine().import_records(records));
-            if copied.is_err() {
-                follower.in_quorum.store(false, Ordering::Release);
+            if let Err(e) = copied {
+                follower.demote(format!("demoted: installing policy '{policy}' failed: {e}"));
             }
         }
         // The install re-based every replica's copy outside the delta
@@ -1680,8 +1759,8 @@ impl ReplicaSet {
             if k == pidx || !follower.is_in_quorum() {
                 continue;
             }
-            if follower.engine().purge_policy_records(policy).is_err() {
-                follower.in_quorum.store(false, Ordering::Release);
+            if let Err(e) = follower.engine().purge_policy_records(policy) {
+                follower.demote(format!("demoted: purging policy '{policy}' failed: {e}"));
             }
         }
         self.chain.lock().remove(policy);
@@ -1799,6 +1878,42 @@ fn approval_nonce(request: &TmsRequest) -> Option<u64> {
     }
 }
 
+/// One replica's health probe plus its Fig. 6 regression watches, run
+/// with **no** router lock held (the probe may block on a wedged
+/// engine). Returns the quarantine reason when the replica is unfit,
+/// `None` when it passes; already-quarantined replicas are not probed.
+fn probe_replica(replica: &Replica) -> Option<String> {
+    if replica.is_quarantined() {
+        return None;
+    }
+    // Probe with a benign read; a replica that cannot even count its
+    // policies is not fit to serve or vote.
+    if let Err(e) = replica.server.handle(TmsRequest::PolicyCount) {
+        return Some(format!("probe failed: {e}"));
+    }
+    // The Fig. 6 signature of a Byzantine replica: its physical rollback
+    // counter or its applied freshness token went backwards. The two
+    // watches have different repair stories (counter-file tampering vs
+    // replication-state rollback), so the reason names which one fired.
+    if let Some(counter) = &replica.counter {
+        let value = counter.value();
+        let last = replica.watch_counter.load(Ordering::Acquire);
+        if value < last {
+            return Some(format!("rollback counter regressed: {last} -> {value}"));
+        }
+        replica.watch_counter.store(value, Ordering::Release);
+    }
+    let applied = replica.applied.load(Ordering::Acquire);
+    let last = replica.watch_applied.load(Ordering::Acquire);
+    if applied < last {
+        return Some(format!(
+            "applied freshness token regressed: {last} -> {applied}"
+        ));
+    }
+    replica.watch_applied.store(applied, Ordering::Release);
+    None
+}
+
 /// The freshness comparator every seat election shares: the candidate
 /// with the highest applied counter token wins; ties go to the lowest
 /// index.
@@ -1903,6 +2018,139 @@ fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
         .applied
         .store(primary.applied.load(Ordering::Acquire), Ordering::Release);
     Ok(())
+}
+
+/// Record-level diff turning `have` into `want` — the payload of an
+/// anti-entropy **delta resend**: tombstones for keys only `have` holds,
+/// puts for keys `want` adds or changes. Empty when the stores already
+/// agree (then only the cursor lags).
+fn diff_records(want: &PolicyRecords, have: &PolicyRecords) -> ChangeSet {
+    let target: HashMap<&[u8], &[u8]> = want
+        .iter()
+        .map(|(k, v)| (k.as_slice(), v.as_slice()))
+        .collect();
+    let current: HashMap<&[u8], &[u8]> = have
+        .iter()
+        .map(|(k, v)| (k.as_slice(), v.as_slice()))
+        .collect();
+    let mut changes = ChangeSet::default();
+    for (k, _) in have {
+        if !target.contains_key(k.as_slice()) {
+            changes.record_delete(k.clone());
+        }
+    }
+    for (k, v) in want {
+        if current.get(k.as_slice()) != Some(&v.as_slice()) {
+            changes.record_put(k.clone(), v.clone());
+        }
+    }
+    changes
+}
+
+/// Heals one (follower, policy) pair under the group's forward lock —
+/// the anti-entropy repair ladder (see
+/// [`ClusterRouter::anti_entropy_sweep`]). `tail` is the group's chain
+/// entry for the policy. Returns the repair method applied, `None` when
+/// the pair was already converged. On `Err` the follower's engine
+/// rejected the repair; the caller keeps it out of the quorum.
+fn repair_policy(
+    group: &ReplicaSet,
+    pidx: usize,
+    k: usize,
+    policy: &str,
+    tail: Option<u64>,
+) -> palaemon_core::Result<Option<&'static str>> {
+    let primary = &group.replicas[pidx];
+    let follower = &group.replicas[k];
+    let cursor = follower.engine().policy_cursor(policy);
+    let digests_equal =
+        || primary.engine().policy_digest(policy) == follower.engine().policy_digest(policy);
+    let method = match tail {
+        Some(tail) => {
+            if cursor == Some(tail) {
+                // Chain-complete for this policy: content equality
+                // follows from the chain check at every link.
+                return Ok(None);
+            }
+            if digests_equal() {
+                // The bytes are there (a coalesced window or a snapshot
+                // catch-up carried them); only the chain position lags.
+                follower.engine().advance_policy_cursor(policy, tail);
+                "cursor_advance"
+            } else {
+                let want = primary.engine().export_policy_records(policy);
+                let resend = cursor.map(|from| {
+                    let have = follower.engine().export_policy_records(policy);
+                    PolicyDelta::incremental(policy, diff_records(&want, &have), tail, from)
+                });
+                match resend {
+                    Some(delta) => {
+                        group.telemetry.count_delta(&delta);
+                        match follower.engine().apply_policy_delta(&delta) {
+                            Ok(()) => "delta_resend",
+                            // The engine vetoed the bounded resend (the
+                            // cursor is not what we read, or the apply
+                            // failed midway); re-base instead.
+                            Err(_) => snapshot_repair(group, k, policy, want, tail)?,
+                        }
+                    }
+                    None => snapshot_repair(group, k, policy, want, tail)?,
+                }
+            }
+        }
+        None => {
+            if digests_equal() {
+                return Ok(None);
+            }
+            // No chain entry to converge onto (the policy predates the
+            // group's replication, migrated in outside the chain, or is
+            // a ghost only the follower still holds): mirror the
+            // warm-copy path — install the primary's records with no
+            // cursor, since a minted cursor would disagree with the
+            // absent tail forever.
+            let records = primary.engine().export_policy_records(policy);
+            follower.engine().purge_policy_records(policy)?;
+            if !records.is_empty() {
+                follower.engine().import_records(&records)?;
+            }
+            group
+                .telemetry
+                .snapshot_resyncs
+                .fetch_add(1, Ordering::Relaxed);
+            "snapshot_resync"
+        }
+    };
+    follower
+        .applied
+        .fetch_max(tail.unwrap_or(0), Ordering::AcqRel);
+    group.flight.record(EventKind::AntiEntropyRepair {
+        shard: group.shard,
+        replica: k,
+        policy: policy.to_string(),
+        from: cursor,
+        to: tail.unwrap_or(0),
+        method,
+    });
+    Ok(Some(method))
+}
+
+/// The snapshot-resync arm of [`repair_policy`]: a chain-resetting
+/// [`PolicyDelta::snapshot`] of the primary's records at the chain tail.
+fn snapshot_repair(
+    group: &ReplicaSet,
+    k: usize,
+    policy: &str,
+    records: PolicyRecords,
+    tail: u64,
+) -> palaemon_core::Result<&'static str> {
+    let delta = PolicyDelta::snapshot(policy, records, tail);
+    group.telemetry.count_delta(&delta);
+    group
+        .telemetry
+        .snapshot_resyncs
+        .fetch_add(1, Ordering::Relaxed);
+    group.replicas[k].engine().apply_policy_delta(&delta)?;
+    Ok("snapshot_resync")
 }
 
 struct Topology {
@@ -2719,7 +2967,7 @@ impl ClusterRouter {
                         // Partitioned, and the router *saw* the send
                         // fail: the follower no longer counts toward the
                         // quorum until it catches up.
-                        follower.in_quorum.store(false, Ordering::Release);
+                        follower.demote("demoted: forward failed (partitioned link)".into());
                         continue;
                     }
                     if faults.contains(&FaultKind::LoseIncremental(k)) {
@@ -3178,62 +3426,72 @@ impl ClusterRouter {
     /// counters; quarantines misbehaving (Byzantine) replicas, failing the
     /// group over when the primary is hit. Returns the per-shard verdicts
     /// in shard-id order. A quarantined replica stays quarantined until
-    /// [`ClusterRouter::reinstate`].
+    /// [`ClusterRouter::reinstate`] (or until an attached monitor heals
+    /// it).
+    ///
+    /// The probe sweep runs against a snapshot of the replica handles
+    /// with the topology lock **released**, so a replica wedged
+    /// mid-probe stalls only this sweep — never `add_shard` /
+    /// `drain_shard`, which need the topology write lock. Verdicts are
+    /// applied under a fresh read lock; a shard drained mid-sweep is
+    /// skipped.
     pub fn health_check(&self) -> Vec<ShardHealth> {
+        // Phase 1: snapshot the group handles (`Arc` clones keep the
+        // replicas alive across a concurrent drain).
+        let handles: Vec<(ShardId, Vec<Arc<Replica>>)> = {
+            let topo = self.topology.read();
+            let mut ids: Vec<ShardId> = topo.shards.keys().copied().collect();
+            ids.sort_unstable();
+            ids.into_iter()
+                .map(|id| (id, topo.shards[&id].replicas.to_vec()))
+                .collect()
+        };
+        // Phase 2: probe with no router lock held.
+        type Probed = Vec<(ShardId, Vec<(Arc<Replica>, Option<String>)>)>;
+        let probed: Probed = handles
+            .into_iter()
+            .map(|(id, replicas)| {
+                (
+                    id,
+                    replicas
+                        .into_iter()
+                        .map(|r| {
+                            let verdict = probe_replica(&r);
+                            (r, verdict)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        // Phase 3: apply the verdicts and assemble the report under a
+        // fresh read lock.
         let topo = self.topology.read();
-        let mut ids: Vec<ShardId> = topo.shards.keys().copied().collect();
-        ids.sort_unstable();
-        let mut out = Vec::with_capacity(ids.len());
-        for id in ids {
-            let group = &topo.shards[&id];
-            let mut replicas = Vec::with_capacity(group.replicas.len());
-            for (k, replica) in group.replicas.iter().enumerate() {
-                if !replica.is_quarantined() {
-                    // Probe with a benign read; a replica that cannot even
-                    // count its policies is not fit to serve or vote.
-                    if let Err(e) = replica.server.handle(TmsRequest::PolicyCount) {
-                        group.quarantine_replica(k, format!("probe failed: {e}"));
-                    } else {
-                        // The Fig. 6 signature of a Byzantine replica:
-                        // its physical rollback counter or its applied
-                        // freshness token went backwards. The two watches
-                        // have different repair stories (counter-file
-                        // tampering vs replication-state rollback), so
-                        // the reason names which one fired.
-                        let mut regressed = None;
-                        if let Some(counter) = &replica.counter {
-                            let value = counter.value();
-                            let last = replica.watch_counter.load(Ordering::Acquire);
-                            if value < last {
-                                regressed = Some(("rollback counter", last, value));
-                            } else {
-                                replica.watch_counter.store(value, Ordering::Release);
-                            }
-                        }
-                        if regressed.is_none() {
-                            let applied = replica.applied.load(Ordering::Acquire);
-                            let last = replica.watch_applied.load(Ordering::Acquire);
-                            if applied < last {
-                                regressed = Some(("applied freshness token", last, applied));
-                            } else {
-                                replica.watch_applied.store(applied, Ordering::Release);
-                            }
-                        }
-                        if let Some((watch, last, now)) = regressed {
-                            group.quarantine_replica(
-                                k,
-                                format!("{watch} regressed: {last} -> {now}"),
-                            );
-                        }
+        let mut out = Vec::with_capacity(probed.len());
+        for (id, verdicts) in probed {
+            let Some(group) = topo.shards.get(&id) else {
+                continue; // drained mid-sweep
+            };
+            let mut replicas = Vec::with_capacity(verdicts.len());
+            for (k, (handle, verdict)) in verdicts.into_iter().enumerate() {
+                // `add_replica` only appends, so index `k` still names
+                // the probed replica unless the shard was drained and
+                // re-added mid-sweep — the pointer check covers that.
+                let live = group
+                    .replicas
+                    .get(k)
+                    .is_some_and(|r| Arc::ptr_eq(r, &handle));
+                if live {
+                    if let Some(reason) = verdict {
+                        group.quarantine_replica(k, reason);
                     }
                 }
                 replicas.push(ReplicaHealth {
                     replica: k,
                     primary: false, // seated below, once the loop settled
-                    healthy: !replica.is_quarantined(),
-                    in_quorum: replica.is_in_quorum(),
-                    applied: replica.applied.load(Ordering::Acquire),
-                    reason: replica.reason.lock().clone(),
+                    healthy: handle.is_in_quorum(),
+                    in_quorum: handle.is_in_quorum(),
+                    applied: handle.applied.load(Ordering::Acquire),
+                    reason: handle.reason.lock().clone(),
                 });
             }
             let pidx = group.primary_idx();
@@ -3258,16 +3516,20 @@ impl ClusterRouter {
     /// Manually quarantines a shard's current primary, failing over to the
     /// freshest in-quorum follower when one exists. Quarantining an
     /// already-quarantined shard preserves the original reason and appends
-    /// the new one. Returns false for unknown shards.
-    pub fn quarantine(&self, id: ShardId, reason: &str) -> bool {
+    /// the new one. Returns `None` for unknown shards; otherwise the
+    /// failover outcome, so callers can tell "new primary seated" from
+    /// "group went dark" (which also records an
+    /// [`EventKind::GroupDark`] flight event) instead of discovering the
+    /// dark group at their next request.
+    pub fn quarantine(&self, id: ShardId, reason: &str) -> Option<QuarantineOutcome> {
         let topo = self.topology.read();
-        match topo.shards.get(&id) {
-            Some(group) => {
-                group.quarantine_primary(format!("operator: {reason}"));
-                true
-            }
-            None => false,
-        }
+        let group = topo.shards.get(&id)?;
+        Some(
+            match group.quarantine_primary(format!("operator: {reason}")) {
+                Some(new_primary) => QuarantineOutcome::FailedOver { new_primary },
+                None => QuarantineOutcome::GroupDark,
+            },
+        )
     }
 
     /// Lifts every quarantine in a group (after the operator repaired or
@@ -3340,6 +3602,219 @@ impl ClusterRouter {
             replica.rejoin();
         }
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Monitor hooks (crate-internal: `ClusterMonitor` drives these)
+    // ------------------------------------------------------------------
+
+    /// Shard ids currently in the topology, in id order — the monitor's
+    /// sweep order.
+    pub(crate) fn monitor_shard_ids(&self) -> Vec<ShardId> {
+        let topo = self.topology.read();
+        let mut ids: Vec<ShardId> = topo.shards.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// One anti-entropy pass over shard `id` (monitor-driven). Under the
+    /// group's forward lock — so no mutation can interleave — every
+    /// live follower's per-policy (chain cursor, content digest) pair is
+    /// compared against the primary's, and divergence is healed *now*
+    /// instead of at the next mutation's chain check:
+    ///
+    /// * equal digests with a lagging cursor (a coalesced or redelivered
+    ///   window already carried the bytes): the cursor is advanced;
+    /// * differing digests with a usable cursor: a **cursor-bounded
+    ///   delta resend** — a record-level diff shipped as an incremental
+    ///   chained onto the follower's actual cursor;
+    /// * no usable cursor (or a failed resend): a chain-resetting
+    ///   **snapshot resync** at the chain tail;
+    /// * ghost policies the primary no longer holds are purged.
+    ///
+    /// Wedged channels are force-fenced first — the sweep cadence *is*
+    /// the bounded stall tolerance — so repairs converge on delivered
+    /// state. A quorum-demoted follower that ends the pass
+    /// chain-complete is re-admitted to the write quorum and stamped
+    /// with the primary's freshness token. Dark groups are
+    /// [`ClusterRouter::heal_dark_shard`]'s job. Every repair and
+    /// re-admission is recorded on the flight recorder.
+    pub(crate) fn anti_entropy_sweep(&self, id: ShardId) -> AntiEntropyOutcome {
+        let mut out = AntiEntropyOutcome::default();
+        let topo = self.topology.read();
+        let Some(group) = topo.shards.get(&id) else {
+            return out;
+        };
+        if group.replicas.len() == 1 {
+            return out;
+        }
+        let _forward = group.forward_lock.lock();
+        let pidx = group.primary_idx();
+        let primary = &group.replicas[pidx];
+        if primary.is_quarantined() {
+            return out; // dark group — no sane state to converge onto
+        }
+        // Deliver everything queued first: repairing around a queued
+        // delta would only be re-broken when it lands. Injected stall /
+        // drop faults on live channels are cleared — by the time the
+        // sweep runs, the stall has outlived the monitor's tolerance.
+        for (k, pipe) in group.pipes.iter().enumerate() {
+            if !group.replicas[k].is_quarantined() {
+                pipe.clear_faults();
+            }
+        }
+        group.drain_pipes(true);
+        let chain: HashMap<String, u64> = group.chain.lock().clone();
+        for (k, follower) in group.replicas.iter().enumerate() {
+            if k == pidx || follower.is_quarantined() {
+                continue;
+            }
+            let mut clean = true;
+            // The policies either side knows about: the chain (live
+            // replicated policies), the primary's store (policies that
+            // predate replication), and the follower's store (ghosts).
+            let mut policies: Vec<String> = chain.keys().cloned().collect();
+            for name in primary
+                .engine()
+                .policy_names()
+                .into_iter()
+                .chain(follower.engine().policy_names())
+            {
+                if !policies.contains(&name) {
+                    policies.push(name);
+                }
+            }
+            for policy in &policies {
+                match repair_policy(group, pidx, k, policy, chain.get(policy).copied()) {
+                    Ok(Some(_)) => out.repairs += 1,
+                    Ok(None) => {}
+                    Err(_) => clean = false,
+                }
+            }
+            if clean && !follower.is_in_quorum() && group.chain_complete(follower) {
+                // Chain-complete again: the follower holds every
+                // forwarded delta, so it carries the group watermark.
+                follower
+                    .applied
+                    .fetch_max(primary.applied.load(Ordering::Acquire), Ordering::AcqRel);
+                follower.rejoin();
+                group.flight.record(EventKind::AutoReadmit {
+                    shard: group.shard,
+                    replica: k,
+                    applied: follower.applied.load(Ordering::Acquire),
+                });
+                out.readmitted += 1;
+            }
+        }
+        out
+    }
+
+    /// Rebuilds one quarantined replica from the quorum's state and
+    /// rejoins it — the monitor's probation heal. The replica must
+    /// answer a probe first (rejoining an engine that cannot serve
+    /// would only flap), and its previous state is discarded wholesale:
+    /// a Byzantine (rolled-back) replica re-enters with the group's
+    /// state, never its own. Returns true when the replica rejoined.
+    pub(crate) fn heal_quarantined(&self, id: ShardId, k: usize) -> bool {
+        let topo = self.topology.read();
+        let Some(group) = topo.shards.get(&id) else {
+            return false;
+        };
+        let Some(replica) = group.replicas.get(k) else {
+            return false;
+        };
+        if !replica.is_quarantined() || replica.server.handle(TmsRequest::PolicyCount).is_err() {
+            return false;
+        }
+        let _forward = group.forward_lock.lock();
+        if group.primary_idx() == k || group.replicas[group.primary_idx()].is_quarantined() {
+            return false; // a dark seat is heal_dark_shard's job
+        }
+        // Deltas queued in the replica's previous life predate the
+        // snapshot catch-up and are void; injected channel faults are
+        // repaired along with the replica.
+        if let Some(pipe) = group.pipes.get(k) {
+            let _delivery = pipe.delivery.lock().unwrap();
+            pipe.clear_faults();
+            pipe.purge();
+        }
+        if catch_up(group, replica).is_err() {
+            return false; // still broken; next probation window retries
+        }
+        replica.rejoin();
+        group.flight.record(EventKind::AutoReadmit {
+            shard: group.shard,
+            replica: k,
+            applied: replica.applied.load(Ordering::Acquire),
+        });
+        true
+    }
+
+    /// Dark-group recovery (the monitor's `reinstate`): when a group's
+    /// seat is quarantined with no successor seated, re-seat the
+    /// freshest probe-answering survivor (chain-complete preferred, so
+    /// a rolled-back replica never wins while a complete one stands)
+    /// and catch the other probe-answering replicas up from it.
+    /// Replicas that fail their probe stay quarantined for a later
+    /// probation heal. Returns the seated primary when the group came
+    /// back, `None` while it stays dark.
+    pub(crate) fn heal_dark_shard(&self, id: ShardId) -> Option<usize> {
+        let topo = self.topology.read();
+        let group = topo.shards.get(&id)?;
+        let _forward = group.forward_lock.lock();
+        let pidx = group.primary_idx();
+        if !group.replicas[pidx].is_quarantined() {
+            return None; // not dark (or healed since the caller looked)
+        }
+        let fit: Vec<bool> = group
+            .replicas
+            .iter()
+            .map(|r| r.server.handle(TmsRequest::PolicyCount).is_ok())
+            .collect();
+        // Channels are repaired with the group; whatever still sits
+        // queued reaches its replica before anyone copies state.
+        for pipe in &group.pipes {
+            pipe.clear_faults();
+        }
+        group.drain_pipes(true);
+        let best = freshest(
+            group
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(k, r)| fit[*k] && group.chain_complete(r)),
+        )
+        .or_else(|| freshest(group.replicas.iter().enumerate().filter(|(k, _)| fit[*k])))?;
+        if best != pidx {
+            group.primary.store(best, Ordering::Release);
+            group.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        // The new seat's own channel may hold deltas from its follower
+        // days; they are void now.
+        if let Some(pipe) = group.pipes.get(best) {
+            let _delivery = pipe.delivery.lock().unwrap();
+            pipe.purge();
+        }
+        group.replicas[best].rejoin();
+        group.flight.record(EventKind::AutoFailover {
+            shard: group.shard,
+            deposed: pidx,
+            winner: best,
+            reason: "dark-group recovery".into(),
+        });
+        for (k, replica) in group.replicas.iter().enumerate() {
+            if k == best || !fit[k] {
+                continue;
+            }
+            if let Some(pipe) = group.pipes.get(k) {
+                let _delivery = pipe.delivery.lock().unwrap();
+                pipe.purge();
+            }
+            if catch_up(group, replica).is_ok() {
+                replica.rejoin();
+            }
+        }
+        Some(best)
     }
 
     /// Aggregated per-shard statistics.
@@ -3938,7 +4413,7 @@ mod tests {
         assert!(before.replicas.iter().all(|r| r.in_quorum));
 
         // Quarantining the primary fails over instead of going dark.
-        assert!(router.quarantine(id, "power cut"));
+        assert!(router.quarantine(id, "power cut").is_some());
         let after = router.replica_status(id).unwrap();
         assert_ne!(after.primary, 0, "a follower must take the seat");
         assert_eq!(after.failovers, 1);
@@ -4121,7 +4596,7 @@ mod tests {
         );
         assert!(repl.reads_follower > 0, "{repl:?}");
         // And the caught-up replica is election-fit for it too.
-        assert!(router.quarantine(ShardId(0), "chaos"));
+        assert!(router.quarantine(ShardId(0), "chaos").is_some());
         let status = router.replica_status(ShardId(0)).unwrap();
         assert_eq!(status.primary, 1, "joined replica must take the seat");
     }
@@ -4205,8 +4680,10 @@ mod tests {
     fn quarantine_preserves_the_first_reason_and_appends() {
         let platform = Platform::new("cl-host", Microcode::PostForeshadow);
         let router = cluster(1, &platform);
-        assert!(router.quarantine(ShardId(0), "disk smells of smoke"));
-        assert!(router.quarantine(ShardId(0), "now it is on fire"));
+        assert!(router
+            .quarantine(ShardId(0), "disk smells of smoke")
+            .is_some());
+        assert!(router.quarantine(ShardId(0), "now it is on fire").is_some());
         let health = router.health_check();
         let reason = health[0].reason.as_ref().unwrap();
         assert!(
@@ -4305,7 +4782,7 @@ mod tests {
         ));
 
         // Manual quarantine also works (and unknown shards are refused).
-        assert!(router.quarantine(ShardId(1), "maintenance"));
+        assert!(router.quarantine(ShardId(1), "maintenance").is_some());
         assert!(matches!(
             router.handle(TmsRequest::ReadPolicy {
                 name: on_good.clone(),
@@ -4315,7 +4792,7 @@ mod tests {
             }),
             Err(ClusterError::ShardUnavailable(ShardId(1)))
         ));
-        assert!(!router.quarantine(ShardId(9), "ghost"));
+        assert!(router.quarantine(ShardId(9), "ghost").is_none());
         assert!(!router.reinstate(ShardId(9)));
     }
 
@@ -4390,7 +4867,7 @@ mod tests {
             push(&router, *s, i as u8);
         }
         // ...and every session survives a failover of the (former) primary.
-        assert!(router.quarantine(id, "power cut"));
+        assert!(router.quarantine(id, "power cut").is_some());
         for (i, s) in sessions.iter().enumerate() {
             match router
                 .handle(TmsRequest::ReadTag {
@@ -4550,7 +5027,7 @@ mod tests {
         }
         // After the consumer shard's primary fails over, the export is
         // still consumable on the successor.
-        assert!(router.quarantine(ShardId(1), "power cut"));
+        assert!(router.quarantine(ShardId(1), "power cut").is_some());
         let config = attest_config(&router, &platform, &consumer);
         assert!(config.secrets.contains_key("exported_key"));
     }
@@ -4645,7 +5122,7 @@ mod tests {
 
         // The primary that issued the nonce dies mid-round; the vote
         // completes against its successor.
-        assert!(router.quarantine(id, "power cut"));
+        assert!(router.quarantine(id, "power cut").is_some());
         let vote = alice.vote(&approval, true);
         router
             .handle(TmsRequest::UpdatePolicy {

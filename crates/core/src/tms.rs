@@ -1284,6 +1284,30 @@ impl Palaemon {
         PolicyDelta::snapshot(name, self.export_policy_records(name), token)
     }
 
+    /// Content digest of one policy's full stored record set — the
+    /// anti-entropy comparison value a cluster monitor pairs with the
+    /// replica's chain cursor. Length-prefixed over the policy name and
+    /// every record in storage order under a dedicated domain tag, so
+    /// two replicas report equal digests exactly when their stored bytes
+    /// for the policy are identical; an absent policy digests the empty
+    /// record set (still name-bound, so digests of different policies
+    /// never collide by construction).
+    pub fn policy_digest(&self, name: &str) -> Digest {
+        let records = self.export_policy_records(name);
+        let mut h = palaemon_crypto::sha256::Sha256::new();
+        h.update(b"palaemon.policy-records.v1");
+        h.update(&(name.len() as u64).to_be_bytes());
+        h.update(name.as_bytes());
+        h.update(&(records.len() as u64).to_be_bytes());
+        for (k, v) in &records {
+            h.update(&(k.len() as u64).to_be_bytes());
+            h.update(k);
+            h.update(&(v.len() as u64).to_be_bytes());
+            h.update(v);
+        }
+        h.finalize()
+    }
+
     /// Applies a [`PolicyDelta`] produced by another replica after
     /// verifying its commitment digest.
     ///

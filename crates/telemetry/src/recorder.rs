@@ -1,7 +1,9 @@
 //! The control-plane flight recorder: a bounded ring of the rare,
 //! high-signal events an operator replays after an incident —
 //! quarantines, failover elections, fence drains, gap rejections,
-//! snapshot resyncs, migration cutovers and batch drops.
+//! snapshot resyncs, migration cutovers, batch drops, and the
+//! cluster monitor's autonomous actions (auto-failovers, anti-entropy
+//! repairs, re-admissions, dark groups).
 //!
 //! The ring is a leaf mutex (taken, pushed, released — never nested
 //! with router or engine locks) and events are rare by construction,
@@ -104,6 +106,56 @@ pub enum EventKind {
         /// Mutations in the dropped batch.
         mutations: u64,
     },
+    /// The cluster monitor deposed a failed primary and seated a
+    /// follower without operator involvement.
+    AutoFailover {
+        /// Shard id.
+        shard: u64,
+        /// Replica index of the deposed primary.
+        deposed: usize,
+        /// Replica index the monitor seated in its place.
+        winner: usize,
+        /// Why the monitor pulled the primary.
+        reason: String,
+    },
+    /// The monitor's anti-entropy sweep converged a diverged follower
+    /// onto the group's chain tail for one policy.
+    AntiEntropyRepair {
+        /// Shard id.
+        shard: u64,
+        /// Follower index that was healed.
+        replica: usize,
+        /// Policy whose chain was repaired.
+        policy: String,
+        /// The follower's chain cursor before the repair (`None` when it
+        /// had no chain entry for the policy at all).
+        from: Option<u64>,
+        /// The chain tail the repair converged onto.
+        to: u64,
+        /// How the repair was performed: `cursor_advance` (digests
+        /// already matched), `delta_resend` (cursor-bounded diff), or
+        /// `snapshot_resync` (full re-base).
+        method: &'static str,
+    },
+    /// The monitor re-admitted a caught-up replica to the write quorum.
+    AutoReadmit {
+        /// Shard id.
+        shard: u64,
+        /// Replica index that rejoined.
+        replica: usize,
+        /// The replica's applied freshness token at re-admission.
+        applied: u64,
+    },
+    /// A primary was deposed with no electable successor: the group is
+    /// dark (unroutable) until a replica is healed or reinstated.
+    GroupDark {
+        /// Shard id.
+        shard: u64,
+        /// Replica index of the deposed primary.
+        deposed: usize,
+        /// Why the primary was pulled.
+        reason: String,
+    },
 }
 
 impl EventKind {
@@ -117,6 +169,10 @@ impl EventKind {
             EventKind::SnapshotResync { .. } => "snapshot_resync",
             EventKind::MigrationCutover { .. } => "migration_cutover",
             EventKind::BatchDrop { .. } => "batch_drop",
+            EventKind::AutoFailover { .. } => "auto_failover",
+            EventKind::AntiEntropyRepair { .. } => "anti_entropy_repair",
+            EventKind::AutoReadmit { .. } => "auto_readmit",
+            EventKind::GroupDark { .. } => "group_dark",
         }
     }
 
@@ -187,6 +243,42 @@ impl EventKind {
                 replica,
                 mutations,
             } => format!("\"shard\":{shard},\"replica\":{replica},\"mutations\":{mutations}"),
+            EventKind::AutoFailover {
+                shard,
+                deposed,
+                winner,
+                reason,
+            } => format!(
+                "\"shard\":{shard},\"deposed\":{deposed},\"winner\":{winner},\"reason\":{}",
+                crate::snapshot::json_string(reason)
+            ),
+            EventKind::AntiEntropyRepair {
+                shard,
+                replica,
+                policy,
+                from,
+                to,
+                method,
+            } => format!(
+                "\"shard\":{shard},\"replica\":{replica},\"policy\":{},\
+                 \"from\":{},\"to\":{to},\"method\":{}",
+                crate::snapshot::json_string(policy),
+                opt(from),
+                crate::snapshot::json_string(method)
+            ),
+            EventKind::AutoReadmit {
+                shard,
+                replica,
+                applied,
+            } => format!("\"shard\":{shard},\"replica\":{replica},\"applied\":{applied}"),
+            EventKind::GroupDark {
+                shard,
+                deposed,
+                reason,
+            } => format!(
+                "\"shard\":{shard},\"deposed\":{deposed},\"reason\":{}",
+                crate::snapshot::json_string(reason)
+            ),
         }
     }
 }
@@ -350,6 +442,30 @@ mod tests {
                 replica: 2,
                 mutations: 8,
             },
+            EventKind::AutoFailover {
+                shard: 1,
+                deposed: 0,
+                winner: 2,
+                reason: "probe failed".into(),
+            },
+            EventKind::AntiEntropyRepair {
+                shard: 1,
+                replica: 2,
+                policy: "p".into(),
+                from: Some(5),
+                to: 7,
+                method: "delta_resend",
+            },
+            EventKind::AutoReadmit {
+                shard: 1,
+                replica: 2,
+                applied: 7,
+            },
+            EventKind::GroupDark {
+                shard: 1,
+                deposed: 0,
+                reason: "no electable successor".into(),
+            },
         ];
         let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
@@ -362,6 +478,10 @@ mod tests {
                 "snapshot_resync",
                 "migration_cutover",
                 "batch_drop",
+                "auto_failover",
+                "anti_entropy_repair",
+                "auto_readmit",
+                "group_dark",
             ]
         );
         for kind in &kinds {

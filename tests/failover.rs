@@ -225,7 +225,7 @@ fn chaos_under_live_traffic(preference: ReadPreference, mode: AckMode) {
         // Fail over every shard while the traffic runs.
         for id in [ShardId(0), ShardId(1)] {
             std::thread::sleep(Duration::from_millis(30));
-            assert!(router.quarantine(id, "chaos: primary pulled"));
+            assert!(router.quarantine(id, "chaos: primary pulled").is_some());
             let status = router.replica_status(id).unwrap();
             assert!(status.failovers >= 1, "{id} must have failed over");
             assert!(
@@ -340,8 +340,8 @@ fn lost_incremental_heals_by_snapshot_resync_never_diverges() {
     assert_eq!(status.replicas[2].applied, status.replicas[1].applied);
 
     // The healed follower is a first-class election candidate again.
-    assert!(router.quarantine(id, "chaos 1"));
-    assert!(router.quarantine(id, "chaos 2"));
+    assert!(router.quarantine(id, "chaos 1").is_some());
+    assert!(router.quarantine(id, "chaos 2").is_some());
     assert_eq!(router.replica_status(id).unwrap().primary, 2);
     assert_eq!(read_version(&router, "li"), 3);
 }
@@ -388,8 +388,8 @@ fn reordered_incremental_is_rejected_and_never_rolls_back() {
     }
 
     // Elect the reorder victim: it must serve v3, not the stale v2.
-    assert!(router.quarantine(id, "chaos 1"));
-    assert!(router.quarantine(id, "chaos 2"));
+    assert!(router.quarantine(id, "chaos 1").is_some());
+    assert!(router.quarantine(id, "chaos 2").is_some());
     assert_eq!(router.replica_status(id).unwrap().primary, 2);
     assert_eq!(read_version(&router, "ri"), 3);
     // After repairing the others, writes flow again through the victim.
@@ -435,8 +435,8 @@ fn deleted_policy_does_not_block_failover_after_catch_up() {
     // pull the other two replicas and it has to take the seat (before the
     // fix the dead chain entry made it chain-incomplete and the group
     // went dark instead).
-    assert!(router.quarantine(id, "chaos 1"));
-    assert!(router.quarantine(id, "chaos 2"));
+    assert!(router.quarantine(id, "chaos 1").is_some());
+    assert!(router.quarantine(id, "chaos 2").is_some());
     let status = router.replica_status(id).unwrap();
     assert_eq!(status.primary, 2, "caught-up follower must be electable");
     assert!(
@@ -485,8 +485,8 @@ fn reordered_snapshot_never_rolls_back() {
         );
     }
     // The reorder victim, elected, serves v3 — not the stale v2.
-    assert!(router.quarantine(id, "chaos 1"));
-    assert!(router.quarantine(id, "chaos 2"));
+    assert!(router.quarantine(id, "chaos 1").is_some());
+    assert!(router.quarantine(id, "chaos 2").is_some());
     assert_eq!(router.replica_status(id).unwrap().primary, 2);
     assert_eq!(read_version(&router, "rs"), 3);
 }
@@ -581,7 +581,7 @@ fn dropped_forward_demotes_the_follower_until_catch_up() {
 
     // Primary dies: the election must seat replica 1 (freshest in-quorum),
     // never the lagging replica 2.
-    assert!(router.quarantine(id, "chaos"));
+    assert!(router.quarantine(id, "chaos").is_some());
     let status = router.replica_status(id).unwrap();
     assert_eq!(status.primary, 1);
     assert_eq!(read_version(&router, "dp"), 3, "acked writes survive");
@@ -641,7 +641,7 @@ fn rolled_back_replica_is_never_elected_primary() {
 
     // Primary crash: the seat must go to replica 1, never to the
     // rolled-back replica 2.
-    assert!(router.quarantine(id, "chaos"));
+    assert!(router.quarantine(id, "chaos").is_some());
     let status = router.replica_status(id).unwrap();
     assert_eq!(status.primary, 1, "rolled-back replica must never win");
     assert_eq!(read_version(&router, "rb"), 2);
@@ -723,8 +723,8 @@ fn replacement_replica_catches_up_and_takes_over() {
     // Kill both original replicas, one after the other: the replacement
     // ends up primary with every acked write and the mirrored session.
     update(&router, "rr", 3).unwrap();
-    assert!(router.quarantine(id, "chaos 1"));
-    assert!(router.quarantine(id, "chaos 2"));
+    assert!(router.quarantine(id, "chaos 1").is_some());
+    assert!(router.quarantine(id, "chaos 2").is_some());
     let status = router.replica_status(id).unwrap();
     assert_eq!(status.primary, 2, "the replacement must hold the seat");
     assert_eq!(read_version(&router, "rr"), 3);
@@ -751,7 +751,7 @@ fn total_group_loss_refuses_until_reinstated() {
     create(&router, "tg", 1);
     update(&router, "tg", 2).unwrap();
     for _ in 0..3 {
-        assert!(router.quarantine(id, "cascading failure"));
+        assert!(router.quarantine(id, "cascading failure").is_some());
     }
     assert!(!router.replica_status(id).unwrap().replicas.is_empty());
     assert!(matches!(
@@ -852,7 +852,7 @@ fn approval_round_completes_on_the_successor_after_failover() {
     // primary before any vote lands.
     let round = begin(PolicyAction::Update);
     let before = router.replica_status(id).unwrap();
-    assert!(router.quarantine(id, "power cut mid-round"));
+    assert!(router.quarantine(id, "power cut mid-round").is_some());
     let after = router.replica_status(id).unwrap();
     assert_ne!(after.primary, before.primary, "a follower must take over");
 
@@ -929,7 +929,7 @@ fn stalled_forward_channels_lose_no_acked_writes_across_failover() {
 
     // Pull the primary: deposing it fences (drains) its channels, so the
     // queued v1..v6 reach the followers before the freshness election.
-    assert!(router.quarantine(id, "chaos: primary pulled"));
+    assert!(router.quarantine(id, "chaos: primary pulled").is_some());
     let status = router.replica_status(id).unwrap();
     assert_ne!(status.primary, 0, "a follower must hold the seat");
     assert_eq!(
@@ -1001,8 +1001,8 @@ fn dropped_batch_heals_by_snapshot_resync_and_survives_failover() {
     for engine in &engines[1..] {
         assert_eq!(engine.export_policy_records("db"), reference);
     }
-    assert!(router.quarantine(id, "chaos 1"));
-    assert!(router.quarantine(id, "chaos 2"));
+    assert!(router.quarantine(id, "chaos 1").is_some());
+    assert!(router.quarantine(id, "chaos 2").is_some());
     assert_eq!(router.replica_status(id).unwrap().primary, 2);
     assert_eq!(read_version(&router, "db"), 3, "acked writes must survive");
 }
@@ -1058,7 +1058,7 @@ fn flight_recorder_captures_the_election() {
     for version in 2..=5 {
         update(&router, "fr", version).unwrap();
     }
-    assert!(router.quarantine(id, "chaos: primary pulled"));
+    assert!(router.quarantine(id, "chaos: primary pulled").is_some());
     let status = router.replica_status(id).unwrap();
     let winner = status.primary;
     assert_ne!(winner, 0, "a follower must hold the seat");
