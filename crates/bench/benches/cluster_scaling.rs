@@ -1,23 +1,26 @@
 //! Cluster scale-out: does mutation throughput actually grow with shards?
 //!
-//! The single-engine ceiling for mutations is the `db` write lock — every
-//! state change serializes through one sealed-WAL commit — plus the
-//! (batched) Fig. 6 counter behind it. `palaemon-cluster` partitions
-//! policies across N engines, so a cluster has N independent write locks
-//! *and* N independent rollback counters. This bench drives the same
-//! push/update mutation mix through 1, 2, 4 and 8 shards and reports:
-//!
-//! 1. aggregate mutation throughput per shard count (the acceptance bar:
-//!    4 shards ≥ 2× 1 shard);
-//! 2. the per-shard counter-increment distribution — commits land on many
-//!    small per-shard counters instead of one global serialized one.
-//!
 //! Each shard's database sits on a [`SlowSyncStore`]: a block store whose
 //! `sync()` takes ~150 µs of wall time, modelling the durable-media flush a
 //! production WAL pays (the same scaled-down-latency technique as the
-//! throttled platform counter in `concurrent_tms`). Commits therefore
-//! serialize *per shard* but overlap *across* shards — the deployment shape
-//! whose speedup this bench measures, independent of host core count.
+//! throttled platform counter in `concurrent_tms`). Before the storage
+//! engine grew a group-commit WAL, every mutation paid its own sync under
+//! the `db` write lock, so one shard was hard-capped near
+//! 1 s / 150 µs ≈ 6.7k mutations/s and sharding multiplied that ceiling
+//! almost linearly. Today concurrent clients *stage* commits and share one
+//! sync per flush window, so a single shard already overlaps its clients'
+//! flushes; sharding still adds independent flush leaders, write locks and
+//! Fig. 6 rollback counters, but the marginal speedup is smaller at fixed
+//! offered load. This bench drives the same push/update mutation mix
+//! through 1, 2, 4 and 8 shards and asserts:
+//!
+//! 1. one shard under 8 clients clears the old one-sync-per-commit ceiling
+//!    by ≥ 1.5× — the group-commit WAL coalesces through the whole cluster
+//!    stack, not just in isolation;
+//! 2. 8 shards still beat 1 shard by ≥ 1.2× — partitioning keeps adding
+//!    throughput on top of group commit;
+//! 3. the per-shard counter-increment distribution — commits land on many
+//!    small per-shard counters instead of one global serialized one.
 //!
 //! Run with `--quick` (CI) for a shorter opcount.
 
@@ -85,7 +88,8 @@ fn build_cluster(shards: u32, platform: &Platform) -> ClusterRouter {
         let db = Db::create(
             Box::new(SlowSyncStore(MemStore::new())),
             AeadKey::from_bytes([i as u8; 32]),
-        );
+        )
+        .expect("create db");
         let engine = Arc::new(Palaemon::new(
             db,
             SigningKey::from_seed(format!("shard-{i}").as_bytes()),
@@ -279,15 +283,45 @@ fn main() {
     );
     assert!(active >= 2, "commits must spread over several counters");
 
-    // Scale-out acceptance: 4 shards at least double 1-shard throughput.
-    // The bottleneck being overlapped is modelled sync *latency*, so this
-    // holds regardless of host core count.
+    // Acceptance gate 1: the group-commit WAL must show through the whole
+    // cluster stack. Without window coalescing, one shard serializes one
+    // ~150 µs sync per mutation — a hard ceiling of ~6.7k/s. Clearing it
+    // by 1.5x is only possible if concurrent clients share sync windows,
+    // and the bound is wall-clock physics, independent of host core count.
     let t1 = by_shards[0].1.ops_per_sec;
-    let t4 = four.ops_per_sec;
-    println!("\n  4-shard speedup over 1 shard: {:.2}x", t4 / t1);
-    assert!(
-        t4 >= 2.0 * t1,
-        "4 shards ({t4:.0}/s) must at least double 1 shard ({t1:.0}/s)"
+    let serialized_ceiling = 1.0 / SYNC_LATENCY.as_secs_f64();
+    println!(
+        "\n  1-shard vs one-sync-per-commit ceiling ({serialized_ceiling:.0}/s): {:.2}x",
+        t1 / serialized_ceiling
     );
-    println!("  => per-shard WAL syncs and rollback counters scale mutations with shard count");
+    assert!(
+        t1 >= 1.5 * serialized_ceiling,
+        "1 shard ({t1:.0}/s) must clear the serialized-sync ceiling \
+         ({serialized_ceiling:.0}/s) by 1.5x — group commit must coalesce \
+         concurrent clients"
+    );
+
+    // Acceptance gate 2: sharding still pays on top of group commit.
+    // With windows already overlapping one shard's flushes, the marginal
+    // gain at fixed offered load is smaller than the pre-group-commit ~5x,
+    // but independent flush leaders and counters must keep adding
+    // throughput. (The old bar here was "4 shards >= 2x 1 shard"; that
+    // measured the serialized-sync regime the storage-engine leap removed.)
+    let t4 = four.ops_per_sec;
+    let t8 = by_shards
+        .iter()
+        .find(|(s, _)| *s == 8)
+        .expect("8-shard run")
+        .1
+        .ops_per_sec;
+    println!("  4-shard speedup over 1 shard: {:.2}x", t4 / t1);
+    println!("  8-shard speedup over 1 shard: {:.2}x", t8 / t1);
+    assert!(
+        t8 >= 1.2 * t1,
+        "8 shards ({t8:.0}/s) must beat 1 shard ({t1:.0}/s) by 1.2x"
+    );
+    println!(
+        "  => group-commit windows coalesce each shard's clients, and per-shard \
+         flush leaders + rollback counters still scale mutations with shard count"
+    );
 }

@@ -59,7 +59,8 @@ impl MonotonicCounter for ThrottledPlatformCounter {
 /// Builds a shared engine with one session per client thread.
 fn shared_world(sessions: usize) -> (Arc<Palaemon>, Vec<SessionId>) {
     let platform = Platform::new("bench-host", Microcode::PostForeshadow);
-    let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
+    let db =
+        Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32])).expect("create db");
     let palaemon = Arc::new(Palaemon::new(
         db,
         SigningKey::from_seed(b"concurrent"),

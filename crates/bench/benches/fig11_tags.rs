@@ -15,7 +15,8 @@ use tee_sim::quote::{create_report, quote_report};
 
 fn tag_world() -> (Palaemon, palaemon_core::tms::SessionId) {
     let platform = Platform::new("bench", Microcode::PostForeshadow);
-    let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
+    let db =
+        Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32])).expect("create db");
     let palaemon = Palaemon::new(db, SigningKey::from_seed(b"b"), Digest::ZERO, 1);
     palaemon.register_platform(platform.id(), platform.qe_verifying_key());
     let mre = Digest::from_bytes([0x42; 32]);

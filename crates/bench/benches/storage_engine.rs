@@ -1,0 +1,226 @@
+//! What do the storage engine's two structural tricks actually buy?
+//!
+//! Two measurements over `palaemon-db` on a store with a modelled
+//! ~150 µs durable-media flush (the same scaled-latency technique as
+//! `replication_overhead`):
+//!
+//! 1. **Group-commit WAL** — 8 writer threads share one `Mutex<Db>`.
+//!    Baseline: each thread commits *while holding the lock*, so every
+//!    commit pays its own WAL sync back-to-back (the pre-group-commit
+//!    engine's behaviour, which held the engine lock across the flush).
+//!    Group-commit: each thread stages under the lock, drops it, and
+//!    waits on its ticket — writers pile into the window the current
+//!    leader will flush next, so one sync covers many commits. Asserts
+//!    the staged path sustains **>= 3x** the locked-commit rate and that
+//!    the commits-per-window histogram conserves the commit count.
+//! 2. **O(1) snapshots** — a 50 000-key database takes a `Db::view()`
+//!    and keeps writing. The persistent tree path-copies O(log n) nodes
+//!    per write; the pre-leap engine cloned the whole `BTreeMap` on the
+//!    first write after every snapshot. Asserts the path-copy write is
+//!    **>= 10x** faster than the modelled full-clone write.
+//!
+//! Key figures land in `BENCH_storage.json` at the workspace root.
+//! Run with `--quick` (CI) for shorter opcounts.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use palaemon_crypto::aead::AeadKey;
+use palaemon_db::Db;
+use shielded_fs::store::{BlockStore, MemStore};
+
+const WRITERS: usize = 8;
+/// Modelled durable-media flush latency per WAL sync.
+const SYNC_LATENCY: Duration = Duration::from_micros(150);
+const VIEW_KEYS: usize = 50_000;
+
+struct SlowSyncStore(MemStore);
+
+impl BlockStore for SlowSyncStore {
+    fn get(&self, name: &str) -> Option<Vec<u8>> {
+        self.0.get(name)
+    }
+    fn put(&self, name: &str, data: Vec<u8>) {
+        BlockStore::put(&self.0, name, data);
+    }
+    fn delete(&self, name: &str) {
+        BlockStore::delete(&self.0, name);
+    }
+    fn list(&self) -> Vec<String> {
+        self.0.list()
+    }
+    fn sync(&self) -> shielded_fs::Result<()> {
+        std::thread::sleep(SYNC_LATENCY);
+        self.0.sync()
+    }
+}
+
+fn fresh_db() -> Db {
+    Db::create(
+        Box::new(SlowSyncStore(MemStore::new())),
+        AeadKey::from_bytes([0x5D; 32]),
+    )
+    .expect("create bench db")
+}
+
+/// Baseline: `WRITERS` threads, each holding the db lock across its
+/// whole commit — the serialized one-sync-per-commit regime.
+fn run_locked_commits(ops_per_writer: usize) -> f64 {
+    let db = Arc::new(Mutex::new(fresh_db()));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..ops_per_writer {
+                    let mut db = db.lock().unwrap();
+                    db.put(format!("locked/{w}/{i}").into_bytes(), vec![w as u8; 64]);
+                    db.commit().expect("commit");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (WRITERS * ops_per_writer) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Group-commit: stage under the lock, wait outside it. Returns the
+/// rate plus (commits, wal_windows) from the engine's own stats.
+fn run_staged_commits(ops_per_writer: usize) -> (f64, u64, u64) {
+    let db = Arc::new(Mutex::new(fresh_db()));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..ops_per_writer {
+                    let ticket = {
+                        let mut db = db.lock().unwrap();
+                        db.put(format!("staged/{w}/{i}").into_bytes(), vec![w as u8; 64]);
+                        db.commit_stage()
+                    };
+                    ticket.wait().expect("group commit");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let rate = (WRITERS * ops_per_writer) as f64 / start.elapsed().as_secs_f64();
+    let stats = db.lock().unwrap().stats();
+    (rate, stats.commits, stats.wal_windows)
+}
+
+/// Writes under an outstanding view: the persistent tree path-copies.
+/// Returns mean nanoseconds per write (put + the structural copy work).
+fn run_write_under_view(writes: usize) -> f64 {
+    let mut db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([0x5E; 32]))
+        .expect("create view db");
+    for i in 0..VIEW_KEYS {
+        db.put(format!("seed/{i:06}").into_bytes(), vec![7u8; 32]);
+    }
+    db.commit().expect("seed commit");
+    let view = db.view();
+    let start = Instant::now();
+    for i in 0..writes {
+        db.put(format!("under/{i:06}").into_bytes(), vec![9u8; 32]);
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(view.len(), VIEW_KEYS, "view must stay frozen");
+    db.commit().expect("commit under view");
+    drop(view);
+    elapsed.as_nanos() as f64 / writes as f64
+}
+
+/// The pre-leap engine modelled faithfully: a `BTreeMap` database whose
+/// snapshot is an `Arc` clone, so the first write after every snapshot
+/// clones all 50 000 entries. One snapshot per write is the worst case
+/// the persistent tree was built for (`view()` per read request).
+fn run_write_under_clone(writes: usize) -> f64 {
+    let mut map: Arc<BTreeMap<Vec<u8>, Vec<u8>>> = Arc::new(BTreeMap::new());
+    {
+        let m = Arc::make_mut(&mut map);
+        for i in 0..VIEW_KEYS {
+            m.insert(format!("seed/{i:06}").into_bytes(), vec![7u8; 32]);
+        }
+    }
+    let start = Instant::now();
+    let mut views = Vec::with_capacity(writes);
+    for i in 0..writes {
+        views.push(Arc::clone(&map)); // the outstanding snapshot
+        let m = Arc::make_mut(&mut map); // full-clone copy-on-write
+        m.insert(format!("under/{i:06}").into_bytes(), vec![9u8; 32]);
+    }
+    let elapsed = start.elapsed();
+    drop(views);
+    elapsed.as_nanos() as f64 / writes as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ops_per_writer = if quick { 60 } else { 250 };
+    let view_writes = if quick { 200 } else { 1000 };
+
+    println!("storage_engine: group-commit WAL + persistent-tree snapshots");
+    println!("=============================================================");
+    println!(
+        "  {WRITERS} writers x {ops_per_writer} commits, {:.0} us modelled sync\n",
+        SYNC_LATENCY.as_secs_f64() * 1e6
+    );
+
+    let locked = run_locked_commits(ops_per_writer);
+    let (staged, commits, windows) = run_staged_commits(ops_per_writer);
+    let speedup = staged / locked;
+    println!("  locked commits (sync per commit) : {locked:>9.0} commits/s");
+    println!(
+        "  staged commits (group commit)    : {staged:>9.0} commits/s  \
+         ({commits} commits in {windows} WAL windows)"
+    );
+    println!("  multi-writer speedup             : {speedup:>9.2}x\n");
+    assert!(
+        speedup >= 3.0,
+        "group commit must win >= 3x under {WRITERS} writers: {speedup:.2}x"
+    );
+    assert_eq!(
+        commits,
+        (WRITERS * ops_per_writer) as u64,
+        "every staged commit must be accounted"
+    );
+    assert!(
+        windows < commits,
+        "windows must coalesce commits: {windows} windows / {commits} commits"
+    );
+
+    let path_copy_ns = run_write_under_view(view_writes);
+    let full_clone_ns = run_write_under_clone(view_writes);
+    let view_speedup = full_clone_ns / path_copy_ns;
+    println!("  write under view, path copy      : {path_copy_ns:>9.0} ns/write");
+    println!("  write under view, full clone     : {full_clone_ns:>9.0} ns/write");
+    println!("  write-under-view speedup         : {view_speedup:>9.2}x");
+    assert!(
+        view_speedup >= 10.0,
+        "path copying must beat the {VIEW_KEYS}-key full clone >= 10x: {view_speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"storage_engine\",\n  \"quick\": {quick},\n  \
+         \"commits_per_sec\": {{ \"locked\": {locked:.0}, \"staged\": {staged:.0} }},\n  \
+         \"multi_writer_speedup\": {speedup:.2},\n  \
+         \"wal\": {{ \"commits\": {commits}, \"windows\": {windows}, \
+         \"commits_per_window\": {:.2} }},\n  \
+         \"write_under_view_ns\": {{ \"path_copy\": {path_copy_ns:.0}, \
+         \"full_clone\": {full_clone_ns:.0} }},\n  \
+         \"write_under_view_speedup\": {view_speedup:.2}\n}}\n",
+        commits as f64 / windows.max(1) as f64,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_storage.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("  (could not write BENCH_storage.json: {e})");
+    } else {
+        println!("\n  wrote BENCH_storage.json");
+    }
+}

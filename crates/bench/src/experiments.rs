@@ -316,7 +316,8 @@ pub fn fig10(budget: Duration) -> Report {
 /// volume `data`.
 fn tag_session() -> (Arc<Palaemon>, palaemon_core::tms::SessionId) {
     let platform = Platform::new("bench-host", Microcode::PostForeshadow);
-    let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]));
+    let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([1; 32]))
+        .expect("create bench db");
     let palaemon = Palaemon::new(db, SigningKey::from_seed(b"bench"), Digest::ZERO, 3);
     palaemon.register_platform(platform.id(), platform.qe_verifying_key());
     let mre = Digest::from_bytes([0x42; 32]);
@@ -349,7 +350,7 @@ pub fn fig11(iters: u64) -> Report {
     let dir = std::env::temp_dir().join(format!("palaemon-fig11-{}", std::process::id()));
     let store = DirStore::open(&dir).expect("temp dir store");
     let platform = Platform::new("bench-host", Microcode::PostForeshadow);
-    let db = Db::create(Box::new(store), AeadKey::from_bytes([8; 32]));
+    let db = Db::create(Box::new(store), AeadKey::from_bytes([8; 32])).expect("create bench db");
     let palaemon = Palaemon::new(db, SigningKey::from_seed(b"fig11"), Digest::ZERO, 4);
     palaemon.register_platform(platform.id(), platform.qe_verifying_key());
     let mre = Digest::from_bytes([0x43; 32]);

@@ -161,7 +161,8 @@ use palaemon_core::counterfile::{BatchedCounter, MonotonicCounter};
 use palaemon_core::frontdoor::Door;
 use palaemon_core::server::{ServerStats, TmsRequest, TmsResponse, TmsServer};
 use palaemon_core::tms::{
-    DeltaPayload, Palaemon, PolicyDelta, PolicyRecords, ReplicationSnapshot, SessionId,
+    records_digest, DeltaPayload, Palaemon, PolicyDelta, PolicyRecords, ReplicationSnapshot,
+    SessionId,
 };
 use palaemon_core::PalaemonError;
 use palaemon_db::ChangeSet;
@@ -419,6 +420,13 @@ pub struct ReplicationStats {
     pub flushes_fence: u64,
     /// Flushes demanded by a durable-ack item.
     pub flushes_durable: u64,
+    /// Policies shipped by catch-up resyncs (cursor or digest diverged).
+    pub catchup_policies_shipped: u64,
+    /// Policies catch-up skipped because the target already held them
+    /// (chain cursor at the tail and record digest equal).
+    pub catchup_policies_skipped: u64,
+    /// Wire bytes catch-up shipped (0 when the target was fully in sync).
+    pub catchup_bytes: u64,
 }
 
 impl Collect for ReplicationStats {
@@ -466,6 +474,15 @@ impl Collect for ReplicationStats {
         sink.counter("replication_flushes_timer_total", self.flushes_timer);
         sink.counter("replication_flushes_fence_total", self.flushes_fence);
         sink.counter("replication_flushes_durable_total", self.flushes_durable);
+        sink.counter(
+            "replication_catchup_policies_shipped_total",
+            self.catchup_policies_shipped,
+        );
+        sink.counter(
+            "replication_catchup_policies_skipped_total",
+            self.catchup_policies_skipped,
+        );
+        sink.counter("replication_catchup_bytes_total", self.catchup_bytes);
     }
 }
 
@@ -490,6 +507,9 @@ struct ReplTelemetry {
     flushes_timer: AtomicU64,
     flushes_fence: AtomicU64,
     flushes_durable: AtomicU64,
+    catchup_policies_shipped: AtomicU64,
+    catchup_policies_skipped: AtomicU64,
+    catchup_bytes: AtomicU64,
 }
 
 impl ReplTelemetry {
@@ -557,6 +577,9 @@ impl ReplTelemetry {
             flushes_timer: self.flushes_timer.load(Ordering::Relaxed),
             flushes_fence: self.flushes_fence.load(Ordering::Relaxed),
             flushes_durable: self.flushes_durable.load(Ordering::Relaxed),
+            catchup_policies_shipped: self.catchup_policies_shipped.load(Ordering::Relaxed),
+            catchup_policies_skipped: self.catchup_policies_skipped.load(Ordering::Relaxed),
+            catchup_bytes: self.catchup_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -1927,17 +1950,26 @@ fn freshest<'a>(candidates: impl Iterator<Item = (usize, &'a Arc<Replica>)>) -> 
         .map(|(i, _)| i)
 }
 
-/// Full resync of `target` from the group's current primary via the
-/// warm-copy path: every policy plus the session table and the pending
-/// approval rounds, taken from **one consistent replication snapshot** of
-/// the primary engine (a single `DbView` covering all policies, with the
-/// session and approval tables captured under the same db guard) — a
-/// concurrent mutation can no longer interleave between per-policy
-/// exports and the session export. Each policy lands as
-/// a chain-resetting snapshot delta stamped with the group's chain token
-/// for that policy, so subsequent incrementals chain onto the caught-up
-/// state. Only on full success is the target stamped with the primary's
-/// applied token — a replica whose resync failed must never re-enter the
+/// Cursor-bounded resync of `target` from the group's current primary:
+/// the session table and pending approval rounds always mirror over, but
+/// a policy's records ride the warm-copy path **only when the target has
+/// actually diverged** — its chain cursor off the group's tail, or its
+/// record digest unequal to the primary's. A follower that merely sat
+/// out a quiet period (or was quarantined and healed by anti-entropy)
+/// re-enters with zero warm-copy bytes. Everything is taken from **one
+/// consistent replication snapshot** of the primary engine (a single
+/// `DbView` covering all policies, with the session and approval tables
+/// captured under the same db guard), and per-policy digests are computed
+/// from that same snapshot — a concurrent mutation can neither interleave
+/// between per-policy exports nor skew the divergence check. A shipped
+/// policy lands as a chain-resetting snapshot delta stamped with the
+/// group's chain token, so subsequent incrementals chain onto the
+/// caught-up state; its stale cursor is cleared first (the target's
+/// previous life may hold a cursor *ahead* of the group's post-migration
+/// token, which would veto the snapshot). Cursors of skipped policies
+/// survive untouched — they are the very evidence the skip rests on.
+/// Only on full success is the target stamped with the primary's applied
+/// token — a replica whose resync failed must never re-enter the
 /// freshness election claiming state it does not hold.
 ///
 /// # Errors
@@ -1951,16 +1983,17 @@ fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
         approvals,
     } = primary.engine().replication_snapshot();
     let dst = target.engine();
-    // Full re-base: stale cursors from the target's previous life must
-    // not veto the incoming snapshots (e.g. a chain-reset migration left
-    // the group's token for a policy below the target's old cursor).
-    dst.reset_replication_cursors();
+    // Changes the target captured for forwarding in its previous life
+    // predate the resync and are void; its chain cursors stay — each
+    // cursor at the group tail is one policy we need not re-ship.
+    dst.clear_captured_changes();
     let live: HashSet<&str> = policies.iter().map(|(n, _)| n.as_str()).collect();
     for stale in dst.policy_names() {
         if !live.contains(stale.as_str()) {
             dst.purge_policy_records(&stale)?;
         }
     }
+    let (mut shipped, mut skipped, mut bytes) = (0u64, 0u64, 0u64);
     {
         let chain = group.chain.lock();
         // Chain entries whose policy no longer exists (deleted after its
@@ -1976,7 +2009,26 @@ fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
         for (name, records) in policies {
             match chain.get(&name).copied() {
                 Some(token) => {
-                    dst.apply_policy_delta(&PolicyDelta::snapshot(&name, records, token))?
+                    // In sync = cursor already at the chain tail AND the
+                    // records (hashed from the snapshot we would ship)
+                    // digest-equal. The cursor check alone is not enough:
+                    // an engine restored from older storage can hold a
+                    // replayed cursor over stale records.
+                    if dst.policy_cursor(&name) == Some(token)
+                        && dst.policy_digest(&name) == records_digest(&name, &records)
+                    {
+                        skipped += 1;
+                        continue;
+                    }
+                    // Divergent: clear the old cursor first — a stale
+                    // cursor *ahead* of `token` (chain reset by a
+                    // migration while the target was away) would make
+                    // the snapshot look like a replay and veto it.
+                    dst.clear_policy_cursor(&name);
+                    let delta = PolicyDelta::snapshot(&name, records, token);
+                    bytes += delta.wire_size() as u64;
+                    dst.apply_policy_delta(&delta)?;
+                    shipped += 1;
                 }
                 // No chain entry (the policy was migrated in, or predates
                 // the group's replication): install the records with no
@@ -1984,8 +2036,20 @@ fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
                 // Some(0) would disagree with the absent tail and fail
                 // the replica's freshness checks forever.
                 None => {
+                    if dst.policy_cursor(&name).is_none()
+                        && dst.policy_digest(&name) == records_digest(&name, &records)
+                    {
+                        skipped += 1;
+                        continue;
+                    }
+                    dst.clear_policy_cursor(&name);
                     dst.purge_policy_records(&name)?;
+                    bytes += records
+                        .iter()
+                        .map(|(k, v)| (k.len() + v.len()) as u64)
+                        .sum::<u64>();
                     dst.import_records(&records)?;
+                    shipped += 1;
                 }
             }
         }
@@ -2017,6 +2081,32 @@ fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
     target
         .applied
         .store(primary.applied.load(Ordering::Acquire), Ordering::Release);
+    group
+        .telemetry
+        .catchup_policies_shipped
+        .fetch_add(shipped, Ordering::Relaxed);
+    group
+        .telemetry
+        .catchup_policies_skipped
+        .fetch_add(skipped, Ordering::Relaxed);
+    group
+        .telemetry
+        .catchup_bytes
+        .fetch_add(bytes, Ordering::Relaxed);
+    // `add_replica` resyncs the newcomer before pushing it into the
+    // roster, so "not found" means "about to be appended".
+    let replica = group
+        .replicas
+        .iter()
+        .position(|r| std::ptr::eq(r.as_ref(), target))
+        .unwrap_or(group.replicas.len());
+    group.flight.record(EventKind::CatchUp {
+        shard: group.shard,
+        replica,
+        shipped,
+        skipped,
+        bytes,
+    });
     Ok(())
 }
 
@@ -2025,22 +2115,18 @@ fn catch_up(group: &ReplicaSet, target: &Replica) -> palaemon_core::Result<()> {
 /// puts for keys `want` adds or changes. Empty when the stores already
 /// agree (then only the cursor lags).
 fn diff_records(want: &PolicyRecords, have: &PolicyRecords) -> ChangeSet {
-    let target: HashMap<&[u8], &[u8]> = want
-        .iter()
-        .map(|(k, v)| (k.as_slice(), v.as_slice()))
-        .collect();
-    let current: HashMap<&[u8], &[u8]> = have
-        .iter()
-        .map(|(k, v)| (k.as_slice(), v.as_slice()))
-        .collect();
+    let target: HashMap<&[u8], &[u8]> =
+        want.iter().map(|(k, v)| (k.as_ref(), v.as_ref())).collect();
+    let current: HashMap<&[u8], &[u8]> =
+        have.iter().map(|(k, v)| (k.as_ref(), v.as_ref())).collect();
     let mut changes = ChangeSet::default();
     for (k, _) in have {
-        if !target.contains_key(k.as_slice()) {
+        if !target.contains_key(k.as_ref()) {
             changes.record_delete(k.clone());
         }
     }
     for (k, v) in want {
-        if current.get(k.as_slice()) != Some(&v.as_slice()) {
+        if current.get(k.as_ref()) != Some(&v.as_ref()) {
             changes.record_put(k.clone(), v.clone());
         }
     }
@@ -2686,7 +2772,7 @@ impl ClusterRouter {
                 })
                 .cloned()
                 .collect();
-            let tombstones: Vec<Vec<u8>> = current
+            let tombstones: Vec<palaemon_db::Bytes> = current
                 .iter()
                 .filter(|(k, _)| !desired.iter().any(|(dk, _)| dk == k))
                 .map(|(k, _)| k.clone())
@@ -3942,7 +4028,8 @@ mod tests {
     const MRE: [u8; 32] = [0x61; 32];
 
     fn engine(seed: &[u8]) -> Arc<Palaemon> {
-        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32]));
+        let db =
+            Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32])).expect("create db");
         Arc::new(Palaemon::new(
             db,
             SigningKey::from_seed(seed),

@@ -577,7 +577,8 @@ mod tests {
         use tee_sim::quote::{create_report, quote_report};
 
         let platform = Platform::new("ctr-host", Microcode::PostForeshadow);
-        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32]));
+        let db =
+            Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32])).expect("create db");
         let palaemon = Arc::new(Palaemon::new(
             db,
             SigningKey::from_seed(b"ctr"),

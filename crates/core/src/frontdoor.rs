@@ -475,7 +475,8 @@ mod tests {
     /// — the fixture every front-door test drives through the pool.
     fn fixture(name: &str) -> (TmsServer, Platform) {
         let platform = Platform::new("door-host", Microcode::PostForeshadow);
-        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32]));
+        let db =
+            Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32])).expect("create db");
         let engine = Arc::new(Palaemon::new(
             db,
             SigningKey::from_seed(b"door"),

@@ -124,7 +124,7 @@ pub fn start_instance<R: RngCore>(
     };
 
     let db = if first_start {
-        Db::create(store, db_key)
+        Db::create(store, db_key)?
     } else {
         Db::open(store, db_key)?
     };

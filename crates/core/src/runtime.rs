@@ -244,7 +244,8 @@ mod tests {
 
     fn setup(policy_extra: &str) -> Harness {
         let platform = Platform::new("host-1", Microcode::PostForeshadow);
-        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32]));
+        let db =
+            Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([2; 32])).expect("create db");
         let palaemon = Palaemon::new(
             db,
             SigningKey::from_seed(b"tms"),

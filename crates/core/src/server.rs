@@ -447,7 +447,8 @@ mod tests {
 
     fn server(strict: bool) -> (TmsServer, Platform, Digest, VerifyingKey) {
         let platform = Platform::new("srv-host", Microcode::PostForeshadow);
-        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([5; 32]));
+        let db =
+            Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([5; 32])).expect("create db");
         let engine = Arc::new(Palaemon::new(
             db,
             SigningKey::from_seed(b"srv"),

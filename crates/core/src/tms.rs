@@ -41,6 +41,16 @@
 //! never acquire another lock while holding them (they may themselves be
 //! taken under `db`). Guards are dropped before calling out to crypto or
 //! the store wherever possible.
+//!
+//! Below the engine, the kvdb's group-commit core adds two locks of its
+//! own: the `window` mutex (staging + the follower condvar) and the `wal`
+//! mutex (store/meta), ordered `db` → `window` → `wal`. Mutations stage
+//! into the window *under* the db write guard (`Db::commit_stage`, cheap,
+//! no I/O), then drop the guard and park on the window condvar
+//! (`CommitTicket::wait`) holding **no** engine lock — so one writer's
+//! `sync` never blocks other writers from staging, and commits group into
+//! shared windows. Condvar waits hold only the `window` mutex; the leader
+//! releases it before sealing and syncing under `wal`.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -49,7 +59,7 @@ use palaemon_crypto::aead::AeadKey;
 use palaemon_crypto::randutil;
 use palaemon_crypto::sig::{SigningKey, VerifyingKey};
 use palaemon_crypto::Digest;
-use palaemon_db::{ChangeSet, Db, DbView};
+use palaemon_db::{Bytes, ChangeSet, Db, DbView};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -66,8 +76,10 @@ use crate::policy::{Policy, SecretKind, ServiceSpec};
 pub struct SessionId(pub u64);
 
 /// Raw `(key, value)` database records of one policy — the unit shard
-/// migration ships between instances.
-pub type PolicyRecords = Vec<(Vec<u8>, Vec<u8>)>;
+/// migration ships between instances. Records are reference-counted
+/// [`Bytes`], so exporting, digesting and shipping them never copies
+/// payloads.
+pub type PolicyRecords = Vec<(Bytes, Bytes)>;
 
 /// The payload of a [`PolicyDelta`]: either the policy's full record set
 /// or just what one mutation changed.
@@ -88,7 +100,7 @@ pub enum DeltaPayload {
         /// Records the mutation wrote (final values).
         puts: PolicyRecords,
         /// Keys the mutation deleted.
-        tombstones: Vec<Vec<u8>>,
+        tombstones: Vec<Bytes>,
     },
 }
 
@@ -628,8 +640,10 @@ impl Palaemon {
             format!("owner/{}", policy.name).into_bytes(),
             owner.to_u64().to_be_bytes().to_vec(),
         );
-        db.commit()?;
+        let ticket = db.commit_stage();
         self.capture_stash(&mut db, &policy.name);
+        drop(db);
+        ticket.wait()?;
         Ok(())
     }
 
@@ -784,8 +798,10 @@ impl Palaemon {
         drop(rng);
 
         db.put(format!("policy/{name}").into_bytes(), new_policy.encode());
-        db.commit()?;
+        let ticket = db.commit_stage();
         self.capture_stash(&mut db, &name);
+        drop(db);
+        ticket.wait()?;
         Ok(())
     }
 
@@ -837,8 +853,10 @@ impl Palaemon {
                 db.delete(format!("export-volume/{target}/{name}/{}", vol.name).as_bytes());
             }
         }
-        db.commit()?;
+        let ticket = db.commit_stage();
         self.capture_stash(&mut db, name);
+        drop(db);
+        ticket.wait()?;
         Ok(())
     }
 
@@ -1050,8 +1068,10 @@ impl Palaemon {
         let mut db = self.db.write();
         self.capture_begin(&mut db);
         db.put(format!("tag/{policy}/{volume}").into_bytes(), value);
-        db.commit()?;
+        let ticket = db.commit_stage();
         self.capture_stash(&mut db, &policy);
+        drop(db);
+        ticket.wait()?;
         Ok(())
     }
 
@@ -1083,8 +1103,10 @@ impl Palaemon {
         let mut db = self.db.write();
         self.capture_begin(&mut db);
         db.delete(format!("tag/{policy}/{volume}").as_bytes());
-        db.commit()?;
+        let ticket = db.commit_stage();
         self.capture_stash(&mut db, policy);
+        drop(db);
+        ticket.wait()?;
         Ok(())
     }
 
@@ -1124,7 +1146,7 @@ impl Palaemon {
     ///
     /// # Errors
     /// Database commit failures.
-    pub fn import_records(&self, records: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+    pub fn import_records(&self, records: &[(Bytes, Bytes)]) -> Result<()> {
         if records.is_empty() {
             return Ok(());
         }
@@ -1132,7 +1154,9 @@ impl Palaemon {
         for (key, value) in records {
             db.put(key.clone(), value.clone());
         }
-        db.commit()?;
+        let ticket = db.commit_stage();
+        drop(db);
+        ticket.wait()?;
         Ok(())
     }
 
@@ -1149,12 +1173,14 @@ impl Palaemon {
         for prefix in policy_record_prefixes(name) {
             db.delete_prefix(prefix.as_bytes());
         }
-        db.commit()?;
+        let ticket = db.commit_stage();
         // The policy no longer lives here: its delta chain restarts and any
         // captured-but-unforwarded changes are void (forwarding residue from
         // before a purge would roll the new owner's records back).
         self.policy_cursors.lock().remove(name);
         self.pending_changes.lock().remove(name);
+        drop(db);
+        ticket.wait()?;
         Ok(())
     }
 
@@ -1204,7 +1230,7 @@ impl Palaemon {
         &self,
         target: &str,
         puts: &PolicyRecords,
-        tombstones: &[Vec<u8>],
+        tombstones: &[Bytes],
     ) -> Result<()> {
         if puts.is_empty() && tombstones.is_empty() {
             return Ok(());
@@ -1217,8 +1243,10 @@ impl Palaemon {
         for key in tombstones {
             db.delete(key);
         }
-        db.commit()?;
+        let ticket = db.commit_stage();
         self.capture_stash(&mut db, target);
+        drop(db);
+        ticket.wait()?;
         Ok(())
     }
 
@@ -1276,6 +1304,27 @@ impl Palaemon {
         self.pending_changes.lock().clear();
     }
 
+    /// Forgets the chain cursor of one policy ahead of a per-policy
+    /// re-base: cursor-bounded catch-up ships a chain-resetting snapshot
+    /// only for the policies that diverged, and a stale cursor *ahead* of
+    /// the incoming snapshot's token would veto it (the backwards-rollback
+    /// guard in [`Palaemon::apply_policy_delta`]). Cursors of in-sync
+    /// policies stay untouched — they are the evidence that lets catch-up
+    /// skip them.
+    pub fn clear_policy_cursor(&self, policy: &str) {
+        self.policy_cursors.lock().remove(policy);
+    }
+
+    /// Drops every captured-but-unforwarded change without touching the
+    /// chain cursors. A replica being caught up must not later forward
+    /// residue from before the catch-up, but — unlike
+    /// [`Palaemon::reset_replication_cursors`] — its cursors must survive:
+    /// they are what a cursor-bounded catch-up compares to skip in-sync
+    /// policies.
+    pub fn clear_captured_changes(&self) {
+        self.pending_changes.lock().clear();
+    }
+
     /// Exports one policy's full record set as a digest-committed
     /// chain-resetting snapshot [`PolicyDelta`] carrying freshness token
     /// `token`. An empty record set means the policy does not exist — the
@@ -1293,19 +1342,7 @@ impl Palaemon {
     /// record set (still name-bound, so digests of different policies
     /// never collide by construction).
     pub fn policy_digest(&self, name: &str) -> Digest {
-        let records = self.export_policy_records(name);
-        let mut h = palaemon_crypto::sha256::Sha256::new();
-        h.update(b"palaemon.policy-records.v1");
-        h.update(&(name.len() as u64).to_be_bytes());
-        h.update(name.as_bytes());
-        h.update(&(records.len() as u64).to_be_bytes());
-        for (k, v) in &records {
-            h.update(&(k.len() as u64).to_be_bytes());
-            h.update(k);
-            h.update(&(v.len() as u64).to_be_bytes());
-            h.update(v);
-        }
-        h.finalize()
+        records_digest(name, &self.export_policy_records(name))
     }
 
     /// Applies a [`PolicyDelta`] produced by another replica after
@@ -1374,7 +1411,7 @@ impl Palaemon {
                 for key in tombstones {
                     db.delete(key);
                 }
-                db.commit()?;
+                let ticket = db.commit_stage();
                 self.policy_cursors
                     .lock()
                     .insert(delta.policy.clone(), delta.token);
@@ -1382,6 +1419,8 @@ impl Palaemon {
                 // any capture residue for the policy (e.g. from a stint as
                 // a deposed primary).
                 self.pending_changes.lock().remove(&delta.policy);
+                drop(db);
+                ticket.wait()?;
                 Ok(())
             }
         }
@@ -1535,6 +1574,25 @@ impl Palaemon {
     }
 }
 
+/// Content digest of one policy's record set under the anti-entropy
+/// domain tag — the body of [`Palaemon::policy_digest`], factored so a
+/// catch-up source can digest records it already exported (one consistent
+/// cut, no second export) and compare against the target's digest.
+pub fn records_digest(name: &str, records: &[(Bytes, Bytes)]) -> Digest {
+    let mut h = palaemon_crypto::sha256::Sha256::new();
+    h.update(b"palaemon.policy-records.v1");
+    h.update(&(name.len() as u64).to_be_bytes());
+    h.update(name.as_bytes());
+    h.update(&(records.len() as u64).to_be_bytes());
+    for (k, v) in records {
+        h.update(&(k.len() as u64).to_be_bytes());
+        h.update(k);
+        h.update(&(v.len() as u64).to_be_bytes());
+        h.update(v);
+    }
+    h.finalize()
+}
+
 /// Exports every record belonging to policy `name` from one [`DbView`]
 /// snapshot (the body of [`Palaemon::export_policy_records`], reusable
 /// against a shared view so multi-policy exports stay consistent).
@@ -1543,10 +1601,13 @@ fn export_records_from(view: &DbView, name: &str) -> PolicyRecords {
     let Some(policy_raw) = view.get(policy_key.as_bytes()) else {
         return Vec::new();
     };
-    let mut records = vec![(policy_key.into_bytes(), policy_raw.to_vec())];
+    let mut records: PolicyRecords = vec![(
+        Bytes::from(policy_key.into_bytes()),
+        Bytes::from(policy_raw),
+    )];
     let owner_key = format!("owner/{name}");
     if let Some(owner_raw) = view.get(owner_key.as_bytes()) {
-        records.push((owner_key.into_bytes(), owner_raw.to_vec()));
+        records.push((Bytes::from(owner_key.into_bytes()), Bytes::from(owner_raw)));
     }
     for prefix in policy_record_prefixes(name) {
         records.extend(view.export_prefix(prefix.as_bytes()));
@@ -1639,7 +1700,8 @@ mod tests {
     use tee_sim::quote::{create_report, quote_report};
 
     fn new_tms() -> Palaemon {
-        let db = Db::create(Box::new(MemStore::new()), Key::from_bytes([1; 32]));
+        let db =
+            Db::create(Box::new(MemStore::new()), Key::from_bytes([1; 32])).expect("create db");
         Palaemon::new(
             db,
             SigningKey::from_seed(b"tms"),
@@ -2199,7 +2261,9 @@ services:
         let DeltaPayload::Snapshot { records } = &mut evil.payload else {
             panic!("snapshot expected");
         };
-        records[0].1.push(0xFF);
+        let mut tampered = records[0].1.to_vec();
+        tampered.push(0xFF);
+        records[0].1 = tampered.into();
         assert!(matches!(
             follower.apply_policy_delta(&evil),
             Err(PalaemonError::Db(_))
@@ -2512,7 +2576,10 @@ services:
                 "app",
             )
             .unwrap();
-        assert_eq!(config.secrets.get("shared_key").unwrap(), &from_a[0].1);
+        assert_eq!(
+            config.secrets.get("shared_key").unwrap().as_slice(),
+            from_a[0].1.as_ref()
+        );
 
         // Deleting one producer leaves the other's export intact.
         tms.delete_policy("prod-a", &owner, None, &[]).unwrap();
@@ -2525,7 +2592,10 @@ services:
                 "app",
             )
             .unwrap();
-        assert_eq!(config.secrets.get("shared_key").unwrap(), &from_b[0].1);
+        assert_eq!(
+            config.secrets.get("shared_key").unwrap().as_slice(),
+            from_b[0].1.as_ref()
+        );
         tms.delete_policy("prod-b", &owner, None, &[]).unwrap();
         let config = tms
             .attest_service(
@@ -2603,7 +2673,10 @@ volumes:
         tms.create_policy(&owner, simple_policy("cons", mre), None, &[])
             .unwrap();
         tms.take_policy_changes("cons");
-        let puts = vec![(b"export-secret/cons/far-prod/api".to_vec(), b"v1".to_vec())];
+        let puts: PolicyRecords = vec![(
+            Bytes::from(b"export-secret/cons/far-prod/api".to_vec()),
+            Bytes::from(b"v1".to_vec()),
+        )];
         tms.apply_export_records("cons", &puts, &[]).unwrap();
         let changes = tms
             .take_policy_changes("cons")
@@ -2616,7 +2689,7 @@ volumes:
         tms.apply_export_records(
             "cons",
             &Vec::new(),
-            &[b"export-secret/cons/far-prod/api".to_vec()],
+            &[Bytes::from(b"export-secret/cons/far-prod/api".to_vec())],
         )
         .unwrap();
         assert!(tms.export_records_for("cons", "far-prod").is_empty());

@@ -8,9 +8,12 @@
 //!
 //! Durability model (matches the Fig. 11 read ≪ update asymmetry):
 //!
-//! * reads are served from the in-memory table — no storage round trip;
-//! * [`Db::commit`] seals the pending batch, appends it to the WAL and
-//!   `sync`s the store — this is the expensive "commit to disk" step.
+//! * reads are served from the in-memory persistent tree — no storage
+//!   round trip, and [`Db::view`] snapshots are O(1);
+//! * [`Db::commit`] (or [`Db::commit_stage`] + [`CommitTicket::wait`] for
+//!   concurrent writers) group-commits: every commit staged into the same
+//!   flush window rides **one** sealed WAL batch and **one** `sync` — the
+//!   paper's Fig. 6 group-commit trick applied to the storage engine.
 //!
 //! Integrity: every WAL batch and snapshot is AEAD-bound to its sequence
 //! number, so record tampering and reordering are detected at open. A
@@ -20,8 +23,10 @@
 //! layer behaving exactly that way.
 
 pub mod store;
+pub mod tree;
 
-pub use store::{ChangeSet, Db, DbError, DbStats, DbView};
+pub use store::{ChangeSet, CommitTicket, Db, DbError, DbStats, DbView, Puts, Tombstones};
+pub use tree::Bytes;
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,22 +1,45 @@
-//! The key-value store engine: in-memory table + sealed WAL + checkpoints.
+//! The key-value store engine: persistent tree + group-commit sealed WAL +
+//! checkpoints.
 //!
 //! ## Concurrency model
-//! The visible table lives behind an [`Arc`], so [`Db::view`] hands out
-//! cheap copy-on-write snapshots: a reader holding a [`DbView`] keeps
-//! reading a consistent point-in-time state without any lock, while a
-//! writer keeps mutating the `Db` (the first mutation after a view is taken
-//! clones the table — snapshot isolation, not blocking). Durability is
-//! unchanged: writes are serialized through the WAL by whoever owns the
-//! `&mut Db` (in PALÆMON, the engine's write lock).
+//! The visible table is a path-copying persistent tree ([`crate::tree`]):
+//! [`Db::view`] hands out O(1) snapshots (one `Arc` bump), and a write under
+//! outstanding views pays an O(log n) path copy instead of cloning the
+//! table. Durability runs through a shared [`WalShared`] core so commits
+//! group-commit across writer threads, exactly like the Fig. 6 rollback
+//! counter's `BatchedCounter`:
+//!
+//! * [`Db::commit_stage`] appends the handle's pending ops into the current
+//!   *window* under the window mutex and returns a [`CommitTicket`] — cheap,
+//!   done while the caller still holds whatever outer lock serializes table
+//!   mutation (in PALÆMON, the engine's db write lock);
+//! * [`CommitTicket::wait`] — called **after** dropping that outer lock —
+//!   elects one committer per window as leader. The leader seals everything
+//!   staged in the window as **one** WAL batch, bumps meta, and performs the
+//!   single `store.sync()`; followers park on a condvar (re-checking every
+//!   flush window, default 1 ms) and wake with the leader's verdict. While a
+//!   leader syncs, new committers stage into the *next* window, so the sync
+//!   cost amortizes across every writer that arrives during it.
+//!
+//! Crash recovery lands on a committed-window boundary: a window's ops are
+//! one sealed WAL blob written before the meta bump, so either the whole
+//! window replays or none of it does — never a tear inside a window.
+//!
+//! Lock order inside this crate: `window` before `wal`. The leader drops
+//! the window mutex before sealing/syncing under the `wal` mutex, so
+//! followers' condvar waits never hold the store hostage.
 
 use std::collections::BTreeMap;
 use std::error::Error as StdError;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use palaemon_crypto::aead::AeadKey;
 use palaemon_crypto::wire::{Decoder, Encoder};
 use shielded_fs::store::BlockStore;
+
+use crate::tree::{Bytes, Tree};
 
 /// Errors raised by the database.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +63,13 @@ impl fmt::Display for DbError {
 impl StdError for DbError {}
 
 const META_BLOB: &str = "db-meta";
+
+/// Default follower park quantum / leader-wait bound (matches the
+/// replication pipe's flush window).
+pub const DEFAULT_FLUSH_WINDOW: Duration = Duration::from_millis(1);
+
+/// Window-failure verdicts retained for late [`CommitTicket::wait`] calls.
+const FAILURE_MEMORY: usize = 64;
 
 fn wal_blob(seq: u64) -> String {
     format!("db-wal-{seq:016x}")
@@ -96,12 +126,13 @@ enum Op {
 }
 
 /// Owned `(key, value)` records a write span put (half of
-/// [`ChangeSet::into_parts`]).
-pub type Puts = Vec<(Vec<u8>, Vec<u8>)>;
+/// [`ChangeSet::into_parts`]). Values are [`Bytes`], so shipping a put
+/// clones a reference count, not the payload.
+pub type Puts = Vec<(Bytes, Bytes)>;
 
 /// Keys a write span deleted (the other half of
 /// [`ChangeSet::into_parts`]).
-pub type Tombstones = Vec<Vec<u8>>;
+pub type Tombstones = Vec<Bytes>;
 
 /// The exact keys a span of writes touched: puts (with their final value)
 /// and tombstones (deleted keys), coalesced per key — a later write to the
@@ -114,18 +145,18 @@ pub type Tombstones = Vec<Vec<u8>>;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChangeSet {
     /// `key -> Some(value)` for a put, `key -> None` for a delete.
-    changes: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    changes: BTreeMap<Bytes, Option<Bytes>>,
 }
 
 impl ChangeSet {
     /// Records a put (replacing any earlier entry for the key).
-    pub fn record_put(&mut self, key: Vec<u8>, value: Vec<u8>) {
-        self.changes.insert(key, Some(value));
+    pub fn record_put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.changes.insert(key.into(), Some(value.into()));
     }
 
     /// Records a delete (replacing any earlier entry for the key).
-    pub fn record_delete(&mut self, key: Vec<u8>) {
-        self.changes.insert(key, None);
+    pub fn record_delete(&mut self, key: impl Into<Bytes>) {
+        self.changes.insert(key.into(), None);
     }
 
     /// Folds `later` into `self`: entries of `later` win per key, as if the
@@ -160,9 +191,9 @@ impl ChangeSet {
 }
 
 /// Runtime statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DbStats {
-    /// Committed WAL batches since open.
+    /// Committed (durably acknowledged) WAL commits since open.
     pub commits: u64,
     /// Checkpoints taken since open.
     pub checkpoints: u64,
@@ -170,6 +201,19 @@ pub struct DbStats {
     pub keys: usize,
     /// WAL batches pending checkpoint.
     pub wal_batches: u64,
+    /// Group-commit windows flushed (each is one sealed batch + one sync).
+    pub wal_windows: u64,
+    /// Histogram of commits coalesced per flushed window:
+    /// `(commits_in_window, windows_observed)`. Conservation invariant:
+    /// `commits == Σ size · count` over these buckets.
+    pub commits_per_window: Vec<(u32, u64)>,
+    /// 99th-percentile time a committer spent parked waiting for its
+    /// window's durability verdict (ns).
+    pub group_commit_wait_p99_ns: u64,
+    /// Tree nodes copied (not mutated in place) because an outstanding
+    /// snapshot shared them — the real cost of views, path-sized not
+    /// table-sized.
+    pub snapshot_path_copies: u64,
 }
 
 impl palaemon_telemetry::Collect for DbStats {
@@ -178,31 +222,213 @@ impl palaemon_telemetry::Collect for DbStats {
         sink.counter("db_checkpoints_total", self.checkpoints);
         sink.gauge("db_keys", self.keys as f64);
         sink.gauge("db_wal_batches_pending", self.wal_batches as f64);
+        sink.counter("db_wal_windows_total", self.wal_windows);
+        sink.gauge(
+            "db_group_commit_wait_p99_ns",
+            self.group_commit_wait_p99_ns as f64,
+        );
+        sink.counter("db_snapshot_path_copies_total", self.snapshot_path_copies);
+        for &(size, count) in &self.commits_per_window {
+            sink.scoped("size", size, |sink| {
+                sink.counter("db_commits_per_window", count);
+            });
+        }
     }
 }
 
-/// The embedded encrypted key-value store.
-pub struct Db {
+/// The durable half of the engine: store, key and meta, serialized by one
+/// mutex. Only window leaders and checkpoints touch it.
+struct WalCore {
     store: Box<dyn BlockStore>,
     key: AeadKey,
-    table: Arc<BTreeMap<Vec<u8>, Vec<u8>>>,
+    meta: Meta,
+}
+
+/// The currently open group-commit window plus flush bookkeeping.
+#[derive(Default)]
+struct WindowState {
+    /// WAL-encoded ops staged by committers since the last leader took the
+    /// window.
+    staged_buf: Vec<u8>,
+    staged_count: u32,
+    /// Commits (tickets) staged into the open window.
+    staged_commits: u32,
+    /// Index of the open window. A leader taking the window bumps this, so
+    /// late stagers land in the next window while the sync runs.
+    epoch: u64,
+    /// Windows `< flushed` have a durability verdict.
+    flushed: u64,
+    /// A leader is between taking the window and posting its verdict.
+    leader_running: bool,
+    /// Failed windows (bounded memory; see [`FAILURE_MEMORY`]).
+    failures: Vec<(u64, DbError)>,
+    // Stats (owned here so leaders update them under the window mutex).
+    commits: u64,
+    wal_windows: u64,
+    checkpoints: u64,
+    /// `commits per window -> windows seen` histogram.
+    per_window: BTreeMap<u32, u64>,
+}
+
+impl WindowState {
+    fn verdict(&self, epoch: u64) -> Result<(), DbError> {
+        match self.failures.iter().find(|(e, _)| *e == epoch) {
+            Some((_, err)) => Err(err.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn note_failure(&mut self, epoch: u64, err: DbError) {
+        if self.failures.len() >= FAILURE_MEMORY {
+            self.failures.remove(0);
+        }
+        self.failures.push((epoch, err));
+    }
+}
+
+/// The shared durability core: one per database, held by the [`Db`] handle
+/// and by every outstanding [`CommitTicket`].
+struct WalShared {
+    window: Mutex<WindowState>,
+    window_cv: Condvar,
+    wal: Mutex<WalCore>,
+    flush_window: Duration,
+    /// Committer park times, for `group_commit_wait_p99`.
+    wait_hist: palaemon_telemetry::Histogram,
+}
+
+impl WalShared {
+    /// Takes the open window (caller observed `!leader_running`), seals and
+    /// flushes everything staged in it, posts the verdict and wakes the
+    /// followers. Returns that verdict.
+    fn lead(&self, mut st: MutexGuard<'_, WindowState>) -> Result<(), DbError> {
+        debug_assert!(!st.leader_running);
+        let buf = std::mem::take(&mut st.staged_buf);
+        let count = std::mem::replace(&mut st.staged_count, 0);
+        let commits = std::mem::replace(&mut st.staged_commits, 0);
+        let epoch = st.epoch;
+        st.epoch += 1;
+        st.leader_running = true;
+        drop(st);
+
+        let result = self.flush(&buf, count);
+
+        let mut st = self.window.lock().unwrap();
+        st.leader_running = false;
+        st.flushed = epoch + 1;
+        match &result {
+            Ok(()) => {
+                st.commits += u64::from(commits);
+                st.wal_windows += 1;
+                *st.per_window.entry(commits).or_insert(0) += 1;
+            }
+            Err(err) => st.note_failure(epoch, err.clone()),
+        }
+        drop(st);
+        self.window_cv.notify_all();
+        result
+    }
+
+    /// Seals `count` staged ops as the next WAL batch, bumps meta and syncs
+    /// — the one expensive step per window.
+    fn flush(&self, buf: &[u8], count: u32) -> Result<(), DbError> {
+        let mut wal = self.wal.lock().unwrap();
+        let seq = wal.meta.next_seq;
+        let mut header = Encoder::new();
+        header.put_u32(count);
+        let mut plain = header.finish();
+        plain.extend_from_slice(buf);
+        let sealed = wal.key.seal(
+            format!("wal.{seq}").as_bytes(),
+            &plain,
+            format!("db-wal.{seq}").as_bytes(),
+        );
+        wal.store.put(&wal_blob(seq), sealed);
+        wal.meta.next_seq += 1;
+        let meta = wal.meta.encode();
+        wal.store.put(META_BLOB, meta);
+        wal.store
+            .sync()
+            .map_err(|e| DbError::Storage(e.to_string()))
+    }
+}
+
+/// A claim on a staged commit's durability verdict. Returned by
+/// [`Db::commit_stage`]; redeem it with [`CommitTicket::wait`] *after*
+/// releasing whatever outer lock serializes table mutation, so the sync
+/// wait never blocks other writers from staging into the window.
+#[must_use = "a staged commit is only durable once wait() returns Ok"]
+pub struct CommitTicket {
+    inner: Option<(Arc<WalShared>, u64)>,
+}
+
+impl fmt::Debug for CommitTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some((_, epoch)) => write!(f, "CommitTicket(window {epoch})"),
+            None => write!(f, "CommitTicket(noop)"),
+        }
+    }
+}
+
+impl CommitTicket {
+    /// Blocks until the staged window is durable (or failed) and returns
+    /// the verdict. One waiter per window is elected leader and performs
+    /// the single seal + sync for everything staged; the rest park on the
+    /// window condvar.
+    ///
+    /// # Errors
+    /// Propagates the leader's storage failure to every commit in the
+    /// window.
+    pub fn wait(self) -> Result<(), DbError> {
+        let Some((shared, epoch)) = self.inner else {
+            return Ok(());
+        };
+        let start = Instant::now();
+        let mut st = shared.window.lock().unwrap();
+        loop {
+            if st.flushed > epoch {
+                let verdict = st.verdict(epoch);
+                drop(st);
+                shared.wait_hist.record(start.elapsed().as_nanos() as u64);
+                return verdict;
+            }
+            if st.epoch == epoch && !st.leader_running {
+                let result = shared.lead(st);
+                shared.wait_hist.record(start.elapsed().as_nanos() as u64);
+                return result;
+            }
+            // Follower: park until the leader posts a verdict. The timeout
+            // re-checks every flush window so a lost wakeup can only add
+            // bounded latency, never a hang.
+            st = shared
+                .window_cv
+                .wait_timeout(st, shared.flush_window)
+                .unwrap()
+                .0;
+        }
+    }
+}
+
+/// The embedded encrypted key-value store handle: the visible tree plus
+/// this handle's pending (uncommitted) ops. Durability is shared — see
+/// [`CommitTicket`].
+pub struct Db {
+    shared: Arc<WalShared>,
+    tree: Tree,
     /// WAL-encoded pending ops (serialized at `put`/`delete` time, so the
-    /// hot path moves key and value into the table instead of cloning them).
+    /// hot path moves key and value into the tree instead of cloning them).
     pending_buf: Vec<u8>,
     pending_count: u32,
     /// Active write-batch capture, if a caller asked for one.
     capture: Option<ChangeSet>,
-    meta: Meta,
-    commits: u64,
-    checkpoints: u64,
 }
 
 impl fmt::Debug for Db {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Db")
-            .field("keys", &self.table.len())
+            .field("keys", &self.tree.len())
             .field("pending", &self.pending_count)
-            .field("meta", &self.meta)
             .finish()
     }
 }
@@ -210,31 +436,32 @@ impl fmt::Debug for Db {
 /// A consistent point-in-time view of the visible table (including
 /// not-yet-committed buffered writes), detached from the [`Db`]: readers
 /// hold a `DbView` and read lock-free while writers continue on the `Db`.
+/// Taking one is O(1) — a reference-count bump, never a table copy.
 #[derive(Clone)]
 pub struct DbView {
-    table: Arc<BTreeMap<Vec<u8>, Vec<u8>>>,
+    tree: Tree,
 }
 
 impl fmt::Debug for DbView {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DbView({} keys)", self.table.len())
+        write!(f, "DbView({} keys)", self.tree.len())
     }
 }
 
 impl DbView {
     /// Reads a value as of the view's snapshot.
     pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
-        self.table.get(key).map(|v| v.as_slice())
+        self.tree.get(key).map(|v| v.as_ref())
     }
 
     /// Number of keys in the snapshot.
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.tree.len()
     }
 
     /// True when the snapshot holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.tree.is_empty()
     }
 
     /// Iterates over `(key, value)` pairs whose key starts with `prefix`.
@@ -242,43 +469,74 @@ impl DbView {
         &'a self,
         prefix: &'a [u8],
     ) -> impl Iterator<Item = (&'a [u8], &'a [u8])> + 'a {
-        self.table
-            .range(prefix.to_vec()..)
+        self.tree
+            .range_from(prefix)
             .take_while(move |(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .map(|(k, v)| (k.as_ref(), v.as_ref()))
     }
 
     /// Collects all `(key, value)` pairs under `prefix` as owned records —
-    /// the shape shard migration ships between databases.
-    pub fn export_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.scan_prefix(prefix)
-            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+    /// the shape shard migration ships between databases. Owned means
+    /// reference-counted: no payload is copied.
+    pub fn export_prefix(&self, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        self.tree
+            .range_from(prefix)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
     }
 }
 
 impl Db {
-    /// Creates a fresh database on `store`, erasing any previous state.
-    pub fn create(store: Box<dyn BlockStore>, key: AeadKey) -> Self {
+    /// Creates a fresh database on `store`, erasing any previous state, and
+    /// syncs it: a crash immediately after `create` returns must reopen as
+    /// an empty database, never as "meta missing".
+    ///
+    /// # Errors
+    /// Propagates storage sync failures.
+    pub fn create(store: Box<dyn BlockStore>, key: AeadKey) -> Result<Self, DbError> {
+        Db::create_with_window(store, key, DEFAULT_FLUSH_WINDOW)
+    }
+
+    /// [`Db::create`] with an explicit group-commit flush window.
+    ///
+    /// # Errors
+    /// Propagates storage sync failures.
+    pub fn create_with_window(
+        store: Box<dyn BlockStore>,
+        key: AeadKey,
+        flush_window: Duration,
+    ) -> Result<Self, DbError> {
         let meta = Meta {
             generation: 0,
             first_seq: 0,
             next_seq: 0,
         };
-        let mut db = Db {
-            store,
-            key,
-            table: Arc::new(BTreeMap::new()),
+        let db = Db {
+            shared: Arc::new(WalShared {
+                window: Mutex::new(WindowState::default()),
+                window_cv: Condvar::new(),
+                wal: Mutex::new(WalCore { store, key, meta }),
+                flush_window,
+                wait_hist: palaemon_telemetry::Histogram::new(),
+            }),
+            tree: Tree::new(),
             pending_buf: Vec::new(),
             pending_count: 0,
             capture: None,
-            meta,
-            commits: 0,
-            checkpoints: 0,
         };
-        db.write_snapshot(0);
-        db.write_meta();
-        db
+        {
+            let wal = db.shared.wal.lock().unwrap();
+            let plain = encode_tree(&db.tree);
+            let sealed = wal.key.seal(b"snap.0", &plain, b"db-snap.0");
+            wal.store.put(&snapshot_blob(0), sealed);
+            let meta = wal.meta.encode();
+            wal.store.put(META_BLOB, meta);
+            wal.store
+                .sync()
+                .map_err(|e| DbError::Storage(e.to_string()))?;
+        }
+        Ok(db)
     }
 
     /// Opens an existing database, verifying and replaying the WAL.
@@ -287,6 +545,18 @@ impl Db {
     /// Returns [`DbError::Corrupt`] when the snapshot, meta or any committed
     /// WAL batch fails authentication or decoding.
     pub fn open(store: Box<dyn BlockStore>, key: AeadKey) -> Result<Self, DbError> {
+        Db::open_with_window(store, key, DEFAULT_FLUSH_WINDOW)
+    }
+
+    /// [`Db::open`] with an explicit group-commit flush window.
+    ///
+    /// # Errors
+    /// As for [`Db::open`].
+    pub fn open_with_window(
+        store: Box<dyn BlockStore>,
+        key: AeadKey,
+        flush_window: Duration,
+    ) -> Result<Self, DbError> {
         let meta_raw = store
             .get(META_BLOB)
             .ok_or_else(|| DbError::Corrupt("meta missing".into()))?;
@@ -303,9 +573,10 @@ impl Db {
                 format!("db-snap.{}", meta.generation).as_bytes(),
             )
             .map_err(|e| DbError::Corrupt(format!("snapshot: {e}")))?;
-        let mut table = decode_table(&snap_plain)?;
+        let mut tree = decode_tree(&snap_plain)?;
 
-        // Replay committed WAL batches in order.
+        // Replay committed WAL windows in order. Each window is one sealed
+        // blob, so recovery always lands on a window boundary.
         for seq in meta.first_seq..meta.next_seq {
             let raw = store
                 .get(&wal_blob(seq))
@@ -318,43 +589,52 @@ impl Db {
                 )
                 .map_err(|e| DbError::Corrupt(format!("wal batch {seq}: {e}")))?;
             for op in decode_ops(&plain)? {
-                apply(&mut table, op);
+                match op {
+                    Op::Put(k, v) => {
+                        tree.insert(k.into(), v.into());
+                    }
+                    Op::Delete(k) => {
+                        tree.remove(&k);
+                    }
+                }
             }
         }
 
         Ok(Db {
-            store,
-            key,
-            table: Arc::new(table),
+            shared: Arc::new(WalShared {
+                window: Mutex::new(WindowState::default()),
+                window_cv: Condvar::new(),
+                wal: Mutex::new(WalCore { store, key, meta }),
+                flush_window,
+                wait_hist: palaemon_telemetry::Histogram::new(),
+            }),
+            tree,
             pending_buf: Vec::new(),
             pending_count: 0,
             capture: None,
-            meta,
-            commits: 0,
-            checkpoints: 0,
         })
     }
 
     /// Reads a value.
     pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
-        self.table.get(key).map(|v| v.as_slice())
+        self.tree.get(key).map(|v| v.as_ref())
     }
 
-    /// Returns a detached snapshot of the currently visible state. Cheap
-    /// (one `Arc` clone); see the module docs for the copy-on-write cost
-    /// the *next* write pays while views are outstanding.
+    /// Returns a detached snapshot of the currently visible state. O(1):
+    /// one reference-count bump; the *next* write pays an O(log n) path
+    /// copy for the nodes the snapshot still shares.
     pub fn view(&self) -> DbView {
         DbView {
-            table: Arc::clone(&self.table),
+            tree: self.tree.clone(),
         }
     }
 
     /// Buffers a put; visible immediately, durable after [`Db::commit`].
     ///
     /// The WAL record is encoded here (while key and value are still
-    /// borrowed) and both buffers are then moved into the table, so the hot
-    /// path performs no extra clones.
-    pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) {
+    /// borrowed) and the reference-counted buffers are then moved into the
+    /// tree, so the hot path performs no extra payload copies.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
         let (key, value) = (key.into(), value.into());
         let mut e = Encoder::new();
         e.put_u8(1).put_bytes(&key).put_bytes(&value);
@@ -363,7 +643,7 @@ impl Db {
         if let Some(capture) = &mut self.capture {
             capture.record_put(key.clone(), value.clone());
         }
-        Arc::make_mut(&mut self.table).insert(key, value);
+        self.tree.insert(key, value);
     }
 
     /// Buffers a delete.
@@ -373,9 +653,9 @@ impl Db {
         self.pending_buf.extend_from_slice(e.as_bytes());
         self.pending_count += 1;
         if let Some(capture) = &mut self.capture {
-            capture.record_delete(key.to_vec());
+            capture.record_delete(key);
         }
-        Arc::make_mut(&mut self.table).remove(key);
+        self.tree.remove(key);
     }
 
     /// Starts (or restarts) write-batch capture: every `put`/`delete` from
@@ -385,8 +665,8 @@ impl Db {
     ///
     /// Capture is how a caller learns *exactly which keys a commit wrote or
     /// deleted* — replication ships that instead of re-exporting whole
-    /// prefixes. The extra clone per write only happens while a capture is
-    /// active; the default path is unchanged.
+    /// prefixes. Captured entries share the tree's buffers, so recording is
+    /// a reference-count bump per write.
     pub fn begin_capture(&mut self) {
         self.capture = Some(ChangeSet::default());
     }
@@ -399,132 +679,165 @@ impl Db {
 
     /// Number of keys currently visible.
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.tree.len()
     }
 
     /// True when no keys exist.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.tree.is_empty()
     }
 
     /// Iterates over `(key, value)` pairs whose key starts with `prefix`.
+    /// Allocation-free: the range start borrows `prefix` directly.
     pub fn scan_prefix<'a>(
         &'a self,
         prefix: &'a [u8],
     ) -> impl Iterator<Item = (&'a [u8], &'a [u8])> + 'a {
-        self.table
-            .range(prefix.to_vec()..)
+        self.tree
+            .range_from(prefix)
             .take_while(move |(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .map(|(k, v)| (k.as_ref(), v.as_ref()))
     }
 
     /// Buffers a delete for every key starting with `prefix` and returns how
     /// many keys were removed. Like [`Db::delete`], the removals are visible
     /// immediately and durable after [`Db::commit`].
     pub fn delete_prefix(&mut self, prefix: &[u8]) -> usize {
-        let doomed: Vec<Vec<u8>> = self.scan_prefix(prefix).map(|(k, _)| k.to_vec()).collect();
+        let doomed: Vec<Bytes> = self
+            .scan_prefix(prefix)
+            .map(|(k, _)| Bytes::from(k))
+            .collect();
         for key in &doomed {
             self.delete(key);
         }
         doomed.len()
     }
 
-    /// Durably commits all pending operations as one sealed WAL batch.
+    /// Stages this handle's pending ops into the current group-commit
+    /// window and returns a [`CommitTicket`] for the window's verdict.
+    /// Cheap (one short mutex hold, no I/O): call it while still holding
+    /// the outer write lock, then drop that lock and [`CommitTicket::wait`].
+    pub fn commit_stage(&mut self) -> CommitTicket {
+        if self.pending_count == 0 {
+            return CommitTicket { inner: None };
+        }
+        let mut st = self.shared.window.lock().unwrap();
+        st.staged_buf.append(&mut self.pending_buf);
+        st.staged_count += self.pending_count;
+        st.staged_commits += 1;
+        let epoch = st.epoch;
+        drop(st);
+        self.pending_count = 0;
+        CommitTicket {
+            inner: Some((Arc::clone(&self.shared), epoch)),
+        }
+    }
+
+    /// Durably commits all pending operations: stage + wait in one call,
+    /// for single-writer callers. Still group-commits with any concurrent
+    /// stagers on the same underlying database.
     ///
     /// # Errors
     /// Propagates storage sync failures.
     pub fn commit(&mut self) -> Result<(), DbError> {
-        if self.pending_count == 0 {
-            return Ok(());
-        }
-        let seq = self.meta.next_seq;
-        let mut header = Encoder::new();
-        header.put_u32(self.pending_count);
-        let mut plain = header.finish();
-        plain.extend_from_slice(&self.pending_buf);
-        let sealed = self.key.seal(
-            format!("wal.{seq}").as_bytes(),
-            &plain,
-            format!("db-wal.{seq}").as_bytes(),
-        );
-        self.store.put(&wal_blob(seq), sealed);
-        self.meta.next_seq += 1;
-        self.write_meta();
-        self.store
-            .sync()
-            .map_err(|e| DbError::Storage(e.to_string()))?;
-        self.pending_buf.clear();
-        self.pending_count = 0;
-        self.commits += 1;
-        Ok(())
+        self.commit_stage().wait()
     }
 
-    /// Writes a full snapshot and truncates the WAL.
+    /// Writes a full snapshot and truncates the WAL. Drains any in-flight
+    /// or orphaned (staged but never waited) windows first, so the snapshot
+    /// supersedes exactly the WAL it garbage-collects.
     ///
     /// # Errors
     /// Propagates storage sync failures; commits pending operations first.
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
         self.commit()?;
-        let generation = self.meta.generation + 1;
-        self.write_snapshot(generation);
-        let old_first = self.meta.first_seq;
-        let old_gen = self.meta.generation;
-        self.meta = Meta {
+        // Drain: `&mut self` means no new ops can stage, but a concurrent
+        // ticket's leader may be mid-flush, and dropped tickets may have
+        // left staged ops behind. Flush until the window is empty and idle.
+        loop {
+            let st = self.shared.window.lock().unwrap();
+            if st.leader_running {
+                drop(
+                    self.shared
+                        .window_cv
+                        .wait_timeout(st, self.shared.flush_window)
+                        .unwrap(),
+                );
+                continue;
+            }
+            if st.staged_count == 0 {
+                break;
+            }
+            self.shared.lead(st)?;
+        }
+
+        let mut wal = self.shared.wal.lock().unwrap();
+        let generation = wal.meta.generation + 1;
+        let plain = encode_tree(&self.tree);
+        let sealed = wal.key.seal(
+            format!("snap.{generation}").as_bytes(),
+            &plain,
+            format!("db-snap.{generation}").as_bytes(),
+        );
+        wal.store.put(&snapshot_blob(generation), sealed);
+        let old_first = wal.meta.first_seq;
+        let old_gen = wal.meta.generation;
+        wal.meta = Meta {
             generation,
-            first_seq: self.meta.next_seq,
-            next_seq: self.meta.next_seq,
+            first_seq: wal.meta.next_seq,
+            next_seq: wal.meta.next_seq,
         };
-        self.write_meta();
-        self.store
+        let meta = wal.meta.encode();
+        wal.store.put(META_BLOB, meta);
+        wal.store
             .sync()
             .map_err(|e| DbError::Storage(e.to_string()))?;
-        // Garbage-collect superseded blobs.
-        for seq in old_first..self.meta.first_seq {
-            self.store.delete(&wal_blob(seq));
+        // Garbage-collect superseded blobs, then sync again: a crash after
+        // the deletes but before they reach the medium must still leave a
+        // cleanly openable store (the new snapshot + meta are already
+        // durable; the deletes only reclaim space).
+        for seq in old_first..wal.meta.first_seq {
+            wal.store.delete(&wal_blob(seq));
         }
-        self.store.delete(&snapshot_blob(old_gen));
-        self.checkpoints += 1;
+        wal.store.delete(&snapshot_blob(old_gen));
+        wal.store
+            .sync()
+            .map_err(|e| DbError::Storage(e.to_string()))?;
+        drop(wal);
+        self.shared.window.lock().unwrap().checkpoints += 1;
         Ok(())
     }
 
     /// Runtime statistics.
     pub fn stats(&self) -> DbStats {
+        let (commits, checkpoints, wal_windows, per_window) = {
+            let st = self.shared.window.lock().unwrap();
+            (
+                st.commits,
+                st.checkpoints,
+                st.wal_windows,
+                st.per_window.iter().map(|(&s, &c)| (s, c)).collect(),
+            )
+        };
+        let wal_batches = {
+            let wal = self.shared.wal.lock().unwrap();
+            wal.meta.next_seq - wal.meta.first_seq
+        };
         DbStats {
-            commits: self.commits,
-            checkpoints: self.checkpoints,
-            keys: self.table.len(),
-            wal_batches: self.meta.next_seq - self.meta.first_seq,
+            commits,
+            checkpoints,
+            keys: self.tree.len(),
+            wal_batches,
+            wal_windows,
+            commits_per_window: per_window,
+            group_commit_wait_p99_ns: self.shared.wait_hist.percentile(0.99),
+            snapshot_path_copies: self.tree.path_copies(),
         }
     }
 
-    /// Count of pending (uncommitted) operations.
+    /// Count of pending (uncommitted, unstaged) operations.
     pub fn pending_ops(&self) -> usize {
         self.pending_count as usize
-    }
-
-    fn write_snapshot(&mut self, generation: u64) {
-        let plain = encode_table(&self.table);
-        let sealed = self.key.seal(
-            format!("snap.{generation}").as_bytes(),
-            &plain,
-            format!("db-snap.{generation}").as_bytes(),
-        );
-        self.store.put(&snapshot_blob(generation), sealed);
-    }
-
-    fn write_meta(&mut self) {
-        self.store.put(META_BLOB, self.meta.encode());
-    }
-}
-
-fn apply(table: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: Op) {
-    match op {
-        Op::Put(k, v) => {
-            table.insert(k, v);
-        }
-        Op::Delete(k) => {
-            table.remove(&k);
-        }
     }
 }
 
@@ -550,27 +863,27 @@ fn decode_ops(bytes: &[u8]) -> Result<Vec<Op>, DbError> {
     parse().map_err(|e| DbError::Corrupt(format!("wal decode: {e}")))
 }
 
-fn encode_table(table: &BTreeMap<Vec<u8>, Vec<u8>>) -> Vec<u8> {
+fn encode_tree(tree: &Tree) -> Vec<u8> {
     let mut e = Encoder::new();
-    e.put_u32(table.len() as u32);
-    for (k, v) in table {
+    e.put_u32(tree.len() as u32);
+    for (k, v) in tree.iter() {
         e.put_bytes(k).put_bytes(v);
     }
     e.finish()
 }
 
-fn decode_table(bytes: &[u8]) -> Result<BTreeMap<Vec<u8>, Vec<u8>>, DbError> {
+fn decode_tree(bytes: &[u8]) -> Result<Tree, DbError> {
     let mut d = Decoder::new(bytes);
-    let mut parse = || -> palaemon_crypto::Result<BTreeMap<Vec<u8>, Vec<u8>>> {
+    let mut parse = || -> palaemon_crypto::Result<Tree> {
         let n = d.get_u32()? as usize;
-        let mut table = BTreeMap::new();
+        let mut tree = Tree::new();
         for _ in 0..n {
             let k = d.get_bytes()?;
             let v = d.get_bytes()?;
-            table.insert(k, v);
+            tree.insert(k.into(), v.into());
         }
         d.finish()?;
-        Ok(table)
+        Ok(tree)
     };
     parse().map_err(|e| DbError::Corrupt(format!("snapshot decode: {e}")))
 }
@@ -578,7 +891,7 @@ fn decode_table(bytes: &[u8]) -> Result<BTreeMap<Vec<u8>, Vec<u8>>, DbError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shielded_fs::store::MemStore;
+    use shielded_fs::store::{BufferedStore, FaultyStore, MemStore};
 
     fn key() -> AeadKey {
         AeadKey::from_bytes([3u8; 32])
@@ -586,7 +899,7 @@ mod tests {
 
     fn fresh() -> (MemStore, Db) {
         let store = MemStore::new();
-        let db = Db::create(Box::new(store.clone()), key());
+        let db = Db::create(Box::new(store.clone()), key()).unwrap();
         (store, db)
     }
 
@@ -776,8 +1089,10 @@ mod tests {
         db.delete(b"policy/a");
         // Exported records are owned and unaffected by later writes.
         assert_eq!(records.len(), 2);
-        assert_eq!(records[0], (b"policy/a".to_vec(), b"1".to_vec()));
-        assert_eq!(records[1], (b"policy/b".to_vec(), b"2".to_vec()));
+        assert_eq!(records[0].0.as_ref(), b"policy/a");
+        assert_eq!(records[0].1.as_ref(), b"1");
+        assert_eq!(records[1].0.as_ref(), b"policy/b");
+        assert_eq!(records[1].1.as_ref(), b"2");
     }
 
     #[test]
@@ -801,7 +1116,6 @@ mod tests {
 
     #[test]
     fn crash_mid_commit_recovers_to_last_commit() {
-        use shielded_fs::store::FaultyStore;
         // Fill the database, then let the device die partway through a
         // commit: the WAL blob may land but the meta update is lost (or
         // vice versa) — either way, open() must recover exactly the last
@@ -812,7 +1126,7 @@ mod tests {
         for fuse in 1..=4 {
             let store = MemStore::new();
             let faulty = FaultyStore::new(store.clone(), fuse + 2); // allow create
-            let mut db = Db::create(Box::new(faulty), key());
+            let mut db = Db::create(Box::new(faulty), key()).unwrap();
             db.put(b"k".as_slice(), b"v1".as_slice());
             // This commit may tear at any point; errors are acceptable.
             let _ = db.commit();
@@ -834,6 +1148,68 @@ mod tests {
                 Err(other) => panic!("unexpected: {other} (fuse={fuse})"),
             }
         }
+    }
+
+    #[test]
+    fn crash_right_after_create_opens_as_empty_db() {
+        // Regression: create() must sync. With a store that only persists
+        // on sync, a crash immediately after create (zero commits) must
+        // reopen as a valid empty database — not Corrupt("meta missing").
+        let inner = MemStore::new();
+        let buffered = BufferedStore::new(inner.clone());
+        let db = Db::create(Box::new(buffered.clone()), key()).unwrap();
+        drop(db);
+        buffered.crash();
+        let db2 = Db::open(Box::new(inner), key()).unwrap();
+        assert!(db2.is_empty());
+    }
+
+    #[test]
+    fn crash_between_checkpoint_gc_and_sync_opens_cleanly() {
+        // Regression: the GC deletes after a checkpoint ride their own
+        // sync. Crash with the deletes buffered but un-synced: the store
+        // still holds the old blobs *and* the new snapshot/meta — open
+        // must succeed on the new generation.
+        let inner = MemStore::new();
+        let buffered = BufferedStore::new(inner.clone());
+        let mut db = Db::create(Box::new(buffered.clone()), key()).unwrap();
+        db.put(b"a".as_slice(), b"1".as_slice());
+        db.commit().unwrap();
+        db.put(b"b".as_slice(), b"2".as_slice());
+        // Fail exactly the checkpoint's post-GC sync. From here the
+        // checkpoint performs: commit of `b` (wal put, meta put, sync = 3
+        // ops), snapshot flush (snap put, meta put, sync = 3), then GC
+        // (2 wal deletes + 1 snapshot delete = 3) — so op 10 is the GC
+        // sync.
+        buffered.fail_after(9);
+        let err = db.checkpoint().unwrap_err();
+        assert!(matches!(err, DbError::Storage(_)));
+        drop(db);
+        buffered.crash();
+        // The new snapshot and truncated meta are durable; the GC deletes
+        // were lost with the crash. Stale blobs must not break open.
+        let db2 = Db::open(Box::new(inner.clone()), key()).unwrap();
+        assert_eq!(db2.get(b"a"), Some(b"1".as_slice()));
+        assert_eq!(db2.get(b"b"), Some(b"2".as_slice()));
+        // The superseded blobs are indeed still lying around (that is the
+        // crash being modelled), and open ignored them.
+        assert!(inner.get(&wal_blob(0)).is_some());
+    }
+
+    #[test]
+    fn checkpoint_gc_deletes_are_synced() {
+        // The happy path: after a successful checkpoint the deletes have
+        // been pushed through a sync of their own.
+        let inner = MemStore::new();
+        let buffered = BufferedStore::new(inner.clone());
+        let mut db = Db::create(Box::new(buffered), key()).unwrap();
+        db.put(b"a".as_slice(), b"1".as_slice());
+        db.commit().unwrap();
+        db.checkpoint().unwrap();
+        // No crash: the inner store saw the delete via the final sync.
+        assert!(inner.get(&wal_blob(0)).is_none());
+        assert!(inner.get(&snapshot_blob(0)).is_none());
+        assert!(inner.get(&snapshot_blob(1)).is_some());
     }
 
     #[test]
@@ -915,11 +1291,17 @@ mod tests {
         assert_eq!(
             puts,
             vec![
-                (b"policy/p".to_vec(), b"pol".to_vec()),
-                (b"tag/p/v".to_vec(), b"t2".to_vec()),
+                (
+                    Bytes::from(b"policy/p".as_slice()),
+                    Bytes::from(b"pol".as_slice())
+                ),
+                (
+                    Bytes::from(b"tag/p/v".as_slice()),
+                    Bytes::from(b"t2".as_slice())
+                ),
             ]
         );
-        assert_eq!(tombstones, vec![b"secretv/p/s".to_vec()]);
+        assert_eq!(tombstones, vec![Bytes::from(b"secretv/p/s".as_slice())]);
         // Capture is one-shot: nothing recorded after the take.
         db.put(b"after".as_slice(), b"1".as_slice());
         assert!(db.take_changes().is_empty());
@@ -935,28 +1317,43 @@ mod tests {
         let first = db.take_changes();
         let (puts, tombstones) = first.into_parts();
         assert!(puts.is_empty());
-        assert_eq!(tombstones, vec![b"tag/p/a".to_vec(), b"tag/p/b".to_vec()]);
+        assert_eq!(
+            tombstones,
+            vec![
+                Bytes::from(b"tag/p/a".as_slice()),
+                Bytes::from(b"tag/p/b".as_slice())
+            ]
+        );
         // Restarting a capture discards the uncollected recording.
         db.begin_capture();
         db.put(b"x".as_slice(), b"1".as_slice());
         db.begin_capture();
         db.put(b"y".as_slice(), b"2".as_slice());
         let (puts, _) = db.take_changes().into_parts();
-        assert_eq!(puts, vec![(b"y".to_vec(), b"2".to_vec())]);
+        assert_eq!(
+            puts,
+            vec![(Bytes::from(b"y".as_slice()), Bytes::from(b"2".as_slice()))]
+        );
     }
 
     #[test]
     fn changeset_merge_later_entry_wins() {
         let mut first = ChangeSet::default();
-        first.record_put(b"k".to_vec(), b"v1".to_vec());
-        first.record_delete(b"gone".to_vec());
+        first.record_put(b"k".as_slice(), b"v1".as_slice());
+        first.record_delete(b"gone".as_slice());
         let mut second = ChangeSet::default();
-        second.record_delete(b"k".to_vec());
-        second.record_put(b"gone".to_vec(), b"back".to_vec());
+        second.record_delete(b"k".as_slice());
+        second.record_put(b"gone".as_slice(), b"back".as_slice());
         first.merge(second);
         let (puts, tombstones) = first.into_parts();
-        assert_eq!(puts, vec![(b"gone".to_vec(), b"back".to_vec())]);
-        assert_eq!(tombstones, vec![b"k".to_vec()]);
+        assert_eq!(
+            puts,
+            vec![(
+                Bytes::from(b"gone".as_slice()),
+                Bytes::from(b"back".as_slice())
+            )]
+        );
+        assert_eq!(tombstones, vec![Bytes::from(b"k".as_slice())]);
     }
 
     #[test]
@@ -969,5 +1366,175 @@ mod tests {
         let s = db.stats();
         assert_eq!(s.commits, 1);
         assert_eq!(s.keys, 1);
+        assert_eq!(s.wal_windows, 1);
+        assert_eq!(s.commits_per_window, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn commits_per_window_conservation() {
+        // commits == Σ size · count over the per-window histogram, in both
+        // the sequential and the coalesced case.
+        let (_, mut db) = fresh();
+        for i in 0..7u32 {
+            db.put(format!("k{i}").into_bytes(), b"v".as_slice());
+            db.commit().unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.commits, 7);
+        let total: u64 = s
+            .commits_per_window
+            .iter()
+            .map(|&(size, count)| u64::from(size) * count)
+            .sum();
+        assert_eq!(s.commits, total);
+        assert_eq!(
+            s.wal_windows,
+            s.commits_per_window.iter().map(|&(_, c)| c).sum()
+        );
+    }
+
+    /// A store whose sync is slow enough that concurrent committers pile
+    /// into the next window while the leader flushes.
+    struct SlowSync(MemStore);
+
+    impl BlockStore for SlowSync {
+        fn get(&self, name: &str) -> Option<Vec<u8>> {
+            self.0.get(name)
+        }
+        fn put(&self, name: &str, data: Vec<u8>) {
+            self.0.put(name, data);
+        }
+        fn delete(&self, name: &str) {
+            self.0.delete(name);
+        }
+        fn list(&self) -> Vec<String> {
+            self.0.list()
+        }
+        fn sync(&self) -> shielded_fs::Result<()> {
+            std::thread::sleep(Duration::from_micros(500));
+            self.0.sync()
+        }
+    }
+
+    #[test]
+    fn concurrent_commits_coalesce_into_windows() {
+        use std::sync::Mutex as StdMutex;
+        let inner = MemStore::new();
+        let db = Arc::new(StdMutex::new(
+            Db::create(Box::new(SlowSync(inner.clone())), key()).unwrap(),
+        ));
+        const WRITERS: usize = 8;
+        const PER_WRITER: usize = 20;
+        let workers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let ticket = {
+                            let mut db = db.lock().unwrap();
+                            db.put(format!("w{w}/k{i}").into_bytes(), vec![w as u8]);
+                            db.commit_stage()
+                        };
+                        ticket.wait().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let db = Arc::try_unwrap(db).ok().unwrap().into_inner().unwrap();
+        let s = db.stats();
+        assert_eq!(s.commits, (WRITERS * PER_WRITER) as u64);
+        assert_eq!(s.keys, WRITERS * PER_WRITER);
+        // Group commit actually grouped: strictly fewer syncs than commits.
+        assert!(
+            s.wal_windows < s.commits,
+            "windows={} commits={}",
+            s.wal_windows,
+            s.commits
+        );
+        // Conservation across the histogram.
+        let total: u64 = s
+            .commits_per_window
+            .iter()
+            .map(|&(size, count)| u64::from(size) * count)
+            .sum();
+        assert_eq!(total, s.commits);
+        // Everything acked is durable.
+        drop(db);
+        let db2 = Db::open(Box::new(inner), key()).unwrap();
+        assert_eq!(db2.len(), WRITERS * PER_WRITER);
+    }
+
+    #[test]
+    fn multi_writer_crash_sweep_recovers_on_window_boundaries() {
+        // Fuse the store at every op inside a multi-writer window schedule:
+        // recovery must land on a window boundary — for every committer,
+        // either all of its acked commit is visible or none of it, and the
+        // store never reports corruption.
+        for fuse in 1..16 {
+            let inner = MemStore::new();
+            let buffered = BufferedStore::new(inner.clone());
+            let mut db = Db::create(Box::new(buffered.clone()), key()).unwrap();
+            buffered.fail_after(fuse);
+            // Two committers per round staging into the *same* window
+            // (stage both tickets before waiting either); each commit
+            // writes a pair of keys that must be atomic, and both commits
+            // of a window must share a fate.
+            let mut acked = [false; 6];
+            for round in 0..3usize {
+                let (c0, c1) = (2 * round, 2 * round + 1);
+                db.put(format!("c{c0}/a").into_bytes(), b"1".as_slice());
+                db.put(format!("c{c0}/b").into_bytes(), b"2".as_slice());
+                let t0 = db.commit_stage();
+                db.put(format!("c{c1}/a").into_bytes(), b"1".as_slice());
+                db.put(format!("c{c1}/b").into_bytes(), b"2".as_slice());
+                let t1 = db.commit_stage();
+                acked[c0] = t0.wait().is_ok();
+                acked[c1] = t1.wait().is_ok();
+            }
+            drop(db);
+            buffered.crash();
+            match Db::open(Box::new(inner), key()) {
+                Ok(db2) => {
+                    for (c, &was_acked) in acked.iter().enumerate() {
+                        let a = db2.get(format!("c{c}/a").as_bytes()).is_some();
+                        let b = db2.get(format!("c{c}/b").as_bytes()).is_some();
+                        assert_eq!(a, b, "torn commit: c{c}, fuse {fuse}");
+                        if was_acked {
+                            assert!(a, "acked commit lost: c{c}, fuse {fuse}");
+                        }
+                    }
+                    // Window atomicity: the two commits staged into one
+                    // window are both present or both absent.
+                    for round in 0..3usize {
+                        let first = db2.get(format!("c{}/a", 2 * round).as_bytes()).is_some();
+                        let second = db2
+                            .get(format!("c{}/a", 2 * round + 1).as_bytes())
+                            .is_some();
+                        assert_eq!(
+                            first, second,
+                            "window torn between commits: round {round}, fuse {fuse}"
+                        );
+                    }
+                }
+                Err(e) => panic!("crash recovery must not corrupt (fuse={fuse}): {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_path_copies_stat_moves() {
+        let (_, mut db) = fresh();
+        for i in 0..1000u32 {
+            db.put(format!("k{i:04}").into_bytes(), b"v".as_slice());
+        }
+        assert_eq!(db.stats().snapshot_path_copies, 0);
+        let _view = db.view();
+        db.put(b"k0500".as_slice(), b"w".as_slice());
+        let copies = db.stats().snapshot_path_copies;
+        assert!(copies >= 1, "a write under a view must path-copy");
+        assert!(copies <= 8, "path copy must be path-sized, got {copies}");
     }
 }

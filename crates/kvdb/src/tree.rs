@@ -1,0 +1,479 @@
+//! A path-copying persistent ordered map.
+//!
+//! The engine's visible table. Interior nodes are `Arc`-shared, so cloning
+//! the whole tree (what [`crate::Db::view`] does) is one reference-count
+//! bump — O(1) regardless of table size. A write first checks each node on
+//! the root-to-leaf path: nodes owned exclusively are mutated in place,
+//! nodes shared with an outstanding snapshot are copied (`Arc::make_mut`),
+//! so a mutation under any number of live views pays O(log n) node copies
+//! instead of the O(n) whole-table clone the old `Arc<BTreeMap>` paid.
+//!
+//! Structure: a B+-tree with fanout [`MAX_FANOUT`] using the *min-key*
+//! convention — an interior node stores, for each child, the smallest key
+//! in that child's subtree. Values are [`Bytes`] (`Arc<[u8]>`), so capture
+//! and export clone reference counts, not payloads. Deletion prunes empty
+//! nodes and collapses single-child roots but does not rebalance underfull
+//! siblings: the map stays correct and O(log n) in the number of
+//! *insertions*, which is the right trade for a table that is overwhelmingly
+//! append/update heavy.
+
+use std::sync::Arc;
+
+/// Reference-counted immutable byte string — the tree's key and value type.
+pub type Bytes = Arc<[u8]>;
+
+/// Maximum entries in a leaf / children in an interior node before a split.
+const MAX_FANOUT: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Sorted `(key, value)` entries.
+    Leaf(Vec<(Bytes, Bytes)>),
+    /// `keys[i]` is the minimum key in `children[i]`'s subtree.
+    Internal {
+        keys: Vec<Bytes>,
+        children: Vec<Arc<Node>>,
+    },
+}
+
+impl Node {
+    fn min_key(&self) -> Bytes {
+        match self {
+            Node::Leaf(entries) => entries[0].0.clone(),
+            Node::Internal { keys, .. } => keys[0].clone(),
+        }
+    }
+
+    /// Index of the child whose subtree may contain `key`.
+    fn child_index(keys: &[Bytes], key: &[u8]) -> usize {
+        keys.partition_point(|k| k.as_ref() <= key)
+            .saturating_sub(1)
+    }
+}
+
+/// What an insertion hands back up the path when a node overflowed.
+struct Split {
+    right_min: Bytes,
+    right: Arc<Node>,
+}
+
+/// The persistent map: O(1) `clone`, O(log n) path-copying mutation.
+#[derive(Clone)]
+pub struct Tree {
+    root: Arc<Node>,
+    len: usize,
+    /// Nodes cloned (rather than mutated in place) because a snapshot still
+    /// held them — the price actually paid for outstanding views.
+    path_copies: u64,
+}
+
+impl Default for Tree {
+    fn default() -> Self {
+        Tree::new()
+    }
+}
+
+impl std::fmt::Debug for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tree({} keys)", self.len)
+    }
+}
+
+/// `Arc::make_mut` that counts when sharing forced an actual node copy.
+fn mutate<'a>(node: &'a mut Arc<Node>, copies: &mut u64) -> &'a mut Node {
+    if Arc::strong_count(node) > 1 {
+        *copies += 1;
+    }
+    Arc::make_mut(node)
+}
+
+impl Tree {
+    /// An empty tree.
+    pub fn new() -> Tree {
+        Tree {
+            root: Arc::new(Node::Leaf(Vec::new())),
+            len: 0,
+            path_copies: 0,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Nodes copied (not mutated in place) because a snapshot shared them.
+    pub fn path_copies(&self) -> u64 {
+        self.path_copies
+    }
+
+    /// Reads a value.
+    pub fn get(&self, key: &[u8]) -> Option<&Bytes> {
+        let mut node: &Node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(entries) => {
+                    return entries
+                        .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+                        .ok()
+                        .map(|i| &entries[i].1);
+                }
+                Node::Internal { keys, children } => {
+                    node = &children[Node::child_index(keys, key)];
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces; returns the previous value if any.
+    pub fn insert(&mut self, key: Bytes, value: Bytes) -> Option<Bytes> {
+        let mut copies = 0;
+        let (old, split) = insert_rec(&mut self.root, key, value, &mut copies);
+        if let Some(split) = split {
+            let left = std::mem::replace(
+                &mut self.root,
+                Arc::new(Node::Leaf(Vec::new())), // placeholder
+            );
+            let left_min = left.min_key();
+            self.root = Arc::new(Node::Internal {
+                keys: vec![left_min, split.right_min],
+                children: vec![left, split.right],
+            });
+        }
+        self.path_copies += copies;
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a key; returns its value if present. A miss copies nothing.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Bytes> {
+        self.get(key)?;
+        let mut copies = 0;
+        let old = remove_rec(&mut self.root, key, &mut copies);
+        self.path_copies += copies;
+        if old.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root that lost all but one child (or everything).
+        loop {
+            let next = match self.root.as_ref() {
+                Node::Internal { children, .. } if children.len() == 1 => children[0].clone(),
+                Node::Internal { children, .. } if children.is_empty() => {
+                    Arc::new(Node::Leaf(Vec::new()))
+                }
+                _ => break,
+            };
+            self.root = next;
+        }
+        old
+    }
+
+    /// In-order iterator over all `(key, value)` pairs.
+    pub fn iter(&self) -> TreeIter<'_> {
+        self.range_from(&[])
+    }
+
+    /// In-order iterator starting at the first key `>= start`.
+    /// Allocation-free: the bound is borrowed, never copied.
+    pub fn range_from<'a>(&'a self, start: &[u8]) -> TreeIter<'a> {
+        let mut iter = TreeIter { stack: Vec::new() };
+        iter.seek(&self.root, start);
+        iter
+    }
+}
+
+fn insert_rec(
+    node: &mut Arc<Node>,
+    key: Bytes,
+    value: Bytes,
+    copies: &mut u64,
+) -> (Option<Bytes>, Option<Split>) {
+    match mutate(node, copies) {
+        Node::Leaf(entries) => {
+            let old = match entries.binary_search_by(|(k, _)| k.as_ref().cmp(key.as_ref())) {
+                Ok(i) => Some(std::mem::replace(&mut entries[i].1, value)),
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    None
+                }
+            };
+            let split = (entries.len() > MAX_FANOUT).then(|| {
+                let right = entries.split_off(entries.len() / 2);
+                Split {
+                    right_min: right[0].0.clone(),
+                    right: Arc::new(Node::Leaf(right)),
+                }
+            });
+            (old, split)
+        }
+        Node::Internal { keys, children } => {
+            let i = Node::child_index(keys, key.as_ref());
+            // A key smaller than every separator becomes child 0's new min.
+            if key.as_ref() < keys[0].as_ref() {
+                keys[0] = key.clone();
+            }
+            let (old, child_split) = insert_rec(&mut children[i], key, value, copies);
+            if let Some(split) = child_split {
+                keys.insert(i + 1, split.right_min);
+                children.insert(i + 1, split.right);
+            }
+            let split = (children.len() > MAX_FANOUT).then(|| {
+                let mid = children.len() / 2;
+                let right_children = children.split_off(mid);
+                let right_keys = keys.split_off(mid);
+                Split {
+                    right_min: right_keys[0].clone(),
+                    right: Arc::new(Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    }),
+                }
+            });
+            (old, split)
+        }
+    }
+}
+
+/// Precondition: `key` is present in `node`'s subtree (checked by `get`).
+fn remove_rec(node: &mut Arc<Node>, key: &[u8], copies: &mut u64) -> Option<Bytes> {
+    match mutate(node, copies) {
+        Node::Leaf(entries) => entries
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+            .ok()
+            .map(|i| entries.remove(i).1),
+        Node::Internal { keys, children } => {
+            let i = Node::child_index(keys, key);
+            let old = remove_rec(&mut children[i], key, copies);
+            let child_empty = match children[i].as_ref() {
+                Node::Leaf(entries) => entries.is_empty(),
+                Node::Internal { children, .. } => children.is_empty(),
+            };
+            if child_empty {
+                children.remove(i);
+                keys.remove(i);
+            } else {
+                // The removed key may have been the child's minimum.
+                keys[i] = children[i].min_key();
+            }
+            old
+        }
+    }
+}
+
+/// Stack-based in-order iterator. Each frame is `(node, next index)` —
+/// the next entry (leaf) or child (interior) to visit.
+pub struct TreeIter<'a> {
+    stack: Vec<(&'a Node, usize)>,
+}
+
+impl<'a> TreeIter<'a> {
+    /// Positions the stack at the first entry `>= start` under `node`.
+    fn seek(&mut self, mut node: &'a Node, start: &[u8]) {
+        loop {
+            match node {
+                Node::Leaf(entries) => {
+                    let i = entries.partition_point(|(k, _)| k.as_ref() < start);
+                    self.stack.push((node, i));
+                    return;
+                }
+                Node::Internal { keys, children } => {
+                    let i = Node::child_index(keys, start);
+                    self.stack.push((node, i + 1));
+                    node = &children[i];
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for TreeIter<'a> {
+    type Item = (&'a Bytes, &'a Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, idx) = self.stack.last_mut()?;
+            match node {
+                Node::Leaf(entries) => {
+                    if *idx < entries.len() {
+                        let (k, v) = &entries[*idx];
+                        *idx += 1;
+                        return Some((k, v));
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { children, .. } => {
+                    if *idx < children.len() {
+                        let child: &'a Node = &children[*idx];
+                        *idx += 1;
+                        // Descend to the child's leftmost leaf.
+                        let mut node = child;
+                        loop {
+                            match node {
+                                Node::Leaf(_) => {
+                                    self.stack.push((node, 0));
+                                    break;
+                                }
+                                Node::Internal { children, .. } => {
+                                    self.stack.push((node, 1));
+                                    node = &children[0];
+                                }
+                            }
+                        }
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::from(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = Tree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(b("k"), b("v1")), None);
+        assert_eq!(t.insert(b("k"), b("v2")).as_deref(), Some(b"v1".as_ref()));
+        assert_eq!(t.get(b"k").map(|v| v.as_ref()), Some(b"v2".as_ref()));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(b"k").as_deref(), Some(b"v2".as_ref()));
+        assert_eq!(t.remove(b"k"), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn matches_btreemap_model_across_sizes() {
+        // Force multiple levels: > MAX_FANOUT^2 keys.
+        let mut t = Tree::new();
+        let mut model = BTreeMap::new();
+        // Deterministic scramble to exercise out-of-order insertion.
+        for i in 0..2500u32 {
+            let k = format!("key-{:06}", (i * 7919) % 2500);
+            t.insert(b(&k), b(&format!("v{i}")));
+            model.insert(k, format!("v{i}"));
+        }
+        assert_eq!(t.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(
+                t.get(k.as_bytes()).map(|v| v.as_ref()),
+                Some(v.as_bytes()),
+                "key {k}"
+            );
+        }
+        // Full iteration is in order and complete.
+        let got: Vec<_> = t
+            .iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8(k.to_vec()).unwrap(),
+                    String::from_utf8(v.to_vec()).unwrap(),
+                )
+            })
+            .collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(got, want);
+        // Remove every third key and re-check.
+        let doomed: Vec<String> = model.keys().step_by(3).cloned().collect();
+        for k in &doomed {
+            assert!(t.remove(k.as_bytes()).is_some());
+            model.remove(k);
+        }
+        assert_eq!(t.len(), model.len());
+        let got: Vec<_> = t.iter().map(|(k, _)| k.to_vec()).collect();
+        let want: Vec<_> = model.keys().map(|k| k.as_bytes().to_vec()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_from_seeks_correctly() {
+        let mut t = Tree::new();
+        for i in 0..300u32 {
+            t.insert(b(&format!("k{i:04}")), b("v"));
+        }
+        let from: Vec<_> = t
+            .range_from(b"k0100")
+            .map(|(k, _)| String::from_utf8(k.to_vec()).unwrap())
+            .collect();
+        assert_eq!(from.len(), 200);
+        assert_eq!(from[0], "k0100");
+        assert_eq!(from.last().unwrap(), "k0299");
+        // A bound between keys starts at the next key.
+        let mid: Vec<_> = t.range_from(b"k0100x").map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(mid[0], b"k0101");
+        // A bound before everything yields the full tree; past the end, none.
+        assert_eq!(t.range_from(b"a").count(), 300);
+        assert_eq!(t.range_from(b"z").count(), 0);
+    }
+
+    #[test]
+    fn clone_is_snapshot_isolated() {
+        let mut t = Tree::new();
+        for i in 0..1000u32 {
+            t.insert(b(&format!("k{i:04}")), b("old"));
+        }
+        let snap = t.clone();
+        t.insert(b("k0500"), b("new"));
+        t.remove(b"k0001");
+        t.insert(b("brand-new"), b("x"));
+        assert_eq!(
+            snap.get(b"k0500").map(|v| v.as_ref()),
+            Some(b"old".as_ref())
+        );
+        assert!(snap.get(b"k0001").is_some());
+        assert!(snap.get(b"brand-new").is_none());
+        assert_eq!(snap.len(), 1000);
+        assert_eq!(t.get(b"k0500").map(|v| v.as_ref()), Some(b"new".as_ref()));
+        assert_eq!(t.len(), 1000); // -1 +1
+    }
+
+    #[test]
+    fn write_under_snapshot_copies_only_the_path() {
+        let mut t = Tree::new();
+        for i in 0..10_000u32 {
+            t.insert(b(&format!("k{i:06}")), b("v"));
+        }
+        let before = t.path_copies();
+        assert_eq!(before, 0, "no snapshots yet, no copies");
+        let _snap = t.clone();
+        t.insert(b("k005000"), b("w"));
+        let first_write = t.path_copies() - before;
+        // Path length, not table size: a 10k-key tree at fanout 32 is 3
+        // levels deep, so the first write copies at most ~4 nodes.
+        assert!((1..=5).contains(&first_write), "copied {first_write} nodes");
+        // A second write down the same path finds it already unshared.
+        let mid = t.path_copies();
+        t.insert(b("k005001"), b("w"));
+        assert!(t.path_copies() - mid <= first_write);
+    }
+
+    #[test]
+    fn min_key_separator_maintained_on_boundary_ops() {
+        let mut t = Tree::new();
+        for i in (0..200u32).rev() {
+            t.insert(b(&format!("k{i:04}")), b("v"));
+        }
+        // Remove the global minimum repeatedly — separators must refresh.
+        for i in 0..100u32 {
+            assert!(t.remove(format!("k{i:04}").as_bytes()).is_some());
+            let min = t.iter().next().unwrap().0.to_vec();
+            assert_eq!(min, format!("k{:04}", i + 1).into_bytes());
+            assert!(t.get(&min).is_some());
+        }
+    }
+}

@@ -71,7 +71,8 @@ impl std::fmt::Debug for Kms {
 impl Kms {
     /// Creates a KMS over a fresh encrypted database.
     pub fn new(seed: u64) -> Self {
-        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([0x4B; 32]));
+        let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([0x4B; 32]))
+            .expect("create kms db on a fresh MemStore");
         Kms {
             db: RwLock::new(db),
             tokens: RwLock::new(HashMap::new()),

@@ -225,6 +225,131 @@ impl<S: BlockStore> BlockStore for FaultyStore<S> {
     }
 }
 
+/// A write-back fault-injection store: puts and deletes are journaled in
+/// order and only reach the inner store when `sync` applies the journal —
+/// exactly the durability contract a real device gives a WAL. [`crash`]
+/// drops the journal (the un-synced writes a power cut would lose), and an
+/// optional op fuse ([`fail_after`]) burns out mid-schedule: later
+/// puts/deletes are silently dropped and `sync` fails, modelling a device
+/// dying at *any* operation boundary.
+///
+/// [`crash`]: BufferedStore::crash
+/// [`fail_after`]: BufferedStore::fail_after
+#[derive(Clone)]
+pub struct BufferedStore<S: BlockStore> {
+    inner: S,
+    state: Arc<parking_lot::Mutex<BufferedState>>,
+}
+
+struct BufferedState {
+    /// Ordered journal of writes since the last successful sync.
+    journal: Vec<(String, Option<Vec<u8>>)>,
+    /// Remaining ops (put/delete/sync) before the fuse burns out; `None`
+    /// means no fuse is armed.
+    fuse: Option<i64>,
+}
+
+impl BufferedState {
+    /// Consumes one fuse unit; false once burnt out.
+    fn op_allowed(&mut self) -> bool {
+        match &mut self.fuse {
+            None => true,
+            Some(left) => {
+                *left -= 1;
+                *left >= 0
+            }
+        }
+    }
+}
+
+impl<S: BlockStore> BufferedStore<S> {
+    /// Wraps `inner` with an empty journal and no fuse.
+    pub fn new(inner: S) -> Self {
+        BufferedStore {
+            inner,
+            state: Arc::new(parking_lot::Mutex::new(BufferedState {
+                journal: Vec::new(),
+                fuse: None,
+            })),
+        }
+    }
+
+    /// Arms the fuse: the next `ops` puts/deletes/syncs succeed, every
+    /// later one fails (writes dropped, sync erroring).
+    pub fn fail_after(&self, ops: i64) {
+        self.state.lock().fuse = Some(ops);
+    }
+
+    /// Simulates a power cut: every write since the last successful sync
+    /// is lost. The inner store keeps only what `sync` already applied.
+    pub fn crash(&self) {
+        self.state.lock().journal.clear();
+    }
+
+    /// Writes journaled but not yet synced.
+    pub fn pending_writes(&self) -> usize {
+        self.state.lock().journal.len()
+    }
+}
+
+impl<S: BlockStore> BlockStore for BufferedStore<S> {
+    fn get(&self, name: &str) -> Option<Vec<u8>> {
+        // Read-your-writes through the journal (latest entry wins).
+        let state = self.state.lock();
+        for (n, data) in state.journal.iter().rev() {
+            if n == name {
+                return data.clone();
+            }
+        }
+        drop(state);
+        self.inner.get(name)
+    }
+
+    fn put(&self, name: &str, data: Vec<u8>) {
+        let mut state = self.state.lock();
+        if state.op_allowed() {
+            state.journal.push((name.to_string(), Some(data)));
+        }
+    }
+
+    fn delete(&self, name: &str) {
+        let mut state = self.state.lock();
+        if state.op_allowed() {
+            state.journal.push((name.to_string(), None));
+        }
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: std::collections::BTreeSet<String> = self.inner.list().into_iter().collect();
+        for (n, data) in self.state.lock().journal.iter() {
+            match data {
+                Some(_) => {
+                    names.insert(n.clone());
+                }
+                None => {
+                    names.remove(n);
+                }
+            }
+        }
+        names.into_iter().collect()
+    }
+
+    fn sync(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        if !state.op_allowed() {
+            return Err(FsError::Storage("device failed".into()));
+        }
+        for (name, data) in state.journal.drain(..) {
+            match data {
+                Some(data) => self.inner.put(&name, data),
+                None => self.inner.delete(&name),
+            }
+        }
+        drop(state);
+        self.inner.sync()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +420,53 @@ mod tests {
         assert!(inner.get("b").is_some());
         assert!(inner.get("c").is_none());
         assert!(faulty.sync().is_err());
+    }
+
+    #[test]
+    fn buffered_store_applies_on_sync_and_loses_on_crash() {
+        let inner = MemStore::new();
+        let buf = BufferedStore::new(inner.clone());
+        buf.put("a", b"1".to_vec());
+        // Read-your-writes before sync; inner still empty.
+        assert_eq!(buf.get("a").unwrap(), b"1");
+        assert!(inner.get("a").is_none());
+        buf.sync().unwrap();
+        assert_eq!(inner.get("a").unwrap(), b"1");
+        // Un-synced writes are lost on crash, synced ones survive.
+        buf.put("b", b"2".to_vec());
+        buf.delete("a");
+        assert!(buf.get("a").is_none());
+        buf.crash();
+        assert_eq!(buf.get("a").unwrap(), b"1");
+        assert!(inner.get("b").is_none());
+        assert_eq!(buf.pending_writes(), 0);
+    }
+
+    #[test]
+    fn buffered_store_fuse_drops_ops_then_fails_sync() {
+        let inner = MemStore::new();
+        let buf = BufferedStore::new(inner.clone());
+        buf.fail_after(2);
+        buf.put("a", b"1".to_vec()); // op 1: journaled
+        buf.put("b", b"2".to_vec()); // op 2: journaled
+        buf.put("c", b"3".to_vec()); // dropped
+        assert!(buf.get("c").is_none());
+        assert!(buf.sync().is_err()); // fuse burnt: sync fails
+        buf.crash();
+        assert!(inner.get("a").is_none());
+        assert!(inner.get("b").is_none());
+    }
+
+    #[test]
+    fn buffered_store_list_merges_journal() {
+        let inner = MemStore::new();
+        inner.put("kept", b"x".to_vec());
+        inner.put("doomed", b"y".to_vec());
+        let buf = BufferedStore::new(inner);
+        buf.put("new", b"z".to_vec());
+        buf.delete("doomed");
+        let names = buf.list();
+        assert_eq!(names, vec!["kept".to_string(), "new".to_string()]);
     }
 
     #[test]

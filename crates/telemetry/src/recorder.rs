@@ -137,6 +137,20 @@ pub enum EventKind {
         /// `snapshot_resync` (full re-base).
         method: &'static str,
     },
+    /// A replica was resynced from the primary on (re)join, shipping
+    /// only the policies whose chain cursor or digest diverged.
+    CatchUp {
+        /// Shard id.
+        shard: u64,
+        /// Replica index that was caught up.
+        replica: usize,
+        /// Policies shipped as warm-copy snapshots.
+        shipped: u64,
+        /// Policies skipped because cursor and digest already matched.
+        skipped: u64,
+        /// Wire bytes of the shipped snapshots (0 for an in-sync replica).
+        bytes: u64,
+    },
     /// The monitor re-admitted a caught-up replica to the write quorum.
     AutoReadmit {
         /// Shard id.
@@ -171,6 +185,7 @@ impl EventKind {
             EventKind::BatchDrop { .. } => "batch_drop",
             EventKind::AutoFailover { .. } => "auto_failover",
             EventKind::AntiEntropyRepair { .. } => "anti_entropy_repair",
+            EventKind::CatchUp { .. } => "catch_up",
             EventKind::AutoReadmit { .. } => "auto_readmit",
             EventKind::GroupDark { .. } => "group_dark",
         }
@@ -265,6 +280,16 @@ impl EventKind {
                 crate::snapshot::json_string(policy),
                 opt(from),
                 crate::snapshot::json_string(method)
+            ),
+            EventKind::CatchUp {
+                shard,
+                replica,
+                shipped,
+                skipped,
+                bytes,
+            } => format!(
+                "\"shard\":{shard},\"replica\":{replica},\"shipped\":{shipped},\
+                 \"skipped\":{skipped},\"bytes\":{bytes}"
             ),
             EventKind::AutoReadmit {
                 shard,
@@ -456,6 +481,13 @@ mod tests {
                 to: 7,
                 method: "delta_resend",
             },
+            EventKind::CatchUp {
+                shard: 1,
+                replica: 2,
+                shipped: 1,
+                skipped: 3,
+                bytes: 96,
+            },
             EventKind::AutoReadmit {
                 shard: 1,
                 replica: 2,
@@ -480,6 +512,7 @@ mod tests {
                 "batch_drop",
                 "auto_failover",
                 "anti_entropy_repair",
+                "catch_up",
                 "auto_readmit",
                 "group_dark",
             ]

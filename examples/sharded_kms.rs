@@ -33,7 +33,8 @@ fn add_fresh_shard(router: &ClusterRouter, platform: &Platform, id: u32) {
     let db = Db::create(
         Box::new(MemStore::new()),
         AeadKey::from_bytes([id as u8; 32]),
-    );
+    )
+    .expect("create db");
     let engine = Arc::new(Palaemon::new(
         db,
         SigningKey::from_seed(format!("kms-shard-{id}").as_bytes()),

@@ -40,7 +40,8 @@ fn fresh_shard(platform: &Platform, tag: u32) -> (TmsServer, Arc<BatchedCounter>
     let db = Db::create(
         Box::new(MemStore::new()),
         AeadKey::from_bytes([tag as u8; 32]),
-    );
+    )
+    .expect("create db");
     let engine = Arc::new(Palaemon::new(
         db,
         SigningKey::from_seed(format!("it-shard-{tag}").as_bytes()),

@@ -56,7 +56,8 @@ struct World {
 
 fn world() -> World {
     let platform = Platform::new("stress-host", Microcode::PostForeshadow);
-    let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([7; 32]));
+    let db =
+        Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([7; 32])).expect("create db");
     let engine = Arc::new(Palaemon::new(
         db,
         SigningKey::from_seed(b"stress"),
@@ -306,7 +307,8 @@ fn stress_four_shard_cluster_invariants_hold() {
         let db = Db::create(
             Box::new(MemStore::new()),
             AeadKey::from_bytes([0x40 + i as u8; 32]),
-        );
+        )
+        .expect("create db");
         let engine = Arc::new(Palaemon::new(
             db,
             SigningKey::from_seed(format!("cstress-{i}").as_bytes()),

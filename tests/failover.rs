@@ -62,7 +62,8 @@ fn replica(
     let db = Db::create(
         Box::new(MemStore::new()),
         AeadKey::from_bytes([tag as u8; 32]),
-    );
+    )
+    .expect("create db");
     let engine = Arc::new(Palaemon::new(
         db,
         SigningKey::from_seed(format!("fo-replica-{tag}").as_bytes()),
@@ -601,6 +602,97 @@ fn dropped_forward_demotes_the_follower_until_catch_up() {
     }
     update(&router, "dp", 4).unwrap();
     assert_eq!(read_version(&router, "dp"), 4);
+}
+
+/// Catch-up is cursor-bounded: reinstating a follower that missed the
+/// forward for exactly one of four policies ships that one policy over
+/// the warm-copy path and *skips* the three whose chain cursor and
+/// record digest already match — and a fully in-sync ex-primary
+/// re-enters after a failover drill with zero warm-copy bytes.
+#[test]
+fn reinstate_ships_only_the_diverged_policies() {
+    let platform = Platform::new("fo-host", Microcode::PostForeshadow);
+    let router = replicated_cluster(&platform, 1, 3, 2);
+    let id = ShardId(0);
+    let policies = ["cb-a", "cb-b", "cb-c", "cb-d"];
+    for name in policies {
+        create(&router, name, 1); // ops 1..=4: everyone holds all four
+    }
+    // Replica 2 misses the forward of exactly one policy's update.
+    let plan = FaultPlan::new([PlannedFault {
+        shard: id,
+        op: 5,
+        kind: FaultKind::DropForwardToReplica(2),
+    }]);
+    router.set_fault_plan(Arc::clone(&plan));
+    update(&router, "cb-b", 2).unwrap(); // op 5
+    assert!(plan.all_fired());
+    let status = router.replica_status(id).unwrap();
+    assert!(!status.replicas[2].in_quorum, "lagging replica must demote");
+
+    let before = router.stats().shards[0].replication;
+    assert!(router.reinstate(id));
+    let after = router.stats().shards[0].replication;
+    assert_eq!(
+        after.catchup_policies_shipped - before.catchup_policies_shipped,
+        1,
+        "only the diverged policy rides the warm-copy path"
+    );
+    assert_eq!(
+        after.catchup_policies_skipped - before.catchup_policies_skipped,
+        3,
+        "the three in-sync policies are skipped by cursor + digest"
+    );
+    assert!(
+        after.catchup_bytes > before.catchup_bytes,
+        "the shipped snapshot has wire weight"
+    );
+    // The flight recorder carries the same accounting.
+    let events = router.telemetry().flight().events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::CatchUp {
+                replica: 2,
+                shipped: 1,
+                skipped: 3,
+                ..
+            }
+        )),
+        "catch_up event missing: {:?}",
+        events.iter().map(|e| e.kind.name()).collect::<Vec<_>>()
+    );
+    // And the skip was sound: every replica converged on the update.
+    let engines = router.replica_engines(id);
+    for name in policies {
+        let reference = engines[0].export_policy_records(name);
+        for engine in &engines[1..] {
+            assert_eq!(engine.export_policy_records(name), reference);
+        }
+    }
+    assert_eq!(read_version(&router, "cb-b"), 2);
+
+    // A failover drill deposes the (fully in-sync) primary; its
+    // re-admission must ship nothing at all.
+    assert!(router.quarantine(id, "drill").is_some());
+    let before = router.stats().shards[0].replication;
+    assert!(router.reinstate(id));
+    let after = router.stats().shards[0].replication;
+    assert_eq!(
+        after.catchup_policies_shipped, before.catchup_policies_shipped,
+        "an in-sync ex-primary re-enters with zero warm-copy policies"
+    );
+    assert_eq!(
+        after.catchup_bytes, before.catchup_bytes,
+        "an in-sync ex-primary re-enters with zero warm-copy bytes"
+    );
+    assert_eq!(
+        after.catchup_policies_skipped - before.catchup_policies_skipped,
+        4,
+        "all four policies verified in place"
+    );
+    update(&router, "cb-d", 2).unwrap();
+    assert_eq!(read_version(&router, "cb-d"), 2, "group stays writable");
 }
 
 /// A rolled-back replica (its counter token regressed — the Fig. 6 attack

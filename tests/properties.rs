@@ -201,7 +201,9 @@ proptest! {
 }
 
 /// Model-based test: the encrypted database behaves exactly like a
-/// `BTreeMap` across arbitrary put/delete/commit/reopen/checkpoint traces.
+/// `BTreeMap` across arbitrary put/delete/commit/reopen/checkpoint traces,
+/// and every `View` taken along the way stays frozen at the state it saw
+/// no matter what happens to the live database afterwards.
 #[derive(Debug, Clone)]
 enum DbOp {
     Put(u8, Vec<u8>),
@@ -209,6 +211,7 @@ enum DbOp {
     Commit,
     Checkpoint,
     Reopen,
+    View,
 }
 
 fn db_op_strategy() -> impl Strategy<Value = DbOp> {
@@ -219,6 +222,7 @@ fn db_op_strategy() -> impl Strategy<Value = DbOp> {
         Just(DbOp::Commit),
         Just(DbOp::Checkpoint),
         Just(DbOp::Reopen),
+        Just(DbOp::View),
     ]
 }
 
@@ -229,9 +233,13 @@ proptest! {
     fn db_matches_model(ops in proptest::collection::vec(db_op_strategy(), 0..40)) {
         let store = MemStore::new();
         let key = AeadKey::from_bytes([1; 32]);
-        let mut db = Db::create(Box::new(store.clone()), key.clone());
+        let mut db = Db::create(Box::new(store.clone()), key.clone()).expect("create db");
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         let mut durable = model.clone();
+        // Outstanding O(1) snapshots, each paired with the model state it
+        // captured. They even outlive a crash/reopen of the database.
+        type FrozenView = (palaemon_db::DbView, BTreeMap<Vec<u8>, Vec<u8>>);
+        let mut views: Vec<FrozenView> = Vec::new();
 
         for op in ops {
             match op {
@@ -257,11 +265,21 @@ proptest! {
                     db = Db::open(Box::new(store.clone()), key.clone()).unwrap();
                     model = durable.clone();
                 }
+                DbOp::View => {
+                    views.push((db.view(), model.clone()));
+                }
             }
             // The live view always matches the model.
             prop_assert_eq!(db.len(), model.len());
             for (k, v) in &model {
                 prop_assert_eq!(db.get(k), Some(v.as_slice()));
+            }
+            // Every outstanding snapshot stays exactly what it saw.
+            for (view, frozen) in &views {
+                prop_assert_eq!(view.len(), frozen.len());
+                for (k, v) in frozen {
+                    prop_assert_eq!(view.get(k), Some(v.as_slice()));
+                }
             }
         }
     }
@@ -505,7 +523,7 @@ proptest! {
         let router = ClusterRouter::new(77, 32);
         let set: Vec<_> = (0..REPLICAS)
             .map(|r| {
-                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32]));
+                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32])).expect("create db");
                 let engine = Arc::new(Palaemon::new(
                     db,
                     SigningKey::from_seed(format!("delta-{r}").as_bytes()),
@@ -688,7 +706,7 @@ proptest! {
         let router = ClusterRouter::new(88, 32);
         let set: Vec<_> = (0..REPLICAS)
             .map(|r| {
-                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32]));
+                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32])).expect("create db");
                 let engine = Arc::new(Palaemon::new(
                     db,
                     SigningKey::from_seed(format!("pipe-{r}").as_bytes()),
@@ -875,7 +893,7 @@ proptest! {
         let router = ClusterRouter::new(99, 32);
         let set: Vec<_> = (0..REPLICAS)
             .map(|r| {
-                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32]));
+                let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([r as u8; 32])).expect("create db");
                 let engine = Arc::new(Palaemon::new(
                     db,
                     SigningKey::from_seed(format!("prop-{r}").as_bytes()),
@@ -1059,7 +1077,7 @@ proptest! {
         let mre = Digest::from_bytes([0xF0; 32]);
         let owner = SigningKey::from_seed(b"xp-owner").verifying_key();
         let shard = |tag: u32| {
-            let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([tag as u8; 32]));
+            let db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([tag as u8; 32])).expect("create db");
             let engine = Arc::new(Palaemon::new(
                 db,
                 SigningKey::from_seed(format!("xp-shard-{tag}").as_bytes()),

@@ -147,7 +147,8 @@ fn sharded_router_hop_overhead_stays_bounded() {
         let db = Db::create(
             Box::new(MemStore::new()),
             AeadKey::from_bytes([0x70 + i as u8; 32]),
-        );
+        )
+        .expect("create db");
         let engine = Arc::new(Palaemon::new(
             db,
             SigningKey::from_seed(format!("hop-{i}").as_bytes()),

@@ -58,7 +58,7 @@ fn replica_on(
     store: Box<dyn BlockStore>,
     hook: Option<FaultHook>,
 ) -> (TmsServer, Arc<BatchedCounter>) {
-    let db = Db::create(store, AeadKey::from_bytes([tag as u8; 32]));
+    let db = Db::create(store, AeadKey::from_bytes([tag as u8; 32])).expect("create db");
     let engine = Arc::new(Palaemon::new(
         db,
         SigningKey::from_seed(format!("sh-replica-{tag}").as_bytes()),

@@ -48,7 +48,8 @@ fn engine(platform: &Platform, tag: u32) -> Arc<Palaemon> {
     let db = Db::create(
         Box::new(MemStore::new()),
         AeadKey::from_bytes([tag as u8; 32]),
-    );
+    )
+    .expect("create db");
     let engine = Arc::new(Palaemon::new(
         db,
         SigningKey::from_seed(format!("tel-replica-{tag}").as_bytes()),
@@ -142,7 +143,8 @@ fn one_snapshot_covers_all_nine_surfaces() {
     let batch_stats = server_stats.counter.expect("strict shard");
     let replication_stats = shard_stats.replication;
     let frontdoor_stats = door.stats();
-    let mut db = Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32]));
+    let mut db =
+        Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([9; 32])).expect("create db");
     db.put(b"k".to_vec(), b"v".to_vec());
     db.commit().unwrap();
     let db_stats = db.stats();
@@ -178,6 +180,9 @@ fn one_snapshot_covers_all_nine_surfaces() {
     find("shard_pipe_saturation");
     find("cluster_shards");
     find("db_commits_total");
+    find("db_wal_windows_total");
+    find("db_group_commit_wait_p99_ns");
+    find("db_snapshot_path_copies_total");
     find("epc_allocated_pages_total");
     find("latency_p99_ns");
     match find("frontdoor_submitted_total").value {
@@ -208,6 +213,10 @@ fn one_snapshot_covers_all_nine_surfaces() {
     assert!(json.contains("\"stage\":\"quorum_ack\""));
     let prom = snapshot.to_prometheus();
     assert!(prom.contains("server_requests_ok_total{shard=\"0\"}"));
+    assert!(
+        prom.contains("db_commits_per_window{size=\"1\"}"),
+        "the group-commit window histogram must reach Prometheus"
+    );
     assert!(prom.contains("palaemon_stage_latency_ns{stage=\"engine_apply\",quantile=\"0.99\"}"));
     assert!(prom.contains("palaemon_traces_total 8\n"));
 }
@@ -325,5 +334,54 @@ fn replication_accounting_is_conserved() {
     assert!(
         batches < mutations * followers,
         "the window must actually coalesce ({batches} batches for {mutations} mutations x2)"
+    );
+}
+
+/// Conservation on the storage plane: every group commit lands in exactly
+/// one commits-per-window bucket, so the histogram re-derives both the
+/// commit and the window totals — under concurrent writers included.
+#[test]
+fn group_commit_accounting_is_conserved() {
+    let db = Arc::new(std::sync::Mutex::new(
+        Db::create(Box::new(MemStore::new()), AeadKey::from_bytes([0x6A; 32])).expect("create db"),
+    ));
+    let writers = 4;
+    let per_writer = 25;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..per_writer {
+                    // Stage under the engine lock, wait on the ticket
+                    // outside it — the concurrent-writer commit protocol.
+                    let ticket = {
+                        let mut db = db.lock().unwrap();
+                        db.put(format!("w{w}/k{i}").into_bytes(), vec![w as u8; 8]);
+                        db.commit_stage()
+                    };
+                    ticket.wait().expect("group commit");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = db.lock().unwrap().stats();
+    assert_eq!(stats.commits, (writers * per_writer) as u64);
+    let histogram_commits: u64 = stats
+        .commits_per_window
+        .iter()
+        .map(|&(size, count)| u64::from(size) * count)
+        .sum();
+    assert_eq!(
+        histogram_commits, stats.commits,
+        "commits == sum(size * count) over the per-window histogram"
+    );
+    let histogram_windows: u64 = stats.commits_per_window.iter().map(|&(_, c)| c).sum();
+    assert_eq!(
+        histogram_windows, stats.wal_windows,
+        "every WAL window lands in exactly one bucket"
     );
 }
